@@ -1,0 +1,46 @@
+"""F7/F8 — the readable procedural intermediate (paper Fig. 7–8).
+
+The ODETTE synthesizer emitted standard SystemC as a readable intermediate:
+class methods resolved into non-member functions over a flat state vector.
+This bench regenerates that artifact for the paper's own SyncRegister
+example and re-checks, over random stimulus, that the resolution is
+behaviour-preserving (the mechanical form of Fig. 7).
+"""
+
+import random
+
+from conftest import record_report
+
+from repro.expocu import SyncRegister
+from repro.osss import StateLayout
+from repro.synth.codegen import generated_functions, resolve_class_text
+from repro.types import Bit
+
+
+def test_f7_generated_intermediate(benchmark):
+    cls = SyncRegister[4, 0]
+    text = benchmark(lambda: resolve_class_text(cls))
+    funcs = generated_functions(cls)
+    layout = StateLayout.of(cls)
+    live = cls()
+    state = layout.pack(live).raw
+    rng = random.Random(41)
+    checked = 0
+    for _ in range(500):
+        value = rng.randint(0, 1)
+        live.write(Bit(value))
+        state, _ = funcs["write"](state, value)
+        assert state == layout.pack(live).raw
+        _, edge = funcs["rising_edge"](state)
+        assert edge == int(live.rising_edge(0))
+        checked += 1
+    lines = [
+        "paper Fig. 7: methods resolved to non-member functions over the",
+        "flat state vector (generated, executable intermediate):",
+        "",
+        text.strip(),
+        "",
+        f"behaviour-preservation re-checked on {checked} random writes: OK",
+    ]
+    record_report("F7_codegen", "\n".join(lines))
+    assert "_SyncRegister_4_0_write_" in text

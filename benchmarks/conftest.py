@@ -1,0 +1,33 @@
+"""Benchmark-session support: collects each experiment's report table and
+prints everything at the end of the run (so ``pytest benchmarks/
+--benchmark-only`` leaves the paper-shaped tables in the log)."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_reports: list[tuple[str, str]] = []
+
+
+def record_report(experiment: str, text: str) -> None:
+    """Save an experiment's rendered table (file + end-of-run dump)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    _reports.append((experiment, text))
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _reports:
+        return
+    capman = session.config.pluginmanager.getplugin("capturemanager")
+    if capman is not None:
+        capman.suspend_global_capture(in_=True)
+    print("\n" + "=" * 72)
+    print("REPRODUCTION RESULTS (paper: Bannow & Haug, DATE 2004)")
+    print("=" * 72)
+    for experiment, text in sorted(_reports):
+        print(f"\n--- {experiment} " + "-" * max(1, 60 - len(experiment)))
+        print(text)
+    print()

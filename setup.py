@@ -1,0 +1,4 @@
+"""Setup shim so legacy ``setup.py develop`` works offline (no wheel pkg)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""PyOSSS — an object-oriented synthesizable hardware design methodology.
+
+Reproduction of N. Bannow and K. Haug, "Evaluation of an Object-Oriented
+Hardware Design Methodology for Automotive Applications" (DATE 2004): the
+OSSS object-oriented hardware layer, a SystemC-like simulation kernel, an
+analyzer/synthesizer down to RTL and gates, the camera Exposure Control
+Unit case study in both the OSSS and the hand-written "VHDL" flow, and the
+evaluation harness reproducing the paper's Results section.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,21 @@
+"""The hand-written "VHDL flow" baseline of the ExpoCU (paper §12)."""
+
+from repro.baseline.i2c_rtl import i2c_rtl
+from repro.baseline.params_rtl import params_rtl
+from repro.baseline.top_rtl import cam_ctrl_rtl, expocu_rtl
+from repro.baseline.units import histogram_rtl, resetctl_rtl, sync_rtl, threshold_rtl
+from repro.baseline.vhdl_ip import ip_library, multiplier_blackbox, multiplier_ip_circuit
+
+__all__ = [
+    "cam_ctrl_rtl",
+    "expocu_rtl",
+    "histogram_rtl",
+    "i2c_rtl",
+    "ip_library",
+    "multiplier_blackbox",
+    "multiplier_ip_circuit",
+    "params_rtl",
+    "resetctl_rtl",
+    "sync_rtl",
+    "threshold_rtl",
+]

@@ -1,0 +1,158 @@
+"""Hand-written I²C master FSM (VHDL flow).
+
+The RTL counterpart of :class:`repro.expocu.i2c.I2cMaster`: an explicit
+seven-state FSM with a quarter-period prescaler, a bit counter, a byte
+counter and a shift register — the way the paper's team coded it in VHDL
+(*"The VHDL implementation took slightly longer using the RTL coding
+style"*, §12).  Protocol-compatible with the camera model's slave.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.build import RtlBuilder
+from repro.rtl.ir import Const, Expr, Read, RtlModule, mux
+from repro.types.spec import bit, unsigned
+
+#: FSM encoding.
+(
+    S_IDLE,
+    S_START,
+    S_BIT,
+    S_ACK,
+    S_STOP,
+    S_DONE,
+) = range(6)
+
+
+def i2c_rtl(divider: int = 4) -> RtlModule:
+    """Write-only I²C master as an explicit FSM."""
+    b = RtlBuilder("i2c_rtl")
+    start = b.input("start", bit())
+    dev_addr = b.input("dev_addr", unsigned(7))
+    reg_addr = b.input("reg_addr", unsigned(8))
+    data = b.input("data", unsigned(8))
+    sda_in = b.input("sda_in", bit())
+
+    state = b.register("state", unsigned(3), S_IDLE)
+    phase = b.register("phase", unsigned(2), 0)      # quarter within symbol
+    prescale = b.register("prescale", unsigned(16), 0)
+    bit_cnt = b.register("bit_cnt", unsigned(3), 0)
+    byte_cnt = b.register("byte_cnt", unsigned(2), 0)
+    shift = b.register("shift", unsigned(8), 0)
+    scl_r = b.register("scl_r", bit(), 1)
+    sda_r = b.register("sda_r", bit(), 1)
+    oe_r = b.register("oe_r", bit(), 1)
+    busy_r = b.register("busy_r", bit(), 0)
+    done_r = b.register("done_r", bit(), 0)
+    ack_err = b.register("ack_err", bit(), 0)
+
+    in_idle = Read(state).eq(S_IDLE)
+    in_start = Read(state).eq(S_START)
+    in_bit = Read(state).eq(S_BIT)
+    in_ack = Read(state).eq(S_ACK)
+    in_stop = Read(state).eq(S_STOP)
+    in_done = Read(state).eq(S_DONE)
+
+    tick = Read(prescale).eq(divider - 1)
+    b.next(prescale, mux(in_idle | in_done, Const(unsigned(16), 0),
+                         mux(tick, Const(unsigned(16), 0),
+                             (Read(prescale) + 1).resized(16))))
+
+    last_phase = Read(phase).eq(3)
+    start_last = Read(phase).eq(2)  # START uses three quarters
+    advance = tick
+
+    # Byte to transmit, selected by byte counter.
+    address_byte = (dev_addr.resized(8) << 1).resized(8)
+    tx_byte = mux(Read(byte_cnt).eq(0), address_byte,
+                  mux(Read(byte_cnt).eq(1), reg_addr, data))
+
+    def code(value: int) -> Expr:
+        return Const(unsigned(3), value)
+
+    # ----- state transitions (advance once per quarter period) -----
+    next_after_ack = mux(Read(byte_cnt).eq(2), code(S_STOP), code(S_BIT))
+    state_adv = mux(
+        in_start, mux(start_last, code(S_BIT), code(S_START)),
+        mux(in_bit,
+            mux(last_phase & Read(bit_cnt).eq(7), code(S_ACK), code(S_BIT)),
+            mux(in_ack, mux(last_phase, next_after_ack, code(S_ACK)),
+                mux(in_stop, mux(start_last, code(S_DONE), code(S_STOP)),
+                    code(S_IDLE)))))
+    b.next(state, mux(in_idle, mux(start, code(S_START), code(S_IDLE)),
+                      mux(in_done, code(S_IDLE),
+                          mux(advance, state_adv, Read(state)))))
+
+    # ----- phase counter -----
+    phase_wrap = mux(in_start | in_stop, start_last, last_phase)
+    b.next(phase, mux(in_idle | in_done, Const(unsigned(2), 0),
+                      mux(advance,
+                          mux(phase_wrap, Const(unsigned(2), 0),
+                              (Read(phase) + 1).resized(2)),
+                          Read(phase))))
+
+    # ----- bit / byte counters and shift register -----
+    bit_done = in_bit & advance & last_phase
+    ack_done = in_ack & advance & last_phase
+    b.next(bit_cnt, mux(in_idle | ack_done, Const(unsigned(3), 0),
+                        mux(bit_done, (Read(bit_cnt) + 1).resized(3),
+                            Read(bit_cnt))))
+    b.next(byte_cnt, mux(in_idle, Const(unsigned(2), 0),
+                         mux(ack_done, (Read(byte_cnt) + 1).resized(2),
+                             Read(byte_cnt))))
+    load_shift = (in_start & advance & start_last) | ack_done
+    b.next(shift, mux(load_shift,
+                      mux(in_start, address_byte,
+                          mux(Read(byte_cnt).eq(0), reg_addr, data)),
+                      mux(bit_done, (Read(shift) << 1).resized(8),
+                          Read(shift))))
+
+    # ----- pad drivers -----
+    # START: quarters = (sda high, sda low, scl low).
+    # BIT:   quarters = (drive bit / scl low, scl high, scl high, scl low).
+    # ACK:   quarters = (release sda, scl high, sample, scl low).
+    # STOP:  quarters = (sda low / scl low->high, scl high, sda high).
+    ph = Read(phase)
+    scl_next = mux(
+        in_start, mux(advance & start_last, Const(bit(), 0), Read(scl_r)),
+        mux(in_bit | in_ack,
+            mux(advance,
+                mux(ph.eq(0), Const(bit(), 1),
+                    mux(ph.eq(2), Const(bit(), 0), Read(scl_r))),
+                Read(scl_r)),
+            mux(in_stop,
+                mux(advance & ph.eq(0), Const(bit(), 1), Read(scl_r)),
+                mux(in_idle, Const(bit(), 1), Read(scl_r)))))
+    b.next(scl_r, scl_next)
+
+    sda_next = mux(
+        in_start, mux(advance & ph.eq(0), Const(bit(), 0), Read(sda_r)),
+        mux(in_bit,
+            mux(advance & last_phase | (in_bit & Read(phase).eq(0)),
+                Read(shift).bit(7), Read(sda_r)),
+            mux(in_stop,
+                mux(advance,
+                    mux(ph.eq(1), Const(bit(), 1), Const(bit(), 0)),
+                    Read(sda_r)),
+                mux(in_idle, Const(bit(), 1), Read(sda_r)))))
+    b.next(sda_r, sda_next)
+
+    b.next(oe_r, mux(in_ack, Const(bit(), 0),
+                     mux(in_idle | in_start | in_bit | in_stop | in_done,
+                         Const(bit(), 1), Read(oe_r))))
+
+    sampled_ack = in_ack & advance & ph.eq(1)
+    b.next(ack_err, mux(in_idle & start, Const(bit(), 0),
+                        mux(sampled_ack & sda_in, Const(bit(), 1),
+                            Read(ack_err))))
+
+    b.next(busy_r, mux(in_idle, start, Read(state).ne(S_DONE)))
+    b.next(done_r, in_done)
+
+    b.output("scl", Read(scl_r))
+    b.output("sda_out", Read(sda_r))
+    b.output("sda_oe", Read(oe_r))
+    b.output("busy", Read(busy_r))
+    b.output("done", Read(done_r))
+    b.output("ack_error", Read(ack_err))
+    return b.build()

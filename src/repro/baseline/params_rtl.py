@@ -1,0 +1,135 @@
+"""Hand-written parameter-calculation FSM (VHDL flow).
+
+Implements the same AE servo as :class:`repro.expocu.expoparams` in classic
+RTL style: one explicit FSM, one **VHDL IP multiplier** instance
+(:mod:`repro.baseline.vhdl_ip`) that is *manually* time-shared between the
+exposure step and the gain smoothing — the hand-built counterpart to the
+OSSS flow's generated shared-object arbiter (comparison E5).
+"""
+
+from __future__ import annotations
+
+from repro.baseline.vhdl_ip import multiplier_blackbox
+from repro.rtl.build import RtlBuilder
+from repro.rtl.ir import Const, Expr, Mux, Read, RtlModule, mux
+from repro.types.spec import bit, unsigned
+
+#: FSM encoding.  The multiplier product is registered after every use
+#: (S_ERR, S_STEP, S_GAINM) so the IP's array delay never chains into the
+#: update arithmetic — standard VHDL pipelining practice for a 66 MHz
+#: target.
+S_IDLE, S_ERR, S_STEP, S_APPLY, S_DIV, S_GAINM, S_BLEND = range(7)
+
+
+def params_rtl(target: int = 128, kp: int = 3, exposure_min: int = 1,
+               exposure_max: int = 255) -> RtlModule:
+    """The parameter unit as a five-state hand-coded FSM."""
+    b = RtlBuilder("params_rtl")
+    mean_in = b.input("mean", unsigned(8))
+    stats_valid = b.input("stats_valid", bit())
+
+    state = b.register("state", unsigned(3), S_IDLE)
+    mean_r = b.register("mean_r", unsigned(8), 0)
+    scaled_r = b.register("scaled_r", unsigned(24), 0)
+    prod_r = b.register("prod_r", unsigned(24), 0)
+    exposure_r = b.register("exposure_r", unsigned(8), 128)
+    gain_r = b.register("gain_r", unsigned(8), 64)
+    dividend = b.register("dividend", unsigned(22), 0)
+    remainder = b.register("remainder", unsigned(22), 0)
+    quotient = b.register("quotient", unsigned(22), 0)
+    div_cnt = b.register("div_cnt", unsigned(5), 0)
+    valid_r = b.register("valid_r", bit(), 0)
+    busy_r = b.register("busy_r", bit(), 0)
+
+    in_idle = Read(state).eq(S_IDLE)
+    in_err = Read(state).eq(S_ERR)
+    in_step = Read(state).eq(S_STEP)
+    in_apply = Read(state).eq(S_APPLY)
+    in_div = Read(state).eq(S_DIV)
+    in_gainm = Read(state).eq(S_GAINM)
+    in_blend = Read(state).eq(S_BLEND)
+
+    # ----- manually shared IP multiplier -----
+    mean_v = Read(mean_r)
+    err = mux(mean_v.lt(target),
+              (Const(unsigned(8), target) - mean_v).resized(8),
+              (mean_v - target).resized(8))
+    darker = mean_v.ge(target)
+    step16 = (Read(scaled_r) >> 4).range(15, 0).as_unsigned()
+    mul = b.instance(
+        "mul_ip", multiplier_blackbox(16, 8),
+        a=mux(in_err, err.resized(16),
+              mux(in_step, step16, Read(gain_r).resized(16))),
+        b=mux(in_err, Const(unsigned(8), kp),
+              mux(in_step, Read(exposure_r), Const(unsigned(8), 3))),
+    )
+    product = mul.output("p")
+
+    # ----- exposure update (uses the registered product in S_APPLY) -----
+    raw_step = (Read(prod_r) >> 8).range(7, 0).as_unsigned()
+    step = mux(raw_step.eq(0), Const(unsigned(8), 1), raw_step)
+    headroom = (Const(unsigned(8), exposure_max) - Read(exposure_r)) \
+        .resized(8)
+    exposure_dec = mux(Read(exposure_r).gt(step),
+                       (Read(exposure_r) - step).resized(8),
+                       Const(unsigned(8), exposure_min))
+    exposure_inc = mux(headroom.gt(step),
+                       (Read(exposure_r) + step).resized(8),
+                       Const(unsigned(8), exposure_max))
+    exposure_next = mux(darker, exposure_dec, exposure_inc)
+    exposure_clamped = mux(exposure_next.lt(exposure_min),
+                           Const(unsigned(8), exposure_min), exposure_next)
+
+    # ----- serial restoring divider (runs in S_DIV) -----
+    mean22 = mux(mean_v.eq(0), Const(unsigned(8), 1), mean_v).resized(22)
+    rem_shift = ((Read(remainder) << 1)
+                 | Read(dividend).bit(21).resized(22)).resized(22)
+    rem_fits = rem_shift.ge(mean22)
+    rem_next = mux(rem_fits, (rem_shift - mean22).resized(22), rem_shift)
+    quo_next = mux(rem_fits,
+                   ((Read(quotient) << 1) | 1).resized(22),
+                   (Read(quotient) << 1).resized(22))
+    div_done = Read(div_cnt).eq(21)
+
+    # ----- gain blend (S_BLEND; uses the registered 3*gain product) -----
+    gain_target = mux(Read(quotient).gt(255), Const(unsigned(8), 255),
+                      Read(quotient).range(7, 0).as_unsigned())
+    blended = ((Read(prod_r).range(15, 0).as_unsigned()
+                + gain_target.resized(16)) >> 2).range(7, 0).as_unsigned()
+
+    # ----- register updates -----
+    def code(value: int) -> Expr:
+        return Const(unsigned(3), value)
+
+    b.next(state, mux(in_idle, mux(stats_valid, code(S_ERR), code(S_IDLE)),
+                      mux(in_err, code(S_STEP),
+                          mux(in_step, code(S_APPLY),
+                              mux(in_apply, code(S_DIV),
+                                  mux(in_div,
+                                      mux(div_done, code(S_GAINM),
+                                          code(S_DIV)),
+                                      mux(in_gainm, code(S_BLEND),
+                                          code(S_IDLE))))))))
+    b.next(mean_r, mux(in_idle & stats_valid, mean_in, Read(mean_r)))
+    b.next(scaled_r, mux(in_err, product, Read(scaled_r)))
+    b.next(prod_r, mux(in_step | in_gainm, product, Read(prod_r)))
+    b.next(exposure_r, mux(in_apply, exposure_clamped, Read(exposure_r)))
+    b.next(dividend, mux(in_apply, Const(unsigned(22), target << 6),
+                         mux(in_div, (Read(dividend) << 1).resized(22),
+                             Read(dividend))))
+    b.next(remainder, mux(in_apply, Const(unsigned(22), 0),
+                          mux(in_div, rem_next, Read(remainder))))
+    b.next(quotient, mux(in_apply, Const(unsigned(22), 0),
+                         mux(in_div, quo_next, Read(quotient))))
+    b.next(div_cnt, mux(in_div, (Read(div_cnt) + 1).resized(5),
+                        Const(unsigned(5), 0)))
+    b.next(gain_r, mux(in_blend, blended, Read(gain_r)))
+    b.next(valid_r, in_blend)
+    b.next(busy_r, mux(in_idle, stats_valid,
+                       Read(state).ne(S_IDLE)))
+
+    b.output("exposure", Read(exposure_r))
+    b.output("gain", Read(gain_r))
+    b.output("params_valid", Read(valid_r))
+    b.output("busy", Read(busy_r))
+    return b.build()

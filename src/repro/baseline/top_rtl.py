@@ -1,0 +1,127 @@
+"""The complete hand-written ExpoCU (VHDL flow) and its camera controller.
+
+Mirrors :class:`repro.expocu.top.ExpoCU` port for port so the two flows are
+interchangeable in testbenches and the area/frequency comparison is
+apples-to-apples.  The IP multiplier inside the parameter FSM remains a
+black box here; :func:`repro.baseline.vhdl_ip.ip_library` supplies the
+netlist at link time (paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+from repro.baseline.i2c_rtl import i2c_rtl
+from repro.baseline.params_rtl import params_rtl
+from repro.baseline.units import histogram_rtl, sync_rtl, threshold_rtl
+from repro.rtl.build import RtlBuilder
+from repro.rtl.ir import Const, Expr, Read, RtlModule, mux
+from repro.types.spec import bit, unsigned
+
+#: Camera-control FSM encoding.
+C_WAIT, C_REQ_E, C_BUSY_E, C_REQ_G, C_BUSY_G = range(5)
+
+
+def cam_ctrl_rtl(camera_addr: int = 0x21, reg_exposure: int = 0x10,
+                 reg_gain: int = 0x11) -> RtlModule:
+    """Pushes exposure and gain over I²C after each parameter update."""
+    b = RtlBuilder("cam_ctrl_rtl")
+    params_valid = b.input("params_valid", bit())
+    exposure = b.input("exposure", unsigned(8))
+    gain = b.input("gain", unsigned(8))
+    i2c_busy = b.input("i2c_busy", bit())
+    i2c_done = b.input("i2c_done", bit())
+
+    state = b.register("state", unsigned(3), C_WAIT)
+    expo_r = b.register("expo_r", unsigned(8), 0)
+    gain_r = b.register("gain_r", unsigned(8), 0)
+
+    in_wait = Read(state).eq(C_WAIT)
+    in_req_e = Read(state).eq(C_REQ_E)
+    in_busy_e = Read(state).eq(C_BUSY_E)
+    in_req_g = Read(state).eq(C_REQ_G)
+    in_busy_g = Read(state).eq(C_BUSY_G)
+
+    def code(value: int) -> Expr:
+        return Const(unsigned(3), value)
+
+    b.next(state, mux(in_wait, mux(params_valid, code(C_REQ_E),
+                                   code(C_WAIT)),
+                      mux(in_req_e, mux(i2c_busy, code(C_BUSY_E),
+                                        code(C_REQ_E)),
+                          mux(in_busy_e, mux(i2c_done, code(C_REQ_G),
+                                             code(C_BUSY_E)),
+                              mux(in_req_g, mux(i2c_busy, code(C_BUSY_G),
+                                                code(C_REQ_G)),
+                                  mux(i2c_done, code(C_WAIT),
+                                      code(C_BUSY_G)))))))
+    latch = in_wait & params_valid
+    b.next(expo_r, mux(latch, exposure, Read(expo_r)))
+    b.next(gain_r, mux(latch, gain, Read(gain_r)))
+
+    b.output("i2c_start", in_req_e | in_req_g)
+    b.output("i2c_dev", Const(unsigned(7), camera_addr))
+    b.output("i2c_reg", mux(in_req_g | in_busy_g,
+                            Const(unsigned(8), reg_gain),
+                            Const(unsigned(8), reg_exposure)))
+    b.output("i2c_data", mux(in_req_g | in_busy_g, Read(gain_r),
+                             Read(expo_r)))
+    b.output("ctrl_busy", in_req_e | in_busy_e | in_req_g | in_busy_g)
+    return b.build()
+
+
+def expocu_rtl(frame_pixels: int = 256, target: int = 128,
+               count_bits: int = 12, i2c_divider: int = 4) -> RtlModule:
+    """The full baseline ExpoCU, same ports as the OSSS top level."""
+    b = RtlBuilder("expocu_rtl")
+    pix = b.input("pix", unsigned(8))
+    pix_valid = b.input("pix_valid", bit())
+    line_strobe = b.input("line_strobe", bit())
+    frame_strobe = b.input("frame_strobe", bit())
+    sda_in = b.input("sda_in", bit())
+
+    sync = b.instance("sync", sync_rtl(), pix_valid=pix_valid,
+                      line_strobe=line_strobe, frame_strobe=frame_strobe)
+    hist = b.instance(
+        "hist", histogram_rtl(count_bits),
+        pix=pix,
+        pix_valid=sync.output("pix_valid_sync"),
+        frame_start=sync.output("frame_start"),
+    )
+    thresh_kwargs = {
+        f"hist{i}": hist.output(f"hist{i}") for i in range(8)
+    }
+    thresh = b.instance(
+        "thresh", threshold_rtl(count_bits, frame_pixels),
+        hist_valid=hist.output("hist_valid"), **thresh_kwargs,
+    )
+    params = b.instance(
+        "params", params_rtl(target),
+        mean=thresh.output("mean"),
+        stats_valid=thresh.output("stats_valid"),
+    )
+    ctrl = b.instance(
+        "ctrl", cam_ctrl_rtl(),
+        params_valid=params.output("params_valid"),
+        exposure=params.output("exposure"),
+        gain=params.output("gain"),
+    )
+    i2c = b.instance(
+        "i2c", i2c_rtl(i2c_divider),
+        start=ctrl.output("i2c_start"),
+        dev_addr=ctrl.output("i2c_dev"),
+        reg_addr=ctrl.output("i2c_reg"),
+        data=ctrl.output("i2c_data"),
+        sda_in=sda_in,
+    )
+    ctrl.connect("i2c_busy", i2c.output("busy"))
+    ctrl.connect("i2c_done", i2c.output("done"))
+
+    b.output("scl", i2c.output("scl"))
+    b.output("sda_out", i2c.output("sda_out"))
+    b.output("sda_oe", i2c.output("sda_oe"))
+    b.output("exposure", params.output("exposure"))
+    b.output("gain", params.output("gain"))
+    b.output("mean", thresh.output("mean"))
+    b.output("too_dark", thresh.output("too_dark"))
+    b.output("too_bright", thresh.output("too_bright"))
+    b.output("ctrl_busy", ctrl.output("ctrl_busy"))
+    return b.build()

@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small utilities around the flow, useful for poking at the reproduction
+without writing a script:
+
+``demo``      run the closed-loop auto-exposure system and print per-frame
+              convergence (the headline scenario).
+``synth``     synthesize the ExpoCU (OSSS flow), print the synthesis
+              report and optionally write Verilog.
+``flows``     run both flows and print the §12 comparison + Fig. 12 table.
+``resolve``   print the Fig. 7 procedural intermediate of the paper's
+              SyncRegister example.
+``effort``    print the E8 effort-metric table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.expocu import CameraModel, ExpoCU
+    from repro.hdl import Clock, Module, NS, Signal, Simulator
+    from repro.types import Bit
+    from repro.types.spec import bit
+
+    top = Module("system")
+    top.clk = Clock("clk", 15 * NS)
+    top.rst = Signal("rst", bit(), Bit(1))
+    top.cam = CameraModel("cam", top.clk, top.rst, width=16, height=16,
+                          scene_mean=args.scene_mean)
+    top.dut = ExpoCU[16, 16]("expocu", top.clk, top.rst)
+    for port in ("pix", "pix_valid", "line_strobe", "frame_strobe"):
+        top.dut.port(port).bind(top.cam.port(port))
+    top.cam.port("scl").bind(top.dut.port("scl"))
+    top.cam.port("sda_master").bind(top.dut.port("sda_out"))
+    top.cam.port("sda_oe").bind(top.dut.port("sda_oe"))
+    top.dut.port("sda_in").bind(top.cam.port("sda_in"))
+    sim = Simulator(top)
+    sim.run(10 * 15 * NS)
+    top.rst.write(0)
+    print("frame | mean  | exposure | gain")
+    for frame in range(args.frames):
+        sim.run(700 * 15 * NS)
+        print(f"{frame:5d} | {top.cam.mean_pixel():5.1f} | "
+              f"{top.cam.exposure:8d} | {top.cam.gain:4d}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from repro.expocu import ExpoCU
+    from repro.hdl import Clock, NS, Signal
+    from repro.synth import synthesize
+    from repro.synth.report import design_report
+    from repro.types import Bit
+    from repro.types.spec import bit
+
+    module = ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
+                            Signal("rst", bit(), Bit(1)))
+    rtl = synthesize(module, observe_children=False)
+    print(design_report(module, rtl))
+    if args.verilog:
+        from repro.rtl.verilog import to_verilog
+
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(to_verilog(rtl))
+        print(f"\nbehavioral Verilog written to {args.verilog}")
+    if args.netlist:
+        from repro.netlist import map_module, optimize
+        from repro.netlist.verilog import (
+            netlist_stats_comment,
+            to_structural_verilog,
+        )
+
+        circuit = map_module(rtl)
+        optimize(circuit)
+        with open(args.netlist, "w", encoding="utf-8") as handle:
+            handle.write(netlist_stats_comment(circuit))
+            handle.write(to_structural_verilog(circuit))
+        print(f"structural netlist written to {args.netlist}")
+    return 0
+
+
+def _cmd_flows(args: argparse.Namespace) -> int:
+    from repro.baseline import expocu_rtl
+    from repro.eval import (
+        flow_comparison,
+        module_inventory,
+        run_osss_flow,
+        run_vhdl_flow,
+    )
+    from repro.expocu import ExpoCU
+    from repro.hdl import Clock, NS, Signal
+    from repro.types import Bit
+    from repro.types.spec import bit
+
+    osss = run_osss_flow(
+        ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
+                       Signal("rst", bit(), Bit(1))), "osss")
+    vhdl = run_vhdl_flow(expocu_rtl(), "vhdl")
+    print(flow_comparison(osss, vhdl))
+    print()
+    print(module_inventory(osss))
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.expocu import SyncRegister
+    from repro.synth.codegen import resolve_class_text
+
+    print(resolve_class_text(SyncRegister[args.regsize, args.resetvalue]))
+    return 0
+
+
+def _cmd_effort(args: argparse.Namespace) -> int:
+    from repro.eval import format_table, i2c_effort_comparison
+
+    rows = [record.as_dict()
+            for record in i2c_effort_comparison().values()]
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PyOSSS — OSSS methodology reproduction (DATE 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="closed-loop auto-exposure demo")
+    demo.add_argument("--frames", type=int, default=10)
+    demo.add_argument("--scene-mean", type=int, default=100)
+    demo.set_defaults(func=_cmd_demo)
+
+    synth = sub.add_parser("synth", help="synthesize the ExpoCU")
+    synth.add_argument("--verilog", help="write behavioral Verilog here")
+    synth.add_argument("--netlist", help="write structural netlist here")
+    synth.set_defaults(func=_cmd_synth)
+
+    flows = sub.add_parser("flows", help="both flows, §12 comparison")
+    flows.set_defaults(func=_cmd_flows)
+
+    resolve = sub.add_parser("resolve",
+                             help="Fig. 7 intermediate of SyncRegister")
+    resolve.add_argument("--regsize", type=int, default=4)
+    resolve.add_argument("--resetvalue", type=int, default=0)
+    resolve.set_defaults(func=_cmd_resolve)
+
+    effort = sub.add_parser("effort", help="E8 effort metrics")
+    effort.set_defaults(func=_cmd_effort)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

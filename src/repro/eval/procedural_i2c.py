@@ -1,0 +1,154 @@
+"""The I²C master in *plain procedural SystemC* style (claim R8).
+
+The paper estimates the I²C master at ~2 days in pure SystemC versus 1 day
+with OSSS.  This is that middle style, written the way a plain-SystemC
+author (no OSSS objects, no behavioral helpers) schedules a clocked thread:
+one flat generator with hand-managed phase/bit/byte counters and explicitly
+sequenced waits.  It is functionally interchangeable with
+:class:`repro.expocu.i2c.I2cMaster` and synthesizes through the same flow —
+only the authoring style differs, which is what the effort metrics compare.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.osss import template
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+@template("DIVIDER")
+class ProceduralI2cMaster(Module):
+    """Write-only I²C master, flat procedural coding style."""
+
+    start = Input(bit())
+    dev_addr = Input(unsigned(7))
+    reg_addr = Input(unsigned(8))
+    data = Input(unsigned(8))
+    sda_in = Input(bit())
+    scl = Output(bit())
+    sda_out = Output(bit())
+    sda_oe = Output(bit())
+    busy = Output(bit())
+    done = Output(bit())
+    ack_error = Output(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.scl.write(Bit(1))
+        self.sda_out.write(Bit(1))
+        self.sda_oe.write(Bit(1))
+        self.busy.write(Bit(0))
+        self.done.write(Bit(0))
+        self.ack_error.write(Bit(0))
+        yield
+        while True:
+            if not self.start.read():
+                self.done.write(Bit(0))
+                yield
+                continue
+            self.busy.write(Bit(1))
+            self.done.write(Bit(0))
+            self.ack_error.write(Bit(0))
+            device = self.dev_addr.read()
+            register = self.reg_addr.read()
+            payload = self.data.read()
+            # START condition, sequenced by explicit quarter waits.
+            self.sda_oe.write(Bit(1))
+            self.sda_out.write(Bit(1))
+            self.scl.write(Bit(1))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            self.sda_out.write(Bit(0))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            self.scl.write(Bit(0))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            # Three bytes, fully inline: byte select, bit loop, ack slot.
+            nack = Bit(0)
+            byte_index = Unsigned(2, 0)
+            while byte_index < 3:
+                if byte_index == 0:
+                    shift = (device.resized(8) << 1).resized(8)
+                elif byte_index == 1:
+                    shift = register
+                else:
+                    shift = payload
+                bit_index = Unsigned(4, 0)
+                while bit_index < 8:
+                    self.sda_oe.write(Bit(1))
+                    self.sda_out.write(shift.bit(7))
+                    shift = (shift << 1).resized(8)
+                    pause = Unsigned(16, 0)
+                    while pause < self.DIVIDER:
+                        pause = (pause + 1).resized(16)
+                        yield
+                    self.scl.write(Bit(1))
+                    pause = Unsigned(16, 0)
+                    while pause < self.DIVIDER:
+                        pause = (pause + 1).resized(16)
+                        yield
+                    pause = Unsigned(16, 0)
+                    while pause < self.DIVIDER:
+                        pause = (pause + 1).resized(16)
+                        yield
+                    self.scl.write(Bit(0))
+                    pause = Unsigned(16, 0)
+                    while pause < self.DIVIDER:
+                        pause = (pause + 1).resized(16)
+                        yield
+                    bit_index = (bit_index + 1).resized(4)
+                # Acknowledge slot.
+                self.sda_oe.write(Bit(0))
+                pause = Unsigned(16, 0)
+                while pause < self.DIVIDER:
+                    pause = (pause + 1).resized(16)
+                    yield
+                self.scl.write(Bit(1))
+                pause = Unsigned(16, 0)
+                while pause < self.DIVIDER:
+                    pause = (pause + 1).resized(16)
+                    yield
+                nack = nack | self.sda_in.read()
+                pause = Unsigned(16, 0)
+                while pause < self.DIVIDER:
+                    pause = (pause + 1).resized(16)
+                    yield
+                self.scl.write(Bit(0))
+                pause = Unsigned(16, 0)
+                while pause < self.DIVIDER:
+                    pause = (pause + 1).resized(16)
+                    yield
+                byte_index = (byte_index + 1).resized(2)
+            if nack:
+                self.ack_error.write(Bit(1))
+            # STOP condition.
+            self.sda_oe.write(Bit(1))
+            self.sda_out.write(Bit(0))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            self.scl.write(Bit(1))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            self.sda_out.write(Bit(1))
+            pause = Unsigned(16, 0)
+            while pause < self.DIVIDER:
+                pause = (pause + 1).resized(16)
+                yield
+            self.busy.write(Bit(0))
+            self.done.write(Bit(1))
+            yield

@@ -1,0 +1,78 @@
+"""Parameter sweeps over template parameters (deliverable-d harness).
+
+The OSSS selling point exercised here is that **templates make design-space
+exploration one-liners**: a sweep re-specializes the same source with
+different template arguments and pushes each specialization through the
+full flow.  Used by ``bench_sweep_params.py`` and available for ad-hoc
+exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.eval.flows import FlowResult
+
+
+class SweepPoint:
+    """One synthesized design point."""
+
+    def __init__(self, params: Mapping[str, Any],
+                 result: FlowResult) -> None:
+        self.params = dict(params)
+        self.result = result
+
+    def row(self) -> dict[str, Any]:
+        """Flat record for tables."""
+        record: dict[str, Any] = dict(self.params)
+        record.update({
+            "area_ge": round(self.result.area, 1),
+            "cells": self.result.cells,
+            "flops": len(self.result.circuit.flops()),
+            "fmax_mhz": round(self.result.timing.fmax_mhz, 1),
+        })
+        return record
+
+    def __repr__(self) -> str:
+        return f"SweepPoint({self.params}, area={self.result.area:.0f})"
+
+
+def sweep(
+    factory: Callable[..., Any],
+    points: Iterable[Mapping[str, Any]],
+    flow: Callable[[Any], FlowResult] | None = None,
+) -> list[SweepPoint]:
+    """Synthesize ``factory(**params)`` for every parameter point.
+
+    *factory* returns a fresh kernel-level module for the given parameters;
+    *flow* defaults to :func:`repro.eval.flows.run_osss_flow`.
+    """
+    if flow is None:
+        from repro.eval.flows import run_osss_flow
+
+        flow = run_osss_flow
+    results = []
+    for params in points:
+        module = factory(**params)
+        results.append(SweepPoint(params, flow(module)))
+    return results
+
+
+def grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """Cartesian product of named axes as parameter dictionaries."""
+    names = list(axes)
+    points: list[dict[str, Any]] = [{}]
+    for name in names:
+        points = [dict(p, **{name: value})
+                  for p in points for value in axes[name]]
+    return points
+
+
+def monotonic(rows: Sequence[Mapping[str, Any]], x: str, y: str,
+              strict: bool = False) -> bool:
+    """True if *y* is (weakly) increasing along increasing *x*."""
+    ordered = sorted(rows, key=lambda r: r[x])
+    values = [r[y] for r in ordered]
+    if strict:
+        return all(a < b for a, b in zip(values, values[1:]))
+    return all(a <= b for a, b in zip(values, values[1:]))

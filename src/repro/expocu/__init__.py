@@ -1,0 +1,36 @@
+"""The ExpoCU design example (paper §2), OSSS style, plus the camera model."""
+
+from repro.expocu.alu import ALU_CLASSES, AluAdd, AluMax, AluMul, AluOp, AluSub, PolyAluUnit
+from repro.expocu.camera import CAMERA_ADDR, REG_EXPOSURE, REG_GAIN, CameraModel, make_scene
+from repro.expocu.expoparams import ExpoParamsUnit, SharedMultiplier
+from repro.expocu.histogram import HistogramBins, HistogramUnit
+from repro.expocu.i2c import I2cMaster
+from repro.expocu.resetctl import ResetCtl
+from repro.expocu.syncreg import CamSync, SyncRegister
+from repro.expocu.threshold import ThresholdUnit
+from repro.expocu.top import ExpoCU
+
+__all__ = [
+    "ALU_CLASSES",
+    "AluAdd",
+    "AluMax",
+    "AluMul",
+    "AluOp",
+    "AluSub",
+    "CAMERA_ADDR",
+    "CamSync",
+    "CameraModel",
+    "ExpoCU",
+    "ExpoParamsUnit",
+    "HistogramBins",
+    "HistogramUnit",
+    "I2cMaster",
+    "PolyAluUnit",
+    "REG_EXPOSURE",
+    "REG_GAIN",
+    "ResetCtl",
+    "SharedMultiplier",
+    "SyncRegister",
+    "ThresholdUnit",
+    "make_scene",
+]

@@ -1,0 +1,111 @@
+"""The polymorphic ALU family (paper §6).
+
+The paper's polymorphism example: *"simply select between different ALU
+instantiations (e.g. +, *, -) but keeping the same access methods"*.  Used
+by the E4 benchmark and the polymorphism example application; the ExpoCU
+itself keeps its datapath monomorphic, as the Bosch design did.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.osss import HwClass, PolyVar
+from repro.types import Unsigned
+from repro.types.spec import unsigned
+
+
+class AluOp(HwClass):
+    """Common ALU interface: ``execute(a, b)`` with a result accumulator."""
+
+    abstract = True
+
+    @classmethod
+    def layout(cls):
+        return {"last_result": unsigned(16)}
+
+    def execute(self, a: unsigned(8), b: unsigned(8)) -> unsigned(16):
+        """Perform the operation; also records it in ``last_result``."""
+        raise NotImplementedError
+
+    def read_back(self) -> unsigned(16):
+        """The most recent result (shared base behaviour)."""
+        return self.last_result
+
+
+class AluAdd(AluOp):
+    """Addition unit."""
+
+    def execute(self, a: unsigned(8), b: unsigned(8)) -> unsigned(16):
+        self.last_result = (a + b).resized(16)
+        return self.last_result
+
+
+class AluSub(AluOp):
+    """Subtraction unit (wraps modulo 2^16)."""
+
+    def execute(self, a: unsigned(8), b: unsigned(8)) -> unsigned(16):
+        self.last_result = (a - b).resized(16)
+        return self.last_result
+
+
+class AluMul(AluOp):
+    """Multiplication unit."""
+
+    def execute(self, a: unsigned(8), b: unsigned(8)) -> unsigned(16):
+        self.last_result = a * b
+        return self.last_result
+
+
+class AluMax(AluOp):
+    """Maximum unit (branchy override: muxes inside the inlined body)."""
+
+    def execute(self, a: unsigned(8), b: unsigned(8)) -> unsigned(16):
+        if a > b:
+            self.last_result = a.resized(16)
+        else:
+            self.last_result = b.resized(16)
+        return self.last_result
+
+
+#: The dynamic-class set used by benches and examples, in tag order.
+ALU_CLASSES = (AluAdd, AluSub, AluMul, AluMax)
+
+
+class PolyAluUnit(Module):
+    """A small module dispatching over the polymorphic ALU each cycle.
+
+    ``op_select`` picks the dynamic class; the *same* ``execute`` interface
+    runs whatever object is currently assigned — §8's tag-selected
+    multiplexers in the netlist.
+    """
+
+    op_select = Input(unsigned(2))
+    a = Input(unsigned(8))
+    b = Input(unsigned(8))
+    result = Output(unsigned(16))
+    history = Output(unsigned(16))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.alu = PolyVar(AluOp, ALU_CLASSES)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.result.write(Unsigned(16, 0))
+        self.history.write(Unsigned(16, 0))
+        yield
+        while True:
+            select = self.op_select.read()
+            if select == 0:
+                self.alu.assign(AluAdd())
+            elif select == 1:
+                self.alu.assign(AluSub())
+            elif select == 2:
+                self.alu.assign(AluMul())
+            else:
+                self.alu.assign(AluMax())
+            yield
+            value = self.alu.execute(self.a.read(), self.b.read())
+            self.result.write(value)
+            self.history.write(self.alu.read_back())
+            yield

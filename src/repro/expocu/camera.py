@@ -1,0 +1,201 @@
+"""Synthetic camera and scene model (testbench substitute, DESIGN.md §2).
+
+The paper evaluated the ExpoCU against a real CMOS imager; this module is
+the simulated stand-in: a deterministic scene (LCG-generated brightness
+field), a sensor response ``pixel = clip(scene · exposure · gain / 2^13)``
+with optional quantized noise, a pixel/line/frame strobe generator, and an
+I²C slave that decodes the ExpoCU's register writes (0x10 exposure, 0x11
+gain) — closing the same control loop the real hardware closes.
+
+This model is testbench-only (never synthesized), so it uses full Python.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+#: I²C register map of the simulated imager.
+REG_EXPOSURE = 0x10
+REG_GAIN = 0x11
+#: Default 7-bit device address.
+CAMERA_ADDR = 0x21
+
+
+def make_scene(width: int, height: int, mean: int, seed: int = 1,
+               spread: int = 60) -> list[int]:
+    """Deterministic brightness field with the requested mean (LCG)."""
+    state = seed & 0x7FFFFFFF or 1
+    values = []
+    for _ in range(width * height):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        offset = (state >> 16) % (2 * spread + 1) - spread
+        values.append(max(0, min(255, mean + offset)))
+    return values
+
+
+class CameraModel(Module):
+    """Scene + sensor + strobe generator + I²C slave (testbench only).
+
+    Parameters
+    ----------
+    width, height:
+        Frame geometry in pixels.
+    scene_mean:
+        Mean brightness of the generated scene (before exposure).
+    blanking:
+        Idle cycles between lines and frames.
+    noise:
+        If nonzero, adds a deterministic ±noise dither to each pixel.
+    """
+
+    pix = Output(unsigned(8))
+    pix_valid = Output(bit())
+    line_strobe = Output(bit())
+    frame_strobe = Output(bit())
+    scl = Input(bit())
+    sda_master = Input(bit())
+    sda_oe = Input(bit())
+    sda_in = Output(bit())
+
+    def __init__(self, name, clk, rst, width=16, height=16,
+                 scene_mean=110, blanking=6, noise=0, seed=1):
+        super().__init__(name)
+        self.width = width
+        self.height = height
+        self.noise = noise
+        self.scene = make_scene(width, height, scene_mean, seed)
+        #: Sensor registers, written over I²C by the ExpoCU.
+        self.exposure = 128
+        self.gain = 64
+        self.blanking = blanking
+        self.frames_sent = 0
+        self.register_log: list[tuple[int, int]] = []
+        self.cthread(self.stream, clock=clk, reset=rst)
+        self.cthread(self.i2c_slave, clock=clk, reset=rst)
+
+    # ------------------------------------------------------------------
+    # sensor model
+    # ------------------------------------------------------------------
+    def sensor_value(self, index: int) -> int:
+        """Pixel response: scene × exposure × gain / 2^13, clipped."""
+        raw = self.scene[index] * self.exposure * self.gain
+        value = raw >> 13
+        if self.noise:
+            dither = ((index * 2654435761) >> 8) % (2 * self.noise + 1)
+            value += dither - self.noise
+        return max(0, min(255, value))
+
+    def mean_pixel(self) -> float:
+        """Current frame-average pixel value (for test assertions)."""
+        total = sum(self.sensor_value(i)
+                    for i in range(self.width * self.height))
+        return total / (self.width * self.height)
+
+    # ------------------------------------------------------------------
+    # video timing
+    # ------------------------------------------------------------------
+    def stream(self):
+        """Frame loop: frame strobe, then lines of valid pixels."""
+        self.pix.write(Unsigned(8, 0))
+        self.pix_valid.write(Bit(0))
+        self.line_strobe.write(Bit(0))
+        self.frame_strobe.write(Bit(0))
+        yield
+        while True:
+            # Frame strobe: two cycles high so the synchronizer sees it.
+            self.frame_strobe.write(Bit(1))
+            yield
+            yield
+            self.frame_strobe.write(Bit(0))
+            for _ in range(self.blanking):
+                yield
+            for row in range(self.height):
+                self.line_strobe.write(Bit(1))
+                yield
+                yield
+                self.line_strobe.write(Bit(0))
+                for col in range(self.width):
+                    index = row * self.width + col
+                    self.pix.write(Unsigned(8, self.sensor_value(index)))
+                    self.pix_valid.write(Bit(1))
+                    yield
+                self.pix_valid.write(Bit(0))
+                for _ in range(self.blanking):
+                    yield
+            self.frames_sent += 1
+
+    # ------------------------------------------------------------------
+    # I²C slave
+    # ------------------------------------------------------------------
+    def _sda_level(self) -> int:
+        """Resolved SDA as the slave sees it (open-drain pull-up)."""
+        if int(self.sda_oe.read()):
+            return int(self.sda_master.read())
+        return 1
+
+    def i2c_slave(self):
+        """Bit-level I²C write decoder driving the sensor registers."""
+        self.sda_in.write(Bit(1))
+        prev_scl = 1
+        prev_sda = 1
+        receiving = False
+        bits = 0
+        shift = 0
+        byte_index = 0
+        reg_addr = None
+        yield
+        while True:
+            scl = int(self.scl.read())
+            sda = self._sda_level()
+            if receiving and scl and prev_scl and prev_sda and not sda:
+                pass  # repeated start (not used by the master)
+            if not receiving:
+                if prev_scl and scl and prev_sda and not sda:
+                    receiving = True
+                    bits = 0
+                    shift = 0
+                    byte_index = 0
+                    reg_addr = None
+            else:
+                # STOP: SDA rises while SCL high.
+                if prev_scl and scl and not prev_sda and sda:
+                    receiving = False
+                    self.sda_in.write(Bit(1))
+                elif scl and not prev_scl:
+                    # Rising edge: either a data bit or the ACK slot.
+                    if bits < 8:
+                        shift = ((shift << 1) | sda) & 0xFF
+                        bits += 1
+                        if bits == 8:
+                            # Prepare ACK: drive SDA low for the ack bit.
+                            self.sda_in.write(Bit(0))
+                    else:
+                        # Ack slot just sampled by the master.
+                        pass
+                elif not scl and prev_scl:
+                    # Falling edge after the ack slot: book the byte.
+                    if bits == 8:
+                        bits = 9
+                    elif bits == 9:
+                        self.sda_in.write(Bit(1))
+                        if byte_index == 0:
+                            pass  # address byte; we accept any address
+                        elif byte_index == 1:
+                            reg_addr = shift
+                        elif byte_index == 2 and reg_addr is not None:
+                            self._write_register(reg_addr, shift)
+                        byte_index += 1
+                        bits = 0
+                        shift = 0
+            prev_scl = scl
+            prev_sda = sda
+            yield
+
+    def _write_register(self, reg: int, value: int) -> None:
+        self.register_log.append((reg, value))
+        if reg == REG_EXPOSURE:
+            self.exposure = max(1, value)
+        elif reg == REG_GAIN:
+            self.gain = max(1, value)

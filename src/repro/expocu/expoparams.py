@@ -1,0 +1,190 @@
+"""Exposure parameter calculation (paper §2).
+
+The control-flow-dominated stage with a *"budget of some thousand clock
+periods"*: from the frame's mean luminance it computes the next exposure
+time and analog gain.  It showcases the OSSS **global object** feature —
+one guarded multiplier (:class:`SharedMultiplier`) arbitrated between the
+exposure thread and the gain thread — plus a bit-serial restoring divider
+written as a plain ``while``/``yield`` loop.
+
+Algorithm (classic multiplicative AE servo):
+
+* ``exposure' = clamp(exposure ± (|target - mean| * KP * exposure) >> 12)``
+  — the proportional step is scaled by the current exposure so convergence
+  is geometric, like real AE loops;
+* ``gain_target = (TARGET << 6) / max(mean, 1)`` via the serial divider,
+  then IIR-smoothed ``gain' = (3*gain + gain_target) >> 2`` using the
+  shared multiplier again.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.hdl.signal import Signal
+from repro.osss import HwClass, SharedObject, template
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class SharedMultiplier(HwClass):
+    """The guarded multiplier object (the paper's shared-ALU example §6).
+
+    A tiny bookkeeping member counts served operations, giving the object
+    real state so arbitration bugs would corrupt results visibly.
+    """
+
+    @classmethod
+    def layout(cls):
+        return {"op_count": unsigned(16)}
+
+    def multiply(self, a: unsigned(16), b: unsigned(8)) -> unsigned(24):
+        """16×8 unsigned multiply."""
+        self.op_count = (self.op_count + 1).resized(16)
+        return a * b
+
+    def square(self, a: unsigned(8)) -> unsigned(16):
+        """8-bit square (second method exercises method dispatch)."""
+        self.op_count = (self.op_count + 1).resized(16)
+        return a * a
+
+
+@template("TARGET", KP=3, EXPOSURE_MIN=1, EXPOSURE_MAX=255)
+class ExpoParamsUnit(Module):
+    """Computes exposure time and gain from the frame statistics.
+
+    Template parameters
+    -------------------
+    TARGET:
+        Desired mean luminance (0..255).
+    KP:
+        Proportional constant of the exposure servo.
+    EXPOSURE_MIN / EXPOSURE_MAX:
+        Clamp range for the exposure register.
+    """
+
+    mean = Input(unsigned(8))
+    stats_valid = Input(bit())
+    exposure = Output(unsigned(8))
+    gain = Output(unsigned(8))
+    params_valid = Output(bit())
+    busy = Output(bit())
+
+    def __init__(self, name, clk, rst, shared: SharedObject | None = None):
+        super().__init__(name)
+        if shared is None:
+            shared = SharedObject(f"{name}_mul", SharedMultiplier())
+        self.shared = shared
+        self.expo_port = shared.client_port(f"{name}_expo")
+        self.gain_port = shared.client_port(f"{name}_gain")
+        self.gain_go = Signal("gain_go", bit())
+        self.gain_done = Signal("gain_done", bit())
+        self.cthread(self.exposure_calc, clock=clk, reset=rst)
+        self.cthread(self.gain_calc, clock=clk, reset=rst)
+
+    # ------------------------------------------------------------------
+    # exposure servo (client 0 of the shared multiplier)
+    # ------------------------------------------------------------------
+    def exposure_calc(self):
+        """Proportional exposure update, multiplicative in exposure."""
+        exposure = Unsigned(8, 128)
+        self.exposure.write(exposure)
+        self.params_valid.write(Bit(0))
+        self.busy.write(Bit(0))
+        self.gain_go.write(Bit(0))
+        yield
+        while True:
+            if not self.stats_valid.read():
+                self.params_valid.write(Bit(0))
+                yield
+                continue
+            self.busy.write(Bit(1))
+            self.params_valid.write(Bit(0))
+            self.gain_go.write(Bit(1))
+            mean = self.mean.read()
+            yield
+            self.gain_go.write(Bit(0))
+            if mean < self.TARGET:
+                error = (Unsigned(8, self.TARGET) - mean).resized(8)
+                darker = Bit(0)
+            else:
+                error = (mean - self.TARGET).resized(8)
+                darker = Bit(1)
+            # step = (error * KP * exposure) >> 12, via the shared object.
+            scaled = yield from self.expo_port.call(
+                "multiply", error.resized(16), Unsigned(8, self.KP)
+            )
+            step16 = (scaled >> 4).resized(16)
+            product = yield from self.expo_port.call(
+                "multiply", step16, exposure
+            )
+            step = (product >> 8).resized(8)
+            if step == 0:
+                step = Unsigned(8, 1)
+            if darker:
+                if exposure > step:
+                    exposure = (exposure - step).resized(8)
+                else:
+                    exposure = Unsigned(8, self.EXPOSURE_MIN)
+            else:
+                headroom = (Unsigned(8, self.EXPOSURE_MAX) - exposure)
+                if headroom.resized(8) > step:
+                    exposure = (exposure + step).resized(8)
+                else:
+                    exposure = Unsigned(8, self.EXPOSURE_MAX)
+            if exposure < self.EXPOSURE_MIN:
+                exposure = Unsigned(8, self.EXPOSURE_MIN)
+            self.exposure.write(exposure)
+            # Wait for the gain thread before announcing new parameters.
+            while not self.gain_done.read():
+                yield
+            self.params_valid.write(Bit(1))
+            self.busy.write(Bit(0))
+            yield
+
+    # ------------------------------------------------------------------
+    # gain servo (client 1; serial divider + IIR smoothing)
+    # ------------------------------------------------------------------
+    def gain_calc(self):
+        """gain_target = (TARGET << 6) / max(mean, 1); 16-cycle divider."""
+        gain = Unsigned(8, 64)
+        self.gain.write(gain)
+        self.gain_done.write(Bit(0))
+        yield
+        while True:
+            if not self.gain_go.read():
+                yield
+                continue
+            # gain_done is level-held from the previous round; clear it now.
+            self.gain_done.write(Bit(0))
+            mean = self.mean.read()
+            if mean == 0:
+                mean = Unsigned(8, 1)
+            # Restoring division: dividend / mean, one quotient bit/cycle.
+            dividend = Unsigned(22, self.TARGET << 6)
+            remainder = Unsigned(22, 0)
+            quotient = Unsigned(22, 0)
+            count = Unsigned(5, 0)
+            while count < 22:
+                remainder = ((remainder << 1) | dividend.bit(21)) \
+                    .resized(22)
+                dividend = (dividend << 1).resized(22)
+                quotient = (quotient << 1).resized(22)
+                if remainder >= mean.resized(22):
+                    remainder = (remainder - mean.resized(22)).resized(22)
+                    quotient = (quotient | 1).resized(22)
+                count = (count + 1).resized(5)
+                yield
+            if quotient > 255:
+                target_gain = Unsigned(8, 255)
+            else:
+                target_gain = quotient.resized(8)
+            # IIR smoothing: gain = (3*gain + target) >> 2.
+            tripled = yield from self.gain_port.call(
+                "multiply", gain.resized(16), Unsigned(8, 3)
+            )
+            blended = ((tripled.resized(16)
+                        + target_gain.resized(16)) >> 2).resized(8)
+            gain = blended
+            self.gain.write(gain)
+            self.gain_done.write(Bit(1))
+            yield

@@ -1,0 +1,130 @@
+"""Histogram acquisition (paper §2).
+
+The ExpoCU's dataflow-dominated stage: every valid pixel is binned into an
+eight-bin luminance histogram held in a :class:`HistogramBins` hardware
+object; at each frame start the accumulated histogram is latched to the
+outputs and cleared.  This module meets the paper's "cycle time of one
+clock" constraint — one pixel is absorbed per clock.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.osss import HwClass, template
+from repro.types import Unsigned
+from repro.types.spec import bit, unsigned
+
+
+@template("COUNT_BITS")
+class HistogramBins(HwClass):
+    """Eight luminance-histogram counters as one hardware object.
+
+    Template parameter ``COUNT_BITS`` sizes each saturating counter; for a
+    W×H frame it must satisfy ``2**COUNT_BITS > W*H``.
+    """
+
+    @classmethod
+    def layout(cls):
+        return {f"bin{i}": unsigned(cls.COUNT_BITS) for i in range(8)}
+
+    def clear(self) -> None:
+        """Zero all bins (start of frame)."""
+        self.bin0 = Unsigned(self.COUNT_BITS, 0)
+        self.bin1 = Unsigned(self.COUNT_BITS, 0)
+        self.bin2 = Unsigned(self.COUNT_BITS, 0)
+        self.bin3 = Unsigned(self.COUNT_BITS, 0)
+        self.bin4 = Unsigned(self.COUNT_BITS, 0)
+        self.bin5 = Unsigned(self.COUNT_BITS, 0)
+        self.bin6 = Unsigned(self.COUNT_BITS, 0)
+        self.bin7 = Unsigned(self.COUNT_BITS, 0)
+
+    def add(self, index: unsigned(3)) -> None:
+        """Increment the bin selected by the pixel's top three bits."""
+        if index == 0:
+            self.bin0 = (self.bin0 + 1).resized(self.COUNT_BITS)
+        elif index == 1:
+            self.bin1 = (self.bin1 + 1).resized(self.COUNT_BITS)
+        elif index == 2:
+            self.bin2 = (self.bin2 + 1).resized(self.COUNT_BITS)
+        elif index == 3:
+            self.bin3 = (self.bin3 + 1).resized(self.COUNT_BITS)
+        elif index == 4:
+            self.bin4 = (self.bin4 + 1).resized(self.COUNT_BITS)
+        elif index == 5:
+            self.bin5 = (self.bin5 + 1).resized(self.COUNT_BITS)
+        elif index == 6:
+            self.bin6 = (self.bin6 + 1).resized(self.COUNT_BITS)
+        else:
+            self.bin7 = (self.bin7 + 1).resized(self.COUNT_BITS)
+
+    def get(self, index: int):
+        """Read one bin by compile-time index (latching loop unrolls)."""
+        if index == 0:
+            return self.bin0
+        if index == 1:
+            return self.bin1
+        if index == 2:
+            return self.bin2
+        if index == 3:
+            return self.bin3
+        if index == 4:
+            return self.bin4
+        if index == 5:
+            return self.bin5
+        if index == 6:
+            return self.bin6
+        return self.bin7
+
+
+@template("COUNT_BITS", PIX_BITS=8)
+class HistogramUnit(Module):
+    """Per-frame luminance histogram acquisition.
+
+    One pixel per clock; at ``frame_start`` the bins latch to the outputs,
+    ``hist_valid`` pulses for one cycle and the accumulators clear.
+    """
+
+    pix = Input(unsigned(8))
+    pix_valid = Input(bit())
+    frame_start = Input(bit())
+    hist_valid = Output(bit())
+
+    # Latched histogram outputs (declared per template width below).
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        for i in range(8):
+            self.add_port(f"hist{i}", unsigned(self.COUNT_BITS), "out")
+        self.bins = HistogramBins[self.COUNT_BITS]()
+        self.cthread(self.acquire, clock=clk, reset=rst)
+
+    def acquire(self):
+        """Bin pixels; latch and clear at each frame start."""
+        self.bins.clear()
+        self.hist_valid.write(0)
+        self.hist0.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist1.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist2.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist3.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist4.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist5.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist6.write(Unsigned(self.COUNT_BITS, 0))
+        self.hist7.write(Unsigned(self.COUNT_BITS, 0))
+        yield
+        while True:
+            if self.frame_start.read():
+                self.hist0.write(self.bins.get(0))
+                self.hist1.write(self.bins.get(1))
+                self.hist2.write(self.bins.get(2))
+                self.hist3.write(self.bins.get(3))
+                self.hist4.write(self.bins.get(4))
+                self.hist5.write(self.bins.get(5))
+                self.hist6.write(self.bins.get(6))
+                self.hist7.write(self.bins.get(7))
+                self.hist_valid.write(1)
+                self.bins.clear()
+            else:
+                self.hist_valid.write(0)
+                if self.pix_valid.read():
+                    self.bins.add(self.pix.read().range(7, 5).to_unsigned())
+            yield

@@ -1,0 +1,138 @@
+"""I²C bus master (paper §2, §12).
+
+The module behind the paper's development-effort anecdote (*"The
+implementation of a complete I²C master module e.g. took a single day"*).
+Written behaviorally in the OSSS style: the bit-level protocol lives in
+small generator helpers (``yield from self._half_bit()``, ``_send_byte``)
+that the behavioral synthesizer inlines into one FSM — the paper's point
+that *"especially in the implementation of controlling functionality the
+behavioral description has advantages versus RTL coding"*.
+
+Transfer format (write-only register access, the ExpoCU's need):
+START · device address + W · ACK · register address · ACK · data · ACK ·
+STOP.  SDA is modeled open-drain: ``sda_out``/``sda_oe`` outward,
+``sda_in`` for the slave's acknowledge.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.osss import template
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+@template("DIVIDER")
+class I2cMaster(Module):
+    """Write-only I²C master with a templated clock divider.
+
+    Template parameter ``DIVIDER`` is the number of system-clock cycles per
+    quarter SCL period (the paper's 66 MHz system clock with DIVIDER=41
+    gives a ~400 kHz bus).
+    """
+
+    start = Input(bit())
+    dev_addr = Input(unsigned(7))
+    reg_addr = Input(unsigned(8))
+    data = Input(unsigned(8))
+    sda_in = Input(bit())
+    scl = Output(bit())
+    sda_out = Output(bit())
+    sda_oe = Output(bit())
+    busy = Output(bit())
+    done = Output(bit())
+    ack_error = Output(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    # ------------------------------------------------------------------
+    # behavioral helpers (inlined by the synthesizer)
+    # ------------------------------------------------------------------
+    def _quarter(self):
+        """Wait one quarter of an SCL period."""
+        pause = Unsigned(16, 0)
+        while pause < self.DIVIDER:
+            pause = (pause + 1).resized(16)
+            yield
+
+    def _clock_pulse(self):
+        """Raise and lower SCL around the currently driven SDA value."""
+        yield from self._quarter()
+        self.scl.write(Bit(1))
+        yield from self._quarter()
+        yield from self._quarter()
+        self.scl.write(Bit(0))
+        yield from self._quarter()
+
+    def _send_byte(self, byte):
+        """Shift one byte out MSB-first; returns the slave's ACK bit."""
+        index = Unsigned(4, 0)
+        while index < 8:
+            self.sda_oe.write(Bit(1))
+            self.sda_out.write(byte.bit(7))
+            byte = (byte << 1).resized(8)
+            yield from self._clock_pulse()
+            index = (index + 1).resized(4)
+        # Acknowledge slot: release SDA, sample while SCL is high.
+        self.sda_oe.write(Bit(0))
+        yield from self._quarter()
+        self.scl.write(Bit(1))
+        yield from self._quarter()
+        ack_bit = self.sda_in.read()
+        yield from self._quarter()
+        self.scl.write(Bit(0))
+        yield from self._quarter()
+        return ack_bit
+
+    # ------------------------------------------------------------------
+    # main protocol engine
+    # ------------------------------------------------------------------
+    def run(self):
+        """Idle until ``start``; run one full write transfer."""
+        self.scl.write(Bit(1))
+        self.sda_out.write(Bit(1))
+        self.sda_oe.write(Bit(1))
+        self.busy.write(Bit(0))
+        self.done.write(Bit(0))
+        self.ack_error.write(Bit(0))
+        yield
+        while True:
+            if not self.start.read():
+                self.done.write(Bit(0))
+                yield
+                continue
+            self.busy.write(Bit(1))
+            self.done.write(Bit(0))
+            self.ack_error.write(Bit(0))
+            device = self.dev_addr.read()
+            register = self.reg_addr.read()
+            payload = self.data.read()
+            # START: SDA falls while SCL is high.
+            self.sda_oe.write(Bit(1))
+            self.sda_out.write(Bit(1))
+            self.scl.write(Bit(1))
+            yield from self._quarter()
+            self.sda_out.write(Bit(0))
+            yield from self._quarter()
+            self.scl.write(Bit(0))
+            yield from self._quarter()
+            # Address byte: 7-bit device address + write bit (0).
+            address_byte = (device.resized(8) << 1).resized(8)
+            nack1 = yield from self._send_byte(address_byte)
+            nack2 = yield from self._send_byte(register)
+            nack3 = yield from self._send_byte(payload)
+            if nack1 | nack2 | nack3:
+                self.ack_error.write(Bit(1))
+            # STOP: SDA rises while SCL is high.
+            self.sda_oe.write(Bit(1))
+            self.sda_out.write(Bit(0))
+            yield from self._quarter()
+            self.scl.write(Bit(1))
+            yield from self._quarter()
+            self.sda_out.write(Bit(1))
+            yield from self._quarter()
+            self.busy.write(Bit(0))
+            self.done.write(Bit(1))
+            yield

@@ -1,0 +1,42 @@
+"""Reset control (paper §2).
+
+Stretches the external reset into a clean synchronous system reset: after
+the external reset deasserts, the internal reset stays asserted for a
+templated number of cycles so every ExpoCU unit starts from a settled
+state.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Module, Output
+from repro.osss import template
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+@template("STRETCH")
+class ResetCtl(Module):
+    """Synchronous reset stretcher.
+
+    The thread itself is reset by the *external* reset; once released it
+    counts ``STRETCH`` cycles before dropping the internal ``sys_reset``.
+    """
+
+    sys_reset = Output(bit())
+
+    def __init__(self, name, clk, ext_reset):
+        super().__init__(name)
+        self.cthread(self.stretch, clock=clk, reset=ext_reset)
+
+    def stretch(self):
+        """Hold ``sys_reset`` for STRETCH cycles after external release."""
+        count = Unsigned(8, 0)
+        self.sys_reset.write(Bit(1))
+        yield
+        while count < self.STRETCH:
+            count = (count + 1).resized(8)
+            self.sys_reset.write(Bit(1))
+            yield
+        while True:
+            self.sys_reset.write(Bit(0))
+            yield

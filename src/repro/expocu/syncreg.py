@@ -1,0 +1,114 @@
+"""Camera data synchronization (paper §2, Fig. 2–5).
+
+``SyncRegister`` is the paper's running example: a templated shift register
+that captures an asynchronous camera line each clock and exposes edge
+detection on the sampled history.  ``CamSync`` instantiates it exactly like
+the paper's ``SC_MODULE(sync)`` (Fig. 4/5): one register per camera strobe,
+reset in the prologue, ``write``/``rising_edge`` in the clocked loop.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.osss import HwClass, template
+from repro.types import Bit, BitVector
+from repro.types.spec import bit, bits
+
+
+@template("REGSIZE", "RESETVALUE")
+class SyncRegister(HwClass):
+    """A templated synchronizer/history register (paper Fig. 2–3).
+
+    Template parameters
+    -------------------
+    REGSIZE:
+        Number of history bits (synchronization depth).
+    RESETVALUE:
+        Initial/reset contents.
+    """
+
+    @classmethod
+    def layout(cls):
+        return {"value": bits(cls.REGSIZE)}
+
+    def construct(self) -> None:
+        self.value = BitVector(self.REGSIZE, self.RESETVALUE)
+
+    def reset(self) -> None:
+        """Reload the reset value (paper Fig. 5 reset section)."""
+        self.value = BitVector(self.REGSIZE, self.RESETVALUE)
+
+    def write(self, new_value: bit()) -> None:
+        """Shift in one new sample; bit 0 is the newest (paper Fig. 7)."""
+        shifted = self.value.range(self.REGSIZE - 2, 0)
+        self.value = shifted.concat(Bit(new_value))
+
+    def read_bit(self, index: int = 0) -> bit():
+        """The sample captured *index* clocks ago."""
+        return self.value.bit(index)
+
+    def rising_edge(self, index: int = 0) -> bit():
+        """1 when the history shows a 0→1 transition at *index*."""
+        return self.value.bit(index) & ~self.value.bit(index + 1)
+
+    def falling_edge(self, index: int = 0) -> bit():
+        """1 when the history shows a 1→0 transition at *index*."""
+        return ~self.value.bit(index) & self.value.bit(index + 1)
+
+    def stable_high(self) -> bit():
+        """1 when every captured sample is 1 (glitch filter)."""
+        return self.value.reduce_and()
+
+    def __eq__(self, other) -> bit():  # paper Fig. 11
+        """Whole-object comparison (overloaded ``operator ==``)."""
+        if isinstance(other, SyncRegister._template_base_):
+            return self.value == other.value
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(("SyncRegister", self.value))
+
+
+class CamSync(Module):
+    """Synchronizes the camera strobes into the system clock domain.
+
+    Inputs are the raw camera-side line/frame strobes and pixel-valid
+    flag; outputs are clean, one-cycle pulses plus a two-stage-synchronized
+    pixel-valid level.  This is the paper's ``sync`` module scaled to the
+    ExpoCU's needs.
+    """
+
+    pix_valid = Input(bit())
+    line_strobe = Input(bit())
+    frame_strobe = Input(bit())
+    pix_valid_sync = Output(bit())
+    line_start = Output(bit())
+    frame_start = Output(bit())
+
+    #: Synchronizer depth (history bits per strobe).
+    DEPTH = 4
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.valid_reg = SyncRegister[self.DEPTH, 0]()
+        self.line_reg = SyncRegister[self.DEPTH, 0]()
+        self.frame_reg = SyncRegister[self.DEPTH, 0]()
+        self.cthread(self.sync_input, clock=clk, reset=rst)
+
+    def sync_input(self):
+        """Sample all strobes each clock; flag rising edges (Fig. 5)."""
+        self.valid_reg.reset()
+        self.line_reg.reset()
+        self.frame_reg.reset()
+        self.pix_valid_sync.write(Bit(0))
+        self.line_start.write(Bit(0))
+        self.frame_start.write(Bit(0))
+        yield
+        while True:
+            self.valid_reg.write(self.pix_valid.read())
+            self.line_reg.write(self.line_strobe.read())
+            self.frame_reg.write(self.frame_strobe.read())
+            self.pix_valid_sync.write(self.valid_reg.read_bit(1))
+            self.line_start.write(self.line_reg.rising_edge(1))
+            self.frame_start.write(self.frame_reg.rising_edge(1))
+            yield

@@ -1,0 +1,87 @@
+"""Threshold calculation (paper §2).
+
+Consumes a latched histogram, computes the frame's approximate mean
+luminance (constant-weight multiply-accumulate over the bin centers,
+normalized by the power-of-two pixel count) and compares it against the
+templated dark/bright thresholds.  A one-cycle ``stats_valid`` pulse hands
+the statistics to the parameter calculation.
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.types import Bit, Unsigned
+from repro.osss import template
+from repro.types.spec import bit, unsigned
+
+
+@template("COUNT_BITS", "FRAME_PIXELS", LOW_T=64, HIGH_T=192)
+class ThresholdUnit(Module):
+    """Frame statistics: mean luminance plus exposure-range flags.
+
+    Template parameters
+    -------------------
+    COUNT_BITS:
+        Histogram counter width (must match the histogram unit).
+    FRAME_PIXELS:
+        Pixels per frame; **must be a power of two** so the mean reduces to
+        a shift (the paper's VHDL flow made the same choice).
+    LOW_T / HIGH_T:
+        Under-/over-exposure mean thresholds.
+    """
+
+    hist_valid = Input(bit())
+    mean = Output(unsigned(8))
+    too_dark = Output(bit())
+    too_bright = Output(bit())
+    stats_valid = Output(bit())
+
+    #: Bin luminance centers for the 8 × 32-value bins.
+    BIN_CENTERS = (16, 48, 80, 112, 144, 176, 208, 240)
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        if self.FRAME_PIXELS & (self.FRAME_PIXELS - 1):
+            raise ValueError("FRAME_PIXELS must be a power of two")
+        for i in range(8):
+            self.add_port(f"hist{i}", unsigned(self.COUNT_BITS), "in")
+        self.cthread(self.calculate, clock=clk, reset=rst)
+
+    def calculate(self):
+        """Weighted MAC over the bins, one bin per cycle, then normalize."""
+        self.mean.write(Unsigned(8, 0))
+        self.too_dark.write(Bit(0))
+        self.too_bright.write(Bit(0))
+        self.stats_valid.write(Bit(0))
+        yield
+        while True:
+            if self.hist_valid.read():
+                total = Unsigned(24, 0)
+                accum = Unsigned(32, 0)
+                for i in range(8):
+                    weight = self.BIN_CENTERS[i]
+                    count = self.hist_bus(i).read()
+                    total = (total + count).resized(24)
+                    accum = (accum + count * weight).resized(32)
+                    yield
+                shift = self.log2_pixels()
+                mean = (accum >> shift).resized(8)
+                self.mean.write(mean)
+                self.too_dark.write(Bit(1) if mean < self.LOW_T else Bit(0))
+                self.too_bright.write(
+                    Bit(1) if mean > self.HIGH_T else Bit(0)
+                )
+                self.stats_valid.write(Bit(1))
+                yield
+                self.stats_valid.write(Bit(0))
+            else:
+                yield
+
+    def hist_bus(self, index: int):
+        """Compile-time selection of one histogram input port."""
+        return self._ports[f"hist{index}"]
+
+    @classmethod
+    def log2_pixels(cls) -> int:
+        """The normalization shift (``FRAME_PIXELS`` is a power of two)."""
+        return cls.FRAME_PIXELS.bit_length() - 1

@@ -1,0 +1,205 @@
+"""The Exposure Control Unit top level (paper Fig. 1, §2).
+
+Wires the full pipeline — camera data synchronization, histogram
+acquisition, threshold calculation, parameter calculation, I²C bus control
+— and adds the camera-control thread that pushes freshly computed exposure
+and gain values to the imager over I²C, closing the auto-exposure loop.
+
+Module inventory (the paper's §2 list):
+
+=====================  =============================================
+Camera data sync       :class:`repro.expocu.syncreg.CamSync`
+Histogram acquisition  :class:`repro.expocu.histogram.HistogramUnit`
+Threshold calculation  :class:`repro.expocu.threshold.ThresholdUnit`
+Parameter calculation  :class:`repro.expocu.expoparams.ExpoParamsUnit`
+I²C bus control        :class:`repro.expocu.i2c.I2cMaster`
+Reset control          :class:`repro.expocu.resetctl.ResetCtl` (system
+                       level; the synthesized core uses the external
+                       reset directly — a documented tool workaround in
+                       the spirit of the paper's §11)
+=====================  =============================================
+"""
+
+from __future__ import annotations
+
+from repro.hdl import Input, Module, Output
+from repro.hdl.signal import Signal
+from repro.osss import SharedObject, template
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+from repro.expocu.camera import CAMERA_ADDR, REG_EXPOSURE, REG_GAIN
+from repro.expocu.expoparams import ExpoParamsUnit, SharedMultiplier
+from repro.expocu.histogram import HistogramUnit
+from repro.expocu.i2c import I2cMaster
+from repro.expocu.syncreg import CamSync
+from repro.expocu.threshold import ThresholdUnit
+
+
+@template("FRAME_W", "FRAME_H", TARGET=128, I2C_DIVIDER=4, COUNT_BITS=12)
+class ExpoCU(Module):
+    """The complete exposure control unit.
+
+    Template parameters
+    -------------------
+    FRAME_W, FRAME_H:
+        Frame geometry; ``FRAME_W * FRAME_H`` must be a power of two.
+    TARGET:
+        Desired mean luminance.
+    I2C_DIVIDER:
+        System-clock cycles per quarter SCL period.
+    COUNT_BITS:
+        Histogram counter width.
+    """
+
+    # Camera-side video interface.
+    pix = Input(unsigned(8))
+    pix_valid = Input(bit())
+    line_strobe = Input(bit())
+    frame_strobe = Input(bit())
+    # I²C camera control bus.
+    sda_in = Input(bit())
+    scl = Output(bit())
+    sda_out = Output(bit())
+    sda_oe = Output(bit())
+    # Status.
+    exposure = Output(unsigned(8))
+    gain = Output(unsigned(8))
+    mean = Output(unsigned(8))
+    too_dark = Output(bit())
+    too_bright = Output(bit())
+    ctrl_busy = Output(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        frame_pixels = self.FRAME_W * self.FRAME_H
+        count_bits = self.COUNT_BITS
+
+        self.sync = CamSync("sync", clk, rst)
+        self.hist = HistogramUnit[count_bits]("hist", clk, rst)
+        self.thresh = ThresholdUnit[count_bits, frame_pixels](
+            "thresh", clk, rst
+        )
+        shared_mul = SharedObject(f"{name}_mul", SharedMultiplier())
+        self.params = ExpoParamsUnit[self.TARGET](
+            "params", clk, rst, shared=shared_mul
+        )
+        self.i2c = I2cMaster[self.I2C_DIVIDER]("i2c", clk, rst)
+
+        # ----- nets -----
+        def net(label, spec):
+            signal = Signal(label, spec)
+            setattr(self, f"_net_{label}", signal)
+            return signal
+
+        pv_sync = net("pv_sync", bit())
+        frame_start = net("frame_start_net", bit())
+        line_start = net("line_start_net", bit())
+        hist_valid = net("hist_valid_net", bit())
+        stats_valid = net("stats_valid_net", bit())
+        mean_net = net("mean_net", unsigned(8))
+        expo_net = net("expo_net", unsigned(8))
+        gain_net = net("gain_net", unsigned(8))
+        params_valid = net("params_valid_net", bit())
+
+        # ----- camera sync -----
+        self.sync.port("pix_valid").bind(self.port("pix_valid"))
+        self.sync.port("line_strobe").bind(self.port("line_strobe"))
+        self.sync.port("frame_strobe").bind(self.port("frame_strobe"))
+        self.sync.port("pix_valid_sync").bind(pv_sync)
+        self.sync.port("line_start").bind(line_start)
+        self.sync.port("frame_start").bind(frame_start)
+
+        # ----- histogram -----
+        self.hist.port("pix").bind(self.port("pix"))
+        self.hist.port("pix_valid").bind(pv_sync)
+        self.hist.port("frame_start").bind(frame_start)
+        self.hist.port("hist_valid").bind(hist_valid)
+        for i in range(8):
+            bus = net(f"hist_bus{i}", unsigned(count_bits))
+            self.hist.port(f"hist{i}").bind(bus)
+            self.thresh.port(f"hist{i}").bind(bus)
+
+        # ----- threshold -----
+        self.thresh.port("hist_valid").bind(hist_valid)
+        self.thresh.port("mean").bind(mean_net)
+        self.thresh.port("too_dark").bind(self.port("too_dark"))
+        self.thresh.port("too_bright").bind(self.port("too_bright"))
+        self.thresh.port("stats_valid").bind(stats_valid)
+
+        # ----- parameter calculation -----
+        self.params.port("mean").bind(mean_net)
+        self.params.port("stats_valid").bind(stats_valid)
+        self.params.port("exposure").bind(expo_net)
+        self.params.port("gain").bind(gain_net)
+        self.params.port("params_valid").bind(params_valid)
+
+        # ----- I²C -----
+        i2c_start = net("i2c_start", bit())
+        i2c_dev = net("i2c_dev", unsigned(7))
+        i2c_reg = net("i2c_reg", unsigned(8))
+        i2c_data = net("i2c_data", unsigned(8))
+        i2c_busy = net("i2c_busy", bit())
+        i2c_done = net("i2c_done", bit())
+        self.i2c.port("start").bind(i2c_start)
+        self.i2c.port("dev_addr").bind(i2c_dev)
+        self.i2c.port("reg_addr").bind(i2c_reg)
+        self.i2c.port("data").bind(i2c_data)
+        self.i2c.port("busy").bind(i2c_busy)
+        self.i2c.port("done").bind(i2c_done)
+        self.i2c.port("sda_in").bind(self.port("sda_in"))
+        self.i2c.port("scl").bind(self.port("scl"))
+        self.i2c.port("sda_out").bind(self.port("sda_out"))
+        self.i2c.port("sda_oe").bind(self.port("sda_oe"))
+
+        # Status mirrors.
+        self.mean_mirror = mean_net
+        self.expo_mirror = expo_net
+        self.gain_mirror = gain_net
+        self.params_valid_net = params_valid
+
+        # Camera-control thread (Fig. 1 "camera control" block).
+        self.cthread(self.cam_ctrl, clock=clk, reset=rst)
+        self.cmethod(
+            self.mirror_status, [mean_net, expo_net, gain_net]
+        )
+
+    # ------------------------------------------------------------------
+    def mirror_status(self):
+        """Combinational status mirror to the top-level ports."""
+        self.mean.write(self.mean_mirror.read())
+        self.exposure.write(self.expo_mirror.read())
+        self.gain.write(self.gain_mirror.read())
+
+    # ------------------------------------------------------------------
+    def _i2c_write(self, register, value):
+        """Drive one I²C register write and wait for completion."""
+        yield  # settle one cycle before asserting start
+        self._net_i2c_start.write(Bit(1))
+        self._net_i2c_reg.write(register)
+        self._net_i2c_data.write(value)
+        while not self._net_i2c_busy.read():
+            yield
+        self._net_i2c_start.write(Bit(0))
+        while not self._net_i2c_done.read():
+            yield
+
+    def cam_ctrl(self):
+        """Push new exposure/gain to the imager whenever params update."""
+        self._net_i2c_start.write(Bit(0))
+        self._net_i2c_reg.write(Unsigned(8, 0))
+        self._net_i2c_data.write(Unsigned(8, 0))
+        self._net_i2c_dev.write(Unsigned(7, CAMERA_ADDR))
+        self.ctrl_busy.write(Bit(0))
+        yield
+        while True:
+            if not self.params_valid_net.read():
+                yield
+                continue
+            self.ctrl_busy.write(Bit(1))
+            exposure = self.expo_mirror.read()
+            gain = self.gain_mirror.read()
+            yield from self._i2c_write(Unsigned(8, REG_EXPOSURE), exposure)
+            yield from self._i2c_write(Unsigned(8, REG_GAIN), gain)
+            self.ctrl_busy.write(Bit(0))
+            yield

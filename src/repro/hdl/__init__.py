@@ -1,0 +1,43 @@
+"""A SystemC-like discrete-event simulation kernel.
+
+Modules, typed signals with delta-cycle update semantics, clocked threads
+(``yield`` = ``wait()``), combinational methods, a deterministic scheduler
+and VCD tracing — the substrate the OSSS methodology layers on top of.
+"""
+
+from repro.hdl.event import Event
+from repro.hdl.kernel import SimulationError, Simulator, current_simulator
+from repro.hdl.module import Input, Module, Output, Port
+from repro.hdl.process import CMethod, CThread, negedge, posedge
+from repro.hdl.signal import Clock, Signal, signal_like
+from repro.hdl.simtime import MS, NS, PS, US, format_time
+from repro.hdl.testbench import ChangeMonitor, Scoreboard, StimulusDriver, collect_outputs
+from repro.hdl.trace import VcdTrace
+
+__all__ = [
+    "CMethod",
+    "ChangeMonitor",
+    "Scoreboard",
+    "StimulusDriver",
+    "collect_outputs",
+    "CThread",
+    "Clock",
+    "Event",
+    "Input",
+    "MS",
+    "Module",
+    "NS",
+    "Output",
+    "PS",
+    "Port",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "US",
+    "VcdTrace",
+    "current_simulator",
+    "format_time",
+    "negedge",
+    "posedge",
+    "signal_like",
+]

@@ -1,0 +1,58 @@
+"""Simulation events.
+
+An :class:`Event` is the primitive processes synchronize on, mirroring
+``sc_event``.  Signals own three events (value changed, positive edge,
+negative edge); processes subscribe statically (SC_METHOD sensitivity,
+SC_CTHREAD clocking) and are scheduled into the next delta cycle whenever a
+subscribed event fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hdl.process import Process
+
+
+class Event:
+    """A notification channel that triggers subscribed processes.
+
+    Events are fired by the kernel during the update phase (signal changes)
+    or explicitly via :meth:`notify`.  Firing schedules every subscribed
+    process for the next delta cycle of the active simulator.
+    """
+
+    __slots__ = ("name", "_subscribers")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._subscribers: list["Process"] = []
+
+    def subscribe(self, process: "Process") -> None:
+        """Statically sensitize *process* to this event."""
+        if process not in self._subscribers:
+            self._subscribers.append(process)
+
+    def unsubscribe(self, process: "Process") -> None:
+        """Remove *process* from the sensitivity list."""
+        if process in self._subscribers:
+            self._subscribers.remove(process)
+
+    @property
+    def subscribers(self) -> tuple["Process", ...]:
+        """The processes currently sensitized to this event."""
+        return tuple(self._subscribers)
+
+    def notify(self) -> None:
+        """Fire the event: schedule all subscribers for the next delta."""
+        import repro.hdl.kernel as kernel
+
+        sim = kernel._CURRENT
+        if sim is None:
+            return
+        for process in self._subscribers:
+            sim.schedule_process(process)
+
+    def __repr__(self) -> str:
+        return f"Event({self.name!r})"

@@ -1,0 +1,228 @@
+"""The discrete-event simulation kernel.
+
+Reproduces the SystemC 2.0 scheduler the paper relies on:
+
+1. **Timed phase** — advance to the earliest pending timestamp and run its
+   timed callbacks (clock toggles, testbench timeouts).
+2. **Update phase** — commit pending signal writes; changed signals fire
+   their events, scheduling statically-sensitive processes.
+3. **Evaluate phase** — run every scheduled process once (deterministic
+   order by process id).  Writes performed here queue new updates.
+4. Repeat update/evaluate as *delta cycles* until quiescent, then return to
+   the timed phase.
+
+A module-level "current simulator" mirrors SystemC's global kernel so that
+``signal.write`` inside process bodies finds the scheduler without plumbing
+(the one deliberate singleton in the library; everything else is explicit).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.hdl.module import Module
+from repro.hdl.process import Process
+from repro.hdl.signal import Clock, Signal
+from repro.hdl.simtime import format_time
+
+_CURRENT: "Simulator | None" = None
+
+
+def current_simulator() -> "Simulator | None":
+    """The most recently activated :class:`Simulator`, if any."""
+    return _CURRENT
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler misuse (e.g. runaway delta cycles)."""
+
+
+class Simulator:
+    """Event-driven simulator for a module hierarchy.
+
+    Parameters
+    ----------
+    top:
+        Root :class:`~repro.hdl.module.Module`.  All descendants, their
+        processes, ports and signals are elaborated.
+    max_delta:
+        Safety limit on delta cycles per timestep; exceeding it indicates a
+        combinational feedback loop and raises :class:`SimulationError`.
+    """
+
+    def __init__(self, top: Module, max_delta: int = 1000) -> None:
+        self.top = top
+        self.max_delta = max_delta
+        self.now = 0
+        self.delta_count = 0
+        self.cycle_hooks: list[Callable[[], None]] = []
+        self._timed: list[tuple[int, int, Callable[[], None]]] = []
+        self._timed_seq = itertools.count()
+        self._runnable: dict[int, Process] = {}
+        self._updates: list[Signal] = []
+        self._started = False
+        self.signals: list[Signal] = []
+        self.clocks: list[Clock] = []
+        self._elaborate()
+        self.activate()
+
+    # ------------------------------------------------------------------
+    # elaboration
+    # ------------------------------------------------------------------
+    def _elaborate(self) -> None:
+        self._assign_names()
+        for sig in self.top.iter_signals():
+            self.signals.append(sig)
+            if isinstance(sig, Clock):
+                self.clocks.append(sig)
+        known = {sig.uid for sig in self.signals}
+        from repro.hdl.process import CThread
+
+        for process in self.top.iter_processes():
+            if isinstance(process, CThread) and process.clock.uid not in known:
+                if isinstance(process.clock, Clock):
+                    # A clock passed into a module but not adopted anywhere
+                    # in the hierarchy would silently never tick.
+                    self.clocks.append(process.clock)
+                    self.signals.append(process.clock)
+                    known.add(process.clock.uid)
+        for clock in self.clocks:
+            self._prime_clock(clock)
+
+    def _assign_names(self) -> None:
+        """Give every signal its full hierarchical name."""
+        for module in self.top.iter_modules():
+            for sig in module.signals:
+                if "." not in sig.name:
+                    sig.name = f"{module.full_name}.{sig.name}"
+
+    def _prime_clock(self, clock: Clock) -> None:
+        def toggle() -> None:
+            clock.toggle()
+            self.at(self.now + clock.half_period, toggle)
+
+        self.at(self.now + clock.half_period, toggle)
+
+    # ------------------------------------------------------------------
+    # scheduler services
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        """Make this the simulator that ``signal.write`` reports to."""
+        global _CURRENT
+        _CURRENT = self
+
+    def at(self, time: int, callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run in the timed phase at *time* (ps)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {format_time(time)}; "
+                f"now is {format_time(self.now)}"
+            )
+        heapq.heappush(self._timed, (time, next(self._timed_seq), callback))
+
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Schedule *callback* to run *delay* picoseconds from now."""
+        self.at(self.now + delay, callback)
+
+    def schedule_process(self, process: Process) -> None:
+        """Queue *process* for the next evaluate phase."""
+        self._runnable.setdefault(process.uid, process)
+
+    def queue_update(self, signal: Signal) -> None:
+        """Queue *signal* for the next update phase."""
+        self._updates.append(signal)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _startup(self) -> None:
+        """Run start-of-simulation methods (combinational settle)."""
+        self._started = True
+        from repro.hdl.process import CMethod
+
+        for process in self.top.iter_processes():
+            if isinstance(process, CMethod) and process.run_at_start:
+                self.schedule_process(process)
+        self._settle()
+
+    def _settle(self) -> None:
+        """Run delta cycles at the current time until quiescent."""
+        deltas = 0
+        while self._runnable or self._updates:
+            deltas += 1
+            if deltas > self.max_delta:
+                raise SimulationError(
+                    f"exceeded {self.max_delta} delta cycles at "
+                    f"{format_time(self.now)}; combinational loop?"
+                )
+            # Evaluate phase.  Processes scheduled *during* evaluation run in
+            # the next delta cycle, so swap the runnable set out first.
+            runnable, self._runnable = self._runnable, {}
+            for process in sorted(runnable.values(), key=lambda p: p.uid):
+                process.execute()
+            # Update phase.
+            pending, self._updates = self._updates, []
+            for sig in pending:
+                sig.update()
+            self.delta_count += 1
+
+    def run(self, duration: int) -> None:
+        """Advance simulation time by *duration* picoseconds."""
+        self.activate()
+        if not self._started:
+            self._startup()
+        if self._updates or self._runnable:
+            # Testbench writes issued between run() calls settle *now*, at
+            # the current time, so combinational methods see them before
+            # the next clock edge (matching RTL, where inputs are sampled
+            # combinationally within the cycle).
+            self._settle()
+        deadline = self.now + duration
+        while self._timed and self._timed[0][0] <= deadline:
+            time, _, callback = heapq.heappop(self._timed)
+            if time > self.now:
+                self.now = time
+            callback()
+            # Drain any same-timestamp callbacks before settling.
+            while self._timed and self._timed[0][0] == self.now:
+                _, _, more = heapq.heappop(self._timed)
+                more()
+            self._settle()
+            for hook in self.cycle_hooks:
+                hook()
+        self.now = deadline
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        max_time: int,
+        check_every: int | None = None,
+    ) -> bool:
+        """Run until *condition* is true or *max_time* ps elapse.
+
+        Returns True if the condition was met.  The condition is checked
+        after every settled timestep (or every *check_every* ps if given).
+        """
+        self.activate()
+        if not self._started:
+            self._startup()
+        step = check_every
+        if step is None:
+            step = min((c.half_period for c in self.clocks), default=1000)
+        deadline = self.now + max_time
+        while self.now < deadline:
+            if condition():
+                return True
+            self.run(min(step, deadline - self.now))
+        return condition()
+
+    def run_cycles(self, clock: Clock, cycles: int) -> None:
+        """Run for an integer number of *clock* periods."""
+        self.run(cycles * clock.period)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(top={self.top.full_name!r}, now={format_time(self.now)})"
+        )

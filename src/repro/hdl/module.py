@@ -1,0 +1,300 @@
+"""Hardware modules.
+
+:class:`Module` is the ``SC_MODULE`` equivalent: a named node in the design
+hierarchy owning ports, signals, child modules, process registrations and
+(under OSSS) hardware-class instances.  Subclasses declare ports as class
+attributes (:class:`Input` / :class:`Output`) and register processes in
+``__init__`` with :meth:`Module.cthread` / :meth:`Module.cmethod`, mirroring
+``SC_CTOR`` in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.hdl.process import CMethod, CThread, Process
+from repro.hdl.signal import Signal
+from repro.types.spec import TypeSpec
+
+
+class PortDecl:
+    """Base descriptor for port declarations on module classes."""
+
+    #: "in" or "out"; set by subclasses.
+    direction = ""
+
+    def __init__(self, spec: TypeSpec) -> None:
+        self.spec = spec
+        self.attr_name: str | None = None
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.attr_name = name
+
+    def __get__(self, instance: "Module | None", owner: type) -> Any:
+        if instance is None:
+            return self
+        return instance._ports[self.attr_name]
+
+    def __set__(self, instance: "Module", value: Any) -> None:
+        raise AttributeError(
+            f"port {self.attr_name!r} cannot be reassigned; "
+            "use .bind(signal) or .write(value)"
+        )
+
+
+class Input(PortDecl):
+    """Declares an input port of the given :class:`TypeSpec`."""
+
+    direction = "in"
+
+
+class Output(PortDecl):
+    """Declares an output port of the given :class:`TypeSpec`."""
+
+    direction = "out"
+
+
+class Port:
+    """A runtime port: a directional proxy onto a bound signal.
+
+    Unbound ports lazily create a private signal so small unit tests can
+    poke modules without wiring a full hierarchy.
+    """
+
+    __slots__ = ("name", "spec", "direction", "_target", "owner")
+
+    def __init__(self, name: str, spec: TypeSpec, direction: str,
+                 owner: "Module") -> None:
+        self.name = name
+        self.spec = spec
+        self.direction = direction
+        self.owner = owner
+        self._target: "Signal | Port | None" = None
+
+    def bind(self, target: "Signal | Port") -> None:
+        """Connect this port to a signal or to another port.
+
+        Port-to-port binding is resolved lazily, so a parent may rebind its
+        own port to an external signal *after* children were wired to the
+        parent port — the SystemC elaboration-order behaviour.
+        """
+        if isinstance(target, Port):
+            if target.spec != self.spec:
+                raise TypeError(
+                    f"port {self.owner.full_name}.{self.name} is "
+                    f"{self.spec.describe()}, port {target.name} is "
+                    f"{target.spec.describe()}"
+                )
+        elif isinstance(target, Signal):
+            if target.spec != self.spec:
+                raise TypeError(
+                    f"port {self.owner.full_name}.{self.name} is "
+                    f"{self.spec.describe()}, signal {target.name} is "
+                    f"{target.spec.describe()}"
+                )
+        else:
+            raise TypeError("bind() takes a Signal or a Port")
+        self._target = target
+
+    @property
+    def signal(self) -> Signal:
+        """The transitively bound signal (created lazily if unbound)."""
+        port: Port = self
+        for _ in range(64):
+            if port._target is None:
+                port._target = Signal(
+                    f"{port.owner.full_name}.{port.name}", port.spec
+                )
+            if isinstance(port._target, Signal):
+                return port._target
+            port = port._target
+        raise RuntimeError(
+            f"port binding chain too deep (cycle?) at {self.name!r}"
+        )
+
+    @property
+    def bound(self) -> bool:
+        """True if :meth:`bind` has been called."""
+        return self._target is not None
+
+    def read(self) -> Any:
+        """Read the current value of the bound signal."""
+        return self.signal.read()
+
+    def write(self, value: Any) -> None:
+        """Write through to the bound signal (output ports only)."""
+        if self.direction != "out":
+            raise PermissionError(
+                f"cannot write input port {self.owner.full_name}.{self.name}"
+            )
+        self.signal.write(value)
+
+    def drive(self, value: Any) -> None:
+        """Testbench helper: force a value onto an *input* port's signal."""
+        if self.direction != "in":
+            raise PermissionError(
+                f"drive() is for input ports; {self.name} is an output"
+            )
+        self.signal.write(value)
+
+    def __repr__(self) -> str:
+        return f"Port({self.owner.full_name}.{self.name}, {self.direction})"
+
+
+class Module:
+    """Base class of all hardware modules (``SC_MODULE`` equivalent).
+
+    Parameters
+    ----------
+    name:
+        Instance name; the full hierarchical name is assembled when the
+        module is adopted by a parent (assigning it to an attribute of the
+        parent is enough).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.parent: "Module | None" = None
+        self.children: list["Module"] = []
+        self.processes: list[Process] = []
+        self.signals: list[Signal] = []
+        self._ports: dict[str, Port] = {}
+        self._hw_objects: dict[str, Any] = {}
+        for klass in reversed(type(self).__mro__):
+            for attr, decl in vars(klass).items():
+                if isinstance(decl, PortDecl):
+                    self._ports[attr] = Port(attr, decl.spec, decl.direction, self)
+
+    # ------------------------------------------------------------------
+    # hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def full_name(self) -> str:
+        """Dot-separated hierarchical name."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.full_name}.{self.name}"
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # Adopt child modules and signals assigned as attributes so the
+        # hierarchy (and hence tracing and synthesis) sees them.  Full
+        # hierarchical signal names are assembled at elaboration time, once
+        # the whole tree exists.
+        if isinstance(value, Module) and name != "parent":
+            value.parent = self
+            if value not in self.children:
+                self.children.append(value)
+        elif isinstance(value, Signal):
+            if value not in self.signals:
+                self.signals.append(value)
+        object.__setattr__(self, name, value)
+
+    def __getattr__(self, name: str) -> Any:
+        # Dynamically declared ports (e.g. template-width buses) resolve
+        # through the port table; regular attributes never reach here.
+        ports = self.__dict__.get("_ports")
+        if ports is not None and name in ports:
+            return ports[name]
+        raise AttributeError(
+            f"{type(self).__name__} has no attribute {name!r}"
+        )
+
+    def add_port(self, name: str, spec, direction: str) -> Port:
+        """Declare a port at construction time (template-dependent buses)."""
+        if name in self._ports:
+            raise ValueError(f"duplicate port {name!r}")
+        port = Port(name, spec, direction, self)
+        self._ports[name] = port
+        return port
+
+    def ports(self) -> dict[str, Port]:
+        """Mapping of port name to runtime :class:`Port`."""
+        return dict(self._ports)
+
+    def port(self, name: str) -> Port:
+        """Look up a port by name."""
+        return self._ports[name]
+
+    def iter_modules(self) -> Iterable["Module"]:
+        """This module and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_modules()
+
+    def iter_signals(self) -> Iterable[Signal]:
+        """All distinct signals of this module and descendants, plus ports."""
+        seen: set[int] = set()
+        for module in self.iter_modules():
+            for sig in module.signals:
+                if sig.uid not in seen:
+                    seen.add(sig.uid)
+                    yield sig
+            for port in module._ports.values():
+                sig = port.signal
+                if sig.uid not in seen:
+                    seen.add(sig.uid)
+                    yield sig
+
+    # ------------------------------------------------------------------
+    # process registration
+    # ------------------------------------------------------------------
+    def cthread(
+        self,
+        body: Callable[[], Any],
+        clock: "Signal | Port",
+        reset: "Signal | Port | None" = None,
+        reset_active: int = 1,
+    ) -> CThread:
+        """Register *body* as a clocked thread (``SC_CTHREAD``)."""
+        clock_sig = clock.signal if isinstance(clock, Port) else clock
+        reset_sig = reset.signal if isinstance(reset, Port) else reset
+        thread = CThread(
+            f"{self.full_name}.{body.__name__}",
+            body,
+            clock_sig,
+            reset_sig,
+            reset_active,
+        )
+        self.processes.append(thread)
+        return thread
+
+    def cmethod(
+        self,
+        body: Callable[[], None],
+        sensitivity: Iterable[Any],
+        run_at_start: bool = True,
+    ) -> CMethod:
+        """Register *body* as a combinational method (``SC_METHOD``)."""
+        resolved = []
+        for item in sensitivity:
+            if isinstance(item, Port):
+                resolved.append(item.signal)
+            elif isinstance(item, tuple) and isinstance(item[0], Port):
+                resolved.append((item[0].signal, item[1]))
+            else:
+                resolved.append(item)
+        method = CMethod(
+            f"{self.full_name}.{body.__name__}", body, resolved, run_at_start
+        )
+        self.processes.append(method)
+        return method
+
+    # ------------------------------------------------------------------
+    # OSSS object registry (used by synthesis and object tracing)
+    # ------------------------------------------------------------------
+    def register_hw_object(self, name: str, obj: Any) -> Any:
+        """Record a hardware-class instance owned by this module."""
+        self._hw_objects[name] = obj
+        return obj
+
+    def hw_objects(self) -> dict[str, Any]:
+        """Hardware-class instances registered on this module."""
+        return dict(self._hw_objects)
+
+    def iter_processes(self) -> Iterable[Process]:
+        """All processes of this module and descendants."""
+        for module in self.iter_modules():
+            yield from module.processes
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.full_name!r})"

@@ -1,0 +1,171 @@
+"""Simulation processes.
+
+Two process kinds mirror the synthesizable SystemC subset the paper uses:
+
+* :class:`CThread` — a clocked thread (``SC_CTHREAD``).  The body is a Python
+  *generator function*; every ``yield`` is the Python spelling of SystemC's
+  ``wait()`` and suspends until the next active clock edge.  An optional
+  synchronous reset restarts the body from the top while asserted, exactly
+  like ``watching(reset.delayed() == true)`` in the paper's Fig. 4.
+* :class:`CMethod` — a combinational method (``SC_METHOD``) re-evaluated
+  whenever a signal in its static sensitivity list changes.
+
+Process bodies are ordinary Python for simulation *and* the input to the
+OSSS analyzer for synthesis; the synthesizable subset is documented in
+:mod:`repro.synth.analyzer`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable
+
+from repro.hdl.signal import Signal
+from repro.types.logic import Bit
+
+_process_ids = itertools.count()
+
+
+class Process:
+    """Base class for schedulable processes."""
+
+    __slots__ = ("name", "uid", "_terminated")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.uid = next(_process_ids)
+        self._terminated = False
+
+    @property
+    def terminated(self) -> bool:
+        """True once the process body has returned."""
+        return self._terminated
+
+    def execute(self) -> None:  # pragma: no cover - abstract
+        """Run one activation; implemented by subclasses."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CThread(Process):
+    """A clocked thread process.
+
+    Parameters
+    ----------
+    name:
+        Process name (usually ``module.method``).
+    body:
+        A generator *function* of no arguments (typically a bound method).
+        Each ``yield`` waits for the next active clock edge.
+    clock:
+        The clock signal; the thread triggers on its positive edge.
+    reset:
+        Optional synchronous reset signal.  While it reads as
+        *reset_active* at a clock edge, the body restarts from the top and
+        runs its reset prologue (the statements before the first ``yield``).
+    reset_active:
+        The asserted reset level (default 1).
+    """
+
+    __slots__ = ("body", "clock", "reset", "reset_active", "_generator")
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[[], Any],
+        clock: Signal,
+        reset: Signal | None = None,
+        reset_active: int = 1,
+    ) -> None:
+        super().__init__(name)
+        self.body = body
+        self.clock = clock
+        self.reset = reset
+        self.reset_active = reset_active
+        self._generator = None
+        clock.posedge.subscribe(self)
+
+    def _in_reset(self) -> bool:
+        if self.reset is None:
+            return False
+        return int(self.reset.read()) == self.reset_active
+
+    def execute(self) -> None:
+        """Advance the thread by one clock edge."""
+        if self._terminated:
+            return
+        if self._in_reset() or self._generator is None:
+            # (Re)start and run the reset prologue up to the first yield.
+            self._generator = self.body()
+            if not hasattr(self._generator, "send"):
+                raise TypeError(
+                    f"CThread body {self.name} must be a generator function "
+                    "(use 'yield' as wait())"
+                )
+        try:
+            next(self._generator)
+        except StopIteration:
+            self._terminated = True
+            self.clock.posedge.unsubscribe(self)
+
+
+class CMethod(Process):
+    """A combinational method process with static sensitivity.
+
+    Parameters
+    ----------
+    name:
+        Process name.
+    body:
+        A plain function of no arguments, re-run on every sensitivity hit.
+    sensitivity:
+        Signals (value change) and/or ``(signal, 'pos'|'neg')`` edge pairs.
+    run_at_start:
+        If True (default) the method runs once at simulation start so
+        combinational outputs are consistent before the first event.
+    """
+
+    __slots__ = ("body", "sensitivity", "run_at_start")
+
+    def __init__(
+        self,
+        name: str,
+        body: Callable[[], None],
+        sensitivity: Iterable[Signal | tuple[Signal, str]],
+        run_at_start: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.body = body
+        self.sensitivity = tuple(sensitivity)
+        self.run_at_start = run_at_start
+        for item in self.sensitivity:
+            if isinstance(item, Signal):
+                item.changed.subscribe(self)
+            else:
+                sig, edge = item
+                if edge == "pos":
+                    sig.posedge.subscribe(self)
+                elif edge == "neg":
+                    sig.negedge.subscribe(self)
+                else:
+                    raise ValueError(f"unknown edge kind {edge!r}")
+
+    def execute(self) -> None:
+        """Evaluate the combinational body once."""
+        self.body()
+
+
+def posedge(signal: Signal) -> tuple[Signal, str]:
+    """Sensitivity helper: trigger on the rising edge of *signal*."""
+    if signal.spec.kind != "bit":
+        raise TypeError("edge sensitivity requires a 1-bit signal")
+    return (signal, "pos")
+
+
+def negedge(signal: Signal) -> tuple[Signal, str]:
+    """Sensitivity helper: trigger on the falling edge of *signal*."""
+    if signal.spec.kind != "bit":
+        raise TypeError("edge sensitivity requires a 1-bit signal")
+    return (signal, "neg")

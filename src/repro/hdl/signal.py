@@ -1,0 +1,176 @@
+"""Signals and clocks.
+
+``Signal`` reproduces ``sc_signal`` semantics exactly: a write stores a
+*pending* value that becomes visible only in the kernel's update phase (the
+next delta cycle), so two clocked processes communicating through a signal
+always observe each other's previous-cycle values — the property that makes
+the behavioural simulation cycle-accurate with generated RTL (DESIGN.md R6).
+
+``Clock`` is a 1-bit signal toggled by the kernel at a fixed period; clocked
+threads subscribe to its positive-edge event.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+from repro.hdl.event import Event
+from repro.types.logic import Bit
+from repro.types.spec import TypeSpec, bit, spec_of
+
+_signal_ids = itertools.count()
+
+
+class Signal:
+    """A typed signal with deferred (delta-cycle) update semantics.
+
+    Parameters
+    ----------
+    name:
+        Signal name; hierarchical prefixes are added when a module adopts
+        the signal.
+    spec:
+        The :class:`~repro.types.spec.TypeSpec` of carried values.
+    init:
+        Initial value; defaults to the spec's zero value.
+    """
+
+    __slots__ = (
+        "name",
+        "spec",
+        "_current",
+        "_next",
+        "_pending",
+        "changed",
+        "posedge",
+        "negedge",
+        "uid",
+        "_trace_hook",
+    )
+
+    def __init__(self, name: str, spec: TypeSpec, init: Any | None = None) -> None:
+        self.name = name
+        self.spec = spec
+        value = spec.default() if init is None else init
+        spec.check(value)
+        self._current = value
+        self._next = value
+        self._pending = False
+        self.changed = Event(f"{name}.changed")
+        self.posedge = Event(f"{name}.posedge")
+        self.negedge = Event(f"{name}.negedge")
+        self.uid = next(_signal_ids)
+        self._trace_hook = None
+
+    # ------------------------------------------------------------------
+    # value access
+    # ------------------------------------------------------------------
+    def read(self) -> Any:
+        """The currently committed value (``sc_signal::read``)."""
+        return self._current
+
+    @property
+    def value(self) -> Any:
+        """Alias of :meth:`read` for expression-heavy testbench code."""
+        return self._current
+
+    def write(self, value: Any) -> None:
+        """Request a new value; committed at the next update phase.
+
+        Accepts raw ``int``/``bool`` for convenience and converts through the
+        signal's spec, so ``sig.write(1)`` works for any carried type.
+        """
+        spec = self.spec
+        if type(value) is spec._expected:
+            if spec.kind != "bit" and value.width != spec.width:
+                spec.check(value)  # raises with the precise message
+        elif isinstance(value, bool):
+            value = spec.from_raw(int(value))
+        elif isinstance(value, int):
+            if spec.kind == "bit":
+                value = Bit(value)
+            else:
+                value = spec.from_raw(value & ((1 << spec.width) - 1))
+        else:
+            spec.check(value)
+        import repro.hdl.kernel as kernel
+
+        sim = kernel._CURRENT
+        self._next = value
+        if sim is None:
+            # No simulator active (configuration / test setup): commit now.
+            self._commit()
+        else:
+            if not self._pending:
+                self._pending = True
+                sim.queue_update(self)
+
+    # ------------------------------------------------------------------
+    # kernel interface
+    # ------------------------------------------------------------------
+    def update(self) -> bool:
+        """Commit the pending value.  Returns True if the value changed."""
+        self._pending = False
+        to_raw = self.spec.to_raw_unchecked
+        old_raw = to_raw(self._current)
+        new_raw = to_raw(self._next)
+        if old_raw == new_raw and type(self._next) is type(self._current):
+            return False
+        self._commit()
+        self.changed.notify()
+        if self.spec.kind == "bit":
+            if new_raw and not old_raw:
+                self.posedge.notify()
+            elif old_raw and not new_raw:
+                self.negedge.notify()
+        return True
+
+    def _commit(self) -> None:
+        self._current = self._next
+        if self._trace_hook is not None:
+            self._trace_hook(self)
+
+    def set_trace_hook(self, hook) -> None:
+        """Install a callable invoked with the signal after each commit."""
+        self._trace_hook = hook
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, {self.spec.describe()}, {self._current})"
+
+
+class Clock(Signal):
+    """A free-running 1-bit clock.
+
+    Parameters
+    ----------
+    name:
+        Clock name.
+    period:
+        Full period in picoseconds (use the :mod:`repro.hdl.simtime`
+        constants, e.g. ``15 * NS`` for the paper's 66 MHz target).
+    start_high:
+        If True the clock starts at 1 and the first edge is falling.
+    """
+
+    __slots__ = ("period",)
+
+    def __init__(self, name: str, period: int, start_high: bool = False) -> None:
+        if period <= 0 or period % 2:
+            raise ValueError("clock period must be positive and even (in ps)")
+        super().__init__(name, bit(), Bit(1 if start_high else 0))
+        self.period = period
+
+    @property
+    def half_period(self) -> int:
+        """Time between successive edges."""
+        return self.period // 2
+
+    def toggle(self) -> None:
+        """Schedule the opposite level (called by the kernel)."""
+        self.write(Bit(0 if int(self.read()) else 1))
+
+
+def signal_like(value: Any, name: str) -> Signal:
+    """Create a signal whose spec matches an example *value*."""
+    return Signal(name, spec_of(value), value)

@@ -1,0 +1,32 @@
+"""Simulation time.
+
+Time is kept as an integer number of picoseconds, which keeps event ordering
+exact (no floating-point drift over long video-frame simulations).  The unit
+constants let user code write ``sim.run(200 * US)`` or ``Clock("clk",
+period=15 * NS)`` — 15 ns being the 66 MHz system clock the paper's ExpoCU
+targets.
+"""
+
+from __future__ import annotations
+
+#: One picosecond — the base resolution.
+PS = 1
+#: One nanosecond.
+NS = 1000 * PS
+#: One microsecond.
+US = 1000 * NS
+#: One millisecond.
+MS = 1000 * US
+
+
+def format_time(picoseconds: int) -> str:
+    """Render a time stamp with a human-friendly unit."""
+    if picoseconds == 0:
+        return "0s"
+    for unit, name in ((MS, "ms"), (US, "us"), (NS, "ns"), (PS, "ps")):
+        if picoseconds % unit == 0 or picoseconds >= unit:
+            scaled = picoseconds / unit
+            if scaled == int(scaled):
+                return f"{int(scaled)}{name}"
+            return f"{scaled:.3f}{name}"
+    return f"{picoseconds}ps"

@@ -1,0 +1,41 @@
+"""Gate-level backend: cells, mapping, optimization, STA, area, P&R, sim."""
+
+from repro.netlist.area import AreaReport, area_by_module, cell_histogram, total_area
+from repro.netlist.cells import LIBRARY, CellType
+from repro.netlist.circuit import BlackBox, Cell, Circuit, Net, NetlistError
+from repro.netlist.linker import link
+from repro.netlist.opt import optimize
+from repro.netlist.pnr import Placement, place
+from repro.netlist.power import ActivitySimulator, PowerReport, estimate_power
+from repro.netlist.sim import GateSimulator
+from repro.netlist.sta import TimingReport, analyze
+from repro.netlist.techmap import TechMapper, map_module
+from repro.netlist.verilog import netlist_stats_comment, to_structural_verilog
+
+__all__ = [
+    "AreaReport",
+    "BlackBox",
+    "Cell",
+    "CellType",
+    "Circuit",
+    "GateSimulator",
+    "LIBRARY",
+    "Net",
+    "NetlistError",
+    "ActivitySimulator",
+    "Placement",
+    "PowerReport",
+    "TechMapper",
+    "TimingReport",
+    "analyze",
+    "area_by_module",
+    "cell_histogram",
+    "link",
+    "map_module",
+    "optimize",
+    "estimate_power",
+    "place",
+    "netlist_stats_comment",
+    "to_structural_verilog",
+    "total_area",
+]

@@ -1,0 +1,73 @@
+"""Area accounting and the per-module report (paper Fig. 12, §12).
+
+Cell names carry their instance path (``top/child/cell#n``), so areas can be
+re-aggregated per design unit after flattening — the equivalent of the
+synthesis-tool screenshot in the paper's Fig. 12 showing the main ExpoCU
+modules.  The unit is gate equivalents (NAND2 = 1.0).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+
+def total_area(circuit: Circuit) -> float:
+    """Total cell area in gate equivalents."""
+    return sum(cell.ctype.area for cell in circuit.cells)
+
+
+def cell_histogram(circuit: Circuit) -> dict[str, int]:
+    """Cell count per library type, sorted by count descending."""
+    counts: dict[str, int] = {}
+    for cell in circuit.cells:
+        counts[cell.ctype.name] = counts.get(cell.ctype.name, 0) + 1
+    return dict(sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def area_by_module(circuit: Circuit, depth: int = 2) -> dict[str, float]:
+    """Area per instance-path prefix, truncated to *depth* path levels."""
+    areas: dict[str, float] = {}
+    for cell in circuit.cells:
+        path = cell.name.split("/")
+        prefix = "/".join(path[:depth]) if len(path) > depth else "/".join(
+            path[:-1]
+        )
+        areas[prefix] = areas.get(prefix, 0.0) + cell.ctype.area
+    return dict(sorted(areas.items()))
+
+
+def flop_count(circuit: Circuit) -> int:
+    """Number of flip-flops (state bits)."""
+    return len(circuit.flops())
+
+
+class AreaReport:
+    """A rendered area summary for one circuit."""
+
+    def __init__(self, circuit: Circuit, depth: int = 2) -> None:
+        self.name = circuit.name
+        self.total = total_area(circuit)
+        self.cells = len(circuit.cells)
+        self.flops = flop_count(circuit)
+        self.histogram = cell_histogram(circuit)
+        self.by_module = area_by_module(circuit, depth)
+
+    def render(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"area report: {self.name}",
+            f"  total      : {self.total:10.1f} gate equivalents",
+            f"  cells      : {self.cells:10d}",
+            f"  flip-flops : {self.flops:10d}",
+            "  by module:",
+        ]
+        for prefix, area in self.by_module.items():
+            share = 100.0 * area / self.total if self.total else 0.0
+            lines.append(f"    {prefix:<40s} {area:10.1f}  ({share:4.1f}%)")
+        lines.append("  by cell type:")
+        for name, count in self.histogram.items():
+            lines.append(f"    {name:<10s} {count:8d}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"AreaReport({self.name!r}, total={self.total:.1f})"

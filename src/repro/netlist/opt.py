@@ -1,0 +1,313 @@
+"""Netlist optimization.
+
+A small logic optimizer run by both flows after technology mapping:
+
+* **constant propagation** — gates with constant inputs collapse;
+* **identity simplification** — double inverters, same-input gates,
+  degenerate multiplexers;
+* **common-subexpression elimination** — structurally identical cells merge
+  (commutative inputs sorted);
+* **dead-logic removal** — cones not reaching an output (or black-box
+  input) disappear.
+
+Passes iterate to a fixed point.  Because both flows share the optimizer,
+the paper's "area almost equivalent" result (R1) and the zero-overhead
+class-resolution check (R3) compare optimized-against-optimized.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Cell, Circuit, Net, NetlistError
+
+#: Commutative two-input cell types (inputs may be sorted for CSE).
+_COMMUTATIVE = {"AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2"}
+
+
+class _Aliases:
+    """Union-find style net replacement map with path compression."""
+
+    def __init__(self) -> None:
+        self._map: dict[int, Net] = {}
+
+    def alias(self, old: Net, new: Net) -> None:
+        self._map[old.uid] = new
+
+    def resolve(self, net: Net) -> Net:
+        seen = []
+        while net.uid in self._map:
+            seen.append(net.uid)
+            net = self._map[net.uid]
+        for uid in seen:
+            self._map[uid] = net
+        return net
+
+    def __bool__(self) -> bool:
+        return bool(self._map)
+
+
+def _const_of(circuit: Circuit, net: Net) -> int | None:
+    """0/1 if *net* is a constant tie, else None."""
+    if net.driver is None:
+        return None
+    cell, _ = net.driver
+    if cell.ctype.name == "TIE0":
+        return 0
+    if cell.ctype.name == "TIE1":
+        return 1
+    return None
+
+
+def _simplify_cell(circuit: Circuit, cell: Cell, aliases: _Aliases,
+                   removed: set[int]) -> bool:
+    """Try to simplify one cell in place.  Returns True on change."""
+    name = cell.ctype.name
+    if name in ("TIE0", "TIE1", "DFF"):
+        return False
+    out = cell.pins["y"]
+
+    def become_const(value: int) -> bool:
+        aliases.alias(out, circuit.const_net(value))
+        out.driver = None
+        removed.add(cell.uid)
+        return True
+
+    def become_net(net: Net) -> bool:
+        aliases.alias(out, net)
+        out.driver = None
+        removed.add(cell.uid)
+        return True
+
+    def become_inv(net: Net) -> bool:
+        from repro.netlist.cells import INV
+
+        cell.ctype = INV
+        cell.pins = {"a": net, "y": out}
+        return True
+
+    if name in ("INV", "BUF"):
+        a = cell.pins["a"]
+        const = _const_of(circuit, a)
+        if name == "BUF":
+            return become_net(a)
+        if const is not None:
+            return become_const(1 - const)
+        # Double inverter: INV(INV(x)) -> x.
+        if a.driver is not None and a.driver[0].ctype.name == "INV":
+            return become_net(a.driver[0].pins["a"])
+        return False
+
+    if name == "MUX2":
+        d0, d1, sel = cell.pins["d0"], cell.pins["d1"], cell.pins["s"]
+        s_const = _const_of(circuit, sel)
+        if s_const is not None:
+            return become_net(d1 if s_const else d0)
+        if d0.uid == d1.uid:
+            return become_net(d0)
+        c0, c1 = _const_of(circuit, d0), _const_of(circuit, d1)
+        if c0 == 0 and c1 == 1:
+            return become_net(sel)
+        if c0 == 1 and c1 == 0:
+            return become_inv(sel)
+        return False
+
+    if name in _COMMUTATIVE:
+        a, b = cell.pins["i0"], cell.pins["i1"]
+        ca, cb = _const_of(circuit, a), _const_of(circuit, b)
+        if ca is not None and cb is None:
+            a, b, ca, cb = b, a, cb, ca  # constant on the right
+            cell.pins["i0"], cell.pins["i1"] = a, b
+        if cb is not None:
+            if name == "AND2":
+                return become_const(0) if cb == 0 else become_net(a)
+            if name == "OR2":
+                return become_const(1) if cb == 1 else become_net(a)
+            if name == "XOR2":
+                return become_net(a) if cb == 0 else become_inv(a)
+            if name == "XNOR2":
+                return become_net(a) if cb == 1 else become_inv(a)
+            if name == "NAND2":
+                return become_const(1) if cb == 0 else become_inv(a)
+            if name == "NOR2":
+                return become_const(0) if cb == 1 else become_inv(a)
+        if a.uid == b.uid:
+            if name in ("AND2", "OR2"):
+                return become_net(a)
+            if name == "XOR2":
+                return become_const(0)
+            if name == "XNOR2":
+                return become_const(1)
+            if name in ("NAND2", "NOR2"):
+                return become_inv(a)
+    return False
+
+
+def _rewire(circuit: Circuit, aliases: _Aliases) -> None:
+    """Apply pending aliases to all cell inputs and bus lists."""
+    for cell in circuit.cells:
+        for pin in cell.ctype.inputs:
+            cell.pins[pin] = aliases.resolve(cell.pins[pin])
+    for box in circuit.blackboxes:
+        for nets in box.input_buses.values():
+            nets[:] = [aliases.resolve(n) for n in nets]
+    for nets in circuit.output_buses.values():
+        nets[:] = [aliases.resolve(n) for n in nets]
+
+
+def _cse_pass(circuit: Circuit, aliases: _Aliases) -> bool:
+    """Merge structurally identical cells."""
+    table: dict[tuple, Cell] = {}
+    removed: set[int] = set()
+    for cell in circuit.cells:
+        name = cell.ctype.name
+        if name in ("DFF", "TIE0", "TIE1"):
+            continue
+        ins = tuple(cell.pins[p].uid for p in cell.ctype.inputs)
+        if name in _COMMUTATIVE:
+            ins = tuple(sorted(ins))
+        key = (name, ins)
+        existing = table.get(key)
+        if existing is None:
+            table[key] = cell
+            continue
+        aliases.alias(cell.pins["y"], existing.pins["y"])
+        cell.pins["y"].driver = None
+        removed.add(cell.uid)
+    if removed:
+        circuit.cells = [c for c in circuit.cells if c.uid not in removed]
+    return bool(removed)
+
+
+def _dead_removal(circuit: Circuit) -> bool:
+    """Remove cells whose outputs reach no output/flop/black box."""
+    live_nets: set[int] = set()
+    worklist: list[Net] = []
+    for nets in circuit.output_buses.values():
+        worklist.extend(nets)
+    for box in circuit.blackboxes:
+        for nets in box.input_buses.values():
+            worklist.extend(nets)
+    live_cells: set[int] = set()
+    while worklist:
+        net = worklist.pop()
+        if net.uid in live_nets:
+            continue
+        live_nets.add(net.uid)
+        if net.driver is not None:
+            cell, _ = net.driver
+            if cell.uid not in live_cells:
+                live_cells.add(cell.uid)
+                worklist.extend(cell.input_nets())
+    before = len(circuit.cells)
+    removed = [c for c in circuit.cells if c.uid not in live_cells]
+    for cell in removed:
+        for pin in cell.ctype.outputs:
+            cell.pins[pin].driver = None
+    circuit.cells = [c for c in circuit.cells if c.uid in live_cells]
+    # Keep the const-net cache consistent with removed tie cells.
+    circuit._const = {
+        value: net
+        for value, net in circuit._const.items()
+        if net.driver is not None
+    }
+    return len(circuit.cells) != before
+
+
+def _mux_chain_pass(circuit: Circuit, aliases: _Aliases) -> bool:
+    """Collapse pass-through multiplexer chains.
+
+    ``y1 = s1 ? x : (s2 ? x : z)``  →  ``y1 = (s1|s2) ? x : z`` and the dual
+    with the shared net on the 0-arm.  FSM write folding and object-field
+    insertion produce long chains of muxes that mostly pass the old value;
+    this rewrite turns each chain into one mux plus an OR/AND tree, cutting
+    both area and logic depth.  Inner muxes are only bypassed (and later
+    removed as dead) when nothing else reads them.
+    """
+    from repro.netlist.cells import AND2, INV, OR2
+
+    fanout = circuit.fanout_map()
+    changed = False
+    for cell in circuit.cells:
+        if cell.ctype.name != "MUX2":
+            continue
+        d0, d1, sel = cell.pins["d0"], cell.pins["d1"], cell.pins["s"]
+        for arm, shared in (("d0", d1), ("d1", d0)):
+            inner_net = cell.pins[arm]
+            if inner_net.driver is None:
+                continue
+            inner, _ = inner_net.driver
+            if inner.ctype.name != "MUX2" or inner is cell:
+                continue
+            if len(fanout.get(inner_net.uid, ())) != 1:
+                continue
+            i_d0, i_d1 = inner.pins["d0"], inner.pins["d1"]
+            i_sel = inner.pins["s"]
+            if arm == "d0" and i_d0.uid == shared.uid:
+                # y = s ? x : (si ? z : x)  ->  y = (s | ~si) ? x : z
+                ninv = circuit.new_net(f"{cell.name}_ni")
+                circuit.add_cell(f"{cell.name}_inv", INV, a=i_sel, y=ninv)
+                combined = circuit.new_net(f"{cell.name}_or")
+                circuit.add_cell(f"{cell.name}_c", OR2, i0=sel, i1=ninv,
+                                 y=combined)
+                cell.pins["s"] = combined
+                cell.pins["d0"] = i_d1
+                changed = True
+                break
+            if arm == "d0" and i_d1.uid == shared.uid:
+                # y = s ? x : (si ? x : z)  ->  y = (s | si) ? x : z
+                combined = circuit.new_net(f"{cell.name}_or")
+                circuit.add_cell(f"{cell.name}_c", OR2, i0=sel, i1=i_sel,
+                                 y=combined)
+                cell.pins["s"] = combined
+                cell.pins["d0"] = i_d0
+                changed = True
+                break
+            if arm == "d1" and i_d0.uid == shared.uid:
+                # y = s ? (si ? z : x) : x  ->  y = (s & si) ? z : x
+                combined = circuit.new_net(f"{cell.name}_and")
+                circuit.add_cell(f"{cell.name}_c", AND2, i0=sel, i1=i_sel,
+                                 y=combined)
+                cell.pins["s"] = combined
+                cell.pins["d1"] = i_d1
+                changed = True
+                break
+            if arm == "d1" and i_d1.uid == shared.uid:
+                # y = s ? (si ? x : z) : x  ->  y = (s & ~si) ? z : x
+                ninv = circuit.new_net(f"{cell.name}_ni")
+                circuit.add_cell(f"{cell.name}_inv", INV, a=i_sel, y=ninv)
+                combined = circuit.new_net(f"{cell.name}_and")
+                circuit.add_cell(f"{cell.name}_c", AND2, i0=sel, i1=ninv,
+                                 y=combined)
+                cell.pins["s"] = combined
+                cell.pins["d1"] = i_d0
+                changed = True
+                break
+    return changed
+
+
+def optimize(circuit: Circuit, max_passes: int = 25) -> Circuit:
+    """Optimize *circuit* in place to a fixed point; returns it."""
+    for _ in range(max_passes):
+        changed = False
+        aliases = _Aliases()
+        removed: set[int] = set()
+        for cell in circuit.cells:
+            if cell.uid in removed:
+                continue
+            if _simplify_cell(circuit, cell, aliases, removed):
+                changed = True
+        if removed:
+            circuit.cells = [c for c in circuit.cells if c.uid not in removed]
+        if aliases:
+            _rewire(circuit, aliases)
+        aliases = _Aliases()
+        if _cse_pass(circuit, aliases):
+            changed = True
+        if aliases:
+            _rewire(circuit, aliases)
+        if _mux_chain_pass(circuit, _Aliases()):
+            changed = True
+        if _dead_removal(circuit):
+            changed = True
+        if not changed:
+            break
+    return circuit

@@ -1,0 +1,99 @@
+"""Toy placement ("Map Tool / Place&Route" in the paper's Fig. 6).
+
+A deliberately simple back end closing the flow: cells are placed on a
+square grid in topological order (keeping logical neighbours physically
+close), every net gets a half-perimeter wirelength, and a per-unit wire
+delay is produced for the STA to back-annotate.  The output also includes
+the "configuration file" style summary the Fig. 6 flow ends in.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.netlist.circuit import Circuit
+
+#: Wire delay per grid unit of half-perimeter wirelength (ns).
+WIRE_DELAY_PER_UNIT = 0.002
+
+
+class Placement:
+    """Result of :func:`place`."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        #: cell uid → (row, column).
+        self.positions: dict[int, tuple[int, int]] = {}
+        #: net uid → half-perimeter wirelength in grid units.
+        self.wirelength: dict[int, float] = {}
+        self.grid_side = 0
+
+    @property
+    def total_wirelength(self) -> float:
+        """Sum of all net wirelengths (grid units)."""
+        return sum(self.wirelength.values())
+
+    def wire_delays(self) -> dict[int, float]:
+        """Net uid → annotated wire delay (ns) for the STA."""
+        return {
+            uid: length * WIRE_DELAY_PER_UNIT
+            for uid, length in self.wirelength.items()
+        }
+
+    def configuration(self) -> dict[str, float | int]:
+        """The flow's final 'configuration file' summary."""
+        return {
+            "design": self.circuit.name,
+            "grid_side": self.grid_side,
+            "placed_cells": len(self.positions),
+            "total_wirelength": round(self.total_wirelength, 1),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Placement({self.circuit.name!r}, grid={self.grid_side}, "
+            f"wl={self.total_wirelength:.0f})"
+        )
+
+
+def place(circuit: Circuit) -> Placement:
+    """Place *circuit* on a square grid and measure net wirelengths."""
+    circuit.validate()
+    placement = Placement(circuit)
+    cells = circuit.flops() + circuit.topological_comb_order()
+    side = max(1, math.ceil(math.sqrt(len(cells))))
+    placement.grid_side = side
+    for index, cell in enumerate(cells):
+        row, col = divmod(index, side)
+        # Serpentine fill keeps consecutive (logically close) cells adjacent.
+        if row % 2:
+            col = side - 1 - col
+        placement.positions[cell.uid] = (row, col)
+
+    # Primary inputs sit on the west edge, spread over the rows.
+    io_positions: dict[int, tuple[int, int]] = {}
+    input_nets = [n for nets in circuit.input_buses.values() for n in nets]
+    for k, net in enumerate(input_nets):
+        io_positions[net.uid] = (k % max(side, 1), -1)
+
+    fanout = circuit.fanout_map()
+    for net in circuit.nets:
+        points: list[tuple[int, int]] = []
+        if net.driver is not None:
+            pos = placement.positions.get(net.driver[0].uid)
+            if pos:
+                points.append(pos)
+        elif net.uid in io_positions:
+            points.append(io_positions[net.uid])
+        for cell, _pin in fanout.get(net.uid, ()):
+            pos = placement.positions.get(cell.uid)
+            if pos:
+                points.append(pos)
+        if len(points) < 2:
+            continue
+        rows = [p[0] for p in points]
+        cols = [p[1] for p in points]
+        placement.wirelength[net.uid] = float(
+            (max(rows) - min(rows)) + (max(cols) - min(cols))
+        )
+    return placement

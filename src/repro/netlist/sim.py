@@ -1,0 +1,162 @@
+"""Gate-level simulation.
+
+A levelized, event-driven-within-cycle simulator for mapped circuits: the
+combinational cells are topologically ordered once; each clock cycle applies
+the inputs, re-evaluates only the fan-out cones of changed nets, then clocks
+every flip-flop simultaneously.  Used by the stage-equivalence harness
+(claim R6: the netlist is bit- and cycle-accurate against the OSSS source)
+and as the slowest rung of the simulation-speed ladder (claim R7).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.netlist.circuit import Cell, Circuit, NetlistError
+
+
+def _eval_cell(name: str, ins: list[int]) -> int:
+    if name == "INV":
+        return ins[0] ^ 1
+    if name == "BUF":
+        return ins[0]
+    if name == "AND2":
+        return ins[0] & ins[1]
+    if name == "OR2":
+        return ins[0] | ins[1]
+    if name == "XOR2":
+        return ins[0] ^ ins[1]
+    if name == "XNOR2":
+        return (ins[0] ^ ins[1]) ^ 1
+    if name == "NAND2":
+        return (ins[0] & ins[1]) ^ 1
+    if name == "NOR2":
+        return (ins[0] | ins[1]) ^ 1
+    if name == "MUX2":
+        d0, d1, s = ins
+        return d1 if s else d0
+    raise NetlistError(f"cannot evaluate cell type {name}")
+
+
+class GateSimulator:
+    """Cycle-based two-valued gate simulator.
+
+    Parameters
+    ----------
+    circuit:
+        A linked (no black boxes), validated circuit.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self._order = circuit.topological_comb_order()
+        self._flops = circuit.flops()
+        self._values: dict[int, int] = {}
+        self._fanout: dict[int, list[Cell]] = {}
+        self._level: dict[int, int] = {}
+        for level, cell in enumerate(self._order):
+            self._level[cell.uid] = level
+            for net in cell.input_nets():
+                self._fanout.setdefault(net.uid, []).append(cell)
+        for net in circuit.nets:
+            self._values[net.uid] = 0
+        for value, net in circuit._const.items():
+            self._values[net.uid] = value
+        self._inputs: dict[str, int] = {name: 0 for name in circuit.input_buses}
+        self.cycle = 0
+        self._settle_all()
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _settle_all(self) -> None:
+        for cell in self._order:
+            self._eval(cell)
+
+    def _eval(self, cell: Cell) -> bool:
+        ins = [self._values[n.uid] for n in cell.input_nets()]
+        out_net = cell.pins[cell.ctype.outputs[0]]
+        new = _eval_cell(cell.ctype.name, ins)
+        if self._values[out_net.uid] == new:
+            return False
+        self._values[out_net.uid] = new
+        return True
+
+    def _propagate(self, dirty_nets: list[int]) -> None:
+        """Event-driven settle: re-evaluate fan-out of changed nets."""
+        import heapq
+
+        pending: list[tuple[int, int]] = []
+        queued: set[int] = set()
+
+        def enqueue(net_uid: int) -> None:
+            for cell in self._fanout.get(net_uid, ()):
+                if cell.uid not in queued:
+                    queued.add(cell.uid)
+                    heapq.heappush(pending, (self._level[cell.uid], cell.uid))
+                    _by_uid[cell.uid] = cell
+
+        _by_uid: dict[int, Cell] = {}
+        for uid in dirty_nets:
+            enqueue(uid)
+        while pending:
+            _, cell_uid = heapq.heappop(pending)
+            cell = _by_uid[cell_uid]
+            queued.discard(cell_uid)
+            if self._eval(cell):
+                out_net = cell.pins[cell.ctype.outputs[0]]
+                enqueue(out_net.uid)
+
+    def drive(self, **buses: int) -> list[int]:
+        """Set input buses; returns the list of changed net uids."""
+        dirty: list[int] = []
+        for name, value in buses.items():
+            nets = self.circuit.input_buses.get(name)
+            if nets is None:
+                raise NetlistError(f"no input bus {name!r}")
+            self._inputs[name] = value
+            for k, net in enumerate(nets):
+                bit_value = (value >> k) & 1
+                if self._values[net.uid] != bit_value:
+                    self._values[net.uid] = bit_value
+                    dirty.append(net.uid)
+        return dirty
+
+    def peek_outputs(self) -> dict[str, int]:
+        """Current output bus values."""
+        result = {}
+        for name, nets in self.circuit.output_buses.items():
+            value = 0
+            for k, net in enumerate(nets):
+                value |= self._values[net.uid] << k
+            result[name] = value
+        return result
+
+    def step(self, **buses: int) -> dict[str, int]:
+        """Advance one clock cycle; returns the sampled outputs."""
+        dirty = self.drive(**buses)
+        if dirty:
+            self._propagate(dirty)
+        outputs = self.peek_outputs()
+        # Sample all flop D pins, then commit Q simultaneously.
+        sampled = [
+            (flop, self._values[flop.pins["d"].uid]) for flop in self._flops
+        ]
+        changed: list[int] = []
+        for flop, d_value in sampled:
+            q_net = flop.pins["q"]
+            if self._values[q_net.uid] != d_value:
+                self._values[q_net.uid] = d_value
+                changed.append(q_net.uid)
+        if changed:
+            self._propagate(changed)
+        self.cycle += 1
+        return outputs
+
+    def run(self, stimulus: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
+        """Step once per stimulus entry; returns each cycle's outputs."""
+        return [self.step(**dict(entry)) for entry in stimulus]
+
+    def __repr__(self) -> str:
+        return f"GateSimulator({self.circuit.name!r}, cycle={self.cycle})"

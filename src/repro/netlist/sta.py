@@ -1,0 +1,133 @@
+"""Static timing analysis.
+
+Computes the worst register-to-register (or input-to-register / -to-output)
+combinational path of a mapped circuit and the resulting maximum clock
+frequency, reproducing the "achieved frequency" comparison of the paper's
+Results section (§12, target 66 MHz).
+
+Model: every primary input and flip-flop ``q`` pin launches at
+``clk_to_q``; arrival times propagate through combinational cells using
+their pin-to-pin delays; paths captured at a flip-flop ``d`` pin pay the
+``setup`` time.  Optional per-net wire delays (from the toy placer in
+:mod:`repro.netlist.pnr`) are added on every net traversal.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import DFF
+from repro.netlist.circuit import Cell, Circuit, Net
+
+
+class TimingReport:
+    """Result of :func:`analyze`."""
+
+    def __init__(
+        self,
+        critical_path_ns: float,
+        fmax_mhz: float,
+        path: list[str],
+        arrival: dict[int, float],
+    ) -> None:
+        #: Worst launch-to-capture delay in nanoseconds (incl. clk→q, setup).
+        self.critical_path_ns = critical_path_ns
+        #: Maximum clock frequency in MHz.
+        self.fmax_mhz = fmax_mhz
+        #: Cell names along the critical path, launch to capture.
+        self.path = path
+        #: Final arrival time per net uid (ns).
+        self.arrival = arrival
+
+    def meets(self, frequency_mhz: float) -> bool:
+        """True if the circuit can run at *frequency_mhz*."""
+        return self.fmax_mhz >= frequency_mhz
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingReport(critical={self.critical_path_ns:.3f}ns, "
+            f"fmax={self.fmax_mhz:.1f}MHz, depth={len(self.path)})"
+        )
+
+
+def analyze(circuit: Circuit,
+            wire_delays: dict[int, float] | None = None) -> TimingReport:
+    """Run STA on *circuit*; optional *wire_delays* map net uid → ns."""
+    circuit.validate()
+    wire_delays = wire_delays or {}
+    arrival: dict[int, float] = {}
+    from_cell: dict[int, tuple[Cell, Net] | None] = {}
+
+    def launch(net: Net, time: float) -> None:
+        if arrival.get(net.uid, -1.0) < time:
+            arrival[net.uid] = time
+            from_cell[net.uid] = None
+
+    for nets in circuit.input_buses.values():
+        for net in nets:
+            launch(net, 0.0)
+    for flop in circuit.flops():
+        for net in flop.output_nets():
+            launch(net, flop.ctype.clk_to_q)
+    # Constant nets launch at time 0 (they are static, but keeping them in
+    # the graph simplifies traversal; optimization removes most of them).
+    for cell in circuit.cells:
+        if cell.ctype.name in ("TIE0", "TIE1"):
+            for net in cell.output_nets():
+                launch(net, 0.0)
+
+    worst = 0.0
+    worst_end: tuple[Cell, str] | None = None
+
+    for cell in circuit.topological_comb_order():
+        for out_pin in cell.ctype.outputs:
+            out_net = cell.pins[out_pin]
+            best_time = 0.0
+            best_from: Net | None = None
+            for in_pin in cell.ctype.inputs:
+                in_net = cell.pins[in_pin]
+                time = (
+                    arrival.get(in_net.uid, 0.0)
+                    + wire_delays.get(in_net.uid, 0.0)
+                    + cell.ctype.pin_delay(in_pin, out_pin)
+                )
+                if time > best_time:
+                    best_time = time
+                    best_from = in_net
+            arrival[out_net.uid] = best_time
+            from_cell[out_net.uid] = (cell, best_from) if best_from else None
+
+    # Capture at flop d pins (+ setup) and at primary outputs.
+    for flop in circuit.flops():
+        for in_pin in flop.ctype.inputs:
+            net = flop.pins[in_pin]
+            time = (
+                arrival.get(net.uid, 0.0)
+                + wire_delays.get(net.uid, 0.0)
+                + flop.ctype.setup
+            )
+            if time > worst:
+                worst = time
+                worst_end = (flop, in_pin)
+    for nets in circuit.output_buses.values():
+        for net in nets:
+            time = arrival.get(net.uid, 0.0) + wire_delays.get(net.uid, 0.0)
+            if time > worst:
+                worst = time
+                worst_end = None
+
+    path: list[str] = []
+    if worst_end is not None:
+        cell, pin = worst_end
+        path.append(cell.name)
+        cursor = cell.pins[pin]
+        while cursor is not None:
+            step = from_cell.get(cursor.uid)
+            if step is None:
+                break
+            cell, cursor = step
+            path.append(cell.name)
+        path.reverse()
+
+    # A purely wire-through circuit still needs one flop period.
+    worst = max(worst, DFF.clk_to_q + DFF.setup)
+    fmax = 1000.0 / worst  # ns → MHz
+    return TimingReport(worst, fmax, path, arrival)

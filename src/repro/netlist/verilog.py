@@ -1,0 +1,102 @@
+"""Structural Verilog netlist emission (paper Fig. 6, ``*.v`` netlist).
+
+Renders a mapped :class:`~repro.netlist.circuit.Circuit` as a gate-level
+Verilog netlist over a small behavioural cell library (emitted alongside,
+so the file is self-contained and simulable by any Verilog tool).
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+#: Behavioural models of the standard cells, emitted once per file.
+CELL_MODELS = """\
+module INV (input wire a, output wire y);      assign y = ~a;      endmodule
+module BUF (input wire a, output wire y);      assign y = a;       endmodule
+module NAND2 (input wire i0, i1, output wire y); assign y = ~(i0 & i1); endmodule
+module NOR2 (input wire i0, i1, output wire y);  assign y = ~(i0 | i1); endmodule
+module AND2 (input wire i0, i1, output wire y);  assign y = i0 & i1; endmodule
+module OR2 (input wire i0, i1, output wire y);   assign y = i0 | i1; endmodule
+module XOR2 (input wire i0, i1, output wire y);  assign y = i0 ^ i1; endmodule
+module XNOR2 (input wire i0, i1, output wire y); assign y = ~(i0 ^ i1); endmodule
+module MUX2 (input wire d0, d1, s, output wire y); assign y = s ? d1 : d0; endmodule
+module DFF (input wire clk, d, output reg q);
+  initial q = 1'b0;
+  always @(posedge clk) q <= d;
+endmodule
+module TIE0 (output wire y); assign y = 1'b0; endmodule
+module TIE1 (output wire y); assign y = 1'b1; endmodule
+"""
+
+
+def _net_name(index: int) -> str:
+    return f"n{index}"
+
+
+def to_structural_verilog(circuit: Circuit, top_name: str | None = None,
+                          include_models: bool = True) -> str:
+    """Render *circuit* as a flat structural Verilog netlist."""
+    circuit.validate()
+    top = top_name or circuit.name
+    safe_top = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                       for ch in top)
+
+    net_ids: dict[int, str] = {}
+
+    def net(net_obj) -> str:
+        if net_obj.uid not in net_ids:
+            net_ids[net_obj.uid] = _net_name(len(net_ids))
+        return net_ids[net_obj.uid]
+
+    ports = ["input wire clk"]
+    body: list[str] = []
+    for name, nets in circuit.input_buses.items():
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        ports.append(f"input wire {width}{name}")
+        for index, bit_net in enumerate(nets):
+            suffix = f"[{index}]" if len(nets) > 1 else ""
+            body.append(f"  assign {net(bit_net)} = {name}{suffix};")
+    for name, nets in circuit.output_buses.items():
+        width = f"[{len(nets) - 1}:0] " if len(nets) > 1 else ""
+        ports.append(f"output wire {width}{name}")
+
+    wires = []
+    cells = []
+    for index, cell in enumerate(circuit.cells):
+        pins = []
+        if cell.ctype.sequential:
+            pins.append(".clk(clk)")
+        for pin, pin_net in cell.pins.items():
+            pins.append(f".{pin}({net(pin_net)})")
+        cells.append(
+            f"  {cell.ctype.name} u{index} ({', '.join(pins)});"
+        )
+    assigns_out = []
+    for name, nets in circuit.output_buses.items():
+        for index, bit_net in enumerate(nets):
+            suffix = f"[{index}]" if len(nets) > 1 else ""
+            assigns_out.append(f"  assign {name}{suffix} = "
+                               f"{net(bit_net)};")
+    wires = [f"  wire {name};" for name in net_ids.values()]
+
+    lines = []
+    if include_models:
+        lines.append(CELL_MODELS)
+    lines.append(f"module {safe_top} (\n  " + ",\n  ".join(ports) + "\n);")
+    lines.extend(wires)
+    lines.extend(body)
+    lines.extend(cells)
+    lines.extend(assigns_out)
+    lines.append("endmodule\n")
+    return "\n".join(lines)
+
+
+def netlist_stats_comment(circuit: Circuit) -> str:
+    """A summary comment block matching synthesis-tool report headers."""
+    from repro.netlist.area import cell_histogram, total_area
+
+    histogram = cell_histogram(circuit)
+    rows = "\n".join(f"//   {name:<8s} {count:6d}"
+                     for name, count in histogram.items())
+    return (f"// design {circuit.name}: {len(circuit.cells)} cells, "
+            f"{total_area(circuit):.1f} GE\n{rows}\n")

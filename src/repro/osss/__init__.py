@@ -1,0 +1,50 @@
+"""The OSSS object-oriented hardware layer — the paper's core contribution.
+
+Synthesizable classes (:class:`HwClass`), C++-style templates
+(:func:`template`), polymorphic storage (:class:`PolyVar`) and global shared
+objects with generated arbitration (:class:`SharedObject`), plus the object
+state ↔ flat bit-vector mapping (:class:`StateLayout`) that the synthesizer
+applies (paper §8).
+"""
+
+from repro.osss.hwclass import HwClass, HwClassError, registry
+from repro.osss.polymorph import PolyVar
+from repro.osss.shared import (
+    ClientPort,
+    Fcfs,
+    RoundRobin,
+    Scheduler,
+    SharedAccessError,
+    SharedObject,
+    StaticPriority,
+)
+from repro.osss.state_layout import StateLayout, pack_object, unpack_object
+from repro.osss.template import (
+    TemplateError,
+    is_generic,
+    is_template,
+    template,
+    template_binding,
+)
+
+__all__ = [
+    "ClientPort",
+    "Fcfs",
+    "HwClass",
+    "HwClassError",
+    "PolyVar",
+    "RoundRobin",
+    "Scheduler",
+    "SharedAccessError",
+    "SharedObject",
+    "StateLayout",
+    "StaticPriority",
+    "TemplateError",
+    "is_generic",
+    "is_template",
+    "pack_object",
+    "registry",
+    "template",
+    "template_binding",
+    "unpack_object",
+]

@@ -1,0 +1,221 @@
+"""Synthesizable hardware classes (paper §6, Fig. 2–5).
+
+:class:`HwClass` is the OSSS hardware-class base.  A subclass declares its
+data members in a ``layout()`` classmethod (name → :class:`TypeSpec`),
+defines an optional synthesizable constructor ``construct()`` and ordinary
+Python methods; it then behaves like a C++ class in the paper's listings:
+
+* instantiable inside a module or a process;
+* full member access control by Python convention (``_private`` members);
+* inheritance — derived layouts extend base layouts, methods override;
+* operator overloading (``__eq__`` and friends map to ``operator ==``);
+* usable with :func:`repro.osss.template.template` parameters.
+
+For synthesis the data members are packed into a single flat bit vector
+(:mod:`repro.osss.state_layout`) and each method is resolved into a
+non-member function over that vector, exactly the resolution shown in the
+paper's Fig. 7/8.  For simulation the members simply live in a dict and
+methods run as plain Python — the OSSS promise that the same source both
+simulates and synthesizes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.osss.template import is_generic
+from repro.types.spec import TypeSpec
+
+
+class HwClassError(TypeError):
+    """Raised for invalid hardware-class declarations or member access."""
+
+
+class _HwClassRegistry:
+    """Registry of all hardware classes — the seed of the 'design library'.
+
+    Tracks declaration order (giving polymorphism tags a deterministic
+    encoding) and the concrete-subclass sets used by
+    :class:`repro.osss.polymorph.PolyVar`.
+    """
+
+    def __init__(self) -> None:
+        self._classes: list[type] = []
+
+    def register(self, cls: type) -> None:
+        self._classes.append(cls)
+
+    def all_classes(self) -> tuple[type, ...]:
+        """Every registered hardware class, in declaration order."""
+        return tuple(self._classes)
+
+    def concrete_subclasses(self, base: type) -> tuple[type, ...]:
+        """Concrete (instantiable) registered subclasses of *base*.
+
+        Includes *base* itself when concrete.  Template specializations are
+        included only if they have been created (instantiated somewhere).
+        """
+        found = []
+        for cls in self._classes:
+            if issubclass(cls, base) and not is_generic(cls) \
+                    and not cls.__dict__.get("abstract", False):
+                found.append(cls)
+        return tuple(found)
+
+
+#: The process-wide hardware class registry.
+registry = _HwClassRegistry()
+
+
+class HwClass:
+    """Base class for synthesizable hardware objects.
+
+    Subclasses override:
+
+    ``layout()``
+        Classmethod returning an ordered ``dict`` of member name →
+        :class:`~repro.types.spec.TypeSpec`.  Template parameters are
+        available as class attributes, so widths may depend on them.
+    ``construct()``
+        Optional synthesizable constructor; runs at instantiation with all
+        members zero-initialized.
+    ``abstract``
+        Class attribute; set True for interface-only bases that only serve
+        as polymorphic handles.
+    """
+
+    #: Interface-only classes set this True and get no polymorphism tag.
+    abstract = False
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        registry.register(cls)
+
+    @classmethod
+    def layout(cls) -> dict[str, TypeSpec]:
+        """Member declarations; base implementation declares none."""
+        return {}
+
+    @classmethod
+    def full_layout(cls) -> dict[str, TypeSpec]:
+        """Layout including inherited members, bases first (C++ order).
+
+        A derived class may not redeclare a base member.
+        """
+        merged: dict[str, TypeSpec] = {}
+        for klass in reversed(cls.__mro__):
+            layout_fn = vars(klass).get("layout")
+            if layout_fn is None:
+                continue
+            # Bind the defining class's layout() to the *most derived* class
+            # so member widths see bound template parameters.
+            own = layout_fn.__get__(None, cls)()
+            for name, spec in own.items():
+                if not isinstance(spec, TypeSpec):
+                    raise HwClassError(
+                        f"{klass.__name__}.layout()[{name!r}] must be a "
+                        f"TypeSpec, got {type(spec).__name__}"
+                    )
+                if name in merged and merged[name] != spec:
+                    raise HwClassError(
+                        f"{klass.__name__} redeclares member {name!r} with a "
+                        "different type"
+                    )
+                merged[name] = spec
+            # vars(klass)["layout"] sees the most-derived override when the
+            # subclass calls super().layout(); stop merging duplicates by
+            # only visiting classes that *define* layout.
+        return merged
+
+    def __init__(self) -> None:
+        cls = type(self)
+        if is_generic(cls):
+            raise HwClassError(
+                f"{cls.__name__} is a generic template; instantiate a "
+                f"specialization, e.g. {cls.__name__}[...]()"
+            )
+        if cls.__dict__.get("abstract", False):
+            raise HwClassError(f"{cls.__name__} is abstract")
+        members = cls.full_layout()
+        object.__setattr__(self, "_member_specs", members)
+        object.__setattr__(
+            self, "_members", {name: spec.default() for name, spec in members.items()}
+        )
+        self.construct()
+
+    def construct(self) -> None:
+        """Synthesizable constructor body; default does nothing."""
+
+    # ------------------------------------------------------------------
+    # member access
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        # Only called when normal lookup fails: members live in _members.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        members = self.__dict__.get("_members")
+        if members is not None and name in members:
+            return members[name]
+        raise AttributeError(
+            f"{type(self).__name__} has no member {name!r} "
+            f"(declared: {sorted(self._member_specs)})"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name.startswith("_"):
+            object.__setattr__(self, name, value)
+            return
+        specs = self.__dict__.get("_member_specs")
+        if specs is None or name not in specs:
+            raise HwClassError(
+                f"{type(self).__name__} has no declared member {name!r}; "
+                "declare it in layout()"
+            )
+        spec = specs[name]
+        if type(value) is spec._expected:
+            if spec.kind != "bit" and value.width != spec.width:
+                spec.check(value)
+        elif isinstance(value, bool):
+            value = spec.from_raw(int(value))
+        elif isinstance(value, int):
+            value = spec.from_raw(value & ((1 << spec.width) - 1))
+        else:
+            spec.check(value)
+        self.__dict__["_members"][name] = value
+
+    # ------------------------------------------------------------------
+    # introspection (tracing, state packing, synthesis)
+    # ------------------------------------------------------------------
+    def hw_members(self) -> dict[str, Any]:
+        """Current member values in declaration order (used by sc_trace)."""
+        return dict(self._members)
+
+    @classmethod
+    def member_specs(cls) -> dict[str, TypeSpec]:
+        """Alias of :meth:`full_layout` for external tooling."""
+        return cls.full_layout()
+
+    def copy(self) -> "HwClass":
+        """A value copy (objects transferred via signals are values)."""
+        clone = type(self).__new__(type(self))
+        object.__setattr__(clone, "_member_specs", dict(self._member_specs))
+        object.__setattr__(clone, "_members", dict(self._members))
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        """Default whole-object comparison (overloadable, paper Fig. 11)."""
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._members == other._members
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(
+            (k, repr(v)) for k, v in self._members.items()
+        )))
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        return iter(self._members.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._members.items())
+        return f"{type(self).__name__}({inner})"

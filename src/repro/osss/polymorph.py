@@ -1,0 +1,148 @@
+"""Synthesizable polymorphism (paper §6, §8).
+
+A :class:`PolyVar` is polymorphic storage declared against a base hardware
+class: it can hold any registered concrete subclass and dispatches method
+calls to the stored object's overrides — *"to call different operations
+through the same interface on different objects"*, the paper's ALU example.
+
+Synthesis lowers a ``PolyVar`` to a **tag** (``ceil(log2(n))`` bits
+selecting the dynamic class) plus a state vector sized for the *largest*
+subclass; a virtual call becomes a tag-selected multiplexer over the inlined
+method bodies — §8: *"In case of polymorphism, multiplexers are being
+inserted to select the function and object."*  The simulation model below
+keeps exactly the information the hardware has (tag + state), so behaviour
+matches the generated netlist bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence
+
+from repro.osss.hwclass import HwClass, HwClassError, registry
+from repro.osss.state_layout import StateLayout
+
+
+class PolyVar:
+    """Polymorphic object storage with a fixed set of dynamic classes.
+
+    Parameters
+    ----------
+    base:
+        The common base :class:`HwClass`; virtual calls use its interface.
+    subclasses:
+        The concrete classes this variable may hold, in tag order.  Defaults
+        to every registered concrete subclass of *base* at declaration time
+        — pass an explicit list in synthesizable designs so tags do not
+        depend on import order.
+    init:
+        Optional initial object; defaults to a default-constructed instance
+        of the first subclass.
+    """
+
+    def __init__(
+        self,
+        base: type,
+        subclasses: Sequence[type] | None = None,
+        init: HwClass | None = None,
+    ) -> None:
+        if not (isinstance(base, type) and issubclass(base, HwClass)):
+            raise TypeError("PolyVar base must be a HwClass subclass")
+        self.base = base
+        if subclasses is None:
+            subclasses = registry.concrete_subclasses(base)
+        if not subclasses:
+            raise HwClassError(
+                f"PolyVar({base.__name__}) has no concrete subclasses"
+            )
+        for cls in subclasses:
+            if not issubclass(cls, base):
+                raise HwClassError(
+                    f"{cls.__name__} is not a subclass of {base.__name__}"
+                )
+        self.subclasses = tuple(subclasses)
+        self._current: HwClass = init if init is not None else self.subclasses[0]()
+        if type(self._current) not in self.subclasses:
+            raise HwClassError(
+                f"initial object {type(self._current).__name__} is not in "
+                "the declared subclass set"
+            )
+
+    # ------------------------------------------------------------------
+    # hardware geometry
+    # ------------------------------------------------------------------
+    @property
+    def tag_width(self) -> int:
+        """Bits needed to encode the dynamic class."""
+        return max(1, math.ceil(math.log2(len(self.subclasses))))
+
+    @property
+    def state_width(self) -> int:
+        """Bits of the shared state vector (largest subclass)."""
+        return max(StateLayout.of(cls).total_width for cls in self.subclasses)
+
+    @property
+    def total_width(self) -> int:
+        """Tag plus state — the full storage cost of the variable."""
+        return self.tag_width + self.state_width
+
+    @property
+    def tag(self) -> int:
+        """Current dynamic-class tag."""
+        return self.subclasses.index(type(self._current))
+
+    # ------------------------------------------------------------------
+    # object access
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> HwClass:
+        """The currently stored object."""
+        return self._current
+
+    def assign(self, obj: HwClass) -> None:
+        """Store *obj* (value semantics; the object is copied)."""
+        if type(obj) not in self.subclasses:
+            raise HwClassError(
+                f"cannot assign {type(obj).__name__}; PolyVar accepts "
+                f"{[c.__name__ for c in self.subclasses]}"
+            )
+        self._current = obj.copy()
+
+    def call(self, method: str, *args: Any) -> Any:
+        """Virtual dispatch: invoke *method* on the stored object."""
+        if not hasattr(self.base, method):
+            raise AttributeError(
+                f"{self.base.__name__} interface has no method {method!r}"
+            )
+        return getattr(self._current, method)(*args)
+
+    def __getattr__(self, name: str) -> Callable[..., Any]:
+        # Sugar: poly.execute(a, b) == poly.call("execute", a, b).
+        if name.startswith("_") or not hasattr(self.base, name):
+            raise AttributeError(name)
+
+        def dispatch(*args: Any) -> Any:
+            return self.call(name, *args)
+
+        return dispatch
+
+    # ------------------------------------------------------------------
+    # packed representation (what the netlist stores)
+    # ------------------------------------------------------------------
+    def pack(self) -> tuple[int, int]:
+        """``(tag, state_raw)`` exactly as the generated hardware holds it."""
+        state = StateLayout.of(type(self._current)).pack(self._current)
+        return self.tag, state.raw
+
+    def load(self, tag: int, state_raw: int) -> None:
+        """Restore from a packed representation."""
+        if not 0 <= tag < len(self.subclasses):
+            raise ValueError(f"tag {tag} out of range")
+        cls = self.subclasses[tag]
+        self._current = StateLayout.of(cls).unpack(state_raw)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyVar({self.base.__name__}, tag={self.tag}, "
+            f"current={self._current!r})"
+        )

@@ -1,0 +1,315 @@
+"""Global (shared) objects with generated scheduling (paper §6, §8).
+
+Components *"either shared resources (like an ALU) or used for
+intercommunication (like buses or memories)"* are declared once as a
+:class:`SharedObject` and accessed from several clocked threads through
+:class:`ClientPort` handles.  Access is a blocking member-function call —
+``result = yield from port.call("execute", a, b)`` — and *"the access and
+scheduling of a global object gets automatically included for synthesis"*:
+the synthesizer emits an arbiter (see ``repro.synth.sharedgen``) whose
+cycle behaviour matches this simulation model exactly.
+
+Timing contract (identical in simulation and generated RTL)
+-----------------------------------------------------------
+* cycle *t*:   client posts its request (request register written);
+* cycle *t+1*: the arbiter sees all requests posted before *t+1*, picks a
+  winner with the :class:`Scheduler` policy, executes the method
+  combinationally and registers the result;
+* cycle *t+2*: the winning client observes its completed result and
+  resumes.  Losing clients keep spinning and are served in later rounds.
+
+An uncontended call therefore costs two cycles; each lost arbitration round
+adds one.  *"A designer can use a standard scheduler or implement an own
+according to the required needs"* — subclass :class:`Scheduler`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.osss.hwclass import HwClass
+
+
+class SharedAccessError(RuntimeError):
+    """Raised for protocol misuse (double request, unknown method, ...)."""
+
+
+class Scheduler:
+    """Arbitration policy interface.
+
+    ``pick`` receives the indices of clients with eligible requests (always
+    non-empty, ascending) and returns the winning index.  ``reset`` clears
+    any internal state (round-robin pointers etc.).
+    """
+
+    #: Policy name used by the synthesizer to emit matching RTL.
+    policy_name = "custom"
+
+    def pick(self, eligible: Sequence[int], num_clients: int) -> int:
+        """Return the winning client index."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal arbitration state."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class StaticPriority(Scheduler):
+    """Lowest client index always wins (simple priority encoder)."""
+
+    policy_name = "static_priority"
+
+    def pick(self, eligible: Sequence[int], num_clients: int) -> int:
+        return min(eligible)
+
+
+class RoundRobin(Scheduler):
+    """Fair rotation: the pointer advances past each winner."""
+
+    policy_name = "round_robin"
+
+    def __init__(self) -> None:
+        self._pointer = 0
+
+    @property
+    def pointer(self) -> int:
+        """Next preferred client index."""
+        return self._pointer
+
+    def pick(self, eligible: Sequence[int], num_clients: int) -> int:
+        for offset in range(num_clients):
+            candidate = (self._pointer + offset) % num_clients
+            if candidate in eligible:
+                self._pointer = (candidate + 1) % num_clients
+                return candidate
+        raise SharedAccessError("pick() called with no eligible client")
+
+    def reset(self) -> None:
+        self._pointer = 0
+
+
+class Fcfs(Scheduler):
+    """First come, first served; ties broken by client index.
+
+    Synthesized with per-client age counters (saturating), so very old
+    requests of equal recorded age fall back to index order — matching the
+    simulation model, which uses exact arrival stamps but saturates them
+    through :attr:`age_bits`.
+    """
+
+    policy_name = "fcfs"
+
+    def __init__(self, age_bits: int = 8) -> None:
+        self.age_bits = age_bits
+        self._ages: dict[int, int] = {}
+
+    def note_waiting(self, waiting: Sequence[int]) -> None:
+        """Advance age counters; called by the shared object every round."""
+        ceiling = (1 << self.age_bits) - 1
+        for index in waiting:
+            self._ages[index] = min(self._ages.get(index, 0) + 1, ceiling)
+        for index in list(self._ages):
+            if index not in waiting:
+                del self._ages[index]
+
+    def pick(self, eligible: Sequence[int], num_clients: int) -> int:
+        return max(eligible, key=lambda i: (self._ages.get(i, 0), -i))
+
+    def reset(self) -> None:
+        self._ages.clear()
+
+
+class _Request:
+    """A posted, not-yet-served method call."""
+
+    __slots__ = ("method", "args", "arrival")
+
+    def __init__(self, method: str, args: tuple, arrival: int) -> None:
+        self.method = method
+        self.args = args
+        self.arrival = arrival
+
+
+class _Result:
+    """A completed call waiting for its client to fetch it."""
+
+    __slots__ = ("value", "ready_at")
+
+    def __init__(self, value: Any, ready_at: int) -> None:
+        self.value = value
+        self.ready_at = ready_at
+
+
+class ClientPort:
+    """One client's handle onto a :class:`SharedObject`."""
+
+    def __init__(self, owner: "SharedObject", index: int, name: str) -> None:
+        self.owner = owner
+        self.index = index
+        self.name = name
+
+    def call(self, method: str, *args: Any) -> Iterator[None]:
+        """Blocking shared-object access; use ``yield from`` in a CThread.
+
+        Returns the method's return value after the arbitration rounds
+        described in the module docstring.
+        """
+        self.owner.post(self.index, method, args)
+        while True:
+            yield
+            self.owner.arbitrate()
+            result = self.owner.fetch(self.index)
+            if result is not _PENDING:
+                return result
+
+    def __repr__(self) -> str:
+        return f"ClientPort({self.owner.name}.{self.name}[{self.index}])"
+
+
+#: Sentinel distinguishing "no result yet" from a method returning None.
+_PENDING = object()
+
+
+class SharedObject:
+    """A globally accessible hardware object with generated arbitration.
+
+    Parameters
+    ----------
+    name:
+        Instance name (used for generated modules and reports).
+    instance:
+        The guarded :class:`HwClass` object.
+    scheduler:
+        Arbitration policy; defaults to :class:`RoundRobin`, the paper's
+        "standard scheduler".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        instance: HwClass,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        if not isinstance(instance, HwClass):
+            raise TypeError("SharedObject guards a HwClass instance")
+        self.name = name
+        self.instance = instance
+        self.scheduler = scheduler if scheduler is not None else RoundRobin()
+        self.ports: list[ClientPort] = []
+        self._requests: dict[int, _Request] = {}
+        self._results: dict[int, _Result] = {}
+        self._last_arbitration: int | None = None
+        #: Per-client time of the last completed (fetched) call: the
+        #: generated arbiter needs one ack + one clear cycle before the
+        #: same client can win again, so a request is ineligible until two
+        #: clock cycles after its owner's previous fetch.  The clock period
+        #: is inferred from successive arbitration timestamps.
+        self._last_fetch: dict[int, int] = {}
+        self._period: int | None = None
+        self.grant_history: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def client_port(self, name: str) -> ClientPort:
+        """Create the next client port; call once per accessing process."""
+        port = ClientPort(self, len(self.ports), name)
+        self.ports.append(port)
+        return port
+
+    @property
+    def num_clients(self) -> int:
+        """Number of created client ports."""
+        return len(self.ports)
+
+    # ------------------------------------------------------------------
+    # protocol engine
+    # ------------------------------------------------------------------
+    def _now(self) -> int:
+        from repro.hdl.kernel import current_simulator
+
+        sim = current_simulator()
+        if sim is None:
+            raise SharedAccessError(
+                "shared-object access requires a running simulator; "
+                "use call_direct() in plain unit tests"
+            )
+        return sim.now
+
+    def post(self, index: int, method: str, args: tuple) -> None:
+        """Register a request from client *index* (arrival-stamped now)."""
+        if index in self._requests:
+            raise SharedAccessError(
+                f"client {index} posted a second request while one is "
+                "pending"
+            )
+        if not callable(getattr(self.instance, method, None)):
+            raise SharedAccessError(
+                f"{type(self.instance).__name__} has no method {method!r}"
+            )
+        self._requests[index] = _Request(method, args, self._now())
+
+    def arbitrate(self) -> None:
+        """Run at most one arbitration round per timestamp."""
+        now = self._now()
+        if self._last_arbitration == now:
+            return
+        if self._last_arbitration is not None:
+            delta = now - self._last_arbitration
+            if delta > 0 and (self._period is None or delta < self._period):
+                self._period = delta
+        self._last_arbitration = now
+        turnaround = 2 * (self._period or 0)
+        eligible = sorted(
+            index
+            for index, request in self._requests.items()
+            if request.arrival < now
+            and now - self._last_fetch.get(index, -(1 << 62)) >= turnaround
+        )
+        if isinstance(self.scheduler, Fcfs):
+            self.scheduler.note_waiting(eligible)
+        if not eligible:
+            return
+        winner = self.scheduler.pick(eligible, max(self.num_clients, 1))
+        if winner not in eligible:
+            raise SharedAccessError(
+                f"scheduler {self.scheduler!r} picked ineligible client "
+                f"{winner}"
+            )
+        request = self._requests.pop(winner)
+        value = getattr(self.instance, request.method)(*request.args)
+        self._results[winner] = _Result(value, now)
+        self.grant_history.append((now, winner))
+
+    def fetch(self, index: int) -> Any:
+        """Fetch client *index*'s result if complete, else the sentinel."""
+        result = self._results.get(index)
+        if result is None or self._now() <= result.ready_at:
+            return _PENDING
+        del self._results[index]
+        self._last_fetch[index] = self._now()
+        return result.value
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def call_direct(self, method: str, *args: Any) -> Any:
+        """Bypass arbitration (unit tests of the guarded object only)."""
+        return getattr(self.instance, method)(*args)
+
+    def reset(self) -> None:
+        """Drop pending traffic and scheduler state (testbench resets)."""
+        self._requests.clear()
+        self._results.clear()
+        self._last_arbitration = None
+        self._last_fetch.clear()
+        self._period = None
+        self.scheduler.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedObject({self.name!r}, {type(self.instance).__name__}, "
+            f"{self.scheduler!r}, clients={self.num_clients})"
+        )

@@ -1,0 +1,134 @@
+"""Object state ↔ flat bit-vector mapping (paper §8).
+
+The OSSS synthesizer maps *"the data members of a class instance … to a
+single bit vector"* that *"stays where it has been declared"* and rewrites
+member access into part-selects of that vector (Fig. 7: ``sc_biguint<4>
+_this_``).  :class:`StateLayout` is that mapping: member name → (offset,
+spec) with members packed LSB-first in declaration order, inherited members
+first.
+
+The same layout drives three places, which is what makes claim R3 (zero
+resolution overhead) checkable:
+
+* the synthesizer's lowering of ``self.member`` into ``_this_`` slices,
+* the equivalence tests packing live simulation objects,
+* the generated readable intermediate code (Fig. 7/8).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.osss.hwclass import HwClass
+from repro.types.integer import Unsigned
+from repro.types.spec import TypeSpec
+
+
+class FieldSlot:
+    """Placement of one data member inside the packed state vector."""
+
+    __slots__ = ("name", "spec", "offset")
+
+    def __init__(self, name: str, spec: TypeSpec, offset: int) -> None:
+        self.name = name
+        self.spec = spec
+        self.offset = offset
+
+    @property
+    def width(self) -> int:
+        """Width of the member in bits."""
+        return self.spec.width
+
+    @property
+    def msb(self) -> int:
+        """Index of the member's most significant bit in the vector."""
+        return self.offset + self.spec.width - 1
+
+    def __repr__(self) -> str:
+        return f"FieldSlot({self.name}[{self.msb}:{self.offset}])"
+
+
+class StateLayout:
+    """The packed bit-vector layout of a hardware class."""
+
+    _cache: dict[type, "StateLayout"] = {}
+
+    def __init__(self, cls: type) -> None:
+        if not (isinstance(cls, type) and issubclass(cls, HwClass)):
+            raise TypeError(f"{cls!r} is not a HwClass subclass")
+        self.cls = cls
+        self.slots: dict[str, FieldSlot] = {}
+        offset = 0
+        for name, spec in cls.full_layout().items():
+            self.slots[name] = FieldSlot(name, spec, offset)
+            offset += spec.width
+        self.total_width = max(offset, 1)
+
+    @classmethod
+    def of(cls, hw_cls: type) -> "StateLayout":
+        """Memoized layout lookup for *hw_cls*."""
+        layout = cls._cache.get(hw_cls)
+        if layout is None:
+            layout = StateLayout(hw_cls)
+            cls._cache[hw_cls] = layout
+        return layout
+
+    # ------------------------------------------------------------------
+    # packing
+    # ------------------------------------------------------------------
+    def pack(self, instance: HwClass) -> Unsigned:
+        """Pack a live object's members into the flat state vector."""
+        if not isinstance(instance, self.cls):
+            raise TypeError(
+                f"cannot pack {type(instance).__name__} with the layout of "
+                f"{self.cls.__name__}"
+            )
+        raw = 0
+        members = instance.hw_members()
+        for name, slot in self.slots.items():
+            raw |= slot.spec.to_raw(members[name]) << slot.offset
+        return Unsigned(self.total_width, raw)
+
+    def unpack(self, vector: "Unsigned | int") -> HwClass:
+        """Rebuild an object (bypassing the constructor) from the vector."""
+        raw = int(vector) if not isinstance(vector, Unsigned) else vector.raw
+        instance = self.cls.__new__(self.cls)
+        object.__setattr__(instance, "_member_specs", self.cls.full_layout())
+        members = {}
+        for name, slot in self.slots.items():
+            field_raw = (raw >> slot.offset) & ((1 << slot.width) - 1)
+            members[name] = slot.spec.from_raw(field_raw)
+        object.__setattr__(instance, "_members", members)
+        return instance
+
+    def field_raw(self, vector: "Unsigned | int", name: str) -> int:
+        """Extract one member's raw bits from a packed vector."""
+        slot = self.slots[name]
+        raw = int(vector) if not isinstance(vector, Unsigned) else vector.raw
+        return (raw >> slot.offset) & ((1 << slot.width) - 1)
+
+    # ------------------------------------------------------------------
+    # reports
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable layout table (used in generated code comments)."""
+        lines = [f"state vector of {self.cls.__name__}: "
+                 f"{self.total_width} bit(s)"]
+        for name, slot in self.slots.items():
+            lines.append(
+                f"  [{slot.msb}:{slot.offset}] {name} : {slot.spec.describe()}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"StateLayout({self.cls.__name__}, {self.total_width} bits)"
+
+
+def pack_object(instance: HwClass) -> Unsigned:
+    """Convenience: pack *instance* using its class layout."""
+    return StateLayout.of(type(instance)).pack(instance)
+
+
+def unpack_object(cls: type, vector: "Unsigned | int") -> HwClass:
+    """Convenience: unpack *vector* as an instance of *cls*."""
+    return StateLayout.of(cls).unpack(vector)

@@ -1,0 +1,142 @@
+"""Synthesizable templates (paper §6, Fig. 3–4).
+
+The ``@template`` decorator reproduces C++ class templates for hardware
+classes *and* modules: ``SyncRegister[4, 0]`` creates (and memoizes) a
+specialization with the template parameters bound as class attributes,
+mirroring the paper's ``SyncRegister< 4, 0 > data_sync_reg;``.
+
+Template parameters may be integers, booleans, strings, type specs or —
+matching OSSS's "even complex types like classes" — other hardware classes.
+Each distinct argument tuple yields exactly one specialized class, so
+specializations compare identical by ``is`` and the synthesizer resolves
+each specialization once.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class TemplateError(TypeError):
+    """Raised for bad template usage (missing/excess/duplicate arguments)."""
+
+
+def _spec_name(value: Any) -> str:
+    """A readable suffix fragment for a template argument."""
+    if isinstance(value, type):
+        return value.__name__
+    return str(value).replace(" ", "").replace(".", "_")
+
+
+def template(*param_names: str, **defaults: Any):
+    """Class decorator declaring template parameters.
+
+    Parameters
+    ----------
+    param_names:
+        Names of required template parameters, in positional order.
+    defaults:
+        Optional trailing parameters with default values.
+
+    The decorated class gains:
+
+    * ``Cls[args]`` — create/fetch the specialization (``__class_getitem__``);
+    * ``Cls.specialize(**kwargs)`` — keyword form;
+    * ``is_generic`` / ``template_args`` attributes used by the analyzer.
+
+    A generic class with unbound required parameters cannot be instantiated.
+    """
+    ordered = list(param_names) + list(defaults)
+    if len(set(ordered)) != len(ordered):
+        raise TemplateError(f"duplicate template parameter in {ordered}")
+
+    def decorate(cls: type) -> type:
+        cls._template_params_ = tuple(ordered)
+        cls._template_required_ = tuple(param_names)
+        cls._template_defaults_ = dict(defaults)
+        cls._template_base_ = cls
+        cls._template_args_ = None  # generic
+        cls._template_cache_ = {}
+
+        def class_getitem(inner_cls, args: Any) -> type:
+            if not isinstance(args, tuple):
+                args = (args,)
+            return _specialize(inner_cls, args)
+
+        cls.__class_getitem__ = classmethod(
+            lambda inner_cls, args: class_getitem(inner_cls, args)
+        )
+        cls.specialize = classmethod(_specialize_kw)
+        return cls
+
+    return decorate
+
+
+def _specialize(cls: type, args: tuple) -> type:
+    base = cls._template_base_
+    params = base._template_params_
+    required = base._template_required_
+    if len(args) < len(required):
+        raise TemplateError(
+            f"{base.__name__} needs {len(required)} template argument(s) "
+            f"{required}, got {len(args)}"
+        )
+    if len(args) > len(params):
+        raise TemplateError(
+            f"{base.__name__} takes at most {len(params)} template "
+            f"argument(s), got {len(args)}"
+        )
+    binding = dict(base._template_defaults_)
+    for name, value in zip(params, args):
+        binding[name] = value
+    key = tuple(binding[name] for name in params)
+    cache = base._template_cache_
+    if key in cache:
+        return cache[key]
+    suffix = "_".join(_spec_name(binding[name]) for name in params)
+    namespace = dict(binding)
+    namespace["_template_args_"] = key
+    namespace["_template_base_"] = base
+    specialized = type(f"{base.__name__}_{suffix}", (base,), namespace)
+    specialized.__module__ = base.__module__
+    specialized.__qualname__ = f"{base.__qualname__}[{suffix}]"
+    cache[key] = specialized
+    return specialized
+
+
+def _specialize_kw(cls: type, **kwargs: Any) -> type:
+    base = cls._template_base_
+    params = base._template_params_
+    unknown = set(kwargs) - set(params)
+    if unknown:
+        raise TemplateError(
+            f"{base.__name__} has no template parameter(s) {sorted(unknown)}"
+        )
+    binding = dict(base._template_defaults_)
+    binding.update(kwargs)
+    missing = [p for p in base._template_required_ if p not in binding]
+    if missing:
+        raise TemplateError(
+            f"{base.__name__} missing template argument(s) {missing}"
+        )
+    args = tuple(binding[name] for name in params if name in binding)
+    return _specialize(base, args)
+
+
+def is_template(cls: type) -> bool:
+    """True if *cls* was declared with :func:`template`."""
+    return hasattr(cls, "_template_params_")
+
+
+def is_generic(cls: type) -> bool:
+    """True if *cls* is an unspecialized template (cannot instantiate)."""
+    return is_template(cls) and cls._template_args_ is None
+
+
+def template_binding(cls: type) -> dict[str, Any]:
+    """Mapping of template parameter name to bound value for *cls*."""
+    if not is_template(cls):
+        return {}
+    if is_generic(cls):
+        return dict(cls._template_defaults_)
+    return dict(zip(cls._template_params_, cls._template_args_))

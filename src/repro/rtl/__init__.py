@@ -1,0 +1,56 @@
+"""RTL substrate: IR, builder, cycle-accurate simulator and linter."""
+
+from repro.rtl.build import RtlBuilder
+from repro.rtl.ir import (
+    BinOp,
+    Carrier,
+    Concat,
+    Const,
+    Expr,
+    InputCarrier,
+    Instance,
+    Mux,
+    Read,
+    Register,
+    Resize,
+    RtlError,
+    RtlModule,
+    ShiftConst,
+    ShiftDyn,
+    Slice,
+    UnaryOp,
+    WireCarrier,
+    mux,
+)
+from repro.rtl.lint import LintReport, lint_module
+from repro.rtl.simulate import CombinationalLoopError, RtlSimulator
+from repro.rtl.verilog import VerilogWriter, to_verilog
+
+__all__ = [
+    "BinOp",
+    "Carrier",
+    "CombinationalLoopError",
+    "Concat",
+    "Const",
+    "Expr",
+    "InputCarrier",
+    "Instance",
+    "LintReport",
+    "Mux",
+    "Read",
+    "Register",
+    "Resize",
+    "RtlBuilder",
+    "RtlError",
+    "RtlModule",
+    "RtlSimulator",
+    "ShiftConst",
+    "ShiftDyn",
+    "Slice",
+    "UnaryOp",
+    "WireCarrier",
+    "VerilogWriter",
+    "lint_module",
+    "mux",
+    "to_verilog",
+]

@@ -1,0 +1,129 @@
+"""Fluent RTL construction — the "VHDL flow" design entry.
+
+:class:`RtlBuilder` is how the hand-written baseline (``repro.baseline``)
+describes hardware the way the paper's reference designers wrote VHDL RTL:
+explicit registers, explicit next-value logic, explicit FSM encodings.  It
+is deliberately *lower level* than the OSSS path — that asymmetry is the
+comparison the paper's Results section draws.
+
+The builder adds exactly one convenience the raw IR lacks: a declared reset
+input is automatically folded into every register's next-value expression
+(``next = reset ? reset_value : user_next``), matching the synchronous
+reset the behavioral synthesizer emits, so both flows share identical reset
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.rtl.ir import (
+    Const,
+    Expr,
+    InputCarrier,
+    Instance,
+    Mux,
+    Read,
+    Register,
+    RtlError,
+    RtlModule,
+)
+from repro.types.spec import TypeSpec, bit
+
+
+class RtlBuilder:
+    """Imperative construction helper for :class:`RtlModule`.
+
+    Parameters
+    ----------
+    name:
+        Module name.
+    reset_port:
+        Name of the synchronous reset input to declare, or None for a
+        module without reset.
+    """
+
+    def __init__(self, name: str, reset_port: str | None = "reset") -> None:
+        self.module = RtlModule(name)
+        self._reset: InputCarrier | None = None
+        self._pending_next: dict[int, tuple[Register, Expr]] = {}
+        if reset_port is not None:
+            self._reset = self.module.add_input(reset_port, bit())
+            self.module.attributes["reset_port"] = reset_port
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def input(self, name: str, spec: TypeSpec) -> Read:
+        """Declare an input port; returns a read expression."""
+        return Read(self.module.add_input(name, spec))
+
+    def output(self, name: str, expr: Expr) -> None:
+        """Declare an output port driven by *expr*."""
+        self.module.add_output(name, expr)
+
+    def register(self, name: str, spec: TypeSpec, reset: int = 0) -> Register:
+        """Declare a register with a reset pattern."""
+        return self.module.add_register(name, spec, reset)
+
+    def wire(self, name: str, expr: Expr) -> Read:
+        """Name an intermediate expression; returns a read of the wire."""
+        return Read(self.module.add_wire(name, expr))
+
+    def instance(self, name: str, module: RtlModule,
+                 **connections: Expr) -> Instance:
+        """Instantiate a child module, connecting inputs by keyword.
+
+        The child's reset port (if any) is wired to this module's reset
+        automatically unless explicitly connected.
+        """
+        inst = self.module.add_instance(name, module)
+        child_reset = module.attributes.get("reset_port")
+        if (
+            child_reset
+            and child_reset not in connections
+            and self._reset is not None
+        ):
+            inst.connect(child_reset, Read(self._reset))
+        for port_name, expr in connections.items():
+            inst.connect(port_name, expr)
+        return inst
+
+    # ------------------------------------------------------------------
+    # next-value logic
+    # ------------------------------------------------------------------
+    def next(self, register: Register, expr: Expr) -> None:
+        """Assign *register*'s next value (once per register)."""
+        if register.uid in self._pending_next:
+            raise RtlError(
+                f"register {register.name!r} already has a next value; "
+                "combine conditions into one expression"
+            )
+        if expr.spec.width != register.spec.width:
+            raise RtlError(
+                f"register {register.name!r}: next width {expr.spec.width} "
+                f"!= {register.spec.width}"
+            )
+        self._pending_next[register.uid] = (register, expr)
+
+    def hold(self, register: Register) -> Read:
+        """Shorthand for the register's current value in next-value logic."""
+        return Read(register)
+
+    # ------------------------------------------------------------------
+    # completion
+    # ------------------------------------------------------------------
+    def build(self) -> RtlModule:
+        """Finalize: fold reset muxes, default undriven registers to hold."""
+        for reg in self.module.registers:
+            pending = self._pending_next.get(reg.uid)
+            user_next = pending[1] if pending else Read(reg)
+            if self._reset is not None:
+                user_next = Mux(
+                    Read(self._reset),
+                    Const(reg.spec, reg.reset_raw),
+                    user_next,
+                )
+            reg.next = user_next
+        self.module.validate()
+        return self.module

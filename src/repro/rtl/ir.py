@@ -1,0 +1,760 @@
+"""Register-transfer-level intermediate representation.
+
+One expression language is shared by three producers/consumers:
+
+* the OSSS behavioral synthesizer (``repro.synth``) emits it,
+* the hand-written "VHDL flow" baseline (``repro.baseline``) builds it
+  directly through :mod:`repro.rtl.build`,
+* the cycle-accurate RTL simulator (:mod:`repro.rtl.simulate`) and the
+  technology mapper (:mod:`repro.netlist.techmap`) consume it.
+
+An :class:`RtlModule` is a single synchronous clock domain: typed inputs and
+outputs, registers with next-value expressions (synchronous reset is already
+folded into the next-value mux by the producer), named combinational wires,
+and child instances.  Expression nodes are immutable and carry their
+:class:`~repro.types.spec.TypeSpec`; every operator's result width follows
+the exact rules of :mod:`repro.types.integer`, which is what keeps RTL
+bit-accurate with OSSS-level simulation (DESIGN.md claim R6).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.types.integer import add_width, bitwise_width, mul_width
+from repro.types.spec import TypeSpec, bit, bits, signed, unsigned
+
+
+class RtlError(ValueError):
+    """Raised for ill-formed RTL (width mismatches, multiple drivers...)."""
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+def _as_signed(raw: int, width: int) -> int:
+    if raw >> (width - 1):
+        return raw - (1 << width)
+    return raw
+
+
+def _numeric(raw: int, spec: TypeSpec) -> int:
+    """Interpret a raw pattern numerically (sign-aware)."""
+    if spec.kind == "signed" or spec.kind == "fixed":
+        return _as_signed(raw, spec.width)
+    return raw
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class of immutable, typed combinational expressions."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: TypeSpec) -> None:
+        object.__setattr__(self, "spec", spec)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("RTL expressions are immutable")
+
+    @property
+    def width(self) -> int:
+        """Result width in bits."""
+        return self.spec.width
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions."""
+        return ()
+
+    def evaluate(self, valuation: Callable[["Carrier"], int]) -> int:
+        """Raw result under *valuation* (carrier → raw int)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # operator sugar (used heavily by the hand-written baseline designs)
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "Expr | int") -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, int):
+            if self.spec.kind == "bit":
+                return Const(bit(), other & 1)
+            if other < 0 and self.spec.kind != "signed":
+                raise RtlError(f"negative constant {other} with {self.spec.describe()}")
+            return Const(self.spec, other & _mask(self.spec.width))
+        raise RtlError(f"cannot use {type(other).__name__} in an RTL expression")
+
+    def __add__(self, other: "Expr | int") -> "Expr":
+        return BinOp("add", self, self._coerce(other))
+
+    def __radd__(self, other: int) -> "Expr":
+        return BinOp("add", self._coerce(other), self)
+
+    def __sub__(self, other: "Expr | int") -> "Expr":
+        return BinOp("sub", self, self._coerce(other))
+
+    def __rsub__(self, other: int) -> "Expr":
+        return BinOp("sub", self._coerce(other), self)
+
+    def __mul__(self, other: "Expr | int") -> "Expr":
+        return BinOp("mul", self, self._coerce(other))
+
+    def __rmul__(self, other: int) -> "Expr":
+        return BinOp("mul", self._coerce(other), self)
+
+    def __and__(self, other: "Expr | int") -> "Expr":
+        return BinOp("and", self, self._coerce(other))
+
+    __rand__ = __and__
+
+    def __or__(self, other: "Expr | int") -> "Expr":
+        return BinOp("or", self, self._coerce(other))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "Expr | int") -> "Expr":
+        return BinOp("xor", self, self._coerce(other))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Expr":
+        return UnaryOp("invert", self)
+
+    def __lshift__(self, amount: int) -> "Expr":
+        return ShiftConst(self, amount, left=True)
+
+    def __rshift__(self, amount: int) -> "Expr":
+        return ShiftConst(self, amount, left=False)
+
+    def eq(self, other: "Expr | int") -> "Expr":
+        """Equality comparison (1-bit result)."""
+        return BinOp("eq", self, self._coerce(other))
+
+    def ne(self, other: "Expr | int") -> "Expr":
+        """Inequality comparison (1-bit result)."""
+        return BinOp("ne", self, self._coerce(other))
+
+    def lt(self, other: "Expr | int") -> "Expr":
+        """Less-than (sign-aware, 1-bit result)."""
+        return BinOp("lt", self, self._coerce(other))
+
+    def le(self, other: "Expr | int") -> "Expr":
+        """Less-or-equal (1-bit result)."""
+        return BinOp("le", self, self._coerce(other))
+
+    def gt(self, other: "Expr | int") -> "Expr":
+        """Greater-than (1-bit result)."""
+        return BinOp("gt", self, self._coerce(other))
+
+    def ge(self, other: "Expr | int") -> "Expr":
+        """Greater-or-equal (1-bit result)."""
+        return BinOp("ge", self, self._coerce(other))
+
+    def bit(self, index: int) -> "Expr":
+        """Single-bit select."""
+        return Slice(self, index, index, as_bit=True)
+
+    def range(self, hi: int, lo: int) -> "Expr":
+        """Inclusive part-select (BitVector result)."""
+        return Slice(self, hi, lo)
+
+    def resized(self, width: int) -> "Expr":
+        """Zero/sign-extend or truncate, keeping the kind."""
+        kind = self.spec.kind
+        if kind == "bit":
+            kind = "unsigned"
+        return Resize(self, TypeSpec(kind, width))
+
+    def as_unsigned(self) -> "Expr":
+        """Reinterpret the raw bits as unsigned."""
+        return Resize(self, unsigned(self.width))
+
+    def as_signed(self) -> "Expr":
+        """Reinterpret the raw bits as signed."""
+        return Resize(self, signed(self.width))
+
+    def as_bits(self) -> "Expr":
+        """Reinterpret the raw bits as a plain BitVector."""
+        if self.spec.kind == "bv":
+            return self
+        return Resize(self, bits(self.width))
+
+    def reduce_or(self) -> "Expr":
+        """OR-reduction to one bit."""
+        return UnaryOp("reduce_or", self)
+
+    def reduce_and(self) -> "Expr":
+        """AND-reduction to one bit."""
+        return UnaryOp("reduce_and", self)
+
+    def reduce_xor(self) -> "Expr":
+        """XOR-reduction (parity) to one bit."""
+        return UnaryOp("reduce_xor", self)
+
+    def logical_not(self) -> "Expr":
+        """1-bit logical negation (operand must be 1 bit)."""
+        if self.width != 1:
+            raise RtlError("logical_not needs a 1-bit operand; use reduce_or")
+        return UnaryOp("not", self)
+
+    def __bool__(self) -> bool:
+        raise RtlError(
+            "RTL expressions have no truth value; use mux()/eq() to build "
+            "hardware conditions"
+        )
+
+
+class Const(Expr):
+    """A literal of a given spec."""
+
+    __slots__ = ("raw",)
+
+    def __init__(self, spec: TypeSpec, raw: int) -> None:
+        super().__init__(spec)
+        object.__setattr__(self, "raw", raw & _mask(spec.width))
+
+    def evaluate(self, valuation: Callable[["Carrier"], int]) -> int:
+        return self.raw
+
+    def __repr__(self) -> str:
+        return f"Const({self.spec.describe()}, {self.raw})"
+
+
+class Carrier:
+    """Named storage an expression can read: register, input or wire."""
+
+    __slots__ = ("name", "spec", "uid")
+    _ids = itertools.count()
+
+    def __init__(self, name: str, spec: TypeSpec) -> None:
+        self.name = name
+        self.spec = spec
+        self.uid = next(Carrier._ids)
+
+    @property
+    def width(self) -> int:
+        """Storage width in bits."""
+        return self.spec.width
+
+    def read(self) -> "Read":
+        """An expression reading this carrier."""
+        return Read(self)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, {self.spec.describe()})"
+
+
+class Register(Carrier):
+    """Clocked storage; ``next`` is assigned by the module builder."""
+
+    __slots__ = ("next", "reset_raw")
+
+    def __init__(self, name: str, spec: TypeSpec, reset_raw: int = 0) -> None:
+        super().__init__(name, spec)
+        self.next: Expr | None = None
+        self.reset_raw = reset_raw & _mask(spec.width)
+
+
+class InputCarrier(Carrier):
+    """A module input port."""
+
+    __slots__ = ()
+
+
+class WireCarrier(Carrier):
+    """A named combinational node with a driving expression."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, name: str, spec: TypeSpec, expr: Expr) -> None:
+        super().__init__(name, spec)
+        if expr.spec.width != spec.width:
+            raise RtlError(
+                f"wire {name}: expression width {expr.spec.width} != "
+                f"declared {spec.width}"
+            )
+        self.expr = expr
+
+
+class InstanceOutputCarrier(Carrier):
+    """An output pin of a child instance, readable in the parent."""
+
+    __slots__ = ("instance", "port_name")
+
+    def __init__(self, instance: "Instance", port_name: str,
+                 spec: TypeSpec) -> None:
+        super().__init__(f"{instance.name}.{port_name}", spec)
+        self.instance = instance
+        self.port_name = port_name
+
+
+class Read(Expr):
+    """Read the current value of a carrier."""
+
+    __slots__ = ("carrier",)
+
+    def __init__(self, carrier: Carrier) -> None:
+        super().__init__(carrier.spec)
+        object.__setattr__(self, "carrier", carrier)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        return valuation(self.carrier)
+
+    def __repr__(self) -> str:
+        return f"Read({self.carrier.name})"
+
+
+_UNARY_RESULT: dict[str, Callable[[TypeSpec], TypeSpec]] = {
+    "invert": lambda s: s,
+    "neg": lambda s: s,
+    "not": lambda s: bit(),
+    "reduce_or": lambda s: bit(),
+    "reduce_and": lambda s: bit(),
+    "reduce_xor": lambda s: bit(),
+}
+
+
+class UnaryOp(Expr):
+    """Unary operator node."""
+
+    __slots__ = ("op", "a")
+
+    def __init__(self, op: str, a: Expr) -> None:
+        result = _UNARY_RESULT.get(op)
+        if result is None:
+            raise RtlError(f"unknown unary op {op!r}")
+        if op == "not" and a.width != 1:
+            raise RtlError("'not' needs a 1-bit operand")
+        super().__init__(result(a.spec))
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "a", a)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        raw = self.a.evaluate(valuation)
+        width = self.a.width
+        if self.op == "invert":
+            return ~raw & _mask(width)
+        if self.op == "neg":
+            return -_numeric(raw, self.a.spec) & _mask(width)
+        if self.op == "not":
+            return raw ^ 1
+        if self.op == "reduce_or":
+            return int(raw != 0)
+        if self.op == "reduce_and":
+            return int(raw == _mask(width))
+        return bin(raw).count("1") & 1  # reduce_xor
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op}, {self.a!r})"
+
+
+_ARITH = ("add", "sub", "mul")
+_BITWISE = ("and", "or", "xor")
+_COMPARE = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class BinOp(Expr):
+    """Binary operator node with deterministic result widths."""
+
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op: str, a: Expr, b: Expr) -> None:
+        spec = self._result_spec(op, a, b)
+        super().__init__(spec)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @staticmethod
+    def _kind(spec: TypeSpec) -> str:
+        # Bits participate in arithmetic as 1-bit unsigned values.
+        return {"bit": "unsigned", "bv": "unsigned", "fixed": "signed"}.get(
+            spec.kind, spec.kind
+        )
+
+    @classmethod
+    def _result_spec(cls, op: str, a: Expr, b: Expr) -> TypeSpec:
+        ka, kb = cls._kind(a.spec), cls._kind(b.spec)
+        if op in _ARITH or op in _COMPARE:
+            if ka != kb:
+                raise RtlError(
+                    f"{op}: cannot mix {a.spec.describe()} and "
+                    f"{b.spec.describe()}; convert explicitly"
+                )
+        if op in _COMPARE:
+            return bit()
+        if op in _ARITH:
+            width_fn = mul_width if op == "mul" else add_width
+            return TypeSpec(ka, width_fn(a.width, b.width))
+        if op in _BITWISE:
+            if a.spec.kind == "bit" and b.spec.kind == "bit":
+                return bit()
+            kind = a.spec.kind if a.spec.kind == b.spec.kind else "bv"
+            if kind == "bit":
+                kind = "bv"
+            return TypeSpec(kind, bitwise_width(a.width, b.width))
+        raise RtlError(f"unknown binary op {op!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.b)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        ra = self.a.evaluate(valuation)
+        rb = self.b.evaluate(valuation)
+        op = self.op
+        if op in _BITWISE:
+            table = {"and": ra & rb, "or": ra | rb, "xor": ra ^ rb}
+            return table[op] & _mask(self.width)
+        va = _numeric(ra, self.a.spec)
+        vb = _numeric(rb, self.b.spec)
+        if op == "add":
+            return (va + vb) & _mask(self.width)
+        if op == "sub":
+            return (va - vb) & _mask(self.width)
+        if op == "mul":
+            return (va * vb) & _mask(self.width)
+        result = {
+            "eq": va == vb,
+            "ne": va != vb,
+            "lt": va < vb,
+            "le": va <= vb,
+            "gt": va > vb,
+            "ge": va >= vb,
+        }[op]
+        return int(result)
+
+    def __repr__(self) -> str:
+        return f"BinOp({self.op}, {self.a!r}, {self.b!r})"
+
+
+class Mux(Expr):
+    """Two-way multiplexer: ``cond ? if_true : if_false``."""
+
+    __slots__ = ("cond", "if_true", "if_false")
+
+    def __init__(self, cond: Expr, if_true: Expr, if_false: Expr) -> None:
+        if cond.width != 1:
+            raise RtlError("mux condition must be 1 bit")
+        if if_true.width != if_false.width:
+            raise RtlError(
+                f"mux arm widths differ: {if_true.width} vs {if_false.width}"
+            )
+        super().__init__(if_true.spec)
+        object.__setattr__(self, "cond", cond)
+        object.__setattr__(self, "if_true", if_true)
+        object.__setattr__(self, "if_false", if_false)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        if self.cond.evaluate(valuation):
+            return self.if_true.evaluate(valuation)
+        return self.if_false.evaluate(valuation)
+
+    def __repr__(self) -> str:
+        return f"Mux({self.cond!r}, {self.if_true!r}, {self.if_false!r})"
+
+
+def mux(cond: Expr, if_true: "Expr | int", if_false: "Expr | int") -> Expr:
+    """Convenience mux builder coercing int arms to the other arm's spec."""
+    if isinstance(if_true, int) and isinstance(if_false, int):
+        raise RtlError("mux needs at least one Expr arm to fix the width")
+    if isinstance(if_true, int):
+        if_true = if_false._coerce(if_true)
+    if isinstance(if_false, int):
+        if_false = if_true._coerce(if_false)
+    return Mux(cond, if_true, if_false)
+
+
+class Slice(Expr):
+    """Inclusive part-select ``[hi:lo]``; 1-bit selects may yield a Bit."""
+
+    __slots__ = ("a", "hi", "lo")
+
+    def __init__(self, a: Expr, hi: int, lo: int, as_bit: bool = False) -> None:
+        if hi < lo or lo < 0 or hi >= a.width:
+            raise RtlError(f"slice [{hi}:{lo}] out of range for width {a.width}")
+        width = hi - lo + 1
+        spec = bit() if (as_bit and width == 1) else bits(width)
+        super().__init__(spec)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "lo", lo)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        return (self.a.evaluate(valuation) >> self.lo) & _mask(self.width)
+
+    def __repr__(self) -> str:
+        return f"Slice({self.a!r}, {self.hi}, {self.lo})"
+
+
+class Concat(Expr):
+    """Concatenation, MSB-first parts."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Expr]) -> None:
+        parts = tuple(parts)
+        if not parts:
+            raise RtlError("concat needs at least one part")
+        super().__init__(bits(sum(p.width for p in parts)))
+        object.__setattr__(self, "parts", parts)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.parts
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        raw = 0
+        for part in self.parts:
+            raw = (raw << part.width) | part.evaluate(valuation)
+        return raw
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.parts)!r})"
+
+
+class ShiftConst(Expr):
+    """Width-preserving shift by a constant amount (pure wiring)."""
+
+    __slots__ = ("a", "amount", "left")
+
+    def __init__(self, a: Expr, amount: int, left: bool) -> None:
+        if amount < 0:
+            raise RtlError("shift amount must be non-negative")
+        super().__init__(a.spec)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "amount", amount)
+        object.__setattr__(self, "left", left)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        raw = self.a.evaluate(valuation)
+        if self.left:
+            return (raw << self.amount) & _mask(self.width)
+        if self.spec.kind == "signed":
+            return (_numeric(raw, self.spec) >> self.amount) & _mask(self.width)
+        return raw >> self.amount
+
+    def __repr__(self) -> str:
+        direction = "<<" if self.left else ">>"
+        return f"ShiftConst({self.a!r} {direction} {self.amount})"
+
+
+class ShiftDyn(Expr):
+    """Width-preserving shift by a dynamic (expression) amount."""
+
+    __slots__ = ("a", "amount", "left")
+
+    def __init__(self, a: Expr, amount: Expr, left: bool) -> None:
+        super().__init__(a.spec)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "amount", amount)
+        object.__setattr__(self, "left", left)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a, self.amount)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        raw = self.a.evaluate(valuation)
+        amount = self.amount.evaluate(valuation)
+        if amount >= self.width:
+            if not self.left and self.spec.kind == "signed":
+                neg = raw >> (self.width - 1)
+                return _mask(self.width) if neg else 0
+            return 0
+        if self.left:
+            return (raw << amount) & _mask(self.width)
+        if self.spec.kind == "signed":
+            return (_numeric(raw, self.spec) >> amount) & _mask(self.width)
+        return raw >> amount
+
+    def __repr__(self) -> str:
+        direction = "<<" if self.left else ">>"
+        return f"ShiftDyn({self.a!r} {direction} {self.amount!r})"
+
+
+class Resize(Expr):
+    """Zero/sign extension, truncation, or plain reinterpretation."""
+
+    __slots__ = ("a",)
+
+    def __init__(self, a: Expr, spec: TypeSpec) -> None:
+        super().__init__(spec)
+        object.__setattr__(self, "a", a)
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.a,)
+
+    def evaluate(self, valuation: Callable[[Carrier], int]) -> int:
+        raw = self.a.evaluate(valuation)
+        value = _numeric(raw, self.a.spec)
+        return value & _mask(self.width)
+
+    def __repr__(self) -> str:
+        return f"Resize({self.a!r} -> {self.spec.describe()})"
+
+
+# ----------------------------------------------------------------------
+# modules
+# ----------------------------------------------------------------------
+class Instance:
+    """A child module instantiation inside an :class:`RtlModule`."""
+
+    __slots__ = ("name", "module", "connections", "output_carriers")
+
+    def __init__(self, name: str, module: "RtlModule") -> None:
+        self.name = name
+        self.module = module
+        self.connections: dict[str, Expr] = {}
+        self.output_carriers: dict[str, InstanceOutputCarrier] = {}
+        for port_name, expr in module.outputs.items():
+            self.output_carriers[port_name] = InstanceOutputCarrier(
+                self, port_name, expr.spec
+            )
+
+    def connect(self, port_name: str, expr: Expr) -> None:
+        """Drive child input *port_name* with *expr* from the parent."""
+        if port_name not in self.module.inputs:
+            raise RtlError(
+                f"{self.module.name} has no input {port_name!r}"
+            )
+        expected = self.module.inputs[port_name].spec
+        if expected.width != expr.spec.width:
+            raise RtlError(
+                f"{self.name}.{port_name}: width {expr.spec.width} != "
+                f"{expected.width}"
+            )
+        self.connections[port_name] = expr
+
+    def output(self, port_name: str) -> Read:
+        """Read child output *port_name* in the parent."""
+        if port_name not in self.output_carriers:
+            raise RtlError(f"{self.module.name} has no output {port_name!r}")
+        return Read(self.output_carriers[port_name])
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name!r} : {self.module.name})"
+
+
+class RtlModule:
+    """A synchronous RTL module (single implicit clock + reset domain)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: dict[str, InputCarrier] = {}
+        self.outputs: dict[str, Expr] = {}
+        self.registers: list[Register] = []
+        self.wires: list[WireCarrier] = []
+        self.instances: list[Instance] = []
+        #: Free-form notes from the producer (synthesis reports read these).
+        self.attributes: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str, spec: TypeSpec) -> InputCarrier:
+        """Declare an input port."""
+        if name in self.inputs or name in self.outputs:
+            raise RtlError(f"duplicate port {name!r} on {self.name}")
+        carrier = InputCarrier(name, spec)
+        self.inputs[name] = carrier
+        return carrier
+
+    def add_output(self, name: str, expr: Expr) -> None:
+        """Declare an output port driven by *expr*."""
+        if name in self.inputs or name in self.outputs:
+            raise RtlError(f"duplicate port {name!r} on {self.name}")
+        self.outputs[name] = expr
+
+    def add_register(self, name: str, spec: TypeSpec,
+                     reset_raw: int = 0) -> Register:
+        """Declare a register (assign ``.next`` before simulation)."""
+        reg = Register(name, spec, reset_raw)
+        self.registers.append(reg)
+        return reg
+
+    def add_wire(self, name: str, expr: Expr) -> WireCarrier:
+        """Name an intermediate combinational expression."""
+        wire = WireCarrier(name, expr.spec, expr)
+        self.wires.append(wire)
+        return wire
+
+    def add_instance(self, name: str, module: "RtlModule") -> Instance:
+        """Instantiate a child module."""
+        instance = Instance(name, module)
+        self.instances.append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # validation / traversal
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural completeness (driven registers/instances)."""
+        for reg in self.registers:
+            if reg.next is None:
+                raise RtlError(f"register {self.name}.{reg.name} has no next")
+            if reg.next.spec.width != reg.spec.width:
+                raise RtlError(
+                    f"register {self.name}.{reg.name}: next width "
+                    f"{reg.next.spec.width} != {reg.spec.width}"
+                )
+        for instance in self.instances:
+            for port_name in instance.module.inputs:
+                if port_name not in instance.connections:
+                    raise RtlError(
+                        f"{self.name}.{instance.name}: input {port_name!r} "
+                        "unconnected"
+                    )
+            instance.module.validate()
+
+    def iter_exprs(self) -> Iterator[Expr]:
+        """All root expressions of this module (not descendants)."""
+        for expr in self.outputs.values():
+            yield expr
+        for reg in self.registers:
+            if reg.next is not None:
+                yield reg.next
+        for wire in self.wires:
+            yield wire.expr
+        for instance in self.instances:
+            yield from instance.connections.values()
+
+    def stats(self) -> dict[str, int]:
+        """Node-count statistics (used by synthesis reports and tests)."""
+        seen: set[int] = set()
+        counts = {"nodes": 0, "muxes": 0, "registers": len(self.registers),
+                  "register_bits": sum(r.width for r in self.registers)}
+
+        def visit(expr: Expr) -> None:
+            if id(expr) in seen:
+                return
+            seen.add(id(expr))
+            counts["nodes"] += 1
+            if isinstance(expr, Mux):
+                counts["muxes"] += 1
+            for child in expr.children():
+                visit(child)
+
+        for expr in self.iter_exprs():
+            visit(expr)
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"RtlModule({self.name!r}, in={list(self.inputs)}, "
+            f"out={list(self.outputs)}, regs={len(self.registers)}, "
+            f"instances={len(self.instances)})"
+        )

@@ -1,0 +1,88 @@
+"""Structural RTL checks.
+
+A light linter run by both flows before technology mapping: undriven
+registers and combinational loops are hard errors; unused inputs and
+unread registers are reported as warnings (a real flow would prune them;
+ours reports so the area comparison stays honest).
+"""
+
+from __future__ import annotations
+
+from repro.rtl.ir import Expr, Read, Register, RtlModule
+from repro.rtl.simulate import CombinationalLoopError, RtlSimulator
+
+
+class LintReport:
+    """Warnings found by :func:`lint_module` (errors raise instead)."""
+
+    def __init__(self) -> None:
+        self.unused_inputs: list[str] = []
+        self.unread_registers: list[str] = []
+
+    @property
+    def clean(self) -> bool:
+        """True when no warnings were recorded."""
+        return not (self.unused_inputs or self.unread_registers)
+
+    def __repr__(self) -> str:
+        return (
+            f"LintReport(unused_inputs={self.unused_inputs}, "
+            f"unread_registers={self.unread_registers})"
+        )
+
+
+def _reads_in(module: RtlModule) -> set[int]:
+    seen: set[int] = set()
+    reads: set[int] = set()
+
+    def visit(expr: Expr) -> None:
+        if id(expr) in seen:
+            return
+        seen.add(id(expr))
+        if isinstance(expr, Read):
+            reads.add(expr.carrier.uid)
+        for child in expr.children():
+            visit(child)
+
+    def walk(mod: RtlModule) -> None:
+        for expr in mod.iter_exprs():
+            visit(expr)
+        for instance in mod.instances:
+            walk(instance.module)
+
+    walk(module)
+    return reads
+
+
+def lint_module(module: RtlModule) -> LintReport:
+    """Validate *module*; raises on errors, returns warnings.
+
+    Errors: undriven register (``validate``), combinational loop (detected
+    by a zero-cycle evaluation of the whole tree).
+    """
+    module.validate()
+    # A single output evaluation visits every expression cone and trips the
+    # simulator's in-progress loop detector on combinational cycles.
+    sim = RtlSimulator(module)
+    try:
+        sim.peek_outputs()
+        for reg, _ in sim._registers:
+            reg.next.evaluate(sim._make_valuation())
+    except CombinationalLoopError:
+        raise
+
+    report = LintReport()
+    reads = _reads_in(module)
+
+    def walk(mod: RtlModule, prefix: str) -> None:
+        for name, carrier in mod.inputs.items():
+            if carrier.uid not in reads:
+                report.unused_inputs.append(f"{prefix}{name}")
+        for reg in mod.registers:
+            if reg.uid not in reads:
+                report.unread_registers.append(f"{prefix}{reg.name}")
+        for instance in mod.instances:
+            walk(instance.module, f"{prefix}{instance.name}.")
+
+    walk(module, "")
+    return report

@@ -1,0 +1,25 @@
+"""The OSSS synthesis flow: analyzer, synthesizer, behavioral synthesis.
+
+``synthesize(module)`` lowers an elaborated kernel-level module (with OSSS
+objects, templates, polymorphism and shared objects) to RTL; the RTL then
+feeds :mod:`repro.netlist` for gates, area and timing.
+"""
+
+from repro.synth.behavioral import Fsm, FsmBuilder
+from repro.synth.common import SynthesisError
+from repro.synth.design_info import DesignLibrary, MethodInfo
+from repro.synth.modulegen import SynthesisSession, synthesize
+from repro.synth.report import class_inventory, design_report, rtl_inventory
+
+__all__ = [
+    "DesignLibrary",
+    "Fsm",
+    "FsmBuilder",
+    "MethodInfo",
+    "SynthesisError",
+    "SynthesisSession",
+    "class_inventory",
+    "design_report",
+    "rtl_inventory",
+    "synthesize",
+]

@@ -1,0 +1,581 @@
+"""Behavioral synthesis: clocked threads → finite state machines.
+
+A clocked-thread body is cut into FSM states at its ``yield`` (wait)
+points.  The key mechanism is **continuation memoization**: after a wait
+the symbolic environment always restarts from register values, so the
+behaviour of the rest of the program depends only on (a) the continuation
+— the program points still to execute — and (b) the compile-time-constant
+locals.  States are therefore memoized by ``(continuation, statics)``,
+which makes loops converge to cycles in the state graph and yields the
+minimal wait-state machine without any separate minimization step.
+
+Within a state, statements execute symbolically
+(:class:`repro.synth.interp.Interpreter`): branch-free code and ``if``s
+without waits fold into mux expressions; ``if``/``while`` containing waits
+(or ``break``/``continue``) fork guarded transitions.  Shared-object calls
+(``result = yield from port.call(...)``) expand into the request/spin/ack
+protocol described in :mod:`repro.osss.shared`, so arbitration timing in
+generated RTL matches the OSSS simulation cycle for cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.rtl.ir import Const, Expr, Read, Register, UnaryOp
+from repro.synth.common import (
+    ObjectHandle,
+    Static,
+    SynthesisError,
+    Undefined,
+    contains_yield,
+)
+from repro.synth.interp import Binding, Interpreter, PathEnv, ReturnValue
+from repro.types.spec import bit, unsigned
+
+
+class Transition:
+    """One guarded transition of a state."""
+
+    __slots__ = ("guards", "writes", "target")
+
+    def __init__(self, guards: list[Expr],
+                 writes: dict[int, tuple[Register, Expr]],
+                 target: int) -> None:
+        self.guards = guards
+        self.writes = writes
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"Transition(guards={len(self.guards)}, -> S{self.target})"
+
+
+class FsmState:
+    """A wait state with its outgoing transitions (DFS order)."""
+
+    __slots__ = ("uid", "transitions")
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        self.transitions: list[Transition] = []
+
+    def __repr__(self) -> str:
+        return f"FsmState(S{self.uid}, {len(self.transitions)} transitions)"
+
+
+class Fsm:
+    """The synthesized state machine of one clocked thread."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.states: list[FsmState] = []
+        self.entry = 0
+        #: Carrier uid -> Register for every carrier the FSM writes.
+        self.written_carriers: dict[int, Register] = {}
+
+    @property
+    def state_count(self) -> int:
+        """Number of wait states (including the entry/prologue state)."""
+        return len(self.states)
+
+    def __repr__(self) -> str:
+        return f"Fsm({self.name!r}, states={self.state_count})"
+
+
+def _contains_flow(node: ast.AST) -> bool:
+    """Yield, break, continue or return anywhere under *node*."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom, ast.Break,
+                              ast.Continue, ast.Return)):
+            return True
+    return False
+
+
+class _Frame:
+    """A continuation frame; immutable once built."""
+
+    __slots__ = ("kind", "node", "stmts", "index", "values", "payload",
+                 "parent")
+
+    def __init__(self, kind: str, parent: "_Frame | None", *,
+                 node: ast.AST | None = None,
+                 stmts: list[ast.stmt] | None = None, index: int = 0,
+                 values: tuple | None = None, payload: Any = None) -> None:
+        self.kind = kind
+        self.node = node
+        self.stmts = stmts
+        self.index = index
+        self.values = values
+        self.payload = payload
+        self.parent = parent
+
+    def key(self) -> tuple:
+        """Flat structural key of the whole continuation chain."""
+        parts: list[tuple] = []
+        frame: "_Frame | None" = self
+        while frame is not None:
+            if frame.kind == "seq":
+                parts.append(("seq", id(frame.stmts), frame.index))
+            elif frame.kind == "for":
+                parts.append(("for", id(frame.node), frame.index))
+            else:
+                parts.append((frame.kind, id(frame.node)))
+            frame = frame.parent
+        return tuple(parts)
+
+
+def _static_key(value: Binding) -> Any:
+    if isinstance(value, Static):
+        inner = value.value
+        if isinstance(inner, (int, bool, str, type(None))):
+            return ("static", inner)
+        if isinstance(inner, type):
+            return ("class", inner.__qualname__)
+        if isinstance(inner, tuple):
+            return ("tuple", inner)
+        return ("object", id(inner))
+    if isinstance(value, ObjectHandle):
+        return ("handle", value.carrier.uid)
+    from repro.synth.polygen import PolyHandle
+
+    if isinstance(value, PolyHandle):
+        return ("poly", value.tag_reg.uid)
+    raise AssertionError(value)
+
+
+class FsmBuilder:
+    """Builds the :class:`Fsm` of one clocked thread."""
+
+    MAX_STATES = 4096
+    MAX_STEPS = 500_000
+
+    def __init__(self, pctx, body: list[ast.stmt]) -> None:
+        self.ctx = pctx
+        self.interp = Interpreter(pctx)
+        self.body = body
+        self.fsm = Fsm(pctx.process_name)
+        self._memo: dict[tuple, int] = {}
+        self._steps = 0
+        self._terminal: int | None = None
+        self._worklist: list[tuple[FsmState, _Frame | None, dict]] = []
+        self._loop_visits: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def build(self) -> Fsm:
+        """Construct the FSM starting from the top of the body.
+
+        State bodies are explored from a worklist (not recursively), so
+        long state chains — e.g. a bit-banged I²C transfer — do not nest
+        Python frames per state.
+        """
+        entry = _Frame("seq", None, stmts=self.body, index=0)
+        self.fsm.entry = self._state_for(entry, {})
+        while self._worklist:
+            state, cont, statics = self._worklist.pop()
+            self._loop_visits: dict[int, int] = {}
+            env = PathEnv()
+            env.locals = dict(statics)
+            self._explore(cont, env, [], state)
+        return self.fsm
+
+    # ------------------------------------------------------------------
+    def _state_for(self, cont: _Frame | None, statics: dict[str, Binding],
+                   ) -> int:
+        statics_key = tuple(sorted(
+            (name, _static_key(value)) for name, value in statics.items()
+        ))
+        key = (cont.key() if cont is not None else None, statics_key)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        if len(self.fsm.states) >= self.MAX_STATES:
+            raise SynthesisError(
+                f"{self.ctx.process_name}: state explosion "
+                f"(> {self.MAX_STATES} states); check compile-time locals "
+                "carried across waits"
+            )
+        state = FsmState(len(self.fsm.states))
+        self.fsm.states.append(state)
+        self._memo[key] = state.uid
+        self._worklist.append((state, cont, dict(statics)))
+        return state.uid
+
+    MAX_LOOP_UNROLL = 256
+
+    def _terminal_state(self) -> int:
+        if self._terminal is None:
+            state = FsmState(len(self.fsm.states))
+            self.fsm.states.append(state)
+            state.transitions.append(Transition([], {}, state.uid))
+            self._terminal = state.uid
+        return self._terminal
+
+    # ------------------------------------------------------------------
+    # path exploration
+    # ------------------------------------------------------------------
+    def _finalize(self, state: FsmState, guards: list[Expr], env: PathEnv,
+                  cont: _Frame | None) -> None:
+        """End the current path with a wait: emit a transition."""
+        writes, statics = self._collect_writes(env)
+        target = self._state_for(cont, statics)
+        self._emit(state, guards, writes, target)
+
+    def _emit(self, state: FsmState, guards: list[Expr],
+              writes: dict[int, tuple[Register, Expr]], target: int) -> None:
+        state.transitions.append(Transition(list(guards), writes, target))
+        for uid, (carrier, _expr) in writes.items():
+            self.fsm.written_carriers[uid] = carrier
+
+    def _collect_writes(self, env: PathEnv):
+        writes: dict[int, tuple[Register, Expr]] = {}
+        for uid, expr in env.pending.items():
+            carrier = env.written[uid]
+            writes[uid] = (carrier, expr)
+        statics: dict[str, Binding] = {}
+        from repro.synth.polygen import PolyHandle
+
+        for name, value in env.locals.items():
+            if isinstance(value, (Static, ObjectHandle, PolyHandle)):
+                statics[name] = value
+            elif isinstance(value, Undefined):
+                continue
+            elif isinstance(value, Expr):
+                reg = self.ctx.ensure_local_register(name, value.spec)
+                if not (isinstance(value, Read) and value.carrier is reg):
+                    writes[reg.uid] = (reg, value)
+                    self.fsm.written_carriers[reg.uid] = reg
+        return writes, statics
+
+    def _explore(self, cont: _Frame | None, env: PathEnv,
+                 guards: list[Expr], state: FsmState) -> None:
+        while True:
+            self._steps += 1
+            if self._steps > self.MAX_STEPS:
+                raise SynthesisError(
+                    f"{self.ctx.process_name}: execution does not reach a "
+                    "wait (loop without yield?)"
+                )
+            if cont is None:
+                # Thread body finished: park in a terminal state.
+                writes, _statics = self._collect_writes(env)
+                self._emit(state, guards, writes, self._terminal_state())
+                return
+            kind = cont.kind
+            if kind == "seq":
+                if cont.index >= len(cont.stmts):
+                    cont = cont.parent
+                    continue
+                stmt = cont.stmts[cont.index]
+                rest = _Frame("seq", cont.parent, stmts=cont.stmts,
+                              index=cont.index + 1)
+                next_cont = self._exec_one(stmt, rest, env, guards, state)
+                if next_cont is _PATH_DONE:
+                    return
+                cont = next_cont
+                continue
+            if kind == "while":
+                cont = self._enter_while(cont, env, guards, state)
+                if cont is _PATH_DONE:
+                    return
+                continue
+            if kind == "for":
+                node = cont.node
+                if cont.index >= len(cont.values):
+                    cont = cont.parent
+                    continue
+                env.locals[node.target.id] = Static(cont.values[cont.index])
+                next_frame = _Frame("for", cont.parent, node=node,
+                                    values=cont.values,
+                                    index=cont.index + 1)
+                cont = _Frame("seq", next_frame, stmts=node.body, index=0)
+                continue
+            if kind == "sharedgap":
+                # Mandatory dead cycle after posting a request: the done
+                # flag visible in the first wait cycle may still belong to
+                # the *previous* call (cleared one cycle after ack), so the
+                # client only starts sampling it from the second cycle —
+                # matching the simulation model's two-cycle minimum.
+                inner = _Frame("shared", cont.parent, node=cont.node,
+                               payload=cont.payload)
+                writes, statics = self._collect_writes(env)
+                target = self._state_for(inner, statics)
+                self._emit(state, guards, writes, target)
+                return
+            if kind == "shared":
+                self._resume_shared(cont, env, guards, state)
+                return
+            if kind == "call":
+                # Helper body finished without an explicit return.
+                target = cont.payload
+                if target is not None:
+                    env.locals[target] = Static(None)
+                cont = cont.parent
+                continue
+            raise AssertionError(kind)
+
+    # ------------------------------------------------------------------
+    # statement dispatch inside a state
+    # ------------------------------------------------------------------
+    def _exec_one(self, stmt: ast.stmt, rest: _Frame | None, env: PathEnv,
+                  guards: list[Expr], state: FsmState):
+        # Plain wait.
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield):
+            if stmt.value.value is not None:
+                raise SynthesisError("yield must carry no value (it is "
+                                     "wait())", stmt)
+            self._finalize(state, guards, env, rest)
+            return _PATH_DONE
+        # Shared-object access or behavioral helper call (yield from).
+        delegated = self._match_yield_from(stmt)
+        if delegated is not None:
+            target, call = delegated
+            receiver = self.interp.eval(call.func.value, env)
+            from repro.synth.interp import SharedPortRef
+
+            if isinstance(receiver, SharedPortRef):
+                if call.func.attr != "call":
+                    raise SynthesisError(
+                        "shared ports are accessed as port.call('m', ...)",
+                        stmt,
+                    )
+                self._start_shared(stmt, (target, call), receiver, rest,
+                                   env, guards, state)
+                return _PATH_DONE
+            return self._start_helper(stmt, target, call, receiver, rest,
+                                      env)
+        if isinstance(stmt, ast.Break):
+            return self._loop_exit(stmt, rest, kind="break")
+        if isinstance(stmt, ast.Continue):
+            return self._loop_exit(stmt, rest, kind="continue")
+        if isinstance(stmt, ast.Return):
+            frame = rest
+            while frame is not None and frame.kind != "call":
+                frame = frame.parent
+            if frame is not None:
+                # Returning from a behavioral helper: bind and resume.
+                target = frame.payload
+                if target is not None:
+                    if stmt.value is None:
+                        env.locals[target] = Static(None)
+                    else:
+                        value = self.interp.eval(stmt.value, env)
+                        if isinstance(value, Static):
+                            env.locals[target] = value
+                        else:
+                            self.interp._assign_local(target, value, env,
+                                                      stmt)
+                elif stmt.value is not None:
+                    self.interp.eval(stmt.value, env)
+                return frame.parent
+            if stmt.value is not None:
+                raise SynthesisError("processes cannot return values", stmt)
+            writes, _ = self._collect_writes(env)
+            self._emit(state, guards, writes, self._terminal_state())
+            return _PATH_DONE
+        if isinstance(stmt, ast.If) and _contains_flow(stmt):
+            self._control_if(stmt, rest, env, guards, state)
+            return _PATH_DONE
+        if isinstance(stmt, ast.While):
+            frame = _Frame("while", rest, node=stmt)
+            return frame
+        if isinstance(stmt, ast.For) and _contains_flow(stmt):
+            return self._enter_for(stmt, rest, env)
+        # Anything else is wait-free: run it symbolically.
+        result = self.interp.exec_stmt(stmt, env, tail=False)
+        if isinstance(result, ReturnValue):
+            raise SynthesisError("processes cannot return values", stmt)
+        return rest
+
+    def _loop_exit(self, stmt: ast.stmt, cont: _Frame | None, kind: str):
+        frame = cont
+        while frame is not None and frame.kind not in ("while", "for"):
+            if frame.kind == "call":
+                # break/continue may not escape a behavioral helper.
+                frame = None
+                break
+            frame = frame.parent
+        if frame is None:
+            raise SynthesisError(f"{kind} outside a loop", stmt)
+        if kind == "continue":
+            return frame
+        return frame.parent
+
+    def _enter_for(self, stmt: ast.For, rest: _Frame | None,
+                   env: PathEnv) -> _Frame:
+        if not (isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "range"):
+            raise SynthesisError("for loops must iterate over constant "
+                                 "range(...)", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            raise SynthesisError("for target must be a simple name", stmt)
+        bounds = [
+            self.interp.as_static_int(self.interp.eval(arg, env), stmt,
+                                      "range bound")
+            for arg in stmt.iter.args
+        ]
+        values = tuple(range(*bounds))
+        return _Frame("for", rest, node=stmt, values=values, index=0)
+
+    def _enter_while(self, frame: _Frame, env: PathEnv, guards: list[Expr],
+                     state: FsmState):
+        node = frame.node
+        visits = self._loop_visits.get(id(node), 0) + 1
+        self._loop_visits[id(node)] = visits
+        if visits > self.MAX_LOOP_UNROLL:
+            raise SynthesisError(
+                "while loop iterates without reaching a wait (add a yield "
+                "inside the loop body, or make the bound compile-time "
+                "constant)",
+                node,
+            )
+        cond = self.interp.as_condition(self.interp.eval(node.test, env),
+                                        node.test)
+        body_cont = _Frame("seq", frame, stmts=node.body, index=0)
+        exit_cont = frame.parent
+        if node.orelse:
+            exit_cont = _Frame("seq", frame.parent, stmts=node.orelse,
+                               index=0)
+        if isinstance(cond, Static):
+            return body_cont if cond.value else exit_cont
+        self._explore(body_cont, env.fork(), guards + [cond], state)
+        self._explore(exit_cont, env.fork(),
+                      guards + [UnaryOp("not", cond)], state)
+        return _PATH_DONE
+
+    def _control_if(self, stmt: ast.If, rest: _Frame | None, env: PathEnv,
+                    guards: list[Expr], state: FsmState) -> None:
+        cond = self.interp.as_condition(self.interp.eval(stmt.test, env),
+                                        stmt.test)
+        then_cont = _Frame("seq", rest, stmts=stmt.body, index=0)
+        else_cont = (_Frame("seq", rest, stmts=stmt.orelse, index=0)
+                     if stmt.orelse else rest)
+        if isinstance(cond, Static):
+            self._explore(then_cont if cond.value else else_cont, env,
+                          guards, state)
+            return
+        self._explore(then_cont, env.fork(), guards + [cond], state)
+        self._explore(else_cont, env.fork(),
+                      guards + [UnaryOp("not", cond)], state)
+
+    # ------------------------------------------------------------------
+    # shared-object protocol expansion
+    # ------------------------------------------------------------------
+    def _match_yield_from(self, stmt: ast.stmt):
+        """Recognize ``[x =] yield from <receiver>.<name>(...)``."""
+        target = None
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value,
+                                                       ast.YieldFrom):
+            if len(stmt.targets) != 1 or not isinstance(stmt.targets[0],
+                                                        ast.Name):
+                raise SynthesisError("yield-from result must bind a simple "
+                                     "name", stmt)
+            target = stmt.targets[0].id
+            call = stmt.value.value
+        elif isinstance(stmt, ast.Expr) and isinstance(stmt.value,
+                                                       ast.YieldFrom):
+            call = stmt.value.value
+        else:
+            return None
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)):
+            raise SynthesisError(
+                "yield from is only synthesizable as port.call(...) or "
+                "self.helper(...)",
+                stmt,
+            )
+        return (target, call)
+
+    def _start_helper(self, stmt: ast.stmt, target, call: ast.Call,
+                      receiver, rest: _Frame | None, env: PathEnv):
+        """Inline a behavioral helper: a generator method of the module.
+
+        The helper's statements are spliced into the continuation (a
+        ``call`` frame remembers where its ``return`` binds).  Helper
+        parameters become process locals, so distinct helpers should use
+        distinct parameter/local names.
+        """
+        from repro.synth.common import Static as _Static
+
+        if not (isinstance(receiver, _Static)
+                and receiver.value is self.ctx.module_self()):
+            raise SynthesisError(
+                "behavioral helpers must be methods of this module "
+                "(yield from self.helper(...))",
+                stmt,
+            )
+        name = call.func.attr
+        module = self.ctx.module_self()
+        func = getattr(module, name, None)
+        if func is None or not callable(func):
+            raise SynthesisError(
+                f"module has no behavioral helper {name!r}", stmt
+            )
+        tree = self.ctx.library.process_ast(func)
+        params = [a.arg for a in tree.args.args[1:]]
+        if len(call.args) > len(params):
+            raise SynthesisError(
+                f"helper {name!r} takes {len(params)} argument(s)", stmt
+            )
+        for param, arg_node in zip(params, call.args):
+            value = self.interp.eval(arg_node, env)
+            if isinstance(value, _Static) or not hasattr(value, "spec"):
+                env.locals[param] = value
+            else:
+                self.interp._assign_local(param, value, env, stmt)
+        if len(call.args) < len(params):
+            import inspect as _inspect
+
+            signature = _inspect.signature(
+                getattr(func, "__func__", func)
+            )
+            for param in params[len(call.args):]:
+                default = signature.parameters[param].default
+                if default is _inspect.Parameter.empty:
+                    raise SynthesisError(
+                        f"helper {name!r}: missing argument {param!r}", stmt
+                    )
+                env.locals[param] = _Static(default)
+        call_frame = _Frame("call", rest, node=call, payload=target)
+        return _Frame("seq", call_frame, stmts=tree.body, index=0)
+
+    def _start_shared(self, stmt: ast.stmt, match, port_binding,
+                      rest: _Frame | None, env: PathEnv,
+                      guards: list[Expr], state: FsmState) -> None:
+        target, call = match
+        if not call.args or not (isinstance(call.args[0], ast.Constant)
+                                 and isinstance(call.args[0].value, str)):
+            raise SynthesisError("the method name in port.call() must be a "
+                                 "string literal", stmt)
+        method_name = call.args[0].value
+        args = [self.interp.eval(arg, env) for arg in call.args[1:]]
+        iface = self.ctx.shared_interface(port_binding)
+        request_writes = iface.request_writes(method_name, args,
+                                              self.interp, stmt)
+        for carrier, expr in request_writes:
+            env.write_carrier(carrier, expr)
+        payload = (iface, method_name, target)
+        wait_frame = _Frame("sharedgap", rest, node=stmt, payload=payload)
+        self._finalize(state, guards, env, wait_frame)
+
+    def _resume_shared(self, frame: _Frame, env: PathEnv,
+                       guards: list[Expr], state: FsmState) -> None:
+        iface, method_name, target = frame.payload
+        done = iface.done_expr()
+        # Not done: spin in this very state (memo returns our own uid).
+        spin_writes, spin_statics = self._collect_writes(env)
+        spin_target = self._state_for(frame, spin_statics)
+        self._emit(state, guards + [UnaryOp("not", done)], spin_writes,
+                   spin_target)
+        # Done: drop the request, pulse the ack, bind the result, continue.
+        done_env = env.fork()
+        for carrier, expr in iface.complete_writes():
+            done_env.write_carrier(carrier, expr)
+        if target is not None:
+            done_env.locals[target] = iface.result_expr(method_name)
+        self._explore(frame.parent, done_env, guards + [done], state)
+
+
+#: Sentinel returned by _exec_one when the current path has been closed.
+_PATH_DONE = object()

@@ -1,0 +1,101 @@
+"""Shared definitions of the synthesis front end.
+
+The synthesizable subset
+------------------------
+
+Process bodies (clocked-thread generators and combinational methods) and
+hardware-class methods are ordinary Python for simulation; for synthesis
+they must stay inside the subset below — everything else raises
+:class:`SynthesisError` with the offending source location, mirroring how
+the ODETTE analyzer rejected non-synthesizable SystemC:
+
+* expressions over hardware values (``+ - * & | ^ ~ << >>``, comparisons,
+  boolean ``and/or/not``, ``x if c else y``), hardware-type constructor
+  calls with constant arguments, and the value methods of the datatypes
+  (``.range``, ``.bit``, ``.concat``, ``.resized``, ``.reduce_*``,
+  ``.with_bit``, ``.with_range``, conversions);
+* reads/writes of ports and signals (``self.p.read()`` / ``self.p.write(e)``),
+  local variables, hardware-class member access and method calls (inlined);
+* ``if``/``else``; ``while`` loops (each iteration must cross a ``yield``);
+  ``for`` over constant ``range(...)`` (unrolled); ``break``/``continue``
+  in dynamic ``while`` loops;
+* ``yield`` — the ``wait()`` of the subset — in clocked threads only;
+* shared-object access ``result = yield from port.call("method", args...)``;
+* integer division/modulo only by constant powers of two on unsigned values.
+
+Not synthesizable (rejected): unbounded loops without ``yield``, dynamic
+object allocation outside process-local declarations, early ``return``
+(returns must be in tail position), recursion, floats, Python containers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.osss.state_layout import StateLayout
+from repro.rtl.ir import Register
+
+
+class SynthesisError(ValueError):
+    """A construct outside the synthesizable subset (with location)."""
+
+    def __init__(self, message: str, node: ast.AST | None = None,
+                 where: str = "") -> None:
+        location = ""
+        if node is not None and hasattr(node, "lineno"):
+            location = f" (line {node.lineno})"
+        prefix = f"{where}: " if where else ""
+        super().__init__(f"{prefix}{message}{location}")
+
+
+class Static:
+    """A compile-time constant binding (int, bool, str, class, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Static({self.value!r})"
+
+
+class ObjectHandle:
+    """A hardware-class instance bound to its packed state register."""
+
+    __slots__ = ("carrier", "cls", "layout")
+
+    def __init__(self, carrier: Register, cls: type) -> None:
+        self.carrier = carrier
+        self.cls = cls
+        self.layout = StateLayout.of(cls)
+
+    def __repr__(self) -> str:
+        return f"ObjectHandle({self.cls.__name__} @ {self.carrier.name})"
+
+
+class Undefined:
+    """Marks a local that is only assigned on some branch."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Undefined()"
+
+
+UNDEFINED = Undefined()
+
+
+def contains_yield(node: ast.AST) -> bool:
+    """True if *node* contains ``yield`` / ``yield from`` at this function
+    level (nested function definitions would be rejected elsewhere)."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ..."""
+    return value > 0 and (value & (value - 1)) == 0

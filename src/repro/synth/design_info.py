@@ -1,0 +1,208 @@
+"""The design library — output of the OSSS *Analyzer* (paper Fig. 6).
+
+The ODETTE flow runs an analyzer that *"parses OSSS source code and
+generates a library where it holds information of the whole design
+structure"*; the synthesizer then works from that library.  This module is
+that analyzer: it extracts and caches the ASTs of hardware-class methods
+and module processes, resolves parameter/return type annotations, and
+answers structural questions (method tables, template bindings) for the
+rest of the synthesis pipeline.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Any, Callable
+
+from repro.osss.hwclass import HwClass
+from repro.osss.template import is_template, template_binding
+from repro.synth.common import SynthesisError
+from repro.types.spec import TypeSpec
+
+
+class MethodInfo:
+    """Analyzed form of one hardware-class method (per specialization)."""
+
+    def __init__(self, cls: type, name: str, func: Callable) -> None:
+        self.cls = cls
+        self.name = name
+        self.func = func
+        self.tree = parse_function(func)
+        self.params = [a.arg for a in self.tree.args.args[1:]]  # skip self
+        self.param_specs = self._annotation_specs()
+        self.return_spec = self._return_spec()
+
+    def _resolve_annotation(self, annotation):
+        """Evaluate stringified annotations (PEP 563) in the right scope."""
+        if isinstance(annotation, str):
+            scope = dict(vars(__import__("builtins")))
+            scope.update(DesignLibrary.globals_of(self.func))
+            scope.setdefault("self", None)
+            try:
+                annotation = eval(annotation, scope)  # noqa: S307
+            except Exception as exc:
+                raise SynthesisError(
+                    f"{self.cls.__name__}.{self.name}: cannot evaluate "
+                    f"annotation {annotation!r}: {exc}"
+                )
+        return annotation
+
+    def _annotation_specs(self) -> dict[str, TypeSpec | None]:
+        specs: dict[str, TypeSpec | None] = {}
+        hints = {}
+        try:
+            hints = dict(inspect.signature(self.func).parameters)
+        except (TypeError, ValueError):  # pragma: no cover - builtins
+            pass
+        for param in self.params:
+            annotation = None
+            if param in hints:
+                annotation = hints[param].annotation
+                if annotation is inspect.Parameter.empty:
+                    annotation = None
+                else:
+                    annotation = self._resolve_annotation(annotation)
+            if annotation in (int, bool):
+                # Compile-time constant parameter (template-style).
+                annotation = "static"
+            elif annotation is not None and not isinstance(annotation,
+                                                           TypeSpec):
+                raise SynthesisError(
+                    f"{self.cls.__name__}.{self.name}: parameter {param!r} "
+                    "annotation must be a TypeSpec (e.g. unsigned(8)) or "
+                    "int/bool for compile-time parameters"
+                )
+            specs[param] = annotation
+        return specs
+
+    def defaults(self) -> dict[str, object]:
+        """Default values of trailing parameters (compile-time only)."""
+        try:
+            signature = inspect.signature(self.func)
+        except (TypeError, ValueError):  # pragma: no cover
+            return {}
+        found = {}
+        for param in self.params:
+            default = signature.parameters[param].default
+            if default is not inspect.Parameter.empty:
+                found[param] = default
+        return found
+
+    def _return_spec(self) -> TypeSpec | None:
+        try:
+            annotation = inspect.signature(self.func).return_annotation
+        except (TypeError, ValueError):  # pragma: no cover
+            return None
+        if annotation is inspect.Signature.empty or annotation is None:
+            return None
+        annotation = self._resolve_annotation(annotation)
+        if annotation is None:
+            return None
+        if not isinstance(annotation, TypeSpec):
+            raise SynthesisError(
+                f"{self.cls.__name__}.{self.name}: return annotation must "
+                "be a TypeSpec"
+            )
+        return annotation
+
+    @property
+    def fully_annotated(self) -> bool:
+        """True when every parameter has a declared TypeSpec."""
+        return all(isinstance(spec, TypeSpec)
+                   for spec in self.param_specs.values())
+
+    def __repr__(self) -> str:
+        return f"MethodInfo({self.cls.__name__}.{self.name})"
+
+
+def parse_function(func: Callable) -> ast.FunctionDef:
+    """Parse *func*'s source into its ``FunctionDef`` node."""
+    try:
+        source = inspect.getsource(func)
+    except (OSError, TypeError) as exc:
+        raise SynthesisError(
+            f"cannot retrieve source of {func!r} for synthesis: {exc}"
+        )
+    source = textwrap.dedent(source)
+    module = ast.parse(source)
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise SynthesisError(f"no function definition found in {func!r}")
+
+
+class DesignLibrary:
+    """Caches analyzed methods and process bodies across the design."""
+
+    def __init__(self) -> None:
+        self._methods: dict[tuple[type, str], MethodInfo] = {}
+        self._functions: dict[Any, ast.FunctionDef] = {}
+
+    def method(self, cls: type, name: str) -> MethodInfo:
+        """Analyzed method *name* as seen by class *cls* (MRO lookup)."""
+        key = (cls, name)
+        info = self._methods.get(key)
+        if info is not None:
+            return info
+        func = getattr(cls, name, None)
+        if func is None or not callable(func):
+            raise SynthesisError(f"{cls.__name__} has no method {name!r}")
+        info = MethodInfo(cls, name, func)
+        self._methods[key] = info
+        return info
+
+    def has_method(self, cls: type, name: str) -> bool:
+        """True if *cls* defines (or inherits) a callable *name*."""
+        attr = getattr(cls, name, None)
+        return callable(attr) and not name.startswith("__")
+
+    def process_ast(self, bound_method: Callable) -> ast.FunctionDef:
+        """Parsed body of a module process (cached per function object)."""
+        func = getattr(bound_method, "__func__", bound_method)
+        tree = self._functions.get(func)
+        if tree is None:
+            tree = parse_function(func)
+            self._functions[func] = tree
+        return tree
+
+    @staticmethod
+    def globals_of(func: Callable) -> dict[str, Any]:
+        """The globals (plus closure bindings) visible to *func*."""
+        raw = getattr(func, "__func__", func)
+        scope = dict(raw.__globals__)
+        if raw.__closure__:
+            for name, cell in zip(raw.__code__.co_freevars, raw.__closure__):
+                try:
+                    scope[name] = cell.cell_contents
+                except ValueError:  # pragma: no cover - empty cell
+                    pass
+        return scope
+
+    @staticmethod
+    def describe_class(cls: type) -> dict[str, Any]:
+        """Structural record of a hardware class (for reports/tests)."""
+        if not (isinstance(cls, type) and issubclass(cls, HwClass)):
+            raise SynthesisError(f"{cls!r} is not a hardware class")
+        from repro.osss.state_layout import StateLayout
+
+        layout = StateLayout.of(cls)
+        methods = sorted(
+            name
+            for name in dir(cls)
+            if not name.startswith("_")
+            and callable(getattr(cls, name))
+            and name not in ("layout", "full_layout", "member_specs",
+                             "construct", "copy", "hw_members", "specialize")
+        )
+        return {
+            "name": cls.__name__,
+            "state_bits": layout.total_width,
+            "members": {
+                name: slot.spec.describe()
+                for name, slot in layout.slots.items()
+            },
+            "methods": methods,
+            "template": template_binding(cls) if is_template(cls) else {},
+        }

@@ -1,0 +1,1163 @@
+"""Symbolic interpretation of the synthesizable subset.
+
+This is the core of the OSSS *Synthesizer*: process and method bodies are
+executed symbolically — locals and object members become RTL expressions
+over carrier reads — and the OO constructs resolve exactly as the paper's
+§8 describes:
+
+* class member access becomes part-selects of the object's packed state
+  vector (Fig. 7's ``_this_`` parameter);
+* method calls inline the callee's resolved body at the call site, so
+  classes and templates add **no** logic (claim R3);
+* ``if``/``else`` without waits folds into multiplexers;
+* SystemC signal semantics are preserved: a signal read always returns the
+  *committed* value even after a write in the same activation, while object
+  members read back immediately (C++ semantics).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable
+
+from repro.osss.hwclass import HwClass
+from repro.osss.state_layout import FieldSlot
+from repro.rtl.ir import (
+    BinOp,
+    Concat,
+    Const,
+    Expr,
+    Mux,
+    Read,
+    Register,
+    Resize,
+    ShiftConst,
+    ShiftDyn,
+    Slice,
+    UnaryOp,
+)
+from repro.synth.common import (
+    UNDEFINED,
+    ObjectHandle,
+    Static,
+    SynthesisError,
+    Undefined,
+    is_power_of_two,
+)
+from repro.types.spec import TypeSpec, bit, bits, signed, spec_of, unsigned
+
+Binding = Any  # Expr | Static | ObjectHandle | Undefined
+
+_MISSING = object()
+
+
+class _NotConstant(Exception):
+    """Raised by the constant-folding valuation on any carrier read."""
+
+
+def _no_carriers(carrier) -> int:
+    raise _NotConstant(carrier)
+
+
+class SignalRef:
+    """A port or signal binding resolved from a module attribute."""
+
+    __slots__ = ("signal", "direction", "name")
+
+    def __init__(self, signal, direction: str, name: str) -> None:
+        self.signal = signal
+        self.direction = direction  # "in" | "out" | "internal"
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"SignalRef({self.name}, {self.direction})"
+
+
+class SharedPortRef:
+    """A shared-object client port binding (``yield from p.call(...)``)."""
+
+    __slots__ = ("client_port", "name")
+
+    def __init__(self, client_port, name: str) -> None:
+        self.client_port = client_port
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"SharedPortRef({self.name})"
+
+
+class PathEnv:
+    """Mutable symbolic state along one execution path."""
+
+    __slots__ = ("locals", "pending", "written")
+
+    def __init__(self) -> None:
+        self.locals: dict[str, Binding] = {}
+        #: carrier uid -> pending next value
+        self.pending: dict[int, Expr] = {}
+        #: carrier uid -> Register (so the FSM can fold writes later)
+        self.written: dict[int, Register] = {}
+
+    def fork(self) -> "PathEnv":
+        env = PathEnv()
+        env.locals = dict(self.locals)
+        env.pending = dict(self.pending)
+        env.written = dict(self.written)
+        return env
+
+    def write_carrier(self, carrier: Register, value: Expr) -> None:
+        self.pending[carrier.uid] = value
+        self.written[carrier.uid] = carrier
+
+
+class ReturnValue:
+    """Signals a tail-position return out of exec_block."""
+
+    __slots__ = ("binding",)
+
+    def __init__(self, binding: Binding) -> None:
+        self.binding = binding
+
+
+class Interpreter:
+    """Evaluates expressions and wait-free statement blocks symbolically.
+
+    The *context* supplies name resolution and carrier services; see
+    :class:`repro.synth.modulegen.ModuleContext`.
+    """
+
+    MAX_UNROLL = 4096
+
+    def __init__(self, context) -> None:
+        self.ctx = context
+        self._call_stack: list[tuple[type, str]] = []
+
+    # ==================================================================
+    # bindings and coercions
+    # ==================================================================
+    def const_of_value(self, value: Any, node: ast.AST) -> Expr:
+        """A hardware value → Const expression."""
+        spec = spec_of(value)
+        return Const(spec, spec.to_raw(value))
+
+    def materialize(self, binding: Binding, spec: TypeSpec,
+                    node: ast.AST) -> Expr:
+        """Turn a binding into an Expr of exactly *spec*."""
+        if isinstance(binding, Static):
+            value = binding.value
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, int):
+                try:
+                    return self.const_of_value(value, node)
+                except TypeError:
+                    raise SynthesisError(
+                        f"cannot use constant {value!r} as hardware value",
+                        node,
+                    )
+            if value < 0 and spec.kind not in ("signed", "fixed"):
+                raise SynthesisError(
+                    f"negative constant {value} for {spec.describe()}", node
+                )
+            return Const(spec, value & ((1 << spec.width) - 1))
+        if isinstance(binding, Expr):
+            if binding.spec.width != spec.width:
+                raise SynthesisError(
+                    f"width mismatch: expression is {binding.spec.width} "
+                    f"bits, target is {spec.describe()}; use .resized()",
+                    node,
+                )
+            if binding.spec != spec:
+                return Resize(binding, spec)
+            return binding
+        if isinstance(binding, Undefined):
+            raise SynthesisError(
+                "value may be undefined on some path", node
+            )
+        raise SynthesisError(
+            f"cannot use {binding!r} as a hardware value", node
+        )
+
+    def as_expr(self, binding: Binding, node: ast.AST,
+                like: Expr | None = None) -> Expr:
+        """Binding → Expr; statics adopt the spec of *like* when given."""
+        if isinstance(binding, Expr):
+            return binding
+        if isinstance(binding, Static):
+            value = binding.value
+            if isinstance(value, bool):
+                return Const(bit(), int(value))
+            if isinstance(value, int):
+                if like is not None:
+                    return self.materialize(binding, like.spec, node)
+                width = max(1, value.bit_length() + (1 if value < 0 else 0))
+                kind = signed(width + 1) if value < 0 else unsigned(width)
+                return Const(kind, value & ((1 << kind.width) - 1))
+            try:
+                return self.const_of_value(value, node)
+            except TypeError:
+                pass
+        raise SynthesisError(f"expected a hardware value, got {binding!r}",
+                             node)
+
+    @staticmethod
+    def fold_const(expr: Expr) -> Expr:
+        """Evaluate an expression with no carrier reads down to a Const."""
+        if isinstance(expr, Const):
+            return expr
+        try:
+            raw = expr.evaluate(_no_carriers)
+        except _NotConstant:
+            return expr
+        except RecursionError:
+            raise SynthesisError(
+                "expression grows without bound; is a loop missing a "
+                "yield (wait)?"
+            )
+        return Const(expr.spec, raw)
+
+    def as_condition(self, binding: Binding, node: ast.AST) -> Binding:
+        """Binding → Static(bool) or 1-bit Expr."""
+        if isinstance(binding, Static):
+            return Static(bool(binding.value))
+        if isinstance(binding, Expr):
+            binding = self.fold_const(binding)
+            if isinstance(binding, Const):
+                return Static(bool(binding.raw))
+            if binding.width == 1:
+                return binding
+            raise SynthesisError(
+                "condition must be 1 bit; compare explicitly "
+                "(e.g. x.ne(0) / x != 0)",
+                node,
+            )
+        raise SynthesisError(f"invalid condition {binding!r}", node)
+
+    @staticmethod
+    def as_static_int(binding: Binding, node: ast.AST, what: str) -> int:
+        if isinstance(binding, Static) and isinstance(binding.value, (int, bool)):
+            return int(binding.value)
+        raise SynthesisError(f"{what} must be a compile-time constant", node)
+
+    # ==================================================================
+    # object state access (paper §8 resolution)
+    # ==================================================================
+    def object_state(self, env: PathEnv, handle: ObjectHandle) -> Expr:
+        return env.pending.get(handle.carrier.uid, Read(handle.carrier))
+
+    def member_read(self, env: PathEnv, handle: ObjectHandle,
+                    name: str, node: ast.AST) -> Expr:
+        slot = handle.layout.slots.get(name)
+        if slot is None:
+            raise SynthesisError(
+                f"{handle.cls.__name__} has no member {name!r}", node
+            )
+        state = self.object_state(env, handle)
+        if slot.offset == 0 and slot.width == state.width:
+            sliced = state
+        else:
+            sliced = Slice(state, slot.msb, slot.offset)
+        if sliced.spec != slot.spec:
+            return Resize(sliced, slot.spec)
+        return sliced
+
+    def member_write(self, env: PathEnv, handle: ObjectHandle, name: str,
+                     value: Binding, node: ast.AST) -> None:
+        slot = handle.layout.slots.get(name)
+        if slot is None:
+            raise SynthesisError(
+                f"{handle.cls.__name__} has no member {name!r}", node
+            )
+        expr = self.materialize(value, slot.spec, node)
+        state = self.object_state(env, handle)
+        new_state = self._field_insert(state, slot, expr)
+        env.write_carrier(handle.carrier, new_state)
+
+    @staticmethod
+    def _field_insert(state: Expr, slot: FieldSlot, value: Expr) -> Expr:
+        total = state.width
+        parts: list[Expr] = []
+        if slot.msb < total - 1:
+            parts.append(Slice(state, total - 1, slot.msb + 1))
+        parts.append(value if value.spec.kind == "bv" else
+                     Resize(value, bits(value.width)))
+        if slot.offset > 0:
+            parts.append(Slice(state, slot.offset - 1, 0))
+        merged = parts[0] if len(parts) == 1 else Concat(parts)
+        return Resize(merged, unsigned(total))
+
+    # ==================================================================
+    # expression evaluation
+    # ==================================================================
+    def eval(self, node: ast.AST, env: PathEnv) -> Binding:
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is None:
+            raise SynthesisError(
+                f"{type(node).__name__} is outside the synthesizable subset",
+                node,
+            )
+        return method(node, env)
+
+    # ---------------- leaves ----------------
+    def _eval_Constant(self, node: ast.Constant, env: PathEnv) -> Binding:
+        if isinstance(node.value, (int, bool, str)) or node.value is None:
+            return Static(node.value)
+        raise SynthesisError(
+            f"constant {node.value!r} is not synthesizable", node
+        )
+
+    def _eval_Name(self, node: ast.Name, env: PathEnv) -> Binding:
+        name = node.id
+        if name in env.locals:
+            value = env.locals[name]
+            if isinstance(value, Undefined):
+                raise SynthesisError(
+                    f"{name!r} may be undefined on some path", node
+                )
+            return value
+        if name == "self":
+            module = self.ctx.module_self()
+            if module is not None:
+                return Static(module)
+        fallback = self.ctx.local_register(name)
+        if fallback is not None:
+            return Read(fallback)
+        scope = self.ctx.static_scope()
+        if name in scope:
+            return Static(scope[name])
+        raise SynthesisError(f"unknown name {name!r}", node)
+
+    def _eval_Attribute(self, node: ast.Attribute, env: PathEnv) -> Binding:
+        base = self.eval(node.value, env)
+        attr = node.attr
+        from repro.synth.polygen import PolyHandle
+
+        if isinstance(base, PolyHandle):
+            if attr in ("assign", "call") or self.ctx.library.has_method(
+                base.poly.base, attr
+            ):
+                return Static(("polymethod", base, attr))
+            raise SynthesisError(
+                f"PolyVar({base.poly.base.__name__}) has no interface "
+                f"method {attr!r}",
+                node,
+            )
+        if isinstance(base, ObjectHandle):
+            if attr in base.layout.slots:
+                return self.member_read(env, base, attr, node)
+            if self.ctx.library.has_method(base.cls, attr):
+                return Static(("boundmethod", base, attr))
+            class_attr = getattr(base.cls, attr, _MISSING)
+            if isinstance(class_attr, (int, bool, str, type)):
+                # Template parameters and class constants (paper Fig. 3).
+                return Static(class_attr)
+            return self.member_read(env, base, attr, node)
+        if isinstance(base, Static):
+            value = base.value
+            if value is self.ctx.module_self():
+                return self.ctx.resolve_attr(attr, env, node)
+            from repro.hdl.module import Module as _HdlModule, Port as _Port
+            from repro.hdl.signal import Signal as _Signal
+
+            if isinstance(value, _HdlModule):
+                return self.ctx.resolve_module_attr(value, attr, node)
+            if isinstance(value, _Port):
+                ref = SignalRef(value.signal, value.direction, value.name)
+                return Static(("sigmethod", ref, attr))
+            if isinstance(value, _Signal):
+                ref = SignalRef(value, "internal", value.name)
+                return Static(("sigmethod", ref, attr))
+            if isinstance(value, type):
+                return Static(getattr(value, attr))
+            if hasattr(value, attr):
+                return Static(getattr(value, attr))
+        if isinstance(base, Expr):
+            if attr == "width":
+                return Static(base.width)
+            if attr in self._VALUE_METHODS:
+                return Static(("exprmethod", base, attr))
+        if isinstance(base, (SignalRef, SharedPortRef)):
+            # e.g. self.port.read — handled in Call; expose as bound pair
+            return Static(("sigmethod", base, attr))
+        raise SynthesisError(f"cannot access attribute {attr!r}", node)
+
+    # ---------------- operators ----------------
+    _BIN_OPS = {
+        ast.Add: "add", ast.Sub: "sub", ast.Mult: "mul",
+        ast.BitAnd: "and", ast.BitOr: "or", ast.BitXor: "xor",
+    }
+
+    def _eval_BinOp(self, node: ast.BinOp, env: PathEnv) -> Binding:
+        left = self.eval(node.left, env)
+        right = self.eval(node.right, env)
+        op_type = type(node.op)
+        if isinstance(left, Static) and isinstance(right, Static):
+            return self._static_binop(node, left.value, right.value)
+        if op_type in (ast.LShift, ast.RShift):
+            return self._shift(node, left, right)
+        if op_type in (ast.FloorDiv, ast.Mod):
+            return self._divmod(node, left, right)
+        if op_type not in self._BIN_OPS:
+            raise SynthesisError(
+                f"operator {op_type.__name__} is not synthesizable", node
+            )
+        a = self.as_expr(left, node, like=right if isinstance(right, Expr) else None)
+        b = self.as_expr(right, node, like=a)
+        return self.fold_const(BinOp(self._BIN_OPS[op_type], a, b))
+
+    def _static_binop(self, node: ast.BinOp, a: Any, b: Any) -> Static:
+        import operator as op
+
+        table = {
+            ast.Add: op.add, ast.Sub: op.sub, ast.Mult: op.mul,
+            ast.FloorDiv: op.floordiv, ast.Mod: op.mod,
+            ast.LShift: op.lshift, ast.RShift: op.rshift,
+            ast.BitAnd: op.and_, ast.BitOr: op.or_, ast.BitXor: op.xor,
+            ast.Pow: op.pow,
+        }
+        fn = table.get(type(node.op))
+        if fn is None:
+            raise SynthesisError(
+                f"operator {type(node.op).__name__} is not synthesizable",
+                node,
+            )
+        return Static(fn(a, b))
+
+    def _shift(self, node: ast.BinOp, left: Binding,
+               right: Binding) -> Binding:
+        is_left = isinstance(node.op, ast.LShift)
+        a = self.as_expr(left, node)
+        if isinstance(right, Static):
+            return ShiftConst(a, int(right.value), left=is_left)
+        amount = self.as_expr(right, node)
+        return ShiftDyn(a, amount, left=is_left)
+
+    def _divmod(self, node: ast.BinOp, left: Binding,
+                right: Binding) -> Binding:
+        a = self.as_expr(left, node)
+        divisor = self.as_static_int(right, node, "divisor")
+        if not is_power_of_two(divisor):
+            raise SynthesisError(
+                "division/modulo only by constant powers of two is "
+                "synthesizable; use a sequential divider otherwise",
+                node,
+            )
+        if a.spec.kind in ("signed", "fixed"):
+            raise SynthesisError(
+                "signed //, % are not synthesizable (floor vs shift "
+                "semantics differ); convert to unsigned first",
+                node,
+            )
+        shift = divisor.bit_length() - 1
+        if isinstance(node.op, ast.FloorDiv):
+            return ShiftConst(a, shift, left=False)
+        mask = Const(a.spec, divisor - 1)
+        return BinOp("and", a, mask)
+
+    _CMP_OPS = {
+        ast.Eq: "eq", ast.NotEq: "ne", ast.Lt: "lt", ast.LtE: "le",
+        ast.Gt: "gt", ast.GtE: "ge",
+    }
+
+    def _eval_Compare(self, node: ast.Compare, env: PathEnv) -> Binding:
+        if len(node.ops) != 1:
+            raise SynthesisError("chained comparisons are not synthesizable",
+                                 node)
+        left = self.eval(node.left, env)
+        right = self.eval(node.comparators[0], env)
+        op_name = self._CMP_OPS.get(type(node.ops[0]))
+        if op_name is None:
+            raise SynthesisError(
+                f"comparison {type(node.ops[0]).__name__} not synthesizable",
+                node,
+            )
+        if isinstance(left, Static) and isinstance(right, Static):
+            import operator as op
+
+            fn = {"eq": op.eq, "ne": op.ne, "lt": op.lt, "le": op.le,
+                  "gt": op.gt, "ge": op.ge}[op_name]
+            return Static(fn(left.value, right.value))
+        if isinstance(left, ObjectHandle) or isinstance(right, ObjectHandle):
+            return self._object_compare(node, env, left, right, op_name)
+        a = self.as_expr(left, node,
+                         like=right if isinstance(right, Expr) else None)
+        b = self.as_expr(right, node, like=a)
+        folded = self.fold_const(BinOp(op_name, a, b))
+        if isinstance(folded, Const):
+            return Static(bool(folded.raw))
+        return folded
+
+    def _object_compare(self, node: ast.Compare, env: PathEnv,
+                        left: Binding, right: Binding,
+                        op_name: str) -> Binding:
+        if op_name not in ("eq", "ne"):
+            raise SynthesisError("objects only support == and !=", node)
+        if not (isinstance(left, ObjectHandle)
+                and isinstance(right, ObjectHandle)):
+            raise SynthesisError("cannot compare object with non-object",
+                                 node)
+        # User-overloaded operator == (paper Fig. 11) takes precedence.
+        if "__eq__" in vars(left.cls) or any(
+            "__eq__" in vars(k) for k in left.cls.__mro__
+            if issubclass(k, HwClass) and k is not HwClass
+        ):
+            info_cls = next(
+                k for k in left.cls.__mro__
+                if "__eq__" in vars(k)
+            )
+            if issubclass(info_cls, HwClass) and info_cls is not HwClass:
+                result = self.inline_method(
+                    env, left, "__eq__", [right], node
+                )
+                expr = self.as_expr(result, node)
+                if op_name == "ne":
+                    return UnaryOp("not", expr)
+                return expr
+        a = self.object_state(env, left)
+        b = self.object_state(env, right)
+        return BinOp(op_name, a, b)
+
+    def _eval_BoolOp(self, node: ast.BoolOp, env: PathEnv) -> Binding:
+        op_name = "and" if isinstance(node.op, ast.And) else "or"
+        result: Binding | None = None
+        for value_node in node.values:
+            value = self.as_condition(self.eval(value_node, env), value_node)
+            if isinstance(value, Static):
+                if op_name == "and" and not value.value:
+                    return Static(False)
+                if op_name == "or" and value.value:
+                    return Static(True)
+                continue  # neutral element
+            if result is None:
+                result = value
+            else:
+                result = BinOp(op_name, result, value)
+        return result if result is not None else Static(op_name == "and")
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp, env: PathEnv) -> Binding:
+        operand = self.eval(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            cond = self.as_condition(operand, node)
+            if isinstance(cond, Static):
+                return Static(not cond.value)
+            return UnaryOp("not", cond)
+        if isinstance(operand, Static):
+            value = operand.value
+            if isinstance(node.op, ast.USub):
+                return Static(-value)
+            if isinstance(node.op, ast.Invert):
+                return Static(~value)
+            if isinstance(node.op, ast.UAdd):
+                return Static(+value)
+        expr = self.as_expr(operand, node)
+        if isinstance(node.op, ast.USub):
+            return UnaryOp("neg", expr)
+        if isinstance(node.op, ast.Invert):
+            return UnaryOp("invert", expr)
+        raise SynthesisError("unary + is not synthesizable on hardware "
+                             "values", node)
+
+    def _eval_IfExp(self, node: ast.IfExp, env: PathEnv) -> Binding:
+        cond = self.as_condition(self.eval(node.test, env), node.test)
+        if isinstance(cond, Static):
+            return self.eval(node.body if cond.value else node.orelse, env)
+        a = self.eval(node.body, env)
+        b = self.eval(node.orelse, env)
+        a_expr = self.as_expr(a, node, like=b if isinstance(b, Expr) else None)
+        b_expr = self.as_expr(b, node, like=a_expr)
+        return Mux(cond, a_expr, b_expr)
+
+    def _eval_Subscript(self, node: ast.Subscript, env: PathEnv) -> Binding:
+        base = self.eval(node.value, env)
+        index = self.eval(node.slice, env)
+        if isinstance(base, Static) and isinstance(base.value, type):
+            # Template specialization: Cls[args]
+            if isinstance(index, Static):
+                args = index.value
+                return Static(base.value[args])
+            raise SynthesisError("template arguments must be constants", node)
+        if isinstance(base, Static) and isinstance(index, Static):
+            return Static(base.value[index.value])
+        expr = self.as_expr(base, node)
+        bit_index = self.as_static_int(index, node, "bit index")
+        if bit_index < 0:
+            bit_index += expr.width
+        return Slice(expr, bit_index, bit_index, as_bit=True)
+
+    def _eval_Tuple(self, node: ast.Tuple, env: PathEnv) -> Binding:
+        values = [self.eval(el, env) for el in node.elts]
+        if all(isinstance(v, Static) for v in values):
+            return Static(tuple(v.value for v in values))
+        raise SynthesisError("tuples of hardware values are not "
+                             "synthesizable", node)
+
+    # ==================================================================
+    # calls
+    # ==================================================================
+    def _eval_Call(self, node: ast.Call, env: PathEnv) -> Binding:
+        if node.keywords:
+            raise SynthesisError("keyword arguments are not synthesizable",
+                                 node)
+        func = self.eval(node.func, env)
+        args = [self.eval(arg, env) for arg in node.args]
+        return self.apply(func, args, env, node)
+
+    def apply(self, func: Binding, args: list[Binding], env: PathEnv,
+              node: ast.Call) -> Binding:
+        if isinstance(func, Static):
+            target = func.value
+            if isinstance(target, tuple) and len(target) == 3:
+                kind, base, name = target
+                if kind == "boundmethod":
+                    return self.inline_method(env, base, name, args, node)
+                if kind == "sigmethod":
+                    return self._signal_method(env, base, name, args, node)
+                if kind == "exprmethod":
+                    return self._value_method(env, base, name, args, node)
+                if kind == "polymethod":
+                    from repro.synth.polygen import poly_assign, poly_dispatch
+
+                    if name == "assign":
+                        if len(args) != 1:
+                            raise SynthesisError("assign takes one object",
+                                                 node)
+                        poly_assign(self, env, base, args[0], node)
+                        return Static(None)
+                    if name == "call":
+                        if not args or not (isinstance(args[0], Static)
+                                            and isinstance(args[0].value,
+                                                           str)):
+                            raise SynthesisError(
+                                "call() needs a literal method name", node
+                            )
+                        return poly_dispatch(self, env, base,
+                                             args[0].value, args[1:], node)
+                    return poly_dispatch(self, env, base, name, args, node)
+            if isinstance(target, type):
+                return self._construct(target, args, env, node)
+            if target in (int, bool):
+                return self._int_bool_cast(args, node)
+            if target is len:
+                arg = args[0]
+                if isinstance(arg, Static) and hasattr(arg.value,
+                                                       "__len__"):
+                    return Static(len(arg.value))
+                expr = self.as_expr(arg, node)
+                return Static(expr.width)
+            if target is isinstance:
+                if len(args) != 2 or not isinstance(args[1], Static):
+                    raise SynthesisError(
+                        "isinstance() needs a class constant", node
+                    )
+                subject = args[0]
+                classes = args[1].value
+                if isinstance(subject, ObjectHandle):
+                    return Static(
+                        issubclass(subject.cls, classes)
+                    )
+                if isinstance(subject, Static):
+                    return Static(isinstance(subject.value, classes))
+                if isinstance(subject, Expr):
+                    return Static(False)
+                raise SynthesisError(
+                    "isinstance() on this value is not synthesizable", node
+                )
+            if target is abs and len(args) == 1 and isinstance(args[0], Static):
+                return Static(abs(args[0].value))
+            if target is min and all(isinstance(a, Static) for a in args):
+                return Static(min(a.value for a in args))
+            if target is max and all(isinstance(a, Static) for a in args):
+                return Static(max(a.value for a in args))
+            if callable(target) and all(isinstance(a, Static) for a in args):
+                # Pure compile-time helper call (e.g. spec constructors or
+                # module configuration methods like port selectors).
+                result = target(*[a.value for a in args])
+                return Static(result)
+        if isinstance(func, Expr):
+            raise SynthesisError("hardware values are not callable", node)
+        raise SynthesisError(f"call target {func!r} is not synthesizable",
+                             node)
+
+    def _int_bool_cast(self, args: list[Binding], node: ast.Call) -> Binding:
+        if len(args) != 1:
+            raise SynthesisError("int()/bool() take one argument", node)
+        arg = args[0]
+        if isinstance(arg, Static):
+            return Static(int(arg.value))
+        expr = self.as_expr(arg, node)
+        if expr.width == 1:
+            return expr
+        raise SynthesisError(
+            "bool()/int() of multi-bit values is ambiguous; use "
+            ".reduce_or() or an explicit comparison",
+            node,
+        )
+
+    def _construct(self, target: type, args: list[Binding], env: PathEnv,
+                   node: ast.Call) -> Binding:
+        from repro.types.bitvector import BitVector
+        from repro.types.integer import Signed, Unsigned
+        from repro.types.logic import Bit
+
+        if target is Bit:
+            if not args:
+                return Const(bit(), 0)
+            arg = args[0]
+            if isinstance(arg, Static):
+                return Const(bit(), int(arg.value) & 1)
+            expr = self.as_expr(arg, node)
+            if expr.width != 1:
+                raise SynthesisError("Bit() of a multi-bit value", node)
+            return expr if expr.spec.kind == "bit" else Resize(expr, bit())
+        if target in (Unsigned, Signed, BitVector):
+            width = self.as_static_int(args[0], node, "width")
+            spec = {
+                Unsigned: unsigned, Signed: signed, BitVector: bits,
+            }[target](width)
+            if len(args) == 1:
+                return Const(spec, 0)
+            value = args[1]
+            if isinstance(value, Static):
+                return Const(spec,
+                             int(value.value) & ((1 << width) - 1))
+            expr = self.as_expr(value, node)
+            if expr.width == width:
+                return Resize(expr, spec)
+            raise SynthesisError(
+                "constructing a hardware value from a dynamic expression "
+                "of different width is not synthesizable; use .resized()",
+                node,
+            )
+        if isinstance(target, type) and issubclass(target, HwClass):
+            if args:
+                raise SynthesisError(
+                    "hardware-class constructors take no arguments "
+                    "(parameterize with templates)",
+                    node,
+                )
+            handle = self.ctx.new_local_object(target, node)
+            instance = target()
+            initial = handle.layout.pack(instance)
+            env.write_carrier(
+                handle.carrier,
+                Const(unsigned(handle.layout.total_width), initial.raw),
+            )
+            return handle
+        raise SynthesisError(
+            f"constructor {getattr(target, '__name__', target)!r} is not "
+            "synthesizable",
+            node,
+        )
+
+    # -------------- value methods on expressions --------------
+    def _signal_method(self, env: PathEnv, ref: Binding, name: str,
+                       args: list[Binding], node: ast.Call) -> Binding:
+        if isinstance(ref, SignalRef):
+            if name == "read":
+                return self.ctx.signal_read_expr(ref, node)
+            if name == "write":
+                if len(args) != 1:
+                    raise SynthesisError("write() takes one value", node)
+                self.ctx.signal_write(env, ref, args[0], node, self)
+                return Static(None)
+            raise SynthesisError(
+                f"signal method {name!r} is not synthesizable", node
+            )
+        raise SynthesisError(
+            "shared-object ports are only usable as "
+            "'result = yield from port.call(...)'",
+            node,
+        )
+
+    _VALUE_METHODS = {
+        "range", "bit", "concat", "resized", "to_unsigned", "to_signed",
+        "as_unsigned", "as_signed", "as_bits", "to_bits", "reduce_or",
+        "reduce_and", "reduce_xor", "with_bit", "with_range", "eq", "ne",
+        "lt", "le", "gt", "ge",
+    }
+
+    def inline_method(self, env: PathEnv, base: Binding, name: str,
+                      args: list[Binding], node: ast.Call) -> Binding:
+        if isinstance(base, Expr):
+            return self._value_method(env, base, name, args, node)
+        if not isinstance(base, ObjectHandle):
+            raise SynthesisError(f"cannot call method on {base!r}", node)
+        if name in ("copy",):
+            raise SynthesisError("object copy() is not synthesizable inside "
+                                 "processes", node)
+        key = (base.cls, name)
+        if key in self._call_stack:
+            raise SynthesisError(
+                f"recursive call of {base.cls.__name__}.{name} is not "
+                "synthesizable",
+                node,
+            )
+        info = self.ctx.library.method(base.cls, name)
+        defaults = info.defaults()
+        if len(args) > len(info.params):
+            raise SynthesisError(
+                f"{base.cls.__name__}.{name} expects at most "
+                f"{len(info.params)} argument(s), got {len(args)}",
+                node,
+            )
+        full_args = list(args)
+        for param in info.params[len(args):]:
+            if param not in defaults:
+                raise SynthesisError(
+                    f"{base.cls.__name__}.{name}: missing argument "
+                    f"{param!r}",
+                    node,
+                )
+            full_args.append(Static(defaults[param]))
+        saved_locals = env.locals
+        env.locals = {"self": base}
+        for param, value in zip(info.params, full_args):
+            spec = info.param_specs.get(param)
+            if spec == "static":
+                if not isinstance(value, Static):
+                    raise SynthesisError(
+                        f"{base.cls.__name__}.{name}: parameter {param!r} "
+                        "must be a compile-time constant",
+                        node,
+                    )
+            elif spec is not None:
+                value = self.materialize(value, spec, node)
+            env.locals[param] = value
+        self._call_stack.append(key)
+        saved_scope = self.ctx.push_scope(info.func)
+        try:
+            result = self.exec_block(info.tree.body, env)
+        finally:
+            self._call_stack.pop()
+            self.ctx.pop_scope(saved_scope)
+            env.locals = saved_locals
+        if isinstance(result, ReturnValue):
+            value = result.binding
+            if info.return_spec is not None and not isinstance(value, Static):
+                value = self.materialize(value, info.return_spec, node)
+            return value
+        return Static(None)
+
+    def _value_method(self, env: PathEnv, expr: Expr, name: str,
+                      args: list[Binding], node: ast.Call) -> Binding:
+        if name not in self._VALUE_METHODS:
+            raise SynthesisError(
+                f"method {name!r} on hardware values is not synthesizable",
+                node,
+            )
+        if name == "range":
+            hi = self.as_static_int(args[0], node, "range hi")
+            lo = self.as_static_int(args[1], node, "range lo")
+            return Slice(expr, hi, lo)
+        if name == "bit":
+            index = self.as_static_int(args[0], node, "bit index")
+            return Slice(expr, index, index, as_bit=True)
+        if name == "concat":
+            low = self.as_expr(args[0], node)
+            return Concat(
+                [expr if expr.spec.kind == "bv" else Resize(expr, bits(expr.width)),
+                 low if low.spec.kind == "bv" or low.spec.kind == "bit"
+                 else Resize(low, bits(low.width))]
+            )
+        if name == "resized":
+            width = self.as_static_int(args[0], node, "resize width")
+            kind = expr.spec.kind
+            if kind == "bit":
+                kind = "unsigned"
+            return Resize(expr, TypeSpec(kind, width,
+                                         expr.spec.frac_bits
+                                         if kind == "fixed" else 0))
+        if name in ("to_unsigned", "as_unsigned"):
+            return Resize(expr, unsigned(expr.width))
+        if name in ("to_signed", "as_signed"):
+            return Resize(expr, signed(expr.width))
+        if name in ("as_bits", "to_bits"):
+            return Resize(expr, bits(expr.width))
+        if name in ("reduce_or", "reduce_and", "reduce_xor"):
+            return UnaryOp(name, expr)
+        if name == "with_bit":
+            index = self.as_static_int(args[0], node, "bit index")
+            value = self.materialize(args[1], bit(), node)
+            slot = FieldSlot("bit", bit(), index)
+            inserted = self._field_insert(
+                expr if expr.spec.kind != "bit" else Resize(expr, bits(1)),
+                slot, value,
+            )
+            return Resize(inserted, expr.spec)
+        if name == "with_range":
+            hi = self.as_static_int(args[0], node, "range hi")
+            lo = self.as_static_int(args[1], node, "range lo")
+            value = self.materialize(args[2], bits(hi - lo + 1), node)
+            slot = FieldSlot("rng", bits(hi - lo + 1), lo)
+            return Resize(self._field_insert(expr, slot, value), expr.spec)
+        # comparisons-as-methods
+        other = self.as_expr(args[0], node, like=expr)
+        return BinOp(name, expr, other)
+
+    # ==================================================================
+    # statement blocks without waits
+    # ==================================================================
+    def exec_block(self, stmts: list[ast.stmt],
+                   env: PathEnv) -> ReturnValue | None:
+        for index, stmt in enumerate(stmts):
+            is_last = index == len(stmts) - 1
+            result = self.exec_stmt(stmt, env, tail=is_last)
+            if isinstance(result, ReturnValue):
+                # A definite return: any remaining statements are dead code.
+                # (Conditional returns under a dynamic guard are restricted
+                # to tail position inside _exec_if.)
+                return result
+        return None
+
+    def exec_stmt(self, stmt: ast.stmt, env: PathEnv,
+                  tail: bool = False) -> ReturnValue | None:
+        if isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                return ReturnValue(Static(None))
+            return ReturnValue(self.eval(stmt.value, env))
+        if isinstance(stmt, (ast.Pass, ast.Assert)):
+            return None
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant):
+                return None  # docstring
+            if isinstance(stmt.value, (ast.Yield, ast.YieldFrom)):
+                raise SynthesisError(
+                    "wait() inside a class method or combinational method "
+                    "is not synthesizable",
+                    stmt,
+                )
+            self.eval(stmt.value, env)
+            return None
+        if isinstance(stmt, ast.Assign):
+            self._do_assign(stmt.targets, stmt.value, env, stmt)
+            return None
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                raise SynthesisError("declarations need an initializer",
+                                     stmt)
+            self._do_assign([stmt.target], stmt.value, env, stmt)
+            return None
+        if isinstance(stmt, ast.AugAssign):
+            synthetic = ast.BinOp(left=self._target_as_expr(stmt.target),
+                                  op=stmt.op, right=stmt.value)
+            ast.copy_location(synthetic, stmt)
+            ast.fix_missing_locations(synthetic)
+            self._do_assign([stmt.target], synthetic, env, stmt,
+                            pre_evaluated=self.eval(synthetic, env))
+            return None
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, env, tail)
+        if isinstance(stmt, ast.For):
+            self._exec_static_for(stmt, env)
+            return None
+        if isinstance(stmt, ast.While):
+            raise SynthesisError(
+                "while loops without wait() are not synthesizable here",
+                stmt,
+            )
+        raise SynthesisError(
+            f"{type(stmt).__name__} is outside the synthesizable subset",
+            stmt,
+        )
+
+    @staticmethod
+    def _target_as_expr(target: ast.expr) -> ast.expr:
+        # AugAssign targets are expression contexts too; reuse the tree.
+        import copy
+
+        clone = copy.deepcopy(target)
+        for sub in ast.walk(clone):
+            if isinstance(sub, (ast.Name, ast.Attribute, ast.Subscript)):
+                sub.ctx = ast.Load()
+        return clone
+
+    def _do_assign(self, targets: list[ast.expr], value_node: ast.expr,
+                   env: PathEnv, stmt: ast.stmt,
+                   pre_evaluated: Binding | None = None) -> None:
+        if len(targets) != 1:
+            raise SynthesisError("chained assignment is not synthesizable",
+                                 stmt)
+        target = targets[0]
+        value = (pre_evaluated if pre_evaluated is not None
+                 else self.eval(value_node, env))
+        if isinstance(target, ast.Name):
+            self._assign_local(target.id, value, env, stmt)
+            return
+        if isinstance(target, ast.Attribute):
+            base = self.eval(target.value, env)
+            if isinstance(base, ObjectHandle):
+                self.member_write(env, base, target.attr, value, stmt)
+                return
+            if isinstance(base, Static) and base.value is self.ctx.module_self():
+                raise SynthesisError(
+                    "assigning module attributes inside a process is not "
+                    "synthesizable; use a signal",
+                    stmt,
+                )
+        raise SynthesisError("unsupported assignment target", stmt)
+
+    def _assign_local(self, name: str, value: Binding, env: PathEnv,
+                      stmt: ast.stmt) -> None:
+        if isinstance(value, (Static, ObjectHandle, Undefined)):
+            env.locals[name] = value
+            return
+        if not isinstance(value, Expr):
+            raise SynthesisError(f"cannot assign {value!r}", stmt)
+        previous = env.locals.get(name)
+        if previous is None:
+            reg = self.ctx.local_register(name)
+            if reg is not None:
+                previous = Read(reg)
+        if isinstance(previous, Expr) and previous.spec != value.spec:
+            if previous.spec.width != value.spec.width:
+                raise SynthesisError(
+                    f"local {name!r} changes width "
+                    f"({previous.spec.width} -> {value.spec.width}); "
+                    "use .resized() to keep a fixed register width",
+                    stmt,
+                )
+            value = Resize(value, previous.spec)
+        env.locals[name] = value
+
+    # -------------- structured control flow (wait-free) --------------
+    def _exec_if(self, stmt: ast.If, env: PathEnv,
+                 tail: bool) -> ReturnValue | None:
+        cond = self.as_condition(self.eval(stmt.test, env), stmt.test)
+        if isinstance(cond, Static):
+            branch = stmt.body if cond.value else stmt.orelse
+            if not branch:
+                return None
+            return self.exec_block(branch, env)
+        then_env = env.fork()
+        else_env = env.fork()
+        then_ret = self.exec_block(stmt.body, then_env)
+        else_ret = (self.exec_block(stmt.orelse, else_env)
+                    if stmt.orelse else None)
+        if (then_ret is None) != (else_ret is None):
+            raise SynthesisError(
+                "either both or neither branch of a dynamic if may return",
+                stmt,
+            )
+        self.merge_into(env, cond, then_env, else_env, stmt)
+        if then_ret is not None:
+            if not tail:
+                raise SynthesisError(
+                    "returning inside a dynamic if is only synthesizable in "
+                    "tail position",
+                    stmt,
+                )
+            a = self.as_expr(then_ret.binding, stmt,
+                             like=else_ret.binding
+                             if isinstance(else_ret.binding, Expr) else None)
+            b = self.as_expr(else_ret.binding, stmt, like=a)
+            return ReturnValue(Mux(cond, a, b))
+        return None
+
+    def merge_into(self, env: PathEnv, cond: Expr, then_env: PathEnv,
+                   else_env: PathEnv, stmt: ast.stmt) -> None:
+        """Fold two branch environments back into *env* with muxes."""
+        # locals
+        names = set(then_env.locals) | set(else_env.locals)
+        merged_locals: dict[str, Binding] = {}
+        for name in names:
+            a = then_env.locals.get(name, env.locals.get(name))
+            b = else_env.locals.get(name, env.locals.get(name))
+            merged_locals[name] = self._merge_binding(cond, a, b, stmt, name)
+        env.locals = merged_locals
+        # carriers
+        uids = set(then_env.pending) | set(else_env.pending)
+        for uid in uids:
+            carrier = then_env.written.get(uid) or else_env.written.get(uid)
+            base = env.pending.get(uid, Read(carrier))
+            a = then_env.pending.get(uid, base)
+            b = else_env.pending.get(uid, base)
+            if a is b:
+                env.pending[uid] = a
+            else:
+                env.pending[uid] = Mux(cond, a, b)
+            env.written[uid] = carrier
+
+    def _merge_binding(self, cond: Expr, a: Binding, b: Binding,
+                       stmt: ast.stmt, name: str) -> Binding:
+        if a is None and b is None:
+            return UNDEFINED
+
+        def hold_side(x: Binding, other: Binding) -> Binding:
+            if x is not None and not isinstance(x, Undefined):
+                return x
+            reg = self.ctx.local_register(name)
+            if reg is not None:
+                return Read(reg)
+            if isinstance(other, Expr):
+                # The local will persist in a register; the untaken side
+                # holds the previous contents (matching generator locals
+                # that survive across activations).
+                reg = self.ctx.ensure_local_register(name, other.spec)
+                return Read(reg)
+            return UNDEFINED
+
+        a = hold_side(a, b)
+        b = hold_side(b, a)
+        if isinstance(a, Undefined) or isinstance(b, Undefined):
+            if isinstance(a, Undefined) and isinstance(b, Undefined):
+                return UNDEFINED
+            # Defined on one path only with no register backing: reading it
+            # later is an error, but the assignment itself is fine.
+            return UNDEFINED
+        if isinstance(a, Static) and isinstance(b, Static):
+            if a.value == b.value:
+                return a
+            if isinstance(a.value, (int, bool)) and isinstance(
+                b.value, (int, bool)
+            ):
+                raise SynthesisError(
+                    f"local {name!r} holds different compile-time constants "
+                    "on the two branches; assign typed hardware values "
+                    "instead",
+                    stmt,
+                )
+            raise SynthesisError(
+                f"local {name!r} diverges at a dynamic branch", stmt
+            )
+        if isinstance(a, ObjectHandle) and isinstance(b, ObjectHandle):
+            if a.carrier.uid == b.carrier.uid:
+                return a
+            raise SynthesisError(
+                f"object variable {name!r} binds different objects on the "
+                "two branches",
+                stmt,
+            )
+        a_expr = self.as_expr(a, stmt, like=b if isinstance(b, Expr) else None)
+        b_expr = self.as_expr(b, stmt, like=a_expr)
+        if a_expr is b_expr:
+            return a_expr
+        return Mux(cond, a_expr, b_expr)
+
+    def _exec_static_for(self, stmt: ast.For, env: PathEnv) -> None:
+        if not (isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "range"):
+            raise SynthesisError(
+                "for loops must iterate over constant range(...)", stmt
+            )
+        if not isinstance(stmt.target, ast.Name):
+            raise SynthesisError("for target must be a simple name", stmt)
+        bounds = [
+            self.as_static_int(self.eval(arg, env), stmt, "range bound")
+            for arg in stmt.iter.args
+        ]
+        iterations = list(range(*bounds))
+        if len(iterations) > self.MAX_UNROLL:
+            raise SynthesisError(
+                f"loop unrolls to {len(iterations)} iterations "
+                f"(limit {self.MAX_UNROLL})",
+                stmt,
+            )
+        for value in iterations:
+            env.locals[stmt.target.id] = Static(value)
+            result = self.exec_block(stmt.body, env)
+            if result is not None:
+                raise SynthesisError("return inside a for loop is not "
+                                     "synthesizable", stmt)
+        if stmt.orelse:
+            self.exec_block(stmt.orelse, env)

@@ -1,0 +1,671 @@
+"""Module synthesis: kernel-level modules → RTL.
+
+``synthesize(module)`` is the user-facing entry point of the OSSS flow: it
+takes an elaborated :class:`repro.hdl.Module` (the same object that
+simulates on the kernel) and produces an :class:`repro.rtl.RtlModule`:
+
+* each clocked thread becomes an FSM (:mod:`repro.synth.behavioral`) whose
+  register write-sets are folded into next-value mux trees;
+* each combinational method becomes named wires;
+* hardware-class instances become packed state registers
+  (:mod:`repro.osss.state_layout`);
+* child modules are synthesized recursively and instantiated, with port
+  bindings recovered from the simulation wiring;
+* shared-object client ports surface as request/ack interface ports that
+  are either routed up the hierarchy or, at the synthesis root, wired to
+  generated arbiters (:mod:`repro.synth.sharedgen`).
+
+Synthesize *freshly constructed* modules: object state and signal initial
+values are captured as reset values at synthesis time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable
+
+from repro.hdl.module import Module, Port
+from repro.hdl.process import CMethod, CThread
+from repro.hdl.signal import Clock, Signal
+from repro.osss.hwclass import HwClass
+from repro.osss.polymorph import PolyVar
+from repro.osss.shared import ClientPort
+from repro.rtl.ir import (
+    BinOp,
+    Const,
+    Expr,
+    Mux,
+    Read,
+    Register,
+    RtlModule,
+    UnaryOp,
+    WireCarrier,
+)
+from repro.synth.behavioral import Fsm, FsmBuilder
+from repro.synth.common import ObjectHandle, Static, SynthesisError
+from repro.synth.design_info import DesignLibrary
+from repro.synth.interp import (
+    Interpreter,
+    PathEnv,
+    SharedPortRef,
+    SignalRef,
+)
+from repro.types.spec import TypeSpec, bit, unsigned
+
+
+class SynthesisSession:
+    """State shared across one ``synthesize()`` call tree."""
+
+    def __init__(self) -> None:
+        self.library = DesignLibrary()
+        from repro.synth.sharedgen import SharedMethodTable
+
+        self._tables: dict[int, Any] = {}
+        self._table_cls = SharedMethodTable
+
+    def method_table(self, shared) -> Any:
+        table = self._tables.get(id(shared.instance) ^ id(shared))
+        if table is None:
+            table = self._table_cls(shared, self.library)
+            self._tables[id(shared.instance) ^ id(shared)] = table
+        return table
+
+
+class ModuleContext:
+    """Synthesis state of one module."""
+
+    def __init__(self, module: Module, session: SynthesisSession) -> None:
+        self.module = module
+        self.session = session
+        self.library = session.library
+        self.rtl = RtlModule(type(module).__name__ + "_" + module.name)
+        self.reset_input = None
+        #: signal uid -> callable returning the read expression
+        self._signal_reads: dict[int, Callable[[], Expr]] = {}
+        #: signal uid -> (carrier, writer process name)
+        self._signal_writers: dict[int, tuple[Any, str]] = {}
+        self._object_handles: dict[int, ObjectHandle] = {}
+        self._poly_handles: dict[int, Any] = {}
+        self._shared_ifaces: dict[int, Any] = {}
+        self._const_signals: list[str] = []
+        self._attr_of_signal: dict[int, str] = {}
+        self._instances: dict[int, Any] = {}  # id(child module) -> Instance
+
+    # ------------------------------------------------------------------
+    # reset handling
+    # ------------------------------------------------------------------
+    def ensure_reset(self):
+        if self.reset_input is None:
+            self.reset_input = self.rtl.add_input("reset", bit())
+            self.rtl.attributes["reset_port"] = "reset"
+        return self.reset_input
+
+    def reset_expr_for(self, thread: CThread) -> Expr | None:
+        if thread.reset is None:
+            return None
+        carrier = self.ensure_reset()
+        expr = Read(carrier)
+        if thread.reset_active == 0:
+            expr = UnaryOp("not", expr)
+        return expr
+
+    # ------------------------------------------------------------------
+    # signals
+    # ------------------------------------------------------------------
+    def register_signal_reader(self, signal: Signal,
+                               reader: Callable[[], Expr]) -> None:
+        self._signal_reads[signal.uid] = reader
+
+    def signal_read(self, signal: Signal, node: ast.AST) -> Expr:
+        if isinstance(signal, Clock):
+            raise SynthesisError(
+                "reading the clock is not synthesizable; clocking is "
+                "implicit",
+                node,
+            )
+        reader = self._signal_reads.get(signal.uid)
+        if reader is not None:
+            return reader()
+        # Undriven signal: freeze its current (initial) value as a constant.
+        raw = signal.spec.to_raw(signal.read())
+        self._const_signals.append(signal.name)
+        expr = Const(signal.spec, raw)
+        self._signal_reads[signal.uid] = lambda: expr
+        return expr
+
+    def signal_writer_carrier(self, signal: Signal, process_name: str,
+                              node: ast.AST):
+        entry = self._signal_writers.get(signal.uid)
+        if entry is None:
+            raise SynthesisError(
+                f"signal {signal.name!r} written outside the pre-scanned "
+                "set; write signals as self.<attr>.write(...)",
+                node,
+            )
+        carrier, writer = entry
+        if writer != process_name:
+            raise SynthesisError(
+                f"signal {signal.name!r} is driven by {writer!r} and "
+                f"{process_name!r}; a signal may have one driver",
+                node,
+            )
+        return carrier
+
+    # ------------------------------------------------------------------
+    # objects / polymorphism / shared
+    # ------------------------------------------------------------------
+    def object_handle(self, obj: HwClass, name_hint: str) -> ObjectHandle:
+        handle = self._object_handles.get(id(obj))
+        if handle is None:
+            from repro.osss.state_layout import StateLayout
+
+            layout = StateLayout.of(type(obj))
+            initial = layout.pack(obj).raw
+            reg = self.rtl.add_register(
+                name_hint, unsigned(layout.total_width), initial
+            )
+            handle = ObjectHandle(reg, type(obj))
+            self._object_handles[id(obj)] = handle
+        return handle
+
+    def poly_handle(self, poly: PolyVar, name_hint: str):
+        handle = self._poly_handles.get(id(poly))
+        if handle is None:
+            from repro.synth.polygen import PolyHandle
+
+            tag, state_raw = poly.pack()
+            tag_reg = self.rtl.add_register(
+                f"{name_hint}_tag", unsigned(poly.tag_width), tag
+            )
+            state_reg = self.rtl.add_register(
+                f"{name_hint}_state", unsigned(poly.state_width), state_raw
+            )
+            handle = PolyHandle(poly, tag_reg, state_reg)
+            self._poly_handles[id(poly)] = handle
+        return handle
+
+    def shared_interface(self, ref: SharedPortRef):
+        iface = self._shared_ifaces.get(id(ref.client_port))
+        if iface is None:
+            from repro.synth.sharedgen import SharedClientIface
+
+            table = self.session.method_table(ref.client_port.owner)
+            iface = SharedClientIface(self, ref.client_port, table)
+            self._shared_ifaces[id(ref.client_port)] = iface
+        return iface
+
+    def shared_client_exports(self) -> list[dict[str, Any]]:
+        """Interface descriptors for hierarchy routing (set post-build)."""
+        return self.rtl.attributes.setdefault("shared_clients", [])
+
+
+class ProcessContext:
+    """Interpreter context bound to one process of a module."""
+
+    def __init__(self, mctx: ModuleContext, process_name: str,
+                 func: Callable) -> None:
+        self.mctx = mctx
+        self.library = mctx.library
+        self.process_name = process_name
+        self._scope_stack = [DesignLibrary.globals_of(func)]
+        self._local_regs: dict[str, Register] = {}
+        self._local_objects: dict[int, ObjectHandle] = {}
+
+    # -- interpreter protocol ------------------------------------------
+    def static_scope(self) -> dict[str, Any]:
+        scope = dict(__builtins__) if isinstance(__builtins__, dict) else {
+            name: getattr(__builtins__, name) for name in dir(__builtins__)
+        }
+        scope.update(self._scope_stack[-1])
+        return scope
+
+    def push_scope(self, func: Callable):
+        self._scope_stack.append(DesignLibrary.globals_of(func))
+        return len(self._scope_stack) - 1
+
+    def pop_scope(self, token) -> None:
+        del self._scope_stack[token:]
+
+    def module_self(self) -> Module:
+        return self.mctx.module
+
+    def resolve_attr(self, name: str, env: PathEnv, node: ast.AST):
+        return self.resolve_module_attr(self.mctx.module, name, node)
+
+    def resolve_module_attr(self, module: Module, name: str, node: ast.AST):
+        mctx = self.mctx
+        if module is not mctx.module and module not in mctx.module.children:
+            raise SynthesisError(
+                f"cannot access module {module.full_name!r} from "
+                f"{mctx.module.full_name!r}",
+                node,
+            )
+        try:
+            value = getattr(module, name)
+        except AttributeError:
+            raise SynthesisError(
+                f"{module.full_name} has no attribute {name!r}", node
+            )
+        if isinstance(value, Port):
+            return SignalRef(value.signal, value.direction, name)
+        if isinstance(value, Clock):
+            return SignalRef(value, "clock", name)
+        if isinstance(value, Signal):
+            return SignalRef(value, "internal", name)
+        if isinstance(value, PolyVar):
+            return mctx.poly_handle(value, f"{name}")
+        if isinstance(value, HwClass):
+            return mctx.object_handle(value, name)
+        if isinstance(value, ClientPort):
+            return SharedPortRef(value, name)
+        if isinstance(value, (int, bool, str, type(None), type, tuple)):
+            return Static(value)
+        if isinstance(value, Module):
+            return Static(value)
+        if isinstance(value, TypeSpec):
+            return Static(value)
+        if callable(value):
+            # Module helper methods: callable at synthesis time with
+            # compile-time arguments (port selectors, constants).
+            return Static(value)
+        raise SynthesisError(
+            f"module attribute {name!r} of type {type(value).__name__} is "
+            "not synthesizable",
+            node,
+        )
+
+    def signal_read_expr(self, ref: SignalRef, node: ast.AST) -> Expr:
+        return self.mctx.signal_read(ref.signal, node)
+
+    def signal_write(self, env: PathEnv, ref: SignalRef, binding,
+                     node: ast.AST, interp: Interpreter) -> None:
+        if ref.direction == "in":
+            raise SynthesisError(
+                f"cannot write input port {ref.name!r}", node
+            )
+        if ref.direction == "clock":
+            raise SynthesisError("cannot write the clock", node)
+        carrier = self.mctx.signal_writer_carrier(
+            ref.signal, self.process_name, node
+        )
+        expr = interp.materialize(binding, ref.signal.spec, node)
+        env.write_carrier(carrier, expr)
+
+    def local_register(self, name: str) -> Register | None:
+        return self._local_regs.get(name)
+
+    def ensure_local_register(self, name: str, spec: TypeSpec) -> Register:
+        reg = self._local_regs.get(name)
+        if reg is None:
+            reg = self.mctx.rtl.add_register(
+                f"{self.process_name}_{name}", spec, 0
+            )
+            self._local_regs[name] = reg
+        elif reg.spec.width != spec.width:
+            raise SynthesisError(
+                f"local {name!r} used with widths {reg.spec.width} and "
+                f"{spec.width}; keep one register width"
+            )
+        return reg
+
+    def new_local_object(self, cls: type, node: ast.AST) -> ObjectHandle:
+        key = id(node)
+        handle = self._local_objects.get(key)
+        if handle is None:
+            from repro.osss.state_layout import StateLayout
+
+            layout = StateLayout.of(cls)
+            reg = self.mctx.rtl.add_register(
+                f"{self.process_name}_obj{len(self._local_objects)}",
+                unsigned(layout.total_width),
+                layout.pack(cls()).raw,
+            )
+            handle = ObjectHandle(reg, cls)
+            self._local_objects[key] = handle
+        return handle
+
+    def shared_interface(self, ref: SharedPortRef):
+        return self.mctx.shared_interface(ref)
+
+
+# ======================================================================
+# write-set prescan
+# ======================================================================
+def _scan_written_signals(module: Module, func: Callable,
+                          library: DesignLibrary) -> list[str]:
+    """Names of ``self.<attr>`` whose ``.write`` is called in *func*."""
+    tree = library.process_ast(func)
+    written: list[str] = []
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "write"
+                and isinstance(node.func.value, ast.Attribute)
+                and isinstance(node.func.value.value, ast.Name)
+                and node.func.value.value.id == "self"):
+            written.append(node.func.value.attr)
+    return written
+
+
+# ======================================================================
+# FSM → register logic
+# ======================================================================
+def _fold_guards(guards: list[Expr]) -> Expr | None:
+    expr: Expr | None = None
+    for guard in guards:
+        expr = guard if expr is None else BinOp("and", expr, guard)
+    return expr
+
+
+def assemble_fsm(mctx: ModuleContext, fsm: Fsm, reset: Expr | None,
+                 pulse_uids: set[int]) -> None:
+    """Fold an FSM's transitions into register next-value expressions."""
+    n_states = len(fsm.states)
+    state_width = max(1, (n_states - 1).bit_length())
+    state_reg = mctx.rtl.add_register(
+        f"{fsm.name}_state", unsigned(state_width), fsm.entry
+    )
+    eff_state: Expr = Read(state_reg)
+    if reset is not None:
+        eff_state = Mux(reset, Const(unsigned(state_width), fsm.entry),
+                        eff_state)
+
+    def state_is(uid: int) -> Expr:
+        return BinOp("eq", eff_state, Const(unsigned(state_width), uid))
+
+    def fold_carrier(carrier, default_fn) -> Expr:
+        value: Expr | None = None
+        for state in fsm.states:
+            if not state.transitions:
+                continue
+            if carrier is not state_reg and not any(
+                carrier.uid in t.writes for t in state.transitions
+            ):
+                # No transition of this state writes the carrier: the
+                # register holds (or pulses low) by default, so this state
+                # needs no mux arm — the optimization a production
+                # behavioral-synthesis tool applies to keep FSM datapath
+                # muxing proportional to actual writes.
+                continue
+            per_state = self_fold(state, carrier, default_fn)
+            if value is None:
+                value = per_state
+            else:
+                value = Mux(state_is(state.uid), per_state, value)
+        if value is None:
+            return default_fn()
+        if carrier is not state_reg:
+            # States without writes fall through to the default.
+            covered = [s for s in fsm.states if s.transitions and any(
+                carrier.uid in t.writes for t in s.transitions
+            )]
+            if len(covered) < sum(1 for s in fsm.states if s.transitions):
+                value = Mux(_any_state(covered), value, default_fn())
+        return value
+
+    def _any_state(states_with_writes) -> Expr:
+        expr: Expr | None = None
+        for state in states_with_writes:
+            term = state_is(state.uid)
+            expr = term if expr is None else BinOp("or", expr, term)
+        return expr
+
+    def self_fold(state, carrier, default_fn) -> Expr:
+        transitions = state.transitions
+        last = transitions[-1]
+        value = pick(last, carrier, default_fn)
+        for transition in reversed(transitions[:-1]):
+            guard = _fold_guards(transition.guards)
+            chosen = pick(transition, carrier, default_fn)
+            if guard is None:
+                value = chosen
+            else:
+                value = Mux(guard, chosen, value)
+        return value
+
+    def pick(transition, carrier, default_fn) -> Expr:
+        if carrier is state_reg:
+            return Const(unsigned(state_width), transition.target)
+        entry = transition.writes.get(carrier.uid)
+        if entry is None:
+            return default_fn()
+        return entry[1]
+
+    # State register.
+    state_reg.next = fold_carrier(state_reg, lambda: Read(state_reg))
+
+    # Data registers written by this FSM.
+    for uid, carrier in fsm.written_carriers.items():
+        if not isinstance(carrier, Register):
+            raise SynthesisError(
+                f"{fsm.name}: cannot fold writes into {carrier!r}"
+            )
+        if carrier.next is not None:
+            raise SynthesisError(
+                f"register {carrier.name!r} is written by more than one "
+                "process; use a shared object for shared state"
+            )
+        if uid in pulse_uids:
+            default = lambda c=carrier: Const(c.spec, 0)
+        else:
+            default = lambda c=carrier: Read(c)
+        carrier.next = fold_carrier(carrier, default)
+
+
+# ======================================================================
+# top-level synthesis
+# ======================================================================
+def synthesize(module: Module, session: SynthesisSession | None = None,
+               _root: bool = True, observe_children: bool = True) -> RtlModule:
+    """Synthesize *module* (and its children) into an :class:`RtlModule`.
+
+    With ``observe_children`` (default), otherwise-unobserved child output
+    ports are exposed as extra top-level outputs for testbench comparison;
+    pass False for production netlists (area/timing benchmarks).
+    """
+    if session is None:
+        session = SynthesisSession()
+    mctx = ModuleContext(module, session)
+    rtl = mctx.rtl
+
+    # ---------------- children ----------------
+    port_signal_driver: dict[int, Callable[[], Expr]] = {}
+    child_rtls: list[tuple[Module, RtlModule]] = []
+    for child in module.children:
+        child_rtl = synthesize(child, session, _root=False)
+        child_rtls.append((child, child_rtl))
+    instances = {}
+    for child, child_rtl in child_rtls:
+        inst = rtl.add_instance(child.name, child_rtl)
+        instances[id(child)] = inst
+        mctx._instances[id(child)] = inst
+        for pname, port in child.ports().items():
+            if port.direction == "out":
+                sig = port.signal
+                mctx.register_signal_reader(
+                    sig, lambda i=inst, p=pname: i.output(p)
+                )
+
+    # ---------------- primary ports ----------------
+    for pname, port in module.ports().items():
+        if port.direction == "in":
+            carrier = rtl.add_input(pname, port.spec)
+            mctx.register_signal_reader(
+                port.signal, lambda c=carrier: Read(c)
+            )
+
+    # ---------------- process prescan ----------------
+    threads: list[CThread] = []
+    methods: list[CMethod] = []
+    for process in module.processes:
+        if isinstance(process, CThread):
+            threads.append(process)
+        elif isinstance(process, CMethod):
+            methods.append(process)
+    needs_reset = any(t.reset is not None for t in threads) or any(
+        child_rtl.attributes.get("reset_port") for _, child_rtl in child_rtls
+    )
+    if needs_reset:
+        mctx.ensure_reset()
+
+    method_wires: dict[int, list[tuple[Signal, WireCarrier]]] = {}
+    for process in threads + methods:
+        short = process.name.rsplit(".", 1)[-1]
+        written = _scan_written_signals(module, process.body,
+                                        session.library)
+        for attr in written:
+            value = getattr(module, attr, None)
+            if isinstance(value, Port):
+                if value.direction == "in":
+                    continue  # rejected later with a good message
+                sig = value.signal
+            elif isinstance(value, Signal):
+                sig = value
+            else:
+                continue
+            existing = mctx._signal_writers.get(sig.uid)
+            if existing is not None:
+                if existing[1] != short:
+                    raise SynthesisError(
+                        f"signal {sig.name!r} driven by both "
+                        f"{existing[1]!r} and {short!r}"
+                    )
+                continue
+            if isinstance(process, CThread):
+                carrier = rtl.add_register(
+                    f"{short}_{attr}", sig.spec,
+                    sig.spec.to_raw(sig.read()),
+                )
+            else:
+                placeholder = Const(sig.spec, sig.spec.to_raw(sig.read()))
+                carrier = rtl.add_wire(f"{short}_{attr}", placeholder)
+            mctx._signal_writers[sig.uid] = (carrier, short)
+            mctx._attr_of_signal[sig.uid] = attr
+            mctx.register_signal_reader(sig, lambda c=carrier: Read(c))
+
+    # ---------------- combinational methods ----------------
+    for process in methods:
+        short = process.name.rsplit(".", 1)[-1]
+        pctx = ProcessContext(mctx, short, process.body)
+        interp = Interpreter(pctx)
+        tree = session.library.process_ast(process.body)
+        env = PathEnv()
+        result = interp.exec_block(tree.body, env)
+        if result is not None:
+            raise SynthesisError(f"{short}: combinational methods cannot "
+                                 "return values")
+        own_wires = {
+            carrier.uid
+            for uid, (carrier, writer) in mctx._signal_writers.items()
+            if writer == short
+        }
+        for uid, expr in env.pending.items():
+            carrier = env.written[uid]
+            if not isinstance(carrier, WireCarrier):
+                raise SynthesisError(
+                    f"{short}: combinational method wrote a registered "
+                    "carrier"
+                )
+            _check_no_self_read(expr, own_wires, short)
+            carrier.expr = expr
+        if pctx._local_regs:
+            raise SynthesisError(
+                f"{short}: combinational methods cannot hold state across "
+                "activations"
+            )
+
+    # ---------------- clocked threads ----------------
+    for process in threads:
+        short = process.name.rsplit(".", 1)[-1]
+        pctx = ProcessContext(mctx, short, process.body)
+        tree = session.library.process_ast(process.body)
+        builder = FsmBuilder(pctx, tree.body)
+        fsm = builder.build()
+        reset = mctx.reset_expr_for(process)
+        pulse_uids = {
+            iface.ack_reg.uid
+            for iface in mctx._shared_ifaces.values()
+            if iface.ack_reg is not None
+        }
+        assemble_fsm(mctx, fsm, reset, pulse_uids)
+        rtl.attributes.setdefault("fsm_states", {})[short] = fsm.state_count
+
+    # ---------------- leftover registers hold ----------------
+    for reg in rtl.registers:
+        if reg.next is None:
+            reg.next = Read(reg)
+
+    # ---------------- instance input wiring ----------------
+    for child, child_rtl in child_rtls:
+        inst = instances[id(child)]
+        for pname, carrier in child_rtl.inputs.items():
+            if pname == child_rtl.attributes.get("reset_port"):
+                inst.connect(pname, Read(mctx.ensure_reset()))
+                continue
+            if pname.startswith("__shared_"):
+                continue  # wired by the shared-object router below
+            port = child.ports().get(pname)
+            if port is None:
+                raise SynthesisError(
+                    f"instance {child.name}: cannot wire generated input "
+                    f"{pname!r}"
+                )
+            sig = port.signal
+            if _root and sig.uid not in mctx._signal_reads:
+                # Undriven child input at the synthesis root: promote it to
+                # a primary input so testbenches can drive it, the way the
+                # kernel testbench drives the port's signal directly.
+                top_in = rtl.add_input(f"{child.name}_{pname}", port.spec)
+                mctx.register_signal_reader(
+                    sig, lambda c=top_in: Read(c)
+                )
+            inst.connect(pname, mctx.signal_read(sig, None))
+
+    # ---------------- outputs ----------------
+    for pname, port in module.ports().items():
+        if port.direction != "out":
+            continue
+        expr = mctx.signal_read(port.signal, None)
+        rtl.add_output(pname, expr)
+    if _root and observe_children:
+        # Expose otherwise-unobserved child outputs so testbenches can
+        # compare them against the kernel simulation.
+        for child, child_rtl in child_rtls:
+            inst = instances[id(child)]
+            for pname in child_rtl.outputs:
+                if pname.startswith("__shared_"):
+                    continue
+                exposed = f"{child.name}_{pname}"
+                if exposed in rtl.outputs or exposed in rtl.inputs:
+                    continue
+                rtl.add_output(exposed, inst.output(pname))
+
+    # ---------------- shared-object routing ----------------
+    from repro.synth.sharedgen import route_shared
+
+    route_shared(mctx, instances, is_root=_root)
+
+    if mctx._const_signals:
+        rtl.attributes["const_signals"] = list(dict.fromkeys(
+            mctx._const_signals
+        ))
+    return rtl
+
+
+def _check_no_self_read(expr: Expr, own_wire_uids: set[int],
+                        process: str) -> None:
+    seen: set[int] = set()
+
+    def visit(e: Expr) -> None:
+        if id(e) in seen:
+            return
+        seen.add(id(e))
+        if isinstance(e, Read) and e.carrier.uid in own_wire_uids:
+            raise SynthesisError(
+                f"{process}: combinational method reads a signal it also "
+                "writes (latch/feedback); use a local variable"
+            )
+        for child in e.children():
+            visit(child)
+
+    visit(expr)

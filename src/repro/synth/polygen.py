@@ -1,0 +1,152 @@
+"""Polymorphism synthesis (paper §8).
+
+A :class:`~repro.osss.polymorph.PolyVar` lowers to a *tag* register plus a
+state register sized for the largest registered subclass.  A virtual call
+inlines every subclass's override and selects among the inlined results and
+state updates with tag-compare multiplexers — §8: *"In case of
+polymorphism, multiplexers are being inserted to select the function and
+object."*
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.osss.polymorph import PolyVar
+from repro.osss.state_layout import StateLayout
+from repro.rtl.ir import BinOp, Const, Expr, Mux, Read, Register, Resize
+from repro.synth.common import ObjectHandle, Static, SynthesisError
+from repro.types.spec import unsigned
+
+
+class PolyHandle:
+    """A polymorphic variable bound to its tag + state registers."""
+
+    __slots__ = ("poly", "tag_reg", "state_reg")
+
+    def __init__(self, poly: PolyVar, tag_reg: Register,
+                 state_reg: Register) -> None:
+        self.poly = poly
+        self.tag_reg = tag_reg
+        self.state_reg = state_reg
+
+    @property
+    def subclasses(self) -> tuple[type, ...]:
+        return self.poly.subclasses
+
+    def tag_expr(self, env) -> Expr:
+        return env.pending.get(self.tag_reg.uid, Read(self.tag_reg))
+
+    def state_expr(self, env) -> Expr:
+        return env.pending.get(self.state_reg.uid, Read(self.state_reg))
+
+    def __repr__(self) -> str:
+        return f"PolyHandle({self.poly.base.__name__})"
+
+
+def poly_assign(interp, env, handle: PolyHandle, value: Any,
+                node: ast.AST) -> None:
+    """``polyvar.assign(obj)``: set tag and (padded) state."""
+    if not isinstance(value, ObjectHandle):
+        raise SynthesisError(
+            "PolyVar.assign takes a hardware-class instance", node
+        )
+    try:
+        tag = handle.subclasses.index(value.cls)
+    except ValueError:
+        raise SynthesisError(
+            f"{value.cls.__name__} is not in the PolyVar subclass set "
+            f"{[c.__name__ for c in handle.subclasses]}",
+            node,
+        )
+    state = interp.object_state(env, value)
+    padded = Resize(state, unsigned(handle.state_reg.width))
+    env.write_carrier(handle.tag_reg,
+                      Const(unsigned(handle.tag_reg.width), tag))
+    env.write_carrier(handle.state_reg, padded)
+
+
+def poly_dispatch(interp, env, handle: PolyHandle, method: str,
+                  args: list[Any], node: ast.AST) -> Any:
+    """Virtual call: inline every override, select by tag."""
+    if not interp.ctx.library.has_method(handle.poly.base, method):
+        raise SynthesisError(
+            f"{handle.poly.base.__name__} interface has no method "
+            f"{method!r}",
+            node,
+        )
+    tag = handle.tag_expr(env)
+    tag_width = handle.tag_reg.width
+    merged_state: Expr | None = None
+    merged_ret: Expr | None = None
+    returns_value: bool | None = None
+    base_state_pending = env.pending.get(handle.state_reg.uid)
+    for index, cls in enumerate(handle.subclasses):
+        sub_env = env.fork()
+        sub_handle = ObjectHandle(handle.state_reg, cls)
+        result = interp.inline_method(sub_env, sub_handle, method,
+                                      list(args), node)
+        new_state = sub_env.pending.get(
+            handle.state_reg.uid,
+            base_state_pending if base_state_pending is not None
+            else Read(handle.state_reg),
+        )
+        foreign = set(sub_env.pending) - set(env.pending) - {
+            handle.state_reg.uid
+        }
+        if foreign:
+            raise SynthesisError(
+                f"{cls.__name__}.{method} has side effects outside the "
+                "object; virtual methods may only mutate self",
+                node,
+            )
+        has_value = not (isinstance(result, Static)
+                         and result.value is None)
+        if returns_value is None:
+            returns_value = has_value
+        elif returns_value != has_value:
+            raise SynthesisError(
+                f"overrides of {method!r} disagree on returning a value",
+                node,
+            )
+        is_this = BinOp("eq", tag, Const(unsigned(tag_width), index))
+        if merged_state is None:
+            merged_state = new_state
+        else:
+            merged_state = Mux(is_this, new_state, merged_state)
+        if has_value:
+            ret_expr = interp.as_expr(
+                result, node,
+                like=merged_ret if isinstance(merged_ret, Expr) else None,
+            )
+            if merged_ret is None:
+                merged_ret = ret_expr
+            else:
+                if merged_ret.spec.width != ret_expr.spec.width:
+                    raise SynthesisError(
+                        f"overrides of {method!r} return different widths "
+                        f"({merged_ret.spec.width} vs "
+                        f"{ret_expr.spec.width})",
+                        node,
+                    )
+                merged_ret = Mux(is_this, ret_expr, merged_ret)
+    if merged_state is not None:
+        env.write_carrier(handle.state_reg, merged_state)
+    if returns_value:
+        return merged_ret
+    return Static(None)
+
+
+def poly_layout_note(poly: PolyVar) -> dict[str, Any]:
+    """Geometry record used by reports and the E4 bench."""
+    return {
+        "base": poly.base.__name__,
+        "subclasses": [c.__name__ for c in poly.subclasses],
+        "tag_bits": poly.tag_width,
+        "state_bits": poly.state_width,
+        "per_class_bits": {
+            c.__name__: StateLayout.of(c).total_width
+            for c in poly.subclasses
+        },
+    }

@@ -1,0 +1,561 @@
+"""Shared-object synthesis: client interfaces and generated arbiters.
+
+Paper §8: *"When global objects are being instantiated and accessed, some
+scheduling logic of course has to be added."*  This module generates that
+logic.  Each module whose threads access a :class:`SharedObject` gains a
+request interface (request/method/args/ack outputs, done/result inputs);
+at the synthesis root one arbiter module per shared object is instantiated
+and wired to every client.  The arbiter implements the same scheduling
+policies as the simulation model (:mod:`repro.osss.shared`) with identical
+cycle timing, so OSSS-level and RTL simulations agree cycle for cycle.
+
+Interface timing (matching ``ClientPort.call``):
+
+* client registers request+method+args in cycle *t*;
+* arbiter picks a winner among requests visible in cycle *t+1*, executes
+  the guarded method combinationally and registers done+result;
+* client sees ``done`` in cycle *t+2*, captures the result, clears the
+  request and pulses ``ack`` (which lets the arbiter clear ``done``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.osss.shared import Fcfs, RoundRobin, SharedObject, StaticPriority
+from repro.osss.state_layout import StateLayout
+from repro.rtl.ir import (
+    BinOp,
+    Const,
+    Expr,
+    Mux,
+    Read,
+    Register,
+    Resize,
+    RtlModule,
+    Slice,
+    UnaryOp,
+)
+from repro.synth.common import ObjectHandle, Static, SynthesisError
+from repro.synth.design_info import DesignLibrary
+from repro.synth.interp import Interpreter, PathEnv
+from repro.types.spec import TypeSpec, bit, unsigned
+
+
+class SharedMethodTable:
+    """Callable-method metadata of one shared object (table order fixed)."""
+
+    def __init__(self, shared: SharedObject, library: DesignLibrary) -> None:
+        self.shared = shared
+        self.library = library
+        cls = type(shared.instance)
+        names = []
+        for name in sorted(dir(cls)):
+            if name.startswith("_"):
+                continue
+            if name in ("layout", "full_layout", "member_specs", "construct",
+                        "copy", "hw_members", "specialize"):
+                continue
+            attr = getattr(cls, name, None)
+            if not callable(attr):
+                continue
+            info = library.method(cls, name)
+            if info.fully_annotated:
+                names.append(name)
+        if not names:
+            raise SynthesisError(
+                f"shared object {shared.name!r}: no synthesizable methods "
+                "(annotate parameters and return with TypeSpecs)"
+            )
+        self.methods = names
+        self.cls = cls
+        self.method_width = max(1, (len(names) - 1).bit_length())
+        self.args_width = 1
+        self.result_width = 1
+        for name in names:
+            info = library.method(cls, name)
+            total = sum(spec.width for spec in info.param_specs.values())
+            self.args_width = max(self.args_width, max(total, 1))
+            if info.return_spec is not None:
+                self.result_width = max(self.result_width,
+                                        info.return_spec.width)
+
+    def method_id(self, name: str) -> int:
+        try:
+            return self.methods.index(name)
+        except ValueError:
+            raise SynthesisError(
+                f"shared object {self.shared.name!r} has no synthesizable "
+                f"method {name!r} (available: {self.methods})"
+            )
+
+    def return_spec(self, name: str) -> TypeSpec | None:
+        return self.library.method(self.cls, name).return_spec
+
+    def param_specs(self, name: str) -> list[TypeSpec]:
+        info = self.library.method(self.cls, name)
+        return [info.param_specs[p] for p in info.params]
+
+
+class SharedClientIface:
+    """One module-side client interface onto a shared object."""
+
+    def __init__(self, mctx, client_port, table: SharedMethodTable) -> None:
+        self.mctx = mctx
+        self.client_port = client_port
+        self.table = table
+        rtl = mctx.rtl
+        prefix = f"__shared_{table.shared.name}_c{client_port.index}"
+        self.prefix = prefix
+        self.req_reg = rtl.add_register(f"{prefix}_req", bit(), 0)
+        self.method_reg = rtl.add_register(
+            f"{prefix}_method", unsigned(table.method_width), 0
+        )
+        self.args_reg = rtl.add_register(
+            f"{prefix}_args", unsigned(table.args_width), 0
+        )
+        self.ack_reg = rtl.add_register(f"{prefix}_ack", bit(), 0)
+        # Inbound values arrive through deferred wires so the router can
+        # later bind them to either module inputs (non-root) or arbiter
+        # outputs (root).
+        self.done_wire = rtl.add_wire(f"{prefix}_done_w", Const(bit(), 0))
+        self.result_wire = rtl.add_wire(
+            f"{prefix}_result_w", Const(unsigned(table.result_width), 0)
+        )
+
+    # -- used by the FSM builder ---------------------------------------
+    def request_writes(self, method_name: str, args: list[Any],
+                       interp: Interpreter, node: ast.AST):
+        method_id = self.table.method_id(method_name)
+        specs = self.table.param_specs(method_name)
+        if len(args) != len(specs):
+            raise SynthesisError(
+                f"{method_name} expects {len(specs)} argument(s), got "
+                f"{len(args)}",
+                node,
+            )
+        packed: Expr = Const(unsigned(self.table.args_width), 0)
+        offset = 0
+        parts: list[tuple[int, Expr]] = []
+        for spec, arg in zip(specs, args):
+            expr = interp.materialize(arg, spec, node)
+            parts.append((offset, expr))
+            offset += spec.width
+        packed = _pack_parts(parts, self.table.args_width)
+        return [
+            (self.req_reg, Const(bit(), 1)),
+            (self.method_reg,
+             Const(unsigned(self.table.method_width), method_id)),
+            (self.args_reg, packed),
+        ]
+
+    def done_expr(self) -> Expr:
+        return Read(self.done_wire)
+
+    def complete_writes(self):
+        return [
+            (self.req_reg, Const(bit(), 0)),
+            (self.ack_reg, Const(bit(), 1)),
+        ]
+
+    def result_expr(self, method_name: str):
+        spec = self.table.return_spec(method_name)
+        if spec is None:
+            return Static(None)
+        sliced = Slice(Read(self.result_wire), spec.width - 1, 0)
+        return Resize(sliced, spec)
+
+    def descriptor(self) -> dict[str, Any]:
+        return {
+            "shared": self.table.shared,
+            "index": self.client_port.index,
+            "prefix": self.prefix,
+        }
+
+
+def _pack_parts(parts: list[tuple[int, Expr]], width: int) -> Expr:
+    """Assemble LSB-first (offset, expr) fields into one unsigned bus."""
+    from repro.rtl.ir import Concat
+    from repro.types.spec import bits
+
+    if not parts:
+        return Const(unsigned(width), 0)
+    pieces: list[Expr] = []
+    cursor = 0
+    for offset, expr in sorted(parts, key=lambda p: p[0]):
+        if offset > cursor:
+            pieces.append(Const(bits(offset - cursor), 0))
+        pieces.append(expr if expr.spec.kind == "bv"
+                      else Resize(expr, bits(expr.width)))
+        cursor = offset + expr.width
+    if cursor < width:
+        pieces.append(Const(bits(width - cursor), 0))
+    pieces.reverse()  # Concat is MSB-first
+    merged = pieces[0] if len(pieces) == 1 else Concat(pieces)
+    return Resize(merged, unsigned(width))
+
+
+# ======================================================================
+# hierarchy routing
+# ======================================================================
+def route_shared(mctx, instances: dict[int, Any], is_root: bool) -> None:
+    """Close or re-export shared-object interfaces at this level."""
+    rtl = mctx.rtl
+    open_ifaces: list[dict[str, Any]] = []
+    # Own threads' interfaces.
+    for iface in mctx._shared_ifaces.values():
+        desc = iface.descriptor()
+        desc["kind"] = "local"
+        desc["iface"] = iface
+        open_ifaces.append(desc)
+    # Children's exported interfaces.
+    for inst in rtl.instances:
+        for child_desc in inst.module.attributes.get("shared_clients", []):
+            open_ifaces.append({
+                "shared": child_desc["shared"],
+                "index": child_desc["index"],
+                "prefix": child_desc["prefix"],
+                "kind": "child",
+                "instance": inst,
+            })
+
+    if not open_ifaces:
+        return
+
+    if not is_root:
+        _reexport(mctx, open_ifaces)
+        return
+
+    # Root: one arbiter per shared object.
+    by_shared: dict[int, list[dict[str, Any]]] = {}
+    shared_objects: dict[int, SharedObject] = {}
+    for desc in open_ifaces:
+        by_shared.setdefault(id(desc["shared"]), []).append(desc)
+        shared_objects[id(desc["shared"])] = desc["shared"]
+    for key, descs in by_shared.items():
+        shared = shared_objects[key]
+        table = mctx.session.method_table(shared)
+        arbiter = build_arbiter(shared, table, mctx.session.library)
+        inst = rtl.add_instance(f"arbiter_{shared.name}", arbiter)
+        if mctx.reset_input is None:
+            mctx.ensure_reset()
+        inst.connect("reset", Read(mctx.reset_input))
+        present = {d["index"]: d for d in descs}
+        for index in range(max(shared.num_clients, 1)):
+            desc = present.get(index)
+            if desc is None:
+                inst.connect(f"c{index}_req", Const(bit(), 0))
+                inst.connect(f"c{index}_ack", Const(bit(), 0))
+                inst.connect(f"c{index}_method",
+                             Const(unsigned(table.method_width), 0))
+                inst.connect(f"c{index}_args",
+                             Const(unsigned(table.args_width), 0))
+                continue
+            if desc["kind"] == "local":
+                iface = desc["iface"]
+                inst.connect(f"c{index}_req", Read(iface.req_reg))
+                inst.connect(f"c{index}_ack", Read(iface.ack_reg))
+                inst.connect(f"c{index}_method", Read(iface.method_reg))
+                inst.connect(f"c{index}_args", Read(iface.args_reg))
+                iface.done_wire.expr = inst.output(f"c{index}_done")
+                iface.result_wire.expr = inst.output(f"c{index}_result")
+            else:
+                child_inst = desc["instance"]
+                prefix = desc["prefix"]
+                inst.connect(f"c{index}_req",
+                             child_inst.output(f"{prefix}_req"))
+                inst.connect(f"c{index}_ack",
+                             child_inst.output(f"{prefix}_ack"))
+                inst.connect(f"c{index}_method",
+                             child_inst.output(f"{prefix}_method"))
+                inst.connect(f"c{index}_args",
+                             child_inst.output(f"{prefix}_args"))
+                child_inst.connect(f"{prefix}_done",
+                                   inst.output(f"c{index}_done"))
+                child_inst.connect(f"{prefix}_result",
+                                   inst.output(f"c{index}_result"))
+
+
+def _reexport(mctx, open_ifaces: list[dict[str, Any]]) -> None:
+    rtl = mctx.rtl
+    exported = rtl.attributes.setdefault("shared_clients", [])
+    for desc in open_ifaces:
+        prefix = desc["prefix"]
+        table_shared = desc["shared"]
+        table = mctx.session.method_table(table_shared)
+        if desc["kind"] == "local":
+            iface = desc["iface"]
+            rtl.add_output(f"{prefix}_req", Read(iface.req_reg))
+            rtl.add_output(f"{prefix}_ack", Read(iface.ack_reg))
+            rtl.add_output(f"{prefix}_method", Read(iface.method_reg))
+            rtl.add_output(f"{prefix}_args", Read(iface.args_reg))
+            done_in = rtl.add_input(f"{prefix}_done", bit())
+            result_in = rtl.add_input(
+                f"{prefix}_result", unsigned(table.result_width)
+            )
+            iface.done_wire.expr = Read(done_in)
+            iface.result_wire.expr = Read(result_in)
+        else:
+            inst = desc["instance"]
+            rtl.add_output(f"{prefix}_req", inst.output(f"{prefix}_req"))
+            rtl.add_output(f"{prefix}_ack", inst.output(f"{prefix}_ack"))
+            rtl.add_output(f"{prefix}_method",
+                           inst.output(f"{prefix}_method"))
+            rtl.add_output(f"{prefix}_args", inst.output(f"{prefix}_args"))
+            done_in = rtl.add_input(f"{prefix}_done", bit())
+            result_in = rtl.add_input(
+                f"{prefix}_result", unsigned(table.result_width)
+            )
+            inst.connect(f"{prefix}_done", Read(done_in))
+            inst.connect(f"{prefix}_result", Read(result_in))
+        exported.append({
+            "shared": desc["shared"],
+            "index": desc["index"],
+            "prefix": prefix,
+        })
+
+
+# ======================================================================
+# arbiter generation
+# ======================================================================
+class _ArbiterContext:
+    """Minimal interpreter context for inlining guarded methods."""
+
+    def __init__(self, library: DesignLibrary, name: str) -> None:
+        self.library = library
+        self.process_name = name
+        self._scope_stack: list[dict] = [{}]
+
+    def static_scope(self):
+        scope = dict(__builtins__) if isinstance(__builtins__, dict) else {
+            key: getattr(__builtins__, key) for key in dir(__builtins__)
+        }
+        scope.update(self._scope_stack[-1])
+        return scope
+
+    def push_scope(self, func):
+        self._scope_stack.append(DesignLibrary.globals_of(func))
+        return len(self._scope_stack) - 1
+
+    def pop_scope(self, token):
+        del self._scope_stack[token:]
+
+    def module_self(self):
+        return None
+
+    def resolve_attr(self, name, env, node):
+        raise SynthesisError(
+            f"guarded methods cannot access module state ({name!r})", node
+        )
+
+    def resolve_module_attr(self, module, name, node):
+        raise SynthesisError("guarded methods cannot access modules", node)
+
+    def signal_read_expr(self, ref, node):
+        raise SynthesisError("guarded methods cannot read signals", node)
+
+    def signal_write(self, env, ref, binding, node, interp):
+        raise SynthesisError("guarded methods cannot write signals", node)
+
+    def local_register(self, name):
+        return None
+
+    def ensure_local_register(self, name, spec):
+        raise SynthesisError(
+            "guarded methods cannot create persistent locals"
+        )
+
+    def new_local_object(self, cls, node):
+        raise SynthesisError(
+            "guarded methods cannot construct objects", node
+        )
+
+    def shared_interface(self, ref):
+        raise SynthesisError("guarded methods cannot access shared objects")
+
+
+def build_arbiter(shared: SharedObject, table: SharedMethodTable,
+                  library: DesignLibrary) -> RtlModule:
+    """Generate the arbiter RTL module for one shared object."""
+    n = max(shared.num_clients, 1)
+    rtl = RtlModule(f"arbiter_{shared.name}")
+    reset = rtl.add_input("reset", bit())
+    rtl.attributes["reset_port"] = "reset"
+    layout = StateLayout.of(type(shared.instance))
+    state_reg = rtl.add_register(
+        "obj_state", unsigned(layout.total_width),
+        layout.pack(shared.instance).raw,
+    )
+
+    req, method_in, args_in, ack = [], [], [], []
+    for i in range(n):
+        req.append(Read(rtl.add_input(f"c{i}_req", bit())))
+        method_in.append(
+            Read(rtl.add_input(f"c{i}_method",
+                               unsigned(table.method_width)))
+        )
+        args_in.append(
+            Read(rtl.add_input(f"c{i}_args", unsigned(table.args_width)))
+        )
+        ack.append(Read(rtl.add_input(f"c{i}_ack", bit())))
+
+    done_regs = [rtl.add_register(f"done{i}", bit(), 0) for i in range(n)]
+    result_regs = [
+        rtl.add_register(f"result{i}", unsigned(table.result_width), 0)
+        for i in range(n)
+    ]
+
+    eligible = [
+        BinOp("and", req[i], UnaryOp("not", Read(done_regs[i])))
+        for i in range(n)
+    ]
+    win, policy_updates = _policy_logic(shared, rtl, eligible, n)
+    any_win = win[0]
+    for i in range(1, n):
+        any_win = BinOp("or", any_win, win[i])
+
+    method_sel: Expr = method_in[0]
+    args_sel: Expr = args_in[0]
+    for i in range(1, n):
+        method_sel = Mux(win[i], method_in[i], method_sel)
+        args_sel = Mux(win[i], args_in[i], args_sel)
+
+    # Inline every guarded method on the current object state.
+    ctx = _ArbiterContext(library, rtl.name)
+    interp = Interpreter(ctx)
+    handle = ObjectHandle(state_reg, type(shared.instance))
+    new_state: Expr = Read(state_reg)
+    result_value: Expr = Const(unsigned(table.result_width), 0)
+    for method_id, name in enumerate(table.methods):
+        env = PathEnv()
+        info = library.method(table.cls, name)
+        args: list[Any] = []
+        offset = 0
+        for param in info.params:
+            spec = info.param_specs[param]
+            sliced = Slice(args_sel, offset + spec.width - 1, offset)
+            args.append(Resize(sliced, spec))
+            offset += spec.width
+        fake_call = ast.parse(f"self.{name}()").body[0].value
+        ret = interp.inline_method(env, handle, name, args, fake_call)
+        updated = env.pending.get(state_reg.uid, Read(state_reg))
+        is_this = BinOp(
+            "eq", method_sel, Const(unsigned(table.method_width), method_id)
+        )
+        new_state = Mux(is_this, updated, new_state)
+        if info.return_spec is not None:
+            ret_expr = interp.materialize(ret, info.return_spec, fake_call)
+            padded = Resize(
+                ret_expr if ret_expr.spec.kind != "bit"
+                else Resize(ret_expr, unsigned(1)),
+                unsigned(table.result_width),
+            )
+            result_value = Mux(is_this, padded, result_value)
+
+    def with_reset(next_expr: Expr, reset_raw: int, spec: TypeSpec) -> Expr:
+        return Mux(Read(reset), Const(spec, reset_raw), next_expr)
+
+    state_reg.next = with_reset(
+        Mux(any_win, new_state, Read(state_reg)),
+        state_reg.reset_raw, state_reg.spec,
+    )
+    for i in range(n):
+        done_regs[i].next = with_reset(
+            BinOp("or", win[i],
+                  BinOp("and", Read(done_regs[i]), UnaryOp("not", ack[i]))),
+            0, bit(),
+        )
+        result_regs[i].next = with_reset(
+            Mux(win[i], result_value, Read(result_regs[i])),
+            0, result_regs[i].spec,
+        )
+        rtl.add_output(f"c{i}_done", Read(done_regs[i]))
+        rtl.add_output(f"c{i}_result", Read(result_regs[i]))
+    for reg, next_expr in policy_updates:
+        reg.next = with_reset(next_expr, reg.reset_raw, reg.spec)
+    rtl.attributes["policy"] = shared.scheduler.policy_name
+    return rtl
+
+
+def _policy_logic(shared: SharedObject, rtl: RtlModule,
+                  eligible: list[Expr], n: int):
+    """Winner one-hot expressions + policy register updates."""
+    scheduler = shared.scheduler
+    if isinstance(scheduler, StaticPriority):
+        win = _priority_onehot(eligible, list(range(n)))
+        return win, []
+    if isinstance(scheduler, RoundRobin):
+        ptr_width = max(1, (n - 1).bit_length())
+        ptr = rtl.add_register("rr_ptr", unsigned(ptr_width),
+                               scheduler.pointer)
+        win: list[Expr] = [Const(bit(), 0)] * n
+        for start in range(n):
+            order = [(start + k) % n for k in range(n)]
+            rotated = _priority_onehot(eligible, order)
+            at_start = BinOp("eq", Read(ptr),
+                             Const(unsigned(ptr_width), start))
+            for i in range(n):
+                win[i] = Mux(at_start, rotated[i], win[i])
+        # pointer advances past the winner
+        next_ptr: Expr = Read(ptr)
+        for i in range(n):
+            next_ptr = Mux(win[i],
+                           Const(unsigned(ptr_width), (i + 1) % n),
+                           next_ptr)
+        return win, [(ptr, next_ptr)]
+    if isinstance(scheduler, Fcfs):
+        age_bits = scheduler.age_bits
+        cap = (1 << age_bits) - 1
+        ages = [
+            rtl.add_register(f"age{i}", unsigned(age_bits), 0)
+            for i in range(n)
+        ]
+        eff: list[Expr] = []
+        for i in range(n):
+            saturated = Mux(
+                BinOp("eq", Read(ages[i]), Const(unsigned(age_bits), cap)),
+                Const(unsigned(age_bits), cap),
+                BinOp("add", Read(ages[i]),
+                      Const(unsigned(age_bits), 1)).resized(age_bits),
+            )
+            eff.append(Mux(eligible[i], saturated,
+                           Const(unsigned(age_bits), 0)))
+        idx_width = max(1, (n - 1).bit_length())
+        best_age: Expr = eff[0]
+        best_idx: Expr = Const(unsigned(idx_width), 0)
+        for i in range(1, n):
+            better = BinOp("gt", eff[i], best_age)
+            best_age = Mux(better, eff[i], best_age)
+            best_idx = Mux(better, Const(unsigned(idx_width), i), best_idx)
+        win = []
+        any_elig: Expr = eligible[0]
+        for i in range(1, n):
+            any_elig = BinOp("or", any_elig, eligible[i])
+        for i in range(n):
+            hit = BinOp("eq", best_idx, Const(unsigned(idx_width), i))
+            win.append(BinOp("and", hit, any_elig))
+        updates = [
+            (ages[i], Mux(win[i], Const(unsigned(age_bits), 0), eff[i]))
+            for i in range(n)
+        ]
+        return win, updates
+    raise SynthesisError(
+        f"scheduler {type(scheduler).__name__} has no synthesis support; "
+        "use StaticPriority, RoundRobin or Fcfs"
+    )
+
+
+def _priority_onehot(eligible: list[Expr], order: list[int]) -> list[Expr]:
+    """One-hot winner with fixed priority given by *order*."""
+    win: list[Expr | None] = [None] * len(eligible)
+    blocked: Expr | None = None
+    for index in order:
+        if blocked is None:
+            win[index] = eligible[index]
+            blocked = eligible[index]
+        else:
+            win[index] = BinOp("and", eligible[index],
+                               UnaryOp("not", blocked))
+            blocked = BinOp("or", blocked, eligible[index])
+    return list(win)

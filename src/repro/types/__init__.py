@@ -1,0 +1,25 @@
+"""Hardware datatypes: bits, bit vectors, fixed-width integers, fixed point.
+
+These are the Python equivalents of the SystemC datatypes used throughout the
+paper's listings (``sc_bit``, ``sc_bv``, ``sc_biguint``, ``sc_bigint`` and the
+prototypic fixed-point support of OSSS §6).
+"""
+
+from repro.types.bitvector import BitVector, concat
+from repro.types.fixed import FixedPoint
+from repro.types.integer import Signed, Unsigned, add_width, bitwise_width, mul_width
+from repro.types.logic import HIGH, LOW, Bit
+
+__all__ = [
+    "Bit",
+    "BitVector",
+    "FixedPoint",
+    "HIGH",
+    "LOW",
+    "Signed",
+    "Unsigned",
+    "add_width",
+    "bitwise_width",
+    "concat",
+    "mul_width",
+]

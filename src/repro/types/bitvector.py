@@ -1,0 +1,269 @@
+"""Fixed-width bit vectors.
+
+``BitVector`` is the Python stand-in for SystemC's ``sc_bv<W>``: an immutable
+vector of two-valued bits with a compile-time-fixed width.  Bit 0 is the least
+significant bit, matching SystemC/Verilog numbering.  Range selections are
+*inclusive* and written ``vector.range(hi, lo)``, exactly like
+``sc_bv::range`` in the paper's Fig. 7 listing.
+
+All mutating-looking operations (``with_bit``, ``with_range``) return new
+vectors; values held in signals or object state are never aliased.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.types.logic import Bit
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+class BitVector:
+    """An immutable fixed-width vector of two-valued bits.
+
+    Parameters
+    ----------
+    width:
+        Number of bits; must be positive.
+    value:
+        Initial contents.  Accepts ``int`` (masked to *width* bits; negative
+        values are two's-complement encoded), another ``BitVector`` of equal
+        width, a ``Bit`` (width must be 1), or a ``str`` of ``'0'``/``'1'``
+        characters written MSB-first.
+    """
+
+    __slots__ = ("_width", "_value")
+
+    def __init__(self, width: int, value: "int | str | Bit | BitVector" = 0) -> None:
+        if width <= 0:
+            raise ValueError(f"BitVector width must be positive, got {width}")
+        self._width = width
+        if isinstance(value, BitVector):
+            if value._width != width:
+                raise ValueError(
+                    f"width mismatch: BitVector({value._width}) -> BitVector({width})"
+                )
+            self._value = value._value
+        elif isinstance(value, Bit):
+            if width != 1:
+                raise ValueError("a Bit can only initialize a 1-bit vector")
+            self._value = value.value
+        elif isinstance(value, str):
+            if len(value) != width or set(value) - {"0", "1"}:
+                raise ValueError(f"bad literal {value!r} for BitVector({width})")
+            self._value = int(value, 2)
+        elif isinstance(value, int):
+            self._value = value & _mask(width)
+        else:
+            raise TypeError(f"cannot build BitVector from {type(value).__name__}")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """The fixed number of bits in the vector."""
+        return self._width
+
+    @property
+    def value(self) -> int:
+        """The vector contents interpreted as an unsigned integer."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __len__(self) -> int:
+        return self._width
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    def bit(self, index: int) -> Bit:
+        """Return bit *index* (0 = LSB) as a :class:`Bit`."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} out of range for BitVector({self._width})")
+        return Bit((self._value >> index) & 1)
+
+    def __getitem__(self, index: int) -> Bit:
+        """``vector[i]`` is shorthand for :meth:`bit`."""
+        if isinstance(index, slice):
+            raise TypeError(
+                "use .range(hi, lo) for inclusive HDL-style part selects"
+            )
+        if index < 0:
+            index += self._width
+        return self.bit(index)
+
+    def range(self, hi: int, lo: int) -> "BitVector":
+        """Inclusive part-select ``[hi:lo]``, like ``sc_bv::range``."""
+        if hi < lo:
+            raise ValueError(f"range({hi}, {lo}): hi must be >= lo")
+        if not (0 <= lo and hi < self._width):
+            raise IndexError(
+                f"range({hi}, {lo}) out of bounds for BitVector({self._width})"
+            )
+        width = hi - lo + 1
+        return BitVector(width, (self._value >> lo) & _mask(width))
+
+    def __iter__(self) -> Iterator[Bit]:
+        """Iterate bits LSB-first."""
+        for i in range(self._width):
+            yield self.bit(i)
+
+    # ------------------------------------------------------------------
+    # functional updates
+    # ------------------------------------------------------------------
+    def with_bit(self, index: int, bit: "Bit | int") -> "BitVector":
+        """Return a copy with bit *index* replaced."""
+        if not 0 <= index < self._width:
+            raise IndexError(f"bit {index} out of range for BitVector({self._width})")
+        b = int(Bit(bit))
+        cleared = self._value & ~(1 << index)
+        return BitVector(self._width, cleared | (b << index))
+
+    def with_range(self, hi: int, lo: int, value: "BitVector | int") -> "BitVector":
+        """Return a copy with the inclusive range ``[hi:lo]`` replaced."""
+        if hi < lo:
+            raise ValueError(f"with_range({hi}, {lo}): hi must be >= lo")
+        if not (0 <= lo and hi < self._width):
+            raise IndexError(
+                f"with_range({hi}, {lo}) out of bounds for BitVector({self._width})"
+            )
+        width = hi - lo + 1
+        if isinstance(value, BitVector):
+            if value.width != width:
+                raise ValueError(
+                    f"with_range({hi}, {lo}) needs {width} bits, got {value.width}"
+                )
+            bits = value.value
+        else:
+            bits = int(value) & _mask(width)
+        cleared = self._value & ~(_mask(width) << lo)
+        return BitVector(self._width, cleared | (bits << lo))
+
+    # ------------------------------------------------------------------
+    # bitwise operators
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "BitVector | int") -> "BitVector":
+        if isinstance(other, BitVector):
+            if other._width != self._width:
+                raise ValueError(
+                    f"width mismatch: BitVector({self._width}) vs "
+                    f"BitVector({other._width})"
+                )
+            return other
+        if isinstance(other, int):
+            return BitVector(self._width, other)
+        raise TypeError(f"cannot combine BitVector with {type(other).__name__}")
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(self._width, ~self._value)
+
+    def __and__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self._width, self._value & self._coerce(other)._value)
+
+    __rand__ = __and__
+
+    def __or__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self._width, self._value | self._coerce(other)._value)
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "BitVector | int") -> "BitVector":
+        return BitVector(self._width, self._value ^ self._coerce(other)._value)
+
+    __rxor__ = __xor__
+
+    def __lshift__(self, amount: int) -> "BitVector":
+        """Width-preserving logical shift left."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return BitVector(self._width, self._value << amount)
+
+    def __rshift__(self, amount: int) -> "BitVector":
+        """Width-preserving logical shift right."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return BitVector(self._width, self._value >> amount)
+
+    # ------------------------------------------------------------------
+    # reductions, concatenation, conversion
+    # ------------------------------------------------------------------
+    def reduce_and(self) -> Bit:
+        """AND of all bits."""
+        return Bit(self._value == _mask(self._width))
+
+    def reduce_or(self) -> Bit:
+        """OR of all bits."""
+        return Bit(self._value != 0)
+
+    def reduce_xor(self) -> Bit:
+        """XOR (parity) of all bits."""
+        return Bit(bin(self._value).count("1") & 1)
+
+    def concat(self, low: "BitVector | Bit") -> "BitVector":
+        """Concatenate with ``low`` as the less-significant part."""
+        low_width = 1 if isinstance(low, Bit) else low.width
+        low_value = int(low)
+        return BitVector(
+            self._width + low_width, (self._value << low_width) | low_value
+        )
+
+    def resized(self, width: int) -> "BitVector":
+        """Zero-extend or truncate (keeping the LSBs) to *width* bits."""
+        return BitVector(width, self._value)
+
+    def to_unsigned(self) -> "Unsigned":
+        """Reinterpret the bits as an :class:`repro.types.integer.Unsigned`."""
+        from repro.types.integer import Unsigned
+
+        return Unsigned(self._width, self._value)
+
+    def to_signed(self) -> "Signed":
+        """Reinterpret the bits as a two's-complement ``Signed``."""
+        from repro.types.integer import Signed
+
+        return Signed(self._width, self._value, _raw=True)
+
+    # ------------------------------------------------------------------
+    # equality / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BitVector):
+            return self._width == other._width and self._value == other._value
+        if isinstance(other, int):
+            return self._value == (other & _mask(self._width))
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("BitVector", self._width, self._value))
+
+    def to_binary(self) -> str:
+        """MSB-first string of ``'0'``/``'1'`` characters."""
+        return format(self._value, f"0{self._width}b")
+
+    def __repr__(self) -> str:
+        return f"BitVector({self._width}, 0b{self.to_binary()})"
+
+    def __str__(self) -> str:
+        return self.to_binary()
+
+
+def concat(*parts: "BitVector | Bit") -> BitVector:
+    """Concatenate *parts* MSB-first into a single :class:`BitVector`."""
+    if not parts:
+        raise ValueError("concat needs at least one part")
+    total = 0
+    width = 0
+    for part in parts:
+        part_width = 1 if isinstance(part, Bit) else part.width
+        total = (total << part_width) | int(part)
+        width += part_width
+    return BitVector(width, total)

@@ -1,0 +1,183 @@
+"""Fixed-point numbers with automatic format resolution.
+
+The paper (§6) mentions *"prototypic support of automated fixed point number
+resolution"* in OSSS.  ``FixedPoint`` reproduces that prototype: a signed
+fixed-point value described by ``(int_bits, frac_bits)`` whose arithmetic
+operators automatically compute the exact result format, so a designer never
+aligns binary points by hand:
+
+* addition / subtraction: ``(max(ia, ib) + 1, max(fa, fb))`` — one carry bit,
+  fractional parts aligned to the finer resolution;
+* multiplication: ``(ia + ib, fa + fb)`` — exact product format.
+
+Values are stored as scaled integers (no floating point in the datapath), so
+fixed-point simulation results are bit-reproducible and synthesizable: the
+synthesizer lowers a ``FixedPoint(i, f)`` carrier to a ``Signed(i + f)``
+register and the alignment shifts become wiring.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.types.integer import Signed
+
+
+class FixedPoint:
+    """A signed fixed-point number with automatic format resolution.
+
+    Parameters
+    ----------
+    int_bits:
+        Number of integer bits, including the sign bit.  Must be >= 1.
+    frac_bits:
+        Number of fractional bits.  Must be >= 0.
+    value:
+        Numeric initializer (``int``, ``float``, ``Fraction`` or another
+        ``FixedPoint``).  The value is quantized by truncation toward
+        negative infinity (hardware right-shift behaviour) and wraps
+        modularly if it exceeds the representable range.
+    """
+
+    __slots__ = ("_int_bits", "_frac_bits", "_stored")
+
+    def __init__(self, int_bits: int, frac_bits: int,
+                 value: "int | float | Fraction | FixedPoint" = 0) -> None:
+        if int_bits < 1:
+            raise ValueError("FixedPoint needs at least 1 integer (sign) bit")
+        if frac_bits < 0:
+            raise ValueError("frac_bits must be non-negative")
+        self._int_bits = int_bits
+        self._frac_bits = frac_bits
+        if isinstance(value, FixedPoint):
+            scaled = value._stored.value
+            shift = frac_bits - value._frac_bits
+            if shift >= 0:
+                scaled <<= shift
+            else:
+                scaled >>= -shift
+        elif isinstance(value, (int, float, Fraction)):
+            exact = Fraction(value) * (1 << frac_bits)
+            # Truncate toward negative infinity, like an arithmetic shift.
+            scaled = exact.numerator // exact.denominator
+        else:
+            raise TypeError(f"cannot build FixedPoint from {type(value).__name__}")
+        self._stored = Signed(int_bits + frac_bits, scaled)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def int_bits(self) -> int:
+        """Integer bits, including sign."""
+        return self._int_bits
+
+    @property
+    def frac_bits(self) -> int:
+        """Fractional bits."""
+        return self._frac_bits
+
+    @property
+    def width(self) -> int:
+        """Total storage width in bits."""
+        return self._int_bits + self._frac_bits
+
+    @property
+    def stored(self) -> Signed:
+        """The scaled-integer representation (what synthesis registers)."""
+        return self._stored
+
+    @property
+    def value(self) -> Fraction:
+        """The exact numeric value as a :class:`fractions.Fraction`."""
+        return Fraction(self._stored.value, 1 << self._frac_bits)
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    # ------------------------------------------------------------------
+    # automatic-resolution arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def add_format(a: "FixedPoint", b: "FixedPoint") -> tuple[int, int]:
+        """Result format of ``a + b`` / ``a - b``."""
+        return max(a._int_bits, b._int_bits) + 1, max(a._frac_bits, b._frac_bits)
+
+    @staticmethod
+    def mul_format(a: "FixedPoint", b: "FixedPoint") -> tuple[int, int]:
+        """Result format of ``a * b``."""
+        return a._int_bits + b._int_bits, a._frac_bits + b._frac_bits
+
+    def _coerce(self, other: "FixedPoint | int | float | Fraction") -> "FixedPoint":
+        if isinstance(other, FixedPoint):
+            return other
+        if isinstance(other, int):
+            int_bits = max(2, other.bit_length() + 1)
+            return FixedPoint(int_bits, 0, other)
+        if isinstance(other, (float, Fraction)):
+            # Give literals a generous but bounded prototype format.
+            return FixedPoint(16, 16, other)
+        raise TypeError(f"cannot combine FixedPoint with {type(other).__name__}")
+
+    def __add__(self, other: "FixedPoint | int | float") -> "FixedPoint":
+        o = self._coerce(other)
+        int_bits, frac_bits = self.add_format(self, o)
+        return FixedPoint(int_bits, frac_bits, self.value + o.value)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "FixedPoint | int | float") -> "FixedPoint":
+        o = self._coerce(other)
+        int_bits, frac_bits = self.add_format(self, o)
+        return FixedPoint(int_bits, frac_bits, self.value - o.value)
+
+    def __rsub__(self, other: "int | float") -> "FixedPoint":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: "FixedPoint | int | float") -> "FixedPoint":
+        o = self._coerce(other)
+        int_bits, frac_bits = self.mul_format(self, o)
+        return FixedPoint(int_bits, frac_bits, self.value * o.value)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FixedPoint":
+        return FixedPoint(self._int_bits + 1, self._frac_bits, -self.value)
+
+    # ------------------------------------------------------------------
+    # format control
+    # ------------------------------------------------------------------
+    def quantized(self, int_bits: int, frac_bits: int) -> "FixedPoint":
+        """Explicitly convert to a target format (truncating/wrapping)."""
+        return FixedPoint(int_bits, frac_bits, self)
+
+    # ------------------------------------------------------------------
+    # comparisons / representation
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FixedPoint):
+            return self.value == other.value
+        if isinstance(other, (int, float, Fraction)):
+            return self.value == Fraction(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("FixedPoint", self.value))
+
+    def __lt__(self, other: "FixedPoint | int | float") -> bool:
+        return self.value < self._coerce(other).value
+
+    def __le__(self, other: "FixedPoint | int | float") -> bool:
+        return self.value <= self._coerce(other).value
+
+    def __gt__(self, other: "FixedPoint | int | float") -> bool:
+        return self.value > self._coerce(other).value
+
+    def __ge__(self, other: "FixedPoint | int | float") -> bool:
+        return self.value >= self._coerce(other).value
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedPoint({self._int_bits}, {self._frac_bits}, "
+            f"{float(self.value)!r})"
+        )

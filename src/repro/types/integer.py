@@ -1,0 +1,312 @@
+"""Fixed-width hardware integers.
+
+``Unsigned`` and ``Signed`` are the Python stand-ins for SystemC's
+``sc_biguint<W>`` / ``sc_bigint<W>``.  They carry their width with the value,
+wrap modularly like hardware registers, and define *deterministic result
+widths* for every operator.  The synthesis type inference in
+:mod:`repro.synth.hir` applies exactly the rules implemented here, which is
+what makes the generated RTL bit-accurate with respect to simulation
+(claim R6 in DESIGN.md).
+
+Result-width rules
+------------------
+==============  =======================================
+operation       result width
+==============  =======================================
+``+`` ``-``     ``max(wa, wb)`` (modular wrap-around)
+``*``           ``wa + wb``
+``& | ^``       ``max(wa, wb)``
+``<< >>``       width preserving (shifted-out bits lost)
+comparisons     :class:`repro.types.logic.Bit`
+==============  =======================================
+
+Mixing ``Unsigned`` and ``Signed`` operands raises ``TypeError``; convert
+explicitly with :meth:`Unsigned.to_signed` / :meth:`Signed.to_unsigned`.
+Plain ``int`` operands are treated as constants of the other operand's width.
+"""
+
+from __future__ import annotations
+
+from repro.types.bitvector import BitVector, _mask
+from repro.types.logic import Bit
+
+
+def add_width(wa: int, wb: int) -> int:
+    """Result width of ``+`` and ``-``."""
+    return max(wa, wb)
+
+
+def mul_width(wa: int, wb: int) -> int:
+    """Result width of ``*``."""
+    return wa + wb
+
+
+def bitwise_width(wa: int, wb: int) -> int:
+    """Result width of ``&``, ``|`` and ``^``."""
+    return max(wa, wb)
+
+
+class _FixedWidthInt:
+    """Shared machinery of :class:`Unsigned` and :class:`Signed`."""
+
+    __slots__ = ("_width", "_raw")
+
+    #: Set by subclasses: True if the type is two's-complement signed.
+    signed = False
+
+    def __init__(self, width: int, value: "int | _FixedWidthInt | BitVector | Bit" = 0,
+                 *, _raw: bool = False) -> None:
+        if width <= 0:
+            raise ValueError(f"{type(self).__name__} width must be positive")
+        self._width = width
+        if isinstance(value, _FixedWidthInt):
+            raw = value._raw
+        elif isinstance(value, (BitVector, Bit)):
+            raw = int(value)
+        elif isinstance(value, int):
+            # Numeric and raw initializers coincide after masking: a numeric
+            # value wraps modularly, a raw pattern is already in range.  The
+            # keyword documents intent at call sites.
+            raw = value
+        else:
+            raise TypeError(
+                f"cannot build {type(self).__name__} from {type(value).__name__}"
+            )
+        self._raw = raw & _mask(width)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of bits."""
+        return self._width
+
+    @property
+    def raw(self) -> int:
+        """The underlying bit pattern as a non-negative integer."""
+        return self._raw
+
+    @property
+    def value(self) -> int:
+        """The numeric value (sign-interpreted for ``Signed``)."""
+        if self.signed and self._raw >> (self._width - 1):
+            return self._raw - (1 << self._width)
+        return self._raw
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return self._raw != 0
+
+    def to_bits(self) -> BitVector:
+        """The value as a raw :class:`BitVector` of the same width."""
+        return BitVector(self._width, self._raw)
+
+    def bit(self, index: int) -> Bit:
+        """Bit *index* of the two's-complement representation (0 = LSB)."""
+        if not 0 <= index < self._width:
+            raise IndexError(
+                f"bit {index} out of range for {type(self).__name__}({self._width})"
+            )
+        return Bit((self._raw >> index) & 1)
+
+    def __getitem__(self, index: int) -> Bit:
+        if isinstance(index, slice):
+            raise TypeError("use .range(hi, lo) for inclusive part selects")
+        if index < 0:
+            index += self._width
+        return self.bit(index)
+
+    def range(self, hi: int, lo: int) -> BitVector:
+        """Inclusive part-select ``[hi:lo]`` as a :class:`BitVector`."""
+        return self.to_bits().range(hi, lo)
+
+    # ------------------------------------------------------------------
+    # coercion helpers
+    # ------------------------------------------------------------------
+    def _coerce(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        cls = type(self)
+        if isinstance(other, _FixedWidthInt):
+            if other.signed != self.signed:
+                raise TypeError(
+                    "cannot mix Unsigned and Signed operands; convert explicitly"
+                )
+            return other
+        if isinstance(other, Bit):
+            return cls(1, int(other))
+        if isinstance(other, BitVector):
+            return cls(other.width, other.value, _raw=True)
+        if isinstance(other, int):
+            if not self.signed and other < 0:
+                raise ValueError(
+                    f"negative constant {other} used with Unsigned operand"
+                )
+            return cls(self._width, other)
+        raise TypeError(
+            f"cannot combine {cls.__name__} with {type(other).__name__}"
+        )
+
+    def _make(self, width: int, numeric: int) -> "_FixedWidthInt":
+        return type(self)(width, numeric)
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        return self._make(add_width(self._width, o._width), self.value + o.value)
+
+    def __radd__(self, other: int) -> "_FixedWidthInt":
+        return self._coerce(other).__add__(self)
+
+    def __sub__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        return self._make(add_width(self._width, o._width), self.value - o.value)
+
+    def __rsub__(self, other: int) -> "_FixedWidthInt":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        return self._make(mul_width(self._width, o._width), self.value * o.value)
+
+    def __rmul__(self, other: int) -> "_FixedWidthInt":
+        return self._coerce(other).__mul__(self)
+
+    def __floordiv__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        """Integer division.
+
+        Supported in simulation; the synthesizer only accepts division by
+        powers of two (lowered to shifts) — see ``repro.synth.analyzer``.
+        Division truncates toward zero, matching hardware dividers.
+        """
+        o = self._coerce(other)
+        if o.value == 0:
+            raise ZeroDivisionError("hardware integer division by zero")
+        quotient = abs(self.value) // abs(o.value)
+        if (self.value < 0) != (o.value < 0):
+            quotient = -quotient
+        return self._make(self._width, quotient)
+
+    def __mod__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        if o.value == 0:
+            raise ZeroDivisionError("hardware integer modulo by zero")
+        remainder = abs(self.value) % abs(o.value)
+        if self.value < 0:
+            remainder = -remainder
+        return self._make(min(self._width, o._width), remainder)
+
+    def __lshift__(self, amount: int) -> "_FixedWidthInt":
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return type(self)(self._width, self._raw << amount, _raw=True)
+
+    def __rshift__(self, amount: int) -> "_FixedWidthInt":
+        """Width-preserving shift right (arithmetic for ``Signed``)."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        return self._make(self._width, self.value >> amount)
+
+    def __neg__(self) -> "_FixedWidthInt":
+        return self._make(self._width, -self.value)
+
+    # ------------------------------------------------------------------
+    # bitwise
+    # ------------------------------------------------------------------
+    def __and__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        w = bitwise_width(self._width, o._width)
+        return type(self)(w, self._raw & o._raw, _raw=True)
+
+    __rand__ = __and__
+
+    def __or__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        w = bitwise_width(self._width, o._width)
+        return type(self)(w, self._raw | o._raw, _raw=True)
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "int | _FixedWidthInt") -> "_FixedWidthInt":
+        o = self._coerce(other)
+        w = bitwise_width(self._width, o._width)
+        return type(self)(w, self._raw ^ o._raw, _raw=True)
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "_FixedWidthInt":
+        return type(self)(self._width, ~self._raw, _raw=True)
+
+    # ------------------------------------------------------------------
+    # comparisons (value comparisons; Bit results to match synthesis)
+    # ------------------------------------------------------------------
+    def _cmp_value(self, other: "int | _FixedWidthInt") -> int:
+        return self._coerce(other).value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (_FixedWidthInt, int)):
+            try:
+                return self.value == self._cmp_value(other)
+            except (TypeError, ValueError):
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._width, self._raw))
+
+    def __lt__(self, other: "int | _FixedWidthInt") -> bool:
+        return self.value < self._cmp_value(other)
+
+    def __le__(self, other: "int | _FixedWidthInt") -> bool:
+        return self.value <= self._cmp_value(other)
+
+    def __gt__(self, other: "int | _FixedWidthInt") -> bool:
+        return self.value > self._cmp_value(other)
+
+    def __ge__(self, other: "int | _FixedWidthInt") -> bool:
+        return self.value >= self._cmp_value(other)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def resized(self, width: int) -> "_FixedWidthInt":
+        """Resize to *width* bits.
+
+        ``Unsigned`` zero-extends, ``Signed`` sign-extends; truncation keeps
+        the least-significant bits, as hardware assignment would.
+        """
+        return self._make(width, self.value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._width}, {self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Unsigned(_FixedWidthInt):
+    """A fixed-width unsigned integer (``sc_biguint<W>`` equivalent)."""
+
+    __slots__ = ()
+    signed = False
+
+    def to_signed(self) -> "Signed":
+        """Reinterpret the raw bits as two's-complement ``Signed``."""
+        return Signed(self._width, self._raw, _raw=True)
+
+
+class Signed(_FixedWidthInt):
+    """A fixed-width two's-complement integer (``sc_bigint<W>`` equivalent)."""
+
+    __slots__ = ()
+    signed = True
+
+    def to_unsigned(self) -> Unsigned:
+        """Reinterpret the raw bits as ``Unsigned``."""
+        return Unsigned(self._width, self._raw)

@@ -1,0 +1,96 @@
+"""Single-bit logic values.
+
+``Bit`` is the Python stand-in for SystemC's ``sc_bit``: a two-valued,
+immutable logic bit.  Signals carrying control lines (clock enables,
+ready/valid, I2C SDA/SCL, ...) use ``Bit`` rather than raw ``bool`` so that
+widths, tracing and synthesis type inference treat them uniformly with the
+vector types in :mod:`repro.types.bitvector`.
+"""
+
+from __future__ import annotations
+
+
+class Bit:
+    """An immutable two-valued logic bit.
+
+    Accepts ``0``/``1``, ``bool`` or another ``Bit`` as initializer.  All
+    logical operators return new ``Bit`` instances; ``Bit`` never coerces
+    silently to an integer wider than one bit.
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "Bit | bool | int" = 0) -> None:
+        if isinstance(value, Bit):
+            self._value = value._value
+        elif isinstance(value, bool):
+            self._value = int(value)
+        elif isinstance(value, int):
+            if value not in (0, 1):
+                raise ValueError(f"Bit value must be 0 or 1, got {value!r}")
+            self._value = value
+        else:
+            raise TypeError(f"cannot build Bit from {type(value).__name__}")
+
+    @property
+    def value(self) -> int:
+        """The bit as an ``int`` (0 or 1)."""
+        return self._value
+
+    @property
+    def width(self) -> int:
+        """Bit width; always 1.  Present for symmetry with vector types."""
+        return 1
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __invert__(self) -> "Bit":
+        return Bit(1 - self._value)
+
+    def _coerce(self, other: "Bit | bool | int") -> "Bit":
+        if isinstance(other, Bit):
+            return other
+        return Bit(other)
+
+    def __and__(self, other: "Bit | bool | int") -> "Bit":
+        return Bit(self._value & self._coerce(other)._value)
+
+    __rand__ = __and__
+
+    def __or__(self, other: "Bit | bool | int") -> "Bit":
+        return Bit(self._value | self._coerce(other)._value)
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "Bit | bool | int") -> "Bit":
+        return Bit(self._value ^ self._coerce(other)._value)
+
+    __rxor__ = __xor__
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bit):
+            return self._value == other._value
+        if isinstance(other, (bool, int)):
+            return self._value == int(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Bit", self._value))
+
+    def __repr__(self) -> str:
+        return f"Bit({self._value})"
+
+    def __str__(self) -> str:
+        return str(self._value)
+
+
+#: Convenience constants mirroring SystemC's SC_LOGIC_0 / SC_LOGIC_1.
+LOW = Bit(0)
+HIGH = Bit(1)

@@ -1,0 +1,206 @@
+"""Type descriptors for declarations.
+
+Hardware values (:class:`~repro.types.logic.Bit`,
+:class:`~repro.types.bitvector.BitVector`, ...) carry their width on the
+*instance*.  Declarations — ports, signals, class data members, RTL registers
+— need to talk about a type before any value exists.  A :class:`TypeSpec`
+names a value type plus its parameters, can produce default values, and can
+validate assignments.  The synthesis type inference uses the same specs, so
+simulation and generated hardware agree on every width.
+
+Use the lowercase helpers in user code::
+
+    from repro.types.spec import bit, unsigned, signed, bits, fixed
+
+    data = Input(bit())
+    count = Signal("count", unsigned(8))
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.types.bitvector import BitVector
+from repro.types.fixed import FixedPoint
+from repro.types.integer import Signed, Unsigned
+from repro.types.logic import Bit
+
+
+_EXPECTED_BY_KIND: dict = {}
+
+
+class TypeSpec:
+    """Immutable descriptor of a hardware value type.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"bit"``, ``"bv"``, ``"unsigned"``, ``"signed"``, ``"fixed"``.
+    width:
+        Total storage width in bits.
+    frac_bits:
+        Fractional bits; only meaningful for ``kind == "fixed"``.
+    """
+
+    __slots__ = ("kind", "width", "frac_bits", "_expected")
+
+    _KINDS = ("bit", "bv", "unsigned", "signed", "fixed")
+
+    def __init__(self, kind: str, width: int, frac_bits: int = 0) -> None:
+        if kind not in self._KINDS:
+            raise ValueError(f"unknown type kind {kind!r}")
+        if width <= 0:
+            raise ValueError("type width must be positive")
+        if kind == "bit" and width != 1:
+            raise ValueError("bit type must have width 1")
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "frac_bits", frac_bits)
+        object.__setattr__(self, "_expected", _EXPECTED_BY_KIND[kind])
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("TypeSpec is immutable")
+
+    # ------------------------------------------------------------------
+    # values
+    # ------------------------------------------------------------------
+    def default(self) -> Any:
+        """A zero value of this type."""
+        return self.from_raw(0)
+
+    def from_raw(self, raw: int) -> Any:
+        """Build a value of this type from a raw bit pattern."""
+        if self.kind == "bit":
+            return Bit(raw & 1)
+        if self.kind == "bv":
+            return BitVector(self.width, raw)
+        if self.kind == "unsigned":
+            return Unsigned(self.width, raw)
+        if self.kind == "signed":
+            return Signed(self.width, raw, _raw=True)
+        # Fixed point: interpret the pattern as the scaled two's-complement
+        # integer and rebuild exactly via Fraction.
+        from fractions import Fraction
+
+        scaled = Signed(self.width, raw, _raw=True).value
+        return FixedPoint(
+            self.width - self.frac_bits,
+            self.frac_bits,
+            Fraction(scaled, 1 << self.frac_bits),
+        )
+
+    def to_raw(self, value: Any) -> int:
+        """Raw bit pattern of *value*, validated against this spec."""
+        self.check(value)
+        return self.to_raw_unchecked(value)
+
+    def to_raw_unchecked(self, value: Any) -> int:
+        """Raw bit pattern without validation (kernel fast path)."""
+        kind = self.kind
+        if kind == "bit":
+            return value._value
+        if kind == "fixed":
+            return value.stored.raw
+        if kind in ("unsigned", "signed"):
+            return value.raw
+        return value.value  # BitVector
+
+    def check(self, value: Any) -> None:
+        """Raise ``TypeError``/``ValueError`` if *value* does not match."""
+        expected = self._expected
+        if not isinstance(value, expected):
+            raise TypeError(
+                f"expected {self.describe()}, got {type(value).__name__}"
+            )
+        if self.kind != "bit" and value.width != self.width:
+            raise ValueError(
+                f"expected {self.describe()}, got width {value.width}"
+            )
+        if self.kind == "fixed" and value.frac_bits != self.frac_bits:
+            raise ValueError(
+                f"expected {self.describe()}, got frac_bits {value.frac_bits}"
+            )
+
+    def accepts(self, value: Any) -> bool:
+        """True if :meth:`check` would pass."""
+        try:
+            self.check(value)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable name, e.g. ``unsigned(8)``."""
+        if self.kind == "bit":
+            return "bit()"
+        if self.kind == "fixed":
+            return f"fixed({self.width - self.frac_bits}, {self.frac_bits})"
+        name = {"bv": "bits"}.get(self.kind, self.kind)
+        return f"{name}({self.width})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TypeSpec):
+            return (self.kind, self.width, self.frac_bits) == (
+                other.kind,
+                other.width,
+                other.frac_bits,
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.width, self.frac_bits))
+
+    def __repr__(self) -> str:
+        return f"TypeSpec({self.describe()})"
+
+
+def bit() -> TypeSpec:
+    """Spec for a single :class:`Bit`."""
+    return TypeSpec("bit", 1)
+
+
+def bits(width: int) -> TypeSpec:
+    """Spec for a :class:`BitVector` of *width* bits."""
+    return TypeSpec("bv", width)
+
+
+def unsigned(width: int) -> TypeSpec:
+    """Spec for an :class:`Unsigned` of *width* bits."""
+    return TypeSpec("unsigned", width)
+
+
+def signed(width: int) -> TypeSpec:
+    """Spec for a :class:`Signed` of *width* bits."""
+    return TypeSpec("signed", width)
+
+
+def fixed(int_bits: int, frac_bits: int) -> TypeSpec:
+    """Spec for a :class:`FixedPoint` with the given format."""
+    return TypeSpec("fixed", int_bits + frac_bits, frac_bits)
+
+
+def spec_of(value: Any) -> TypeSpec:
+    """Infer the :class:`TypeSpec` of an existing hardware value."""
+    if isinstance(value, Bit):
+        return bit()
+    if isinstance(value, BitVector):
+        return bits(value.width)
+    if isinstance(value, Unsigned):
+        return unsigned(value.width)
+    if isinstance(value, Signed):
+        return signed(value.width)
+    if isinstance(value, FixedPoint):
+        return fixed(value.int_bits, value.frac_bits)
+    raise TypeError(f"{type(value).__name__} is not a hardware value")
+
+
+_EXPECTED_BY_KIND.update({
+    "bit": Bit,
+    "bv": BitVector,
+    "unsigned": Unsigned,
+    "signed": Signed,
+    "fixed": FixedPoint,
+})

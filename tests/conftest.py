@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.hdl import Clock, Module, NS, Signal, Simulator
+from repro.types import Bit
+from repro.types.spec import bit
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+class Bench:
+    """A tiny single-DUT testbench: clock, reset, simulator, cycle stepper."""
+
+    def __init__(self, dut_factory, period=10 * NS, reset_cycles=2):
+        self.clk = Clock("clk", period)
+        self.rst = Signal("rst", bit(), Bit(1))
+        self.period = period
+        self.top = Module("bench")
+        self.top.clk = self.clk
+        self.top.rst = self.rst
+        self.dut = dut_factory(self.clk, self.rst)
+        self.top.dut = self.dut
+        self.sim = Simulator(self.top)
+        for _ in range(reset_cycles):
+            self.sim.run(period)
+        self.rst.write(0)
+
+    def cycle(self, **drives):
+        """Drive input ports by name, run one clock period."""
+        self.sim.activate()
+        for name, value in drives.items():
+            self.dut.port(name).drive(value)
+        self.sim.run(self.period)
+
+    def out(self, name):
+        """Integer value of an output port."""
+        return int(self.dut.port(name).read())
+
+
+@pytest.fixture
+def bench_factory():
+    """Build a :class:`Bench` around a DUT factory."""
+    return Bench

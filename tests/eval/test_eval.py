@@ -1,0 +1,154 @@
+"""Tests for the evaluation harness itself."""
+
+import pytest
+
+from repro.eval import (
+    EquivalenceReport,
+    FlowResult,
+    KernelStage,
+    RtlStage,
+    check_all_stages,
+    flow_comparison,
+    format_table,
+    i2c_effort_comparison,
+    lockstep,
+    measure_source,
+    module_inventory,
+    run_osss_flow,
+    run_rtl,
+    simulation_rates,
+    speedup_table,
+)
+from repro.expocu import CamSync
+from repro.hdl import Clock, Input, Module, NS, Output, Signal
+from repro.synth import synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Inc(Module):
+    x = Input(unsigned(8))
+    y = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.y.write(Unsigned(8, 0))
+        yield
+        while True:
+            self.y.write((self.x.read() + 1).resized(8))
+            yield
+
+
+class Dec(Inc):
+    def run(self):
+        self.y.write(Unsigned(8, 0))
+        yield
+        while True:
+            self.y.write((self.x.read() - 1).resized(8))
+            yield
+
+
+class TestLockstep:
+    def test_detects_divergence(self):
+        stim = [dict(x=i) for i in range(10)]
+        inc = KernelStage(lambda c, r: Inc("i", c, r), ["y"])
+        dec_rtl = synthesize(Dec("d", Clock("clk", 10 * NS),
+                                 Signal("rst", bit(), Bit(1))))
+        inc.sim.activate()
+        report = lockstep([inc, RtlStage(dec_rtl, ["y"])], stim)
+        assert not report.equivalent
+        assert report.mismatches[0].cycle <= 1
+
+    def test_mismatch_repr_shows_diff(self):
+        stim = [dict(x=5)] * 3
+        inc = KernelStage(lambda c, r: Inc("i", c, r), ["y"])
+        dec_rtl = synthesize(Dec("d", Clock("clk", 10 * NS),
+                                 Signal("rst", bit(), Bit(1))))
+        inc.sim.activate()
+        report = lockstep([inc, RtlStage(dec_rtl, ["y"])], stim)
+        assert "y" in repr(report.mismatches[0])
+
+    def test_max_mismatches_truncates(self):
+        stim = [dict(x=i) for i in range(50)]
+        inc = KernelStage(lambda c, r: Inc("i", c, r), ["y"])
+        dec_rtl = synthesize(Dec("d", Clock("clk", 10 * NS),
+                                 Signal("rst", bit(), Bit(1))))
+        inc.sim.activate()
+        report = lockstep([inc, RtlStage(dec_rtl, ["y"])], stim,
+                          max_mismatches=3)
+        assert len(report.mismatches) == 3
+
+    def test_equivalent_report(self):
+        stim = [dict(x=i % 11) for i in range(30)]
+        report = check_all_stages(lambda c, r: Inc("i", c, r), stim, ["y"])
+        assert report.equivalent and report.cycles == 30
+        assert "OK" in repr(report)
+
+
+class TestFlows:
+    def test_flow_result_fields(self):
+        result = run_osss_flow(
+            CamSync("s", Clock("clk", 10 * NS),
+                    Signal("rst", bit(), Bit(1))), name="osss-sync"
+        )
+        assert result.area > 0 and result.fmax_mhz > 0
+        summary = result.summary()
+        assert summary["flow"] == "osss-sync" and summary["flops"] > 0
+
+    def test_flow_comparison_table(self):
+        from repro.baseline import sync_rtl
+
+        osss = run_osss_flow(CamSync("s", Clock("clk", 10 * NS),
+                                     Signal("rst", bit(), Bit(1))))
+        vhdl = run_rtl(sync_rtl(), "vhdl")
+        table = flow_comparison(osss, vhdl)
+        assert "osss / vhdl" in table and "area_ge" in table
+
+    def test_module_inventory_lists_total(self):
+        osss = run_osss_flow(CamSync("s", Clock("clk", 10 * NS),
+                                     Signal("rst", bit(), Bit(1))))
+        assert "TOTAL" in module_inventory(osss)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4 and len(set(map(len, lines))) == 1
+
+
+class TestEffortMetrics:
+    def test_three_styles_ordered(self):
+        metrics = i2c_effort_comparison()
+        assert metrics["osss"].effort_score \
+            < metrics["systemc_procedural"].effort_score \
+            < metrics["vhdl_rtl"].effort_score
+
+    def test_fields_positive(self):
+        metrics = i2c_effort_comparison()
+        for record in metrics.values():
+            data = record.as_dict()
+            assert data["sloc"] > 0 and data["score"] > 0
+
+    def test_rtl_style_counts_registers(self):
+        metrics = i2c_effort_comparison()
+        assert metrics["vhdl_rtl"].state_carriers >= 10
+        assert metrics["osss"].state_carriers == 0
+
+
+class TestSimulationRates:
+    def test_speed_ordering(self, rng):
+        stim = [dict(x=rng.randint(0, 255)) for _ in range(60)]
+        rates = simulation_rates(lambda c, r: Inc("i", c, r), stim, ["y"],
+                                 repeat=3)
+        # On a tiny design the RTL/gate margin is noise-sensitive; the
+        # robust invariant is that all three stages measured something and
+        # the normalization is anchored at the gate level.  The full
+        # ordering claim is exercised on real designs by bench_e7.
+        assert all(sample.cycles_per_second > 0
+                   for sample in rates.values())
+        table = speedup_table(rates)
+        assert table["gate"] == 1.0
+        assert set(rates) == {"behavioral", "rtl", "gate"}

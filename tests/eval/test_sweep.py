@@ -1,0 +1,47 @@
+"""Tests for the parameter-sweep harness."""
+
+from repro.eval.sweep import grid, monotonic, sweep
+from repro.expocu import HistogramUnit
+from repro.hdl import Clock, NS, Signal
+from repro.types import Bit
+from repro.types.spec import bit
+
+
+class TestGrid:
+    def test_single_axis(self):
+        assert grid(a=[1, 2]) == [{"a": 1}, {"a": 2}]
+
+    def test_cartesian_product(self):
+        points = grid(a=[1, 2], b=["x", "y"])
+        assert len(points) == 4
+        assert {"a": 2, "b": "x"} in points
+
+    def test_empty(self):
+        assert grid() == [{}]
+
+
+class TestMonotonic:
+    def test_weak_and_strict(self):
+        rows = [{"x": 1, "y": 5}, {"x": 2, "y": 5}, {"x": 3, "y": 9}]
+        assert monotonic(rows, "x", "y")
+        assert not monotonic(rows, "x", "y", strict=True)
+
+    def test_unordered_input(self):
+        rows = [{"x": 3, "y": 9}, {"x": 1, "y": 1}, {"x": 2, "y": 4}]
+        assert monotonic(rows, "x", "y", strict=True)
+
+
+class TestSweep:
+    def test_sweep_runs_flow_per_point(self):
+        def factory(count_bits):
+            return HistogramUnit[count_bits](
+                "h", Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+            )
+
+        points = sweep(factory, grid(count_bits=[8, 12]))
+        assert len(points) == 2
+        assert points[0].params == {"count_bits": 8}
+        assert points[1].result.area > points[0].result.area
+        row = points[0].row()
+        assert {"count_bits", "area_ge", "cells", "flops",
+                "fmax_mhz"} <= set(row)

@@ -1,0 +1,226 @@
+"""Functional tests of the ExpoCU units at kernel level."""
+
+import pytest
+
+from repro.expocu import (
+    CamSync,
+    ExpoParamsUnit,
+    HistogramBins,
+    HistogramUnit,
+    ResetCtl,
+    SyncRegister,
+    ThresholdUnit,
+)
+from repro.types import Bit, Unsigned
+
+
+class TestSyncRegisterClass:
+    def test_shift_in_history(self):
+        reg = SyncRegister[4, 0]()
+        for value in (1, 1, 0, 1):
+            reg.write(Bit(value))
+        assert reg.value.to_binary() == "1101"[::-1][::-1]  # LSB newest
+        assert reg.read_bit(0) == 1 and reg.read_bit(1) == 0
+
+    def test_edges(self):
+        reg = SyncRegister[4, 0]()
+        reg.write(Bit(0))
+        reg.write(Bit(1))
+        assert reg.rising_edge(0) == 1 and reg.falling_edge(0) == 0
+        reg.write(Bit(0))
+        assert reg.falling_edge(0) == 1
+
+    def test_reset_value_template(self):
+        assert SyncRegister[4, 0b1010]().value.value == 0b1010
+
+    def test_stable_high(self):
+        reg = SyncRegister[3, 0]()
+        for _ in range(3):
+            reg.write(Bit(1))
+        assert reg.stable_high() == 1
+
+    def test_operator_eq_overload(self):
+        a, b = SyncRegister[4, 0](), SyncRegister[4, 0]()
+        assert a == b
+        a.write(Bit(1))
+        assert a != b
+
+
+class TestCamSync:
+    def test_strobe_to_pulse(self, bench_factory):
+        bench = bench_factory(lambda c, r: CamSync("s", c, r))
+        pulses = []
+        drive = [0, 1, 1, 0, 0, 0, 0, 0]
+        for level in drive:
+            bench.cycle(frame_strobe=level)
+            pulses.append(bench.out("frame_start"))
+        assert sum(pulses) == 1  # exactly one clean pulse
+
+    def test_valid_is_delayed_level(self, bench_factory):
+        bench = bench_factory(lambda c, r: CamSync("s", c, r))
+        bench.cycle(pix_valid=1)
+        bench.cycle(pix_valid=1)
+        bench.cycle(pix_valid=1)
+        assert bench.out("pix_valid_sync") == 1
+
+
+class TestHistogramBins:
+    def test_add_and_get(self):
+        bins = HistogramBins[8]()
+        bins.add(Unsigned(3, 2))
+        bins.add(Unsigned(3, 2))
+        bins.add(Unsigned(3, 7))
+        assert bins.get(2).value == 2
+        assert bins.get(7).value == 1
+        assert bins.get(0).value == 0
+
+    def test_clear(self):
+        bins = HistogramBins[8]()
+        bins.add(Unsigned(3, 1))
+        bins.clear()
+        assert all(bins.get(i).value == 0 for i in range(8))
+
+
+class TestHistogramUnit:
+    def test_frame_accumulate_latch_clear(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: HistogramUnit[10]("h", c, r)
+        )
+        # Frame 1: three pixels in bin 0 (values < 32), one in bin 7.
+        for pix in (3, 10, 20):
+            bench.cycle(pix=pix, pix_valid=1, frame_start=0)
+        bench.cycle(pix=250, pix_valid=1, frame_start=0)
+        bench.cycle(pix=0, pix_valid=0, frame_start=1)
+        bench.cycle(pix=0, pix_valid=0, frame_start=0)
+        assert bench.out("hist0") == 3
+        assert bench.out("hist7") == 1
+        # Frame 2 starts clean.
+        bench.cycle(pix=100, pix_valid=1, frame_start=0)
+        bench.cycle(pix=0, pix_valid=0, frame_start=1)
+        bench.cycle(pix=0, pix_valid=0, frame_start=0)
+        assert bench.out("hist0") == 0
+        assert bench.out("hist3") == 1
+
+    def test_invalid_pixels_ignored(self, bench_factory):
+        bench = bench_factory(lambda c, r: HistogramUnit[10]("h", c, r))
+        bench.cycle(pix=10, pix_valid=0, frame_start=0)
+        bench.cycle(pix=0, pix_valid=0, frame_start=1)
+        bench.cycle(pix=0, pix_valid=0, frame_start=0)
+        assert bench.out("hist0") == 0
+
+
+class TestThresholdUnit:
+    def drive_histogram(self, bench, counts):
+        bench.cycle(hist_valid=1, **{f"hist{i}": c
+                                     for i, c in enumerate(counts)})
+        for _ in range(12):
+            bench.cycle(hist_valid=0, **{f"hist{i}": c
+                                         for i, c in enumerate(counts)})
+
+    def test_uniform_histogram_mean(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ThresholdUnit[10, 256]("t", c, r)
+        )
+        self.drive_histogram(bench, [32] * 8)
+        assert bench.out("mean") == 128
+        assert bench.out("too_dark") == 0 and bench.out("too_bright") == 0
+
+    def test_dark_frame_flags(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ThresholdUnit[10, 256]("t", c, r)
+        )
+        self.drive_histogram(bench, [256, 0, 0, 0, 0, 0, 0, 0])
+        assert bench.out("mean") == 16
+        assert bench.out("too_dark") == 1
+
+    def test_bright_frame_flags(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ThresholdUnit[10, 256]("t", c, r)
+        )
+        self.drive_histogram(bench, [0, 0, 0, 0, 0, 0, 0, 256])
+        assert bench.out("mean") == 240
+        assert bench.out("too_bright") == 1
+
+    def test_stats_valid_is_pulse(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ThresholdUnit[10, 256]("t", c, r)
+        )
+        bench.cycle(hist_valid=1, **{f"hist{i}": 32 for i in range(8)})
+        pulses = 0
+        for _ in range(14):
+            bench.cycle(hist_valid=0, **{f"hist{i}": 32 for i in range(8)})
+            pulses += bench.out("stats_valid")
+        assert pulses == 1
+
+    def test_non_power_of_two_frame_rejected(self):
+        from repro.hdl import Clock, NS, Signal
+        from repro.types.spec import bit as bitspec
+
+        with pytest.raises(ValueError):
+            ThresholdUnit[10, 200]("t", Clock("c", 10 * NS),
+                                   Signal("r", bitspec(), Bit(1)))
+
+
+class TestExpoParams:
+    def run_update(self, bench, mean):
+        bench.cycle(mean=mean, stats_valid=1)
+        for _ in range(70):
+            bench.cycle(mean=mean, stats_valid=0)
+            if bench.out("params_valid"):
+                break
+
+    def test_dark_frame_raises_exposure(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ExpoParamsUnit[128]("p", c, r)
+        )
+        before = bench.out("exposure")
+        self.run_update(bench, 40)
+        assert bench.out("exposure") > before
+
+    def test_bright_frame_lowers_exposure(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ExpoParamsUnit[128]("p", c, r)
+        )
+        before = bench.out("exposure")
+        self.run_update(bench, 240)
+        assert bench.out("exposure") < before
+
+    def test_gain_tracks_division(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ExpoParamsUnit[128]("p", c, r)
+        )
+        self.run_update(bench, 64)  # target/mean = 2 -> gain_target = 128
+        # One IIR step from 64 toward 128: (3*64 + 128) >> 2 = 80.
+        assert bench.out("gain") == 80
+
+    def test_on_target_small_step(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ExpoParamsUnit[128]("p", c, r)
+        )
+        self.run_update(bench, 128)
+        assert abs(bench.out("exposure") - 128) <= 1
+
+    def test_shared_multiplier_counts_ops(self, bench_factory):
+        bench = bench_factory(
+            lambda c, r: ExpoParamsUnit[128]("p", c, r)
+        )
+        self.run_update(bench, 40)
+        assert bench.dut.shared.instance.op_count.value == 3
+
+
+class TestResetCtl:
+    def test_stretch(self):
+        from repro.hdl import Clock, Module, NS, Signal, Simulator
+        from repro.types.spec import bit as bitspec
+
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.ext = Signal("ext", bitspec(), Bit(1))
+        top.rc = ResetCtl[4]("rc", top.clk, top.ext)
+        sim = Simulator(top)
+        sim.run(30 * NS)
+        top.ext.write(0)
+        sim.run(20 * NS)
+        assert int(top.rc.sys_reset.read()) == 1  # still stretching
+        sim.run(40 * NS)
+        assert int(top.rc.sys_reset.read()) == 0

@@ -1,0 +1,168 @@
+"""Tests for the simulation kernel: scheduling, resets, determinism."""
+
+import pytest
+
+from repro.hdl import (
+    Clock,
+    Module,
+    NS,
+    Signal,
+    SimulationError,
+    Simulator,
+    format_time,
+)
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Counter(Module):
+    def __init__(self, name, clk, rst=None, reset_active=1):
+        super().__init__(name)
+        self.count = Signal("count", unsigned(8))
+        self.cthread(self.run, clock=clk, reset=rst,
+                     reset_active=reset_active)
+
+    def run(self):
+        value = Unsigned(8, 0)
+        self.count.write(value)
+        yield
+        while True:
+            value = (value + 1).resized(8)
+            self.count.write(value)
+            yield
+
+
+def make_top(**counter_kwargs):
+    top = Module("top")
+    top.clk = Clock("clk", 10 * NS)
+    top.rst = Signal("rst", bit(), Bit(1))
+    top.ctr = Counter("ctr", top.clk, **counter_kwargs)
+    return top
+
+
+class TestScheduling:
+    def test_thread_advances_per_edge(self):
+        top = make_top()
+        sim = Simulator(top)
+        sim.run(55 * NS)  # edges at 5,15,25,35,45,55 -> 6 activations
+        assert top.ctr.count.read().value == 5
+
+    def test_run_until(self):
+        top = make_top()
+        sim = Simulator(top)
+        reached = sim.run_until(
+            lambda: top.ctr.count.read().value >= 3, max_time=1000 * NS
+        )
+        assert reached and top.ctr.count.read().value >= 3
+
+    def test_run_until_timeout(self):
+        top = make_top()
+        sim = Simulator(top)
+        assert not sim.run_until(lambda: False, max_time=50 * NS)
+
+    def test_run_cycles(self):
+        top = make_top()
+        sim = Simulator(top)
+        sim.run_cycles(top.clk, 4)
+        assert sim.now == 40 * NS
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator(make_top())
+        sim.run(20 * NS)
+        with pytest.raises(SimulationError):
+            sim.at(5 * NS, lambda: None)
+
+    def test_deterministic_across_runs(self):
+        def trace():
+            top = make_top()
+            sim = Simulator(top)
+            values = []
+            for _ in range(10):
+                sim.run(10 * NS)
+                values.append(top.ctr.count.read().value)
+            return values
+
+        assert trace() == trace()
+
+
+class TestReset:
+    def test_sync_reset_restarts_thread(self):
+        top = make_top(rst=None)
+        top.ctr2 = Counter("ctr2", top.clk, rst=top.rst)
+        sim = Simulator(top)
+        sim.run(35 * NS)
+        assert top.ctr2.count.read().value == 0  # held in reset
+        top.rst.write(0)
+        sim.run(30 * NS)
+        assert top.ctr2.count.read().value == 3
+
+    def test_reset_reassert(self):
+        top = make_top(rst=None)
+        top.ctr2 = Counter("ctr2", top.clk, rst=top.rst)
+        sim = Simulator(top)
+        top.rst.write(0)
+        sim.run(40 * NS)
+        before = top.ctr2.count.read().value
+        assert before > 0
+        top.rst.write(1)
+        sim.run(20 * NS)
+        assert top.ctr2.count.read().value == 0
+
+    def test_active_low_reset(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.rst_n = Signal("rst_n", bit(), Bit(0))
+        top.ctr = Counter("ctr", top.clk, rst=top.rst_n, reset_active=0)
+        sim = Simulator(top)
+        sim.run(30 * NS)
+        assert top.ctr.count.read().value == 0
+        top.rst_n.write(1)
+        sim.run(30 * NS)
+        assert top.ctr.count.read().value == 3
+
+
+class TestProcessRules:
+    def test_non_generator_body_rejected(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+
+        class Bad(Module):
+            def __init__(self, name, clk):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk)
+
+            def run(self):
+                return 42  # not a generator
+
+        top.bad = Bad("bad", top.clk)
+        sim = Simulator(top)
+        with pytest.raises(TypeError):
+            sim.run(20 * NS)
+
+    def test_terminating_thread_stops(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        ticks = []
+
+        class Finite(Module):
+            def __init__(self, name, clk):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk)
+
+            def run(self):
+                ticks.append(1)
+                yield
+                ticks.append(2)
+
+        top.f = Finite("f", top.clk)
+        sim = Simulator(top)
+        sim.run(100 * NS)
+        assert ticks == [1, 2]
+        assert top.f.processes[0].terminated
+
+
+class TestFormatTime:
+    def test_units(self):
+        assert format_time(0) == "0s"
+        assert format_time(15 * NS) == "15ns"
+        assert format_time(1500) == "1.500ns"

@@ -1,0 +1,132 @@
+"""Edge-case kernel tests: delta limits, hooks, events, timing services."""
+
+import pytest
+
+from repro.hdl import (
+    Clock,
+    Event,
+    Module,
+    NS,
+    Signal,
+    SimulationError,
+    Simulator,
+)
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class TestDeltaCycleLimit:
+    def test_combinational_loop_detected(self):
+        top = Module("top")
+        top.a = Signal("a", bit())
+        top.b = Signal("b", bit())
+
+        class Osc(Module):
+            def __init__(self, name, src, dst):
+                super().__init__(name)
+                self.src, self.dst = src, dst
+                self.cmethod(self.flip, [src])
+
+            def flip(self):
+                self.dst.write(~self.src.read())
+
+        top.o1 = Osc("o1", top.a, top.b)
+        top.o2 = Osc("o2", top.b, top.a)
+        sim = Simulator(top, max_delta=50)
+        top.a.write(Bit(1))
+        with pytest.raises(SimulationError):
+            sim.run(10 * NS)
+
+
+class TestTimedServices:
+    def test_after_callback(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        sim = Simulator(top)
+        fired = []
+        sim.after(23 * NS, lambda: fired.append(sim.now))
+        sim.run(50 * NS)
+        assert fired == [23 * NS]
+
+    def test_cycle_hooks_called_per_timestep(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        sim = Simulator(top)
+        ticks = []
+        sim.cycle_hooks.append(lambda: ticks.append(sim.now))
+        sim.run(40 * NS)
+        assert len(ticks) == 8  # two hook calls per full period
+
+    def test_pending_testbench_writes_settle_before_next_edge(self):
+        """Writes between run() calls are visible to combinational logic
+        before the following clock edge (regression for the comb-method
+        sampling race)."""
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.a = Signal("a", unsigned(8))
+        top.doubled = Signal("doubled", unsigned(8))
+        top.seen = Signal("seen", unsigned(8))
+
+        class Dut(Module):
+            def __init__(self, name, clk, a, doubled, seen):
+                super().__init__(name)
+                self.a, self.doubled, self.seen = a, doubled, seen
+                self.cmethod(self.comb, [a])
+                self.cthread(self.reg, clock=clk)
+
+            def comb(self):
+                self.doubled.write(
+                    (self.a.read() + self.a.read()).resized(8)
+                )
+
+            def reg(self):
+                while True:
+                    self.seen.write(self.doubled.read())
+                    yield
+
+        top.dut = Dut("dut", top.clk, top.a, top.doubled, top.seen)
+        sim = Simulator(top)
+        sim.run(10 * NS)
+        top.a.write(Unsigned(8, 21))
+        sim.run(10 * NS)  # one edge: thread must see doubled == 42
+        assert top.seen.read().value == 42
+
+
+class TestEvents:
+    def test_subscribe_unsubscribe(self):
+        event = Event("e")
+
+        class FakeProcess:
+            uid = 1
+
+        process = FakeProcess()
+        event.subscribe(process)
+        event.subscribe(process)  # idempotent
+        assert event.subscribers == (process,)
+        event.unsubscribe(process)
+        assert event.subscribers == ()
+        event.unsubscribe(process)  # harmless
+
+    def test_notify_without_simulator(self):
+        import repro.hdl.kernel as kernel
+
+        saved = kernel._CURRENT
+        kernel._CURRENT = None
+        try:
+            Event("lonely").notify()  # must not raise
+        finally:
+            kernel._CURRENT = saved
+
+
+class TestHwObjectRegistry:
+    def test_register_and_list(self):
+        from repro.osss import HwClass
+
+        class Thing(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"v": unsigned(4)}
+
+        module = Module("m")
+        thing = module.register_hw_object("thing", Thing())
+        assert module.hw_objects() == {"thing": thing}

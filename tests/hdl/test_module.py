@@ -1,0 +1,122 @@
+"""Tests for the module hierarchy, ports and port binding."""
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal, Simulator
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Leaf(Module):
+    data = Input(unsigned(8))
+    result = Output(unsigned(8))
+
+    def __init__(self, name, clk):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk)
+
+    def run(self):
+        while True:
+            self.result.write((self.data.read() + 1).resized(8))
+            yield
+
+
+class TestHierarchy:
+    def test_adoption_and_full_name(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.leaf = Leaf("leaf", top.clk)
+        assert top.leaf.parent is top
+        assert top.leaf.full_name == "top.leaf"
+        assert top.leaf in top.children
+
+    def test_iter_modules(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.a = Leaf("a", top.clk)
+        top.b = Leaf("b", top.clk)
+        assert [m.name for m in top.iter_modules()] == ["top", "a", "b"]
+
+    def test_signal_adoption_and_naming(self):
+        top = Module("top")
+        top.probe = Signal("probe", bit())
+        Simulator(top)
+        assert top.probe.name == "top.probe"
+
+
+class TestPorts:
+    def test_declared_ports_materialize(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        assert set(leaf.ports()) == {"data", "result"}
+        assert leaf.port("data").direction == "in"
+
+    def test_port_reassignment_blocked(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        with pytest.raises(AttributeError):
+            leaf.data = Signal("x", unsigned(8))
+
+    def test_input_write_rejected(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        with pytest.raises(PermissionError):
+            leaf.data.write(Unsigned(8, 1))
+
+    def test_output_drive_rejected(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        with pytest.raises(PermissionError):
+            leaf.result.drive(Unsigned(8, 1))
+
+    def test_bind_type_check(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        with pytest.raises(TypeError):
+            leaf.data.bind(Signal("narrow", unsigned(4)))
+
+    def test_dynamic_add_port(self):
+        module = Module("m")
+        module.add_port("extra", unsigned(3), "in")
+        assert module.extra.spec == unsigned(3)
+        with pytest.raises(ValueError):
+            module.add_port("extra", unsigned(3), "in")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Module("m").nonexistent
+
+
+class TestPortBinding:
+    def test_port_to_signal(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        net = Signal("net", unsigned(8), Unsigned(8, 7))
+        leaf.data.bind(net)
+        assert leaf.data.read().value == 7
+
+    def test_port_to_port_deferred(self):
+        """Children may bind to a parent port before the parent is wired."""
+        clk = Clock("clk", 10 * NS)
+
+        class Wrapper(Module):
+            data = Input(unsigned(8))
+
+            def __init__(self, name):
+                super().__init__(name)
+                self.leaf = Leaf("leaf", clk)
+                self.leaf.port("data").bind(self.port("data"))
+
+        wrapper = Wrapper("w")
+        external = Signal("ext", unsigned(8), Unsigned(8, 9))
+        wrapper.port("data").bind(external)  # rebinding after children
+        assert wrapper.leaf.data.read().value == 9
+        assert wrapper.leaf.data.signal is external
+
+    def test_unbound_port_lazily_creates_signal(self):
+        leaf = Leaf("leaf", Clock("clk", 10 * NS))
+        assert not leaf.data.bound
+        assert leaf.data.signal is leaf.data.signal
+
+    def test_end_to_end_through_hierarchy(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.leaf = Leaf("leaf", top.clk)
+        sim = Simulator(top)
+        top.leaf.data.drive(Unsigned(8, 41))
+        sim.run(20 * NS)
+        assert top.leaf.result.read().value == 42

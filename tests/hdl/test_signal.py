@@ -1,0 +1,124 @@
+"""Tests for signals, clocks and the delta-cycle update semantics."""
+
+import pytest
+
+from repro.hdl import Clock, Module, NS, Signal, Simulator, signal_like
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class TestSignalBasics:
+    def test_initial_value(self):
+        assert Signal("s", unsigned(8)).read() == Unsigned(8, 0)
+
+    def test_explicit_init(self):
+        assert Signal("s", bit(), Bit(1)).read() == Bit(1)
+
+    def test_write_without_simulator_commits(self):
+        sig = Signal("s", unsigned(8))
+        import repro.hdl.kernel as kernel
+
+        saved = kernel._CURRENT
+        kernel._CURRENT = None
+        try:
+            sig.write(Unsigned(8, 42))
+            assert sig.read().value == 42
+        finally:
+            kernel._CURRENT = saved
+
+    def test_int_coercion_on_write(self):
+        sig = Signal("s", unsigned(8))
+        import repro.hdl.kernel as kernel
+
+        saved = kernel._CURRENT
+        kernel._CURRENT = None
+        try:
+            sig.write(300)  # wraps to 44
+            assert sig.read().value == 44
+            flag = Signal("f", bit())
+            flag.write(True)
+            assert flag.read() == Bit(1)
+        finally:
+            kernel._CURRENT = saved
+
+    def test_type_check_on_write(self):
+        sig = Signal("s", unsigned(8))
+        with pytest.raises(ValueError):
+            sig.write(Unsigned(4, 1))
+
+    def test_signal_like(self):
+        sig = signal_like(Unsigned(12, 7), "probe")
+        assert sig.spec == unsigned(12) and sig.read().value == 7
+
+
+class TestClock:
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            Clock("clk", 0)
+        with pytest.raises(ValueError):
+            Clock("clk", 3)
+
+    def test_half_period(self):
+        assert Clock("clk", 10 * NS).half_period == 5 * NS
+
+    def test_toggles_under_simulator(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        sim = Simulator(top)
+        values = []
+        for _ in range(4):
+            sim.run(5 * NS)
+            values.append(int(top.clk.read()))
+        assert values == [1, 0, 1, 0]
+
+
+class TestDeferredUpdate:
+    def test_write_visible_next_delta(self):
+        """Two threads exchanging through signals see old values (R6 base)."""
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.a = Signal("a", unsigned(8))
+        top.b = Signal("b", unsigned(8))
+        observed = []
+
+        class Swap(Module):
+            def __init__(self, name, clk, src, dst):
+                super().__init__(name)
+                self.src, self.dst = src, dst
+                self.cthread(self.run, clock=clk)
+
+            def run(self):
+                while True:
+                    self.dst.write((self.src.read() + 1).resized(8))
+                    yield
+
+        top.p1 = Swap("p1", top.clk, top.a, top.b)
+        top.p2 = Swap("p2", top.clk, top.b, top.a)
+        sim = Simulator(top)
+        sim.run(40 * NS)  # rising edges at 5/15/25/35 ns
+        # Each cycle both read committed values: a and b leapfrog.
+        assert top.a.read().value == 4 and top.b.read().value == 4
+
+    def test_edge_events_fire_in_order(self):
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        seen = []
+
+        class Watcher(Module):
+            def __init__(self, name, clk):
+                super().__init__(name)
+                self.cmethod(self.on_pos, [(clk, "pos")],
+                             run_at_start=False)
+                self.cmethod(self.on_neg, [(clk, "neg")],
+                             run_at_start=False)
+
+            def on_pos(self):
+                seen.append("pos")
+
+            def on_neg(self):
+                seen.append("neg")
+
+        top.w = Watcher("w", top.clk)
+        sim = Simulator(top)
+        sim.run(20 * NS)
+        assert seen == ["pos", "neg", "pos", "neg"]

@@ -1,0 +1,141 @@
+"""Tests for hardware classes: members, inheritance, operators (Fig. 2)."""
+
+import pytest
+
+from repro.osss import HwClass, HwClassError, registry
+from repro.types import Bit, BitVector, Unsigned
+from repro.types.spec import bit, bits, unsigned
+
+
+class Point(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"x": unsigned(8), "y": unsigned(8)}
+
+    def construct(self):
+        self.x = Unsigned(8, 1)
+
+    def translate(self, dx, dy):
+        self.x = (self.x + dx).resized(8)
+        self.y = (self.y + dy).resized(8)
+
+    def manhattan(self):
+        return (self.x + self.y).resized(9)
+
+
+class Point3(Point):
+    @classmethod
+    def layout(cls):
+        return {"z": unsigned(8)}
+
+
+class TestMembers:
+    def test_defaults_then_construct(self):
+        p = Point()
+        assert p.x.value == 1 and p.y.value == 0
+
+    def test_member_write_checked(self):
+        p = Point()
+        p.x = Unsigned(8, 5)
+        with pytest.raises(ValueError):
+            p.x = Unsigned(4, 5)
+
+    def test_int_coercion(self):
+        p = Point()
+        p.x = 300  # wraps like hardware
+        assert p.x.value == 44
+
+    def test_undeclared_member_rejected(self):
+        p = Point()
+        with pytest.raises(HwClassError):
+            p.unknown = Unsigned(8, 0)
+
+    def test_unknown_read_raises(self):
+        with pytest.raises(AttributeError):
+            Point().unknown
+
+    def test_private_attributes_allowed(self):
+        p = Point()
+        p._scratch = 42
+        assert p._scratch == 42
+
+    def test_hw_members_snapshot(self):
+        p = Point()
+        members = p.hw_members()
+        assert list(members) == ["x", "y"]
+
+
+class TestMethodsAndOperators:
+    def test_method_mutation(self):
+        p = Point()
+        p.translate(Unsigned(8, 4), Unsigned(8, 7))
+        assert (p.x.value, p.y.value) == (5, 7)
+
+    def test_method_return(self):
+        p = Point()
+        p.translate(Unsigned(8, 2), Unsigned(8, 3))
+        assert p.manhattan().value == 6
+
+    def test_default_equality(self):
+        a, b = Point(), Point()
+        assert a == b
+        b.x = 9
+        assert a != b
+
+    def test_copy_is_value_copy(self):
+        a = Point()
+        b = a.copy()
+        b.x = 99
+        assert a.x.value == 1
+
+    def test_repr_mentions_members(self):
+        assert "x=" in repr(Point())
+
+
+class TestInheritance:
+    def test_layout_merge_base_first(self):
+        assert list(Point3.full_layout()) == ["x", "y", "z"]
+
+    def test_inherited_methods(self):
+        p = Point3()
+        p.translate(Unsigned(8, 1), Unsigned(8, 1))
+        assert p.x.value == 2
+
+    def test_conflicting_redeclaration(self):
+        class Clash(Point):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}  # conflicts with base
+
+        with pytest.raises(HwClassError):
+            Clash.full_layout()
+
+    def test_bad_layout_entry(self):
+        class Bad(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": 8}
+
+        with pytest.raises(HwClassError):
+            Bad()
+
+    def test_abstract_flag_not_inherited(self):
+        class Iface(HwClass):
+            abstract = True
+
+        class Impl(Iface):
+            pass
+
+        with pytest.raises(HwClassError):
+            Iface()
+        Impl()  # concrete
+
+
+class TestRegistry:
+    def test_classes_registered(self):
+        assert Point in registry.all_classes()
+        assert Point3 in registry.all_classes()
+
+    def test_concrete_subclasses(self):
+        subs = registry.concrete_subclasses(Point)
+        assert Point in subs and Point3 in subs

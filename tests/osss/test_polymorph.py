@@ -1,0 +1,123 @@
+"""Tests for polymorphic storage and dispatch (paper §6/§8)."""
+
+import pytest
+
+from repro.osss import HwClass, HwClassError, PolyVar
+from repro.types import Unsigned
+from repro.types.spec import unsigned
+
+
+class Op(HwClass):
+    abstract = True
+
+    @classmethod
+    def layout(cls):
+        return {"acc": unsigned(8)}
+
+    def execute(self, a, b):
+        raise NotImplementedError
+
+
+class Add(Op):
+    def execute(self, a, b):
+        return (a + b).resized(8)
+
+
+class Mul(Op):
+    def execute(self, a, b):
+        return (a * b).resized(8)
+
+
+class Wide(Op):
+    @classmethod
+    def layout(cls):
+        return {"extra": unsigned(16)}
+
+    def execute(self, a, b):
+        self.extra = (a * b).resized(16)
+        return self.extra.resized(8)
+
+
+class TestGeometry:
+    def test_tag_width(self):
+        assert PolyVar(Op, [Add, Mul]).tag_width == 1
+        assert PolyVar(Op, [Add, Mul, Wide]).tag_width == 2
+
+    def test_state_width_is_max(self):
+        poly = PolyVar(Op, [Add, Wide])
+        assert poly.state_width == 24  # acc(8) + extra(16)
+        assert poly.total_width == 25
+
+
+class TestDispatch:
+    def test_virtual_call(self):
+        poly = PolyVar(Op, [Add, Mul])
+        assert poly.execute(Unsigned(4, 3), Unsigned(4, 5)).value == 8
+        poly.assign(Mul())
+        assert poly.execute(Unsigned(4, 3), Unsigned(4, 5)).value == 15
+
+    def test_call_by_name(self):
+        poly = PolyVar(Op, [Add, Mul])
+        assert poly.call("execute", Unsigned(4, 2), Unsigned(4, 2)).value == 4
+
+    def test_tag_tracks_class(self):
+        poly = PolyVar(Op, [Add, Mul, Wide])
+        assert poly.tag == 0
+        poly.assign(Wide())
+        assert poly.tag == 2
+
+    def test_assign_copies(self):
+        source = Add()
+        poly = PolyVar(Op, [Add, Mul])
+        poly.assign(source)
+        source.acc = 99
+        assert poly.current.acc.value == 0
+
+    def test_interface_enforced(self):
+        poly = PolyVar(Op, [Add, Mul])
+        with pytest.raises(AttributeError):
+            poly.nonexistent(1)
+
+
+class TestErrors:
+    def test_non_subclass_rejected(self):
+        class Foreign(HwClass):
+            pass
+
+        with pytest.raises(HwClassError):
+            PolyVar(Op, [Add, Foreign])
+
+    def test_assign_outside_set(self):
+        poly = PolyVar(Op, [Add])
+        with pytest.raises(HwClassError):
+            poly.assign(Mul())
+
+    def test_base_must_be_hwclass(self):
+        with pytest.raises(TypeError):
+            PolyVar(int)
+
+    def test_empty_subclass_set(self):
+        class Lonely(HwClass):
+            abstract = True
+
+        with pytest.raises(HwClassError):
+            PolyVar(Lonely, [])
+
+
+class TestPackedRepresentation:
+    def test_pack_load_roundtrip(self):
+        poly = PolyVar(Op, [Add, Mul, Wide])
+        wide = Wide()
+        wide.acc = 7
+        wide.extra = 1234
+        poly.assign(wide)
+        tag, raw = poly.pack()
+        other = PolyVar(Op, [Add, Mul, Wide])
+        other.load(tag, raw)
+        assert other.tag == 2
+        assert other.current.extra.value == 1234
+
+    def test_load_bad_tag(self):
+        poly = PolyVar(Op, [Add, Mul])
+        with pytest.raises(ValueError):
+            poly.load(5, 0)

@@ -1,0 +1,187 @@
+"""Tests for shared/global objects and their schedulers (paper §6/§8)."""
+
+import pytest
+
+from repro.hdl import Clock, Module, NS, Signal, Simulator
+from repro.osss import (
+    Fcfs,
+    HwClass,
+    RoundRobin,
+    SharedAccessError,
+    SharedObject,
+    StaticPriority,
+)
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Alu(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"ops": unsigned(8)}
+
+    def add(self, a: unsigned(8), b: unsigned(8)) -> unsigned(8):
+        self.ops = (self.ops + 1).resized(8)
+        return (a + b).resized(8)
+
+
+class TestSchedulerPolicies:
+    def test_static_priority(self):
+        assert StaticPriority().pick([2, 0, 3], 4) == 0
+
+    def test_round_robin_rotates(self):
+        rr = RoundRobin()
+        assert rr.pick([0, 1, 2], 3) == 0
+        assert rr.pick([0, 1, 2], 3) == 1
+        assert rr.pick([0, 2], 3) == 2
+        assert rr.pick([0, 2], 3) == 0
+
+    def test_round_robin_reset(self):
+        rr = RoundRobin()
+        rr.pick([1], 3)
+        rr.reset()
+        assert rr.pointer == 0
+
+    def test_fcfs_prefers_oldest(self):
+        fcfs = Fcfs()
+        fcfs.note_waiting([1])
+        fcfs.note_waiting([0, 1])
+        assert fcfs.pick([0, 1], 2) == 1
+
+    def test_fcfs_tie_breaks_low_index(self):
+        fcfs = Fcfs()
+        fcfs.note_waiting([0, 1])
+        assert fcfs.pick([0, 1], 2) == 0
+
+    def test_fcfs_saturation(self):
+        fcfs = Fcfs(age_bits=2)
+        for _ in range(10):
+            fcfs.note_waiting([0, 1])
+        assert fcfs.pick([0, 1], 2) == 0  # both saturated, index wins
+
+
+class TestSharedObjectStructure:
+    def test_requires_hwclass(self):
+        with pytest.raises(TypeError):
+            SharedObject("x", object())
+
+    def test_client_port_indices(self):
+        shared = SharedObject("alu", Alu())
+        assert shared.client_port("a").index == 0
+        assert shared.client_port("b").index == 1
+        assert shared.num_clients == 2
+
+    def test_call_direct(self):
+        shared = SharedObject("alu", Alu())
+        assert shared.call_direct("add", Unsigned(8, 1),
+                                  Unsigned(8, 2)).value == 3
+
+    def test_post_unknown_method(self):
+        shared = SharedObject("alu", Alu())
+        shared.client_port("a")
+
+        class Host(Module):
+            def __init__(self, name, clk):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk)
+
+            def run(self):
+                shared.post(0, "bogus", ())
+                yield
+
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.h = Host("h", top.clk)
+        sim = Simulator(top)
+        with pytest.raises(SharedAccessError):
+            sim.run(20 * NS)
+
+
+class _Client(Module):
+    def __init__(self, name, clk, rst, port, a, b, delay=0):
+        super().__init__(name)
+        self.result = Signal("result", unsigned(8))
+        self.done_at = None
+        self.port, self.a, self.b, self.delay = port, a, b, delay
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        for _ in range(self.delay):
+            yield
+        value = yield from self.port.call(
+            "add", Unsigned(8, self.a), Unsigned(8, self.b)
+        )
+        self.result.write(value)
+        from repro.hdl.kernel import current_simulator
+
+        self.done_at = current_simulator().now
+        while True:
+            yield
+
+
+def run_pair(scheduler, delay0=0, delay1=0):
+    shared = SharedObject("alu", Alu(), scheduler=scheduler)
+    top = Module("top")
+    top.clk = Clock("clk", 10 * NS)
+    top.rst = Signal("rst", bit(), Bit(0))
+    top.c0 = _Client("c0", top.clk, top.rst, shared.client_port("c0"),
+                     3, 4, delay0)
+    top.c1 = _Client("c1", top.clk, top.rst, shared.client_port("c1"),
+                     10, 5, delay1)
+    sim = Simulator(top)
+    sim.run(400 * NS)
+    return top, shared
+
+
+class TestArbitrationTiming:
+    def test_uncontended_latency_two_cycles(self):
+        top, shared = run_pair(RoundRobin(), delay0=0, delay1=20)
+        # c0 posts at the 2nd edge (15ns), resumes two cycles later (35ns).
+        assert top.c0.done_at == 35 * NS
+
+    def test_contention_serializes(self):
+        top, shared = run_pair(RoundRobin())
+        assert top.c0.result.read().value == 7
+        assert top.c1.result.read().value == 15
+        assert abs(top.c0.done_at - top.c1.done_at) == 10 * NS
+
+    def test_priority_order(self):
+        top, shared = run_pair(StaticPriority())
+        assert top.c0.done_at < top.c1.done_at
+
+    def test_grant_history_recorded(self):
+        top, shared = run_pair(RoundRobin())
+        winners = [w for _, w in shared.grant_history]
+        assert sorted(winners) == [0, 1]
+
+    def test_object_state_mutated_once_per_call(self):
+        top, shared = run_pair(RoundRobin())
+        assert shared.instance.ops.value == 2
+
+    def test_reset_clears_protocol(self):
+        top, shared = run_pair(RoundRobin())
+        shared.reset()
+        assert shared.grant_history == [] or shared._requests == {}
+        assert shared._results == {}
+
+    def test_double_post_rejected(self):
+        shared = SharedObject("alu", Alu())
+        port = shared.client_port("a")
+
+        class Greedy(Module):
+            def __init__(self, name, clk):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk)
+
+            def run(self):
+                shared.post(0, "add", (Unsigned(8, 1), Unsigned(8, 1)))
+                shared.post(0, "add", (Unsigned(8, 1), Unsigned(8, 1)))
+                yield
+
+        top = Module("top")
+        top.clk = Clock("clk", 10 * NS)
+        top.g = Greedy("g", top.clk)
+        sim = Simulator(top)
+        with pytest.raises(SharedAccessError):
+            sim.run(20 * NS)

@@ -1,0 +1,105 @@
+"""Tests for the object↔bit-vector mapping (paper §8, claim R3 basis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.osss import HwClass, StateLayout, pack_object, template, unpack_object
+from repro.types import Bit, BitVector, Unsigned
+from repro.types.spec import bit, bits, signed, unsigned
+
+
+class Mixed(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"flag": bit(), "count": unsigned(8), "delta": signed(4),
+                "pattern": bits(3)}
+
+
+class TestLayoutGeometry:
+    def test_packing_order_lsb_first(self):
+        layout = StateLayout.of(Mixed)
+        assert layout.slots["flag"].offset == 0
+        assert layout.slots["count"].offset == 1
+        assert layout.slots["delta"].offset == 9
+        assert layout.slots["pattern"].offset == 13
+        assert layout.total_width == 16
+
+    def test_msb(self):
+        assert StateLayout.of(Mixed).slots["count"].msb == 8
+
+    def test_memoized(self):
+        assert StateLayout.of(Mixed) is StateLayout.of(Mixed)
+
+    def test_empty_class_min_width(self):
+        class Empty(HwClass):
+            pass
+
+        assert StateLayout.of(Empty).total_width == 1
+
+    def test_inherited_members_first(self):
+        class Base(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"a": unsigned(4)}
+
+        class Derived(Base):
+            @classmethod
+            def layout(cls):
+                return {"b": unsigned(4)}
+
+        layout = StateLayout.of(Derived)
+        assert layout.slots["a"].offset == 0
+        assert layout.slots["b"].offset == 4
+
+    def test_non_hwclass_rejected(self):
+        with pytest.raises(TypeError):
+            StateLayout(int)
+
+    def test_describe_lists_fields(self):
+        text = StateLayout.of(Mixed).describe()
+        assert "count" in text and "16 bit" in text
+
+
+class TestPackUnpack:
+    @given(flag=st.integers(0, 1), count=st.integers(0, 255),
+           delta=st.integers(-8, 7), pattern=st.integers(0, 7))
+    def test_roundtrip(self, flag, count, delta, pattern):
+        obj = Mixed()
+        obj.flag = Bit(flag)
+        obj.count = Unsigned(8, count)
+        from repro.types import Signed
+
+        obj.delta = Signed(4, delta)
+        obj.pattern = BitVector(3, pattern)
+        packed = pack_object(obj)
+        restored = unpack_object(Mixed, packed)
+        assert restored == obj
+        assert restored.delta.value == delta
+
+    def test_field_raw(self):
+        obj = Mixed()
+        obj.count = Unsigned(8, 0xAB)
+        layout = StateLayout.of(Mixed)
+        assert layout.field_raw(layout.pack(obj), "count") == 0xAB
+
+    def test_pack_wrong_class(self):
+        class Other(HwClass):
+            pass
+
+        with pytest.raises(TypeError):
+            StateLayout.of(Mixed).pack(Other())
+
+    def test_unpack_accepts_plain_int(self):
+        obj = unpack_object(Mixed, 0)
+        assert obj.count.value == 0
+
+    def test_template_specializations_distinct(self):
+        @template("W")
+        class Box(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"v": unsigned(cls.W)}
+
+        assert StateLayout.of(Box[4]).total_width == 4
+        assert StateLayout.of(Box[9]).total_width == 9

@@ -1,0 +1,120 @@
+"""Tests for synthesizable templates (paper §6, Fig. 3–4)."""
+
+import pytest
+
+from repro.osss import (
+    HwClass,
+    TemplateError,
+    is_generic,
+    is_template,
+    template,
+    template_binding,
+)
+from repro.types import BitVector
+from repro.types.spec import bits, unsigned
+
+
+@template("WIDTH", "RESET", MODE=0)
+class Reg(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"value": bits(cls.WIDTH)}
+
+    def construct(self):
+        self.value = BitVector(self.WIDTH, self.RESET)
+
+
+class TestSpecialization:
+    def test_subscript_creates_specialization(self):
+        cls = Reg[4, 0]
+        assert cls.WIDTH == 4 and cls.RESET == 0 and cls.MODE == 0
+
+    def test_memoized(self):
+        assert Reg[4, 0] is Reg[4, 0]
+        assert Reg[4, 0] is not Reg[8, 0]
+
+    def test_naming(self):
+        assert Reg[4, 1].__name__ == "Reg_4_1_0"
+
+    def test_keyword_form(self):
+        cls = Reg.specialize(WIDTH=6, RESET=2, MODE=1)
+        assert cls.WIDTH == 6 and cls.MODE == 1
+        assert cls is Reg[6, 2, 1]
+
+    def test_defaults_apply(self):
+        assert Reg[4, 0].MODE == 0
+
+    def test_layout_uses_parameters(self):
+        assert Reg[12, 0]().value.width == 12
+
+    def test_instance_behaviour(self):
+        assert Reg[4, 5]().value.value == 5
+
+
+class TestErrors:
+    def test_generic_not_instantiable(self):
+        with pytest.raises(Exception):
+            Reg()
+
+    def test_missing_required(self):
+        with pytest.raises(TemplateError):
+            Reg[4]
+
+    def test_too_many(self):
+        with pytest.raises(TemplateError):
+            Reg[1, 2, 3, 4]
+
+    def test_unknown_keyword(self):
+        with pytest.raises(TemplateError):
+            Reg.specialize(WIDTH=4, RESET=0, BOGUS=1)
+
+    def test_duplicate_parameter_declaration(self):
+        with pytest.raises(TemplateError):
+            template("A", "A")(type("X", (), {}))
+
+
+class TestIntrospection:
+    def test_is_template(self):
+        assert is_template(Reg) and is_template(Reg[4, 0])
+        assert not is_template(HwClass)
+
+    def test_is_generic(self):
+        assert is_generic(Reg) and not is_generic(Reg[4, 0])
+
+    def test_binding(self):
+        assert template_binding(Reg[4, 1]) == {
+            "WIDTH": 4, "RESET": 1, "MODE": 0,
+        }
+        assert template_binding(int) == {}
+
+
+class TestClassTypedParameters:
+    def test_class_as_template_argument(self):
+        """OSSS allows 'even complex types like classes' as parameters."""
+
+        class Payload(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}
+
+        @template("ITEM")
+        class Wrapper(HwClass):
+            @classmethod
+            def layout(cls):
+                from repro.osss import StateLayout
+
+                width = StateLayout.of(cls.ITEM).total_width
+                return {"slot": unsigned(width)}
+
+        specialized = Wrapper[Payload]
+        assert specialized.ITEM is Payload
+        assert specialized().slot.width == 4
+
+    def test_template_on_module(self):
+        from repro.hdl import Module
+
+        @template("DEPTH")
+        class Fifo(Module):
+            pass
+
+        assert Fifo[8].DEPTH == 8

@@ -1,0 +1,205 @@
+"""Tests for the RTL IR: expression semantics and module structure."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtl import (
+    BinOp,
+    Concat,
+    Const,
+    Mux,
+    Read,
+    Register,
+    Resize,
+    RtlError,
+    RtlModule,
+    ShiftConst,
+    ShiftDyn,
+    Slice,
+    UnaryOp,
+    mux,
+)
+from repro.types.spec import bit, bits, signed, unsigned
+
+
+def ev(expr, **carrier_values):
+    return expr.evaluate(lambda c: carrier_values[c.name])
+
+
+class TestConstAndRead:
+    def test_const_masks(self):
+        assert Const(unsigned(4), 0x1F).raw == 0xF
+
+    def test_read_carries_spec(self):
+        reg = Register("r", unsigned(8))
+        assert Read(reg).spec == unsigned(8)
+        assert ev(Read(reg), r=42) == 42
+
+    def test_exprs_immutable(self):
+        with pytest.raises(AttributeError):
+            Const(bit(), 1).raw = 0
+
+    def test_no_truthiness(self):
+        with pytest.raises(RtlError):
+            bool(Const(bit(), 1))
+
+
+class TestBinOpSemantics:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    def test_add_sub_mul_unsigned(self, a, b):
+        ca, cb = Const(unsigned(8), a), Const(unsigned(8), b)
+        assert ev(BinOp("add", ca, cb)) == (a + b) & 0xFF
+        assert ev(BinOp("sub", ca, cb)) == (a - b) & 0xFF
+        assert ev(BinOp("mul", ca, cb)) == a * b
+
+    @given(a=st.integers(-128, 127), b=st.integers(-128, 127))
+    def test_signed_compare(self, a, b):
+        ca = Const(signed(8), a & 0xFF)
+        cb = Const(signed(8), b & 0xFF)
+        assert ev(BinOp("lt", ca, cb)) == int(a < b)
+        assert ev(BinOp("ge", ca, cb)) == int(a >= b)
+
+    def test_result_widths(self):
+        a, b = Const(unsigned(8), 0), Const(unsigned(12), 0)
+        assert BinOp("add", a, b).width == 12
+        assert BinOp("mul", a, b).width == 20
+        assert BinOp("and", a, b).width == 12
+        assert BinOp("eq", a, b).width == 1
+
+    def test_mixed_signedness_rejected(self):
+        with pytest.raises(RtlError):
+            BinOp("add", Const(unsigned(8), 0), Const(signed(8), 0))
+
+    def test_operator_sugar(self):
+        reg = Register("r", unsigned(8))
+        expr = (Read(reg) + 1) * 2
+        assert ev(expr, r=3) == 8
+
+    def test_negative_int_with_unsigned_rejected(self):
+        with pytest.raises(RtlError):
+            Read(Register("r", unsigned(8))) + (-1)
+
+
+class TestMuxSliceConcat:
+    def test_mux(self):
+        sel = Const(bit(), 1)
+        assert ev(Mux(sel, Const(unsigned(4), 5), Const(unsigned(4), 9))) == 5
+
+    def test_mux_validation(self):
+        with pytest.raises(RtlError):
+            Mux(Const(unsigned(2), 0), Const(bit(), 0), Const(bit(), 0))
+        with pytest.raises(RtlError):
+            Mux(Const(bit(), 0), Const(unsigned(2), 0), Const(unsigned(3), 0))
+
+    def test_mux_helper_coerces_ints(self):
+        sel = Const(bit(), 0)
+        assert ev(mux(sel, 3, Const(unsigned(4), 9))) == 9
+        with pytest.raises(RtlError):
+            mux(sel, 1, 2)
+
+    def test_slice_inclusive(self):
+        v = Const(unsigned(8), 0b10110010)
+        assert ev(Slice(v, 5, 2)) == 0b1100
+
+    def test_slice_as_bit(self):
+        v = Const(unsigned(8), 0b100)
+        assert Slice(v, 2, 2, as_bit=True).spec == bit()
+
+    def test_slice_bounds(self):
+        with pytest.raises(RtlError):
+            Slice(Const(unsigned(4), 0), 4, 0)
+
+    def test_concat_msb_first(self):
+        joined = Concat([Const(bits(2), 0b10), Const(bits(3), 0b011)])
+        assert joined.width == 5 and ev(joined) == 0b10011
+
+
+class TestShiftsAndResize:
+    @given(v=st.integers(0, 255), k=st.integers(0, 10))
+    def test_const_shifts(self, v, k):
+        c = Const(unsigned(8), v)
+        assert ev(ShiftConst(c, k, left=True)) == (v << k) & 0xFF
+        assert ev(ShiftConst(c, k, left=False)) == v >> k
+
+    def test_arithmetic_shift_right(self):
+        c = Const(signed(8), 0xF0)  # -16
+        assert ev(ShiftConst(c, 2, left=False)) == 0xFC  # -4
+
+    @given(v=st.integers(0, 255), k=st.integers(0, 15))
+    def test_dynamic_shift(self, v, k):
+        c = Const(unsigned(8), v)
+        amount = Const(unsigned(4), k)
+        assert ev(ShiftDyn(c, amount, left=False)) == \
+            (v >> k if k < 8 else 0)
+
+    def test_dynamic_shift_signed_saturates_fill(self):
+        c = Const(signed(8), 0x80)
+        amount = Const(unsigned(4), 12)
+        assert ev(ShiftDyn(c, amount, left=False)) == 0xFF
+
+    def test_resize_sign_extension(self):
+        c = Const(signed(4), 0b1000)  # -8
+        assert ev(Resize(c, signed(8))) == 0xF8
+
+    def test_resize_zero_extension(self):
+        assert ev(Resize(Const(unsigned(4), 0xF), unsigned(8))) == 0x0F
+
+
+class TestUnary:
+    def test_invert_not_neg(self):
+        assert ev(UnaryOp("invert", Const(unsigned(4), 0b1010))) == 0b0101
+        assert ev(UnaryOp("not", Const(bit(), 0))) == 1
+        assert ev(UnaryOp("neg", Const(unsigned(4), 3))) == 13
+
+    def test_reductions(self):
+        v = Const(unsigned(4), 0b0110)
+        assert ev(UnaryOp("reduce_or", v)) == 1
+        assert ev(UnaryOp("reduce_and", v)) == 0
+        assert ev(UnaryOp("reduce_xor", v)) == 0
+
+
+class TestModuleStructure:
+    def test_duplicate_port_rejected(self):
+        m = RtlModule("m")
+        m.add_input("a", bit())
+        with pytest.raises(RtlError):
+            m.add_input("a", bit())
+
+    def test_validate_undriven_register(self):
+        m = RtlModule("m")
+        m.add_register("r", unsigned(4))
+        with pytest.raises(RtlError):
+            m.validate()
+
+    def test_validate_width_mismatch(self):
+        m = RtlModule("m")
+        reg = m.add_register("r", unsigned(4))
+        reg.next = Const(unsigned(8), 0)
+        with pytest.raises(RtlError):
+            m.validate()
+
+    def test_instance_connection_checks(self):
+        child = RtlModule("child")
+        child.add_input("x", unsigned(4))
+        child.add_output("y", Read(child.inputs["x"]))
+        parent = RtlModule("parent")
+        inst = parent.add_instance("u0", child)
+        with pytest.raises(RtlError):
+            inst.connect("x", Const(unsigned(8), 0))
+        with pytest.raises(RtlError):
+            inst.connect("nope", Const(unsigned(4), 0))
+        with pytest.raises(RtlError):
+            inst.output("nope")
+        inst.connect("x", Const(unsigned(4), 3))
+        parent.add_output("y", inst.output("y"))
+        parent.validate()
+
+    def test_stats_counts(self):
+        m = RtlModule("m")
+        a = m.add_input("a", bit())
+        reg = m.add_register("r", bit())
+        reg.next = Mux(Read(a), Const(bit(), 1), Read(reg))
+        m.add_output("q", Read(reg))
+        stats = m.stats()
+        assert stats["registers"] == 1 and stats["muxes"] == 1

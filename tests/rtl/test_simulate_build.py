@@ -1,0 +1,176 @@
+"""Tests for the RTL simulator, builder, and linter."""
+
+import pytest
+
+from repro.rtl import (
+    CombinationalLoopError,
+    Const,
+    Read,
+    RtlBuilder,
+    RtlError,
+    RtlModule,
+    RtlSimulator,
+    lint_module,
+    mux,
+)
+from repro.types.spec import bit, bits, unsigned
+
+
+def counter_module(width=8):
+    b = RtlBuilder("counter")
+    enable = b.input("enable", bit())
+    count = b.register("count", unsigned(width))
+    b.next(count, mux(enable, (Read(count) + 1).resized(width), Read(count)))
+    b.output("count", Read(count))
+    return b.build()
+
+
+class TestBuilder:
+    def test_reset_folded_automatically(self):
+        m = counter_module()
+        sim = RtlSimulator(m)
+        sim.step(reset=0, enable=1)
+        sim.step(reset=0, enable=1)
+        assert sim.peek_outputs()["count"] == 2
+        sim.step(reset=1)
+        assert sim.peek_outputs()["count"] == 0
+
+    def test_double_next_rejected(self):
+        b = RtlBuilder("m")
+        reg = b.register("r", bit())
+        b.next(reg, Const(bit(), 1))
+        with pytest.raises(RtlError):
+            b.next(reg, Const(bit(), 0))
+
+    def test_next_width_checked(self):
+        b = RtlBuilder("m")
+        reg = b.register("r", unsigned(4))
+        with pytest.raises(RtlError):
+            b.next(reg, Const(unsigned(8), 0))
+
+    def test_undriven_register_holds(self):
+        b = RtlBuilder("m")
+        reg = b.register("r", unsigned(4), reset=9)
+        b.output("q", Read(reg))
+        m = b.build()
+        sim = RtlSimulator(m)
+        sim.step(reset=0)
+        assert sim.peek_outputs()["q"] == 9
+
+    def test_no_reset_module(self):
+        b = RtlBuilder("m", reset_port=None)
+        reg = b.register("r", unsigned(4), reset=5)
+        b.next(reg, (Read(reg) + 1).resized(4))
+        b.output("q", Read(reg))
+        m = b.build()
+        sim = RtlSimulator(m)
+        sim.step()
+        assert sim.peek_outputs()["q"] == 6
+
+    def test_instance_reset_autowired(self):
+        child = counter_module()
+        b = RtlBuilder("top")
+        inst = b.instance("u0", child, enable=Const(bit(), 1))
+        b.output("q", inst.output("count"))
+        m = b.build()
+        sim = RtlSimulator(m)
+        sim.step(reset=1)
+        sim.step(reset=0)
+        sim.step(reset=0)
+        assert sim.peek_outputs()["q"] == 2
+
+    def test_wire_naming(self):
+        b = RtlBuilder("m")
+        a = b.input("a", unsigned(4))
+        w = b.wire("doubled", (a + a).resized(4))
+        b.output("q", w)
+        m = b.build()
+        sim = RtlSimulator(m)
+        sim.drive(a=3)
+        assert sim.peek_outputs()["q"] == 6
+
+
+class TestSimulator:
+    def test_outputs_sampled_before_commit(self):
+        m = counter_module()
+        sim = RtlSimulator(m)
+        sim.step(reset=1)
+        out = sim.step(reset=0, enable=1)
+        assert out["count"] == 0  # pre-edge view
+        assert sim.peek_outputs()["count"] == 1
+
+    def test_unknown_input_rejected(self):
+        sim = RtlSimulator(counter_module())
+        with pytest.raises(RtlError):
+            sim.step(bogus=1)
+
+    def test_inputs_masked_to_width(self):
+        b = RtlBuilder("m", reset_port=None)
+        a = b.input("a", unsigned(4))
+        b.output("q", a)
+        sim = RtlSimulator(b.build())
+        sim.drive(a=0x1F)
+        assert sim.peek_outputs()["q"] == 0xF
+
+    def test_run_stimulus(self):
+        sim = RtlSimulator(counter_module())
+        outs = sim.run([{"reset": 1}] + [{"reset": 0, "enable": 1}] * 3)
+        assert [o["count"] for o in outs] == [0, 0, 1, 2]
+
+    def test_find_register(self):
+        sim = RtlSimulator(counter_module())
+        reg = sim.find_register("count")
+        sim.step(reset=0, enable=1)
+        assert sim.register_value(reg) == 1
+        with pytest.raises(KeyError):
+            sim.find_register("missing")
+
+    def test_shared_module_object_rejected(self):
+        child = counter_module()
+        parent = RtlModule("p")
+        i1 = parent.add_instance("a", child)
+        i2 = parent.add_instance("b", child)
+        for inst in (i1, i2):
+            inst.connect("enable", Const(bit(), 1))
+            inst.connect("reset", Const(bit(), 0))
+        with pytest.raises(RtlError):
+            RtlSimulator(parent)
+
+    def test_hierarchical_evaluation(self):
+        child = counter_module(4)
+        b = RtlBuilder("top")
+        run = b.input("run", bit())
+        inst = b.instance("u0", child, enable=run)
+        b.output("total", (inst.output("count") + 1).resized(4))
+        sim = RtlSimulator(b.build())
+        sim.step(reset=1)
+        sim.step(reset=0, run=1)
+        sim.step(reset=0, run=1)
+        assert sim.peek_outputs()["total"] == 3
+
+
+class TestLint:
+    def test_clean_module(self):
+        report = lint_module(counter_module())
+        assert report.clean
+
+    def test_unused_input_warning(self):
+        b = RtlBuilder("m")
+        b.input("unused", bit())
+        reg = b.register("r", bit())
+        b.next(reg, Read(reg))
+        b.output("q", Read(reg))
+        report = lint_module(b.build())
+        assert "unused" in report.unused_inputs
+
+    def test_combinational_loop_detected(self):
+        m = RtlModule("loop")
+        from repro.rtl.ir import WireCarrier
+
+        # w = w + 1 (self-referential wire)
+        placeholder = Const(unsigned(4), 0)
+        wire = m.add_wire("w", placeholder)
+        wire.expr = (Read(wire) + 1).resized(4)
+        m.add_output("q", Read(wire))
+        with pytest.raises(CombinationalLoopError):
+            lint_module(m)

@@ -1,0 +1,83 @@
+"""Tests for the behavioral Verilog emitter (Fig. 6 output format)."""
+
+import pytest
+
+from repro.expocu import CamSync
+from repro.hdl import Clock, NS, Signal
+from repro.rtl import Read, RtlBuilder, RtlModule, mux, to_verilog
+from repro.synth import synthesize
+from repro.types import Bit
+from repro.types.spec import bit, signed, unsigned
+
+
+def counter():
+    b = RtlBuilder("counter")
+    en = b.input("enable", bit())
+    reg = b.register("count", unsigned(8), reset=3)
+    b.next(reg, mux(en, (Read(reg) + 1).resized(8), Read(reg)))
+    b.output("count", Read(reg))
+    return b.build()
+
+
+class TestStructure:
+    def test_module_header_and_ports(self):
+        text = to_verilog(counter())
+        assert "module counter (" in text
+        assert "input wire clk" in text
+        assert "input wire enable" in text
+        assert "output wire [7:0] count" in text
+        assert text.strip().endswith("endmodule")
+
+    def test_register_declaration_with_reset(self):
+        text = to_verilog(counter())
+        assert "reg [7:0] count = 8'd3;" in text
+
+    def test_always_block(self):
+        text = to_verilog(counter())
+        assert "always @(posedge clk) begin" in text
+        assert "count <=" in text
+
+    def test_deterministic(self):
+        assert to_verilog(counter()) == to_verilog(counter())
+
+    def test_hierarchy_emits_children_first(self):
+        child = counter()
+        b = RtlBuilder("top")
+        inst = b.instance("u0", child,
+                          enable=b.input("run", bit()))
+        b.output("q", inst.output("count"))
+        text = to_verilog(b.build())
+        assert text.index("module counter") < text.index("module top")
+        assert ".enable(" in text and ".count(" in text
+
+    def test_signed_operations_marked(self):
+        m = RtlModule("s")
+        a = m.add_input("a", signed(8))
+        b2 = m.add_input("b", signed(8))
+        m.add_output("lt", Read(a).lt(Read(b2)))
+        m.add_output("sh", Read(a) >> 2)
+        text = to_verilog(m)
+        assert "$signed" in text and ">>>" in text
+
+    def test_identifier_sanitizing(self):
+        m = RtlModule("weird name!")
+        a = m.add_input("in-1", bit())
+        m.add_output("out", Read(a))
+        text = to_verilog(m)
+        assert "module weird_name_" in text
+        assert "in_1" in text
+
+
+class TestSynthesizedDesigns:
+    def test_expocu_unit_emits(self):
+        rtl = synthesize(CamSync("s", Clock("clk", 10 * NS),
+                                 Signal("rst", bit(), Bit(1))))
+        text = to_verilog(rtl)
+        assert "module CamSync_s" in text
+        assert text.count("endmodule") == 1
+
+    def test_invalid_module_rejected(self):
+        m = RtlModule("bad")
+        m.add_register("r", unsigned(4))  # next never assigned
+        with pytest.raises(Exception):
+            to_verilog(m)

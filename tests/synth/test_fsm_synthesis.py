@@ -1,0 +1,200 @@
+"""Tests for behavioral synthesis: FSM structure and cycle accuracy."""
+
+import random
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal, Simulator
+from repro.rtl import RtlSimulator
+from repro.synth import synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+def clkrst():
+    return Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+
+
+def lockstep_check(factory, stimulus, observed, cycles=None):
+    """Kernel-vs-RTL comparison helper for one module class."""
+    clk, rst = clkrst()
+    top = Module("top")
+    top.clk, top.rst = clk, rst
+    top.dut = factory(clk, rst)
+    sim = Simulator(top)
+    sim.run(20 * NS)
+    rst.write(0)
+    kernel = []
+    for entry in stimulus:
+        for name, value in entry.items():
+            top.dut.port(name).drive(value)
+        sim.run(10 * NS)
+        kernel.append(tuple(int(top.dut.port(n).read()) for n in observed))
+    clk2, rst2 = clkrst()
+    rtl = synthesize(factory(clk2, rst2))
+    rsim = RtlSimulator(rtl)
+    rsim.step(reset=1)
+    rsim.step(reset=1)
+    generated = []
+    for entry in stimulus:
+        rsim.step(reset=0, **entry)
+        outs = rsim.peek_outputs()
+        generated.append(tuple(outs[n] for n in observed))
+    assert kernel == generated
+    return rtl
+
+
+class Pipeline(Module):
+    """Single-state dataflow: out = in1 * in2 registered once."""
+
+    a = Input(unsigned(4))
+    b = Input(unsigned(4))
+    p = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.p.write(Unsigned(8, 0))
+        yield
+        while True:
+            self.p.write(self.a.read() * self.b.read())
+            yield
+
+
+class Handshake(Module):
+    """Control flow: wait for go, count n cycles, pulse done."""
+
+    go = Input(bit())
+    n = Input(unsigned(4))
+    done = Output(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.done.write(Bit(0))
+        yield
+        while True:
+            if not self.go.read():
+                self.done.write(Bit(0))
+                yield
+                continue
+            count = Unsigned(4, 0)
+            limit = self.n.read()
+            while count < limit:
+                count = (count + 1).resized(4)
+                yield
+            self.done.write(Bit(1))
+            yield
+
+
+class Helpers(Module):
+    """Behavioral helpers with parameters and return values."""
+
+    x = Input(unsigned(8))
+    y = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def _double_after_wait(self, value):
+        yield
+        return (value + value).resized(8)
+
+    def run(self):
+        self.y.write(Unsigned(8, 0))
+        yield
+        while True:
+            doubled = yield from self._double_after_wait(self.x.read())
+            self.y.write(doubled)
+            yield
+
+
+class TestCycleAccuracy:
+    def test_pipeline(self, rng):
+        stim = [dict(a=rng.randint(0, 15), b=rng.randint(0, 15))
+                for _ in range(80)]
+        lockstep_check(lambda c, r: Pipeline("p", c, r), stim, ["p"])
+
+    def test_handshake_control_flow(self, rng):
+        stim = []
+        for _ in range(12):
+            stim.append(dict(go=1, n=rng.randint(0, 10)))
+            stim.extend(dict(go=0, n=0) for _ in range(14))
+        lockstep_check(lambda c, r: Handshake("h", c, r), stim, ["done"])
+
+    def test_behavioral_helpers(self, rng):
+        stim = [dict(x=rng.randint(0, 255)) for _ in range(60)]
+        lockstep_check(lambda c, r: Helpers("h", c, r), stim, ["y"])
+
+    def test_reset_midstream(self):
+        clk, rst = clkrst()
+        top = Module("top")
+        top.clk, top.rst = clk, rst
+        top.dut = Handshake("h", clk, rst)
+        sim = Simulator(top)
+        sim.run(20 * NS)
+        rst.write(0)
+        top.dut.go.drive(1)
+        top.dut.n.drive(9)
+        sim.run(30 * NS)
+        rst.write(1)  # yank reset mid-count
+        sim.run(20 * NS)
+        rst.write(0)
+        sim.run(10 * NS)
+        # RTL does the same
+        clk2, rst2 = clkrst()
+        rtl = synthesize(Handshake("h", clk2, rst2))
+        rsim = RtlSimulator(rtl)
+        rsim.step(reset=1)
+        rsim.step(reset=1)
+        for _ in range(3):
+            rsim.step(reset=0, go=1, n=9)
+        for _ in range(2):
+            rsim.step(reset=1)
+        rsim.step(reset=0, go=1, n=9)
+        assert rsim.peek_outputs()["done"] == \
+            int(top.dut.done.read())
+
+
+class TestFsmStructure:
+    def test_state_counts_recorded(self):
+        clk, rst = clkrst()
+        rtl = synthesize(Handshake("h", clk, rst))
+        states = rtl.attributes["fsm_states"]["run"]
+        assert 3 <= states <= 8  # entry, idle, count loop, done (+memo)
+
+    def test_loop_states_memoized_not_unrolled(self):
+        """The 15-iteration capable counter must not create 15 states."""
+        clk, rst = clkrst()
+        rtl = synthesize(Handshake("h", clk, rst))
+        assert rtl.attributes["fsm_states"]["run"] < 10
+
+    def test_static_for_with_yields_unrolls(self):
+        class Unrolled(Module):
+            q = Output(unsigned(4))
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                self.q.write(Unsigned(4, 0))
+                yield
+                while True:
+                    for i in range(5):
+                        self.q.write(Unsigned(4, i))
+                        yield
+
+        clk, rst = clkrst()
+        rtl = synthesize(Unrolled("u", clk, rst))
+        assert rtl.attributes["fsm_states"]["run"] >= 6
+
+    def test_outputs_are_registered(self):
+        clk, rst = clkrst()
+        rtl = synthesize(Pipeline("p", clk, rst))
+        assert any(r.name.endswith("_p") for r in rtl.registers)

@@ -1,0 +1,139 @@
+"""Focused interpreter features: value methods, statics, fixed point."""
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal
+from repro.rtl import RtlSimulator
+from repro.synth import SynthesisError, synthesize
+from repro.types import Bit, BitVector, FixedPoint, Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.synth.test_fsm_synthesis import clkrst, lockstep_check
+
+
+class BitSurgery(Module):
+    """with_bit / with_range / reductions / concat in one datapath."""
+
+    x = Input(unsigned(8))
+    q = Output(unsigned(8))
+    parity = Output(bit())
+    allset = Output(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.q.write(Unsigned(8, 0))
+        self.parity.write(Bit(0))
+        self.allset.write(Bit(0))
+        yield
+        while True:
+            value = self.x.read().to_bits()
+            value = value.with_bit(0, Bit(1))
+            value = value.with_range(6, 4, BitVector(3, 0b101))
+            self.q.write(value.to_unsigned())
+            self.parity.write(value.reduce_xor())
+            self.allset.write(value.reduce_and())
+            yield
+
+
+class StaticTricks(Module):
+    """Compile-time helpers: min/max/len/abs, tuples, class constants."""
+
+    x = Input(unsigned(8))
+    q = Output(unsigned(8))
+
+    WEIGHTS = (1, 3, 5)
+    LIMIT = 2
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.q.write(Unsigned(8, 0))
+        yield
+        while True:
+            total = Unsigned(16, 0)
+            for i in range(min(len(self.WEIGHTS), 4)):
+                weight = self.WEIGHTS[i]
+                if i < self.LIMIT:
+                    total = (total + self.x.read() * weight).resized(16)
+            self.q.write(total.resized(8))
+            yield
+
+
+class TestValueMethods:
+    def test_bit_surgery_cycle_accurate(self, rng):
+        stim = [dict(x=rng.randint(0, 255)) for _ in range(80)]
+        lockstep_check(lambda c, r: BitSurgery("b", c, r), stim,
+                       ["q", "parity", "allset"])
+
+    def test_static_helpers_fold(self, rng):
+        stim = [dict(x=rng.randint(0, 255)) for _ in range(40)]
+        rtl = lockstep_check(lambda c, r: StaticTricks("s", c, r), stim,
+                             ["q"])
+        # Only weights 1 and 3 are used (LIMIT=2): value = x*4 truncated.
+        sim = RtlSimulator(rtl)
+        sim.step(reset=1)
+        sim.step(reset=0, x=10)
+        sim.step(reset=0, x=10)
+        assert sim.peek_outputs()["q"] == 40
+
+
+class TestFixedPointPrototype:
+    """Paper §6: fixed point is 'prototypic' — full simulation support,
+    synthesis rejects it with a clear subset error."""
+
+    def test_simulation_works(self):
+        gain = FixedPoint(4, 4, 1.5)
+        assert float(gain * FixedPoint(4, 4, 2.0)) == 3.0
+
+    def test_synthesis_rejects_cleanly(self):
+        class Fixy(Module):
+            q = Output(bit())
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                yield
+                while True:
+                    k = FixedPoint(4, 4, 1.5)  # noqa: F841
+                    self.q.write(Bit(0))
+                    yield
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(Fixy("f", clk, rst))
+
+
+class TestHelperDefaults:
+    def test_helper_with_default_argument(self, rng):
+        class Waiter(Module):
+            q = Output(unsigned(8))
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def _pause(self, n=3):
+                count = Unsigned(4, 0)
+                while count < n:
+                    count = (count + 1).resized(4)
+                    yield
+
+            def run(self):
+                value = Unsigned(8, 0)
+                self.q.write(value)
+                yield
+                while True:
+                    yield from self._pause()
+                    value = (value + 1).resized(8)
+                    self.q.write(value)
+                    yield from self._pause(1)
+
+        stim = [dict() for _ in range(40)]
+        lockstep_check(lambda c, r: Waiter("w", c, r), stim, ["q"])

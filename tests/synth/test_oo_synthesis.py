@@ -1,0 +1,217 @@
+"""Tests for OO construct synthesis: objects, templates, polymorphism,
+shared objects — each checked cycle-accurate against the kernel."""
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal, Simulator
+from repro.osss import (
+    HwClass,
+    PolyVar,
+    RoundRobin,
+    SharedObject,
+    StaticPriority,
+    template,
+)
+from repro.rtl import RtlSimulator
+from repro.synth import synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.synth.test_fsm_synthesis import clkrst, lockstep_check
+
+
+@template("WIDTH")
+class Accumulator(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"total": unsigned(cls.WIDTH)}
+
+    def add(self, amount):
+        self.total = (self.total + amount).resized(self.WIDTH)
+
+    def value(self):
+        return self.total
+
+
+class ObjHost(Module):
+    inc = Input(unsigned(4))
+    total = Output(unsigned(12))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.acc = Accumulator[12]()
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.total.write(Unsigned(12, 0))
+        yield
+        while True:
+            self.acc.add(self.inc.read())
+            self.total.write(self.acc.value())
+            yield
+
+
+class TestObjectSynthesis:
+    def test_module_object_cycle_accurate(self, rng):
+        stim = [dict(inc=rng.randint(0, 15)) for _ in range(100)]
+        rtl = lockstep_check(lambda c, r: ObjHost("o", c, r), stim,
+                             ["total"])
+        assert any(r.name == "acc" for r in rtl.registers)
+
+    def test_process_local_object(self, rng):
+        class LocalObj(Module):
+            inc = Input(unsigned(4))
+            total = Output(unsigned(12))
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                acc = Accumulator[12]()
+                self.total.write(Unsigned(12, 0))
+                yield
+                while True:
+                    acc.add(self.inc.read())
+                    self.total.write(acc.value())
+                    yield
+
+        stim = [dict(inc=rng.randint(0, 15)) for _ in range(60)]
+        lockstep_check(lambda c, r: LocalObj("l", c, r), stim, ["total"])
+
+    def test_object_reset_value_captured(self):
+        clk, rst = clkrst()
+        rtl = synthesize(ObjHost("o", clk, rst))
+        reg = next(r for r in rtl.registers if r.name == "acc")
+        assert reg.width == 12 and reg.reset_raw == 0
+
+
+class PolyBase(HwClass):
+    abstract = True
+
+    @classmethod
+    def layout(cls):
+        return {"seen": unsigned(8)}
+
+    def apply(self, a: unsigned(8)) -> unsigned(8):
+        raise NotImplementedError
+
+
+class Doubler(PolyBase):
+    def apply(self, a: unsigned(8)) -> unsigned(8):
+        self.seen = (self.seen + 1).resized(8)
+        return (a + a).resized(8)
+
+
+class Inverter(PolyBase):
+    def apply(self, a: unsigned(8)) -> unsigned(8):
+        return (~a).resized(8)
+
+
+class PolyHost(Module):
+    sel = Input(bit())
+    x = Input(unsigned(8))
+    y = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.op = PolyVar(PolyBase, [Doubler, Inverter])
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.y.write(Unsigned(8, 0))
+        yield
+        while True:
+            if self.sel.read():
+                self.op.assign(Inverter())
+            else:
+                self.op.assign(Doubler())
+            yield
+            self.y.write(self.op.apply(self.x.read()))
+            yield
+
+
+class TestPolymorphismSynthesis:
+    def test_dispatch_cycle_accurate(self, rng):
+        stim = [dict(sel=rng.randint(0, 1), x=rng.randint(0, 255))
+                for _ in range(90)]
+        rtl = lockstep_check(lambda c, r: PolyHost("p", c, r), stim, ["y"])
+        names = {r.name for r in rtl.registers}
+        assert "op_tag" in names and "op_state" in names
+
+    def test_mux_inserted_for_dispatch(self):
+        """§8: polymorphism synthesizes to selection multiplexers."""
+        clk, rst = clkrst()
+        rtl = synthesize(PolyHost("p", clk, rst))
+        assert rtl.stats()["muxes"] > 0
+
+
+class Server(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"count": unsigned(8)}
+
+    def bump(self, amount: unsigned(8)) -> unsigned(8):
+        self.count = (self.count + amount).resized(8)
+        return self.count
+
+
+class SharedHost(Module):
+    """Two threads sharing one guarded object."""
+
+    go = Input(bit())
+    a_out = Output(unsigned(8))
+    b_out = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        shared = SharedObject(f"{name}_srv", Server(),
+                              scheduler=StaticPriority())
+        self.pa = shared.client_port("a")
+        self.pb = shared.client_port("b")
+        self.cthread(self.worker_a, clock=clk, reset=rst)
+        self.cthread(self.worker_b, clock=clk, reset=rst)
+
+    def worker_a(self):
+        self.a_out.write(Unsigned(8, 0))
+        yield
+        while True:
+            if self.go.read():
+                value = yield from self.pa.call("bump", Unsigned(8, 1))
+                self.a_out.write(value)
+            yield
+
+    def worker_b(self):
+        self.b_out.write(Unsigned(8, 0))
+        yield
+        while True:
+            if self.go.read():
+                value = yield from self.pb.call("bump", Unsigned(8, 2))
+                self.b_out.write(value)
+            yield
+
+
+class TestSharedObjectSynthesis:
+    def test_generated_arbiter_cycle_accurate(self, rng):
+        stim = []
+        for _ in range(15):
+            stim.append(dict(go=1))
+            stim.extend(dict(go=0) for _ in range(rng.randint(4, 9)))
+        rtl = lockstep_check(lambda c, r: SharedHost("s", c, r), stim,
+                             ["a_out", "b_out"])
+        arbiters = [i for i in rtl.instances
+                    if i.name.startswith("arbiter_")]
+        assert len(arbiters) == 1
+        assert arbiters[0].module.attributes["policy"] == "static_priority"
+
+    def test_object_state_serialized_through_arbiter(self):
+        stim = [dict(go=1)] + [dict(go=0)] * 12
+        rtl = lockstep_check(lambda c, r: SharedHost("s", c, r), stim,
+                             ["a_out", "b_out"])
+        # Both clients observed distinct counter values: 1,3 or 2,3.
+        sim = RtlSimulator(rtl)
+        sim.step(reset=1)
+        for entry in stim:
+            sim.step(reset=0, **entry)
+        outs = sim.peek_outputs()
+        assert {outs["a_out"], outs["b_out"]} in ({1, 3}, {2, 3})

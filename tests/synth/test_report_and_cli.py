@@ -1,0 +1,68 @@
+"""Tests for the synthesis report and the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.expocu import ExpoParamsUnit
+from repro.hdl import Clock, NS, Signal
+from repro.synth import class_inventory, design_report, rtl_inventory, synthesize
+from repro.types import Bit
+from repro.types.spec import bit
+
+
+def params_pair():
+    module = ExpoParamsUnit[128]("params", Clock("clk", 10 * NS),
+                                 Signal("rst", bit(), Bit(1)))
+    rtl = synthesize(module, observe_children=False)
+    return module, rtl
+
+
+class TestDesignReport:
+    def test_class_inventory_finds_shared_object_class(self):
+        module, _ = params_pair()
+        names = {record["name"] for record in class_inventory(module)}
+        assert "SharedMultiplier" in names
+
+    def test_rtl_inventory_fields(self):
+        module, rtl = params_pair()
+        inventory = rtl_inventory(rtl)
+        assert inventory["state_bits"] > 50
+        assert "exposure_calc" in inventory["fsms"]
+        assert inventory["arbiters"] and \
+            inventory["arbiters"][0]["policy"] == "round_robin"
+
+    def test_report_text(self):
+        module, rtl = params_pair()
+        text = design_report(module, rtl)
+        assert "SharedMultiplier" in text
+        assert "states" in text
+        assert "arbiter" in text.lower()
+
+
+class TestCli:
+    def test_parser_has_all_commands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("demo", "synth", "flows", "resolve", "effort"):
+            assert command in text
+
+    def test_resolve_command(self, capsys):
+        assert main(["resolve", "--regsize", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "_SyncRegister_3_0_write_" in out
+
+    def test_effort_command(self, capsys):
+        assert main(["effort"]) == 0
+        out = capsys.readouterr().out
+        assert "vhdl_rtl" in out
+
+    def test_synth_command_writes_verilog(self, tmp_path, capsys):
+        verilog = tmp_path / "expocu.v"
+        assert main(["synth", "--verilog", str(verilog)]) == 0
+        assert verilog.exists()
+        assert "module" in verilog.read_text()
+        assert "OSSS synthesis report" in capsys.readouterr().out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

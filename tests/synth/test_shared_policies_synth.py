@@ -1,0 +1,128 @@
+"""All scheduler policies through synthesis, plus combinational methods."""
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal
+from repro.osss import Fcfs, HwClass, RoundRobin, SharedObject, StaticPriority
+from repro.rtl import RtlSimulator
+from repro.synth import synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.synth.test_fsm_synthesis import clkrst, lockstep_check
+
+
+class Adder(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"uses": unsigned(8)}
+
+    def add(self, a: unsigned(8), b: unsigned(8)) -> unsigned(9):
+        self.uses = (self.uses + 1).resized(8)
+        return a.resized(9) + b
+
+
+def make_host(policy_factory):
+    class Host(Module):
+        go = Input(bit())
+        out0 = Output(unsigned(9))
+        out1 = Output(unsigned(9))
+
+        def __init__(self, name, clk, rst):
+            super().__init__(name)
+            shared = SharedObject(f"{name}_srv", Adder(),
+                                  scheduler=policy_factory())
+            self.p0 = shared.client_port("p0")
+            self.p1 = shared.client_port("p1")
+            self.cthread(self.worker0, clock=clk, reset=rst)
+            self.cthread(self.worker1, clock=clk, reset=rst)
+
+        def worker0(self):
+            self.out0.write(Unsigned(9, 0))
+            yield
+            while True:
+                if self.go.read():
+                    value = yield from self.p0.call(
+                        "add", Unsigned(8, 5), Unsigned(8, 1))
+                    self.out0.write(value)
+                yield
+
+        def worker1(self):
+            self.out1.write(Unsigned(9, 0))
+            yield
+            while True:
+                if self.go.read():
+                    value = yield from self.p1.call(
+                        "add", Unsigned(8, 9), Unsigned(8, 2))
+                    self.out1.write(value)
+                yield
+
+    return Host
+
+
+@pytest.mark.parametrize("policy", [RoundRobin, StaticPriority, Fcfs])
+def test_policy_cycle_accuracy(policy, rng):
+    stim = []
+    for _ in range(10):
+        stim.append(dict(go=1))
+        stim.extend(dict(go=0) for _ in range(rng.randint(5, 10)))
+    host = make_host(policy)
+    lockstep_check(lambda c, r: host("h", c, r), stim, ["out0", "out1"])
+
+
+@pytest.mark.parametrize("policy,name", [
+    (RoundRobin, "round_robin"),
+    (StaticPriority, "static_priority"),
+    (Fcfs, "fcfs"),
+])
+def test_policy_recorded_in_arbiter(policy, name):
+    clk, rst = clkrst()
+    rtl = synthesize(make_host(policy)("h", clk, rst))
+    arbiter = next(i for i in rtl.instances if i.name.startswith("arbiter"))
+    assert arbiter.module.attributes["policy"] == name
+
+
+class CombWrapper(Module):
+    """A combinational method alongside a clocked thread."""
+
+    a = Input(unsigned(8))
+    b = Input(unsigned(8))
+    larger = Output(unsigned(8))
+    total = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cmethod(self.pick, [self.port("a"), self.port("b")])
+        self.cthread(self.accumulate, clock=clk, reset=rst)
+
+    def pick(self):
+        if self.a.read() > self.b.read():
+            self.larger.write(self.a.read())
+        else:
+            self.larger.write(self.b.read())
+
+    def accumulate(self):
+        total = Unsigned(8, 0)
+        self.total.write(total)
+        yield
+        while True:
+            total = (total + self.larger.read()).resized(8)
+            self.total.write(total)
+            yield
+
+
+class TestCombinationalMethods:
+    def test_comb_output_is_unregistered(self, rng):
+        clk, rst = clkrst()
+        rtl = synthesize(CombWrapper("c", clk, rst))
+        sim = RtlSimulator(rtl)
+        sim.step(reset=1)
+        sim.drive(reset=0, a=9, b=4)
+        # Combinational: visible in the same cycle, before any clock edge.
+        assert sim.peek_outputs()["larger"] == 9
+
+    def test_thread_reads_comb_wire(self, rng):
+        stim = [dict(a=rng.randint(0, 200), b=rng.randint(0, 200))
+                for _ in range(60)]
+        lockstep_check(lambda c, r: CombWrapper("c", c, r), stim,
+                       ["larger", "total"])

@@ -1,0 +1,282 @@
+"""Tests that non-synthesizable constructs are rejected with good errors."""
+
+import pytest
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal
+from repro.synth import SynthesisError, synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+def clkrst():
+    return Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+
+
+def synth_of(body_fn, ports=None):
+    """Build a one-thread module around *body_fn* and synthesize it."""
+    namespace = {"__init__": _init_with(body_fn), "run": body_fn}
+    if ports:
+        namespace.update(ports)
+    cls = type("Dut", (Module,), namespace)
+    clk, rst = clkrst()
+    return synthesize(cls("dut", clk, rst))
+
+
+def _init_with(body_fn):
+    def __init__(self, name, clk, rst):
+        Module.__init__(self, name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    return __init__
+
+
+class TestLoopRules:
+    def test_dynamic_loop_without_yield_rejected(self):
+        ports = {"seed": Input(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                value = self.seed.read()
+                while value < 200:  # dynamic bound, no wait inside
+                    value = (value + 1).resized(8)
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run, ports)
+
+    def test_constant_loop_without_yield_unrolls(self):
+        ports = {"q": Output(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                value = Unsigned(8, 0)
+                while value < 5:  # compile-time bound: legal, unrolls
+                    value = (value + 1).resized(8)
+                self.q.write(value)
+                yield
+
+        rtl = synth_of(run, ports)
+        from repro.rtl import RtlSimulator
+
+        sim = RtlSimulator(rtl)
+        sim.step(reset=1)
+        sim.step(reset=0)
+        sim.step(reset=0)
+        assert sim.peek_outputs()["q"] == 5
+
+    def test_for_over_non_range_rejected(self):
+        def run(self):
+            yield
+            for _ in [1, 2, 3]:
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+    def test_yield_from_of_unknown_target_rejected(self):
+        def run(self):
+            yield
+            while True:
+                yield from range(3)  # not a port.call / helper
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+
+class TestExpressionRules:
+    def test_float_rejected(self):
+        def run(self):
+            yield
+            while True:
+                x = 1.5  # noqa: F841
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+    def test_division_by_non_power_of_two_rejected(self):
+        def run(self):
+            yield
+            value = Unsigned(8, 10)
+            while True:
+                value = (value // 3).resized(8)  # noqa: F841
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+    def test_wide_condition_rejected(self):
+        def run(self):
+            yield
+            value = Unsigned(8, 1)
+            while True:
+                if value:  # multi-bit truthiness is ambiguous
+                    pass
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+    def test_width_change_requires_resize(self):
+        def run(self):
+            yield
+            value = Unsigned(8, 1)
+            while True:
+                value = value * value  # 16 bits into an 8-bit local
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+    def test_chained_compare_rejected(self):
+        def run(self):
+            yield
+            v = Unsigned(8, 1)
+            while True:
+                if 0 < v < 5:
+                    pass
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run)
+
+
+class TestStructuralRules:
+    def test_write_to_input_rejected(self):
+        ports = {"data": Input(bit())}
+
+        def run(self):
+            yield
+            while True:
+                self.data.write(Bit(1))
+                yield
+
+        with pytest.raises(SynthesisError):
+            synth_of(run, ports)
+
+    def test_two_drivers_rejected(self):
+        class Dual(Module):
+            out = Output(bit())
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cthread(self.one, clock=clk, reset=rst)
+                self.cthread(self.two, clock=clk, reset=rst)
+
+            def one(self):
+                while True:
+                    self.out.write(Bit(0))
+                    yield
+
+            def two(self):
+                while True:
+                    self.out.write(Bit(1))
+                    yield
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(Dual("dual", clk, rst))
+
+    def test_clock_read_rejected(self):
+        class ClockPeek(Module):
+            out = Output(bit())
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.clk_ref = clk
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                while True:
+                    self.out.write(self.clk_ref.read())
+                    yield
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(ClockPeek("peek", clk, rst))
+
+    def test_method_with_wait_rejected(self):
+        from repro.osss import HwClass
+
+        class Waity(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}
+
+            def bad(self):
+                yield  # waits are not allowed inside class methods
+
+        class Host(Module):
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.obj = Waity()
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                yield
+                while True:
+                    self.obj.bad()
+                    yield
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(Host("host", clk, rst))
+
+    def test_combinational_method_cannot_hold_state(self):
+        class Latchy(Module):
+            a = Input(bit())
+            q = Output(bit())
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.cmethod(self.comb, [self.port("a")])
+
+            def comb(self):
+                if self.a.read():
+                    self.q.write(Bit(1))
+                # no else: q would hold -> latch
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(Latchy("latchy", clk, rst))
+
+    def test_recursion_rejected(self):
+        from repro.osss import HwClass
+
+        class Rec(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}
+
+            def spin(self) -> None:
+                self.spin()
+
+        class Host(Module):
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.obj = Rec()
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                yield
+                while True:
+                    self.obj.spin()
+                    yield
+
+        clk, rst = clkrst()
+        with pytest.raises(SynthesisError):
+            synthesize(Host("host", clk, rst))
+
+    def test_error_carries_line_number(self):
+        def run(self):
+            yield
+            while True:
+                x = 2.5  # noqa: F841
+                yield
+
+        with pytest.raises(SynthesisError) as excinfo:
+            synth_of(run)
+        assert "line" in str(excinfo.value)

@@ -1,0 +1,161 @@
+"""Unit and property tests for BitVector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import Bit, BitVector, concat
+
+
+def vectors(max_width=24):
+    return st.integers(1, max_width).flatmap(
+        lambda w: st.integers(0, (1 << w) - 1).map(
+            lambda v: BitVector(w, v)
+        )
+    )
+
+
+class TestConstruction:
+    def test_from_int_masks(self):
+        assert BitVector(4, 0x1F).value == 0xF
+
+    def test_negative_int_two_complement(self):
+        assert BitVector(4, -1).value == 0xF
+
+    def test_from_string_msb_first(self):
+        assert BitVector(4, "1010").value == 0b1010
+
+    def test_bad_string(self):
+        with pytest.raises(ValueError):
+            BitVector(4, "102x")
+
+    def test_from_bit(self):
+        assert BitVector(1, Bit(1)).value == 1
+        with pytest.raises(ValueError):
+            BitVector(2, Bit(1))
+
+    def test_width_mismatch_copy(self):
+        with pytest.raises(ValueError):
+            BitVector(4, BitVector(5, 0))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0)
+
+
+class TestSelection:
+    def test_bit_indexing(self):
+        v = BitVector(4, 0b1010)
+        assert v.bit(0) == 0 and v.bit(1) == 1 and v[3] == 1
+
+    def test_negative_index(self):
+        assert BitVector(4, 0b1000)[-1] == 1
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(4, 0).bit(4)
+
+    def test_range_inclusive(self):
+        assert BitVector(8, 0b10110010).range(5, 2).value == 0b1100
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            BitVector(8, 0).range(2, 5)
+        with pytest.raises(IndexError):
+            BitVector(8, 0).range(8, 0)
+
+    def test_slice_syntax_rejected(self):
+        with pytest.raises(TypeError):
+            BitVector(8, 0)[3:1]
+
+    def test_iteration_lsb_first(self):
+        assert [int(b) for b in BitVector(4, 0b0011)] == [1, 1, 0, 0]
+
+
+class TestFunctionalUpdates:
+    def test_with_bit(self):
+        assert BitVector(4, 0b0000).with_bit(2, 1).value == 0b0100
+
+    def test_with_range(self):
+        v = BitVector(8, 0).with_range(5, 2, BitVector(4, 0b1111))
+        assert v.value == 0b00111100
+
+    def test_with_range_width_check(self):
+        with pytest.raises(ValueError):
+            BitVector(8, 0).with_range(5, 2, BitVector(3, 0))
+
+    def test_original_unchanged(self):
+        v = BitVector(4, 0)
+        v.with_bit(0, 1)
+        assert v.value == 0
+
+
+class TestOperators:
+    @given(w=st.integers(1, 16), a=st.integers(0, 65535),
+           b=st.integers(0, 65535))
+    def test_bitwise_matches_ints(self, w, a, b):
+        mask = (1 << w) - 1
+        va, vb = BitVector(w, a), BitVector(w, b)
+        assert (va & vb).value == (a & b) & mask
+        assert (va | vb).value == (a | b) & mask
+        assert (va ^ vb).value == (a ^ b) & mask
+        assert (~va).value == ~a & mask
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(4, 0) & BitVector(5, 0)
+
+    @given(v=vectors(), k=st.integers(0, 30))
+    def test_shifts_preserve_width(self, v, k):
+        assert (v << k).width == v.width
+        assert (v >> k).value == v.value >> k
+
+
+class TestReductionsAndConcat:
+    def test_reduce_and(self):
+        assert BitVector(3, 0b111).reduce_and() == 1
+        assert BitVector(3, 0b101).reduce_and() == 0
+
+    def test_reduce_or(self):
+        assert BitVector(3, 0).reduce_or() == 0
+        assert BitVector(3, 0b010).reduce_or() == 1
+
+    @given(v=vectors())
+    def test_reduce_xor_is_parity(self, v):
+        assert int(v.reduce_xor()) == bin(v.value).count("1") % 2
+
+    def test_concat_method(self):
+        assert BitVector(2, 0b10).concat(BitVector(3, 0b011)).value == 0b10011
+
+    def test_concat_function_msb_first(self):
+        assert concat(Bit(1), BitVector(3, 0b010)).value == 0b1010
+        assert concat(Bit(1), BitVector(3, 0b010)).width == 4
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            concat()
+
+    @given(a=vectors(8), b=vectors(8))
+    def test_concat_roundtrip(self, a, b):
+        joined = a.concat(b)
+        assert joined.range(b.width - 1, 0).value == b.value
+        assert joined.range(joined.width - 1, b.width).value == a.value
+
+
+class TestConversions:
+    def test_resized_truncates_lsbs(self):
+        assert BitVector(8, 0b10110110).resized(4).value == 0b0110
+
+    def test_resized_zero_extends(self):
+        assert BitVector(4, 0b1010).resized(8).value == 0b1010
+
+    def test_to_unsigned_signed(self):
+        assert BitVector(4, 0xF).to_unsigned().value == 15
+        assert BitVector(4, 0xF).to_signed().value == -1
+
+    def test_to_binary(self):
+        assert BitVector(5, 0b00110).to_binary() == "00110"
+
+    def test_equality_with_int(self):
+        assert BitVector(4, 5) == 5
+        assert BitVector(4, 5) != 6

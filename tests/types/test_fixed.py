@@ -1,0 +1,82 @@
+"""Tests for the fixed-point prototype (paper §6 automated resolution)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import FixedPoint
+
+
+def fixeds():
+    return st.tuples(st.integers(2, 8), st.integers(0, 8),
+                     st.integers(-100, 100)).map(
+        lambda t: FixedPoint(t[0] + 8, t[1], Fraction(t[2], 8))
+    )
+
+
+class TestConstruction:
+    def test_exact_representation(self):
+        assert float(FixedPoint(4, 4, 1.5)) == 1.5
+
+    def test_quantization_truncates_down(self):
+        assert FixedPoint(4, 2, 0.3).value == Fraction(1, 4)
+        assert FixedPoint(4, 2, -0.3).value == Fraction(-1, 2)
+
+    def test_from_fixedpoint_realigns(self):
+        src = FixedPoint(4, 4, 1.25)
+        assert FixedPoint(4, 2, src).value == Fraction(5, 4)
+
+    def test_needs_sign_bit(self):
+        with pytest.raises(ValueError):
+            FixedPoint(0, 4)
+
+    def test_width(self):
+        assert FixedPoint(4, 4).width == 8
+
+
+class TestAutomaticResolution:
+    def test_add_format(self):
+        result = FixedPoint(4, 2, 1.5) + FixedPoint(3, 4, 0.25)
+        assert (result.int_bits, result.frac_bits) == (5, 4)
+        assert float(result) == 1.75
+
+    def test_mul_format(self):
+        result = FixedPoint(4, 4, 1.5) * FixedPoint(4, 4, 2.25)
+        assert (result.int_bits, result.frac_bits) == (8, 8)
+        assert float(result) == 3.375
+
+    def test_sub(self):
+        assert float(FixedPoint(4, 4, 1.0) - FixedPoint(4, 4, 2.5)) == -1.5
+
+    def test_neg_adds_headroom(self):
+        value = -FixedPoint(4, 4, 1.5)
+        assert value.int_bits == 5 and float(value) == -1.5
+
+    @given(a=fixeds(), b=fixeds())
+    def test_add_exact_no_overflow(self, a, b):
+        assert (a + b).value == a.value + b.value
+
+    @given(a=fixeds(), b=fixeds())
+    def test_mul_exact(self, a, b):
+        assert (a * b).value == a.value * b.value
+
+    def test_int_operand(self):
+        assert float(FixedPoint(4, 4, 1.5) + 2) == 3.5
+
+    def test_stored_integer_view(self):
+        assert FixedPoint(4, 4, 1.5).stored.value == 24  # 1.5 * 16
+
+
+class TestComparisonsAndFormat:
+    def test_ordering(self):
+        assert FixedPoint(4, 4, 1.0) < FixedPoint(4, 2, 1.5)
+        assert FixedPoint(4, 4, 1.0) == 1
+
+    def test_quantized_conversion(self):
+        value = FixedPoint(8, 8, 1.75).quantized(4, 1)
+        assert value.frac_bits == 1 and float(value) == 1.5
+
+    def test_hash(self):
+        assert len({FixedPoint(4, 4, 0.5), FixedPoint(5, 5, 0.5)}) == 1

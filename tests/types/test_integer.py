@@ -1,0 +1,161 @@
+"""Unit and property tests for fixed-width integers and width rules."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import (
+    Bit,
+    BitVector,
+    Signed,
+    Unsigned,
+    add_width,
+    bitwise_width,
+    mul_width,
+)
+
+
+def u(width=8):
+    return st.integers(0, (1 << width) - 1).map(lambda v: Unsigned(width, v))
+
+
+def s(width=8):
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    return st.integers(lo, hi).map(lambda v: Signed(width, v))
+
+
+class TestWidthRules:
+    def test_rule_functions(self):
+        assert add_width(8, 12) == 12
+        assert mul_width(8, 12) == 20
+        assert bitwise_width(8, 12) == 12
+
+    def test_add_result_width(self):
+        assert (Unsigned(8, 1) + Unsigned(12, 1)).width == 12
+
+    def test_mul_result_width(self):
+        assert (Unsigned(8, 3) * Unsigned(4, 3)).width == 12
+
+    def test_shift_preserves_width(self):
+        assert (Unsigned(8, 1) << 3).width == 8
+        assert (Signed(8, -4) >> 1).width == 8
+
+
+class TestUnsignedArithmetic:
+    @given(a=u(), b=u())
+    def test_add_wraps_modulo(self, a, b):
+        assert (a + b).value == (a.value + b.value) % 256
+
+    @given(a=u(), b=u())
+    def test_sub_wraps_modulo(self, a, b):
+        assert (a - b).value == (a.value - b.value) % 256
+
+    @given(a=u(), b=u())
+    def test_mul_exact(self, a, b):
+        assert (a * b).value == a.value * b.value
+
+    def test_int_operand_coerced(self):
+        assert (Unsigned(8, 250) + 10).value == 4
+
+    def test_negative_const_with_unsigned_rejected(self):
+        with pytest.raises(ValueError):
+            Unsigned(8, 5) + (-1)
+
+    def test_floor_division(self):
+        assert (Unsigned(8, 100) // Unsigned(8, 7)).value == 14
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Unsigned(8, 1) // Unsigned(8, 0)
+
+    def test_modulo(self):
+        assert (Unsigned(8, 100) % 8).value == 4
+
+
+class TestSignedArithmetic:
+    def test_two_complement_wrap(self):
+        assert Signed(8, 255).value == -1
+
+    @given(a=s(), b=s())
+    def test_add_two_complement(self, a, b):
+        total = (a.value + b.value) & 0xFF
+        if total >> 7:
+            total -= 256
+        assert (a + b).value == total
+
+    def test_neg(self):
+        assert (-Signed(8, 5)).value == -5
+        assert (-Signed(8, -128)).value == -128  # wraps
+
+    def test_arithmetic_shift_right(self):
+        assert (Signed(8, -5) >> 1).value == -3
+
+    def test_division_truncates_toward_zero(self):
+        assert (Signed(8, -7) // Signed(8, 2)).value == -3
+
+    def test_comparisons_sign_aware(self):
+        assert Signed(8, -1) < Signed(8, 0)
+        assert Signed(8, -1) < 0
+
+    def test_mixing_signedness_rejected(self):
+        with pytest.raises(TypeError):
+            Unsigned(8, 1) + Signed(8, 1)
+
+
+class TestBitwiseAndBits:
+    @given(a=u(), b=u())
+    def test_bitwise(self, a, b):
+        assert (a & b).raw == a.raw & b.raw
+        assert (a | b).raw == a.raw | b.raw
+        assert (a ^ b).raw == a.raw ^ b.raw
+
+    def test_invert(self):
+        assert (~Unsigned(8, 0)).raw == 0xFF
+
+    def test_or_with_bit(self):
+        assert (Unsigned(8, 0b10) | Bit(1)).value == 0b11
+
+    def test_or_with_bitvector(self):
+        assert (Unsigned(8, 0) | BitVector(4, 0b1010)).value == 0b1010
+
+    def test_bit_select(self):
+        assert Unsigned(8, 0b100)[2] == 1
+        assert Signed(8, -1).bit(7) == 1
+
+    def test_range_returns_bitvector(self):
+        part = Unsigned(8, 0b10110010).range(5, 2)
+        assert isinstance(part, BitVector) and part.value == 0b1100
+
+    def test_to_bits_roundtrip(self):
+        value = Signed(8, -100)
+        assert value.to_bits().to_signed().value == -100
+
+
+class TestResizeAndConversion:
+    def test_unsigned_resize_extends(self):
+        assert Unsigned(4, 9).resized(8).value == 9
+
+    def test_signed_resize_sign_extends(self):
+        assert Signed(4, -3).resized(8).value == -3
+
+    def test_resize_truncates(self):
+        assert Unsigned(8, 0x1F).resized(4).value == 0xF
+
+    def test_to_signed_reinterprets(self):
+        assert Unsigned(4, 0xF).to_signed().value == -1
+        assert Signed(4, -1).to_unsigned().value == 15
+
+    @given(a=u())
+    def test_resize_roundtrip(self, a):
+        assert a.resized(16).resized(8).value == a.value
+
+
+class TestComparisons:
+    @given(a=u(), b=u())
+    def test_ordering_matches_values(self, a, b):
+        assert (a < b) == (a.value < b.value)
+        assert (a >= b) == (a.value >= b.value)
+        assert (a == b) == (a.value == b.value)
+
+    def test_hash_consistent(self):
+        assert len({Unsigned(8, 5), Unsigned(8, 5)}) == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the single-bit logic type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import HIGH, LOW, Bit
+
+
+class TestConstruction:
+    def test_default_is_zero(self):
+        assert Bit().value == 0
+
+    def test_from_int(self):
+        assert Bit(1).value == 1
+        assert Bit(0).value == 0
+
+    def test_from_bool(self):
+        assert Bit(True).value == 1
+        assert Bit(False).value == 0
+
+    def test_from_bit(self):
+        assert Bit(Bit(1)).value == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Bit(2)
+        with pytest.raises(ValueError):
+            Bit(-1)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            Bit("1")
+
+    def test_constants(self):
+        assert LOW.value == 0 and HIGH.value == 1
+
+
+class TestOperators:
+    def test_invert(self):
+        assert (~Bit(0)).value == 1
+        assert (~Bit(1)).value == 0
+
+    @given(a=st.integers(0, 1), b=st.integers(0, 1))
+    def test_and_or_xor_truth_tables(self, a, b):
+        assert (Bit(a) & Bit(b)).value == (a & b)
+        assert (Bit(a) | Bit(b)).value == (a | b)
+        assert (Bit(a) ^ Bit(b)).value == (a ^ b)
+
+    def test_operators_with_plain_ints(self):
+        assert (Bit(1) & 1).value == 1
+        assert (1 | Bit(0)).value == 1
+
+    def test_bool_and_int_conversion(self):
+        assert bool(Bit(1)) is True
+        assert bool(Bit(0)) is False
+        assert int(Bit(1)) == 1
+
+    def test_index_usable(self):
+        assert [10, 20][Bit(1)] == 20
+
+
+class TestEquality:
+    def test_eq_bit(self):
+        assert Bit(1) == Bit(1)
+        assert Bit(1) != Bit(0)
+
+    def test_eq_int_and_bool(self):
+        assert Bit(1) == 1
+        assert Bit(0) == False  # noqa: E712
+
+    def test_hashable(self):
+        assert len({Bit(0), Bit(1), Bit(1)}) == 2
+
+    def test_width_is_one(self):
+        assert Bit(0).width == 1
+
+    def test_repr_and_str(self):
+        assert repr(Bit(1)) == "Bit(1)"
+        assert str(Bit(0)) == "0"

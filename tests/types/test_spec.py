@@ -1,0 +1,87 @@
+"""Tests for type descriptors (TypeSpec)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import Bit, BitVector, FixedPoint, Signed, Unsigned
+from repro.types.spec import TypeSpec, bit, bits, fixed, signed, spec_of, unsigned
+
+
+class TestConstructionAndIdentity:
+    def test_helpers(self):
+        assert bit().kind == "bit" and bit().width == 1
+        assert bits(8).kind == "bv"
+        assert unsigned(8).width == 8
+        assert fixed(4, 4).width == 8 and fixed(4, 4).frac_bits == 4
+
+    def test_equality_and_hash(self):
+        assert unsigned(8) == unsigned(8)
+        assert unsigned(8) != signed(8)
+        assert len({unsigned(8), unsigned(8), bits(8)}) == 2
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            unsigned(8).width = 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TypeSpec("bogus", 4)
+        with pytest.raises(ValueError):
+            TypeSpec("bit", 2)
+        with pytest.raises(ValueError):
+            unsigned(0)
+
+    def test_describe(self):
+        assert unsigned(8).describe() == "unsigned(8)"
+        assert bit().describe() == "bit()"
+        assert fixed(4, 4).describe() == "fixed(4, 4)"
+
+
+class TestValues:
+    def test_defaults(self):
+        assert unsigned(8).default() == Unsigned(8, 0)
+        assert bit().default() == Bit(0)
+
+    @given(raw=st.integers(0, 255))
+    def test_raw_roundtrip_unsigned(self, raw):
+        spec = unsigned(8)
+        assert spec.to_raw(spec.from_raw(raw)) == raw
+
+    @given(raw=st.integers(0, 255))
+    def test_raw_roundtrip_signed(self, raw):
+        spec = signed(8)
+        assert spec.to_raw(spec.from_raw(raw)) == raw
+
+    @given(raw=st.integers(0, 255))
+    def test_raw_roundtrip_fixed(self, raw):
+        spec = fixed(4, 4)
+        assert spec.to_raw(spec.from_raw(raw)) == raw
+
+    def test_from_raw_signed_interprets(self):
+        assert signed(8).from_raw(0xFF).value == -1
+
+    def test_check_type(self):
+        with pytest.raises(TypeError):
+            unsigned(8).check(BitVector(8, 0))
+
+    def test_check_width(self):
+        with pytest.raises(ValueError):
+            unsigned(8).check(Unsigned(4, 0))
+
+    def test_accepts(self):
+        assert unsigned(8).accepts(Unsigned(8, 1))
+        assert not unsigned(8).accepts(Unsigned(9, 1))
+
+
+class TestSpecOf:
+    def test_all_kinds(self):
+        assert spec_of(Bit(1)) == bit()
+        assert spec_of(BitVector(5, 0)) == bits(5)
+        assert spec_of(Unsigned(8, 0)) == unsigned(8)
+        assert spec_of(Signed(6, 0)) == signed(6)
+        assert spec_of(FixedPoint(4, 4)) == fixed(4, 4)
+
+    def test_non_hardware_rejected(self):
+        with pytest.raises(TypeError):
+            spec_of(42)
