@@ -1,0 +1,91 @@
+"""The standalone OSSS Analyzer (paper Fig. 6).
+
+The ODETTE flow puts an *Analyzer* in front of the Synthesizer: it parses
+the OSSS design and rejects anything outside the synthesizable subset
+before synthesis starts.  :func:`analyze_design` is that stage as a
+fail-slow static analysis — it walks every process body, behavioral
+helper and hardware-class method of a design at the AST level, without
+synthesizing, and returns **all** findings as :class:`Diagnostic` records
+(stable codes, severities, source locations, per-line suppressions)
+instead of raising on the first problem the way
+:class:`repro.synth.common.SynthesisError` does.
+
+Passes
+------
+* subset checking (:mod:`repro.analyze.subset`, ``OSS1xx``/``OSS2xx``);
+* shared-object hazards (:mod:`repro.analyze.shared_check`, ``OSS3xx``);
+* design lints (:mod:`repro.analyze.design_lints`, ``RTL4xx`` warnings).
+
+Emit the results with :mod:`repro.analyze.emit` (text, JSON, SARIF) or
+gate a flow on them via :class:`AnalysisError` — that is what
+``repro lint`` and the pre-synthesis gate in :mod:`repro.eval.flows` do.
+"""
+
+from __future__ import annotations
+
+from repro.analyze.design_lints import (
+    check_unused,
+    check_widths,
+    diagnostics_from_lint_report,
+)
+from repro.analyze.diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    RULES,
+    Rule,
+    Suppressions,
+)
+from repro.analyze.emit import render_json, render_sarif, render_text
+from repro.analyze.shared_check import check_shared_objects
+from repro.analyze.subset import check_design_subset
+from repro.hdl.module import Module
+
+__all__ = [
+    "AnalysisError",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "RULES",
+    "Rule",
+    "Suppressions",
+    "analyze_design",
+    "check_design_subset",
+    "check_shared_objects",
+    "check_unused",
+    "check_widths",
+    "diagnostics_from_lint_report",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]
+
+
+class AnalysisError(Exception):
+    """Raised by flow gates when the analyzer reports errors.
+
+    Carries the full diagnostic list so callers can render every finding,
+    not just the first.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity == "error"]
+        summary = f"analysis found {len(errors)} error(s)"
+        details = "\n".join(d.render() for d in self.diagnostics)
+        super().__init__(f"{summary}\n{details}" if details else summary)
+
+
+def analyze_design(top: Module, *,
+                   design_lints: bool = True) -> list[Diagnostic]:
+    """Run every analyzer pass over the elaborated design *top*.
+
+    Returns the deduplicated, suppression-filtered findings in source
+    order.  ``design_lints=False`` restricts the run to the hard subset
+    and shared-object rules (no ``RTL4xx`` warnings).
+    """
+    collector = DiagnosticCollector()
+    port_usage = check_design_subset(collector, top)
+    check_shared_objects(collector, top, port_usage)
+    if design_lints:
+        check_widths(collector, top)
+        check_unused(collector, top)
+    return collector.diagnostics()

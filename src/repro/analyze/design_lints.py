@@ -1,0 +1,300 @@
+"""Design-level lints (codes RTL4xx, all warnings).
+
+These checks mirror what the RTL linter (:mod:`repro.rtl.lint`) finds on
+the *generated* netlist, but run on the OSSS source before synthesis, so
+``repro lint`` can flag them even for designs the synthesizer rejects:
+
+``RTL401``
+    Width truncation: ``self.port.write(expr)`` where the statically
+    inferred width of *expr* exceeds the port/signal width.  The
+    inference follows the datatype semantics (``+``/``-``/bitwise keep
+    ``max`` width, ``*`` sums widths, shifts and ``//``/``%`` keep the
+    left width, comparisons produce one bit).
+``RTL402``
+    Unreachable statements (emitted by the subset walker during its
+    block scan: code after ``return``/``break``/``continue`` or after a
+    ``while True`` with no ``break``).
+``RTL403`` / ``RTL405``
+    Unused ports / signals: never bound, never referenced by a process
+    body, not a clock, reset or sensitivity entry.
+``RTL404``
+    Unread registers — folded in from :class:`repro.rtl.lint.LintReport`
+    after synthesis by :func:`diagnostics_from_lint_report`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.diagnostics import Diagnostic, DiagnosticCollector
+from repro.analyze.source import FunctionSource, load_function
+from repro.analyze.subset import iter_process_functions
+from repro.hdl.module import Module, Port
+from repro.hdl.process import CMethod, CThread
+from repro.hdl.signal import Signal
+from repro.rtl.lint import LintReport
+
+#: Value methods that keep their receiver's width.
+_WIDTH_PRESERVING = frozenset(
+    ("to_unsigned", "to_signed", "to_bits", "with_bit", "with_range")
+)
+#: Value methods that reduce to one bit.
+_ONE_BIT = frozenset(("reduce_or", "reduce_and", "reduce_xor", "bit"))
+#: Hardware-value constructors: name -> index of the width argument
+#: (None: always one bit wide).
+_CONSTRUCTOR_WIDTH = {
+    "Unsigned": 0, "Signed": 0, "BitVector": 0, "Bit": None,
+}
+
+
+class _WidthInference:
+    """Best-effort static width inference over one process body.
+
+    Returns ``None`` whenever the width is not statically obvious —
+    the truncation lint only fires on certain wins.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self.locals: dict[str, int | None] = {}
+
+    # ------------------------------------------------------------------
+    def target_width(self, attr: str) -> int | None:
+        """Width of ``self.<attr>`` when it is a port or signal."""
+        port = self.module.ports().get(attr)
+        if port is not None:
+            return port.spec.width
+        value = vars(self.module).get(attr)
+        if isinstance(value, Signal):
+            return value.spec.width
+        return None
+
+    def infer(self, node: ast.AST) -> int | None:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return 1
+            if isinstance(node.value, int):
+                return max(1, node.value.bit_length())
+            return None
+        if isinstance(node, ast.Name):
+            return self.locals.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            return 1
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                return 1
+            return self.infer(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.infer(node.body)
+            orelse = self.infer(node.orelse)
+            if body is None or orelse is None:
+                return None
+            return max(body, orelse)
+        return None
+
+    def _infer_call(self, node: ast.Call) -> int | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            # Hardware-value constructors with a literal width.
+            if func.id in _CONSTRUCTOR_WIDTH:
+                index = _CONSTRUCTOR_WIDTH[func.id]
+                if index is None:
+                    return 1
+                if len(node.args) > index:
+                    width_arg = node.args[index]
+                    if isinstance(width_arg, ast.Constant) \
+                            and isinstance(width_arg.value, int):
+                        return width_arg.value
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        method = func.attr
+        if method == "read":
+            # self.<attr>.read() of a port or signal.
+            value = func.value
+            if (isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"):
+                return self.target_width(value.attr)
+            return None
+        if method == "resized" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, int):
+                return arg.value
+            return None
+        if method in _ONE_BIT:
+            return 1
+        if method == "range" and len(node.args) == 2:
+            high, low = node.args
+            if (isinstance(high, ast.Constant)
+                    and isinstance(high.value, int)
+                    and isinstance(low, ast.Constant)
+                    and isinstance(low.value, int)):
+                return high.value - low.value + 1
+            return None
+        if method == "concat" and node.args:
+            left = self.infer(func.value)
+            right = self.infer(node.args[0])
+            if left is None or right is None:
+                return None
+            return left + right
+        if method in _WIDTH_PRESERVING:
+            return self.infer(func.value)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp) -> int | None:
+        left = self.infer(node.left)
+        if isinstance(node.op, (ast.LShift, ast.RShift, ast.FloorDiv,
+                                ast.Mod)):
+            return left
+        right = self.infer(node.right)
+        if left is None or right is None:
+            return None
+        if isinstance(node.op, ast.Mult):
+            return left + right
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.BitOr, ast.BitAnd,
+                                ast.BitXor)):
+            return max(left, right)
+        return None
+
+
+def _check_widths(collector: DiagnosticCollector, module: Module,
+                  name: str, source: FunctionSource) -> None:
+    """RTL401 over one process/helper body (statements in source order)."""
+    inference = _WidthInference(module)
+    where = f"{module.full_name}.{name}"
+
+    def visit_block(body: list[ast.stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name):
+                inference.locals[stmt.targets[0].id] = \
+                    inference.infer(stmt.value)
+            elif isinstance(stmt, ast.Expr):
+                _check_write(stmt.value, stmt)
+            for child in (getattr(stmt, "body", None),
+                          getattr(stmt, "orelse", None),
+                          getattr(stmt, "finalbody", None)):
+                if child:
+                    visit_block(child)
+
+    def _check_write(value: ast.expr, stmt: ast.stmt) -> None:
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "write"
+                and len(value.args) == 1):
+            return
+        target = value.func.value
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return
+        target_width = inference.target_width(target.attr)
+        if target_width is None:
+            return
+        expr_width = inference.infer(value.args[0])
+        if expr_width is not None and expr_width > target_width:
+            collector.emit(
+                "RTL401",
+                f"writing a {expr_width}-bit expression to the "
+                f"{target_width}-bit target self.{target.attr} truncates; "
+                "use .resized() to make the narrowing explicit",
+                where=where, file=source.file, node=stmt,
+            )
+
+    visit_block(source.funcdef.body)
+
+
+def check_widths(collector: DiagnosticCollector, top: Module) -> None:
+    """RTL401 width-truncation lint over the whole design."""
+    for module in top.iter_modules():
+        for name, _kind, source in iter_process_functions(module):
+            _check_widths(collector, module, name, source)
+
+
+# ----------------------------------------------------------------------
+# unused ports and signals
+# ----------------------------------------------------------------------
+def check_unused(collector: DiagnosticCollector, top: Module) -> None:
+    """RTL403 (unused ports) and RTL405 (unused signals)."""
+    modules = list(top.iter_modules())
+    # Signal uids referenced by the module fabric itself.
+    fabric_uids: set[int] = set()
+    port_uid_count: dict[int, int] = {}
+    for module in modules:
+        for port in module.ports().values():
+            uid = port.signal.uid
+            port_uid_count[uid] = port_uid_count.get(uid, 0) + 1
+        for process in module.processes:
+            if isinstance(process, CThread):
+                fabric_uids.add(process.clock.uid)
+                if process.reset is not None:
+                    fabric_uids.add(process.reset.uid)
+            elif isinstance(process, CMethod):
+                for item in process.sensitivity:
+                    signal = item[0] if isinstance(item, tuple) else item
+                    if isinstance(signal, Signal):
+                        fabric_uids.add(signal.uid)
+    for module in modules:
+        referenced = _referenced_attrs(module)
+        for name, port in sorted(module.ports().items()):
+            uid = port.signal.uid
+            if (name in referenced or port_uid_count.get(uid, 0) >= 2
+                    or uid in fabric_uids):
+                continue
+            collector.emit(
+                "RTL403",
+                f"port {name!r} of {module.full_name} is never bound or "
+                "accessed",
+                where=module.full_name,
+            )
+        signal_attrs: dict[int, list[str]] = {}
+        signal_by_uid: dict[int, Signal] = {}
+        for attr, value in vars(module).items():
+            if isinstance(value, Signal):
+                signal_attrs.setdefault(value.uid, []).append(attr)
+                signal_by_uid[value.uid] = value
+        for uid, attrs in sorted(signal_attrs.items()):
+            if (uid in port_uid_count or uid in fabric_uids
+                    or any(attr in referenced for attr in attrs)):
+                continue
+            collector.emit(
+                "RTL405",
+                f"signal {signal_by_uid[uid].name!r} of "
+                f"{module.full_name} is never connected or accessed",
+                where=module.full_name,
+            )
+
+
+def _referenced_attrs(module: Module) -> set[str]:
+    """``self.<attr>`` names used anywhere in the module's process code."""
+    referenced: set[str] = set()
+    for _name, _kind, source in iter_process_functions(module):
+        for node in ast.walk(source.funcdef):
+            if (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"):
+                referenced.add(node.attr)
+    return referenced
+
+
+# ----------------------------------------------------------------------
+# post-synthesis fold
+# ----------------------------------------------------------------------
+def diagnostics_from_lint_report(report: LintReport,
+                                 where: str = "") -> list[Diagnostic]:
+    """Fold an RTL :class:`LintReport` into the diagnostic stream."""
+    found: list[Diagnostic] = []
+    for name in report.unused_inputs:
+        found.append(Diagnostic(
+            "RTL403", f"generated input {name!r} is never read", where
+        ))
+    for name in report.unread_registers:
+        found.append(Diagnostic(
+            "RTL404", f"generated register {name!r} is never read", where
+        ))
+    return found

@@ -1,0 +1,238 @@
+"""The diagnostic model of the OSSS analyzer (paper Fig. 6).
+
+Every finding of the static analyzer is a :class:`Diagnostic` carrying a
+stable code from the rule registry below, so tooling (CI gates, editors,
+the ``repro lint`` SARIF output) can classify findings without parsing
+messages.  Code families:
+
+========  ====================================================
+OSS1xx    synthesizable-subset violations (statements,
+          expressions, loops, widths)
+OSS2xx    object-oriented / template / polymorphism misuse
+OSS3xx    shared-object hazards (races, deadlocks, arbitration
+          bypass)
+RTL4xx    structural findings on the design or generated RTL
+          (warnings: truncation, dead code, unused elements)
+========  ====================================================
+
+Per-line suppressions use the comment syntax ``# repro: ignore`` (all
+codes) or ``# repro: ignore[OSS103,RTL401]`` (listed codes only) on the
+flagged source line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.synth.common import SynthesisError
+
+ERROR = "error"
+WARNING = "warning"
+
+
+class Rule:
+    """One registered diagnostic rule."""
+
+    __slots__ = ("code", "severity", "title")
+
+    def __init__(self, code: str, severity: str, title: str) -> None:
+        self.code = code
+        self.severity = severity
+        self.title = title
+
+    def __repr__(self) -> str:
+        return f"Rule({self.code}, {self.severity}, {self.title!r})"
+
+
+RULES: dict[str, Rule] = {}
+
+
+def _rule(code: str, severity: str, title: str) -> None:
+    RULES[code] = Rule(code, severity, title)
+
+
+# ---- OSS1xx: synthesizable-subset violations ----
+_rule("OSS100", ERROR, "construct outside the synthesizable subset")
+_rule("OSS101", ERROR, "unsupported statement or expression")
+_rule("OSS102", ERROR, "non-synthesizable constant")
+_rule("OSS103", ERROR, "loop does not reach a wait")
+_rule("OSS104", ERROR, "for loop not over a constant range")
+_rule("OSS105", ERROR, "division/modulo restriction violated")
+_rule("OSS106", ERROR, "chained comparison")
+_rule("OSS107", ERROR, "keyword arguments are not synthesizable")
+_rule("OSS108", ERROR, "yield misuse")
+_rule("OSS109", ERROR, "illegal return")
+_rule("OSS110", ERROR, "condition is not one bit")
+_rule("OSS111", ERROR, "width mismatch")
+_rule("OSS112", ERROR, "value undefined or divergent on some path")
+_rule("OSS113", ERROR, "containers are not synthesizable")
+_rule("OSS114", ERROR, "signal has more than one driver")
+_rule("OSS115", ERROR, "illegal port or clock access")
+_rule("OSS116", ERROR, "unknown name or attribute")
+# ---- OSS2xx: OO / template / polymorphism misuse ----
+_rule("OSS201", ERROR, "recursive method call")
+_rule("OSS202", ERROR, "wait inside a class or combinational method")
+_rule("OSS203", ERROR, "hardware-class constructor misuse")
+_rule("OSS204", ERROR, "unknown or unsynthesizable member")
+_rule("OSS205", ERROR, "template misuse")
+_rule("OSS206", ERROR, "combinational method violation")
+_rule("OSS207", ERROR, "polymorphic interface violation")
+# ---- OSS3xx: shared-object hazards ----
+_rule("OSS301", ERROR, "shared object accessed without its scheduler port")
+_rule("OSS302", ERROR, "shared-object call in combinational context")
+_rule("OSS303", ERROR, "self-deadlocking shared-object call cycle")
+_rule("OSS304", ERROR, "client port used by more than one process")
+# ---- RTL4xx: structural findings ----
+_rule("RTL401", WARNING, "width truncation on assignment")
+_rule("RTL402", WARNING, "unreachable statement or FSM state")
+_rule("RTL403", WARNING, "unused port")
+_rule("RTL404", WARNING, "unread register")
+_rule("RTL405", WARNING, "unused signal")
+
+
+class Diagnostic:
+    """One analyzer finding: a rule violation at a source location."""
+
+    __slots__ = ("code", "message", "where", "file", "line")
+
+    def __init__(self, code: str, message: str, where: str = "",
+                 file: str | None = None, line: int | None = None) -> None:
+        if code not in RULES:
+            raise ValueError(f"unknown diagnostic code {code!r}")
+        self.code = code
+        self.message = message
+        self.where = where
+        self.file = file
+        self.line = line
+
+    @property
+    def rule(self) -> Rule:
+        """The registry entry this diagnostic instantiates."""
+        return RULES[self.code]
+
+    @property
+    def severity(self) -> str:
+        """``"error"`` or ``"warning"`` (from the rule registry)."""
+        return self.rule.severity
+
+    def sort_key(self) -> tuple:
+        return (self.file or "", self.line or 0, self.code, self.where,
+                self.message)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat record for the JSON emitter."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+            "file": self.file,
+            "line": self.line,
+        }
+
+    def render(self) -> str:
+        """One human-readable line (the text emitter's format)."""
+        location = "<design>"
+        if self.file:
+            location = self.file
+            if self.line is not None:
+                location = f"{self.file}:{self.line}"
+        context = f" [{self.where}]" if self.where else ""
+        return (f"{location}: {self.severity} {self.code}: "
+                f"{self.message}{context}")
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.render()!r})"
+
+
+#: Matches ``# repro: ignore`` / ``# repro: ignore[OSS103,RTL401]``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<codes>[A-Z0-9,\s]+)\])?"
+)
+
+#: Sentinel set meaning "every code is suppressed on this line".
+ALL_CODES = frozenset({"*"})
+
+
+class Suppressions:
+    """Per-file, per-line suppression table built from source comments."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[tuple[str, int], frozenset[str]] = {}
+
+    def scan(self, file: str, lines: Iterable[str],
+             first_lineno: int = 1) -> None:
+        """Record suppression comments in *lines* (absolute numbering)."""
+        for offset, text in enumerate(lines):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                selected = ALL_CODES
+            else:
+                selected = frozenset(
+                    code.strip() for code in codes.split(",") if code.strip()
+                )
+            key = (file, first_lineno + offset)
+            previous = self._by_line.get(key, frozenset())
+            self._by_line[key] = previous | selected
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True when a comment on the diagnostic's line disables it."""
+        if diagnostic.file is None or diagnostic.line is None:
+            return False
+        codes = self._by_line.get((diagnostic.file, diagnostic.line))
+        if codes is None:
+            return False
+        return "*" in codes or diagnostic.code in codes
+
+
+class DiagnosticCollector:
+    """Fail-slow accumulator used by every analyzer pass."""
+
+    def __init__(self) -> None:
+        self._found: list[Diagnostic] = []
+        self.suppressions = Suppressions()
+
+    def emit(self, code: str, message: str, *, where: str = "",
+             file: str | None = None, line: int | None = None,
+             node: ast.AST | None = None) -> None:
+        """Record one finding (location from *node* unless given)."""
+        if line is None and node is not None:
+            line = getattr(node, "lineno", None)
+        self._found.append(Diagnostic(code, message, where, file, line))
+
+    def from_synthesis_error(self, exc: "SynthesisError", *,
+                             where: str = "",
+                             file: str | None = None) -> None:
+        """Convert a structured :class:`SynthesisError` into a finding."""
+        self._found.append(Diagnostic(
+            getattr(exc, "code", "OSS100"),
+            getattr(exc, "message", str(exc)),
+            where or getattr(exc, "where", ""),
+            file,
+            getattr(exc, "lineno", None),
+        ))
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics() if d.severity == ERROR)
+
+    def diagnostics(self) -> list[Diagnostic]:
+        """Deduplicated, suppression-filtered findings in source order."""
+        seen: set[tuple] = set()
+        unique: list[Diagnostic] = []
+        for diag in self._found:
+            key = (diag.code, diag.where, diag.file, diag.line, diag.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.suppressions.is_suppressed(diag):
+                continue
+            unique.append(diag)
+        unique.sort(key=Diagnostic.sort_key)
+        return unique

@@ -1,0 +1,115 @@
+"""Diagnostic emitters: text, JSON and SARIF 2.1.0.
+
+The JSON and SARIF renderers are deterministic (sorted keys, stable
+ordering from :meth:`Diagnostic.sort_key`) so their output can be golden-
+file tested and diffed across CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analyze.diagnostics import Diagnostic, RULES
+
+#: SARIF tool metadata (fixed so emitter output is reproducible).
+TOOL_NAME = "repro-lint"
+TOOL_VERSION = "1.0.0"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """Human-readable listing plus a summary line."""
+    diagnostics = list(diagnostics)
+    lines = [diag.render() for diag in diagnostics]
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = len(diagnostics) - errors
+    if lines:
+        lines.append("")
+    lines.append(f"{errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Iterable[Diagnostic]) -> str:
+    """Stable JSON document of all findings."""
+    diagnostics = list(diagnostics)
+    document = {
+        "version": 1,
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "diagnostics": [diag.as_dict() for diag in diagnostics],
+        "summary": {
+            "errors": sum(
+                1 for d in diagnostics if d.severity == "error"
+            ),
+            "warnings": sum(
+                1 for d in diagnostics if d.severity == "warning"
+            ),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(diag: Diagnostic) -> dict:
+    result = {
+        "ruleId": diag.code,
+        "level": diag.severity,
+        "message": {"text": diag.message},
+    }
+    if diag.where:
+        result["message"]["text"] = f"{diag.message} [{diag.where}]"
+    if diag.file:
+        location: dict = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": diag.file},
+            }
+        }
+        if diag.line is not None:
+            location["physicalLocation"]["region"] = {
+                "startLine": diag.line
+            }
+        result["locations"] = [location]
+    return result
+
+
+def render_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    """SARIF 2.1.0 document (one run, rules limited to those used)."""
+    diagnostics = list(diagnostics)
+    used_codes = sorted({diag.code for diag in diagnostics})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": RULES[code].title},
+            "defaultConfiguration": {"level": RULES[code].severity},
+        }
+        for code in used_codes
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri":
+                            "https://github.com/oasis-tcs/sarif-spec",
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    _sarif_result(diag) for diag in diagnostics
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,135 @@
+"""Shared-object hazard detection (paper §6, §8; codes OSS3xx).
+
+The OSSS methodology guarantees race freedom for global objects *only*
+when every clocked thread reaches them through a :class:`ClientPort`
+(``result = yield from port.call(...)``) so the generated arbiter can
+serialize the accesses.  This pass finds the ways designs break that
+contract:
+
+``OSS301``
+    A process body touches a :class:`SharedObject` attribute directly
+    (``self.shared.call_direct(...)``, ``self.shared.instance...``),
+    bypassing the scheduler — a race once two threads do it.
+``OSS302``
+    ``yield from port.call(...)`` inside a combinational method (flagged
+    by the subset walker, which sees the method context).
+``OSS303``
+    A guarded object's method calls back into another method of the same
+    object — the arbiter serves one call at a time, so the design
+    deadlocks (detected by the hardware-class cycle check).
+``OSS304``
+    One :class:`ClientPort` used by two or more processes: the port's
+    request register would have two drivers and the arbiter cannot tell
+    the callers apart (the API contract is one port per process).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.diagnostics import DiagnosticCollector
+from repro.analyze.source import load_function, register_suppressions
+from repro.analyze.subset import iter_process_functions
+from repro.hdl.module import Module
+from repro.osss.shared import ClientPort, SharedObject
+
+
+def _shared_attrs(module: Module) -> dict[str, SharedObject]:
+    return {
+        attr: value
+        for attr, value in vars(module).items()
+        if isinstance(value, SharedObject)
+    }
+
+
+def _client_ports(module: Module) -> dict[str, ClientPort]:
+    return {
+        attr: value
+        for attr, value in vars(module).items()
+        if isinstance(value, ClientPort)
+    }
+
+
+def check_shared_objects(
+    collector: DiagnosticCollector,
+    top: Module,
+    port_usage: dict[Module, dict[str, set[str]]] | None = None,
+) -> None:
+    """Run the shared-object hazard checks on the whole design.
+
+    *port_usage* is the per-module ``{port_attr: {process names}}`` map
+    produced by :func:`repro.analyze.subset.check_design_subset`; when not
+    given it is recomputed here.
+    """
+    if port_usage is None:
+        from repro.analyze.subset import check_module_subset
+
+        scratch = DiagnosticCollector()  # discard duplicate subset findings
+        port_usage = {
+            module: check_module_subset(scratch, module)
+            for module in top.iter_modules()
+        }
+    for module in top.iter_modules():
+        shared = _shared_attrs(module)
+        ports = _client_ports(module)
+        _check_direct_access(collector, module, shared)
+        _check_port_sharing(collector, module, ports,
+                            port_usage.get(module, {}))
+
+
+def _check_direct_access(collector: DiagnosticCollector, module: Module,
+                         shared: dict[str, SharedObject]) -> None:
+    """OSS301: process bodies referencing a SharedObject attribute."""
+    if not shared:
+        return
+    for name, _kind, source in iter_process_functions(module):
+        register_suppressions(source, collector.suppressions)
+        where = f"{module.full_name}.{name}"
+        for node in ast.walk(source.funcdef):
+            if not (isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in shared):
+                continue
+            obj = shared[node.attr]
+            collector.emit(
+                "OSS301",
+                f"process accesses shared object {obj.name!r} directly "
+                f"(self.{node.attr}); go through a client port so the "
+                f"{type(obj.scheduler).__name__} arbiter can serialize "
+                "the access",
+                where=where, file=source.file, node=node,
+            )
+
+
+def _check_port_sharing(collector: DiagnosticCollector, module: Module,
+                        ports: dict[str, ClientPort],
+                        usage: dict[str, set[str]]) -> None:
+    """OSS304: one client port driven from several processes."""
+    for attr, users in sorted(usage.items()):
+        if attr not in ports or len(users) < 2:
+            continue
+        port = ports[attr]
+        file, line = _port_binding_site(module, attr)
+        collector.emit(
+            "OSS304",
+            f"client port {port.owner.name}.{port.name} (self.{attr}) is "
+            f"used by {len(users)} processes ({', '.join(sorted(users))}); "
+            "create one client port per accessing process",
+            where=module.full_name, file=file, line=line,
+        )
+
+
+def _port_binding_site(module: Module,
+                       attr: str) -> tuple[str | None, int | None]:
+    """Best-effort source location of ``self.<attr> = ...client_port(...)``
+    in the module's ``__init__``."""
+    source = load_function(type(module).__init__)
+    if source is None:
+        return None, None
+    for node in ast.walk(source.funcdef):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and node.targets[0].attr == attr):
+            return source.file, node.lineno
+    return source.file, source.funcdef.lineno

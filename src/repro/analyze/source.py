@@ -1,0 +1,68 @@
+"""Source loading for the static analyzer.
+
+The analyzer reports *absolute* file/line locations, so it parses its own
+copies of every process body and method instead of borrowing the design
+library's cached trees (those keep the relative line numbers the
+synthesizer's error messages are built from, and are shared state we must
+not mutate).  Parsing is cached per code object.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable
+
+from repro.analyze.diagnostics import Suppressions
+
+
+class FunctionSource:
+    """A function's AST with absolute line numbers, plus its origin."""
+
+    __slots__ = ("func", "file", "first_lineno", "lines", "funcdef")
+
+    def __init__(self, func: Callable, file: str, first_lineno: int,
+                 lines: list[str], funcdef: ast.FunctionDef) -> None:
+        self.func = func
+        self.file = file
+        self.first_lineno = first_lineno
+        self.lines = lines
+        self.funcdef = funcdef
+
+
+_cache: dict[object, FunctionSource | None] = {}
+
+
+def load_function(func: Callable) -> FunctionSource | None:
+    """Load *func*'s source; ``None`` when no source is retrievable
+    (builtins, dynamically generated code)."""
+    raw = getattr(func, "__func__", func)
+    code = getattr(raw, "__code__", None)
+    if code is None:
+        return None
+    cached = _cache.get(code)
+    if cached is not None or code in _cache:
+        return cached
+    result: FunctionSource | None = None
+    try:
+        lines, first = inspect.getsourcelines(raw)
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+    except (OSError, TypeError, SyntaxError, IndentationError):
+        lines, first, tree = [], 1, None
+    if tree is not None:
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                ast.increment_lineno(node, first - 1)
+                result = FunctionSource(
+                    raw, code.co_filename, first, lines, node
+                )
+                break
+    _cache[code] = result
+    return result
+
+
+def register_suppressions(source: FunctionSource,
+                          suppressions: Suppressions) -> None:
+    """Feed a function's ``# repro: ignore`` comments into the table."""
+    suppressions.scan(source.file, source.lines, source.first_lineno)

@@ -1,0 +1,583 @@
+"""Fail-slow synthesizable-subset checking (paper Fig. 6 Analyzer).
+
+Walks every process body (clocked threads, combinational methods and the
+behavioral helpers they ``yield from``) plus the methods of every hardware
+class used by the design, purely at the AST level, and records **all**
+subset violations as diagnostics — unlike the synthesis interpreter in
+:mod:`repro.synth.interp`, which raises :class:`SynthesisError` on the
+first one.  The rules are the ones documented in
+:mod:`repro.synth.common`; the codes come from
+:mod:`repro.analyze.diagnostics`.
+
+Checks that need full symbolic evaluation (exact widths on every path,
+undefinedness across dynamic branches) stay in the synthesizer; this pass
+is intentionally syntactic so it can run on designs the synthesizer would
+give up on after one error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analyze.diagnostics import DiagnosticCollector
+from repro.analyze.source import (
+    FunctionSource,
+    load_function,
+    register_suppressions,
+)
+from repro.hdl.module import Module
+from repro.hdl.process import CMethod, CThread
+from repro.osss.hwclass import HwClass
+from repro.osss.shared import ClientPort, SharedObject
+from repro.synth.common import contains_yield, is_power_of_two
+
+#: Hardware-class attributes that are infrastructure, not user methods.
+_NON_USER_METHODS = frozenset(
+    ("layout", "full_layout", "member_specs", "construct", "copy",
+     "hw_members", "specialize")
+)
+
+#: Statement types with no synthesizable meaning in any context.
+_BANNED_STMTS = (
+    ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.With,
+    ast.AsyncWith, ast.AsyncFor, ast.Try, ast.Raise, ast.Import,
+    ast.ImportFrom, ast.Global, ast.Nonlocal, ast.Delete,
+)
+
+#: Expression types outside the subset (flagged by the generic scan).
+_BANNED_EXPRS = (
+    ast.Lambda, ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.Await, ast.Starred, ast.JoinedStr, ast.NamedExpr,
+)
+
+
+def _match_port_call(call: ast.Call) -> str | None:
+    """``self.<attr>.call(...)`` → the port attribute name, else None."""
+    func = call.func
+    if (isinstance(func, ast.Attribute) and func.attr == "call"
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"):
+        return func.value.attr
+    return None
+
+
+def _match_self_call(call: ast.Call) -> str | None:
+    """``self.<name>(...)`` → the method name, else None."""
+    func = call.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"):
+        return func.attr
+    return None
+
+
+def _is_dynamic(node: ast.AST, tainted: set[str]) -> bool:
+    """Heuristic: does *node* depend on a run-time hardware value?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            if isinstance(func, ast.Attribute) and func.attr == "read":
+                return True
+        if isinstance(child, ast.Name) and child.id in tainted:
+            return True
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+class FunctionCheck:
+    """Result of checking one function body."""
+
+    __slots__ = ("helper_calls", "port_calls")
+
+    def __init__(self) -> None:
+        #: ``yield from self.<helper>(...)`` sites: (name, node).
+        self.helper_calls: list[tuple[str, ast.AST]] = []
+        #: ``yield from self.<port>.call(...)`` sites: (attr, node).
+        self.port_calls: list[tuple[str, ast.AST]] = []
+
+
+class _FunctionChecker:
+    """Checks one function body in a given context *kind*.
+
+    ``kind`` is one of ``"thread"`` (clocked process), ``"cmethod"``
+    (combinational method), ``"helper"`` (behavioral generator helper)
+    or ``"hwmethod"`` (hardware-class method).
+    """
+
+    def __init__(self, collector: DiagnosticCollector, source: FunctionSource,
+                 where: str, kind: str) -> None:
+        self.collector = collector
+        self.file = source.file
+        self.where = where
+        self.kind = kind
+        self.tainted: set[str] = set()
+        self.result = FunctionCheck()
+        #: Yield nodes consumed by a recognized statement form.
+        self._claimed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def emit(self, code: str, message: str, node: ast.AST) -> None:
+        self.collector.emit(code, message, where=self.where, file=self.file,
+                            node=node)
+
+    def check(self, funcdef: ast.FunctionDef) -> FunctionCheck:
+        self._block(funcdef.body)
+        self._scan_expressions(funcdef)
+        return self.result
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _block(self, body: list[ast.stmt]) -> None:
+        terminated = False
+        for stmt in body:
+            if terminated:
+                self.emit("RTL402", "statement is unreachable", stmt)
+                terminated = False  # report once per block
+            self._statement(stmt)
+            if isinstance(stmt, (ast.Return, ast.Break, ast.Continue,
+                                 ast.Raise)):
+                terminated = True
+            elif isinstance(stmt, ast.While) and self._is_while_true(stmt) \
+                    and not self._has_break(stmt):
+                terminated = True
+
+    @staticmethod
+    def _is_while_true(stmt: ast.While) -> bool:
+        test = stmt.test
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    @staticmethod
+    def _has_break(stmt: ast.While) -> bool:
+        return any(isinstance(node, ast.Break) for node in ast.walk(stmt))
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, _BANNED_STMTS):
+            self.emit("OSS101",
+                      f"{type(stmt).__name__} is outside the synthesizable "
+                      "subset", stmt)
+            return
+        if isinstance(stmt, (ast.Pass, ast.Assert, ast.Break, ast.Continue)):
+            return
+        if isinstance(stmt, ast.Return):
+            self._return(stmt)
+            return
+        if isinstance(stmt, ast.Expr):
+            self._expr_statement(stmt)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                self.emit("OSS101", "declarations need an initializer", stmt)
+            elif isinstance(stmt.target, ast.Name):
+                self._note_taint((stmt.target.id,), stmt.value)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                self._note_taint((stmt.target.id,), stmt.value)
+            return
+        if isinstance(stmt, ast.If):
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.While):
+            self._while(stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._for(stmt)
+            return
+        self.emit("OSS101",
+                  f"{type(stmt).__name__} is outside the synthesizable "
+                  "subset", stmt)
+
+    def _return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        if self.kind == "thread":
+            self.emit("OSS109", "processes cannot return values", stmt)
+        elif self.kind == "cmethod":
+            self.emit("OSS206", "combinational methods cannot return "
+                      "values", stmt)
+
+    def _expr_statement(self, stmt: ast.Expr) -> None:
+        value = stmt.value
+        if isinstance(value, ast.Constant):
+            return  # docstring
+        if isinstance(value, ast.Yield):
+            self._claimed.add(id(value))
+            if self.kind in ("cmethod", "hwmethod"):
+                self.emit("OSS202", "wait() inside a class method or "
+                          "combinational method is not synthesizable", stmt)
+            if value.value is not None:
+                self.emit("OSS108", "yield must carry no value (it is "
+                          "wait())", stmt)
+            return
+        if isinstance(value, ast.YieldFrom):
+            self._yield_from(stmt, value, target=None)
+            return
+        # Plain expression statement (usually a write or object call).
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        if len(stmt.targets) != 1:
+            self.emit("OSS101", "chained assignment is not synthesizable",
+                      stmt)
+            return
+        target = stmt.targets[0]
+        if isinstance(target, (ast.Tuple, ast.List, ast.Starred,
+                               ast.Subscript)):
+            self.emit("OSS101", "unsupported assignment target", stmt)
+            return
+        if isinstance(stmt.value, ast.YieldFrom):
+            if not isinstance(target, ast.Name):
+                self.emit("OSS108", "yield-from result must bind a simple "
+                          "name", stmt)
+                return
+            self.tainted.add(target.id)
+            self._yield_from(stmt, stmt.value, target=target.id)
+            return
+        if isinstance(target, ast.Name):
+            self._note_taint((target.id,), stmt.value)
+
+    def _note_taint(self, names: tuple[str, ...], value: ast.AST) -> None:
+        if _is_dynamic(value, self.tainted):
+            self.tainted.update(names)
+
+    def _yield_from(self, stmt: ast.stmt, node: ast.YieldFrom,
+                    target: str | None) -> None:
+        self._claimed.add(id(node))
+        call = node.value
+        if not (isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)):
+            self.emit("OSS108", "yield from is only synthesizable as "
+                      "port.call(...) or self.helper(...)", stmt)
+            return
+        port_attr = _match_port_call(call)
+        if port_attr is not None:
+            if self.kind in ("cmethod", "hwmethod"):
+                self.emit("OSS302", "shared-object call inside a "
+                          "combinational context deadlocks (the caller "
+                          "cannot wait for the arbiter)", stmt)
+            if not (call.args and isinstance(call.args[0], ast.Constant)
+                    and isinstance(call.args[0].value, str)):
+                self.emit("OSS108", "the method name in port.call() must "
+                          "be a string literal", stmt)
+            self.result.port_calls.append((port_attr, stmt))
+            return
+        helper = _match_self_call(call)
+        if helper is not None:
+            if self.kind in ("cmethod", "hwmethod"):
+                self.emit("OSS202", "wait() inside a class method or "
+                          "combinational method is not synthesizable", stmt)
+            self.result.helper_calls.append((helper, stmt))
+            return
+        self.emit("OSS108", "yield from is only synthesizable as "
+                  "port.call(...) or self.helper(...)", stmt)
+
+    def _while(self, stmt: ast.While) -> None:
+        if not contains_yield(stmt) and _is_dynamic(stmt.test, self.tainted):
+            self.emit("OSS103", "while loop over a run-time condition never "
+                      "reaches a wait (add a yield inside the loop body)",
+                      stmt)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+
+    def _for(self, stmt: ast.For) -> None:
+        if not (isinstance(stmt.iter, ast.Call)
+                and isinstance(stmt.iter.func, ast.Name)
+                and stmt.iter.func.id == "range"):
+            self.emit("OSS104", "for loops must iterate over constant "
+                      "range(...)", stmt)
+        elif _is_dynamic(stmt.iter, self.tainted):
+            self.emit("OSS104", "range bounds must be compile-time "
+                      "constants", stmt)
+        if not isinstance(stmt.target, ast.Name):
+            self.emit("OSS104", "for target must be a simple name", stmt)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+
+    # ------------------------------------------------------------------
+    # expressions (context-free scan, skipping nested function scopes)
+    # ------------------------------------------------------------------
+    def _scan_expressions(self, funcdef: ast.FunctionDef) -> None:
+        stack: list[ast.AST] = list(ast.iter_child_nodes(funcdef))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue  # flagged as a statement; don't descend
+            self._expression(node)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _expression(self, node: ast.AST) -> None:
+        if isinstance(node, _BANNED_EXPRS):
+            self.emit("OSS101",
+                      f"{type(node).__name__} is outside the synthesizable "
+                      "subset", node)
+        elif isinstance(node, ast.Constant):
+            if isinstance(node.value, (float, complex, bytes)):
+                self.emit("OSS102", f"constant {node.value!r} is not "
+                          "synthesizable", node)
+        elif isinstance(node, ast.Compare):
+            if len(node.ops) > 1:
+                self.emit("OSS106", "chained comparisons are not "
+                          "synthesizable", node)
+        elif isinstance(node, ast.Call):
+            if node.keywords:
+                self.emit("OSS107", "keyword arguments are not "
+                          "synthesizable", node)
+        elif isinstance(node, (ast.Dict, ast.Set, ast.List)):
+            self.emit("OSS113", f"{type(node).__name__.lower()} literals "
+                      "are not synthesizable", node)
+        elif isinstance(node, ast.BinOp):
+            self._binop(node)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if id(node) not in self._claimed:
+                self.emit("OSS108", "yield is only synthesizable as a "
+                          "statement (wait) or 'x = yield from "
+                          "port.call(...)'", node)
+
+    def _binop(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Div, ast.MatMult, ast.Pow)):
+            name = {"Div": "/", "MatMult": "@", "Pow": "**"}[
+                type(node.op).__name__]
+            self.emit("OSS105" if isinstance(node.op, ast.Div) else "OSS101",
+                      f"operator {name} is not synthesizable", node)
+            return
+        if isinstance(node.op, (ast.FloorDiv, ast.Mod)):
+            right = node.right
+            if isinstance(right, ast.Constant) \
+                    and isinstance(right.value, int):
+                if not is_power_of_two(right.value):
+                    self.emit("OSS105", "division/modulo only by constant "
+                              "powers of two is synthesizable", node)
+            elif _is_dynamic(right, self.tainted):
+                self.emit("OSS105", "division/modulo by a run-time value "
+                          "is not synthesizable; use a sequential divider",
+                          node)
+
+
+# ----------------------------------------------------------------------
+# design traversal
+# ----------------------------------------------------------------------
+def iter_process_functions(
+    module: Module,
+) -> Iterator[tuple[str, str, FunctionSource]]:
+    """Yield ``(name, kind, source)`` for every process of *module* and
+    every behavioral helper transitively reachable from one.
+
+    ``kind`` is ``"thread"``, ``"cmethod"`` or ``"helper"``.  Helpers are
+    yielded once even when several threads use them.
+    """
+    seen_helpers: set[str] = set()
+    queue: list[tuple[str, ast.AST | None]] = []
+    for process in module.processes:
+        source = load_function(process.body)
+        if source is None:
+            continue
+        kind = "thread" if isinstance(process, CThread) else "cmethod"
+        short = process.name.rsplit(".", 1)[-1]
+        yield short, kind, source
+        for name, node in _helper_names(source.funcdef):
+            if name not in seen_helpers:
+                seen_helpers.add(name)
+                queue.append((name, node))
+    while queue:
+        name, _node = queue.pop(0)
+        func = getattr(module, name, None)
+        if func is None or not callable(func):
+            continue  # reported as OSS116 by check_module_subset
+        source = load_function(func)
+        if source is None:
+            continue
+        yield name, "helper", source
+        for inner, node in _helper_names(source.funcdef):
+            if inner not in seen_helpers:
+                seen_helpers.add(inner)
+                queue.append((inner, node))
+
+
+def _helper_names(funcdef: ast.FunctionDef) -> list[tuple[str, ast.AST]]:
+    found = []
+    for node in ast.walk(funcdef):
+        if isinstance(node, ast.YieldFrom) \
+                and isinstance(node.value, ast.Call):
+            call = node.value
+            if _match_port_call(call) is None:
+                name = _match_self_call(call)
+                if name is not None:
+                    found.append((name, node))
+    return found
+
+
+def check_module_subset(collector: DiagnosticCollector,
+                        module: Module) -> dict[str, set[str]]:
+    """Check every process (and helper) of one module.
+
+    Returns the port-usage map ``{port_attr: {process names}}`` used by the
+    shared-object pass for the one-port-per-process rule.
+    """
+    port_users: dict[str, set[str]] = {}
+    helper_results: dict[str, FunctionCheck] = {}
+    process_results: list[tuple[str, str, FunctionCheck]] = []
+    for name, kind, source in iter_process_functions(module):
+        register_suppressions(source, collector.suppressions)
+        where = f"{module.full_name}.{name}"
+        checker = _FunctionChecker(collector, source, where, kind)
+        result = checker.check(source.funcdef)
+        if kind == "thread" and not contains_yield(source.funcdef):
+            collector.emit(
+                "OSS103",
+                "clocked thread never reaches a wait (no yield)",
+                where=where, file=source.file, node=source.funcdef,
+            )
+        if kind == "helper":
+            helper_results[name] = result
+        else:
+            process_results.append((name, kind, result))
+        for helper, node in result.helper_calls:
+            func = getattr(module, helper, None)
+            if func is None or not callable(func):
+                collector.emit(
+                    "OSS116",
+                    f"module has no behavioral helper {helper!r}",
+                    where=where, file=source.file, node=node,
+                )
+    # Helper recursion (a helper reachable from itself) deadlocks the
+    # continuation splice in the FSM builder.
+    graph = {
+        name: {callee for callee, _ in result.helper_calls}
+        for name, result in helper_results.items()
+    }
+    for name in sorted(_cycle_members(graph)):
+        collector.emit(
+            "OSS201",
+            f"behavioral helper {name!r} is recursive",
+            where=f"{module.full_name}.{name}",
+        )
+    # Port usage, attributing helper calls to every process that can
+    # reach the helper.
+    for name, kind, result in process_results:
+        attrs = {attr for attr, _ in result.port_calls}
+        reached: set[str] = set()
+        frontier = [callee for callee, _ in result.helper_calls]
+        while frontier:
+            helper = frontier.pop()
+            if helper in reached or helper not in helper_results:
+                continue
+            reached.add(helper)
+            helper_result = helper_results[helper]
+            attrs.update(attr for attr, _ in helper_result.port_calls)
+            frontier.extend(c for c, _ in helper_result.helper_calls)
+        for attr in attrs:
+            port_users.setdefault(attr, set()).add(name)
+    return port_users
+
+
+def _cycle_members(graph: dict[str, set[str]]) -> set[str]:
+    """Names participating in (or reaching) a call cycle of *graph*."""
+    members: set[str] = set()
+
+    def visit(name: str, stack: tuple[str, ...]) -> None:
+        if name in stack:
+            members.update(stack[stack.index(name):])
+            return
+        for callee in graph.get(name, ()):
+            visit(callee, stack + (name,))
+
+    for name in graph:
+        visit(name, ())
+    return members
+
+
+# ----------------------------------------------------------------------
+# hardware-class methods
+# ----------------------------------------------------------------------
+def user_methods(cls: type) -> list[str]:
+    """The user-defined (synthesized) method names of a hardware class."""
+    return sorted(
+        name
+        for name in dir(cls)
+        if not name.startswith("_")
+        and callable(getattr(cls, name, None))
+        and name not in _NON_USER_METHODS
+    )
+
+
+def check_hw_class(collector: DiagnosticCollector, cls: type,
+                   *, guarded: bool = False) -> None:
+    """Check every user method of hardware class *cls*.
+
+    ``guarded=True`` marks classes living behind a shared-object arbiter:
+    a call cycle there self-deadlocks the arbiter (OSS303) instead of
+    merely being unsynthesizable recursion (OSS201).
+    """
+    methods = user_methods(cls)
+    graph: dict[str, set[str]] = {}
+    locations: dict[str, tuple[str | None, int | None]] = {}
+    for name in methods:
+        func = getattr(cls, name)
+        source = load_function(func)
+        if source is None:
+            continue
+        register_suppressions(source, collector.suppressions)
+        where = f"{cls.__name__}.{name}"
+        locations[name] = (source.file, source.funcdef.lineno)
+        checker = _FunctionChecker(collector, source, where, "hwmethod")
+        checker.check(source.funcdef)
+        calls: set[str] = set()
+        for node in ast.walk(source.funcdef):
+            if isinstance(node, ast.Call):
+                callee = _match_self_call(node)
+                if callee is not None and callee in methods:
+                    calls.add(callee)
+        graph[name] = calls
+    for name in sorted(_cycle_members(graph)):
+        file, line = locations.get(name, (None, None))
+        if guarded:
+            collector.emit(
+                "OSS303",
+                f"{cls.__name__}.{name} participates in a call cycle "
+                "inside a shared object; the arbiter serves one call at a "
+                "time, so the inner call deadlocks",
+                where=f"{cls.__name__}.{name}", file=file, line=line,
+            )
+        else:
+            collector.emit(
+                "OSS201",
+                f"{cls.__name__}.{name} participates in a recursive call "
+                "cycle",
+                where=f"{cls.__name__}.{name}", file=file, line=line,
+            )
+
+
+def design_hw_classes(top: Module) -> dict[type, bool]:
+    """All hardware classes of the design: ``{class: is_guarded}``."""
+    classes: dict[type, bool] = {}
+    for module in top.iter_modules():
+        for value in vars(module).values():
+            if isinstance(value, HwClass):
+                classes.setdefault(type(value), False)
+            elif isinstance(value, SharedObject):
+                classes[type(value.instance)] = True
+            elif isinstance(value, ClientPort):
+                classes[type(value.owner.instance)] = True
+    return classes
+
+
+def check_design_subset(collector: DiagnosticCollector,
+                        top: Module) -> dict[Module, dict[str, set[str]]]:
+    """Subset-check every module and hardware class of the design.
+
+    Returns the per-module port-usage maps for the shared-object pass.
+    """
+    usage: dict[Module, dict[str, set[str]]] = {}
+    for module in top.iter_modules():
+        usage[module] = check_module_subset(collector, module)
+    for cls, guarded in design_hw_classes(top).items():
+        check_hw_class(collector, cls, guarded=guarded)
+    return usage

@@ -11,12 +11,42 @@ without writing a script:
 ``resolve``   print the Fig. 7 procedural intermediate of the paper's
               SyncRegister example.
 ``effort``    print the E8 effort-metric table.
+``lint``      run the standalone OSSS analyzer (fail-slow diagnostics;
+              text, JSON or SARIF output).
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
+
+
+def _default_design():
+    from repro.expocu import ExpoCU
+    from repro.hdl import Clock, NS, Signal
+    from repro.types import Bit
+    from repro.types.spec import bit
+
+    return ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
+                          Signal("rst", bit(), Bit(1)))
+
+
+def _load_design(spec: str):
+    """Build a design from a ``pkg.module:callable`` factory spec."""
+    module_name, _, attr = spec.partition(":")
+    if not attr:
+        raise SystemExit(
+            f"--design must look like 'pkg.module:factory', got {spec!r}"
+        )
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise SystemExit(f"cannot import {module_name!r}: {exc}") from exc
+    factory = getattr(module, attr, None)
+    if factory is None:
+        raise SystemExit(f"{module_name!r} has no attribute {attr!r}")
+    return factory() if callable(factory) else factory
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -48,18 +78,26 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_warnings(diagnostics) -> int:
+    """Print warning diagnostics; returns how many there were."""
+    warnings = [d for d in diagnostics if d.severity == "warning"]
+    for diag in warnings:
+        print(diag.render())
+    return len(warnings)
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
-    from repro.expocu import ExpoCU
-    from repro.hdl import Clock, NS, Signal
+    from repro.analyze import diagnostics_from_lint_report
+    from repro.rtl.lint import lint_module
     from repro.synth import synthesize
     from repro.synth.report import design_report
-    from repro.types import Bit
-    from repro.types.spec import bit
 
-    module = ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
-                            Signal("rst", bit(), Bit(1)))
+    module = _default_design()
     rtl = synthesize(module, observe_children=False)
     print(design_report(module, rtl))
+    warnings = _print_warnings(
+        diagnostics_from_lint_report(lint_module(rtl), "osss")
+    )
     if args.verilog:
         from repro.rtl.verilog import to_verilog
 
@@ -79,6 +117,9 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             handle.write(netlist_stats_comment(circuit))
             handle.write(to_structural_verilog(circuit))
         print(f"structural netlist written to {args.netlist}")
+    if warnings and args.strict:
+        print(f"strict mode: {warnings} lint warning(s)")
+        return 1
     return 0
 
 
@@ -90,18 +131,41 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         run_osss_flow,
         run_vhdl_flow,
     )
-    from repro.expocu import ExpoCU
-    from repro.hdl import Clock, NS, Signal
-    from repro.types import Bit
-    from repro.types.spec import bit
 
-    osss = run_osss_flow(
-        ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
-                       Signal("rst", bit(), Bit(1))), "osss")
+    osss = run_osss_flow(_default_design(), "osss")
     vhdl = run_vhdl_flow(expocu_rtl(), "vhdl")
     print(flow_comparison(osss, vhdl))
     print()
     print(module_inventory(osss))
+    warnings = _print_warnings(osss.diagnostics + vhdl.diagnostics)
+    if warnings and args.strict:
+        print(f"strict mode: {warnings} lint warning(s)")
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analyze import analyze_design
+    from repro.analyze.emit import RENDERERS
+
+    design = (_load_design(args.design) if args.design
+              else _default_design())
+    diagnostics = analyze_design(
+        design, design_lints=not args.no_design_lints
+    )
+    rendered = RENDERERS[args.format](diagnostics)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = len(diagnostics) - errors
+    if errors:
+        return 1
+    if warnings and args.strict:
+        return 1
     return 0
 
 
@@ -138,10 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
     synth = sub.add_parser("synth", help="synthesize the ExpoCU")
     synth.add_argument("--verilog", help="write behavioral Verilog here")
     synth.add_argument("--netlist", help="write structural netlist here")
+    synth.add_argument("--strict", action="store_true",
+                       help="exit non-zero on lint warnings")
     synth.set_defaults(func=_cmd_synth)
 
     flows = sub.add_parser("flows", help="both flows, §12 comparison")
+    flows.add_argument("--strict", action="store_true",
+                       help="exit non-zero on lint warnings")
     flows.set_defaults(func=_cmd_flows)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis (fail-slow OSSS analyzer)"
+    )
+    lint.add_argument(
+        "--design", metavar="PKG.MOD:FACTORY",
+        help="design factory to analyze (default: the ExpoCU top)",
+    )
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", help="output format")
+    lint.add_argument("--output", help="write the report here")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit non-zero on warnings too")
+    lint.add_argument("--no-design-lints", action="store_true",
+                      help="skip the RTL4xx design lints")
+    lint.set_defaults(func=_cmd_lint)
 
     resolve = sub.add_parser("resolve",
                              help="Fig. 7 intermediate of SyncRegister")

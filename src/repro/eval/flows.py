@@ -15,6 +15,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.analyze import (
+    AnalysisError,
+    Diagnostic,
+    analyze_design,
+    diagnostics_from_lint_report,
+)
 from repro.hdl.module import Module
 from repro.netlist.area import AreaReport, total_area
 from repro.netlist.circuit import Circuit
@@ -24,6 +30,7 @@ from repro.netlist.pnr import Placement, place
 from repro.netlist.sta import TimingReport, analyze
 from repro.netlist.techmap import map_module
 from repro.rtl.ir import RtlModule
+from repro.rtl.lint import lint_module
 from repro.synth.modulegen import synthesize
 
 
@@ -32,13 +39,16 @@ class FlowResult:
 
     def __init__(self, name: str, rtl: RtlModule, circuit: Circuit,
                  timing: TimingReport, placement: Placement,
-                 timing_routed: TimingReport) -> None:
+                 timing_routed: TimingReport,
+                 diagnostics: list[Diagnostic] | None = None) -> None:
         self.name = name
         self.rtl = rtl
         self.circuit = circuit
         self.timing = timing
         self.placement = placement
         self.timing_routed = timing_routed
+        #: Analyzer findings plus RTL lint warnings gathered by the flow.
+        self.diagnostics: list[Diagnostic] = list(diagnostics or [])
 
     @property
     def area(self) -> float:
@@ -76,24 +86,40 @@ class FlowResult:
                 f"fmax={self.fmax_mhz:.0f}MHz)")
 
 
-def _finish(name: str, rtl: RtlModule, circuit: Circuit) -> FlowResult:
+def _finish(name: str, rtl: RtlModule, circuit: Circuit,
+            diagnostics: list[Diagnostic] | None = None) -> FlowResult:
     optimize(circuit)
     timing = analyze(circuit)
     placement = place(circuit)
     timing_routed = analyze(circuit, placement.wire_delays())
-    return FlowResult(name, rtl, circuit, timing, placement, timing_routed)
+    return FlowResult(name, rtl, circuit, timing, placement, timing_routed,
+                      diagnostics)
 
 
-def run_osss_flow(module: Module, name: str = "osss") -> FlowResult:
-    """OSSS source → analyzer/synthesizer → behavioral FSMs → gates."""
+def run_osss_flow(module: Module, name: str = "osss",
+                  analyze_first: bool = True) -> FlowResult:
+    """OSSS source → analyzer/synthesizer → behavioral FSMs → gates.
+
+    The analyzer gate (paper Fig. 6) runs before synthesis: when it finds
+    errors the flow stops with :class:`AnalysisError` carrying *all* of
+    them; its warnings ride along on :attr:`FlowResult.diagnostics`.
+    """
+    diagnostics: list[Diagnostic] = []
+    if analyze_first:
+        diagnostics = analyze_design(module)
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if errors:
+            raise AnalysisError(diagnostics)
     rtl = synthesize(module, observe_children=False)
+    diagnostics += diagnostics_from_lint_report(lint_module(rtl), name)
     circuit = map_module(rtl)
-    return _finish(name, rtl, circuit)
+    return _finish(name, rtl, circuit, diagnostics)
 
 
 def run_rtl(rtl: RtlModule, name: str = "rtl",
             ip_library: dict[str, Circuit] | None = None) -> FlowResult:
     """RTL (hand-written or pre-synthesized) → gates, linking IP."""
+    diagnostics = diagnostics_from_lint_report(lint_module(rtl), name)
     circuit = map_module(rtl)
     if circuit.blackboxes:
         if ip_library is None:
@@ -101,7 +127,7 @@ def run_rtl(rtl: RtlModule, name: str = "rtl",
 
             ip_library = default_ips()
         link(circuit, ip_library)
-    return _finish(name, rtl, circuit)
+    return _finish(name, rtl, circuit, diagnostics)
 
 
 def run_vhdl_flow(rtl: RtlModule, name: str = "vhdl") -> FlowResult:

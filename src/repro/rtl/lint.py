@@ -8,8 +8,8 @@ ours reports so the area comparison stays honest).
 
 from __future__ import annotations
 
-from repro.rtl.ir import Expr, Read, Register, RtlModule
-from repro.rtl.simulate import CombinationalLoopError, RtlSimulator
+from repro.rtl.ir import Expr, Read, RtlModule
+from repro.rtl.simulate import RtlSimulator
 
 
 class LintReport:
@@ -61,15 +61,7 @@ def lint_module(module: RtlModule) -> LintReport:
     by a zero-cycle evaluation of the whole tree).
     """
     module.validate()
-    # A single output evaluation visits every expression cone and trips the
-    # simulator's in-progress loop detector on combinational cycles.
-    sim = RtlSimulator(module)
-    try:
-        sim.peek_outputs()
-        for reg, _ in sim._registers:
-            reg.next.evaluate(sim._make_valuation())
-    except CombinationalLoopError:
-        raise
+    RtlSimulator(module).check_no_comb_loops()
 
     report = LintReport()
     reads = _reads_in(module)

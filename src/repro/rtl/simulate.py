@@ -148,6 +148,20 @@ class RtlSimulator:
             for name, expr in self.module.outputs.items()
         }
 
+    def check_no_comb_loops(self) -> None:
+        """Evaluate every expression cone once to prove it is acyclic.
+
+        Visits all top-level outputs and every register's next-value
+        expression; a combinational cycle anywhere in the hierarchy trips
+        the in-progress detector and raises
+        :class:`CombinationalLoopError`.  State is not modified.
+        """
+        valuation = self._make_valuation()
+        for expr in self.module.outputs.values():
+            expr.evaluate(valuation)
+        for reg, _ in self._registers:
+            reg.next.evaluate(valuation)
+
     def step(self, **inputs: int) -> dict[str, int]:
         """Advance one clock cycle.
 

@@ -193,7 +193,8 @@ class FsmBuilder:
             raise SynthesisError(
                 f"{self.ctx.process_name}: state explosion "
                 f"(> {self.MAX_STATES} states); check compile-time locals "
-                "carried across waits"
+                "carried across waits",
+                code="OSS103",
             )
         state = FsmState(len(self.fsm.states))
         self.fsm.states.append(state)
@@ -254,7 +255,8 @@ class FsmBuilder:
             if self._steps > self.MAX_STEPS:
                 raise SynthesisError(
                     f"{self.ctx.process_name}: execution does not reach a "
-                    "wait (loop without yield?)"
+                    "wait (loop without yield?)",
+                    code="OSS103",
                 )
             if cont is None:
                 # Thread body finished: park in a terminal state.
@@ -323,7 +325,7 @@ class FsmBuilder:
         if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Yield):
             if stmt.value.value is not None:
                 raise SynthesisError("yield must carry no value (it is "
-                                     "wait())", stmt)
+                                     "wait())", stmt, code="OSS108")
             self._finalize(state, guards, env, rest)
             return _PATH_DONE
         # Shared-object access or behavioral helper call (yield from).
@@ -337,7 +339,7 @@ class FsmBuilder:
                 if call.func.attr != "call":
                     raise SynthesisError(
                         "shared ports are accessed as port.call('m', ...)",
-                        stmt,
+                        stmt, code="OSS302",
                     )
                 self._start_shared(stmt, (target, call), receiver, rest,
                                    env, guards, state)
@@ -369,7 +371,8 @@ class FsmBuilder:
                     self.interp.eval(stmt.value, env)
                 return frame.parent
             if stmt.value is not None:
-                raise SynthesisError("processes cannot return values", stmt)
+                raise SynthesisError("processes cannot return values", stmt,
+                                     code="OSS109")
             writes, _ = self._collect_writes(env)
             self._emit(state, guards, writes, self._terminal_state())
             return _PATH_DONE
@@ -384,7 +387,8 @@ class FsmBuilder:
         # Anything else is wait-free: run it symbolically.
         result = self.interp.exec_stmt(stmt, env, tail=False)
         if isinstance(result, ReturnValue):
-            raise SynthesisError("processes cannot return values", stmt)
+            raise SynthesisError("processes cannot return values", stmt,
+                                     code="OSS109")
         return rest
 
     def _loop_exit(self, stmt: ast.stmt, cont: _Frame | None, kind: str):
@@ -396,7 +400,8 @@ class FsmBuilder:
                 break
             frame = frame.parent
         if frame is None:
-            raise SynthesisError(f"{kind} outside a loop", stmt)
+            raise SynthesisError(f"{kind} outside a loop", stmt,
+                                 code="OSS101")
         if kind == "continue":
             return frame
         return frame.parent
@@ -407,9 +412,10 @@ class FsmBuilder:
                 and isinstance(stmt.iter.func, ast.Name)
                 and stmt.iter.func.id == "range"):
             raise SynthesisError("for loops must iterate over constant "
-                                 "range(...)", stmt)
+                                 "range(...)", stmt, code="OSS104")
         if not isinstance(stmt.target, ast.Name):
-            raise SynthesisError("for target must be a simple name", stmt)
+            raise SynthesisError("for target must be a simple name", stmt,
+                                 code="OSS104")
         bounds = [
             self.interp.as_static_int(self.interp.eval(arg, env), stmt,
                                       "range bound")
@@ -428,7 +434,7 @@ class FsmBuilder:
                 "while loop iterates without reaching a wait (add a yield "
                 "inside the loop body, or make the bound compile-time "
                 "constant)",
-                node,
+                node, code="OSS103",
             )
         cond = self.interp.as_condition(self.interp.eval(node.test, env),
                                         node.test)
@@ -470,7 +476,7 @@ class FsmBuilder:
             if len(stmt.targets) != 1 or not isinstance(stmt.targets[0],
                                                         ast.Name):
                 raise SynthesisError("yield-from result must bind a simple "
-                                     "name", stmt)
+                                     "name", stmt, code="OSS108")
             target = stmt.targets[0].id
             call = stmt.value.value
         elif isinstance(stmt, ast.Expr) and isinstance(stmt.value,
@@ -483,7 +489,7 @@ class FsmBuilder:
             raise SynthesisError(
                 "yield from is only synthesizable as port.call(...) or "
                 "self.helper(...)",
-                stmt,
+                stmt, code="OSS108",
             )
         return (target, call)
 

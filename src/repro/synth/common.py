@@ -38,13 +38,34 @@ from repro.rtl.ir import Register
 
 
 class SynthesisError(ValueError):
-    """A construct outside the synthesizable subset (with location)."""
+    """A construct outside the synthesizable subset.
+
+    Carries structured fields so tooling (the static analyzer, the
+    ``repro lint`` gate) can classify the violation without parsing the
+    message:
+
+    ``code``
+        Stable diagnostic code (``OSS1xx`` subset, ``OSS2xx`` OO misuse,
+        ``OSS3xx`` shared-object hazards); the registry lives in
+        :mod:`repro.analyze.diagnostics`.
+    ``where``
+        The process/method context the violation was found in.
+    ``lineno``
+        Source line of the offending AST node, when known.
+
+    ``str()`` keeps the historical pre-formatted shape
+    (``"where: message (line N)"``) for backward compatibility.
+    """
 
     def __init__(self, message: str, node: ast.AST | None = None,
-                 where: str = "") -> None:
-        location = ""
+                 where: str = "", code: str = "OSS100") -> None:
+        self.message = message
+        self.code = code
+        self.where = where
+        self.lineno: int | None = None
         if node is not None and hasattr(node, "lineno"):
-            location = f" (line {node.lineno})"
+            self.lineno = node.lineno
+        location = f" (line {self.lineno})" if self.lineno is not None else ""
         prefix = f"{where}: " if where else ""
         super().__init__(f"{prefix}{message}{location}")
 

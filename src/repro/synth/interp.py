@@ -153,11 +153,12 @@ class Interpreter:
                 except TypeError:
                     raise SynthesisError(
                         f"cannot use constant {value!r} as hardware value",
-                        node,
+                        node, code="OSS102",
                     )
             if value < 0 and spec.kind not in ("signed", "fixed"):
                 raise SynthesisError(
-                    f"negative constant {value} for {spec.describe()}", node
+                    f"negative constant {value} for {spec.describe()}", node,
+                    code="OSS102",
                 )
             return Const(spec, value & ((1 << spec.width) - 1))
         if isinstance(binding, Expr):
@@ -165,14 +166,14 @@ class Interpreter:
                 raise SynthesisError(
                     f"width mismatch: expression is {binding.spec.width} "
                     f"bits, target is {spec.describe()}; use .resized()",
-                    node,
+                    node, code="OSS111",
                 )
             if binding.spec != spec:
                 return Resize(binding, spec)
             return binding
         if isinstance(binding, Undefined):
             raise SynthesisError(
-                "value may be undefined on some path", node
+                "value may be undefined on some path", node, code="OSS112"
             )
         raise SynthesisError(
             f"cannot use {binding!r} as a hardware value", node
@@ -212,7 +213,7 @@ class Interpreter:
         except RecursionError:
             raise SynthesisError(
                 "expression grows without bound; is a loop missing a "
-                "yield (wait)?"
+                "yield (wait)?", code="OSS103"
             )
         return Const(expr.spec, raw)
 
@@ -229,9 +230,10 @@ class Interpreter:
             raise SynthesisError(
                 "condition must be 1 bit; compare explicitly "
                 "(e.g. x.ne(0) / x != 0)",
-                node,
+                node, code="OSS110",
             )
-        raise SynthesisError(f"invalid condition {binding!r}", node)
+        raise SynthesisError(f"invalid condition {binding!r}", node,
+                             code="OSS110")
 
     @staticmethod
     def as_static_int(binding: Binding, node: ast.AST, what: str) -> int:
@@ -250,7 +252,8 @@ class Interpreter:
         slot = handle.layout.slots.get(name)
         if slot is None:
             raise SynthesisError(
-                f"{handle.cls.__name__} has no member {name!r}", node
+                f"{handle.cls.__name__} has no member {name!r}", node,
+                code="OSS204",
             )
         state = self.object_state(env, handle)
         if slot.offset == 0 and slot.width == state.width:
@@ -266,7 +269,8 @@ class Interpreter:
         slot = handle.layout.slots.get(name)
         if slot is None:
             raise SynthesisError(
-                f"{handle.cls.__name__} has no member {name!r}", node
+                f"{handle.cls.__name__} has no member {name!r}", node,
+                code="OSS204",
             )
         expr = self.materialize(value, slot.spec, node)
         state = self.object_state(env, handle)
@@ -294,7 +298,7 @@ class Interpreter:
         if method is None:
             raise SynthesisError(
                 f"{type(node).__name__} is outside the synthesizable subset",
-                node,
+                node, code="OSS101",
             )
         return method(node, env)
 
@@ -303,7 +307,8 @@ class Interpreter:
         if isinstance(node.value, (int, bool, str)) or node.value is None:
             return Static(node.value)
         raise SynthesisError(
-            f"constant {node.value!r} is not synthesizable", node
+            f"constant {node.value!r} is not synthesizable", node,
+            code="OSS102",
         )
 
     def _eval_Name(self, node: ast.Name, env: PathEnv) -> Binding:
@@ -312,7 +317,8 @@ class Interpreter:
             value = env.locals[name]
             if isinstance(value, Undefined):
                 raise SynthesisError(
-                    f"{name!r} may be undefined on some path", node
+                    f"{name!r} may be undefined on some path", node,
+                    code="OSS112",
                 )
             return value
         if name == "self":
@@ -325,7 +331,7 @@ class Interpreter:
         scope = self.ctx.static_scope()
         if name in scope:
             return Static(scope[name])
-        raise SynthesisError(f"unknown name {name!r}", node)
+        raise SynthesisError(f"unknown name {name!r}", node, code="OSS116")
 
     def _eval_Attribute(self, node: ast.Attribute, env: PathEnv) -> Binding:
         base = self.eval(node.value, env)
@@ -340,7 +346,7 @@ class Interpreter:
             raise SynthesisError(
                 f"PolyVar({base.poly.base.__name__}) has no interface "
                 f"method {attr!r}",
-                node,
+                node, code="OSS207",
             )
         if isinstance(base, ObjectHandle):
             if attr in base.layout.slots:
@@ -379,7 +385,8 @@ class Interpreter:
         if isinstance(base, (SignalRef, SharedPortRef)):
             # e.g. self.port.read — handled in Call; expose as bound pair
             return Static(("sigmethod", base, attr))
-        raise SynthesisError(f"cannot access attribute {attr!r}", node)
+        raise SynthesisError(f"cannot access attribute {attr!r}", node,
+                             code="OSS116")
 
     # ---------------- operators ----------------
     _BIN_OPS = {
@@ -399,7 +406,8 @@ class Interpreter:
             return self._divmod(node, left, right)
         if op_type not in self._BIN_OPS:
             raise SynthesisError(
-                f"operator {op_type.__name__} is not synthesizable", node
+                f"operator {op_type.__name__} is not synthesizable", node,
+                code="OSS101",
             )
         a = self.as_expr(left, node, like=right if isinstance(right, Expr) else None)
         b = self.as_expr(right, node, like=a)
@@ -419,7 +427,7 @@ class Interpreter:
         if fn is None:
             raise SynthesisError(
                 f"operator {type(node.op).__name__} is not synthesizable",
-                node,
+                node, code="OSS101",
             )
         return Static(fn(a, b))
 
@@ -440,13 +448,13 @@ class Interpreter:
             raise SynthesisError(
                 "division/modulo only by constant powers of two is "
                 "synthesizable; use a sequential divider otherwise",
-                node,
+                node, code="OSS105",
             )
         if a.spec.kind in ("signed", "fixed"):
             raise SynthesisError(
                 "signed //, % are not synthesizable (floor vs shift "
                 "semantics differ); convert to unsigned first",
-                node,
+                node, code="OSS105",
             )
         shift = divisor.bit_length() - 1
         if isinstance(node.op, ast.FloorDiv):
@@ -462,14 +470,14 @@ class Interpreter:
     def _eval_Compare(self, node: ast.Compare, env: PathEnv) -> Binding:
         if len(node.ops) != 1:
             raise SynthesisError("chained comparisons are not synthesizable",
-                                 node)
+                                 node, code="OSS106")
         left = self.eval(node.left, env)
         right = self.eval(node.comparators[0], env)
         op_name = self._CMP_OPS.get(type(node.ops[0]))
         if op_name is None:
             raise SynthesisError(
                 f"comparison {type(node.ops[0]).__name__} not synthesizable",
-                node,
+                node, code="OSS101",
             )
         if isinstance(left, Static) and isinstance(right, Static):
             import operator as op
@@ -555,7 +563,7 @@ class Interpreter:
         if isinstance(node.op, ast.Invert):
             return UnaryOp("invert", expr)
         raise SynthesisError("unary + is not synthesizable on hardware "
-                             "values", node)
+                             "values", node, code="OSS101")
 
     def _eval_IfExp(self, node: ast.IfExp, env: PathEnv) -> Binding:
         cond = self.as_condition(self.eval(node.test, env), node.test)
@@ -575,7 +583,8 @@ class Interpreter:
             if isinstance(index, Static):
                 args = index.value
                 return Static(base.value[args])
-            raise SynthesisError("template arguments must be constants", node)
+            raise SynthesisError("template arguments must be constants",
+                                     node, code="OSS205")
         if isinstance(base, Static) and isinstance(index, Static):
             return Static(base.value[index.value])
         expr = self.as_expr(base, node)
@@ -589,7 +598,7 @@ class Interpreter:
         if all(isinstance(v, Static) for v in values):
             return Static(tuple(v.value for v in values))
         raise SynthesisError("tuples of hardware values are not "
-                             "synthesizable", node)
+                             "synthesizable", node, code="OSS113")
 
     # ==================================================================
     # calls
@@ -597,7 +606,7 @@ class Interpreter:
     def _eval_Call(self, node: ast.Call, env: PathEnv) -> Binding:
         if node.keywords:
             raise SynthesisError("keyword arguments are not synthesizable",
-                                 node)
+                                 node, code="OSS107")
         func = self.eval(node.func, env)
         args = [self.eval(arg, env) for arg in node.args]
         return self.apply(func, args, env, node)
@@ -690,7 +699,7 @@ class Interpreter:
         raise SynthesisError(
             "bool()/int() of multi-bit values is ambiguous; use "
             ".reduce_or() or an explicit comparison",
-            node,
+            node, code="OSS110",
         )
 
     def _construct(self, target: type, args: list[Binding], env: PathEnv,
@@ -726,14 +735,14 @@ class Interpreter:
             raise SynthesisError(
                 "constructing a hardware value from a dynamic expression "
                 "of different width is not synthesizable; use .resized()",
-                node,
+                node, code="OSS111",
             )
         if isinstance(target, type) and issubclass(target, HwClass):
             if args:
                 raise SynthesisError(
                     "hardware-class constructors take no arguments "
                     "(parameterize with templates)",
-                    node,
+                    node, code="OSS203",
                 )
             handle = self.ctx.new_local_object(target, node)
             instance = target()
@@ -746,7 +755,7 @@ class Interpreter:
         raise SynthesisError(
             f"constructor {getattr(target, '__name__', target)!r} is not "
             "synthesizable",
-            node,
+            node, code="OSS203",
         )
 
     # -------------- value methods on expressions --------------
@@ -766,7 +775,7 @@ class Interpreter:
         raise SynthesisError(
             "shared-object ports are only usable as "
             "'result = yield from port.call(...)'",
-            node,
+            node, code="OSS302",
         )
 
     _VALUE_METHODS = {
@@ -784,13 +793,13 @@ class Interpreter:
             raise SynthesisError(f"cannot call method on {base!r}", node)
         if name in ("copy",):
             raise SynthesisError("object copy() is not synthesizable inside "
-                                 "processes", node)
+                                 "processes", node, code="OSS204")
         key = (base.cls, name)
         if key in self._call_stack:
             raise SynthesisError(
                 f"recursive call of {base.cls.__name__}.{name} is not "
                 "synthesizable",
-                node,
+                node, code="OSS201",
             )
         info = self.ctx.library.method(base.cls, name)
         defaults = info.defaults()
@@ -924,7 +933,7 @@ class Interpreter:
                 raise SynthesisError(
                     "wait() inside a class method or combinational method "
                     "is not synthesizable",
-                    stmt,
+                    stmt, code="OSS202",
                 )
             self.eval(stmt.value, env)
             return None
@@ -934,7 +943,7 @@ class Interpreter:
         if isinstance(stmt, ast.AnnAssign):
             if stmt.value is None:
                 raise SynthesisError("declarations need an initializer",
-                                     stmt)
+                                     stmt, code="OSS101")
             self._do_assign([stmt.target], stmt.value, env, stmt)
             return None
         if isinstance(stmt, ast.AugAssign):
@@ -953,11 +962,11 @@ class Interpreter:
         if isinstance(stmt, ast.While):
             raise SynthesisError(
                 "while loops without wait() are not synthesizable here",
-                stmt,
+                stmt, code="OSS103",
             )
         raise SynthesisError(
             f"{type(stmt).__name__} is outside the synthesizable subset",
-            stmt,
+            stmt, code="OSS101",
         )
 
     @staticmethod
@@ -976,7 +985,7 @@ class Interpreter:
                    pre_evaluated: Binding | None = None) -> None:
         if len(targets) != 1:
             raise SynthesisError("chained assignment is not synthesizable",
-                                 stmt)
+                                 stmt, code="OSS101")
         target = targets[0]
         value = (pre_evaluated if pre_evaluated is not None
                  else self.eval(value_node, env))
@@ -994,7 +1003,8 @@ class Interpreter:
                     "synthesizable; use a signal",
                     stmt,
                 )
-        raise SynthesisError("unsupported assignment target", stmt)
+        raise SynthesisError("unsupported assignment target", stmt,
+                             code="OSS101")
 
     def _assign_local(self, name: str, value: Binding, env: PathEnv,
                       stmt: ast.stmt) -> None:
@@ -1014,7 +1024,7 @@ class Interpreter:
                     f"local {name!r} changes width "
                     f"({previous.spec.width} -> {value.spec.width}); "
                     "use .resized() to keep a fixed register width",
-                    stmt,
+                    stmt, code="OSS111",
                 )
             value = Resize(value, previous.spec)
         env.locals[name] = value
@@ -1036,7 +1046,7 @@ class Interpreter:
         if (then_ret is None) != (else_ret is None):
             raise SynthesisError(
                 "either both or neither branch of a dynamic if may return",
-                stmt,
+                stmt, code="OSS109",
             )
         self.merge_into(env, cond, then_env, else_env, stmt)
         if then_ret is not None:
@@ -1044,7 +1054,7 @@ class Interpreter:
                 raise SynthesisError(
                     "returning inside a dynamic if is only synthesizable in "
                     "tail position",
-                    stmt,
+                    stmt, code="OSS109",
                 )
             a = self.as_expr(then_ret.binding, stmt,
                              like=else_ret.binding
@@ -1114,10 +1124,11 @@ class Interpreter:
                     f"local {name!r} holds different compile-time constants "
                     "on the two branches; assign typed hardware values "
                     "instead",
-                    stmt,
+                    stmt, code="OSS112",
                 )
             raise SynthesisError(
-                f"local {name!r} diverges at a dynamic branch", stmt
+                f"local {name!r} diverges at a dynamic branch", stmt,
+                code="OSS112",
             )
         if isinstance(a, ObjectHandle) and isinstance(b, ObjectHandle):
             if a.carrier.uid == b.carrier.uid:
@@ -1125,7 +1136,7 @@ class Interpreter:
             raise SynthesisError(
                 f"object variable {name!r} binds different objects on the "
                 "two branches",
-                stmt,
+                stmt, code="OSS112",
             )
         a_expr = self.as_expr(a, stmt, like=b if isinstance(b, Expr) else None)
         b_expr = self.as_expr(b, stmt, like=a_expr)
@@ -1138,10 +1149,12 @@ class Interpreter:
                 and isinstance(stmt.iter.func, ast.Name)
                 and stmt.iter.func.id == "range"):
             raise SynthesisError(
-                "for loops must iterate over constant range(...)", stmt
+                "for loops must iterate over constant range(...)", stmt,
+                code="OSS104",
             )
         if not isinstance(stmt.target, ast.Name):
-            raise SynthesisError("for target must be a simple name", stmt)
+            raise SynthesisError("for target must be a simple name", stmt,
+                                 code="OSS104")
         bounds = [
             self.as_static_int(self.eval(arg, env), stmt, "range bound")
             for arg in stmt.iter.args
@@ -1151,13 +1164,13 @@ class Interpreter:
             raise SynthesisError(
                 f"loop unrolls to {len(iterations)} iterations "
                 f"(limit {self.MAX_UNROLL})",
-                stmt,
+                stmt, code="OSS103",
             )
         for value in iterations:
             env.locals[stmt.target.id] = Static(value)
             result = self.exec_block(stmt.body, env)
             if result is not None:
                 raise SynthesisError("return inside a for loop is not "
-                                     "synthesizable", stmt)
+                                     "synthesizable", stmt, code="OSS109")
         if stmt.orelse:
             self.exec_block(stmt.orelse, env)

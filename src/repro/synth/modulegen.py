@@ -121,7 +121,7 @@ class ModuleContext:
             raise SynthesisError(
                 "reading the clock is not synthesizable; clocking is "
                 "implicit",
-                node,
+                node, code="OSS115",
             )
         reader = self._signal_reads.get(signal.uid)
         if reader is not None:
@@ -147,7 +147,7 @@ class ModuleContext:
             raise SynthesisError(
                 f"signal {signal.name!r} is driven by {writer!r} and "
                 f"{process_name!r}; a signal may have one driver",
-                node,
+                node, code="OSS114",
             )
         return carrier
 
@@ -244,7 +244,8 @@ class ProcessContext:
             value = getattr(module, name)
         except AttributeError:
             raise SynthesisError(
-                f"{module.full_name} has no attribute {name!r}", node
+                f"{module.full_name} has no attribute {name!r}", node,
+                code="OSS116",
             )
         if isinstance(value, Port):
             return SignalRef(value.signal, value.direction, name)
@@ -281,10 +282,12 @@ class ProcessContext:
                      node: ast.AST, interp: Interpreter) -> None:
         if ref.direction == "in":
             raise SynthesisError(
-                f"cannot write input port {ref.name!r}", node
+                f"cannot write input port {ref.name!r}", node,
+                code="OSS115",
             )
         if ref.direction == "clock":
-            raise SynthesisError("cannot write the clock", node)
+            raise SynthesisError("cannot write the clock", node,
+                                 code="OSS115")
         carrier = self.mctx.signal_writer_carrier(
             ref.signal, self.process_name, node
         )
@@ -304,7 +307,8 @@ class ProcessContext:
         elif reg.spec.width != spec.width:
             raise SynthesisError(
                 f"local {name!r} used with widths {reg.spec.width} and "
-                f"{spec.width}; keep one register width"
+                f"{spec.width}; keep one register width",
+                code="OSS111",
             )
         return reg
 
@@ -443,7 +447,8 @@ def assemble_fsm(mctx: ModuleContext, fsm: Fsm, reset: Expr | None,
         if carrier.next is not None:
             raise SynthesisError(
                 f"register {carrier.name!r} is written by more than one "
-                "process; use a shared object for shared state"
+                "process; use a shared object for shared state",
+                code="OSS114",
             )
         if uid in pulse_uids:
             default = lambda c=carrier: Const(c.spec, 0)
@@ -528,7 +533,8 @@ def synthesize(module: Module, session: SynthesisSession | None = None,
                 if existing[1] != short:
                     raise SynthesisError(
                         f"signal {sig.name!r} driven by both "
-                        f"{existing[1]!r} and {short!r}"
+                        f"{existing[1]!r} and {short!r}",
+                        code="OSS114",
                     )
                 continue
             if isinstance(process, CThread):
@@ -553,7 +559,7 @@ def synthesize(module: Module, session: SynthesisSession | None = None,
         result = interp.exec_block(tree.body, env)
         if result is not None:
             raise SynthesisError(f"{short}: combinational methods cannot "
-                                 "return values")
+                                 "return values", code="OSS206")
         own_wires = {
             carrier.uid
             for uid, (carrier, writer) in mctx._signal_writers.items()
@@ -564,14 +570,16 @@ def synthesize(module: Module, session: SynthesisSession | None = None,
             if not isinstance(carrier, WireCarrier):
                 raise SynthesisError(
                     f"{short}: combinational method wrote a registered "
-                    "carrier"
+                    "carrier",
+                    code="OSS206",
                 )
             _check_no_self_read(expr, own_wires, short)
             carrier.expr = expr
         if pctx._local_regs:
             raise SynthesisError(
                 f"{short}: combinational methods cannot hold state across "
-                "activations"
+                "activations",
+                code="OSS206",
             )
 
     # ---------------- clocked threads ----------------
@@ -663,7 +671,8 @@ def _check_no_self_read(expr: Expr, own_wire_uids: set[int],
         if isinstance(e, Read) and e.carrier.uid in own_wire_uids:
             raise SynthesisError(
                 f"{process}: combinational method reads a signal it also "
-                "writes (latch/feedback); use a local variable"
+                "writes (latch/feedback); use a local variable",
+                code="OSS206",
             )
         for child in e.children():
             visit(child)

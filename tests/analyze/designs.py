@@ -1,0 +1,112 @@
+"""Fixture designs for the analyzer tests.
+
+These live in a real module (not inside test function bodies built from
+strings) because the analyzer retrieves process sources with
+``inspect.getsourcelines``.  ``build()``/``build_clean()`` are factories
+for the CLI's ``--design pkg.mod:factory`` option.
+"""
+
+from repro.hdl import Clock, Input, Module, NS, Output, Signal
+from repro.osss import HwClass, SharedObject
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Alu(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"acc": unsigned(16)}
+
+    def mac(self, a, b):
+        self.acc = (self.acc + a * b).resized(16)
+        return self.acc
+
+
+class BadTrio(Module):
+    """Three independent violations for the fail-slow acceptance test:
+
+    * a float constant in ``one`` (subset break, OSS102);
+    * direct ``call_direct`` access to a shared object from both threads,
+      bypassing the arbiter (race, OSS301);
+    * a 16-bit product written to an 8-bit output in ``two``
+      (truncation, RTL401).
+    """
+
+    narrow = Output(unsigned(8))
+    level = Input(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.shared = SharedObject(f"{name}_alu", Alu())
+        self.cthread(self.one, clock=clk, reset=rst)
+        self.cthread(self.two, clock=clk, reset=rst)
+
+    def one(self):
+        gain = 0.5  # noqa: F841  -- float constant: subset break
+        yield
+        while True:
+            self.shared.call_direct("mac", Unsigned(8, 1), Unsigned(8, 2))
+            yield
+
+    def two(self):
+        yield
+        while True:
+            wide = self.level.read() * self.level.read()
+            self.narrow.write(wide)  # 16 bits into 8: truncation
+            self.shared.call_direct("mac", Unsigned(8, 3), Unsigned(8, 4))
+            yield
+
+
+class CleanCounter(Module):
+    """A small design the analyzer finds nothing wrong with."""
+
+    q = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        count = Unsigned(8, 0)
+        self.q.write(count)
+        yield
+        while True:
+            count = (count + 1).resized(8)
+            self.q.write(count)
+            yield
+
+
+class WarnOnly(Module):
+    """Only a width-truncation warning: clean unless ``--strict``."""
+
+    narrow = Output(unsigned(8))
+    level = Input(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        while True:
+            self.narrow.write(self.level.read() * self.level.read())
+            yield
+
+
+def _clkrst():
+    return Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+
+
+def build():
+    clk, rst = _clkrst()
+    return BadTrio("bad", clk, rst)
+
+
+def build_clean():
+    clk, rst = _clkrst()
+    return CleanCounter("clean", clk, rst)
+
+
+def build_warny():
+    clk, rst = _clkrst()
+    return WarnOnly("warny", clk, rst)

@@ -1,0 +1,106 @@
+"""Design-level lints: truncation, unused ports/signals, report folding."""
+
+from repro.analyze import analyze_design, diagnostics_from_lint_report
+from repro.hdl import Input, Module, Output, Signal
+from repro.rtl.lint import LintReport
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.analyze.util import clkrst, codes_of, thread_module
+
+
+class TestWidthTruncation:
+    def test_rtl401_product_written_to_narrow_port(self):
+        ports = {"level": Input(unsigned(8)), "narrow": Output(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                wide = self.level.read() * self.level.read()
+                self.narrow.write(wide)
+                yield
+
+        assert "RTL401" in codes_of(thread_module(run, ports))
+
+    def test_explicit_resize_is_clean(self):
+        ports = {"level": Input(unsigned(8)), "narrow": Output(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                wide = self.level.read() * self.level.read()
+                self.narrow.write(wide.resized(8))
+                yield
+
+        assert "RTL401" not in codes_of(thread_module(run, ports))
+
+    def test_unknown_width_does_not_fire(self):
+        ports = {"narrow": Output(unsigned(8))}
+
+        def helper_free(self):
+            yield
+            while True:
+                self.narrow.write(Unsigned(8, 0))
+                yield
+
+        assert "RTL401" not in codes_of(thread_module(helper_free, ports))
+
+
+class TestUnusedElements:
+    def test_rtl403_unreferenced_unbound_port(self):
+        ports = {"spare": Input(bit()), "q": Output(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                self.q.write(Unsigned(8, 1))
+                yield
+
+        diagnostics = analyze_design(thread_module(run, ports))
+        (diag,) = [d for d in diagnostics if d.code == "RTL403"]
+        assert "spare" in diag.message
+
+    def test_rtl405_unconnected_signal(self):
+        class Dangling(Module):
+            q = Output(bit())
+
+            def __init__(self, name, clk, rst):
+                super().__init__(name)
+                self.orphan = Signal("orphan", bit(), Bit(0))
+                self.cthread(self.run, clock=clk, reset=rst)
+
+            def run(self):
+                yield
+                while True:
+                    self.q.write(Bit(1))
+                    yield
+
+        clk, rst = clkrst()
+        diagnostics = analyze_design(Dangling("dut", clk, rst))
+        (diag,) = [d for d in diagnostics if d.code == "RTL405"]
+        assert "orphan" in diag.message
+
+    def test_referenced_port_not_flagged(self):
+        ports = {"q": Output(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                self.q.write(Unsigned(8, 1))
+                yield
+
+        assert "RTL403" not in codes_of(thread_module(run, ports))
+
+
+class TestLintReportFold:
+    def test_report_becomes_warning_diagnostics(self):
+        report = LintReport()
+        report.unused_inputs.append("spare")
+        report.unread_registers.append("stale")
+        diagnostics = diagnostics_from_lint_report(report, "osss")
+        assert [d.code for d in diagnostics] == ["RTL403", "RTL404"]
+        assert all(d.severity == "warning" for d in diagnostics)
+        assert all(d.where == "osss" for d in diagnostics)
+
+    def test_clean_report_yields_nothing(self):
+        assert diagnostics_from_lint_report(LintReport()) == []

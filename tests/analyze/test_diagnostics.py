@@ -1,0 +1,103 @@
+"""Tests for the diagnostic model: codes, rendering, suppressions."""
+
+import pytest
+
+from repro.analyze import RULES, Diagnostic, DiagnosticCollector, Suppressions
+from repro.synth import SynthesisError
+
+
+class TestRuleRegistry:
+    def test_every_code_has_severity_and_title(self):
+        for code, rule in RULES.items():
+            assert rule.code == code
+            assert rule.severity in ("error", "warning")
+            assert rule.title
+
+    def test_rtl4xx_are_warnings_oss_are_errors(self):
+        for code, rule in RULES.items():
+            expected = "warning" if code.startswith("RTL4") else "error"
+            assert rule.severity == expected, code
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("OSS999", "nope")
+
+    def test_render_with_location(self):
+        diag = Diagnostic("OSS103", "no wait", where="top.run",
+                          file="a.py", line=7)
+        assert diag.render() == "a.py:7: error OSS103: no wait [top.run]"
+
+    def test_render_without_location(self):
+        diag = Diagnostic("RTL403", "unused", where="top")
+        assert diag.render() == "<design>: warning RTL403: unused [top]"
+
+    def test_as_dict_round_trips_fields(self):
+        diag = Diagnostic("RTL401", "truncates", where="w", file="f.py",
+                          line=3)
+        assert diag.as_dict() == {
+            "code": "RTL401", "severity": "warning",
+            "message": "truncates", "where": "w", "file": "f.py", "line": 3,
+        }
+
+    def test_sort_orders_by_file_then_line(self):
+        first = Diagnostic("OSS101", "x", file="a.py", line=9)
+        second = Diagnostic("OSS101", "x", file="a.py", line=12)
+        third = Diagnostic("OSS101", "x", file="b.py", line=1)
+        assert sorted([third, second, first], key=Diagnostic.sort_key) \
+            == [first, second, third]
+
+
+class TestCollector:
+    def test_deduplicates_identical_findings(self):
+        collector = DiagnosticCollector()
+        for _ in range(3):
+            collector.emit("OSS103", "same", where="m.run",
+                           file="a.py", line=4)
+        assert len(collector.diagnostics()) == 1
+
+    def test_error_count_ignores_warnings(self):
+        collector = DiagnosticCollector()
+        collector.emit("OSS103", "err")
+        collector.emit("RTL401", "warn")
+        assert collector.error_count == 1
+
+    def test_from_synthesis_error_keeps_structure(self):
+        collector = DiagnosticCollector()
+        exc = SynthesisError("float constant", where="top.run",
+                             code="OSS102")
+        collector.from_synthesis_error(exc, file="a.py")
+        (diag,) = collector.diagnostics()
+        assert diag.code == "OSS102"
+        assert diag.where == "top.run"
+        assert diag.file == "a.py"
+
+
+class TestSuppressions:
+    def _diag(self, code="OSS103", line=5):
+        return Diagnostic(code, "msg", file="x.py", line=line)
+
+    def test_bare_ignore_suppresses_everything(self):
+        table = Suppressions()
+        table.scan("x.py", ["a = 1  # repro: ignore"], first_lineno=5)
+        assert table.is_suppressed(self._diag("OSS103"))
+        assert table.is_suppressed(self._diag("RTL401"))
+
+    def test_listed_codes_only(self):
+        table = Suppressions()
+        table.scan("x.py", ["a = 1  # repro: ignore[OSS103,RTL401]"],
+                   first_lineno=5)
+        assert table.is_suppressed(self._diag("OSS103"))
+        assert table.is_suppressed(self._diag("RTL401"))
+        assert not table.is_suppressed(self._diag("OSS102"))
+
+    def test_other_lines_unaffected(self):
+        table = Suppressions()
+        table.scan("x.py", ["a = 1  # repro: ignore"], first_lineno=5)
+        assert not table.is_suppressed(self._diag(line=6))
+
+    def test_no_location_never_suppressed(self):
+        table = Suppressions()
+        table.scan("x.py", ["# repro: ignore"], first_lineno=1)
+        assert not table.is_suppressed(Diagnostic("OSS103", "msg"))

@@ -1,0 +1,102 @@
+"""Emitter tests: text summary, stable JSON, SARIF 2.1.0, golden files."""
+
+import json
+from pathlib import Path
+
+from repro.analyze import Diagnostic, analyze_design
+from repro.analyze.emit import (
+    RENDERERS,
+    TOOL_NAME,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from repro.expocu import ExpoCU
+from repro.hdl import Clock, NS, Signal
+from repro.types import Bit
+from repro.types.spec import bit
+
+from tests.analyze import designs
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def _sample():
+    return [
+        Diagnostic("OSS103", "no wait", where="top.run", file="a.py",
+                   line=7),
+        Diagnostic("RTL401", "truncates", where="top.run", file="a.py",
+                   line=9),
+    ]
+
+
+def _expocu():
+    return ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
+                          Signal("rst", bit(), Bit(1)))
+
+
+class TestText:
+    def test_summary_line_counts_severities(self):
+        out = render_text(_sample())
+        assert out.endswith("1 error(s), 1 warning(s)")
+        assert "a.py:7: error OSS103: no wait [top.run]" in out
+
+    def test_empty_run(self):
+        assert render_text([]) == "0 error(s), 0 warning(s)"
+
+
+class TestJson:
+    def test_document_shape(self):
+        document = json.loads(render_json(_sample()))
+        assert document["version"] == 1
+        assert document["tool"]["name"] == TOOL_NAME
+        assert document["summary"] == {"errors": 1, "warnings": 1}
+        assert [d["code"] for d in document["diagnostics"]] \
+            == ["OSS103", "RTL401"]
+
+    def test_output_is_deterministic(self):
+        assert render_json(_sample()) == render_json(_sample())
+
+
+class TestSarif:
+    def test_valid_sarif_shape(self):
+        document = json.loads(render_sarif(_sample()))
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        assert run["tool"]["driver"]["name"] == TOOL_NAME
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] \
+            == ["OSS103", "RTL401"]
+        first, second = run["results"]
+        assert first["ruleId"] == "OSS103"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "a.py"
+        assert location["region"]["startLine"] == 7
+        assert second["level"] == "warning"
+
+    def test_seeded_design_round_trips(self):
+        diagnostics = analyze_design(designs.build())
+        document = json.loads(render_sarif(diagnostics))
+        results = document["runs"][0]["results"]
+        assert len(results) == len(diagnostics)
+        rule_ids = {r["ruleId"] for r in results}
+        assert {"OSS102", "OSS301", "RTL401"} <= rule_ids
+
+
+class TestGolden:
+    """The clean ExpoCU run is byte-stable across machines (no paths)."""
+
+    def test_clean_expocu_json_matches_golden(self):
+        rendered = render_json(analyze_design(_expocu()))
+        golden = (GOLDEN / "clean_expocu.json").read_text()
+        assert rendered == golden
+
+    def test_clean_expocu_sarif_matches_golden(self):
+        rendered = render_sarif(analyze_design(_expocu()))
+        golden = (GOLDEN / "clean_expocu.sarif").read_text()
+        assert rendered == golden
+
+
+class TestRegistry:
+    def test_renderers_cover_all_cli_formats(self):
+        assert set(RENDERERS) == {"text", "json", "sarif"}

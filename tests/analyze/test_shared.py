@@ -1,0 +1,128 @@
+"""Shared-object hazard detection (OSS3xx)."""
+
+from repro.analyze import analyze_design
+from repro.hdl import Input, Module
+from repro.osss import HwClass, SharedObject
+from repro.types import Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.analyze import designs
+from tests.analyze.util import clkrst, codes_of
+
+
+class Spin(HwClass):
+    @classmethod
+    def layout(cls):
+        return {"x": unsigned(4)}
+
+    def spin(self):
+        return self.spin()
+
+
+class DirectAccess(Module):
+    """A thread bypassing the arbiter with ``call_direct``."""
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.shared = SharedObject(f"{name}_alu", designs.Alu())
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        while True:
+            self.shared.call_direct("mac", Unsigned(8, 1), Unsigned(8, 1))
+            yield
+
+
+class CombCaller(Module):
+    """A combinational method blocking on the arbiter: deadlock."""
+
+    a = Input(bit())
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.shared = SharedObject(f"{name}_alu", designs.Alu())
+        self.p = self.shared.client_port("p")
+        self.cmethod(self.comb, [self.port("a")])
+
+    def comb(self):
+        result = yield from self.p.call("mac", Unsigned(8, 1),  # noqa: F841
+                                        Unsigned(8, 1))
+
+
+class GuardedCycle(Module):
+    """A guarded object whose method calls back into itself."""
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.shared = SharedObject(f"{name}_spin", Spin())
+        self.p = self.shared.client_port("p")
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        while True:
+            result = yield from self.p.call("spin")  # noqa: F841
+            yield
+
+
+class PortSharers(Module):
+    """Two threads driving one client port (contract: one per process)."""
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.shared = SharedObject(f"{name}_alu", designs.Alu())
+        self.p = self.shared.client_port("p")
+        self.cthread(self.one, clock=clk, reset=rst)
+        self.cthread(self.two, clock=clk, reset=rst)
+
+    def one(self):
+        yield
+        while True:
+            r = yield from self.p.call("mac", Unsigned(8, 1),  # noqa: F841
+                                       Unsigned(8, 1))
+            yield
+
+    def two(self):
+        yield
+        while True:
+            r = yield from self.p.call("mac", Unsigned(8, 2),  # noqa: F841
+                                       Unsigned(8, 2))
+            yield
+
+
+def _build(cls):
+    clk, rst = clkrst()
+    return cls("dut", clk, rst)
+
+
+class TestSharedObjectHazards:
+    def test_oss301_direct_access(self):
+        diagnostics = analyze_design(_build(DirectAccess),
+                                     design_lints=False)
+        codes = [d.code for d in diagnostics]
+        assert "OSS301" in codes
+        (diag,) = [d for d in diagnostics if d.code == "OSS301"]
+        assert "call_direct" not in diag.message  # names the object instead
+        assert "dut_alu" in diag.message
+        assert diag.line is not None
+
+    def test_oss302_call_in_combinational_method(self):
+        codes = codes_of(_build(CombCaller), design_lints=False)
+        assert "OSS302" in codes
+        assert "OSS301" not in codes  # the port is the sanctioned path
+
+    def test_oss303_guarded_call_cycle(self):
+        codes = codes_of(_build(GuardedCycle), design_lints=False)
+        assert "OSS303" in codes
+        assert "OSS201" not in codes  # guarded: deadlock, not recursion
+
+    def test_oss304_port_shared_by_two_threads(self):
+        diagnostics = analyze_design(_build(PortSharers),
+                                     design_lints=False)
+        (diag,) = [d for d in diagnostics if d.code == "OSS304"]
+        assert "one" in diag.message and "two" in diag.message
+
+    def test_single_user_port_is_fine(self):
+        codes = codes_of(_build(GuardedCycle), design_lints=False)
+        assert "OSS304" not in codes

@@ -1,0 +1,268 @@
+"""Fail-slow subset checking: one focused test per diagnostic code."""
+
+from repro.analyze import analyze_design
+from repro.hdl import Input, Output
+from repro.osss import HwClass
+from repro.types import Unsigned
+from repro.types.spec import bit, unsigned
+
+from tests.analyze import designs
+from tests.analyze.util import codes_of, thread_module
+
+
+class TestStatementRules:
+    def test_oss101_banned_statement(self):
+        def run(self):
+            yield
+            while True:
+                try:
+                    pass
+                except ValueError:
+                    pass
+                yield
+
+        codes = codes_of(thread_module(run), design_lints=False)
+        assert "OSS101" in codes
+
+    def test_oss102_float_constant(self):
+        def run(self):
+            yield
+            while True:
+                x = 1.5  # noqa: F841
+                yield
+
+        assert "OSS102" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss103_dynamic_loop_without_yield(self):
+        ports = {"seed": Input(unsigned(8))}
+
+        def run(self):
+            yield
+            while True:
+                value = self.seed.read()
+                while value < 200:
+                    value = (value + 1).resized(8)
+                yield
+
+        codes = codes_of(thread_module(run, ports), design_lints=False)
+        assert "OSS103" in codes
+
+    def test_oss103_thread_without_any_yield(self):
+        def run(self):
+            pass
+
+        assert "OSS103" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss104_for_over_non_range(self):
+        def run(self):
+            yield
+            for _ in (1, 2, 3):
+                yield
+
+        assert "OSS104" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss109_thread_returning_value(self):
+        def run(self):
+            yield
+            return 5
+
+        assert "OSS109" in codes_of(thread_module(run), design_lints=False)
+
+    def test_rtl402_unreachable_statement(self):
+        def run(self):
+            yield
+            while True:
+                yield
+            return  # unreachable: the loop never breaks
+
+        assert "RTL402" in codes_of(thread_module(run), design_lints=False)
+
+
+class TestExpressionRules:
+    def test_oss105_true_division(self):
+        def run(self):
+            yield
+            value = Unsigned(8, 10)
+            while True:
+                value = (value // 3).resized(8)
+                yield
+
+        assert "OSS105" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss106_chained_comparison(self):
+        def run(self):
+            yield
+            v = Unsigned(8, 1)
+            while True:
+                if 0 < v < 5:
+                    pass
+                yield
+
+        assert "OSS106" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss107_keyword_arguments(self):
+        def run(self):
+            yield
+            while True:
+                x = Unsigned(8, value=1)  # noqa: F841
+                yield
+
+        assert "OSS107" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss108_yield_from_non_call(self):
+        def run(self):
+            yield
+            while True:
+                yield from range(3)
+                yield
+
+        assert "OSS108" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss108_yield_with_value(self):
+        def run(self):
+            yield
+            while True:
+                yield 1
+
+        assert "OSS108" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss113_list_literal(self):
+        def run(self):
+            yield
+            while True:
+                xs = [1, 2]  # noqa: F841
+                yield
+
+        assert "OSS113" in codes_of(thread_module(run), design_lints=False)
+
+    def test_oss116_unknown_helper(self):
+        def run(self):
+            yield
+            while True:
+                yield from self.missing()
+                yield
+
+        assert "OSS116" in codes_of(thread_module(run), design_lints=False)
+
+
+class TestHelperAndMethodRules:
+    def test_oss201_recursive_helper(self):
+        def spin(self):
+            yield from self.spin()
+
+        def run(self):
+            yield
+            while True:
+                yield from self.spin()
+                yield
+
+        design = thread_module(run, extra={"spin": spin})
+        assert "OSS201" in codes_of(design, design_lints=False)
+
+    def test_oss201_recursive_hw_class_method(self):
+        class Rec(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}
+
+            def spin(self):
+                return self.spin()
+
+        def __init__(self, name, clk, rst):
+            from repro.hdl import Module
+
+            Module.__init__(self, name)
+            self.obj = Rec()
+            self.cthread(self.run, clock=clk, reset=rst)
+
+        def run(self):
+            yield
+            while True:
+                yield
+
+        design = thread_module(run, extra={"__init__": __init__})
+        assert "OSS201" in codes_of(design, design_lints=False)
+
+    def test_oss202_wait_in_hw_class_method(self):
+        class Waity(HwClass):
+            @classmethod
+            def layout(cls):
+                return {"x": unsigned(4)}
+
+            def bad(self):
+                yield
+
+        def __init__(self, name, clk, rst):
+            from repro.hdl import Module
+
+            Module.__init__(self, name)
+            self.obj = Waity()
+            self.cthread(self.run, clock=clk, reset=rst)
+
+        def run(self):
+            yield
+            while True:
+                yield
+
+        design = thread_module(run, extra={"__init__": __init__})
+        assert "OSS202" in codes_of(design, design_lints=False)
+
+    def test_oss206_combinational_method_returning_value(self):
+        def __init__(self, name, clk, rst):
+            from repro.hdl import Module
+
+            Module.__init__(self, name)
+            self.cmethod(self.comb, [self.port("a")])
+
+        def comb(self):
+            return self.a.read()
+
+        design = thread_module(
+            comb, ports={"a": Input(bit()), "q": Output(bit())},
+            extra={"__init__": __init__, "comb": comb},
+        )
+        assert "OSS206" in codes_of(design, design_lints=False)
+
+
+class TestFailSlow:
+    def test_three_violations_reported_in_one_pass(self):
+        """The acceptance scenario: a subset break, a shared-object race
+        and a width truncation all surface from a single analyzer run."""
+        diagnostics = analyze_design(designs.build())
+        codes = [d.code for d in diagnostics]
+        assert "OSS102" in codes  # float constant in thread one
+        assert codes.count("OSS301") >= 2  # call_direct in both threads
+        assert "RTL401" in codes  # 16-bit product into 8-bit port
+        errors = [d for d in diagnostics if d.severity == "error"]
+        assert len(errors) >= 3
+
+    def test_locations_point_into_the_fixture_file(self):
+        diagnostics = analyze_design(designs.build())
+        for diag in diagnostics:
+            assert diag.file is not None
+            assert diag.file.endswith("designs.py")
+            assert diag.line is not None
+
+    def test_clean_design_reports_nothing(self):
+        assert codes_of(designs.build_clean()) == []
+
+
+class TestSuppressionsInSource:
+    def test_inline_comment_silences_the_code(self):
+        def run(self):
+            yield
+            while True:
+                x = 1.5  # repro: ignore[OSS102]  # noqa: F841
+                yield
+
+        assert codes_of(thread_module(run), design_lints=False) == []
+
+    def test_other_codes_still_fire(self):
+        def run(self):
+            yield
+            while True:
+                x = [1.5]  # repro: ignore[OSS102]  # noqa: F841
+                yield
+
+        codes = codes_of(thread_module(run), design_lints=False)
+        assert codes == ["OSS113"]

@@ -1,0 +1,35 @@
+"""Shared helpers for the analyzer tests."""
+
+from repro.analyze import analyze_design
+from repro.hdl import Clock, Module, NS, Signal
+from repro.types import Bit
+from repro.types.spec import bit
+
+
+def clkrst():
+    return Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+
+
+def thread_module(body_fn, ports=None, extra=None):
+    """Build a one-thread module around *body_fn* (no synthesis)."""
+    namespace = {"__init__": _init_with(body_fn), "run": body_fn}
+    if ports:
+        namespace.update(ports)
+    if extra:
+        namespace.update(extra)
+    cls = type("Dut", (Module,), namespace)
+    clk, rst = clkrst()
+    return cls("dut", clk, rst)
+
+
+def _init_with(body_fn):
+    def __init__(self, name, clk, rst):
+        Module.__init__(self, name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    return __init__
+
+
+def codes_of(design, **kwargs):
+    """The diagnostic codes :func:`analyze_design` reports for *design*."""
+    return [d.code for d in analyze_design(design, **kwargs)]

@@ -1,0 +1,62 @@
+"""The structural RTL linter and the public comb-loop check."""
+
+import pytest
+
+from repro.rtl.ir import Read, RtlModule, UnaryOp
+from repro.rtl.lint import lint_module
+from repro.rtl.simulate import CombinationalLoopError, RtlSimulator
+from repro.types.spec import bit, unsigned
+
+
+def _counter() -> RtlModule:
+    module = RtlModule("counter")
+    enable = module.add_input("enable", bit())
+    count = module.add_register("count", unsigned(4))
+    from repro.rtl.ir import BinOp, Const, Mux
+
+    count.next = Mux(Read(enable),
+                     BinOp("add", Read(count), Const(unsigned(4), 1)),
+                     Read(count))
+    module.add_output("q", Read(count))
+    return module
+
+
+def _looped() -> RtlModule:
+    module = RtlModule("loop")
+    module.add_input("a", bit())
+    wire = module.add_wire("w", Read(module.inputs["a"]))
+    wire.expr = UnaryOp("invert", Read(wire))  # w = ~w: cyclic
+    module.add_output("q", Read(wire))
+    return module
+
+
+class TestCheckNoCombLoops:
+    def test_clean_module_passes(self):
+        RtlSimulator(_counter()).check_no_comb_loops()
+
+    def test_cycle_raises(self):
+        with pytest.raises(CombinationalLoopError):
+            RtlSimulator(_looped()).check_no_comb_loops()
+
+    def test_state_is_untouched(self):
+        sim = RtlSimulator(_counter())
+        before = dict(sim.state)
+        sim.check_no_comb_loops()
+        assert sim.state == before
+
+
+class TestLintModule:
+    def test_clean_module_reports_nothing(self):
+        report = lint_module(_counter())
+        assert report.clean
+
+    def test_comb_loop_is_a_hard_error(self):
+        with pytest.raises(CombinationalLoopError):
+            lint_module(_looped())
+
+    def test_unused_input_is_a_warning(self):
+        module = _counter()
+        module.add_input("spare", bit())
+        report = lint_module(module)
+        assert report.unused_inputs == ["spare"]
+        assert not report.clean

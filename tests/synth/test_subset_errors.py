@@ -42,8 +42,9 @@ class TestLoopRules:
                     value = (value + 1).resized(8)
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run, ports)
+        assert excinfo.value.code == "OSS103"
 
     def test_constant_loop_without_yield_unrolls(self):
         ports = {"q": Output(unsigned(8))}
@@ -72,8 +73,9 @@ class TestLoopRules:
             for _ in [1, 2, 3]:
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS104"
 
     def test_yield_from_of_unknown_target_rejected(self):
         def run(self):
@@ -82,8 +84,9 @@ class TestLoopRules:
                 yield from range(3)  # not a port.call / helper
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS108"
 
 
 class TestExpressionRules:
@@ -94,8 +97,9 @@ class TestExpressionRules:
                 x = 1.5  # noqa: F841
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS102"
 
     def test_division_by_non_power_of_two_rejected(self):
         def run(self):
@@ -105,8 +109,9 @@ class TestExpressionRules:
                 value = (value // 3).resized(8)  # noqa: F841
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS105"
 
     def test_wide_condition_rejected(self):
         def run(self):
@@ -117,8 +122,9 @@ class TestExpressionRules:
                     pass
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS110"
 
     def test_width_change_requires_resize(self):
         def run(self):
@@ -128,8 +134,9 @@ class TestExpressionRules:
                 value = value * value  # 16 bits into an 8-bit local
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS111"
 
     def test_chained_compare_rejected(self):
         def run(self):
@@ -140,8 +147,9 @@ class TestExpressionRules:
                     pass
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
+        assert excinfo.value.code == "OSS106"
 
 
 class TestStructuralRules:
@@ -154,8 +162,9 @@ class TestStructuralRules:
                 self.data.write(Bit(1))
                 yield
 
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synth_of(run, ports)
+        assert excinfo.value.code == "OSS115"
 
     def test_two_drivers_rejected(self):
         class Dual(Module):
@@ -177,8 +186,9 @@ class TestStructuralRules:
                     yield
 
         clk, rst = clkrst()
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synthesize(Dual("dual", clk, rst))
+        assert excinfo.value.code == "OSS114"
 
     def test_clock_read_rejected(self):
         class ClockPeek(Module):
@@ -195,8 +205,9 @@ class TestStructuralRules:
                     yield
 
         clk, rst = clkrst()
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synthesize(ClockPeek("peek", clk, rst))
+        assert excinfo.value.code == "OSS115"
 
     def test_method_with_wait_rejected(self):
         from repro.osss import HwClass
@@ -222,8 +233,9 @@ class TestStructuralRules:
                     yield
 
         clk, rst = clkrst()
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synthesize(Host("host", clk, rst))
+        assert excinfo.value.code == "OSS202"
 
     def test_combinational_method_cannot_hold_state(self):
         class Latchy(Module):
@@ -240,8 +252,9 @@ class TestStructuralRules:
                 # no else: q would hold -> latch
 
         clk, rst = clkrst()
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synthesize(Latchy("latchy", clk, rst))
+        assert excinfo.value.code == "OSS206"
 
     def test_recursion_rejected(self):
         from repro.osss import HwClass
@@ -267,8 +280,9 @@ class TestStructuralRules:
                     yield
 
         clk, rst = clkrst()
-        with pytest.raises(SynthesisError):
+        with pytest.raises(SynthesisError) as excinfo:
             synthesize(Host("host", clk, rst))
+        assert excinfo.value.code == "OSS201"
 
     def test_error_carries_line_number(self):
         def run(self):
@@ -280,3 +294,5 @@ class TestStructuralRules:
         with pytest.raises(SynthesisError) as excinfo:
             synth_of(run)
         assert "line" in str(excinfo.value)
+        assert excinfo.value.code == "OSS102"
+        assert excinfo.value.lineno is not None
