@@ -1,0 +1,19 @@
+"""X — fault-injection campaign: hardening effectiveness (extension).
+
+Not a paper experiment: the automotive setting (§2) motivates it.  The
+same seeded SEU/stuck-at campaign is run against the ExpoCU netlist
+unhardened and with each hardening recipe from ``repro.fault.harden``;
+the table reports the outcome taxonomy per mode.  TMR must drive
+``sdc+hang`` down, parity must move corruption into ``detected``.
+"""
+
+from conftest import record_report
+
+from repro.eval import format_table, hardening_comparison
+
+
+def test_hardening_effectiveness():
+    rows = hardening_comparison(faults=20, seed=1)
+    by_mode = {row["hardening"]: row for row in rows}
+    assert by_mode["tmr"]["sdc+hang"] < by_mode["none"]["sdc+hang"]
+    record_report("X_fault_campaign", format_table(rows))

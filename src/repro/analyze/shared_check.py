@@ -21,6 +21,14 @@ contract:
     One :class:`ClientPort` used by two or more processes: the port's
     request register would have two drivers and the arbiter cannot tell
     the callers apart (the API contract is one port per process).
+
+Static/dynamic pairing: OSS303 is the *static* face of shared-object
+liveness — it rejects call cycles that provably self-deadlock.  Its
+*dynamic* counterpart is the :class:`SharedObject` arbitration watchdog
+(``watchdog_rounds``, see :mod:`repro.osss.shared`): deadlock or
+starvation that only manifests at run time (scheduler choice, traffic
+shape, injected faults) raises :class:`SharedAccessError` naming OSS303,
+so static findings and run-time timeouts share one vocabulary.
 """
 
 from __future__ import annotations

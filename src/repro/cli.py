@@ -13,6 +13,8 @@ without writing a script:
 ``effort``    print the E8 effort-metric table.
 ``lint``      run the standalone OSSS analyzer (fail-slow diagnostics;
               text, JSON or SARIF output).
+``inject``    run a seeded fault-injection campaign on the ExpoCU
+              (RTL or netlist flow, optional TMR/parity hardening).
 """
 
 from __future__ import annotations
@@ -169,6 +171,41 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inject(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.fault import expocu_campaign
+
+    result = expocu_campaign(
+        flow=args.flow,
+        faults=args.faults,
+        seed=args.seed,
+        hardening=args.hardening,
+    )
+    output = args.output
+    if output is None and os.path.isdir("benchmarks/results"):
+        tag = f"fault_{args.flow}_{args.hardening}_seed{args.seed}"
+        output = os.path.join("benchmarks", "results", f"{tag}.json")
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+    if args.format == "json":
+        print(result.to_json(), end="")
+    else:
+        from repro.eval import format_table
+
+        print(format_table(result.summary_rows()))
+        print(f"\ngolden run: selfcheck={result.golden_selfcheck}, "
+              f"done={result.golden_done} "
+              f"(drained {result.golden_drain_cycles} cycles)")
+        if output:
+            print(f"campaign report written to {output}")
+    if result.golden_selfcheck != "masked":
+        print("error: golden replay diverged from the golden run")
+        return 1
+    return 0
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.expocu import SyncRegister
     from repro.synth.codegen import resolve_class_text
@@ -226,6 +263,25 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--no-design-lints", action="store_true",
                       help="skip the RTL4xx design lints")
     lint.set_defaults(func=_cmd_lint)
+
+    inject = sub.add_parser(
+        "inject", help="fault-injection campaign on the ExpoCU"
+    )
+    inject.add_argument("--flow", choices=("rtl", "netlist"), default="rtl",
+                        help="inject into RTL registers or netlist nets")
+    inject.add_argument("--faults", type=int, default=50,
+                        help="number of seeded faults to inject")
+    inject.add_argument("--seed", type=int, default=1,
+                        help="campaign seed (stimulus and fault list)")
+    inject.add_argument("--hardening",
+                        choices=("none", "tmr", "parity", "tmr+parity"),
+                        default="none",
+                        help="netlist hardening applied before injection")
+    inject.add_argument("--format", choices=("text", "json"),
+                        default="text", help="stdout format")
+    inject.add_argument("--output", help="write the JSON report here "
+                        "(default: benchmarks/results/ when present)")
+    inject.set_defaults(func=_cmd_inject)
 
     resolve = sub.add_parser("resolve",
                              help="Fig. 7 intermediate of SyncRegister")

@@ -14,6 +14,7 @@ from repro.eval.equivalence import (
 from repro.eval.flows import FlowResult, run_osss_flow, run_rtl, run_vhdl_flow
 from repro.eval.metrics import RateSample, measure_stage, simulation_rates, speedup_table
 from repro.eval.report import flow_comparison, format_table, module_inventory
+from repro.eval.resilience import hardening_comparison
 from repro.eval.sweep import SweepPoint, grid, monotonic, sweep
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "check_all_stages",
     "flow_comparison",
     "format_table",
+    "hardening_comparison",
     "i2c_effort_comparison",
     "lockstep",
     "measure_source",

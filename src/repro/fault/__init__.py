@@ -1,0 +1,62 @@
+"""Simulation-based fault injection (SBFI) and hardening.
+
+The automotive setting of the paper makes transient upsets (SEUs) and
+manufacturing stuck-at faults first-class concerns; this subsystem adds a
+DAVOS-style campaign layer on top of the two fault-free simulators:
+
+* :mod:`repro.fault.inject` — non-invasive injection hooks: SEU bit flips
+  on :class:`~repro.rtl.simulate.RtlSimulator` register state, stuck-at
+  and transient net faults on a :class:`FaultableGateSimulator` subclass
+  of the gate simulator.
+* :mod:`repro.fault.campaign` — deterministic seeded fault lists, golden
+  run capture with per-cycle checkpoints, per-fault replay and outcome
+  classification (*masked / sdc / detected / hang*), JSON reports.
+* :mod:`repro.fault.harden` — netlist hardening primitives: flop-level
+  TMR with majority voters and parity-protected register groups.
+* :mod:`repro.fault.scenarios` — the bundled ExpoCU campaign behind the
+  ``repro inject`` CLI.
+
+The watchdog half of the hardening story lives with the shared objects
+themselves (:mod:`repro.osss.shared`, ``watchdog_rounds``).
+"""
+
+from repro.fault.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    Fault,
+    FaultRecord,
+    OUTCOMES,
+    generate_fault_list,
+    run_campaign,
+)
+from repro.fault.harden import (
+    add_parity_guards,
+    harden_circuit,
+    majority_voter,
+    tmr_harden,
+)
+from repro.fault.inject import (
+    FaultableGateSimulator,
+    GateFaultInjector,
+    RtlFaultInjector,
+)
+from repro.fault.scenarios import expocu_campaign, expocu_stimulus
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "Fault",
+    "FaultRecord",
+    "FaultableGateSimulator",
+    "GateFaultInjector",
+    "OUTCOMES",
+    "RtlFaultInjector",
+    "add_parity_guards",
+    "expocu_campaign",
+    "expocu_stimulus",
+    "generate_fault_list",
+    "harden_circuit",
+    "majority_voter",
+    "run_campaign",
+    "tmr_harden",
+]

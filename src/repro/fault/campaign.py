@@ -1,0 +1,310 @@
+"""Fault-injection campaigns: fault lists, golden runs, classification.
+
+A campaign replays one deterministic stimulus once fault-free (the
+*golden run*, checkpointed at every injection cycle) and then once per
+fault, restoring the checkpoint at the fault's cycle, injecting, and
+comparing the observed outputs against the golden trace.  Every fault is
+classified into exactly one outcome:
+
+``masked``    no observed output ever diverged and the run completed;
+``sdc``       silent data corruption — outputs diverged, nothing fired;
+``detected``  a designated detection signal rose where the golden run's
+              was low, or the simulator itself raised on the fault;
+``hang``      the done-signal never reached its quiescent value within
+              the drain budget (cycle-budget watchdog).
+
+Precedence when several apply: ``hang`` > ``detected`` > ``sdc``.  The
+taxonomy and the checkpoint-replay structure follow simulation-based
+fault injection practice (DAVOS); determinism is end-to-end — the same
+seed yields byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+#: The closed outcome taxonomy, in report order.
+OUTCOMES = ("masked", "sdc", "detected", "hang")
+
+#: Fault kinds per flow (SEU everywhere; net faults are gate-level).
+RTL_KINDS = ("seu",)
+GATE_KINDS = ("seu", "sa0", "sa1", "flip")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injection: *kind* at *target*, bit *bit*, before cycle *cycle*."""
+
+    kind: str    # "seu" | "sa0" | "sa1" | "flip"
+    target: str  # register name (rtl) or net name (netlist)
+    bit: int     # bit index within the register; 0 for single nets
+    cycle: int   # stimulus index at whose boundary the fault appears
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "target": self.target,
+                "bit": self.bit, "cycle": self.cycle}
+
+
+@dataclass
+class FaultRecord:
+    """A fault plus its classified outcome."""
+
+    fault: Fault
+    outcome: str
+    first_divergence: int | None = None
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, Any]:
+        record = self.fault.as_dict()
+        record["outcome"] = self.outcome
+        record["first_divergence"] = self.first_divergence
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+@dataclass
+class CampaignConfig:
+    """What the campaign drives, observes and classifies against.
+
+    Parameters
+    ----------
+    reset_name / reset_cycles:
+        The reset input and how many cycles it is held before the
+        stimulus starts (the golden snapshot is taken after release).
+    observed:
+        Output names compared against the golden trace; ``None`` means
+        every output.
+    detect_signals:
+        Outputs that signal *detection* (parity errors, ack errors...):
+        a 1 where the golden run had 0 classifies the fault as detected.
+    done_signal / done_value:
+        Quiescence test for hang detection: after the stimulus the design
+        gets up to *drain_budget* extra cycles of *idle_input* to bring
+        this output to this value.  ``None`` disables hang detection.
+    """
+
+    reset_name: str = "reset"
+    reset_cycles: int = 2
+    observed: Sequence[str] | None = None
+    detect_signals: Sequence[str] = ()
+    done_signal: str | None = None
+    done_value: int = 0
+    drain_budget: int = 2000
+    idle_input: Mapping[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced, JSON-serializable."""
+
+    design: str
+    flow: str
+    hardening: str
+    seed: int
+    cycles: int
+    observed: list[str]
+    detect_signals: list[str]
+    golden_selfcheck: str
+    golden_done: bool
+    golden_drain_cycles: int
+    records: list[FaultRecord]
+
+    @property
+    def outcomes(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for record in self.records:
+            counts[record.outcome] += 1
+        return counts
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro-fault-campaign/v1",
+            "design": self.design,
+            "flow": self.flow,
+            "hardening": self.hardening,
+            "seed": self.seed,
+            "cycles": self.cycles,
+            "observed": list(self.observed),
+            "detect_signals": list(self.detect_signals),
+            "golden": {
+                "selfcheck": self.golden_selfcheck,
+                "done": self.golden_done,
+                "drain_cycles": self.golden_drain_cycles,
+            },
+            "injected": len(self.records),
+            "outcomes": self.outcomes,
+            "faults": [record.as_dict() for record in self.records],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2) + "\n"
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """One table row (for ``repro.eval.format_table``)."""
+        counts = self.outcomes
+        return [{
+            "design": self.design, "flow": self.flow,
+            "hardening": self.hardening, "faults": len(self.records),
+            **counts,
+        }]
+
+    def __repr__(self) -> str:
+        counts = self.outcomes
+        body = ", ".join(f"{k}={v}" for k, v in counts.items())
+        return (f"CampaignResult({self.design!r}, {self.flow}, "
+                f"{self.hardening}, {body})")
+
+
+def generate_fault_list(injector, n: int, cycles: int, seed: int,
+                        kinds: Sequence[str] | None = None) -> list[Fault]:
+    """Seeded, deterministic fault list: target × cycle × bit.
+
+    Targets are drawn from the injector's deterministic enumerations;
+    injection cycles are uniform over ``[1, cycles)`` so every fault has
+    at least one post-reset cycle before it and one stimulus cycle after.
+    """
+    if kinds is None:
+        kinds = RTL_KINDS if injector.flow == "rtl" else GATE_KINDS
+    seu = injector.seu_targets()
+    nets = injector.net_targets()
+    kinds = tuple(k for k in kinds
+                  if k == "seu" and seu or k != "seu" and nets)
+    if n > 0 and not kinds:
+        raise ValueError("no fault targets available for the chosen kinds")
+    rng = random.Random(seed)
+    faults: list[Fault] = []
+    for _ in range(n):
+        kind = kinds[rng.randrange(len(kinds))]
+        if kind == "seu":
+            target, width = seu[rng.randrange(len(seu))]
+            bit = rng.randrange(width)
+        else:
+            target, bit = nets[rng.randrange(len(nets))], 0
+        faults.append(Fault(kind, target, bit,
+                            rng.randrange(1, max(cycles, 2))))
+    return faults
+
+
+def _observed_names(outputs: Mapping[str, int],
+                    config: CampaignConfig) -> list[str]:
+    if config.observed is not None:
+        return list(config.observed)
+    return sorted(outputs)
+
+
+def _drain(injector, config: CampaignConfig) -> tuple[bool, int]:
+    """Step idle input until the done-signal quiesces; (done, cycles)."""
+    if config.done_signal is None:
+        return True, 0
+    idle = {config.reset_name: 0, **dict(config.idle_input)}
+    outputs = injector.step(idle)
+    for extra in range(config.drain_budget):
+        if outputs.get(config.done_signal) == config.done_value:
+            return True, extra + 1
+        outputs = injector.step(idle)
+    return (outputs.get(config.done_signal) == config.done_value,
+            config.drain_budget + 1)
+
+
+def run_campaign(
+    injector,
+    stimulus: Sequence[Mapping[str, int]],
+    faults: Sequence[Fault],
+    config: CampaignConfig | None = None,
+    *,
+    design: str = "",
+    hardening: str = "none",
+    seed: int = 0,
+) -> CampaignResult:
+    """Golden run + per-fault replay + classification (see module doc)."""
+    config = config or CampaignConfig()
+    stimulus = [{config.reset_name: 0, **dict(entry)} for entry in stimulus]
+    if not stimulus:
+        raise ValueError("campaign needs a non-empty stimulus")
+    for fault in faults:
+        if not 0 <= fault.cycle < len(stimulus):
+            raise ValueError(
+                f"fault cycle {fault.cycle} outside the "
+                f"{len(stimulus)}-cycle stimulus"
+            )
+
+    # ---- reset, then golden run with checkpoints ---------------------
+    for _ in range(config.reset_cycles):
+        injector.step({config.reset_name: 1})
+    base = injector.snapshot()
+    snap_cycles = {fault.cycle for fault in faults} | {0}
+    snapshots: dict[int, tuple] = {}
+    golden: list[dict[str, int]] = []
+    for cycle, entry in enumerate(stimulus):
+        if cycle in snap_cycles:
+            snapshots[cycle] = injector.snapshot()
+        golden.append(injector.step(entry))
+    golden_done, golden_drain = _drain(injector, config)
+    observed = _observed_names(golden[0], config)
+
+    # ---- golden self-check: restore+replay must reproduce the trace --
+    injector.restore(base)
+    selfcheck = "masked"
+    for cycle, entry in enumerate(stimulus):
+        outputs = injector.step(entry)
+        if any(outputs.get(k) != golden[cycle].get(k) for k in observed):
+            selfcheck = "sdc"
+            break
+
+    # ---- per-fault replay -------------------------------------------
+    records: list[FaultRecord] = []
+    for fault in faults:
+        injector.restore(snapshots[fault.cycle])
+        first_divergence: int | None = None
+        detected = False
+        detail = ""
+        hang = False
+        try:
+            injector.inject(fault)
+            for cycle in range(fault.cycle, len(stimulus)):
+                outputs = injector.step(stimulus[cycle])
+                reference = golden[cycle]
+                if first_divergence is None and any(
+                    outputs.get(k) != reference.get(k) for k in observed
+                ):
+                    first_divergence = cycle
+                if not detected and any(
+                    outputs.get(k) and not reference.get(k)
+                    for k in config.detect_signals
+                ):
+                    detected = True
+            if golden_done:
+                done, _ = _drain(injector, config)
+                hang = not done
+        except Exception as exc:  # simulator flagged the fault itself
+            detected = True
+            detail = f"{type(exc).__name__}: {exc}"
+        finally:
+            injector.clear_faults()
+        if hang:
+            outcome = "hang"
+        elif detected:
+            outcome = "detected"
+        elif first_divergence is not None:
+            outcome = "sdc"
+        else:
+            outcome = "masked"
+        records.append(FaultRecord(fault, outcome, first_divergence, detail))
+
+    return CampaignResult(
+        design=design or getattr(injector, "design", injector.flow),
+        flow=injector.flow,
+        hardening=hardening,
+        seed=seed,
+        cycles=len(stimulus),
+        observed=observed,
+        detect_signals=list(config.detect_signals),
+        golden_selfcheck=selfcheck,
+        golden_done=golden_done,
+        golden_drain_cycles=golden_drain,
+        records=records,
+    )

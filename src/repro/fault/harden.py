@@ -1,0 +1,157 @@
+"""Netlist hardening primitives: TMR voters and parity-protected state.
+
+Both transforms run on an optimized :class:`~repro.netlist.circuit
+.Circuit` and only *add* standard-library cells, so the result stays a
+plain netlist — simulatable, timeable and placeable like any other.
+
+``tmr_harden``
+    Flop-level triple modular redundancy: every selected flip-flop is
+    triplicated (the copies share the original D cone) and its output net
+    is re-driven by a two-level AND/OR majority voter.  A transient upset
+    in any single copy is out-voted the same cycle and overwritten by the
+    shared next-state logic on the following edge — SEUs on state become
+    *masked* outcomes.
+``add_parity_guards``
+    Parity-protected register groups: flops are grouped by register stem
+    (``path/reg[3]`` → ``path/reg``); each group gets one extra parity
+    flop fed by the XOR of the group's D pins and a checker XORing the
+    group's Q pins against it.  The OR of all group checkers is exposed
+    as a 1-bit ``parity_err`` output — a single state upset becomes a
+    *detected* outcome.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.cells import AND2, DFF, OR2, XOR2
+from repro.netlist.circuit import Cell, Circuit, Net, NetlistError
+
+
+def majority_voter(circuit: Circuit, a: Net, b: Net, c: Net,
+                   out: Net, name: str) -> list[Cell]:
+    """Drive *out* with ``maj(a, b, c) = ab | ac | bc``; returns cells."""
+    if out.driver is not None:
+        raise NetlistError(
+            f"majority voter output net {out.name!r} already driven"
+        )
+    ab = circuit.new_net(f"{name}/ab")
+    ac = circuit.new_net(f"{name}/ac")
+    bc = circuit.new_net(f"{name}/bc")
+    ab_ac = circuit.new_net(f"{name}/ab_ac")
+    return [
+        circuit.add_cell(f"{name}/and_ab", AND2, i0=a, i1=b, y=ab),
+        circuit.add_cell(f"{name}/and_ac", AND2, i0=a, i1=c, y=ac),
+        circuit.add_cell(f"{name}/and_bc", AND2, i0=b, i1=c, y=bc),
+        circuit.add_cell(f"{name}/or_hi", OR2, i0=ab, i1=ac, y=ab_ac),
+        circuit.add_cell(f"{name}/or_maj", OR2, i0=ab_ac, i1=bc, y=out),
+    ]
+
+
+def tmr_harden(circuit: Circuit,
+               flops: list[Cell] | None = None) -> int:
+    """Triplicate *flops* (default: all) behind majority voters.
+
+    Returns the number of flip-flops hardened.  The original flop keeps
+    its name; copies and voter cells get ``__tmr``-suffixed names so
+    area reports still attribute them to the owning module path.
+    """
+    selected = list(circuit.flops()) if flops is None else list(flops)
+    for flop in selected:
+        if flop.ctype is not DFF:
+            raise NetlistError(
+                f"cannot TMR-harden non-DFF cell {flop.name!r}"
+            )
+        q_net = flop.pins["q"]
+        d_net = flop.pins["d"]
+        # Retarget the original flop onto a private copy net, freeing the
+        # fan-out-facing net for the voter to drive.
+        q_a = circuit.new_net(f"{flop.name}__tmr_qa")
+        q_a.driver = (flop, "q")
+        flop.pins["q"] = q_a
+        q_net.driver = None
+        q_b = circuit.new_net(f"{flop.name}__tmr_qb")
+        q_c = circuit.new_net(f"{flop.name}__tmr_qc")
+        circuit.add_cell(f"{flop.name}__tmr_b", DFF, d=d_net, q=q_b)
+        circuit.add_cell(f"{flop.name}__tmr_c", DFF, d=d_net, q=q_c)
+        majority_voter(circuit, q_a, q_b, q_c, q_net,
+                       f"{flop.name}__tmr_vote")
+    return len(selected)
+
+
+def _xor_tree(circuit: Circuit, nets: list[Net], name: str) -> Net:
+    """Balanced XOR reduction of *nets* (len >= 1)."""
+    layer = list(nets)
+    level = 0
+    while len(layer) > 1:
+        nxt: list[Net] = []
+        for k in range(0, len(layer) - 1, 2):
+            out = circuit.new_net(f"{name}/x{level}_{k // 2}")
+            circuit.add_cell(f"{name}/xor{level}_{k // 2}", XOR2,
+                             i0=layer[k], i1=layer[k + 1], y=out)
+            nxt.append(out)
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+        level += 1
+    return layer[0]
+
+
+def _register_stem(flop_name: str) -> str:
+    """Group key for a flop: its name with any trailing ``[k]`` stripped."""
+    stem, bracket, _ = flop_name.rpartition("[")
+    return stem if bracket else flop_name
+
+
+def add_parity_guards(circuit: Circuit,
+                      flops: list[Cell] | None = None,
+                      output_name: str = "parity_err") -> int:
+    """Add per-register parity flops and expose their OR as an output.
+
+    Returns the number of guarded register groups.  Must run *before*
+    :func:`tmr_harden` if both are applied, so the checker reads the
+    voted state nets.
+    """
+    selected = list(circuit.flops()) if flops is None else list(flops)
+    groups: dict[str, list[Cell]] = {}
+    for flop in selected:
+        groups.setdefault(_register_stem(flop.name), []).append(flop)
+    error_nets: list[Net] = []
+    for stem, members in groups.items():
+        d_parity = _xor_tree(circuit, [f.pins["d"] for f in members],
+                             f"{stem}__par_d")
+        parity_q = circuit.new_net(f"{stem}__par_q")
+        circuit.add_cell(f"{stem}__par_ff", DFF, d=d_parity, q=parity_q)
+        q_parity = _xor_tree(circuit, [f.pins["q"] for f in members],
+                             f"{stem}__par_q_tree")
+        err = circuit.new_net(f"{stem}__par_err")
+        circuit.add_cell(f"{stem}__par_check", XOR2,
+                         i0=q_parity, i1=parity_q, y=err)
+        error_nets.append(err)
+    if not error_nets:
+        return 0
+    any_err = error_nets[0]
+    for k, err in enumerate(error_nets[1:]):
+        merged = circuit.new_net(f"{output_name}/or{k}")
+        circuit.add_cell(f"{output_name}/or{k}", OR2,
+                         i0=any_err, i1=err, y=merged)
+        any_err = merged
+    circuit.mark_output(output_name, [any_err])
+    return len(groups)
+
+
+def harden_circuit(circuit: Circuit, mode: str = "tmr+parity") -> Circuit:
+    """Apply a named hardening recipe in place; returns the circuit.
+
+    ``"tmr"``         triplicated state, majority voters (masks SEUs);
+    ``"parity"``      parity groups + ``parity_err`` (detects SEUs);
+    ``"tmr+parity"``  both — parity first so it checks voted state.
+    """
+    if mode not in ("tmr", "parity", "tmr+parity"):
+        raise NetlistError(f"unknown hardening mode {mode!r}")
+    # Snapshot the original state flops: guards and copies added by one
+    # transform must not become targets of the other.
+    flops = list(circuit.flops())
+    if "parity" in mode:
+        add_parity_guards(circuit, flops)
+    if "tmr" in mode:
+        tmr_harden(circuit, flops)
+    return circuit

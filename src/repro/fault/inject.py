@@ -1,0 +1,280 @@
+"""Non-invasive fault-injection hooks for both simulators.
+
+The fault-free simulators stay untouched on their hot paths: RTL
+injection goes through the public ``registers``/``register_value``/
+``poke_register`` accessors of :class:`~repro.rtl.simulate.RtlSimulator`,
+and gate-level injection subclasses :class:`~repro.netlist.sim
+.GateSimulator` to clamp *forced* (stuck-at) nets at the three points
+where net values are written — input drive, combinational evaluation and
+flop commit.
+
+Both injectors speak the same small protocol the campaign engine
+(:mod:`repro.fault.campaign`) consumes:
+
+``step(entry)``            advance one cycle, return the outputs;
+``snapshot()/restore(s)``  checkpoint and rewind simulator state;
+``inject(fault)``          apply one :class:`~repro.fault.campaign.Fault`;
+``clear_faults()``         release stuck-at forcing;
+``seu_targets()``          deterministic ``(name, width)`` state bits;
+``net_targets()``          deterministic net names for stuck-at/transient
+                           faults (empty at RTL level).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.netlist.circuit import Circuit, Net, NetlistError
+from repro.netlist.sim import GateSimulator
+from repro.rtl.ir import Register, RtlError
+from repro.rtl.simulate import RtlSimulator
+
+
+class FaultInjectionError(ValueError):
+    """Raised for ill-formed faults (unknown target, bad bit index...)."""
+
+
+def _unique_names(pairs):
+    """Disambiguate duplicate names with ``#k``, then sort by name.
+
+    The sort matters: register/net collection order can vary across
+    *processes* (hash-randomized iteration inside the synthesis flow),
+    and fault targets are addressed by name so that seeded fault lists
+    — and hence campaign reports — are byte-identical between runs.
+    """
+    seen: dict[str, int] = {}
+    result = []
+    for name, payload in pairs:
+        count = seen.get(name, 0)
+        seen[name] = count + 1
+        result.append((name if count == 0 else f"{name}#{count}", payload))
+    result.sort(key=lambda pair: pair[0])
+    return result
+
+
+# ======================================================================
+# RTL level
+# ======================================================================
+class RtlFaultInjector:
+    """SEU injection on :class:`RtlSimulator` register state."""
+
+    flow = "rtl"
+
+    def __init__(self, sim: RtlSimulator) -> None:
+        self.sim = sim
+        self._by_name: dict[str, Register] = dict(
+            _unique_names((reg.name, reg) for reg in sim.registers())
+        )
+
+    # -- campaign protocol --------------------------------------------
+    def step(self, entry: Mapping[str, int]) -> dict[str, int]:
+        return self.sim.step(**dict(entry))
+
+    def snapshot(self) -> tuple:
+        return (dict(self.sim.state), self.sim.cycle, dict(self.sim._inputs))
+
+    def restore(self, snap: tuple) -> None:
+        state, cycle, inputs = snap
+        self.sim.state = dict(state)
+        self.sim.cycle = cycle
+        self.sim._inputs = dict(inputs)
+
+    def seu_targets(self) -> list[tuple[str, int]]:
+        return [(name, reg.spec.width)
+                for name, reg in self._by_name.items()]
+
+    def net_targets(self) -> list[str]:
+        return []
+
+    def inject(self, fault) -> None:
+        if fault.kind != "seu":
+            raise FaultInjectionError(
+                f"RTL injection supports 'seu' faults only, got "
+                f"{fault.kind!r}"
+            )
+        self.flip_register(fault.target, fault.bit)
+
+    def clear_faults(self) -> None:
+        """SEUs are one-shot state flips; nothing persists."""
+
+    # -- direct API ----------------------------------------------------
+    def flip_register(self, name: str, bit: int) -> int:
+        """Flip one bit of a register; returns the new raw contents."""
+        reg = self._by_name.get(name)
+        if reg is None:
+            raise FaultInjectionError(f"no register named {name!r}")
+        if not 0 <= bit < reg.spec.width:
+            raise FaultInjectionError(
+                f"bit {bit} out of range for {name!r} "
+                f"(width {reg.spec.width})"
+            )
+        raw = self.sim.register_value(reg) ^ (1 << bit)
+        self.sim.poke_register(reg, raw)
+        return raw
+
+
+# ======================================================================
+# gate level
+# ======================================================================
+class FaultableGateSimulator(GateSimulator):
+    """Gate simulator with stuck-at forcing and transient net flips.
+
+    Forced nets are clamped wherever the base simulator writes net
+    values; the fault-free hot path is untouched because clamping only
+    happens in this subclass.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        # Before super().__init__: the base constructor settles the
+        # circuit through our clamped _eval, which reads _forced.
+        self._forced: dict[int, int] = {}
+        super().__init__(circuit)
+
+    # -- forcing -------------------------------------------------------
+    def force_net(self, net: Net, value: int) -> None:
+        """Stuck-at: hold *net* at *value* until :meth:`release_all`."""
+        value &= 1
+        self._forced[net.uid] = value
+        if self._values[net.uid] != value:
+            self._values[net.uid] = value
+            self._propagate([net.uid])
+
+    def flip_net(self, net: Net) -> None:
+        """Transient upset: invert the current value of *net* once.
+
+        The glitch persists until the driving cell is next re-evaluated
+        (combinational nets) or until the next clock commit (flop
+        outputs, i.e. a state SEU).
+        """
+        self._values[net.uid] ^= 1
+        self._propagate([net.uid])
+
+    def release_all(self) -> None:
+        """Remove every stuck-at force and re-settle the circuit."""
+        if not self._forced:
+            return
+        self._forced.clear()
+        # Recompute from scratch: forced values may have latched into
+        # arbitrary downstream state, so settle every cell once.  Flop
+        # contents corrupted while the force was active stay corrupted —
+        # removing a physical fault does not repair the state it caused.
+        self._settle_all()
+
+    # -- clamped write points -----------------------------------------
+    def _eval(self, cell) -> bool:
+        out_net = cell.pins[cell.ctype.outputs[0]]
+        forced = self._forced.get(out_net.uid)
+        if forced is not None:
+            if self._values[out_net.uid] == forced:
+                return False
+            self._values[out_net.uid] = forced
+            return True
+        return super()._eval(cell)
+
+    def drive(self, **buses: int) -> list[int]:
+        dirty = super().drive(**buses)
+        for uid, value in self._forced.items():
+            if self._values[uid] != value:
+                self._values[uid] = value
+                dirty.append(uid)
+        return dirty
+
+    def step(self, **buses: int) -> dict[str, int]:
+        if not self._forced:
+            return super().step(**buses)
+        dirty = self.drive(**buses)
+        if dirty:
+            self._propagate(dirty)
+        outputs = self.peek_outputs()
+        sampled = [
+            (flop, self._values[flop.pins["d"].uid]) for flop in self._flops
+        ]
+        changed: list[int] = []
+        for flop, d_value in sampled:
+            q_net = flop.pins["q"]
+            d_value = self._forced.get(q_net.uid, d_value)
+            if self._values[q_net.uid] != d_value:
+                self._values[q_net.uid] = d_value
+                changed.append(q_net.uid)
+        if changed:
+            self._propagate(changed)
+        self.cycle += 1
+        return outputs
+
+
+class GateFaultInjector:
+    """Campaign adapter for :class:`FaultableGateSimulator`.
+
+    SEUs target flop output (state) bits; stuck-at-0/1 and transient
+    flips target combinational cell outputs and primary inputs.
+    """
+
+    flow = "netlist"
+
+    def __init__(self, sim: FaultableGateSimulator) -> None:
+        if not isinstance(sim, FaultableGateSimulator):
+            raise TypeError("GateFaultInjector needs a FaultableGateSimulator")
+        self.sim = sim
+        circuit = sim.circuit
+        self._state_nets: dict[str, Net] = dict(_unique_names(
+            (flop.pins["q"].name, flop.pins["q"]) for flop in circuit.flops()
+        ))
+        comb_outs = [
+            (cell.pins[cell.ctype.outputs[0]].name,
+             cell.pins[cell.ctype.outputs[0]])
+            for cell in circuit.comb_cells()
+            if not cell.ctype.name.startswith("TIE")
+        ]
+        primary = [
+            (net.name, net)
+            for nets in circuit.input_buses.values() for net in nets
+        ]
+        self._comb_nets: dict[str, Net] = dict(
+            _unique_names(comb_outs + primary)
+        )
+
+    # -- campaign protocol --------------------------------------------
+    def step(self, entry: Mapping[str, int]) -> dict[str, int]:
+        return self.sim.step(**dict(entry))
+
+    def snapshot(self) -> tuple:
+        return (dict(self.sim._values), self.sim.cycle,
+                dict(self.sim._inputs))
+
+    def restore(self, snap: tuple) -> None:
+        values, cycle, inputs = snap
+        self.sim._forced.clear()
+        self.sim._values = dict(values)
+        self.sim.cycle = cycle
+        self.sim._inputs = dict(inputs)
+
+    def seu_targets(self) -> list[tuple[str, int]]:
+        return [(name, 1) for name in self._state_nets]
+
+    def net_targets(self) -> list[str]:
+        return list(self._comb_nets)
+
+    def inject(self, fault) -> None:
+        if fault.kind == "seu":
+            net = self._state_nets.get(fault.target)
+            if net is None:
+                raise FaultInjectionError(
+                    f"no state (flop output) net named {fault.target!r}"
+                )
+            self.sim.flip_net(net)
+            return
+        net = self._comb_nets.get(fault.target) \
+            or self._state_nets.get(fault.target)
+        if net is None:
+            raise FaultInjectionError(f"no net named {fault.target!r}")
+        if fault.kind == "sa0":
+            self.sim.force_net(net, 0)
+        elif fault.kind == "sa1":
+            self.sim.force_net(net, 1)
+        elif fault.kind == "flip":
+            self.sim.flip_net(net)
+        else:
+            raise FaultInjectionError(f"unknown fault kind {fault.kind!r}")
+
+    def clear_faults(self) -> None:
+        self.sim.release_all()

@@ -109,12 +109,24 @@ class GateSimulator:
                 enqueue(out_net.uid)
 
     def drive(self, **buses: int) -> list[int]:
-        """Set input buses; returns the list of changed net uids."""
+        """Set input buses; returns the list of changed net uids.
+
+        Values are masked to the bus width before being stored (matching
+        :meth:`repro.rtl.simulate.RtlSimulator.drive`); negative values
+        are rejected — drive the two's-complement raw pattern instead.
+        """
         dirty: list[int] = []
         for name, value in buses.items():
             nets = self.circuit.input_buses.get(name)
             if nets is None:
                 raise NetlistError(f"no input bus {name!r}")
+            value = int(value)
+            if value < 0:
+                raise NetlistError(
+                    f"input bus {name!r} driven with negative value "
+                    f"{value}; drive the raw two's-complement pattern"
+                )
+            value &= (1 << len(nets)) - 1
             self._inputs[name] = value
             for k, net in enumerate(nets):
                 bit_value = (value >> k) & 1
@@ -154,9 +166,24 @@ class GateSimulator:
         self.cycle += 1
         return outputs
 
-    def run(self, stimulus: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
-        """Step once per stimulus entry; returns each cycle's outputs."""
-        return [self.step(**dict(entry)) for entry in stimulus]
+    def run(self, stimulus: Iterable[Mapping[str, int]],
+            max_cycles: int | None = None) -> list[dict[str, int]]:
+        """Step once per stimulus entry; returns each cycle's outputs.
+
+        With *max_cycles*, raise :class:`NetlistError` once that many
+        cycles have been stepped — a guard against pathological (e.g.
+        endless) stimulus generators.
+        """
+        outputs: list[dict[str, int]] = []
+        for entry in stimulus:
+            if max_cycles is not None and len(outputs) >= max_cycles:
+                raise NetlistError(
+                    f"run() exceeded its cycle budget of {max_cycles} "
+                    f"cycles on {self.circuit.name!r}; the stimulus "
+                    "generator did not terminate in time"
+                )
+            outputs.append(self.step(**dict(entry)))
+        return outputs
 
     def __repr__(self) -> str:
         return f"GateSimulator({self.circuit.name!r}, cycle={self.cycle})"

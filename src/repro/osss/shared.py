@@ -21,6 +21,19 @@ Timing contract (identical in simulation and generated RTL)
 An uncontended call therefore costs two cycles; each lost arbitration round
 adds one.  *"A designer can use a standard scheduler or implement an own
 according to the required needs"* — subclass :class:`Scheduler`.
+
+Watchdog semantics
+------------------
+Every client wait is bounded: a call that loses more than
+``watchdog_rounds`` consecutive arbitration rounds raises
+:class:`SharedAccessError` with the full arbitration context instead of
+spinning forever.  This is the *dynamic* counterpart of the analyzer's
+static OSS303 deadlock rule (see :mod:`repro.analyze.shared_check`): OSS303
+rejects call cycles that provably self-deadlock, the watchdog catches
+deadlock and starvation that only manifest at run time (e.g. a
+:class:`StaticPriority` scheduler starving a low-priority client under
+sustained contention).  Pass ``watchdog_rounds=None`` to restore the old
+unbounded behaviour.
 """
 
 from __future__ import annotations
@@ -157,12 +170,17 @@ class ClientPort:
         described in the module docstring.
         """
         self.owner.post(self.index, method, args)
+        rounds = 0
         while True:
             yield
             self.owner.arbitrate()
             result = self.owner.fetch(self.index)
             if result is not _PENDING:
                 return result
+            rounds += 1
+            budget = self.owner.watchdog_rounds
+            if budget is not None and rounds >= budget:
+                raise self.owner._watchdog_error(self.index, method, rounds)
 
     def __repr__(self) -> str:
         return f"ClientPort({self.owner.name}.{self.name}[{self.index}])"
@@ -184,18 +202,32 @@ class SharedObject:
     scheduler:
         Arbitration policy; defaults to :class:`RoundRobin`, the paper's
         "standard scheduler".
+    watchdog_rounds:
+        Maximum consecutive arbitration rounds a client may lose before
+        its blocked call raises :class:`SharedAccessError` (dynamic
+        counterpart of analyzer rule OSS303).  ``None`` disables the
+        watchdog (the pre-hardening unbounded wait).
     """
+
+    #: Default client wait budget, in arbitration rounds.  Generous: an
+    #: uncontended call completes in two rounds and each lost round adds
+    #: one, so a legitimate wait is bounded by traffic, not by this.
+    DEFAULT_WATCHDOG_ROUNDS = 4096
 
     def __init__(
         self,
         name: str,
         instance: HwClass,
         scheduler: Scheduler | None = None,
+        watchdog_rounds: int | None = DEFAULT_WATCHDOG_ROUNDS,
     ) -> None:
         if not isinstance(instance, HwClass):
             raise TypeError("SharedObject guards a HwClass instance")
+        if watchdog_rounds is not None and watchdog_rounds < 1:
+            raise ValueError("watchdog_rounds must be >= 1 or None")
         self.name = name
         self.instance = instance
+        self.watchdog_rounds = watchdog_rounds
         self.scheduler = scheduler if scheduler is not None else RoundRobin()
         self.ports: list[ClientPort] = []
         self._requests: dict[int, _Request] = {}
@@ -291,6 +323,27 @@ class SharedObject:
         del self._results[index]
         self._last_fetch[index] = self._now()
         return result.value
+
+    def _watchdog_error(self, index: int, method: str,
+                        rounds: int) -> SharedAccessError:
+        """Build the watchdog timeout error and drop the stale request.
+
+        The pending request is removed so a testbench that catches the
+        error observes a consistent arbiter (no wedged request slot).
+        """
+        self._requests.pop(index, None)
+        port = self.ports[index] if index < len(self.ports) else None
+        client = f"{port.name!r} (index {index})" if port else f"index {index}"
+        waiting = sorted(i for i in self._requests)
+        recent = [winner for _, winner in self.grant_history[-8:]]
+        return SharedAccessError(
+            f"watchdog: client {client} of shared object {self.name!r} "
+            f"waited {rounds} arbitration rounds for {method!r} without "
+            f"being served — likely deadlock or starvation (dynamic "
+            f"counterpart of analyzer rule OSS303); "
+            f"scheduler={self.scheduler!r}, other waiting clients="
+            f"{waiting}, recent grants={recent}"
+        )
 
     # ------------------------------------------------------------------
     # conveniences

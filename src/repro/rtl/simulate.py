@@ -185,13 +185,47 @@ class RtlSimulator:
         self.cycle += 1
         return outputs
 
-    def run(self, stimulus: Iterable[Mapping[str, int]]) -> list[dict[str, int]]:
-        """Step once per stimulus entry; returns the output of each cycle."""
-        return [self.step(**dict(entry)) for entry in stimulus]
+    def run(self, stimulus: Iterable[Mapping[str, int]],
+            max_cycles: int | None = None) -> list[dict[str, int]]:
+        """Step once per stimulus entry; returns the output of each cycle.
+
+        With *max_cycles*, raise :class:`RtlError` once that many cycles
+        have been stepped — a guard against pathological (e.g. endless)
+        stimulus generators.
+        """
+        outputs: list[dict[str, int]] = []
+        for entry in stimulus:
+            if max_cycles is not None and len(outputs) >= max_cycles:
+                raise RtlError(
+                    f"run() exceeded its cycle budget of {max_cycles} "
+                    f"cycles on {self.module.name!r}; the stimulus "
+                    "generator did not terminate in time"
+                )
+            outputs.append(self.step(**dict(entry)))
+        return outputs
 
     def register_value(self, register: Register) -> int:
         """Current committed contents of *register* (tests/debug)."""
         return self.state[register.uid]
+
+    def registers(self) -> list[Register]:
+        """Every register in the tree, in deterministic collection order.
+
+        Used by the fault-injection layer to enumerate SEU targets; the
+        order is stable for a given module tree (pre-order traversal).
+        """
+        return [reg for reg, _ in self._registers]
+
+    def poke_register(self, register: Register, raw: int) -> None:
+        """Overwrite a register's committed contents (fault injection).
+
+        The raw pattern is masked to the register width; the change is
+        observable from the next evaluation on, exactly as if the bits
+        had been upset between two clock edges.
+        """
+        if register.uid not in self.state:
+            raise RtlError(f"{register!r} is not part of this simulation")
+        self.state[register.uid] = int(raw) & ((1 << register.spec.width) - 1)
 
     def find_register(self, name: str) -> Register:
         """Look up a register anywhere in the tree by (suffix) name."""

@@ -1,0 +1,78 @@
+"""The ``repro inject`` command: formats, outputs, determinism."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFormats:
+    def test_text_format_prints_summary(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # keep the default report out of repo
+        code = main(["inject", "--flow", "rtl", "--faults", "0",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "golden run: selfcheck=masked" in out
+        assert "outcome" in out or "masked" in out
+
+    def test_json_format_parses(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code = main(["inject", "--flow", "rtl", "--faults", "0",
+                     "--seed", "1", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-fault-campaign/v1"
+        assert payload["flow"] == "rtl"
+        assert payload["golden"]["selfcheck"] == "masked"
+        assert payload["golden"]["done"] is True
+        assert all(n == 0 for n in payload["outcomes"].values())
+        assert payload["faults"] == []
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        code = main(["inject", "--flow", "rtl", "--faults", "0",
+                     "--seed", "1", "--output", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == "repro-fault-campaign/v1"
+
+    def test_default_report_lands_in_benchmarks_results(
+            self, tmp_path, monkeypatch, capsys):
+        (tmp_path / "benchmarks" / "results").mkdir(parents=True)
+        monkeypatch.chdir(tmp_path)
+        assert main(["inject", "--flow", "rtl", "--faults", "0",
+                     "--seed", "1"]) == 0
+        report = (tmp_path / "benchmarks" / "results"
+                  / "fault_rtl_none_seed1.json")
+        assert report.exists()
+        assert json.loads(report.read_text())["seed"] == 1
+
+
+class TestUsageErrors:
+    def test_rtl_flow_rejects_hardening(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="netlist"):
+            main(["inject", "--flow", "rtl", "--hardening", "tmr",
+                  "--faults", "0"])
+
+    def test_unknown_hardening_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "--hardening", "ecc"])
+
+
+@pytest.mark.slow
+class TestDeterminism:
+    def test_same_seed_same_report(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            code = main(["inject", "--flow", "rtl", "--faults", "5",
+                         "--seed", "1", "--format", "json",
+                         "--output", str(path)])
+            assert code == 0
+        first, second = (p.read_text() for p in paths)
+        assert first == second
+        payload = json.loads(first)
+        assert len(payload["faults"]) == 5
+        assert sum(payload["outcomes"].values()) == 5

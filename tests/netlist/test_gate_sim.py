@@ -80,6 +80,49 @@ class TestSequentialBehaviour:
             sim.step(bogus=1)
 
 
+class TestDriveSanitization:
+    def test_wide_value_masked_to_bus_width(self):
+        sim = GateSimulator(pipeline_circuit())
+        sim.step(reset=1)
+        sim.step(reset=0, x=0x1F5)  # 4-bit bus: only 0x5 survives
+        sim.step(reset=0, x=0)
+        assert sim.peek_outputs()["y"] == 0x5
+
+    def test_masking_applies_before_change_detection(self):
+        # 0x15 and 0x5 are the same 4-bit pattern: no nets may dirty.
+        sim = GateSimulator(pipeline_circuit())
+        sim.drive(x=0x5)
+        assert sim.drive(x=0x15) == []
+
+    def test_negative_value_rejected(self):
+        from repro.netlist.circuit import NetlistError
+
+        sim = GateSimulator(pipeline_circuit())
+        with pytest.raises(NetlistError, match="negative"):
+            sim.drive(x=-1)
+        with pytest.raises(NetlistError, match="negative"):
+            sim.step(reset=0, x=-3)
+
+
+class TestCycleBudget:
+    def test_run_within_budget(self):
+        sim = GateSimulator(pipeline_circuit())
+        outs = sim.run([{"reset": 1}] * 3, max_cycles=3)
+        assert len(outs) == 3
+
+    def test_run_exceeding_budget_raises(self):
+        from repro.netlist.circuit import NetlistError
+
+        def endless():
+            while True:
+                yield {"reset": 0, "x": 0}
+
+        sim = GateSimulator(pipeline_circuit())
+        with pytest.raises(NetlistError, match="cycle budget"):
+            sim.run(endless(), max_cycles=10)
+        assert sim.cycle == 10  # stopped right at the budget
+
+
 class TestEventDrivenPropagation:
     @given(values=st.lists(st.integers(0, 15), min_size=5, max_size=20))
     @settings(max_examples=20, deadline=None)

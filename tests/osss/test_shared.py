@@ -59,6 +59,29 @@ class TestSchedulerPolicies:
             fcfs.note_waiting([0, 1])
         assert fcfs.pick([0, 1], 2) == 0  # both saturated, index wins
 
+    def test_fcfs_age_saturates_exactly_at_ceiling(self):
+        fcfs = Fcfs(age_bits=3)
+        for _ in range(20):
+            fcfs.note_waiting([1])
+        assert fcfs._ages[1] == (1 << 3) - 1  # clamped, no overflow
+
+    def test_fcfs_reset_restores_initial_state(self):
+        fcfs = Fcfs()
+        fcfs.note_waiting([0, 1])
+        fcfs.note_waiting([1])
+        assert fcfs.pick([0, 1], 2) == 1  # 1 is older...
+        fcfs.reset()
+        assert fcfs._ages == {}
+        fcfs.note_waiting([0, 1])
+        assert fcfs.pick([0, 1], 2) == 0  # ...but history is gone now
+
+    def test_round_robin_reset_restores_initial_grants(self):
+        rr = RoundRobin()
+        fresh = [rr.pick([0, 1, 2], 3) for _ in range(4)]
+        rr.reset()
+        assert rr.pointer == 0
+        assert [rr.pick([0, 1, 2], 3) for _ in range(4)] == fresh
+
 
 class TestSharedObjectStructure:
     def test_requires_hwclass(self):
@@ -185,3 +208,93 @@ class TestArbitrationTiming:
         sim = Simulator(top)
         with pytest.raises(SharedAccessError):
             sim.run(20 * NS)
+
+
+class _Looper(Module):
+    """Re-posts a shared call forever: a bandwidth hog."""
+
+    def __init__(self, name, clk, rst, port):
+        super().__init__(name)
+        self.port = port
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        while True:
+            yield from self.port.call(
+                "add", Unsigned(8, 1), Unsigned(8, 1)
+            )
+
+
+class _Victim(Module):
+    """A single call that may never be granted under StaticPriority."""
+
+    def __init__(self, name, clk, rst, port):
+        super().__init__(name)
+        self.port = port
+        self.done = False
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        yield
+        yield from self.port.call("add", Unsigned(8, 2), Unsigned(8, 2))
+        self.done = True
+        while True:
+            yield
+
+
+def _starvation_bench(watchdog_rounds):
+    # Three hogs saturate the arbiter: each hog's call pipeline (post,
+    # grant, fetch, turnaround) occupies one grant every three rounds,
+    # so with StaticPriority the lowest-priority victim never wins.
+    shared = SharedObject("alu", Alu(), scheduler=StaticPriority(),
+                          watchdog_rounds=watchdog_rounds)
+    top = Module("top")
+    top.clk = Clock("clk", 10 * NS)
+    top.rst = Signal("rst", bit(), Bit(0))
+    for k in range(3):
+        setattr(top, f"hog{k}",
+                _Looper(f"hog{k}", top.clk, top.rst,
+                        shared.client_port(f"h{k}")))
+    top.victim = _Victim("victim", top.clk, top.rst,
+                         shared.client_port("v"))
+    return top, shared
+
+
+class TestWatchdog:
+    def test_rounds_validated_at_construction(self):
+        with pytest.raises(ValueError):
+            SharedObject("alu", Alu(), watchdog_rounds=0)
+
+    def test_starved_client_raises_with_diagnostics(self):
+        # Two high-priority hogs monopolize the object; the low-priority
+        # victim trips the watchdog instead of waiting forever.
+        top, shared = _starvation_bench(watchdog_rounds=8)
+        sim = Simulator(top)
+        with pytest.raises(SharedAccessError) as exc:
+            sim.run(2000 * NS)
+        message = str(exc.value)
+        assert "OSS303" in message
+        assert "watchdog" in message
+        assert "static-priority" in message or "StaticPriority" in message
+        assert not top.victim.done
+
+    def test_timed_out_request_slot_is_released(self):
+        top, shared = _starvation_bench(watchdog_rounds=8)
+        sim = Simulator(top)
+        with pytest.raises(SharedAccessError):
+            sim.run(2000 * NS)
+        assert top.victim.port.index not in shared._requests
+
+    def test_none_disables_the_watchdog(self):
+        # Same starvation, no watchdog: the victim just waits (the
+        # pre-hardening behaviour), and nobody raises.
+        top, shared = _starvation_bench(watchdog_rounds=None)
+        sim = Simulator(top)
+        sim.run(2000 * NS)
+        assert not top.victim.done  # still starved, just silently
+
+    def test_default_budget_is_generous(self):
+        shared = SharedObject("alu", Alu())
+        assert shared.watchdog_rounds == SharedObject.DEFAULT_WATCHDOG_ROUNDS
+        assert shared.watchdog_rounds >= 1000

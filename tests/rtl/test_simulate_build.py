@@ -117,6 +117,21 @@ class TestSimulator:
         outs = sim.run([{"reset": 1}] + [{"reset": 0, "enable": 1}] * 3)
         assert [o["count"] for o in outs] == [0, 0, 1, 2]
 
+    def test_run_within_cycle_budget(self):
+        sim = RtlSimulator(counter_module())
+        outs = sim.run([{"reset": 1}] * 4, max_cycles=4)
+        assert len(outs) == 4
+
+    def test_run_exceeding_cycle_budget_raises(self):
+        def endless():
+            while True:
+                yield {"reset": 0, "enable": 1}
+
+        sim = RtlSimulator(counter_module())
+        with pytest.raises(RtlError, match="cycle budget"):
+            sim.run(endless(), max_cycles=8)
+        assert sim.cycle == 8  # stopped right at the budget
+
     def test_find_register(self):
         sim = RtlSimulator(counter_module())
         reg = sim.find_register("count")
