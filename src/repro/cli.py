@@ -181,10 +181,14 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         faults=args.faults,
         seed=args.seed,
         hardening=args.hardening,
+        jobs=args.jobs,
+        backend=args.backend,
     )
     output = args.output
     if output is None and os.path.isdir("benchmarks/results"):
         tag = f"fault_{args.flow}_{args.hardening}_seed{args.seed}"
+        if args.backend != "event":
+            tag += f"_{args.backend}"
         output = os.path.join("benchmarks", "results", f"{tag}.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -277,6 +281,13 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("none", "tmr", "parity", "tmr+parity"),
                         default="none",
                         help="netlist hardening applied before injection")
+    inject.add_argument("--jobs", type=int, default=1,
+                        help="worker processes sharding the fault list "
+                        "(the report stays byte-identical to --jobs 1)")
+    inject.add_argument("--backend", choices=("event", "compiled"),
+                        default="event",
+                        help="gate evaluator: interpreted event-driven or "
+                        "code-generated straight-line (netlist flow)")
     inject.add_argument("--format", choices=("text", "json"),
                         default="text", help="stdout format")
     inject.add_argument("--output", help="write the JSON report here "

@@ -20,6 +20,8 @@ def hardening_comparison(
     seed: int = 1,
     modes: Sequence[str] = ("none", "tmr", "parity", "tmr+parity"),
     side: int = 8,
+    jobs: int = 1,
+    backend: str = "event",
 ) -> list[dict[str, Any]]:
     """One row per hardening mode, same faults everywhere.
 
@@ -27,11 +29,16 @@ def hardening_comparison(
     are drawn from each variant's own netlist (hardened state is larger),
     so rows compare *strategies under equal pressure*, not fault-by-fault
     trajectories.  Rows render with :func:`repro.eval.report.format_table`.
+
+    *jobs* and *backend* scale each campaign exactly like
+    :func:`repro.fault.scenarios.expocu_campaign`: worker-process
+    sharding of the fault list and the compiled gate evaluator.
     """
     rows = []
     for mode in modes:
         result = expocu_campaign(flow="netlist", faults=faults, seed=seed,
-                                 hardening=mode, side=side)
+                                 hardening=mode, side=side, jobs=jobs,
+                                 backend=backend)
         row = result.summary_rows()[0]
         row["sdc+hang"] = row["sdc"] + row["hang"]
         rows.append(row)

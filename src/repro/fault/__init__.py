@@ -40,7 +40,11 @@ from repro.fault.inject import (
     GateFaultInjector,
     RtlFaultInjector,
 )
-from repro.fault.scenarios import expocu_campaign, expocu_stimulus
+from repro.fault.scenarios import (
+    expocu_campaign,
+    expocu_injector,
+    expocu_stimulus,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -53,6 +57,7 @@ __all__ = [
     "RtlFaultInjector",
     "add_parity_guards",
     "expocu_campaign",
+    "expocu_injector",
     "expocu_stimulus",
     "generate_fault_list",
     "harden_circuit",

@@ -9,7 +9,8 @@ classified into exactly one outcome:
 ``masked``    no observed output ever diverged and the run completed;
 ``sdc``       silent data corruption — outputs diverged, nothing fired;
 ``detected``  a designated detection signal rose where the golden run's
-              was low, or the simulator itself raised on the fault;
+              was low — during the stimulus *or* the post-stimulus
+              drain — or the simulator itself raised on the fault;
 ``hang``      the done-signal never reached its quiescent value within
               the drain budget (cycle-budget watchdog).
 
@@ -17,14 +18,23 @@ Precedence when several apply: ``hang`` > ``detected`` > ``sdc``.  The
 taxonomy and the checkpoint-replay structure follow simulation-based
 fault injection practice (DAVOS); determinism is end-to-end — the same
 seed yields byte-identical reports.
+
+Scaling: the fault list is deduplicated before replay (identical faults
+are simulated once and their record shared), and ``run_campaign(...,
+jobs=N, injector_factory=...)`` shards the unique faults across *N*
+worker processes.  Each worker rebuilds the injector and its golden
+checkpoints from the seeded scenario, so the merged report is
+byte-identical to the sequential run (guarded by a cross-worker golden
+consistency check).
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import random
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 #: The closed outcome taxonomy, in report order.
 OUTCOMES = ("masked", "sdc", "detected", "hang")
@@ -81,6 +91,8 @@ class CampaignConfig:
     detect_signals:
         Outputs that signal *detection* (parity errors, ack errors...):
         a 1 where the golden run had 0 classifies the fault as detected.
+        Monitored during the stimulus and during the drain phase (a
+        detector may first fire after the last stimulus cycle).
     done_signal / done_value:
         Quiescence test for hang detection: after the stimulus the design
         gets up to *drain_budget* extra cycles of *idle_input* to bring
@@ -196,18 +208,162 @@ def _observed_names(outputs: Mapping[str, int],
     return sorted(outputs)
 
 
-def _drain(injector, config: CampaignConfig) -> tuple[bool, int]:
-    """Step idle input until the done-signal quiesces; (done, cycles)."""
+def _drain(injector, config: CampaignConfig,
+           detect_reference: list[dict[str, int]] | None = None,
+           ) -> tuple[bool, int, list[dict[str, int]], bool]:
+    """Step idle input until the done-signal quiesces.
+
+    Returns ``(done, cycles, detect_trace, detected)``: the per-cycle
+    detect-signal samples (the golden run's trace becomes the reference
+    for fault replays) and, when *detect_reference* is given, whether a
+    detect signal rose where the reference had 0 — the drain-phase half
+    of the ``detected`` classification.  A fault drain outlasting the
+    reference is compared against the reference's final cycle.
+    """
     if config.done_signal is None:
-        return True, 0
+        return True, 0, [], False
     idle = {config.reset_name: 0, **dict(config.idle_input)}
-    outputs = injector.step(idle)
-    for extra in range(config.drain_budget):
-        if outputs.get(config.done_signal) == config.done_value:
-            return True, extra + 1
+    trace: list[dict[str, int]] = []
+    detected = False
+    done = False
+    cycles = 0
+    while cycles < config.drain_budget + 1:
         outputs = injector.step(idle)
-    return (outputs.get(config.done_signal) == config.done_value,
-            config.drain_budget + 1)
+        if config.detect_signals:
+            sample = {sig: outputs.get(sig) or 0
+                      for sig in config.detect_signals}
+            trace.append(sample)
+            if detect_reference is not None and not detected:
+                k = min(cycles, len(detect_reference) - 1)
+                reference = detect_reference[k] if k >= 0 else {}
+                detected = any(
+                    sample[sig] and not reference.get(sig)
+                    for sig in config.detect_signals
+                )
+        cycles += 1
+        if outputs.get(config.done_signal) == config.done_value:
+            done = True
+            break
+    return done, cycles, trace, detected
+
+
+@dataclass
+class _GoldenRun:
+    """Everything a fault replay compares against."""
+
+    snapshots: dict[int, tuple]
+    trace: list[dict[str, int]]
+    done: bool
+    drain_cycles: int
+    detect_trace: list[dict[str, int]]
+    observed: list[str]
+    selfcheck: str
+
+
+def _golden_run(injector, stimulus: Sequence[Mapping[str, int]],
+                config: CampaignConfig, snap_cycles: set[int]) -> _GoldenRun:
+    """Reset, golden run with checkpoints, drain, and the self-check."""
+    for _ in range(config.reset_cycles):
+        injector.step({config.reset_name: 1})
+    base = injector.snapshot()
+    snapshots: dict[int, tuple] = {}
+    trace: list[dict[str, int]] = []
+    for cycle, entry in enumerate(stimulus):
+        if cycle in snap_cycles:
+            snapshots[cycle] = injector.snapshot()
+        trace.append(injector.step(entry))
+    done, drain_cycles, detect_trace, _ = _drain(injector, config)
+    observed = _observed_names(trace[0], config)
+
+    # Golden self-check: restore+replay must reproduce the trace.
+    injector.restore(base)
+    selfcheck = "masked"
+    for cycle, entry in enumerate(stimulus):
+        outputs = injector.step(entry)
+        if any(outputs.get(k) != trace[cycle].get(k) for k in observed):
+            selfcheck = "sdc"
+            break
+    return _GoldenRun(snapshots, trace, done, drain_cycles, detect_trace,
+                      observed, selfcheck)
+
+
+def _classify(injector, fault: Fault,
+              stimulus: Sequence[Mapping[str, int]], golden: _GoldenRun,
+              config: CampaignConfig) -> FaultRecord:
+    """Restore the fault's checkpoint, inject, replay the tail, classify."""
+    injector.restore(golden.snapshots[fault.cycle])
+    first_divergence: int | None = None
+    detected = False
+    detail = ""
+    hang = False
+    try:
+        injector.inject(fault)
+        for cycle in range(fault.cycle, len(stimulus)):
+            outputs = injector.step(stimulus[cycle])
+            reference = golden.trace[cycle]
+            if first_divergence is None and any(
+                outputs.get(k) != reference.get(k) for k in golden.observed
+            ):
+                first_divergence = cycle
+            if not detected and any(
+                outputs.get(k) and not reference.get(k)
+                for k in config.detect_signals
+            ):
+                detected = True
+        if golden.done:
+            done, _, _, drain_detected = _drain(
+                injector, config, golden.detect_trace
+            )
+            hang = not done
+            detected = detected or drain_detected
+    except Exception as exc:  # simulator flagged the fault itself
+        detected = True
+        detail = f"{type(exc).__name__}: {exc}"
+    finally:
+        injector.clear_faults()
+    if hang:
+        outcome = "hang"
+    elif detected:
+        outcome = "detected"
+    elif first_divergence is not None:
+        outcome = "sdc"
+    else:
+        outcome = "masked"
+    return FaultRecord(fault, outcome, first_divergence, detail)
+
+
+def _golden_meta(injector, golden: _GoldenRun) -> dict[str, Any]:
+    """The injector-independent golden facts every shard must agree on."""
+    return {
+        "flow": injector.flow,
+        "design": getattr(injector, "design", injector.flow),
+        "observed": list(golden.observed),
+        "selfcheck": golden.selfcheck,
+        "done": golden.done,
+        "drain_cycles": golden.drain_cycles,
+    }
+
+
+def _run_shard(payload: tuple) -> dict[str, Any]:
+    """Worker: rebuild the injector, rerun the golden run, classify a shard.
+
+    Module-level so it pickles under every multiprocessing start method.
+    """
+    injector_factory, stimulus, faults, config = payload
+    injector = injector_factory()
+    snap_cycles = {fault.cycle for fault in faults} | {0}
+    golden = _golden_run(injector, stimulus, config, snap_cycles)
+    records = [_classify(injector, fault, stimulus, golden, config)
+               for fault in faults]
+    return {"meta": _golden_meta(injector, golden), "records": records}
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits sys.path), else spawn."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
 
 
 def run_campaign(
@@ -219,8 +375,17 @@ def run_campaign(
     design: str = "",
     hardening: str = "none",
     seed: int = 0,
+    jobs: int = 1,
+    injector_factory: Callable[[], Any] | None = None,
 ) -> CampaignResult:
-    """Golden run + per-fault replay + classification (see module doc)."""
+    """Golden run + per-fault replay + classification (see module doc).
+
+    With ``jobs > 1`` the deduplicated fault list is sharded across that
+    many worker processes; *injector_factory* (a picklable zero-argument
+    callable) rebuilds the injector in each worker, and *injector* may
+    then be ``None``.  The merged report is byte-identical to the
+    ``jobs=1`` run.
+    """
     config = config or CampaignConfig()
     stimulus = [{config.reset_name: 0, **dict(entry)} for entry in stimulus]
     if not stimulus:
@@ -231,80 +396,59 @@ def run_campaign(
                 f"fault cycle {fault.cycle} outside the "
                 f"{len(stimulus)}-cycle stimulus"
             )
+    if jobs > 1 and injector_factory is None:
+        raise ValueError(
+            "run_campaign(jobs>1) needs a picklable injector_factory so "
+            "worker processes can rebuild the injector"
+        )
 
-    # ---- reset, then golden run with checkpoints ---------------------
-    for _ in range(config.reset_cycles):
-        injector.step({config.reset_name: 1})
-    base = injector.snapshot()
-    snap_cycles = {fault.cycle for fault in faults} | {0}
-    snapshots: dict[int, tuple] = {}
-    golden: list[dict[str, int]] = []
-    for cycle, entry in enumerate(stimulus):
-        if cycle in snap_cycles:
-            snapshots[cycle] = injector.snapshot()
-        golden.append(injector.step(entry))
-    golden_done, golden_drain = _drain(injector, config)
-    observed = _observed_names(golden[0], config)
-
-    # ---- golden self-check: restore+replay must reproduce the trace --
-    injector.restore(base)
-    selfcheck = "masked"
-    for cycle, entry in enumerate(stimulus):
-        outputs = injector.step(entry)
-        if any(outputs.get(k) != golden[cycle].get(k) for k in observed):
-            selfcheck = "sdc"
-            break
-
-    # ---- per-fault replay -------------------------------------------
-    records: list[FaultRecord] = []
+    # Identical faults replay identically (determinism guarantee), so
+    # simulate each unique fault once and share its record.
+    unique: list[Fault] = []
+    index_of: dict[Fault, int] = {}
     for fault in faults:
-        injector.restore(snapshots[fault.cycle])
-        first_divergence: int | None = None
-        detected = False
-        detail = ""
-        hang = False
-        try:
-            injector.inject(fault)
-            for cycle in range(fault.cycle, len(stimulus)):
-                outputs = injector.step(stimulus[cycle])
-                reference = golden[cycle]
-                if first_divergence is None and any(
-                    outputs.get(k) != reference.get(k) for k in observed
-                ):
-                    first_divergence = cycle
-                if not detected and any(
-                    outputs.get(k) and not reference.get(k)
-                    for k in config.detect_signals
-                ):
-                    detected = True
-            if golden_done:
-                done, _ = _drain(injector, config)
-                hang = not done
-        except Exception as exc:  # simulator flagged the fault itself
-            detected = True
-            detail = f"{type(exc).__name__}: {exc}"
-        finally:
-            injector.clear_faults()
-        if hang:
-            outcome = "hang"
-        elif detected:
-            outcome = "detected"
-        elif first_divergence is not None:
-            outcome = "sdc"
-        else:
-            outcome = "masked"
-        records.append(FaultRecord(fault, outcome, first_divergence, detail))
+        if fault not in index_of:
+            index_of[fault] = len(unique)
+            unique.append(fault)
+
+    jobs = max(1, min(int(jobs), max(1, len(unique))))
+    if jobs > 1:
+        shards = [unique[k::jobs] for k in range(jobs)]
+        payloads = [(injector_factory, stimulus, shard, config)
+                    for shard in shards]
+        with _mp_context().Pool(jobs) as pool:
+            shard_results = pool.map(_run_shard, payloads)
+        meta = shard_results[0]["meta"]
+        for result in shard_results[1:]:
+            if result["meta"] != meta:
+                raise RuntimeError(
+                    "parallel campaign shards disagree on the golden run "
+                    f"({result['meta']} != {meta}); the injector factory "
+                    "is not deterministic across processes"
+                )
+        unique_records: list[FaultRecord | None] = [None] * len(unique)
+        for k, result in enumerate(shard_results):
+            for j, record in enumerate(result["records"]):
+                unique_records[k + j * jobs] = record
+    else:
+        if injector is None:
+            injector = injector_factory()
+        snap_cycles = {fault.cycle for fault in unique} | {0}
+        golden = _golden_run(injector, stimulus, config, snap_cycles)
+        unique_records = [_classify(injector, fault, stimulus, golden, config)
+                          for fault in unique]
+        meta = _golden_meta(injector, golden)
 
     return CampaignResult(
-        design=design or getattr(injector, "design", injector.flow),
-        flow=injector.flow,
+        design=design or meta["design"],
+        flow=meta["flow"],
         hardening=hardening,
         seed=seed,
         cycles=len(stimulus),
-        observed=observed,
+        observed=meta["observed"],
         detect_signals=list(config.detect_signals),
-        golden_selfcheck=selfcheck,
-        golden_done=golden_done,
-        golden_drain_cycles=golden_drain,
-        records=records,
+        golden_selfcheck=meta["selfcheck"],
+        golden_done=meta["done"],
+        golden_drain_cycles=meta["drain_cycles"],
+        records=[unique_records[index_of[fault]] for fault in faults],
     )

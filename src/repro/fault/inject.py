@@ -119,35 +119,63 @@ class RtlFaultInjector:
 class FaultableGateSimulator(GateSimulator):
     """Gate simulator with stuck-at forcing and transient net flips.
 
-    Forced nets are clamped wherever the base simulator writes net
-    values; the fault-free hot path is untouched because clamping only
-    happens in this subclass.
+    Forced nets are clamped at the three points where the base simulator
+    writes net values — input drive, combinational evaluation and flop
+    commit — under *both* evaluation backends: the event engine clamps
+    in ``_eval``/``drive``/the commit loop, the compiled engine runs its
+    generated ``settle_forced`` variant and re-applies the clamps after
+    the generated commit.  The fault-free hot path is untouched because
+    clamping only happens in this subclass, and only while a force is
+    active.  Forced slots are keyed by value-list slot (see
+    :class:`~repro.netlist.sim.GateSimulator`).
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend: str = "event") -> None:
         # Before super().__init__: the base constructor settles the
         # circuit through our clamped _eval, which reads _forced.
         self._forced: dict[int, int] = {}
-        super().__init__(circuit)
+        super().__init__(circuit, backend=backend)
+
+    def _slot_of(self, net: Net) -> int:
+        net_slot = self._slot.get(net.uid)
+        if net_slot is None:
+            raise FaultInjectionError(
+                f"net {net.name!r} does not belong to circuit "
+                f"{self.circuit.name!r}"
+            )
+        if net.uid in self._const_uids:
+            raise NetlistError(
+                f"refusing to fault constant net {net.name!r}: it is "
+                "shared by every cell consuming that constant, so "
+                "forcing or flipping it would corrupt unrelated logic; "
+                "target the consuming cells' output nets instead"
+            )
+        return net_slot
 
     # -- forcing -------------------------------------------------------
     def force_net(self, net: Net, value: int) -> None:
         """Stuck-at: hold *net* at *value* until :meth:`release_all`."""
+        net_slot = self._slot_of(net)
+        self._ensure_settled()
         value &= 1
-        self._forced[net.uid] = value
-        if self._values[net.uid] != value:
-            self._values[net.uid] = value
-            self._propagate([net.uid])
+        self._forced[net_slot] = value
+        if self._values[net_slot] != value:
+            self._values[net_slot] = value
+            self._propagate([net_slot])
 
     def flip_net(self, net: Net) -> None:
         """Transient upset: invert the current value of *net* once.
 
-        The glitch persists until the driving cell is next re-evaluated
-        (combinational nets) or until the next clock commit (flop
-        outputs, i.e. a state SEU).
+        The glitch persists until the driving cell is next re-evaluated:
+        for flop outputs (a state SEU) that is the next clock commit
+        under either backend; for combinational nets the event backend
+        heals the glitch when the driver's cone next changes, while the
+        compiled backend's full re-settle heals it at the next step.
         """
-        self._values[net.uid] ^= 1
-        self._propagate([net.uid])
+        net_slot = self._slot_of(net)
+        self._ensure_settled()
+        self._values[net_slot] ^= 1
+        self._propagate([net_slot])
 
     def release_all(self) -> None:
         """Remove every stuck-at force and re-settle the circuit."""
@@ -161,45 +189,72 @@ class FaultableGateSimulator(GateSimulator):
         self._settle_all()
 
     # -- clamped write points -----------------------------------------
+    def _settle_all(self) -> None:
+        if self._compiled is not None and self._forced:
+            self._compiled.settle_forced(self._values, self._forced)
+            self._stale = False
+            return
+        super()._settle_all()
+
     def _eval(self, cell) -> bool:
-        out_net = cell.pins[cell.ctype.outputs[0]]
-        forced = self._forced.get(out_net.uid)
+        out = self._cell_out[cell.uid]
+        forced = self._forced.get(out)
         if forced is not None:
-            if self._values[out_net.uid] == forced:
+            if self._values[out] == forced:
                 return False
-            self._values[out_net.uid] = forced
+            self._values[out] = forced
             return True
         return super()._eval(cell)
 
     def drive(self, **buses: int) -> list[int]:
         dirty = super().drive(**buses)
-        for uid, value in self._forced.items():
-            if self._values[uid] != value:
-                self._values[uid] = value
-                dirty.append(uid)
+        if self._forced:
+            for net_slot, value in self._forced.items():
+                if self._values[net_slot] != value:
+                    self._values[net_slot] = value
+                    dirty.append(net_slot)
         return dirty
 
-    def step(self, **buses: int) -> dict[str, int]:
+    def _step_event(self, buses) -> dict[str, int]:
         if not self._forced:
-            return super().step(**buses)
+            return super()._step_event(buses)
         dirty = self.drive(**buses)
         if dirty:
             self._propagate(dirty)
         outputs = self.peek_outputs()
-        sampled = [
-            (flop, self._values[flop.pins["d"].uid]) for flop in self._flops
-        ]
+        values = self._values
+        forced = self._forced
+        sampled = [values[d] for d in self._flop_d]
         changed: list[int] = []
-        for flop, d_value in sampled:
-            q_net = flop.pins["q"]
-            d_value = self._forced.get(q_net.uid, d_value)
-            if self._values[q_net.uid] != d_value:
-                self._values[q_net.uid] = d_value
-                changed.append(q_net.uid)
+        for q, d_value in zip(self._flop_q, sampled):
+            d_value = forced.get(q, d_value)
+            if values[q] != d_value:
+                values[q] = d_value
+                changed.append(q)
         if changed:
             self._propagate(changed)
         self.cycle += 1
         return outputs
+
+    def _step_compiled(self, buses) -> dict[str, int]:
+        if not self._forced:
+            return super()._step_compiled(buses)
+        self.drive(**buses)  # re-applies input clamps
+        engine = self._compiled
+        values = self._values
+        forced = self._forced
+        engine.settle_forced(values, forced)
+        outputs = engine.peek(values)
+        engine.commit(values)
+        for net_slot, value in forced.items():  # clamp committed flops
+            values[net_slot] = value
+        self._stale = True
+        self.cycle += 1
+        return outputs
+
+    def restore_state(self, snap: tuple) -> None:
+        self._forced.clear()
+        super().restore_state(snap)
 
 
 class GateFaultInjector:
@@ -238,15 +293,12 @@ class GateFaultInjector:
         return self.sim.step(**dict(entry))
 
     def snapshot(self) -> tuple:
-        return (dict(self.sim._values), self.sim.cycle,
-                dict(self.sim._inputs))
+        return self.sim.snapshot_state()
 
     def restore(self, snap: tuple) -> None:
-        values, cycle, inputs = snap
-        self.sim._forced.clear()
-        self.sim._values = dict(values)
-        self.sim.cycle = cycle
-        self.sim._inputs = dict(inputs)
+        # FaultableGateSimulator.restore_state also releases any active
+        # stuck-at forcing before rewinding the value store.
+        self.sim.restore_state(snap)
 
     def seu_targets(self) -> list[tuple[str, int]]:
         return [(name, 1) for name in self._state_nets]

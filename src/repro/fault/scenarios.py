@@ -9,6 +9,7 @@ primitives from :mod:`repro.fault.harden`.
 
 from __future__ import annotations
 
+import functools
 import random
 from typing import Mapping
 
@@ -71,8 +72,19 @@ def _build_expocu_rtl(side: int):
     return synthesize(dut, observe_children=False)
 
 
-def expocu_injector(flow: str, hardening: str = "none", side: int = 8):
-    """Build the ExpoCU and wrap it in the flow's fault injector."""
+def expocu_injector(flow: str, hardening: str = "none", side: int = 8,
+                    backend: str = "event"):
+    """Build the ExpoCU and wrap it in the flow's fault injector.
+
+    *backend* selects the gate-level evaluation engine
+    (:class:`~repro.netlist.sim.GateSimulator`): ``"event"`` or the
+    code-generated ``"compiled"`` fast path.
+    """
+    if flow == "rtl" and backend != "event":
+        raise ValueError(
+            "the compiled evaluator backend operates on the netlist flow "
+            "(--flow netlist); RTL injection is always event-driven"
+        )
     rtl = _build_expocu_rtl(side)
     if flow == "rtl":
         if hardening != "none":
@@ -89,7 +101,9 @@ def expocu_injector(flow: str, hardening: str = "none", side: int = 8):
         optimize(circuit)
         if hardening != "none":
             harden_circuit(circuit, hardening)
-        return GateFaultInjector(FaultableGateSimulator(circuit))
+        return GateFaultInjector(
+            FaultableGateSimulator(circuit, backend=backend)
+        )
     raise ValueError(f"unknown flow {flow!r} (expected 'rtl' or 'netlist')")
 
 
@@ -116,13 +130,24 @@ def expocu_campaign(
     hardening: str = "none",
     side: int = 8,
     stimulus: list[Mapping[str, int]] | None = None,
+    jobs: int = 1,
+    backend: str = "event",
 ) -> CampaignResult:
-    """Run the bundled ExpoCU campaign; fully deterministic per seed."""
-    injector = expocu_injector(flow, hardening, side)
+    """Run the bundled ExpoCU campaign; fully deterministic per seed.
+
+    ``jobs > 1`` shards the fault list across worker processes, each of
+    which rebuilds the injector from this factory — the report stays
+    byte-identical to the sequential run.  ``backend="compiled"`` swaps
+    the netlist flow onto the code-generated gate evaluator.
+    """
+    factory = functools.partial(expocu_injector, flow, hardening, side,
+                                backend)
+    injector = factory()
     if stimulus is None:
         stimulus = expocu_stimulus(seed, frames=1, side=side)
     fault_list = generate_fault_list(injector, faults, len(stimulus), seed)
     return run_campaign(
         injector, stimulus, fault_list, expocu_config(hardening),
         design=f"ExpoCU[{side},{side}]", hardening=hardening, seed=seed,
+        jobs=jobs, injector_factory=factory,
     )

@@ -170,6 +170,16 @@ class Circuit:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    def constant_nets(self) -> dict[int, Net]:
+        """The shared constant nets, as ``{value: net}`` (a copy).
+
+        The circuit has at most one constant-0 and one constant-1 net
+        (see :meth:`const_net`); they are shared by every cell that
+        consumes a constant, which is why simulators must never write
+        them.  Mutating the returned dict does not affect the circuit.
+        """
+        return dict(self._const)
+
     def flops(self) -> list[Cell]:
         """All sequential cells."""
         return [c for c in self.cells if c.ctype.sequential]

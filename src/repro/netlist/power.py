@@ -60,8 +60,14 @@ class ActivitySimulator(GateSimulator):
     def __init__(self, circuit: Circuit) -> None:
         # Set before super().__init__: the base constructor settles the
         # netlist once, which already routes through our _eval override.
+        # Always the event backend — toggle counting hangs off _eval,
+        # which the compiled evaluator bypasses.
         self.toggle_counts: dict[int, int] = {}
-        super().__init__(circuit)
+        super().__init__(circuit, backend="event")
+        self._q_uid_slots = [
+            (f.pins["q"].uid, self._slot[f.pins["q"].uid])
+            for f in self._flops
+        ]
         # The initial settle is power-on, not switching activity.
         self.toggle_counts.clear()
 
@@ -75,11 +81,11 @@ class ActivitySimulator(GateSimulator):
 
     def step(self, **buses) -> dict[str, int]:
         # Count flop output toggles too (they bypass _eval).
-        before = {f.pins["q"].uid: self._values[f.pins["q"].uid]
-                  for f in self._flops}
+        before = [(uid, net_slot, self._values[net_slot])
+                  for uid, net_slot in self._q_uid_slots]
         outputs = super().step(**buses)
-        for uid, old in before.items():
-            if self._values[uid] != old:
+        for uid, net_slot, old in before:
+            if self._values[net_slot] != old:
                 self.toggle_counts[uid] = self.toggle_counts.get(uid, 0) + 1
         return outputs
 

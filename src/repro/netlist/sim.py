@@ -1,18 +1,39 @@
 """Gate-level simulation.
 
-A levelized, event-driven-within-cycle simulator for mapped circuits: the
-combinational cells are topologically ordered once; each clock cycle applies
-the inputs, re-evaluates only the fan-out cones of changed nets, then clocks
-every flip-flop simultaneously.  Used by the stage-equivalence harness
-(claim R6: the netlist is bit- and cycle-accurate against the OSSS source)
-and as the slowest rung of the simulation-speed ladder (claim R7).
+A levelized simulator for mapped circuits with two interchangeable
+evaluation backends:
+
+``event`` (default)
+    Event-driven within each cycle: the combinational cells are
+    topologically ordered once; each clock cycle applies the inputs,
+    re-evaluates only the fan-out cones of changed nets, then clocks
+    every flip-flop simultaneously.
+``compiled``
+    One straight-line Python function is code-generated per circuit from
+    the same topological order — one bitwise expression per cell over a
+    flat value list, no per-cell dict lookups or dispatch — and executed
+    once per cycle.  Combinational values are re-settled lazily after
+    the flop commit, so the steady-state cost is a single generated
+    call per cycle.
+
+Both backends share one state representation (a dense ``list`` indexed
+by per-circuit net *slots*) and are asserted equivalent by a randomized
+oracle (``tests/netlist/test_sim_oracle.py``).  Used by the
+stage-equivalence harness (claim R6: the netlist is bit- and
+cycle-accurate against the OSSS source), as the slowest rung of the
+simulation-speed ladder (claim R7), and as the hot path of the
+fault-injection campaign engine (:mod:`repro.fault`).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+import heapq
+from typing import Callable, Iterable, Mapping
 
 from repro.netlist.circuit import Cell, Circuit, NetlistError
+
+#: The simulation backends selectable via ``GateSimulator(..., backend=)``.
+BACKENDS = ("event", "compiled")
 
 
 def _eval_cell(name: str, ins: list[int]) -> int:
@@ -38,6 +59,99 @@ def _eval_cell(name: str, ins: list[int]) -> int:
     raise NetlistError(f"cannot evaluate cell type {name}")
 
 
+def _cell_expr(name: str, ins: list[int]) -> str:
+    """The cell's output as a Python expression over value slots."""
+    if name == "INV":
+        return f"v[{ins[0]}] ^ 1"
+    if name == "BUF":
+        return f"v[{ins[0]}]"
+    if name == "AND2":
+        return f"v[{ins[0]}] & v[{ins[1]}]"
+    if name == "OR2":
+        return f"v[{ins[0]}] | v[{ins[1]}]"
+    if name == "XOR2":
+        return f"v[{ins[0]}] ^ v[{ins[1]}]"
+    if name == "XNOR2":
+        return f"1 ^ v[{ins[0]}] ^ v[{ins[1]}]"
+    if name == "NAND2":
+        return f"1 ^ (v[{ins[0]}] & v[{ins[1]}])"
+    if name == "NOR2":
+        return f"1 ^ (v[{ins[0]}] | v[{ins[1]}])"
+    if name == "MUX2":
+        d0, d1, s = ins
+        return f"v[{d1}] if v[{s}] else v[{d0}]"
+    raise NetlistError(f"cannot compile cell type {name}")
+
+
+class _CompiledEngine:
+    """The code-generated evaluator functions for one circuit.
+
+    ``settle(v)``            full combinational settle, straight-line;
+    ``settle_forced(v, f)``  same, clamping slots present in *f* (the
+                             fault subsystem's stuck-at forcing);
+    ``commit(v)``            simultaneous flop commit (one tuple
+                             assignment: every D is read before any Q
+                             is written);
+    ``peek(v)``              output buses as a fresh ``{name: value}``.
+    """
+
+    __slots__ = ("settle", "settle_forced", "commit", "peek", "source")
+
+    def __init__(self, settle: Callable, settle_forced: Callable,
+                 commit: Callable, peek: Callable, source: str) -> None:
+        self.settle = settle
+        self.settle_forced = settle_forced
+        self.commit = commit
+        self.peek = peek
+        self.source = source
+
+
+def compile_engine(circuit: Circuit, order: list[Cell],
+                   flops: list[Cell], slot: dict[int, int]) -> _CompiledEngine:
+    """Generate and compile the straight-line evaluator for *circuit*."""
+    settle_lines: list[str] = []
+    forced_lines: list[str] = []
+    for cell in order:
+        out = slot[cell.pins[cell.ctype.outputs[0]].uid]
+        ins = [slot[n.uid] for n in cell.input_nets()]
+        expr = _cell_expr(cell.ctype.name, ins)
+        settle_lines.append(f"    v[{out}] = {expr}")
+        forced_lines.append(
+            f"    v[{out}] = f[{out}] if {out} in f else ({expr})"
+        )
+    if flops:
+        lhs = ", ".join(f"v[{slot[f.pins['q'].uid]}]" for f in flops)
+        rhs = ", ".join(f"v[{slot[f.pins['d'].uid]}]" for f in flops)
+        commit_lines = [f"    {lhs} = {rhs}"]
+    else:
+        commit_lines = ["    pass"]
+    peek_items = []
+    for name, nets in circuit.output_buses.items():
+        bits = [
+            f"v[{slot[net.uid]}]" if k == 0 else f"v[{slot[net.uid]}] << {k}"
+            for k, net in enumerate(nets)
+        ]
+        peek_items.append(f"{name!r}: {' | '.join(bits) or '0'}")
+    source = "\n".join([
+        "def settle(v):",
+        *(settle_lines or ["    pass"]),
+        "",
+        "def settle_forced(v, f):",
+        *(forced_lines or ["    pass"]),
+        "",
+        "def commit(v):",
+        *commit_lines,
+        "",
+        "def peek(v):",
+        "    return {" + ", ".join(peek_items) + "}",
+        "",
+    ])
+    namespace: dict = {}
+    exec(compile(source, f"<compiled:{circuit.name}>", "exec"), namespace)
+    return _CompiledEngine(namespace["settle"], namespace["settle_forced"],
+                           namespace["commit"], namespace["peek"], source)
+
+
 class GateSimulator:
     """Cycle-based two-valued gate simulator.
 
@@ -45,80 +159,149 @@ class GateSimulator:
     ----------
     circuit:
         A linked (no black boxes), validated circuit.
+    backend:
+        ``"event"`` for the interpreted event-driven engine (the
+        reference) or ``"compiled"`` for the code-generated straight-line
+        evaluator (the fast path; see the module docstring).
+
+    Net values live in a flat list (``self._values``) indexed by a dense
+    per-circuit *slot*; ``self._slot`` maps net uid to slot.  Both
+    backends share this store, so the fault-injection hooks
+    (:mod:`repro.fault.inject`) work identically under either.
     """
 
-    def __init__(self, circuit: Circuit) -> None:
+    def __init__(self, circuit: Circuit, backend: str = "event") -> None:
+        if backend not in BACKENDS:
+            raise NetlistError(
+                f"unknown simulation backend {backend!r} "
+                f"(expected one of {BACKENDS})"
+            )
         circuit.validate()
         self.circuit = circuit
+        self.backend = backend
         self._order = circuit.topological_comb_order()
         self._flops = circuit.flops()
-        self._values: dict[int, int] = {}
+        # Slots are allocated for *live* nets only (cell pins, bus
+        # members, constants): technology mapping leaves many dead nets
+        # behind, and the value list is copied by every checkpoint.
+        used: set[int] = set(circuit.primary_input_nets())
+        for cell in circuit.cells:
+            for net in cell.pins.values():
+                used.add(net.uid)
+        for nets in circuit.output_buses.values():
+            for net in nets:
+                used.add(net.uid)
+        self._slot: dict[int, int] = {}
+        for net in circuit.nets:
+            if net.uid in used:
+                self._slot[net.uid] = len(self._slot)
+        slot = self._slot
+        self._values: list[int] = [0] * len(slot)
+        self._const_uids: set[int] = set()
+        for value, net in circuit.constant_nets().items():
+            self._values[slot[net.uid]] = value
+            self._const_uids.add(net.uid)
+        # Pre-resolved slots for the interpreted engine: input slots and
+        # the output slot per cell, fan-out cells per slot, topo level.
+        self._cell_ins: dict[int, list[int]] = {}
+        self._cell_out: dict[int, int] = {}
         self._fanout: dict[int, list[Cell]] = {}
         self._level: dict[int, int] = {}
         for level, cell in enumerate(self._order):
             self._level[cell.uid] = level
+            self._cell_ins[cell.uid] = [
+                slot[n.uid] for n in cell.input_nets()
+            ]
+            self._cell_out[cell.uid] = \
+                slot[cell.pins[cell.ctype.outputs[0]].uid]
             for net in cell.input_nets():
-                self._fanout.setdefault(net.uid, []).append(cell)
-        for net in circuit.nets:
-            self._values[net.uid] = 0
-        for value, net in circuit._const.items():
-            self._values[net.uid] = value
+                self._fanout.setdefault(slot[net.uid], []).append(cell)
+        self._in_slots = {
+            name: [slot[n.uid] for n in nets]
+            for name, nets in circuit.input_buses.items()
+        }
+        self._out_slots = {
+            name: [slot[n.uid] for n in nets]
+            for name, nets in circuit.output_buses.items()
+        }
+        self._flop_d = [slot[f.pins["d"].uid] for f in self._flops]
+        self._flop_q = [slot[f.pins["q"].uid] for f in self._flops]
         self._inputs: dict[str, int] = {name: 0 for name in circuit.input_buses}
         self.cycle = 0
+        self._compiled = (
+            compile_engine(circuit, self._order, self._flops, slot)
+            if backend == "compiled" else None
+        )
+        #: Compiled backend only: combinational values are stale after a
+        #: flop commit and re-settled on demand (next step, peek, or
+        #: state access) — one generated call per steady-state cycle.
+        self._stale = False
         self._settle_all()
+
+    @property
+    def compiled_source(self) -> str | None:
+        """The generated evaluator source (``None`` on the event backend)."""
+        return self._compiled.source if self._compiled is not None else None
 
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
     def _settle_all(self) -> None:
-        for cell in self._order:
-            self._eval(cell)
+        if self._compiled is not None:
+            self._compiled.settle(self._values)
+        else:
+            for cell in self._order:
+                self._eval(cell)
+        self._stale = False
+
+    def _ensure_settled(self) -> None:
+        if self._stale:
+            self._settle_all()
 
     def _eval(self, cell: Cell) -> bool:
-        ins = [self._values[n.uid] for n in cell.input_nets()]
-        out_net = cell.pins[cell.ctype.outputs[0]]
+        values = self._values
+        ins = [values[s] for s in self._cell_ins[cell.uid]]
+        out = self._cell_out[cell.uid]
         new = _eval_cell(cell.ctype.name, ins)
-        if self._values[out_net.uid] == new:
+        if values[out] == new:
             return False
-        self._values[out_net.uid] = new
+        values[out] = new
         return True
 
-    def _propagate(self, dirty_nets: list[int]) -> None:
-        """Event-driven settle: re-evaluate fan-out of changed nets."""
-        import heapq
-
+    def _propagate(self, dirty_slots: list[int]) -> None:
+        """Event-driven settle: re-evaluate fan-out of changed slots."""
         pending: list[tuple[int, int]] = []
         queued: set[int] = set()
+        _by_uid: dict[int, Cell] = {}
 
-        def enqueue(net_uid: int) -> None:
-            for cell in self._fanout.get(net_uid, ()):
+        def enqueue(net_slot: int) -> None:
+            for cell in self._fanout.get(net_slot, ()):
                 if cell.uid not in queued:
                     queued.add(cell.uid)
                     heapq.heappush(pending, (self._level[cell.uid], cell.uid))
                     _by_uid[cell.uid] = cell
 
-        _by_uid: dict[int, Cell] = {}
-        for uid in dirty_nets:
-            enqueue(uid)
+        for net_slot in dirty_slots:
+            enqueue(net_slot)
         while pending:
             _, cell_uid = heapq.heappop(pending)
             cell = _by_uid[cell_uid]
             queued.discard(cell_uid)
             if self._eval(cell):
-                out_net = cell.pins[cell.ctype.outputs[0]]
-                enqueue(out_net.uid)
+                enqueue(self._cell_out[cell_uid])
 
     def drive(self, **buses: int) -> list[int]:
-        """Set input buses; returns the list of changed net uids.
+        """Set input buses; returns the list of changed net slots.
 
         Values are masked to the bus width before being stored (matching
         :meth:`repro.rtl.simulate.RtlSimulator.drive`); negative values
         are rejected — drive the two's-complement raw pattern instead.
         """
         dirty: list[int] = []
+        values = self._values
         for name, value in buses.items():
-            nets = self.circuit.input_buses.get(name)
-            if nets is None:
+            slots = self._in_slots.get(name)
+            if slots is None:
                 raise NetlistError(f"no input bus {name!r}")
             value = int(value)
             if value < 0:
@@ -126,43 +309,82 @@ class GateSimulator:
                     f"input bus {name!r} driven with negative value "
                     f"{value}; drive the raw two's-complement pattern"
                 )
-            value &= (1 << len(nets)) - 1
+            value &= (1 << len(slots)) - 1
             self._inputs[name] = value
-            for k, net in enumerate(nets):
+            for k, net_slot in enumerate(slots):
                 bit_value = (value >> k) & 1
-                if self._values[net.uid] != bit_value:
-                    self._values[net.uid] = bit_value
-                    dirty.append(net.uid)
+                if values[net_slot] != bit_value:
+                    values[net_slot] = bit_value
+                    dirty.append(net_slot)
         return dirty
 
     def peek_outputs(self) -> dict[str, int]:
         """Current output bus values."""
+        self._ensure_settled()
+        if self._compiled is not None:
+            return self._compiled.peek(self._values)
+        values = self._values
         result = {}
-        for name, nets in self.circuit.output_buses.items():
+        for name, slots in self._out_slots.items():
             value = 0
-            for k, net in enumerate(nets):
-                value |= self._values[net.uid] << k
+            for k, net_slot in enumerate(slots):
+                value |= values[net_slot] << k
             result[name] = value
         return result
 
+    # ------------------------------------------------------------------
+    # state checkpointing (used by the fault-campaign engine)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> tuple:
+        """A deep, settled copy of the simulator state."""
+        self._ensure_settled()
+        return (list(self._values), self.cycle, dict(self._inputs))
+
+    def restore_state(self, snap: tuple) -> None:
+        """Rewind to a :meth:`snapshot_state` checkpoint."""
+        values, cycle, inputs = snap
+        self._values = list(values)
+        self.cycle = cycle
+        self._inputs = dict(inputs)
+        self._stale = False
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
     def step(self, **buses: int) -> dict[str, int]:
         """Advance one clock cycle; returns the sampled outputs."""
+        if self._compiled is not None:
+            return self._step_compiled(buses)
+        return self._step_event(buses)
+
+    def _step_event(self, buses: Mapping[str, int]) -> dict[str, int]:
         dirty = self.drive(**buses)
         if dirty:
             self._propagate(dirty)
         outputs = self.peek_outputs()
+        values = self._values
         # Sample all flop D pins, then commit Q simultaneously.
-        sampled = [
-            (flop, self._values[flop.pins["d"].uid]) for flop in self._flops
-        ]
+        sampled = [values[d] for d in self._flop_d]
         changed: list[int] = []
-        for flop, d_value in sampled:
-            q_net = flop.pins["q"]
-            if self._values[q_net.uid] != d_value:
-                self._values[q_net.uid] = d_value
-                changed.append(q_net.uid)
+        for q, d_value in zip(self._flop_q, sampled):
+            if values[q] != d_value:
+                values[q] = d_value
+                changed.append(q)
         if changed:
             self._propagate(changed)
+        self.cycle += 1
+        return outputs
+
+    def _step_compiled(self, buses: Mapping[str, int]) -> dict[str, int]:
+        self.drive(**buses)
+        engine = self._compiled
+        values = self._values
+        engine.settle(values)
+        outputs = engine.peek(values)
+        engine.commit(values)
+        # Combinational nets now lag the committed state; the next
+        # settle (next step or on-demand) brings them forward.
+        self._stale = True
         self.cycle += 1
         return outputs
 
@@ -186,4 +408,5 @@ class GateSimulator:
         return outputs
 
     def __repr__(self) -> str:
-        return f"GateSimulator({self.circuit.name!r}, cycle={self.cycle})"
+        return (f"GateSimulator({self.circuit.name!r}, "
+                f"backend={self.backend!r}, cycle={self.cycle})")

@@ -1066,16 +1066,19 @@ class Interpreter:
     def merge_into(self, env: PathEnv, cond: Expr, then_env: PathEnv,
                    else_env: PathEnv, stmt: ast.stmt) -> None:
         """Fold two branch environments back into *env* with muxes."""
-        # locals
-        names = set(then_env.locals) | set(else_env.locals)
+        # locals — in sorted order: set iteration follows the randomized
+        # string hash, and the merge order decides downstream mux/register
+        # emission order (reports must be byte-identical across processes).
+        names = sorted(set(then_env.locals) | set(else_env.locals))
         merged_locals: dict[str, Binding] = {}
         for name in names:
             a = then_env.locals.get(name, env.locals.get(name))
             b = else_env.locals.get(name, env.locals.get(name))
             merged_locals[name] = self._merge_binding(cond, a, b, stmt, name)
         env.locals = merged_locals
-        # carriers
-        uids = set(then_env.pending) | set(else_env.pending)
+        # carriers (int uids hash to themselves, but keep the order
+        # explicit rather than relying on set internals)
+        uids = sorted(set(then_env.pending) | set(else_env.pending))
         for uid in uids:
             carrier = then_env.written.get(uid) or else_env.written.get(uid)
             base = env.pending.get(uid, Read(carrier))

@@ -61,6 +61,41 @@ class TestUsageErrors:
         with pytest.raises(SystemExit):
             main(["inject", "--hardening", "ecc"])
 
+    def test_rtl_flow_rejects_compiled_backend(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(ValueError, match="netlist"):
+            main(["inject", "--flow", "rtl", "--backend", "compiled",
+                  "--faults", "0"])
+
+    def test_unknown_backend_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["inject", "--backend", "turbo"])
+
+
+@pytest.mark.slow
+class TestParallelJobs:
+    def test_jobs_report_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "seq.json", tmp_path / "par.json"]
+        for path, jobs in zip(paths, ("1", "2")):
+            code = main(["inject", "--flow", "rtl", "--faults", "6",
+                         "--seed", "1", "--jobs", jobs,
+                         "--output", str(path)])
+            assert code == 0
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_compiled_backend_report_tagged(self, tmp_path, monkeypatch,
+                                            capsys):
+        (tmp_path / "benchmarks" / "results").mkdir(parents=True)
+        monkeypatch.chdir(tmp_path)
+        assert main(["inject", "--flow", "netlist", "--faults", "2",
+                     "--seed", "1", "--backend", "compiled"]) == 0
+        report = (tmp_path / "benchmarks" / "results"
+                  / "fault_netlist_none_seed1_compiled.json")
+        assert report.exists()
+        payload = json.loads(report.read_text())
+        assert payload["flow"] == "netlist"
+        assert sum(payload["outcomes"].values()) == 2
+
 
 @pytest.mark.slow
 class TestDeterminism:

@@ -111,7 +111,7 @@ class TestGateInjector:
             sim.step(reset=0, x=0)
         names = [name for name, _ in injector.seu_targets()]
         assert names
-        before = dict(sim._values)
+        before = list(sim._values)
         injector.inject(Fault("seu", names[0], 0, 0))
         assert sim._values != before  # state bit flipped and propagated
         for _ in range(3):

@@ -123,6 +123,50 @@ class TestCycleBudget:
         assert sim.cycle == 10  # stopped right at the budget
 
 
+class TestCompiledBackend:
+    def test_matches_event_backend_on_pipeline(self):
+        event = GateSimulator(pipeline_circuit())
+        compiled = GateSimulator(pipeline_circuit(), backend="compiled")
+        for stim in ({"reset": 1}, {"reset": 0, "x": 5},
+                     {"reset": 0, "x": 9}, {"reset": 0, "x": 3},
+                     {"reset": 0, "x": 3}, {"reset": 0, "x": 15}):
+            assert event.step(**stim) == compiled.step(**stim)
+            assert event.peek_outputs() == compiled.peek_outputs()
+
+    def test_masking_and_budget_apply_to_compiled(self):
+        from repro.netlist.circuit import NetlistError
+
+        sim = GateSimulator(pipeline_circuit(), backend="compiled")
+        sim.step(reset=1)
+        sim.step(reset=0, x=0x1F5)
+        sim.step(reset=0, x=0)
+        assert sim.peek_outputs()["y"] == 0x5
+        with pytest.raises(NetlistError, match="negative"):
+            sim.step(reset=0, x=-1)
+
+    def test_compiled_source_is_straight_line(self):
+        sim = GateSimulator(pipeline_circuit(), backend="compiled")
+        source = sim.compiled_source
+        assert "def settle(v):" in source
+        assert "def settle_forced(v, f):" in source
+        assert "def commit(v):" in source
+        assert "def peek(v):" in source
+        # One assignment per combinational cell, no loops.
+        assert "for " not in source
+        assert "while " not in source
+
+    def test_unknown_backend_rejected(self):
+        from repro.netlist.circuit import NetlistError
+
+        with pytest.raises(NetlistError, match="backend"):
+            GateSimulator(pipeline_circuit(), backend="turbo")
+
+    def test_repr_names_backend(self):
+        assert "compiled" in repr(
+            GateSimulator(pipeline_circuit(), backend="compiled")
+        )
+
+
 class TestEventDrivenPropagation:
     @given(values=st.lists(st.integers(0, 15), min_size=5, max_size=20))
     @settings(max_examples=20, deadline=None)

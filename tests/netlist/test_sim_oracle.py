@@ -1,0 +1,192 @@
+"""Randomized equivalence oracle for the gate-simulator backends.
+
+Small random circuits are driven with random stimulus through three
+engines that must agree bit-for-bit on every cycle:
+
+* the event-driven engine (``_propagate`` over changed cones),
+* a full re-evaluation reference (``_settle_all`` after every change),
+* the code-generated compiled backend.
+
+This is the safety net under the compiled evaluator: any codegen bug —
+a wrong expression, a missed commit, a stale lazy settle — shows up as
+a divergence on some seed.
+"""
+
+import random
+
+import pytest
+
+from repro.fault.inject import FaultableGateSimulator
+from repro.netlist import Circuit, GateSimulator, NetlistError
+
+_COMB = ("INV", "BUF", "AND2", "OR2", "XOR2", "XNOR2", "NAND2", "NOR2",
+         "MUX2")
+
+
+def random_circuit(seed: int, n_inputs: int = 4, n_cells: int = 40,
+                   n_flops: int = 6, n_outputs: int = 8) -> Circuit:
+    """A random acyclic netlist with feedback through flops only.
+
+    Cells are created in topological order (each consumes already-driven
+    nets), flop D pins may close cycles through the registered boundary,
+    and outputs sample random internal nets.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(f"rand{seed}")
+    inputs = circuit.new_bus("x", n_inputs)
+    circuit.mark_input("x", inputs)
+    q_nets = [circuit.new_net(f"q{i}") for i in range(n_flops)]
+    pool = list(inputs) + q_nets
+    if rng.random() < 0.5:
+        pool.append(circuit.const_net(rng.randrange(2)))
+    comb_nets = []
+    for k in range(n_cells):
+        ctype = rng.choice(_COMB)
+        out = circuit.new_net(f"n{k}")
+        if ctype in ("INV", "BUF"):
+            pins = {"a": rng.choice(pool)}
+        elif ctype == "MUX2":
+            pins = {"d0": rng.choice(pool), "d1": rng.choice(pool),
+                    "s": rng.choice(pool)}
+        else:
+            pins = {"i0": rng.choice(pool), "i1": rng.choice(pool)}
+        circuit.add_cell(f"g{k}", ctype, y=out, **pins)
+        pool.append(out)
+        comb_nets.append(out)
+    for i, q_net in enumerate(q_nets):
+        circuit.add_cell(f"ff{i}", "DFF", d=rng.choice(pool), q=q_net)
+    circuit.mark_output(
+        "y", [rng.choice(pool) for _ in range(n_outputs)]
+    )
+    circuit.validate()
+    return circuit
+
+
+def _stimulus(seed: int, n_inputs: int, cycles: int) -> list[dict]:
+    rng = random.Random(seed + 1)
+    return [{"x": rng.randrange(1 << n_inputs)} for _ in range(cycles)]
+
+
+class TestThreeWayOracle:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_event_settle_and_compiled_agree(self, seed):
+        n_inputs = 4
+        circuit = random_circuit(seed, n_inputs=n_inputs)
+        event = GateSimulator(circuit, backend="event")
+        compiled = GateSimulator(circuit, backend="compiled")
+        # Reference: the event engine with every propagation widened to
+        # a full settle — brute-force re-evaluation of all cells.
+        settle = GateSimulator(circuit, backend="event")
+        settle._propagate = \
+            lambda dirty: GateSimulator._settle_all(settle)
+        for entry in _stimulus(seed, n_inputs, cycles=30):
+            out_event = event.step(**entry)
+            out_settle = settle.step(**entry)
+            out_compiled = compiled.step(**entry)
+            assert out_event == out_settle == out_compiled
+            assert (event.peek_outputs() == settle.peek_outputs()
+                    == compiled.peek_outputs())
+
+    @pytest.mark.parametrize("seed", (2, 7))
+    def test_faultable_backends_agree_fault_free(self, seed):
+        circuit = random_circuit(seed)
+        event = FaultableGateSimulator(circuit, backend="event")
+        compiled = FaultableGateSimulator(circuit, backend="compiled")
+        for entry in _stimulus(seed, 4, cycles=20):
+            assert event.step(**entry) == compiled.step(**entry)
+
+    @pytest.mark.parametrize("seed", (1, 5, 9))
+    def test_stuck_at_clamps_agree_across_backends(self, seed):
+        """The three clamp points behave identically under both engines."""
+        rng = random.Random(seed + 2)
+        circuit = random_circuit(seed)
+        event = FaultableGateSimulator(circuit, backend="event")
+        compiled = FaultableGateSimulator(circuit, backend="compiled")
+        consts = {net.uid for net in circuit.constant_nets().values()}
+        forceable = [
+            cell.pins["y"] for cell in circuit.comb_cells()
+            if not cell.ctype.name.startswith("TIE")
+        ] + [net for net in circuit.input_buses["x"] +
+             [f.pins["q"] for f in circuit.flops()]
+             if net.uid not in consts]
+        stim = _stimulus(seed, 4, cycles=24)
+        for sim in (event, compiled):
+            for entry in stim[:4]:
+                sim.step(**entry)
+        target = forceable[rng.randrange(len(forceable))]
+        value = rng.randrange(2)
+        event.force_net(target, value)
+        compiled.force_net(target, value)
+        for entry in stim[4:16]:
+            assert event.step(**entry) == compiled.step(**entry)
+        event.release_all()
+        compiled.release_all()
+        for entry in stim[16:]:
+            assert event.step(**entry) == compiled.step(**entry)
+            assert event.peek_outputs() == compiled.peek_outputs()
+
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_state_seu_flips_agree_across_backends(self, seed):
+        circuit = random_circuit(seed)
+        flops = circuit.flops()
+        event = FaultableGateSimulator(circuit, backend="event")
+        compiled = FaultableGateSimulator(circuit, backend="compiled")
+        stim = _stimulus(seed, 4, cycles=20)
+        for entry in stim[:5]:
+            event.step(**entry)
+            compiled.step(**entry)
+        q_net = flops[seed % len(flops)].pins["q"]
+        event.flip_net(q_net)
+        compiled.flip_net(q_net)
+        assert event.peek_outputs() == compiled.peek_outputs()
+        for entry in stim[5:]:
+            assert event.step(**entry) == compiled.step(**entry)
+
+
+class TestCompiledBackendSurface:
+    def test_unknown_backend_rejected(self):
+        circuit = random_circuit(0)
+        with pytest.raises(NetlistError, match="backend"):
+            GateSimulator(circuit, backend="jit")
+
+    def test_compiled_source_exposed(self):
+        circuit = random_circuit(0)
+        event = GateSimulator(circuit)
+        compiled = GateSimulator(circuit, backend="compiled")
+        assert event.compiled_source is None
+        source = compiled.compiled_source
+        assert "def settle(v):" in source
+        assert "def commit(v):" in source
+
+    def test_snapshot_restore_replays_identically(self):
+        circuit = random_circuit(4)
+        sim = GateSimulator(circuit, backend="compiled")
+        stim = _stimulus(4, 4, cycles=12)
+        for entry in stim[:6]:
+            sim.step(**entry)
+        snap = sim.snapshot_state()
+        first = [sim.step(**entry) for entry in stim[6:]]
+        sim.restore_state(snap)
+        assert [sim.step(**entry) for entry in stim[6:]] == first
+
+
+class TestConstantNetEncapsulation:
+    def test_constant_nets_returns_copy(self):
+        circuit = random_circuit(1)
+        # Force both constants to exist.
+        zero, one = circuit.const_net(0), circuit.const_net(1)
+        consts = circuit.constant_nets()
+        assert consts[0] is zero and consts[1] is one
+        consts.clear()
+        assert circuit.constant_nets() == {0: zero, 1: one}
+
+    @pytest.mark.parametrize("backend", ("event", "compiled"))
+    def test_fault_clamp_refuses_constant_nets(self, backend):
+        circuit = random_circuit(1)
+        zero = circuit.const_net(0)
+        sim = FaultableGateSimulator(circuit, backend=backend)
+        with pytest.raises(NetlistError, match="constant net"):
+            sim.force_net(zero, 1)
+        with pytest.raises(NetlistError, match="constant net"):
+            sim.flip_net(zero)
+        assert not sim._forced
