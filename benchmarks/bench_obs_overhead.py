@@ -1,0 +1,89 @@
+"""X — observability overhead: span profiling must stay under 10%.
+
+Not a paper experiment: it bounds the cost of the ``repro.obs`` tracer
+so profiling can stay on during real campaigns.  The same ExpoCU fault
+campaign runs untraced and traced (per-fault spans + counter metadata),
+each timed as the best of two repetitions, and the traced run must
+finish within 10% of the untraced wall time.
+
+Injector construction and fault-list generation happen outside the
+timers; only the campaign replay loop — where a per-fault span is
+opened and closed — is measured.  The two configurations run as
+interleaved pairs (plain, traced, plain, traced) so slow drift in the
+host machine's load hits both sides equally.
+"""
+
+import time
+
+from conftest import record_report
+
+from repro.eval import format_table
+from repro.fault.campaign import generate_fault_list, run_campaign
+from repro.fault.scenarios import (
+    expocu_config,
+    expocu_injector,
+    expocu_stimulus,
+)
+from repro.obs import Tracer, validate_trace
+
+FAULTS = 8
+SEED = 1
+SIDE = 8
+MAX_OVERHEAD = 0.10
+
+
+def _run(injector, stimulus, faults, tracer=None):
+    return run_campaign(
+        injector, stimulus, faults, expocu_config("none"),
+        design=f"ExpoCU[{SIDE},{SIDE}]", hardening="none", seed=SEED,
+        tracer=tracer,
+    )
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_profiling_overhead_within_budget():
+    injector = expocu_injector("rtl", side=SIDE)
+    stimulus = expocu_stimulus(SEED, frames=1, side=SIDE)
+    faults = generate_fault_list(injector, FAULTS, len(stimulus), SEED)
+
+    tracers = []
+
+    def traced():
+        tracer = Tracer("campaign-overhead")
+        tracers.append(tracer)
+        _run(injector, stimulus, faults, tracer=tracer)
+
+    plain_times, traced_times = [], []
+    for _ in range(2):
+        plain_times.append(
+            _timed(lambda: _run(injector, stimulus, faults))
+        )
+        traced_times.append(_timed(traced))
+    t_plain, t_traced = min(plain_times), min(traced_times)
+
+    # The trace itself must be complete and well-formed.
+    doc = validate_trace(tracers[-1].as_dict())
+    campaign = doc["spans"][0]
+    assert campaign["name"] == "campaign"
+    replay = next(c for c in campaign["children"] if c["name"] == "replay")
+    assert len(replay["children"]) == len(faults)
+
+    overhead = t_traced / t_plain - 1.0
+    assert overhead <= MAX_OVERHEAD, (
+        f"profiling overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"({t_traced:.3f}s traced vs {t_plain:.3f}s untraced)"
+    )
+
+    rows = [
+        {"configuration": "untraced", "campaign_s": f"{t_plain:.3f}",
+         "overhead": "-"},
+        {"configuration": "traced (per-fault spans)",
+         "campaign_s": f"{t_traced:.3f}",
+         "overhead": f"{overhead:+.1%}"},
+    ]
+    record_report("X_obs_overhead", format_table(rows))

@@ -15,6 +15,11 @@ without writing a script:
               text, JSON or SARIF output).
 ``inject``    run a seeded fault-injection campaign on the ExpoCU
               (RTL or netlist flow, optional TMR/parity hardening).
+``profile``   profile a bundled workload (flows, synthesis or a fault
+              campaign) and emit a ``repro-trace/v1`` span report.
+
+``synth``/``flows``/``inject`` also accept ``--profile <out.json>`` to
+write the same span report for their own run.
 """
 
 from __future__ import annotations
@@ -88,22 +93,36 @@ def _print_warnings(diagnostics) -> int:
     return len(warnings)
 
 
+def _write_profile(tracer, path: str | None) -> None:
+    """Write *tracer* to *path* (validated) and say where it went."""
+    if not path:
+        return
+    tracer.write(path)
+    print(f"profile trace written to {path}")
+
+
 def _cmd_synth(args: argparse.Namespace) -> int:
     from repro.analyze import diagnostics_from_lint_report
+    from repro.obs import NULL_TRACER, Tracer
     from repro.rtl.lint import lint_module
     from repro.synth import synthesize
     from repro.synth.report import design_report
 
+    tracer = Tracer("synth") if args.profile else NULL_TRACER
     module = _default_design()
-    rtl = synthesize(module, observe_children=False)
+    with tracer.span("synthesize"):
+        rtl = synthesize(module, observe_children=False)
     print(design_report(module, rtl))
+    with tracer.span("lint"):
+        lint_report = lint_module(rtl)
     warnings = _print_warnings(
-        diagnostics_from_lint_report(lint_module(rtl), "osss")
+        diagnostics_from_lint_report(lint_report, "osss")
     )
     if args.verilog:
         from repro.rtl.verilog import to_verilog
 
-        with open(args.verilog, "w", encoding="utf-8") as handle:
+        with tracer.span("verilog"), \
+                open(args.verilog, "w", encoding="utf-8") as handle:
             handle.write(to_verilog(rtl))
         print(f"\nbehavioral Verilog written to {args.verilog}")
     if args.netlist:
@@ -113,12 +132,15 @@ def _cmd_synth(args: argparse.Namespace) -> int:
             to_structural_verilog,
         )
 
-        circuit = map_module(rtl)
-        optimize(circuit)
+        with tracer.span("techmap"):
+            circuit = map_module(rtl)
+        with tracer.span("opt"):
+            optimize(circuit)
         with open(args.netlist, "w", encoding="utf-8") as handle:
             handle.write(netlist_stats_comment(circuit))
             handle.write(to_structural_verilog(circuit))
         print(f"structural netlist written to {args.netlist}")
+    _write_profile(tracer, args.profile)
     if warnings and args.strict:
         print(f"strict mode: {warnings} lint warning(s)")
         return 1
@@ -134,12 +156,16 @@ def _cmd_flows(args: argparse.Namespace) -> int:
         run_vhdl_flow,
     )
 
-    osss = run_osss_flow(_default_design(), "osss")
-    vhdl = run_vhdl_flow(expocu_rtl(), "vhdl")
+    from repro.obs import NULL_TRACER, Tracer
+
+    tracer = Tracer("flows") if args.profile else NULL_TRACER
+    osss = run_osss_flow(_default_design(), "osss", tracer=tracer)
+    vhdl = run_vhdl_flow(expocu_rtl(), "vhdl", tracer=tracer)
     print(flow_comparison(osss, vhdl))
     print()
     print(module_inventory(osss))
     warnings = _print_warnings(osss.diagnostics + vhdl.diagnostics)
+    _write_profile(tracer, args.profile)
     if warnings and args.strict:
         print(f"strict mode: {warnings} lint warning(s)")
         return 1
@@ -175,7 +201,9 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     import os
 
     from repro.fault import expocu_campaign
+    from repro.obs import NULL_TRACER, Tracer
 
+    tracer = Tracer("inject") if args.profile else NULL_TRACER
     result = expocu_campaign(
         flow=args.flow,
         faults=args.faults,
@@ -183,6 +211,7 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         hardening=args.hardening,
         jobs=args.jobs,
         backend=args.backend,
+        tracer=tracer,
     )
     output = args.output
     if output is None and os.path.isdir("benchmarks/results"):
@@ -204,6 +233,7 @@ def _cmd_inject(args: argparse.Namespace) -> int:
               f"(drained {result.golden_drain_cycles} cycles)")
         if output:
             print(f"campaign report written to {output}")
+    _write_profile(tracer, args.profile)
     if result.golden_selfcheck != "masked":
         print("error: golden replay diverged from the golden run")
         return 1
@@ -215,6 +245,37 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.synth.codegen import resolve_class_text
 
     print(resolve_class_text(SyncRegister[args.regsize, args.resetvalue]))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.eval import format_table
+    from repro.obs import Tracer, validate_trace
+
+    tracer = Tracer(args.target)
+    if args.target == "flows":
+        from repro.baseline import expocu_rtl
+        from repro.eval import run_osss_flow, run_vhdl_flow
+
+        run_osss_flow(_default_design(), "osss", tracer=tracer)
+        run_vhdl_flow(expocu_rtl(), "vhdl", tracer=tracer)
+    elif args.target == "synth":
+        from repro.synth import synthesize
+
+        with tracer.span("synthesize"):
+            synthesize(_default_design(), observe_children=False)
+    else:  # campaign
+        from repro.fault import expocu_campaign
+
+        expocu_campaign(flow=args.flow, faults=args.faults, seed=args.seed,
+                        jobs=args.jobs, backend=args.backend, tracer=tracer)
+    validate_trace(tracer.as_dict())
+    if args.format == "json":
+        print(tracer.to_json(), end="")
+    else:
+        print(format_table(tracer.summary_rows()))
+        print(f"\ntotal: {tracer.total_seconds():.4f}s")
+    _write_profile(tracer, args.output)
     return 0
 
 
@@ -245,11 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--netlist", help="write structural netlist here")
     synth.add_argument("--strict", action="store_true",
                        help="exit non-zero on lint warnings")
+    synth.add_argument("--profile", metavar="OUT.json",
+                       help="write a repro-trace/v1 span report here")
     synth.set_defaults(func=_cmd_synth)
 
     flows = sub.add_parser("flows", help="both flows, §12 comparison")
     flows.add_argument("--strict", action="store_true",
                        help="exit non-zero on lint warnings")
+    flows.add_argument("--profile", metavar="OUT.json",
+                       help="write a repro-trace/v1 span report here")
     flows.set_defaults(func=_cmd_flows)
 
     lint = sub.add_parser(
@@ -292,7 +357,32 @@ def build_parser() -> argparse.ArgumentParser:
                         default="text", help="stdout format")
     inject.add_argument("--output", help="write the JSON report here "
                         "(default: benchmarks/results/ when present)")
+    inject.add_argument("--profile", metavar="OUT.json",
+                        help="write a repro-trace/v1 span report here")
     inject.set_defaults(func=_cmd_inject)
+
+    profile = sub.add_parser(
+        "profile", help="profile a bundled workload (repro-trace/v1)"
+    )
+    profile.add_argument("--target", choices=("flows", "synth", "campaign"),
+                         default="flows",
+                         help="workload to run under the profiler")
+    profile.add_argument("--flow", choices=("rtl", "netlist"), default="rtl",
+                         help="campaign target: flow to inject into")
+    profile.add_argument("--faults", type=int, default=10,
+                         help="campaign target: number of seeded faults")
+    profile.add_argument("--seed", type=int, default=1,
+                         help="campaign target: campaign seed")
+    profile.add_argument("--jobs", type=int, default=1,
+                         help="campaign target: worker processes")
+    profile.add_argument("--backend", choices=("event", "compiled"),
+                         default="event",
+                         help="campaign target: gate evaluator backend")
+    profile.add_argument("--format", choices=("text", "json"),
+                         default="text", help="stdout format")
+    profile.add_argument("--output", metavar="OUT.json",
+                         help="write the validated trace document here")
+    profile.set_defaults(func=_cmd_profile)
 
     resolve = sub.add_parser("resolve",
                              help="Fig. 7 intermediate of SyncRegister")

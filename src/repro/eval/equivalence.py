@@ -18,6 +18,7 @@ from repro.hdl.simtime import NS
 from repro.netlist.opt import optimize
 from repro.netlist.sim import GateSimulator
 from repro.netlist.techmap import map_module
+from repro.obs.vcd import mismatch_window_vcd
 from repro.rtl.ir import RtlModule
 from repro.rtl.simulate import RtlSimulator
 from repro.synth.modulegen import synthesize
@@ -54,6 +55,8 @@ class EquivalenceReport:
         self.cycles = cycles
         self.stages = list(stages)
         self.mismatches = mismatches
+        #: Path of the side-by-side mismatch VCD, when one was written.
+        self.vcd_path: str | None = None
 
     @property
     def equivalent(self) -> bool:
@@ -136,23 +139,52 @@ class GateStage:
 
 
 def lockstep(stages: Sequence, stimulus: Iterable[Mapping[str, int]],
-             max_mismatches: int = 5) -> EquivalenceReport:
-    """Run all *stages* over *stimulus*, comparing outputs each cycle."""
+             max_mismatches: int = 5,
+             vcd_on_mismatch: str | None = None,
+             vcd_margin: int = 8) -> EquivalenceReport:
+    """Run all *stages* over *stimulus*, comparing outputs each cycle.
+
+    With *vcd_on_mismatch*, every stage's observed outputs are buffered
+    per cycle; if any stage diverges, a side-by-side VCD (one scope per
+    stage, timestamps in cycles) covering ``[first mismatch -
+    vcd_margin, last mismatch + vcd_margin]`` is written to that path —
+    the §12 debugging workflow ("inspect the intermediate on all
+    levels") packaged as an artifact.
+    """
     mismatches: list[Mismatch] = []
+    samples: dict[str, list[tuple[int, dict[str, int]]]] = {
+        stage.name: [] for stage in stages
+    } if vcd_on_mismatch else {}
     cycles = 0
+
+    def finish(cycles: int) -> EquivalenceReport:
+        report = EquivalenceReport(cycles, [s.name for s in stages],
+                                   mismatches)
+        if vcd_on_mismatch and mismatches:
+            writer, window = mismatch_window_vcd(
+                samples,
+                first_cycle=mismatches[0].cycle,
+                last_cycle=mismatches[-1].cycle,
+                margin=vcd_margin,
+            )
+            writer.write(vcd_on_mismatch, window)
+            report.vcd_path = vcd_on_mismatch
+        return report
+
     for cycle, entry in enumerate(stimulus):
         observations = [(stage.name, stage.step(entry)) for stage in stages]
+        if vcd_on_mismatch:
+            for stage_name, outputs in observations:
+                samples[stage_name].append((cycle, outputs))
         reference_name, reference = observations[0]
         for other_name, outputs in observations[1:]:
             if outputs != reference:
                 mismatches.append(Mismatch(cycle, reference_name,
                                            other_name, reference, outputs))
                 if len(mismatches) >= max_mismatches:
-                    return EquivalenceReport(cycle + 1,
-                                             [s.name for s in stages],
-                                             mismatches)
+                    return finish(cycle + 1)
         cycles = cycle + 1
-    return EquivalenceReport(cycles, [s.name for s in stages], mismatches)
+    return finish(cycles)
 
 
 def check_all_stages(
@@ -160,12 +192,15 @@ def check_all_stages(
     stimulus: Sequence[Mapping[str, int]],
     observed: Sequence[str],
     include_gates: bool = True,
+    vcd_on_mismatch: str | None = None,
 ) -> EquivalenceReport:
     """The full R6 check: OSSS simulation = RTL = optimized netlist.
 
     *factory* builds a fresh DUT given (clock, reset); it is called twice —
     once for the kernel stage, once for synthesis — so state captured at
-    synthesis time matches a fresh simulation.
+    synthesis time matches a fresh simulation.  *vcd_on_mismatch* dumps
+    a three-stage side-by-side waveform around any divergence (see
+    :func:`lockstep`).
     """
     kernel = KernelStage(factory, observed)
     rtl = synthesize(factory(Clock("clk", 10 * NS),
@@ -178,4 +213,4 @@ def check_all_stages(
     # Reactivate the kernel stage's simulator (synthesis does not disturb
     # it, but constructing a second Simulator moved the active pointer).
     kernel.sim.activate()
-    return lockstep(stages, stimulus)
+    return lockstep(stages, stimulus, vcd_on_mismatch=vcd_on_mismatch)

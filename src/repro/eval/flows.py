@@ -29,6 +29,7 @@ from repro.netlist.opt import optimize
 from repro.netlist.pnr import Placement, place
 from repro.netlist.sta import TimingReport, analyze
 from repro.netlist.techmap import map_module
+from repro.obs.profiler import NULL_TRACER, Tracer
 from repro.rtl.ir import RtlModule
 from repro.rtl.lint import lint_module
 from repro.synth.modulegen import synthesize
@@ -87,49 +88,82 @@ class FlowResult:
 
 
 def _finish(name: str, rtl: RtlModule, circuit: Circuit,
-            diagnostics: list[Diagnostic] | None = None) -> FlowResult:
-    optimize(circuit)
-    timing = analyze(circuit)
-    placement = place(circuit)
-    timing_routed = analyze(circuit, placement.wire_delays())
+            diagnostics: list[Diagnostic] | None = None,
+            tracer: Tracer = NULL_TRACER) -> FlowResult:
+    with tracer.span("opt"):
+        optimize(circuit)
+    with tracer.span("sta"):
+        timing = analyze(circuit)
+    with tracer.span("pnr"):
+        placement = place(circuit)
+    with tracer.span("sta_routed"):
+        timing_routed = analyze(circuit, placement.wire_delays())
     return FlowResult(name, rtl, circuit, timing, placement, timing_routed,
                       diagnostics)
 
 
 def run_osss_flow(module: Module, name: str = "osss",
-                  analyze_first: bool = True) -> FlowResult:
+                  analyze_first: bool = True,
+                  tracer: Tracer | None = None) -> FlowResult:
     """OSSS source → analyzer/synthesizer → behavioral FSMs → gates.
 
     The analyzer gate (paper Fig. 6) runs before synthesis: when it finds
     errors the flow stops with :class:`AnalysisError` carrying *all* of
     them; its warnings ride along on :attr:`FlowResult.diagnostics`.
+
+    With a :class:`~repro.obs.profiler.Tracer`, every stage (analyze →
+    synthesize → lint → techmap → opt → sta → pnr → sta_routed) is
+    recorded as a span under one ``flow:<name>`` root.
     """
-    diagnostics: list[Diagnostic] = []
-    if analyze_first:
-        diagnostics = analyze_design(module)
-        errors = [d for d in diagnostics if d.severity == "error"]
-        if errors:
-            raise AnalysisError(diagnostics)
-    rtl = synthesize(module, observe_children=False)
-    diagnostics += diagnostics_from_lint_report(lint_module(rtl), name)
-    circuit = map_module(rtl)
-    return _finish(name, rtl, circuit, diagnostics)
+    tracer = tracer or NULL_TRACER
+    with tracer.span(f"flow:{name}") as flow_span:
+        diagnostics: list[Diagnostic] = []
+        if analyze_first:
+            with tracer.span("analyze"):
+                diagnostics = analyze_design(module)
+            errors = [d for d in diagnostics if d.severity == "error"]
+            if errors:
+                raise AnalysisError(diagnostics)
+        with tracer.span("synthesize"):
+            rtl = synthesize(module, observe_children=False)
+        with tracer.span("lint"):
+            diagnostics += diagnostics_from_lint_report(lint_module(rtl),
+                                                        name)
+        with tracer.span("techmap"):
+            circuit = map_module(rtl)
+        result = _finish(name, rtl, circuit, diagnostics, tracer)
+        flow_span.annotate(cells=result.cells,
+                           area_ge=round(result.area, 1))
+    return result
 
 
 def run_rtl(rtl: RtlModule, name: str = "rtl",
-            ip_library: dict[str, Circuit] | None = None) -> FlowResult:
+            ip_library: dict[str, Circuit] | None = None,
+            tracer: Tracer | None = None) -> FlowResult:
     """RTL (hand-written or pre-synthesized) → gates, linking IP."""
-    diagnostics = diagnostics_from_lint_report(lint_module(rtl), name)
-    circuit = map_module(rtl)
-    if circuit.blackboxes:
-        if ip_library is None:
-            from repro.baseline.vhdl_ip import ip_library as default_ips
+    tracer = tracer or NULL_TRACER
+    with tracer.span(f"flow:{name}") as flow_span:
+        with tracer.span("lint"):
+            diagnostics = diagnostics_from_lint_report(lint_module(rtl),
+                                                       name)
+        with tracer.span("techmap"):
+            circuit = map_module(rtl)
+        if circuit.blackboxes:
+            with tracer.span("link"):
+                if ip_library is None:
+                    from repro.baseline.vhdl_ip import (
+                        ip_library as default_ips,
+                    )
 
-            ip_library = default_ips()
-        link(circuit, ip_library)
-    return _finish(name, rtl, circuit, diagnostics)
+                    ip_library = default_ips()
+                link(circuit, ip_library)
+        result = _finish(name, rtl, circuit, diagnostics, tracer)
+        flow_span.annotate(cells=result.cells,
+                           area_ge=round(result.area, 1))
+    return result
 
 
-def run_vhdl_flow(rtl: RtlModule, name: str = "vhdl") -> FlowResult:
+def run_vhdl_flow(rtl: RtlModule, name: str = "vhdl",
+                  tracer: Tracer | None = None) -> FlowResult:
     """Alias of :func:`run_rtl` with the default IP library."""
-    return run_rtl(rtl, name)
+    return run_rtl(rtl, name, tracer=tracer)

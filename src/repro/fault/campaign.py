@@ -33,8 +33,11 @@ from __future__ import annotations
 import json
 import multiprocessing
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
+
+from repro.obs.profiler import NULL_TRACER, Tracer
 
 #: The closed outcome taxonomy, in report order.
 OUTCOMES = ("masked", "sdc", "detected", "hang")
@@ -344,18 +347,47 @@ def _golden_meta(injector, golden: _GoldenRun) -> dict[str, Any]:
     }
 
 
+def _sim_stats(injector) -> dict[str, Any] | None:
+    """The injector's simulator work counters, when it exposes them."""
+    sim = getattr(injector, "sim", None)
+    stats = getattr(sim, "stats", None)
+    return stats() if callable(stats) else None
+
+
+def _outcome_tally(records: Sequence[FaultRecord]) -> dict[str, int]:
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    for record in records:
+        counts[record.outcome] += 1
+    return counts
+
+
 def _run_shard(payload: tuple) -> dict[str, Any]:
     """Worker: rebuild the injector, rerun the golden run, classify a shard.
 
     Module-level so it pickles under every multiprocessing start method.
+    Each shard measures its own wall time and work counters so the
+    parent can roll them up as per-shard trace spans.
     """
     injector_factory, stimulus, faults, config = payload
+    start = time.perf_counter()
     injector = injector_factory()
     snap_cycles = {fault.cycle for fault in faults} | {0}
     golden = _golden_run(injector, stimulus, config, snap_cycles)
+    golden_s = time.perf_counter() - start
     records = [_classify(injector, fault, stimulus, golden, config)
                for fault in faults]
-    return {"meta": _golden_meta(injector, golden), "records": records}
+    total_s = time.perf_counter() - start
+    return {
+        "meta": _golden_meta(injector, golden),
+        "records": records,
+        "profile": {
+            "seconds": total_s,
+            "golden_s": golden_s,
+            "faults": len(faults),
+            "outcomes": _outcome_tally(records),
+            "sim_stats": _sim_stats(injector),
+        },
+    }
 
 
 def _mp_context():
@@ -377,6 +409,7 @@ def run_campaign(
     seed: int = 0,
     jobs: int = 1,
     injector_factory: Callable[[], Any] | None = None,
+    tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Golden run + per-fault replay + classification (see module doc).
 
@@ -385,7 +418,14 @@ def run_campaign(
     callable) rebuilds the injector in each worker, and *injector* may
     then be ``None``.  The merged report is byte-identical to the
     ``jobs=1`` run.
+
+    With a :class:`~repro.obs.profiler.Tracer`, the campaign records a
+    ``campaign`` root span with a ``golden`` child, one span per unique
+    fault replay (sequential) or one rollup span per worker shard
+    (``jobs > 1``), plus faults/sec throughput, per-outcome tallies and
+    the simulator's work counters as span metadata.
     """
+    tracer = tracer or NULL_TRACER
     config = config or CampaignConfig()
     stimulus = [{config.reset_name: 0, **dict(entry)} for entry in stimulus]
     if not stimulus:
@@ -412,32 +452,72 @@ def run_campaign(
             unique.append(fault)
 
     jobs = max(1, min(int(jobs), max(1, len(unique))))
-    if jobs > 1:
-        shards = [unique[k::jobs] for k in range(jobs)]
-        payloads = [(injector_factory, stimulus, shard, config)
-                    for shard in shards]
-        with _mp_context().Pool(jobs) as pool:
-            shard_results = pool.map(_run_shard, payloads)
-        meta = shard_results[0]["meta"]
-        for result in shard_results[1:]:
-            if result["meta"] != meta:
-                raise RuntimeError(
-                    "parallel campaign shards disagree on the golden run "
-                    f"({result['meta']} != {meta}); the injector factory "
-                    "is not deterministic across processes"
+    campaign_ctx = tracer.span("campaign", hardening=hardening, seed=seed,
+                               faults=len(faults), unique_faults=len(unique),
+                               jobs=jobs, cycles=len(stimulus))
+    with campaign_ctx as campaign_span:
+        if jobs > 1:
+            shards = [unique[k::jobs] for k in range(jobs)]
+            payloads = [(injector_factory, stimulus, shard, config)
+                        for shard in shards]
+            with tracer.span("shards") as shard_span:
+                with _mp_context().Pool(jobs) as pool:
+                    shard_results = pool.map(_run_shard, payloads)
+                for k, result in enumerate(shard_results):
+                    profile = result["profile"]
+                    tracer.record(f"shard[{k}]", profile["seconds"],
+                                  **{key: value
+                                     for key, value in profile.items()
+                                     if key != "seconds"})
+            meta = shard_results[0]["meta"]
+            for result in shard_results[1:]:
+                if result["meta"] != meta:
+                    raise RuntimeError(
+                        "parallel campaign shards disagree on the golden run "
+                        f"({result['meta']} != {meta}); the injector factory "
+                        "is not deterministic across processes"
+                    )
+            unique_records: list[FaultRecord | None] = [None] * len(unique)
+            for k, result in enumerate(shard_results):
+                for j, record in enumerate(result["records"]):
+                    unique_records[k + j * jobs] = record
+            if shard_span.dur:
+                shard_span.annotate(
+                    faults_per_s=round(len(unique) / shard_span.dur, 2)
                 )
-        unique_records: list[FaultRecord | None] = [None] * len(unique)
-        for k, result in enumerate(shard_results):
-            for j, record in enumerate(result["records"]):
-                unique_records[k + j * jobs] = record
-    else:
-        if injector is None:
-            injector = injector_factory()
-        snap_cycles = {fault.cycle for fault in unique} | {0}
-        golden = _golden_run(injector, stimulus, config, snap_cycles)
-        unique_records = [_classify(injector, fault, stimulus, golden, config)
-                          for fault in unique]
-        meta = _golden_meta(injector, golden)
+        else:
+            if injector is None:
+                injector = injector_factory()
+            snap_cycles = {fault.cycle for fault in unique} | {0}
+            with tracer.span("golden") as golden_span:
+                golden = _golden_run(injector, stimulus, config, snap_cycles)
+            golden_span.annotate(selfcheck=golden.selfcheck,
+                                 done=golden.done,
+                                 drain_cycles=golden.drain_cycles)
+            unique_records = []
+            with tracer.span("replay") as replay_span:
+                for fault in unique:
+                    label = (f"{fault.kind}:{fault.target}"
+                             f"[{fault.bit}]@{fault.cycle}")
+                    with tracer.span(label) as fault_span:
+                        record = _classify(injector, fault, stimulus,
+                                           golden, config)
+                    fault_span.annotate(outcome=record.outcome)
+                    unique_records.append(record)
+            replay_span.annotate(
+                faults=len(unique),
+                outcomes=_outcome_tally(unique_records),
+            )
+            if replay_span.dur:
+                replay_span.annotate(
+                    faults_per_s=round(len(unique) / replay_span.dur, 2)
+                )
+            meta = _golden_meta(injector, golden)
+            stats = _sim_stats(injector)
+            if stats is not None:
+                campaign_span.annotate(sim_stats=stats)
+        campaign_span.annotate(design=design or meta["design"],
+                               flow=meta["flow"])
 
     return CampaignResult(
         design=design or meta["design"],

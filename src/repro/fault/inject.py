@@ -191,6 +191,7 @@ class FaultableGateSimulator(GateSimulator):
     # -- clamped write points -----------------------------------------
     def _settle_all(self) -> None:
         if self._compiled is not None and self._forced:
+            self._n_settles += 1
             self._compiled.settle_forced(self._values, self._forced)
             self._stale = False
             return
@@ -244,8 +245,10 @@ class FaultableGateSimulator(GateSimulator):
         values = self._values
         forced = self._forced
         engine.settle_forced(values, forced)
+        self._n_settles += 1
         outputs = engine.peek(values)
         engine.commit(values)
+        self._n_fast_commits += 1
         for net_slot, value in forced.items():  # clamp committed flops
             values[net_slot] = value
         self._stale = True

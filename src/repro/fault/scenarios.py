@@ -132,22 +132,30 @@ def expocu_campaign(
     stimulus: list[Mapping[str, int]] | None = None,
     jobs: int = 1,
     backend: str = "event",
+    tracer=None,
 ) -> CampaignResult:
     """Run the bundled ExpoCU campaign; fully deterministic per seed.
 
     ``jobs > 1`` shards the fault list across worker processes, each of
     which rebuilds the injector from this factory — the report stays
     byte-identical to the sequential run.  ``backend="compiled"`` swaps
-    the netlist flow onto the code-generated gate evaluator.
+    the netlist flow onto the code-generated gate evaluator.  *tracer*
+    (a :class:`repro.obs.Tracer`) profiles injector construction and
+    the campaign (``repro inject --profile``).
     """
+    from repro.obs.profiler import NULL_TRACER
+
+    tracer = tracer or NULL_TRACER
     factory = functools.partial(expocu_injector, flow, hardening, side,
                                 backend)
-    injector = factory()
+    with tracer.span("build_injector", flow=flow, backend=backend,
+                     hardening=hardening):
+        injector = factory()
     if stimulus is None:
         stimulus = expocu_stimulus(seed, frames=1, side=side)
     fault_list = generate_fault_list(injector, faults, len(stimulus), seed)
     return run_campaign(
         injector, stimulus, fault_list, expocu_config(hardening),
         design=f"ExpoCU[{side},{side}]", hardening=hardening, seed=seed,
-        jobs=jobs, injector_factory=factory,
+        jobs=jobs, injector_factory=factory, tracer=tracer,
     )

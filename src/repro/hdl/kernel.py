@@ -57,6 +57,9 @@ class Simulator:
         self.max_delta = max_delta
         self.now = 0
         self.delta_count = 0
+        self._process_activations = 0
+        self._events_fired = 0
+        self._timed_callbacks = 0
         self.cycle_hooks: list[Callable[[], None]] = []
         self._timed: list[tuple[int, int, Callable[[], None]]] = []
         self._timed_seq = itertools.count()
@@ -162,10 +165,14 @@ class Simulator:
             runnable, self._runnable = self._runnable, {}
             for process in sorted(runnable.values(), key=lambda p: p.uid):
                 process.execute()
+            self._process_activations += len(runnable)
             # Update phase.
             pending, self._updates = self._updates, []
+            fired = 0
             for sig in pending:
-                sig.update()
+                if sig.update():
+                    fired += 1
+            self._events_fired += fired
             self.delta_count += 1
 
     def run(self, duration: int) -> None:
@@ -185,10 +192,12 @@ class Simulator:
             if time > self.now:
                 self.now = time
             callback()
+            self._timed_callbacks += 1
             # Drain any same-timestamp callbacks before settling.
             while self._timed and self._timed[0][0] == self.now:
                 _, _, more = heapq.heappop(self._timed)
                 more()
+                self._timed_callbacks += 1
             self._settle()
             for hook in self.cycle_hooks:
                 hook()
@@ -221,6 +230,34 @@ class Simulator:
     def run_cycles(self, clock: Clock, cycles: int) -> None:
         """Run for an integer number of *clock* periods."""
         self.run(cycles * clock.period)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int | str]:
+        """Uniform work counters (see DESIGN.md §8).
+
+        ``delta_cycles``         update/evaluate rounds executed;
+        ``process_activations``  process bodies run in evaluate phases;
+        ``events_fired``         committed signal updates that changed
+                                 the value and notified their events;
+        ``timed_callbacks``      timed-phase callbacks (clock toggles,
+                                 testbench timeouts) dispatched.
+        """
+        return {
+            "backend": "kernel",
+            "delta_cycles": self.delta_count,
+            "process_activations": self._process_activations,
+            "events_fired": self._events_fired,
+            "timed_callbacks": self._timed_callbacks,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the work counters (simulation state is untouched)."""
+        self.delta_count = 0
+        self._process_activations = 0
+        self._events_fired = 0
+        self._timed_callbacks = 0
 
     def __repr__(self) -> str:
         return (

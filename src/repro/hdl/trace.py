@@ -1,7 +1,9 @@
 """Waveform tracing (``sc_trace`` equivalent, paper §9 / Fig. 9–10).
 
-``VcdTrace`` writes industry-standard VCD files that any waveform viewer
-opens.  Two tracing modes reproduce the paper's setup:
+``VcdTrace`` records kernel-level waveforms through the shared VCD
+document writer (:class:`repro.obs.vcd.VcdWriter` — also used by the RTL
+and gate-level trace adapters).  Two tracing modes reproduce the paper's
+setup:
 
 * **Signal tracing** — exact: every committed signal change is recorded in
   the update phase.
@@ -10,27 +12,22 @@ opens.  Two tracing modes reproduce the paper's setup:
   and each of its declared data members appears as a separate VCD variable,
   sampled after every settled timestep.  This is the "dump of object data at
   any time" capability §9 recommends.
+
+A trace holds live hooks into the simulator (a ``cycle_hooks`` entry for
+object sampling, per-signal trace hooks): :meth:`VcdTrace.detach` (alias
+:meth:`close`) releases them all, idempotently, so a finished trace
+stops sampling and a second trace on the same simulator never interacts
+with the first.
 """
 
 from __future__ import annotations
 
-import io
 from typing import Any
 
 from repro.hdl.kernel import Simulator
 from repro.hdl.signal import Signal
 from repro.hdl.simtime import PS
-
-
-def _vcd_ident(index: int) -> str:
-    """Short printable VCD identifier for variable *index*."""
-    chars = "".join(chr(c) for c in range(33, 127))
-    ident = ""
-    index += 1
-    while index:
-        index, rem = divmod(index - 1, len(chars))
-        ident = chars[rem] + ident
-    return ident
+from repro.obs.vcd import VcdWriter
 
 
 class VcdTrace:
@@ -47,11 +44,11 @@ class VcdTrace:
 
     def __init__(self, sim: Simulator, timescale: str = "1ps") -> None:
         self.sim = sim
-        self.timescale = timescale
-        self._vars: list[tuple[str, int, str]] = []  # (name, width, ident)
-        self._changes: list[tuple[int, str, int, int]] = []
-        self._last: dict[str, int] = {}
+        self.writer = VcdWriter(timescale)
+        self._idents: dict[str, str] = {}  # var label -> ident
         self._object_probes: list[tuple[str, Any]] = []
+        self._traced_signals: list[Signal] = []
+        self._attached = True
         sim.cycle_hooks.append(self._sample_objects)
 
     # ------------------------------------------------------------------
@@ -59,16 +56,19 @@ class VcdTrace:
     # ------------------------------------------------------------------
     def trace_signal(self, signal: Signal, name: str | None = None) -> None:
         """Record every committed change of *signal*."""
-        ident = _vcd_ident(len(self._vars))
         label = name or signal.name
         width = signal.spec.width
-        self._vars.append((label, width, ident))
-        self._record(ident, width, signal.spec.to_raw(signal.read()))
+        ident = self.writer.add_var(label, width)
+        self._idents[label] = ident
+        self.writer.record(self._now(), ident,
+                           signal.spec.to_raw(signal.read()))
 
-        def hook(sig: Signal, ident=ident, width=width) -> None:
-            self._record(ident, width, sig.spec.to_raw(sig.read()))
+        def hook(sig: Signal, ident=ident) -> None:
+            self.writer.record(self._now(), ident,
+                               sig.spec.to_raw(sig.read()))
 
         signal.set_trace_hook(hook)
+        self._traced_signals.append(signal)
 
     def trace_object(self, obj: Any, name: str | None = None) -> None:
         """Trace each data member of an OSSS hardware object.
@@ -85,11 +85,12 @@ class VcdTrace:
         label = name or type(obj).__name__
         members = obj.hw_members()
         for member, value in members.items():
-            ident = _vcd_ident(len(self._vars))
             from repro.types.spec import spec_of
 
-            width = spec_of(value).width
-            self._vars.append((f"{label}.{member}", width, ident))
+            key = f"{label}.{member}"
+            self._idents[key] = self.writer.add_var(
+                key, spec_of(value).width
+            )
         self._object_probes.append((label, obj))
         self._sample_objects()
 
@@ -101,56 +102,60 @@ class VcdTrace:
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
-    def _record(self, ident: str, width: int, raw: int) -> None:
-        if self._last.get(ident) == raw:
-            return
-        self._last[ident] = raw
-        self._changes.append((self.sim.now, ident, width, raw))
+    def _now(self) -> int:
+        return self.sim.now // PS
 
     def _sample_objects(self) -> None:
-        index = {name: ident for name, _, ident in self._vars}
-        widths = {name: width for name, width, _ in self._vars}
+        now = self._now()
         for label, obj in self._object_probes:
             from repro.types.spec import spec_of
 
             for member, value in obj.hw_members().items():
-                key = f"{label}.{member}"
-                ident = index.get(key)
+                ident = self._idents.get(f"{label}.{member}")
                 if ident is None:
                     continue
-                self._record(ident, widths[key], spec_of(value).to_raw(value))
+                self.writer.record(now, ident, spec_of(value).to_raw(value))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def attached(self) -> bool:
+        """True while the trace still samples the simulator."""
+        return self._attached
+
+    def detach(self) -> None:
+        """Stop sampling: release all simulator and signal hooks.
+
+        Idempotent; the recorded changes stay renderable.  Previously
+        the object-sampling hook stayed registered on
+        ``sim.cycle_hooks`` forever, so discarded traces kept sampling
+        (and kept their objects alive) for the simulator's lifetime.
+        """
+        if not self._attached:
+            return
+        try:
+            self.sim.cycle_hooks.remove(self._sample_objects)
+        except ValueError:
+            pass
+        for signal in self._traced_signals:
+            signal.set_trace_hook(None)
+        self._attached = False
+
+    close = detach
 
     # ------------------------------------------------------------------
     # output
     # ------------------------------------------------------------------
     def render(self) -> str:
         """The complete VCD document as a string."""
-        out = io.StringIO()
-        out.write(f"$timescale {self.timescale} $end\n")
-        out.write("$scope module top $end\n")
-        for name, width, ident in self._vars:
-            safe = name.replace(" ", "_")
-            out.write(f"$var wire {width} {ident} {safe} $end\n")
-        out.write("$upscope $end\n$enddefinitions $end\n")
-        current_time = None
-        for time, ident, width, raw in sorted(
-            self._changes, key=lambda c: (c[0],)
-        ):
-            if time != current_time:
-                out.write(f"#{time // PS}\n")
-                current_time = time
-            if width == 1:
-                out.write(f"{raw}{ident}\n")
-            else:
-                out.write(f"b{raw:b} {ident}\n")
-        return out.getvalue()
+        return self.writer.render()
 
     def write(self, path: str) -> None:
         """Write the VCD document to *path*."""
-        with open(path, "w", encoding="ascii") as handle:
-            handle.write(self.render())
+        self.writer.write(path)
 
     @property
     def change_count(self) -> int:
         """Number of recorded value changes (for tests)."""
-        return len(self._changes)
+        return self.writer.change_count

@@ -181,6 +181,18 @@ class GateSimulator:
         self.backend = backend
         self._order = circuit.topological_comb_order()
         self._flops = circuit.flops()
+        self._n_cells = len(self._order)
+        #: Hooks called (no arguments) after every committed step; the
+        #: cycle-based counterpart of the kernel's ``cycle_hooks``, used
+        #: by :class:`repro.obs.vcd.GateTrace`.
+        self.step_hooks: list = []
+        # Work counters (see stats()); initialized before the first
+        # settle below so construction work is counted too.
+        self._n_steps = 0
+        self._n_settles = 0
+        self._n_cell_evals = 0
+        self._n_wakeups = 0
+        self._n_fast_commits = 0
         # Slots are allocated for *live* nets only (cell pins, bus
         # members, constants): technology mapping leaves many dead nets
         # behind, and the value list is copied by every checkpoint.
@@ -247,9 +259,11 @@ class GateSimulator:
     # evaluation
     # ------------------------------------------------------------------
     def _settle_all(self) -> None:
+        self._n_settles += 1
         if self._compiled is not None:
             self._compiled.settle(self._values)
         else:
+            self._n_cell_evals += self._n_cells
             for cell in self._order:
                 self._eval(cell)
         self._stale = False
@@ -283,12 +297,16 @@ class GateSimulator:
 
         for net_slot in dirty_slots:
             enqueue(net_slot)
+        evals = 0
         while pending:
             _, cell_uid = heapq.heappop(pending)
             cell = _by_uid[cell_uid]
             queued.discard(cell_uid)
+            evals += 1
             if self._eval(cell):
                 enqueue(self._cell_out[cell_uid])
+        self._n_wakeups += evals
+        self._n_cell_evals += evals
 
     def drive(self, **buses: int) -> list[int]:
         """Set input buses; returns the list of changed net slots.
@@ -354,8 +372,13 @@ class GateSimulator:
     def step(self, **buses: int) -> dict[str, int]:
         """Advance one clock cycle; returns the sampled outputs."""
         if self._compiled is not None:
-            return self._step_compiled(buses)
-        return self._step_event(buses)
+            outputs = self._step_compiled(buses)
+        else:
+            outputs = self._step_event(buses)
+        self._n_steps += 1
+        for hook in self.step_hooks:
+            hook()
+        return outputs
 
     def _step_event(self, buses: Mapping[str, int]) -> dict[str, int]:
         dirty = self.drive(**buses)
@@ -380,8 +403,10 @@ class GateSimulator:
         engine = self._compiled
         values = self._values
         engine.settle(values)
+        self._n_settles += 1
         outputs = engine.peek(values)
         engine.commit(values)
+        self._n_fast_commits += 1
         # Combinational nets now lag the committed state; the next
         # settle (next step or on-demand) brings them forward.
         self._stale = True
@@ -406,6 +431,59 @@ class GateSimulator:
                 )
             outputs.append(self.step(**dict(entry)))
         return outputs
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def flop_values(self) -> dict[str, int]:
+        """Committed flop output values by (disambiguated) net name."""
+        values = self._values
+        result: dict[str, int] = {}
+        seen: dict[str, int] = {}
+        for flop in self._flops:
+            net = flop.pins["q"]
+            count = seen.get(net.name, 0)
+            seen[net.name] = count + 1
+            name = net.name if count == 0 else f"{net.name}#{count}"
+            result[name] = values[self._slot[net.uid]]
+        return result
+
+    def stats(self) -> dict[str, int | str]:
+        """Uniform work counters (see DESIGN.md §8).
+
+        ``steps``          committed clock cycles;
+        ``cells``          combinational cells in the circuit;
+        ``settle_passes``  full combinational settles (construction,
+                           compiled steps, lazy re-settles);
+        ``cell_evals``     *interpreted* per-cell dispatches — full
+                           interpreted settles count every cell,
+                           event-driven propagation counts only the
+                           cells actually woken.  The compiled backend
+                           performs none: its settles run as generated
+                           straight-line code, so its work is
+                           ``settle_passes × cells`` without the
+                           per-cell dispatch this counter measures;
+        ``event_wakeups``  cells popped from the event queue (event
+                           backend only; a subset of ``cell_evals``);
+        ``fast_commits``   code-generated flop commits (compiled only).
+        """
+        return {
+            "backend": self.backend,
+            "steps": self._n_steps,
+            "cells": self._n_cells,
+            "settle_passes": self._n_settles,
+            "cell_evals": self._n_cell_evals,
+            "event_wakeups": self._n_wakeups,
+            "fast_commits": self._n_fast_commits,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the work counters (simulation state is untouched)."""
+        self._n_steps = 0
+        self._n_settles = 0
+        self._n_cell_evals = 0
+        self._n_wakeups = 0
+        self._n_fast_commits = 0
 
     def __repr__(self) -> str:
         return (f"GateSimulator({self.circuit.name!r}, "

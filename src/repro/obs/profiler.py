@@ -1,0 +1,329 @@
+"""Span-based profiling with a stable JSON export (``repro-trace/v1``).
+
+A :class:`Tracer` owns a tree of :class:`Span` records.  Spans nest via
+the context-manager API::
+
+    tracer = Tracer("flows")
+    with tracer.span("flow:osss"):
+        with tracer.span("synthesize"):
+            ...
+
+Timing uses the monotonic clock (``time.perf_counter``); every span
+stores its start as an offset from the tracer's epoch (the construction
+instant), so exported numbers are small and machine-independent in
+shape.  The clock is injectable for deterministic golden tests.
+
+The export format is versioned and validated (:func:`validate_trace`):
+
+.. code-block:: json
+
+    {"schema": "repro-trace/v1",
+     "name": "flows",
+     "total_s": 1.25,
+     "meta": {},
+     "spans": [{"name": "flow:osss", "t0_s": 0.0, "dur_s": 1.2,
+                "meta": {}, "children": [...]}]}
+
+``meta`` is free-form JSON carrying counters (simulator ``.stats()``
+dicts, fault tallies, throughput numbers) alongside the timings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterator
+
+#: The versioned identifier every exported trace document carries.
+TRACE_SCHEMA = "repro-trace/v1"
+
+
+class Span:
+    """One timed region: name, start offset, duration, metadata, children."""
+
+    __slots__ = ("name", "t0", "dur", "meta", "children", "_parent")
+
+    def __init__(self, name: str, t0: float,
+                 parent: "Span | None" = None) -> None:
+        self.name = name
+        self.t0 = t0
+        self.dur: float | None = None
+        self.meta: dict[str, Any] = {}
+        self.children: list[Span] = []
+        self._parent = parent
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has been exited."""
+        return self.dur is not None
+
+    def annotate(self, **meta: Any) -> "Span":
+        """Attach metadata (counters, tallies...) to the span."""
+        self.meta.update(meta)
+        return self
+
+    def child_seconds(self) -> float:
+        """Total duration of the direct children (coverage checks)."""
+        return sum(c.dur or 0.0 for c in self.children)
+
+    def as_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "t0_s": round(self.t0, 9),
+            "dur_s": round(self.dur if self.dur is not None else 0.0, 9),
+        }
+        record["meta"] = self.meta
+        record["children"] = [c.as_dict() for c in self.children]
+        return record
+
+    def __repr__(self) -> str:
+        dur = f"{self.dur:.6f}s" if self.dur is not None else "open"
+        return f"Span({self.name!r}, {dur}, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Collects a span tree and exports it as ``repro-trace/v1`` JSON.
+
+    Parameters
+    ----------
+    name:
+        Label for the whole trace (the workload being profiled).
+    clock:
+        Monotonic clock returning seconds as ``float``; defaults to
+        :func:`time.perf_counter`.  Injectable so golden tests can pin
+        byte-stable output.
+    """
+
+    def __init__(self, name: str = "trace",
+                 clock: Callable[[], float] | None = None) -> None:
+        self.name = name
+        self._clock = clock or time.perf_counter
+        self._epoch = self._clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self.meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self._clock() - self._epoch
+
+    def span(self, name: str, **meta: Any) -> _SpanContext:
+        """Open a nested span; use as ``with tracer.span("stage"):``."""
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, self._now(), parent)
+        span.meta.update(meta)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.dur = self._now() - span.t0
+        # Unwind to the span being closed: mis-nested exits close the
+        # abandoned inner spans instead of corrupting the stack.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.dur is None:
+                top.dur = self._now() - top.t0
+
+    def record(self, name: str, dur_s: float, **meta: Any) -> Span:
+        """Attach a pre-measured span (e.g. a worker shard's wall time).
+
+        The span is parented under the currently open span and stamped
+        at the current clock offset; *dur_s* is trusted as measured.
+        """
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, self._now(), parent)
+        span.dur = float(dur_s)
+        span.meta.update(meta)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    def annotate(self, **meta: Any) -> None:
+        """Attach metadata to the trace document itself."""
+        self.meta.update(meta)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def total_seconds(self) -> float:
+        """Sum of the root spans' durations."""
+        return sum(r.dur or 0.0 for r in self.roots)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "name": self.name,
+            "total_s": round(self.total_seconds(), 9),
+            "meta": self.meta,
+            "spans": [r.as_dict() for r in self.roots],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=False) + "\n"
+
+    def write(self, path: str) -> None:
+        """Validate and write the trace document to *path*."""
+        doc = self.as_dict()
+        validate_trace(doc)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first ``(depth, span)`` pairs over the whole tree."""
+
+        def visit(span: Span, depth: int) -> Iterator[tuple[int, Span]]:
+            yield depth, span
+            for child in span.children:
+                yield from visit(child, depth + 1)
+
+        for root in self.roots:
+            yield from visit(root, 0)
+
+    def summary_rows(self) -> list[dict[str, Any]]:
+        """Flat per-span table rows (for ``repro.eval.format_table``)."""
+        rows = []
+        for depth, span in self.walk():
+            dur = span.dur or 0.0
+            parent = span._parent
+            share = ""
+            if parent is not None and parent.dur:
+                share = f"{100.0 * dur / parent.dur:.1f}%"
+            rows.append({
+                "span": "  " * depth + span.name,
+                "dur_s": f"{dur:.4f}",
+                "of_parent": share,
+            })
+        return rows
+
+    def __repr__(self) -> str:
+        return (f"Tracer({self.name!r}, {len(self.roots)} roots, "
+                f"total={self.total_seconds():.4f}s)")
+
+
+class _NullContext:
+    """Shared no-op context: one throwaway Span, never exported."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self) -> None:
+        self._span = Span("null", 0.0)
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+class NullTracer(Tracer):
+    """A tracer that records nothing; the default when none is passed.
+
+    Keeps the instrumented call sites branch-free: ``tracer.span(...)``
+    costs one attribute lookup and returns a shared no-op context.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("null", clock=lambda: 0.0)
+        self._null = _NullContext()
+
+    def span(self, name: str, **meta: Any) -> _NullContext:  # type: ignore[override]
+        return self._null
+
+    def record(self, name: str, dur_s: float, **meta: Any) -> Span:
+        return self._null._span
+
+    def annotate(self, **meta: Any) -> None:
+        return None
+
+
+#: Module-level shared instance for ``tracer = tracer or NULL_TRACER``.
+NULL_TRACER = NullTracer()
+
+
+# ----------------------------------------------------------------------
+# schema validation
+# ----------------------------------------------------------------------
+def _fail(path: str, problem: str) -> None:
+    raise ValueError(f"invalid repro-trace/v1 document at {path}: {problem}")
+
+
+def _validate_span(span: Any, path: str) -> None:
+    if not isinstance(span, dict):
+        _fail(path, f"span must be an object, got {type(span).__name__}")
+    required = {"name", "t0_s", "dur_s", "meta", "children"}
+    missing = required - set(span)
+    if missing:
+        _fail(path, f"missing keys {sorted(missing)}")
+    if not isinstance(span["name"], str) or not span["name"]:
+        _fail(path, "name must be a non-empty string")
+    for key in ("t0_s", "dur_s"):
+        value = span[key]
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            _fail(path, f"{key} must be a number")
+        if value < 0:
+            _fail(path, f"{key} must be non-negative, got {value}")
+    if not isinstance(span["meta"], dict):
+        _fail(path, "meta must be an object")
+    if not isinstance(span["children"], list):
+        _fail(path, "children must be an array")
+    for k, child in enumerate(span["children"]):
+        _validate_span(child, f"{path}.children[{k}]")
+
+
+def validate_trace(doc: Any) -> dict[str, Any]:
+    """Check *doc* against the ``repro-trace/v1`` schema.
+
+    Returns the document unchanged on success; raises :class:`ValueError`
+    naming the offending path otherwise.  Used by the CLI before writing
+    and by the CI smoke step after.
+    """
+    if not isinstance(doc, dict):
+        _fail("$", f"document must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != TRACE_SCHEMA:
+        _fail("$.schema", f"expected {TRACE_SCHEMA!r}, got {doc.get('schema')!r}")
+    if not isinstance(doc.get("name"), str):
+        _fail("$.name", "name must be a string")
+    total = doc.get("total_s")
+    if not isinstance(total, (int, float)) or isinstance(total, bool) \
+            or total < 0:
+        _fail("$.total_s", "total_s must be a non-negative number")
+    if not isinstance(doc.get("meta"), dict):
+        _fail("$.meta", "meta must be an object")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        _fail("$.spans", "spans must be an array")
+    for k, span in enumerate(spans):
+        _validate_span(span, f"$.spans[{k}]")
+    return doc

@@ -53,6 +53,14 @@ class RtlSimulator:
         self._input_parent: dict[int, tuple[Instance, RtlModule]] = {}
         self._collect(module, None)
         self.cycle = 0
+        #: Hooks called (no arguments) after every committed step; the
+        #: cycle-based counterpart of the kernel's ``cycle_hooks``, used
+        #: by :class:`repro.obs.vcd.RtlTrace`.
+        self.step_hooks: list = []
+        self._steps = 0
+        self._register_commits = 0
+        self._register_changes = 0
+        self._carrier_evals = 0
         self.reset_state()
         self._inputs: dict[str, int] = {
             name: 0 for name in module.inputs
@@ -136,6 +144,7 @@ class RtlSimulator:
                 raise RtlError(f"cannot evaluate carrier {carrier!r}")
             in_progress.discard(uid)
             memo[uid] = value
+            self._carrier_evals += 1
             return value
 
         return valuation
@@ -180,9 +189,18 @@ class RtlSimulator:
             (reg, reg.next.evaluate(valuation))
             for reg, _ in self._registers
         ]
+        state = self.state
+        changed = 0
         for reg, value in updates:
-            self.state[reg.uid] = value
+            if state[reg.uid] != value:
+                state[reg.uid] = value
+                changed += 1
+        self._register_commits += len(updates)
+        self._register_changes += changed
+        self._steps += 1
         self.cycle += 1
+        for hook in self.step_hooks:
+            hook()
         return outputs
 
     def run(self, stimulus: Iterable[Mapping[str, int]],
@@ -203,6 +221,34 @@ class RtlSimulator:
                 )
             outputs.append(self.step(**dict(entry)))
         return outputs
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int | str]:
+        """Uniform work counters (see DESIGN.md §8).
+
+        ``steps``             committed clock cycles;
+        ``register_commits``  register next-values computed and stored
+                              (``registers × steps``);
+        ``register_changes``  commits that actually changed the state;
+        ``carrier_evals``     unique carrier evaluations (memo fills)
+                              across all valuations.
+        """
+        return {
+            "backend": "rtl",
+            "steps": self._steps,
+            "register_commits": self._register_commits,
+            "register_changes": self._register_changes,
+            "carrier_evals": self._carrier_evals,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the work counters (simulation state is untouched)."""
+        self._steps = 0
+        self._register_commits = 0
+        self._register_changes = 0
+        self._carrier_evals = 0
 
     def register_value(self, register: Register) -> int:
         """Current committed contents of *register* (tests/debug)."""

@@ -108,4 +108,83 @@ class TestObjectTracing:
         top, sim, trace = build()
         trace2 = VcdTrace(sim)
         trace2.trace_module(top)
-        assert len(trace2._vars) >= 2  # clk + out at least
+        assert trace2.writer.var_count >= 2  # clk + out at least
+
+
+def build_object_owner():
+    top = Module("top")
+    top.clk = Clock("clk", 10 * NS)
+
+    class Owner(Module):
+        def __init__(self, name, clk):
+            super().__init__(name)
+            self.acc = Accumulator()
+            self.cthread(self.run, clock=clk)
+
+        def run(self):
+            while True:
+                self.acc.add(Unsigned(8, 3))
+                yield
+
+    top.o = Owner("o", top.clk)
+    sim = Simulator(top)
+    return top, sim
+
+
+class TestDetach:
+    """Regression tests for the cycle-hook leak (satellite fix).
+
+    ``VcdTrace`` used to leave ``_sample_objects`` on the simulator's
+    ``cycle_hooks`` forever, so a discarded trace kept sampling (and
+    kept its objects alive) for the simulator's lifetime.
+    """
+
+    def test_detach_releases_cycle_hook(self):
+        top, sim = build_object_owner()
+        trace = VcdTrace(sim)
+        hooks_before = len(sim.cycle_hooks)
+        trace.detach()
+        assert len(sim.cycle_hooks) == hooks_before - 1
+        assert not trace.attached
+
+    def test_detach_is_idempotent(self):
+        top, sim = build_object_owner()
+        trace = VcdTrace(sim)
+        other = VcdTrace(sim)  # its hook must survive trace's detaches
+        trace.detach()
+        trace.detach()
+        trace.close()
+        assert other.attached
+        assert sim.cycle_hooks.count(other._sample_objects) == 1
+
+    def test_detached_trace_stops_sampling(self):
+        top, sim = build_object_owner()
+        trace = VcdTrace(sim)
+        trace.trace_object(top.o.acc, name="acc")
+        sim.run(50 * NS)
+        frozen = trace.change_count
+        trace.detach()
+        sim.run(50 * NS)
+        assert trace.change_count == frozen
+        # The document stays renderable after detach.
+        assert "acc.total" in trace.render()
+
+    def test_two_traces_do_not_double_sample(self):
+        top, sim = build_object_owner()
+        first = VcdTrace(sim)
+        first.trace_object(top.o.acc, name="acc")
+        first.detach()
+        second = VcdTrace(sim)
+        second.trace_object(top.o.acc, name="acc")
+        sim.run(50 * NS)
+        # Only the live trace accumulates; the detached one is frozen at
+        # its initial sample.
+        assert second.change_count > first.change_count
+
+    def test_detach_releases_signal_hooks(self):
+        top, sim, trace = build()
+        sim.run(20 * NS)
+        count = trace.change_count
+        trace.detach()
+        sim.run(20 * NS)
+        assert trace.change_count == count

@@ -1,0 +1,123 @@
+"""Golden-file tests: repro-trace/v1 JSON and VCD output are byte-stable.
+
+The golden documents live next to this file in ``golden/``.  Both
+builders are fully deterministic (the trace uses an injected fake clock;
+the VCD records a fixed change list), so any byte difference means the
+export format changed and the schema version must be revisited.
+
+To regenerate after an *intentional* format change::
+
+    PYTHONPATH=src python tests/obs/test_golden.py regen
+"""
+
+import json
+import pathlib
+
+from repro.obs import Tracer, VcdWriter, validate_trace
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+class _StepClock:
+    """Advances a fixed amount on every reading: fully deterministic."""
+
+    def __init__(self, step: float = 0.125) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.t
+        self.t += self.step
+        return value
+
+
+def build_trace() -> Tracer:
+    """A representative trace: nested flow stages plus a shard rollup."""
+    tracer = Tracer("golden", clock=_StepClock())
+    tracer.annotate(seed=1, jobs=2)
+    with tracer.span("flow:osss") as flow:
+        with tracer.span("synthesize"):
+            pass
+        with tracer.span("techmap", cells=42):
+            pass
+        flow.annotate(area_ge=123.4)
+    with tracer.span("campaign", faults=4):
+        tracer.record("shard[0]", 0.75, faults=2,
+                      outcomes={"masked": 1, "sdc": 1})
+        tracer.record("shard[1]", 0.5, faults=2,
+                      outcomes={"masked": 2, "sdc": 0})
+    return tracer
+
+
+def build_vcd() -> VcdWriter:
+    """A two-scope document exercising widths, dedup and scope breaks."""
+    writer = VcdWriter("1ns")
+    clk = writer.add_var("clk", 1, scope="rtl")
+    bus = writer.add_var("data out", 8, scope="rtl")
+    gate = writer.add_var("data out", 8, scope="netlist")
+    for t in range(6):
+        writer.record(t, clk, t & 1)
+        writer.record(t, bus, (t * 3) & 0xFF)
+        writer.record(t, gate, (t * 3) & 0xFF if t != 4 else 99)
+    writer.record(6, bus, 20)
+    writer.record(7, bus, 20)  # same value again: must dedup (no #7)
+    return writer
+
+
+class TestTraceGolden:
+    def test_json_matches_golden_bytes(self):
+        golden = (GOLDEN_DIR / "trace.json").read_text(encoding="utf-8")
+        assert build_trace().to_json() == golden
+
+    def test_golden_is_schema_valid(self):
+        doc = json.loads((GOLDEN_DIR / "trace.json").read_text())
+        assert validate_trace(doc) is doc
+
+    def test_write_matches_render(self, tmp_path):
+        path = tmp_path / "trace.json"
+        build_trace().write(str(path))
+        assert json.loads(path.read_text()) == build_trace().as_dict()
+
+
+class TestVcdGolden:
+    def test_render_matches_golden_bytes(self):
+        golden = (GOLDEN_DIR / "wave.vcd").read_text(encoding="ascii")
+        assert build_vcd().render() == golden
+
+    def test_windowed_render_matches_golden_bytes(self):
+        golden = (GOLDEN_DIR / "wave_window.vcd").read_text(encoding="ascii")
+        assert build_vcd().render(window=(2, 5)) == golden
+
+    def test_window_semantics(self):
+        text = build_vcd().render(window=(2, 5))
+        # Initial dump at the window start, then only in-window changes.
+        assert "#2" in text and "#5" in text
+        assert "#0\n" not in text and "#7" not in text
+        # The t=4 divergence of the netlist scope is inside the window.
+        assert "b1100011" in text  # 99
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "wave.vcd"
+        build_vcd().write(str(path))
+        assert path.read_text(encoding="ascii") == build_vcd().render()
+
+
+def _regen() -> None:  # pragma: no cover - maintenance helper
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    (GOLDEN_DIR / "trace.json").write_text(build_trace().to_json(),
+                                           encoding="utf-8")
+    (GOLDEN_DIR / "wave.vcd").write_text(build_vcd().render(),
+                                         encoding="ascii")
+    (GOLDEN_DIR / "wave_window.vcd").write_text(
+        build_vcd().render(window=(2, 5)), encoding="ascii"
+    )
+    print(f"regenerated goldens in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if sys.argv[1:] == ["regen"]:
+        _regen()
+    else:
+        print(__doc__)

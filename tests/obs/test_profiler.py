@@ -1,0 +1,257 @@
+"""Unit tests for the span profiler and the repro-trace/v1 validator."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA,
+    Tracer,
+    validate_trace,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock for byte-stable traces."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.t = start
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def make_tracer(start: float = 0.0) -> tuple[Tracer, FakeClock]:
+    clock = FakeClock(start)
+    return Tracer("test", clock=clock), clock
+
+
+class TestSpanNesting:
+    def test_single_span_timing(self):
+        tracer, clock = make_tracer()
+        with tracer.span("work"):
+            clock.advance(1.5)
+        (span,) = tracer.roots
+        assert span.name == "work"
+        assert span.t0 == 0.0
+        assert span.dur == 1.5
+        assert span.closed
+
+    def test_epoch_relative_offsets(self):
+        clock = FakeClock(100.0)  # non-zero wall clock at construction
+        tracer = Tracer("test", clock=clock)
+        clock.advance(2.0)
+        with tracer.span("late"):
+            clock.advance(1.0)
+        assert tracer.roots[0].t0 == 2.0
+
+    def test_children_nest_under_parent(self):
+        tracer, clock = make_tracer()
+        with tracer.span("outer"):
+            clock.advance(0.5)
+            with tracer.span("inner_a"):
+                clock.advance(1.0)
+            with tracer.span("inner_b"):
+                clock.advance(2.0)
+        (outer,) = tracer.roots
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert outer.dur == 3.5
+        assert outer.children[0].t0 == 0.5
+        assert outer.child_seconds() == 3.0
+
+    def test_sibling_roots(self):
+        tracer, clock = make_tracer()
+        with tracer.span("first"):
+            clock.advance(1.0)
+        with tracer.span("second"):
+            clock.advance(2.0)
+        assert [r.name for r in tracer.roots] == ["first", "second"]
+        assert tracer.total_seconds() == 3.0
+
+    def test_exception_still_closes_span(self):
+        tracer, clock = make_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("explodes"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert tracer.roots[0].closed
+        assert tracer.roots[0].dur == 1.0
+
+    def test_mis_nested_exit_unwinds_inner_spans(self):
+        tracer, clock = make_tracer()
+        outer_ctx = tracer.span("outer")
+        outer_ctx.__enter__()
+        inner_ctx = tracer.span("inner")
+        inner_ctx.__enter__()
+        clock.advance(1.0)
+        # Closing the outer span first must close the abandoned inner
+        # span too instead of corrupting the stack.
+        outer_ctx.__exit__(None, None, None)
+        assert tracer.current is None
+        (outer,) = tracer.roots
+        assert outer.closed and outer.children[0].closed
+
+    def test_current_tracks_innermost(self):
+        tracer, _ = make_tracer()
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+
+class TestAnnotationsAndRecord:
+    def test_span_meta_via_kwargs_and_annotate(self):
+        tracer, _ = make_tracer()
+        with tracer.span("stage", cells=7) as span:
+            span.annotate(area_ge=12.5)
+        assert tracer.roots[0].meta == {"cells": 7, "area_ge": 12.5}
+
+    def test_tracer_level_annotate(self):
+        tracer, _ = make_tracer()
+        tracer.annotate(seed=3, jobs=2)
+        assert tracer.as_dict()["meta"] == {"seed": 3, "jobs": 2}
+
+    def test_record_pre_measured_span(self):
+        tracer, clock = make_tracer()
+        with tracer.span("shards"):
+            clock.advance(0.25)
+            span = tracer.record("shard[0]", 4.5, faults=10)
+        assert span.dur == 4.5
+        assert span.t0 == 0.25
+        shards = tracer.roots[0]
+        assert shards.children[0].name == "shard[0]"
+        assert shards.children[0].meta == {"faults": 10}
+
+    def test_record_at_top_level_is_a_root(self):
+        tracer, _ = make_tracer()
+        tracer.record("lonely", 1.0)
+        assert [r.name for r in tracer.roots] == ["lonely"]
+        assert tracer.total_seconds() == 1.0
+
+
+class TestExport:
+    def build(self) -> Tracer:
+        tracer, clock = make_tracer()
+        with tracer.span("flow", cells=3):
+            clock.advance(0.5)
+            with tracer.span("synthesize"):
+                clock.advance(1.0)
+        return tracer
+
+    def test_as_dict_shape(self):
+        doc = self.build().as_dict()
+        assert doc["schema"] == TRACE_SCHEMA == "repro-trace/v1"
+        assert doc["name"] == "test"
+        assert doc["total_s"] == 1.5
+        (flow,) = doc["spans"]
+        assert flow["name"] == "flow"
+        assert flow["meta"] == {"cells": 3}
+        assert flow["children"][0]["t0_s"] == 0.5
+        assert flow["children"][0]["dur_s"] == 1.0
+
+    def test_to_json_round_trips(self):
+        tracer = self.build()
+        assert json.loads(tracer.to_json()) == tracer.as_dict()
+
+    def test_write_emits_valid_document(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self.build().write(str(path))
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) is doc
+
+    def test_walk_depth_first(self):
+        tracer = self.build()
+        names = [(d, s.name) for d, s in tracer.walk()]
+        assert names == [(0, "flow"), (1, "synthesize")]
+
+    def test_summary_rows_shares(self):
+        rows = self.build().summary_rows()
+        assert rows[0]["span"] == "flow"
+        assert rows[1]["span"] == "  synthesize"
+        assert rows[1]["of_parent"] == f"{100.0 / 1.5:.1f}%"
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        null = NullTracer()
+        with null.span("a"):
+            with null.span("b"):
+                pass
+        null.record("c", 1.0)
+        null.annotate(x=1)
+        assert null.roots == []
+        assert null.as_dict()["spans"] == []
+        assert null.as_dict()["meta"] == {}
+
+    def test_span_context_is_usable(self):
+        with NULL_TRACER.span("x") as span:
+            span.annotate(ignored=True)  # must not raise
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestValidateTrace:
+    def good(self) -> dict:
+        return {
+            "schema": "repro-trace/v1",
+            "name": "t",
+            "total_s": 1.0,
+            "meta": {},
+            "spans": [{"name": "a", "t0_s": 0.0, "dur_s": 1.0,
+                       "meta": {}, "children": []}],
+        }
+
+    def test_accepts_valid_document(self):
+        doc = self.good()
+        assert validate_trace(doc) is doc
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match=r"\$"):
+            validate_trace([1, 2])
+
+    def test_rejects_wrong_schema(self):
+        doc = self.good()
+        doc["schema"] = "repro-trace/v0"
+        with pytest.raises(ValueError, match=r"\$\.schema"):
+            validate_trace(doc)
+
+    def test_rejects_missing_span_keys(self):
+        doc = self.good()
+        del doc["spans"][0]["meta"]
+        with pytest.raises(ValueError, match=r"\$\.spans\[0\]"):
+            validate_trace(doc)
+
+    def test_rejects_negative_duration(self):
+        doc = self.good()
+        doc["spans"][0]["dur_s"] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_trace(doc)
+
+    def test_rejects_boolean_number(self):
+        doc = self.good()
+        doc["total_s"] = True
+        with pytest.raises(ValueError, match=r"\$\.total_s"):
+            validate_trace(doc)
+
+    def test_rejects_bad_nested_child(self):
+        doc = self.good()
+        doc["spans"][0]["children"] = [{"name": ""}]
+        with pytest.raises(ValueError, match=r"children\[0\]"):
+            validate_trace(doc)
+
+    def test_repr_smoke(self):
+        tracer, clock = make_tracer()
+        with tracer.span("s"):
+            clock.advance(1.0)
+        assert "Span(" in repr(tracer.roots[0])
+        assert "Tracer(" in repr(tracer)

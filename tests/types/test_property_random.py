@@ -1,0 +1,274 @@
+"""Seeded randomized property tests: hardware types vs exact oracles.
+
+Every case draws operands from a fixed-seed RNG (reproducible runs) with
+the wrap-critical edge values (0, ±1, min, max) mixed into the pools,
+and checks the hardware result against a plain Python ``int`` /
+``fractions.Fraction`` model of the documented semantics:
+
+* ``Unsigned``/``Signed``: ``+``/``-`` at ``max(wa, wb)`` bits with
+  modular wrap, ``*`` at ``wa + wb`` bits, bitwise ops on raw patterns,
+  value comparisons, and ``resized`` (zero-/sign-extend, truncate).
+* ``FixedPoint``: exact ``Fraction`` arithmetic under the automatic
+  result formats, and wrap-around quantization to narrower formats.
+* ``BitVector``: bitwise ops, ``range`` slices and ``concat`` against
+  integer shifting/masking.
+"""
+
+import random
+from fractions import Fraction
+
+from repro.types import BitVector, FixedPoint, Signed, Unsigned
+
+N_CASES = 200
+WIDTHS = (1, 3, 8, 13, 16)
+
+
+def mask(width):
+    return (1 << width) - 1
+
+
+def wrap_unsigned(value, width):
+    return value & mask(width)
+
+
+def wrap_signed(value, width):
+    wrapped = value & mask(width)
+    if wrapped >= 1 << (width - 1):
+        wrapped -= 1 << width
+    return wrapped
+
+
+def draw_raw(rng, width):
+    """Random raw pattern, biased toward the wrap-critical edges."""
+    edges = [0, 1, mask(width), mask(width) - 1, 1 << (width - 1)]
+    if rng.random() < 0.4:
+        return rng.choice(edges) & mask(width)
+    return rng.getrandbits(width)
+
+
+class TestUnsignedArithmetic:
+    def test_add_sub_wrap_to_max_width(self):
+        rng = random.Random(1001)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            a, b = draw_raw(rng, wa), draw_raw(rng, wb)
+            width = max(wa, wb)
+            total = Unsigned(wa, a) + Unsigned(wb, b)
+            assert total.width == width
+            assert total.value == wrap_unsigned(a + b, width)
+            diff = Unsigned(wa, a) - Unsigned(wb, b)
+            assert diff.width == width
+            assert diff.value == wrap_unsigned(a - b, width)
+
+    def test_mul_width_never_wraps(self):
+        rng = random.Random(1002)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            a, b = draw_raw(rng, wa), draw_raw(rng, wb)
+            product = Unsigned(wa, a) * Unsigned(wb, b)
+            assert product.width == wa + wb
+            # The full-width product always fits: no information loss.
+            assert product.value == a * b
+
+    def test_bitwise_on_raw_patterns(self):
+        rng = random.Random(1003)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            a, b = draw_raw(rng, wa), draw_raw(rng, wb)
+            width = max(wa, wb)
+            x, y = Unsigned(wa, a), Unsigned(wb, b)
+            assert (x & y).value == (a & b) & mask(width)
+            assert (x | y).value == (a | b) & mask(width)
+            assert (x ^ y).value == (a ^ b) & mask(width)
+            assert (~x).value == (~a) & mask(wa)
+
+    def test_comparisons_are_value_comparisons(self):
+        rng = random.Random(1004)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            a, b = draw_raw(rng, wa), draw_raw(rng, wb)
+            x, y = Unsigned(wa, a), Unsigned(wb, b)
+            assert (x < y) == (a < b)
+            assert (x >= y) == (a >= b)
+            assert (x == y) == (a == b)
+
+    def test_resized_extends_and_truncates(self):
+        rng = random.Random(1005)
+        for _ in range(N_CASES):
+            wa = rng.choice(WIDTHS)
+            target = rng.choice(WIDTHS)
+            a = draw_raw(rng, wa)
+            resized = Unsigned(wa, a).resized(target)
+            assert resized.width == target
+            assert resized.value == a & mask(target)
+
+    def test_shifts(self):
+        rng = random.Random(1006)
+        for _ in range(N_CASES):
+            wa = rng.choice(WIDTHS)
+            a = draw_raw(rng, wa)
+            amount = rng.randrange(0, wa + 2)
+            assert (Unsigned(wa, a) << amount).value == \
+                (a << amount) & mask(wa)
+            assert (Unsigned(wa, a) >> amount).value == a >> amount
+
+
+class TestSignedArithmetic:
+    def draw(self, rng, width):
+        raw = draw_raw(rng, width)
+        return wrap_signed(raw, width)
+
+    def test_add_sub_wrap_two_complement(self):
+        rng = random.Random(2001)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            va, vb = self.draw(rng, wa), self.draw(rng, wb)
+            width = max(wa, wb)
+            total = Signed(wa, va) + Signed(wb, vb)
+            assert total.width == width
+            assert total.value == wrap_signed(va + vb, width)
+            diff = Signed(wa, va) - Signed(wb, vb)
+            assert diff.value == wrap_signed(va - vb, width)
+
+    def test_mul_full_width_exact(self):
+        rng = random.Random(2002)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            va, vb = self.draw(rng, wa), self.draw(rng, wb)
+            product = Signed(wa, va) * Signed(wb, vb)
+            assert product.width == wa + wb
+            # wa + wb bits hold any two's-complement product of wa- and
+            # wb-bit operands except none: always exact.
+            assert product.value == wrap_signed(va * vb, wa + wb) == va * vb
+
+    def test_negation_wraps_at_minimum(self):
+        rng = random.Random(2003)
+        for width in WIDTHS:
+            minimum = -(1 << (width - 1))
+            assert Signed(width, minimum).value == minimum
+            # -min wraps back to min: the classic two's-complement edge.
+            assert (-Signed(width, minimum)).value == minimum
+            for _ in range(20):
+                v = self.draw(rng, width)
+                assert (-Signed(width, v)).value == wrap_signed(-v, width)
+
+    def test_resized_sign_extends_and_truncates(self):
+        rng = random.Random(2004)
+        for _ in range(N_CASES):
+            wa, target = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            v = self.draw(rng, wa)
+            resized = Signed(wa, v).resized(target)
+            assert resized.width == target
+            assert resized.value == wrap_signed(v, target)
+
+    def test_arithmetic_shift_right(self):
+        rng = random.Random(2005)
+        for _ in range(N_CASES):
+            wa = rng.choice(WIDTHS)
+            v = self.draw(rng, wa)
+            amount = rng.randrange(0, wa + 2)
+            assert (Signed(wa, v) >> amount).value == v >> amount
+
+    def test_unsigned_signed_reinterpret_round_trip(self):
+        rng = random.Random(2006)
+        for _ in range(N_CASES):
+            wa = rng.choice(WIDTHS)
+            raw = draw_raw(rng, wa)
+            as_signed = Unsigned(wa, raw).to_signed()
+            assert as_signed.value == wrap_signed(raw, wa)
+            assert as_signed.to_unsigned().value == raw
+
+
+class TestFixedPointProperties:
+    FORMATS = ((2, 0), (4, 4), (8, 8), (3, 7), (12, 2))
+
+    def draw(self, rng, int_bits, frac_bits):
+        width = int_bits + frac_bits
+        raw = draw_raw(rng, width)
+        return FixedPoint(int_bits, frac_bits,
+                          Fraction(wrap_signed(raw, width), 1 << frac_bits))
+
+    def test_add_sub_exact_fraction_oracle(self):
+        rng = random.Random(3001)
+        for _ in range(N_CASES):
+            fa = rng.choice(self.FORMATS)
+            fb = rng.choice(self.FORMATS)
+            a = self.draw(rng, *fa)
+            b = self.draw(rng, *fb)
+            total = a + b
+            # add_format grows the integer part by one bit, so the sum
+            # is always exact.
+            assert (total.int_bits, total.frac_bits) == \
+                FixedPoint.add_format(a, b)
+            assert total.value == a.value + b.value
+            assert (a - b).value == a.value - b.value
+
+    def test_mul_exact_fraction_oracle(self):
+        rng = random.Random(3002)
+        for _ in range(N_CASES):
+            a = self.draw(rng, *rng.choice(self.FORMATS))
+            b = self.draw(rng, *rng.choice(self.FORMATS))
+            product = a * b
+            assert (product.int_bits, product.frac_bits) == \
+                FixedPoint.mul_format(a, b)
+            assert product.value == a.value * b.value
+
+    def test_quantize_truncates_toward_negative_infinity(self):
+        rng = random.Random(3003)
+        for _ in range(N_CASES):
+            a = self.draw(rng, 6, 6)
+            q = a.quantized(6, 2)
+            # Truncation: scaled value floored at the coarser resolution.
+            scaled = a.value * 4
+            expected = scaled.numerator // scaled.denominator
+            assert q.stored.value == wrap_signed(expected, 8)
+
+    def test_quantize_wraps_out_of_range(self):
+        # +7.5 does not fit (2, 1): stored 1111 wraps to -0.5.
+        wide = FixedPoint(5, 1, 7.5)
+        narrow = wide.quantized(2, 1)
+        assert narrow.value == Fraction(-1, 2)
+
+
+class TestBitVectorProperties:
+    def test_bitwise_against_int_oracle(self):
+        rng = random.Random(4001)
+        for _ in range(N_CASES):
+            width = rng.choice(WIDTHS)
+            a, b = draw_raw(rng, width), draw_raw(rng, width)
+            x, y = BitVector(width, a), BitVector(width, b)
+            assert (x & y).value == a & b
+            assert (x | y).value == a | b
+            assert (x ^ y).value == a ^ b
+            assert (~x).value == (~a) & mask(width)
+
+    def test_range_slices(self):
+        rng = random.Random(4002)
+        for _ in range(N_CASES):
+            width = rng.choice((8, 13, 16))
+            raw = draw_raw(rng, width)
+            lo = rng.randrange(0, width)
+            hi = rng.randrange(lo, width)
+            part = BitVector(width, raw).range(hi, lo)
+            assert part.width == hi - lo + 1
+            assert part.value == (raw >> lo) & mask(hi - lo + 1)
+
+    def test_concat_against_shift_oracle(self):
+        rng = random.Random(4003)
+        for _ in range(N_CASES):
+            wa, wb = rng.choice(WIDTHS), rng.choice(WIDTHS)
+            a, b = draw_raw(rng, wa), draw_raw(rng, wb)
+            joined = BitVector(wa, a).concat(BitVector(wb, b))
+            assert joined.width == wa + wb
+            assert joined.value == (a << wb) | b
+
+    def test_slice_concat_round_trip(self):
+        rng = random.Random(4004)
+        for _ in range(N_CASES):
+            width = rng.choice((8, 13, 16))
+            raw = draw_raw(rng, width)
+            cut = rng.randrange(1, width)
+            vec = BitVector(width, raw)
+            high = vec.range(width - 1, cut)
+            low = vec.range(cut - 1, 0)
+            assert high.concat(low).value == raw
