@@ -17,9 +17,18 @@ without writing a script:
               (RTL or netlist flow, optional TMR/parity hardening).
 ``profile``   profile a bundled workload (flows, synthesis or a fault
               campaign) and emit a ``repro-trace/v1`` span report.
+``build``     run the ExpoCU flows through the design library
+              (content-addressed cache): warm rebuilds skip unchanged
+              stages.
+``cache``     design-library maintenance: ``stats``, ``gc``, ``verify``.
 
 ``synth``/``flows``/``inject`` also accept ``--profile <out.json>`` to
 write the same span report for their own run.
+
+Uncaught flow errors (:class:`~repro.synth.SynthesisError`,
+:class:`~repro.netlist.NetlistError`, :class:`~repro.store.StoreError`)
+print as one-line ``repro: error: ...`` diagnostics with exit code 2
+instead of tracebacks.
 """
 
 from __future__ import annotations
@@ -288,12 +297,80 @@ def _cmd_effort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_build(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval import run_osss_flow, run_vhdl_flow
+    from repro.obs import NULL_TRACER, Tracer
+    from repro.store import ArtifactStore
+
+    store = None
+    if not args.no_cache:
+        store = ArtifactStore(args.cache_dir)
+        if args.cold:
+            store.clear()
+    tracer = Tracer("build") if args.profile else NULL_TRACER
+    results = []
+    if args.flow in ("osss", "both"):
+        results.append(run_osss_flow(_default_design(), "osss",
+                                     tracer=tracer, store=store))
+    if args.flow in ("vhdl", "both"):
+        from repro.baseline import expocu_rtl
+
+        results.append(run_vhdl_flow(expocu_rtl(), "vhdl",
+                                     tracer=tracer, store=store))
+    summaries = [result.summary() for result in results]
+    if args.json:
+        # Summaries only: this output is byte-comparable across cold,
+        # warm and cache-disabled runs (counters go to stderr).
+        print(json.dumps({"flows": summaries}, indent=2))
+    else:
+        from repro.eval import format_table
+
+        print(format_table(summaries))
+    if store is not None:
+        counts = {event: sum(counter.values())
+                  for event, counter in store.counters.items()}
+        line = (f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
+                f"{counts['store']} store(s)")
+        if counts["corrupt"]:
+            line += f", {counts['corrupt']} corrupt entr(ies) recomputed"
+        print(line, file=sys.stderr)
+    _write_profile(tracer, args.profile)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.cache_command == "stats":
+        print(json.dumps(store.stats(), indent=2))
+        return 0
+    if args.cache_command == "gc":
+        max_age = (args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None)
+        report = store.gc(max_age)
+        print(json.dumps(report, indent=2))
+        return 0
+    # verify
+    report = store.verify(repair=args.repair)
+    print(json.dumps(report, indent=2))
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PyOSSS — OSSS methodology reproduction (DATE 2004)",
     )
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="closed-loop auto-exposure demo")
@@ -392,14 +469,60 @@ def build_parser() -> argparse.ArgumentParser:
 
     effort = sub.add_parser("effort", help="E8 effort metrics")
     effort.set_defaults(func=_cmd_effort)
+
+    build = sub.add_parser(
+        "build", help="run the ExpoCU flows through the design library"
+    )
+    build.add_argument("--flow", choices=("osss", "vhdl", "both"),
+                       default="both", help="which flow(s) to build")
+    build.add_argument("--cache-dir", default=".repro-cache",
+                       help="design-library root (default: .repro-cache)")
+    build.add_argument("--cold", action="store_true",
+                       help="clear the cache first (forced full rebuild)")
+    build.add_argument("--no-cache", action="store_true",
+                       help="bypass the design library entirely")
+    build.add_argument("--json", action="store_true",
+                       help="print flow summaries as JSON (cache counters "
+                       "go to stderr, so output is run-comparable)")
+    build.add_argument("--profile", metavar="OUT.json",
+                       help="write a repro-trace/v1 span report here")
+    build.set_defaults(func=_cmd_build)
+
+    cache = sub.add_parser(
+        "cache", help="design-library maintenance (stats / gc / verify)"
+    )
+    cache.add_argument("--cache-dir", default=".repro-cache",
+                       help="design-library root (default: .repro-cache)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry/object counts and size")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="drop dangling pointers and unreferenced objects"
+    )
+    cache_gc.add_argument("--max-age-days", type=float, default=None,
+                          help="also expire entries older than this")
+    cache_verify = cache_sub.add_parser(
+        "verify", help="rehash all objects, resolve all entries"
+    )
+    cache_verify.add_argument("--repair", action="store_true",
+                              help="remove damaged objects/entries so the "
+                              "next build recomputes them")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.netlist import NetlistError
+    from repro.store import StoreError
+    from repro.synth import SynthesisError
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (SynthesisError, NetlistError, StoreError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,16 +41,26 @@ def sweep(
     factory: Callable[..., Any],
     points: Iterable[Mapping[str, Any]],
     flow: Callable[[Any], FlowResult] | None = None,
+    store=None,
 ) -> list[SweepPoint]:
     """Synthesize ``factory(**params)`` for every parameter point.
 
     *factory* returns a fresh kernel-level module for the given parameters;
-    *flow* defaults to :func:`repro.eval.flows.run_osss_flow`.
+    *flow* defaults to :func:`repro.eval.flows.run_osss_flow`.  With a
+    *store* (:class:`~repro.store.ArtifactStore`) and the default flow,
+    every point runs memoized through the design library, so re-sweeping
+    (or overlapping a sweep with ``repro build``) replays warm entries
+    per specialization instead of re-synthesizing them.
     """
     if flow is None:
+        from functools import partial
+
         from repro.eval.flows import run_osss_flow
 
-        flow = run_osss_flow
+        flow = partial(run_osss_flow, store=store)
+    elif store is not None:
+        raise ValueError("store= requires the default flow; pass a flow "
+                         "that binds its own store instead")
     results = []
     for params in points:
         module = factory(**params)

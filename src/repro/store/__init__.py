@@ -1,0 +1,63 @@
+"""The design library (paper Fig. 6): a content-addressed artifact store.
+
+Three layers:
+
+* :mod:`repro.store.fingerprint` — canonical, ``PYTHONHASHSEED``-proof
+  fingerprints for designs, artifacts and stage code versions;
+* :mod:`repro.store.cas` — the on-disk store (atomic writes, advisory
+  locking, self-verifying objects, gc/verify maintenance);
+* :mod:`repro.store.serialize` — exact round-trip JSON serializers for
+  RTL IR, :class:`~repro.netlist.circuit.Circuit` netlists and flow
+  reports (the repo's netlist interchange format).
+
+:mod:`repro.store.memo` ties them into memoized flow stages used by
+``repro.eval.flows`` and the ``repro build`` / ``repro cache`` CLI.
+"""
+
+from repro.store.cas import ArtifactStore
+from repro.store.common import STORE_SCHEMA, StoreError, canonical_json, digest_doc
+from repro.store.fingerprint import (
+    fingerprint_circuit,
+    fingerprint_design,
+    fingerprint_rtl,
+    stage_key,
+    stage_version,
+)
+from repro.store.memo import StageOutcome, StageRunner
+from repro.store.serialize import (
+    deserialize_circuit,
+    deserialize_diagnostics,
+    deserialize_placement,
+    deserialize_rtl,
+    deserialize_timing,
+    serialize_circuit,
+    serialize_diagnostics,
+    serialize_placement,
+    serialize_rtl,
+    serialize_timing,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "STORE_SCHEMA",
+    "StageOutcome",
+    "StageRunner",
+    "StoreError",
+    "canonical_json",
+    "digest_doc",
+    "deserialize_circuit",
+    "deserialize_diagnostics",
+    "deserialize_placement",
+    "deserialize_rtl",
+    "deserialize_timing",
+    "fingerprint_circuit",
+    "fingerprint_design",
+    "fingerprint_rtl",
+    "serialize_circuit",
+    "serialize_diagnostics",
+    "serialize_placement",
+    "serialize_rtl",
+    "serialize_timing",
+    "stage_key",
+    "stage_version",
+]

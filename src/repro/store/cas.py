@@ -1,0 +1,335 @@
+"""On-disk content-addressed artifact store.
+
+Layout under the store root::
+
+    store.json                  # {"schema": "repro-store/v1"}
+    .lock                       # flock target for cross-process safety
+    objects/<aa>/<sha256>.json  # canonical JSON blobs, named by content
+    stages/<stage>/<key>.json   # stage-key -> object digest pointers
+
+Objects are *self-verifying*: the filename is the SHA-256 of the file
+content, so corruption (truncation, bit rot, partial writes that
+somehow survived) is detected on read by rehashing, and the damaged
+file is dropped so the caller recomputes.  Pointer files carry the
+digest they reference plus the store schema; an unparsable or
+mismatched pointer is likewise dropped, never followed.
+
+Concurrency: all writes go through a temp file in the same directory
+followed by ``os.replace`` (atomic on POSIX), so readers never observe
+a half-written file.  Writers additionally hold a *shared* ``flock`` on
+``.lock`` while maintenance operations (:meth:`gc`, :meth:`clear`)
+take it *exclusive* — two processes filling the same cache can run
+freely in parallel, but gc never deletes an object out from under a
+writer who is about to point at it.  Because identical content yields
+identical bytes at identical paths, concurrent writers racing on the
+same artifact are harmless whichever ``os.replace`` lands last.
+
+The store never raises on a damaged *read* — damage degrades to a miss
+and a ``corrupt`` counter tick.  A store root created by a different
+(newer) schema raises :class:`StoreError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from repro.store.common import (
+    STORE_SCHEMA,
+    StoreError,
+    canonical_json,
+    digest_bytes,
+)
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+class _Lock:
+    """Advisory flock on the store's ``.lock`` file (no-op without fcntl)."""
+
+    def __init__(self, path: Path, exclusive: bool) -> None:
+        self.path = path
+        self.exclusive = exclusive
+        self._fd: int | None = None
+
+    def __enter__(self) -> "_Lock":
+        if fcntl is not None:
+            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            fcntl.flock(self._fd,
+                        fcntl.LOCK_EX if self.exclusive else fcntl.LOCK_SH)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._fd is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+class ArtifactStore:
+    """A content-addressed design library rooted at *root*.
+
+    Creating the instance initialises the directory layout and schema
+    marker if absent; opening a root written by an unknown schema
+    raises :class:`StoreError`.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.stages_dir = self.root / "stages"
+        self._lock_path = self.root / ".lock"
+        self._marker = self.root / "store.json"
+        self.counters: dict[str, Counter] = {
+            "hit": Counter(), "miss": Counter(),
+            "store": Counter(), "corrupt": Counter(),
+        }
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.stages_dir.mkdir(parents=True, exist_ok=True)
+        if self._marker.exists():
+            try:
+                marker = json.loads(self._marker.read_text())
+                schema = marker.get("schema")
+            except (OSError, ValueError):
+                schema = None
+            if schema != STORE_SCHEMA:
+                raise StoreError(
+                    f"store at {self.root} has schema {schema!r}, "
+                    f"this build expects {STORE_SCHEMA!r}"
+                )
+        else:
+            self._atomic_write(
+                self._marker,
+                canonical_json({"schema": STORE_SCHEMA}).encode(),
+            )
+
+    # ------------------------------------------------------------------
+    # low-level plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _atomic_write(path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    def _pointer_path(self, stage: str, key: str) -> Path:
+        return self.stages_dir / stage / f"{key}.json"
+
+    def _count(self, event: str, stage: str) -> None:
+        self.counters[event][stage] += 1
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+    def put_object(self, doc: Any) -> str:
+        """Store *doc* by content; returns its digest.  Idempotent."""
+        data = canonical_json(doc).encode("utf-8")
+        digest = digest_bytes(data)
+        path = self._object_path(digest)
+        if not path.exists():
+            with _Lock(self._lock_path, exclusive=False):
+                self._atomic_write(path, data)
+        return digest
+
+    def get_object(self, digest: str) -> Any | None:
+        """Load an object by digest, verifying its content hash.
+
+        Returns ``None`` (after removing the damaged file) if the blob
+        is missing, unreadable, or fails verification — a corrupted
+        entry degrades to a recompute, never to a wrong artifact.
+        """
+        path = self._object_path(digest)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        if digest_bytes(data) != digest:
+            self._discard(path)
+            return None
+        try:
+            return json.loads(data)
+        except ValueError:
+            self._discard(path)
+            return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # stage pointers
+    # ------------------------------------------------------------------
+    def probe(self, stage: str, key: str) -> str | None:
+        """The object digest cached for (*stage*, *key*), if any.
+
+        Only reads the pointer — the object itself is not touched, so
+        probing is cheap even for multi-megabyte artifacts.  A damaged
+        pointer is dropped and reported as a miss.
+        """
+        path = self._pointer_path(stage, key)
+        try:
+            pointer = json.loads(path.read_bytes())
+        except OSError:
+            return None
+        except ValueError:
+            self._discard(path)
+            self._count("corrupt", stage)
+            return None
+        if (not isinstance(pointer, dict)
+                or pointer.get("schema") != STORE_SCHEMA
+                or not isinstance(pointer.get("object"), str)):
+            self._discard(path)
+            self._count("corrupt", stage)
+            return None
+        return pointer["object"]
+
+    def put_stage(self, stage: str, key: str, digest: str) -> None:
+        """Point (*stage*, *key*) at an already-stored object."""
+        pointer = canonical_json(
+            {"schema": STORE_SCHEMA, "stage": stage, "object": digest}
+        ).encode("utf-8")
+        with _Lock(self._lock_path, exclusive=False):
+            self._atomic_write(self._pointer_path(stage, key), pointer)
+
+    def store(self, stage: str, key: str, doc: Any) -> str:
+        """Store an artifact and its stage pointer; returns the digest."""
+        digest = self.put_object(doc)
+        self.put_stage(stage, key, digest)
+        self._count("store", stage)
+        return digest
+
+    def load(self, stage: str, key: str) -> Any | None:
+        """Pointer probe + verified object load in one step."""
+        digest = self.probe(stage, key)
+        if digest is None:
+            return None
+        doc = self.get_object(digest)
+        if doc is None:
+            self._discard(self._pointer_path(stage, key))
+            self._count("corrupt", stage)
+        return doc
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def _iter_pointers(self):
+        for stage_dir in sorted(self.stages_dir.iterdir()):
+            if stage_dir.is_dir():
+                for path in sorted(stage_dir.glob("*.json")):
+                    yield stage_dir.name, path
+
+    def _iter_objects(self):
+        for shard in sorted(self.objects_dir.iterdir()):
+            if shard.is_dir():
+                for path in sorted(shard.glob("*.json")):
+                    yield path
+
+    def stats(self) -> dict:
+        """Entry/object counts and on-disk size of the store."""
+        stages: dict[str, int] = {}
+        for stage, _path in self._iter_pointers():
+            stages[stage] = stages.get(stage, 0) + 1
+        objects = list(self._iter_objects())
+        return {
+            "root": str(self.root),
+            "stages": dict(sorted(stages.items())),
+            "entries": sum(stages.values()),
+            "objects": len(objects),
+            "bytes": sum(path.stat().st_size for path in objects),
+        }
+
+    def gc(self, max_age_s: float | None = None) -> dict:
+        """Drop dangling pointers and unreferenced objects.
+
+        With *max_age_s*, stage pointers untouched for longer are
+        expired first; objects no pointer references are then deleted.
+        Runs under the exclusive lock so concurrent writers are safe.
+        """
+        removed_pointers = 0
+        removed_objects = 0
+        with _Lock(self._lock_path, exclusive=True):
+            now = time.time()
+            live: set[str] = set()
+            for stage, path in self._iter_pointers():
+                digest = self.probe(stage, path.stem)
+                if digest is None:
+                    removed_pointers += 1  # probe dropped a corrupt pointer
+                    continue
+                if ((max_age_s is not None
+                        and now - path.stat().st_mtime > max_age_s)
+                        or not self._object_path(digest).exists()):
+                    self._discard(path)
+                    removed_pointers += 1
+                else:
+                    live.add(digest)
+            for path in self._iter_objects():
+                if path.stem not in live:
+                    self._discard(path)
+                    removed_objects += 1
+        return {"removed_entries": removed_pointers,
+                "removed_objects": removed_objects}
+
+    def verify(self, repair: bool = False) -> dict:
+        """Rehash every object and resolve every pointer.
+
+        Returns counts of checked/corrupt objects and checked/dangling
+        pointers.  With ``repair=True`` damaged objects and dangling
+        pointers are removed (so the next build recomputes them);
+        otherwise they are only reported.
+        """
+        objects = corrupt = 0
+        for path in self._iter_objects():
+            objects += 1
+            data = path.read_bytes()
+            if digest_bytes(data) != path.stem:
+                corrupt += 1
+                if repair:
+                    self._discard(path)
+        pointers = dangling = 0
+        for stage, path in self._iter_pointers():
+            pointers += 1
+            digest = self.probe(stage, path.stem)
+            bad = digest is None or not self._object_path(digest).exists()
+            if digest is None:
+                dangling += 1  # probe already dropped the corrupt pointer
+            elif bad:
+                dangling += 1
+                if repair:
+                    self._discard(path)
+        return {"objects": objects, "corrupt_objects": corrupt,
+                "entries": pointers, "dangling_entries": dangling,
+                "ok": corrupt == 0 and dangling == 0}
+
+    def clear(self) -> None:
+        """Remove every object and pointer (the ``--cold`` path)."""
+        with _Lock(self._lock_path, exclusive=True):
+            for _stage, path in self._iter_pointers():
+                self._discard(path)
+            for path in self._iter_objects():
+                self._discard(path)
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({str(self.root)!r})"

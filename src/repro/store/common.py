@@ -1,0 +1,47 @@
+"""Shared plumbing of the design library: canonical JSON and digests.
+
+Every artifact the store persists — serialized RTL, netlists, flow
+reports — is rendered through :func:`canonical_json` before hashing or
+writing, so that byte identity is meaningful: the same design produces
+the same bytes in every process, regardless of ``PYTHONHASHSEED`` (keys
+are emitted in a fixed, structural order by the serializers; canonical
+rendering only pins separators and unicode escaping).  Content addresses
+are SHA-256 over those canonical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+#: Versioned identifier of the on-disk store layout.
+STORE_SCHEMA = "repro-store/v1"
+
+
+class StoreError(ValueError):
+    """Raised for malformed store state or unserializable artifacts.
+
+    The memoization layer treats a :class:`StoreError` surfaced while
+    *reading* as a cache miss (graceful recompute); a :class:`StoreError`
+    while *writing* is a real error and propagates.
+    """
+
+
+def canonical_json(doc: Any) -> str:
+    """Render *doc* as compact, canonical JSON (stable separators)."""
+    try:
+        return json.dumps(doc, separators=(",", ":"), ensure_ascii=True,
+                          allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"artifact is not JSON-serializable: {exc}") from exc
+
+
+def digest_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes (the store's content address)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_doc(doc: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of *doc*."""
+    return digest_bytes(canonical_json(doc).encode("utf-8"))

@@ -1,0 +1,158 @@
+"""Memoized flow stages: the glue between flows, store and profiler.
+
+:class:`StageRunner` wraps one stage invocation: compute the stage key
+from its input fingerprints, probe the store, and either replay the
+cached artifact or run the real compute and persist its result.  Every
+path runs inside an :mod:`repro.obs` span carrying ``cache="hit"`` /
+``"miss"`` / ``"off"`` metadata, so traces show exactly which stages
+were skipped.
+
+Outcomes are **lazy** on a hit: :meth:`StageOutcome.value` deserializes
+the artifact only when somebody asks for it, while
+:attr:`StageOutcome.digest` is available immediately from the pointer.
+This is what makes warm runs fast — a warm ``opt`` stage keys off the
+``techmap`` artifact's *digest*, so the multi-megabyte pre-optimization
+netlist is never loaded at all.
+
+Corruption discovered at materialization time (bad bytes, a document
+the deserializer rejects) falls back to the retained compute thunk:
+the artifact is recomputed, re-stored, and the stage's ``corrupt``
+counter ticks.  A cache problem can cost time, never correctness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.obs import NULL_TRACER
+from repro.store.cas import ArtifactStore
+from repro.store.common import StoreError
+from repro.store.fingerprint import stage_key
+
+
+class StageOutcome:
+    """Result handle of one (possibly cached) stage run."""
+
+    __slots__ = ("stage", "hit", "digest", "_value", "_loaded",
+                 "_materialize")
+
+    def __init__(self, stage: str, hit: bool, digest: str | None,
+                 value: Any = None, loaded: bool = False,
+                 materialize: Callable[["StageOutcome"], Any] | None = None,
+                 ) -> None:
+        self.stage = stage
+        self.hit = hit
+        self.digest = digest
+        self._value = value
+        self._loaded = loaded
+        self._materialize = materialize
+
+    def value(self) -> Any:
+        """The stage's artifact, deserializing (or recomputing) lazily."""
+        if not self._loaded:
+            self._value = self._materialize(self)
+            self._loaded = True
+            self._materialize = None
+        return self._value
+
+
+class StageRunner:
+    """Runs flow stages through the design library.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ArtifactStore`, or ``None`` to disable caching —
+        every stage then computes inline (identical spans, ``cache="off"``).
+    tracer:
+        An :mod:`repro.obs` tracer; stage spans open on it.
+    """
+
+    def __init__(self, store: ArtifactStore | None,
+                 tracer=NULL_TRACER) -> None:
+        self.store = store
+        self.tracer = tracer
+
+    def run(
+        self,
+        stage: str,
+        parts: "tuple[str, ...] | Callable[[], tuple[str, ...]]",
+        compute: Callable[[], Any],
+        dump: Callable[[Any], Any],
+        load: Callable[[Any], Any],
+        lazy: bool = False,
+    ) -> StageOutcome:
+        """Run *stage* memoized.
+
+        Parameters
+        ----------
+        stage:
+            Stage name (also the span name and counter key).
+        parts:
+            Input fingerprints; combined with the stage code version
+            into the cache key.  May be a zero-argument callable when
+            computing the fingerprints is itself stage work (it then
+            runs inside the stage span, and not at all with no store).
+        compute:
+            Produces the live artifact (runs only on a miss, or when a
+            hit later turns out corrupt).
+        dump / load:
+            Serialize the live artifact to a JSON document / rebuild it.
+            ``load`` raising :class:`StoreError` triggers recompute.
+        lazy:
+            On a hit, defer deserialization until ``.value()`` is
+            called (the digest is still available immediately).
+
+        The stage span covers everything attributable to the stage:
+        key fingerprinting, the store probe, compute *and* the
+        serialize-and-store of the result, so profiler traces explain
+        cold-run caching overhead stage by stage.
+        """
+        if self.store is None:
+            with self.tracer.span(stage) as span:
+                value = compute()
+                span.annotate(cache="off")
+            return StageOutcome(stage, hit=False, digest=None,
+                                value=value, loaded=True)
+
+        with self.tracer.span(stage) as span:
+            if callable(parts):
+                parts = parts()
+            key = stage_key(stage, *parts)
+            digest = self.store.probe(stage, key)
+            if digest is not None:
+                self.store._count("hit", stage)
+                span.annotate(cache="hit")
+                outcome = StageOutcome(
+                    stage, hit=True, digest=digest,
+                    materialize=lambda o: self._materialize(o, key, compute,
+                                                            dump, load),
+                )
+                if not lazy:
+                    outcome.value()
+                return outcome
+
+            self.store._count("miss", stage)
+            value = compute()
+            span.annotate(cache="miss")
+            stored = self.store.store(stage, key, dump(value))
+        return StageOutcome(stage, hit=False, digest=stored,
+                            value=value, loaded=True)
+
+    def _materialize(self, outcome: StageOutcome, key: str,
+                     compute: Callable[[], Any],
+                     dump: Callable[[Any], Any],
+                     load: Callable[[Any], Any]) -> Any:
+        doc = self.store.get_object(outcome.digest)
+        if doc is not None:
+            try:
+                return load(doc)
+            except StoreError:
+                self.store._discard(
+                    self.store._object_path(outcome.digest))
+        # Corrupt or vanished: graceful recompute, then heal the store.
+        self.store._count("corrupt", outcome.stage)
+        value = compute()
+        outcome.digest = self.store.store(outcome.stage, key, dump(value))
+        outcome.hit = False
+        return value

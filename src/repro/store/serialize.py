@@ -1,0 +1,513 @@
+"""Stable JSON serializers for flow-stage artifacts.
+
+Three artifact families round-trip exactly through versioned documents:
+
+``repro-rtl/v1``
+    An :class:`~repro.rtl.ir.RtlModule` tree.  Expression DAGs are
+    flattened into per-module node tables that preserve sharing, so a
+    round-trip reproduces :meth:`RtlModule.stats` exactly; modules are
+    serialized post-order with instances referencing them by index.
+``repro-netlist/v1``
+    A :class:`~repro.netlist.circuit.Circuit` — nets by position, cells
+    with pins in library pin order, constant-net table, buses and
+    unresolved black boxes.  This doubles as the repo's netlist
+    interchange format (:func:`serialize_circuit` output is canonical:
+    ``serialize(deserialize(doc)) == doc``).
+``repro-timing/v1`` / ``repro-placement/v1`` / ``repro-diags/v1``
+    Flow reports.  Net/cell references are stored as *positions* in the
+    owning circuit's net/cell lists (uids are per-process counters), so
+    loading rebinds them against the circuit deserialized alongside.
+
+Determinism: serializers iterate only lists and insertion-ordered dicts
+— never sets — so the same design yields byte-identical documents under
+any ``PYTHONHASHSEED`` (asserted by ``tests/synth/test_determinism.py``).
+
+Deserializers validate structure as they go and raise
+:class:`~repro.store.common.StoreError` on any malformed document, which
+the memoization layer downgrades to a recompute.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from repro.analyze.diagnostics import Diagnostic
+from repro.netlist.cells import LIBRARY
+from repro.netlist.circuit import BlackBox, Cell, Circuit, Net
+from repro.netlist.pnr import Placement
+from repro.netlist.sta import TimingReport
+from repro.rtl.ir import (
+    BinOp,
+    Carrier,
+    Concat,
+    Const,
+    Expr,
+    Instance,
+    Mux,
+    Read,
+    Resize,
+    RtlModule,
+    ShiftConst,
+    ShiftDyn,
+    Slice,
+    UnaryOp,
+    WireCarrier,
+)
+from repro.store.common import StoreError
+from repro.types.spec import TypeSpec
+
+RTL_SCHEMA = "repro-rtl/v1"
+NETLIST_SCHEMA = "repro-netlist/v1"
+TIMING_SCHEMA = "repro-timing/v1"
+PLACEMENT_SCHEMA = "repro-placement/v1"
+DIAGS_SCHEMA = "repro-diags/v1"
+
+
+def _expect_schema(doc: Any, schema: str) -> None:
+    if not isinstance(doc, dict) or doc.get("schema") != schema:
+        found = doc.get("schema") if isinstance(doc, dict) else type(doc)
+        raise StoreError(f"expected a {schema} document, got {found!r}")
+
+
+def _corrupt(schema: str, exc: Exception) -> StoreError:
+    return StoreError(f"corrupt {schema} document: {exc}")
+
+
+def _spec_doc(spec: TypeSpec) -> list:
+    return [spec.kind, spec.width, spec.frac_bits]
+
+
+def _spec_load(doc: Any) -> TypeSpec:
+    try:
+        kind, width, frac_bits = doc
+        return TypeSpec(kind, width, frac_bits)
+    except (TypeError, ValueError) as exc:
+        raise StoreError(f"bad type spec {doc!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# RTL IR
+# ----------------------------------------------------------------------
+class _RtlModuleWriter:
+    """Serializes one module; carriers resolve against the local scope."""
+
+    def __init__(self, module: RtlModule, child_index: dict[str, int]) -> None:
+        self.module = module
+        self.child_index = child_index
+        self.nodes: list[list] = []
+        self._memo: dict[int, int] = {}
+        self._refs: dict[int, list] = {}
+        for name, carrier in module.inputs.items():
+            self._refs[carrier.uid] = ["in", name]
+        for k, reg in enumerate(module.registers):
+            self._refs[reg.uid] = ["reg", k]
+        for k, wire in enumerate(module.wires):
+            self._refs[wire.uid] = ["wire", k]
+        for k, instance in enumerate(module.instances):
+            for port, carrier in instance.output_carriers.items():
+                self._refs[carrier.uid] = ["iout", k, port]
+
+    def node(self, expr: Expr) -> int:
+        """Serialize *expr* (and its DAG) into the node table, memoized."""
+        idx = self._memo.get(id(expr))
+        if idx is not None:
+            return idx
+        if isinstance(expr, Const):
+            record = ["c", *_spec_doc(expr.spec), expr.raw]
+        elif isinstance(expr, Read):
+            ref = self._refs.get(expr.carrier.uid)
+            if ref is None:
+                raise StoreError(
+                    f"module {self.module.name}: expression reads carrier "
+                    f"{expr.carrier.name!r} outside the module scope"
+                )
+            record = ["r", *ref]
+        elif isinstance(expr, UnaryOp):
+            record = ["u", expr.op, self.node(expr.a)]
+        elif isinstance(expr, BinOp):
+            record = ["b", expr.op, self.node(expr.a), self.node(expr.b)]
+        elif isinstance(expr, Mux):
+            record = ["m", self.node(expr.cond), self.node(expr.if_true),
+                      self.node(expr.if_false)]
+        elif isinstance(expr, Slice):
+            record = ["s", self.node(expr.a), expr.hi, expr.lo,
+                      int(expr.spec.kind == "bit")]
+        elif isinstance(expr, Concat):
+            record = ["cat", [self.node(p) for p in expr.parts]]
+        elif isinstance(expr, ShiftConst):
+            record = ["shc", self.node(expr.a), expr.amount, int(expr.left)]
+        elif isinstance(expr, ShiftDyn):
+            record = ["shd", self.node(expr.a), self.node(expr.amount),
+                      int(expr.left)]
+        elif isinstance(expr, Resize):
+            record = ["rz", self.node(expr.a), *_spec_doc(expr.spec)]
+        else:
+            raise StoreError(
+                f"unknown RTL expression node {type(expr).__name__}"
+            )
+        idx = len(self.nodes)
+        self.nodes.append(record)
+        self._memo[id(expr)] = idx
+        return idx
+
+    def doc(self) -> dict:
+        m = self.module
+        # Attributes: keep JSON-representable values (everything the
+        # downstream stages read — reset_port, blackbox_ip, fsm_states,
+        # policy, const_signals), canonicalized through JSON so tuples
+        # do not leak Python-only structure into the byte-compared
+        # document.  Synthesis-time scratch holding live Python objects
+        # (e.g. shared_clients' SharedObject references) is dropped;
+        # only the synthesizer itself consumes those, and it never runs
+        # on a deserialized tree.
+        attributes = {}
+        for attr_key, attr_value in m.attributes.items():
+            try:
+                attributes[attr_key] = json.loads(json.dumps(attr_value))
+            except (TypeError, ValueError):
+                continue
+        # Node-table construction order is part of the canonical form:
+        # wires first (a wire only reads earlier wires), then register
+        # next-values, outputs and instance connections.
+        wires = [[w.name, _spec_doc(w.spec), self.node(w.expr)]
+                 for w in m.wires]
+        nexts = [self.node(r.next) for r in m.registers]
+        outputs = [[name, self.node(expr)] for name, expr in m.outputs.items()]
+        connections = [
+            [k, port, self.node(expr)]
+            for k, instance in enumerate(m.instances)
+            for port, expr in instance.connections.items()
+        ]
+        return {
+            "name": m.name,
+            "attributes": attributes,
+            "inputs": [[name, _spec_doc(c.spec)]
+                       for name, c in m.inputs.items()],
+            "registers": [[r.name, _spec_doc(r.spec), r.reset_raw]
+                          for r in m.registers],
+            "instances": [[inst.name, self.child_index[inst.name]]
+                          for inst in m.instances],
+            "wires": wires,
+            "next": nexts,
+            "outputs": outputs,
+            "connections": connections,
+            "nodes": self.nodes,
+        }
+
+
+def serialize_rtl(root: RtlModule) -> dict:
+    """Serialize an RTL module tree to a ``repro-rtl/v1`` document."""
+    modules: list[dict] = []
+    index: dict[int, int] = {}
+
+    def visit(module: RtlModule) -> int:
+        if id(module) in index:
+            return index[id(module)]
+        child_index = {
+            inst.name: visit(inst.module) for inst in module.instances
+        }
+        writer = _RtlModuleWriter(module, child_index)
+        doc = writer.doc()
+        index[id(module)] = len(modules)
+        modules.append(doc)
+        return index[id(module)]
+
+    root_idx = visit(root)
+    return {"schema": RTL_SCHEMA, "root": root_idx, "modules": modules}
+
+
+class _RtlModuleReader:
+    """Rebuilds one module from its document (children already built)."""
+
+    def __init__(self, doc: dict, children: list[RtlModule]) -> None:
+        self.doc = doc
+        self.module = RtlModule(doc["name"])
+        self.module.attributes = json.loads(json.dumps(doc["attributes"]))
+        for name, spec in doc["inputs"]:
+            self.module.add_input(name, _spec_load(spec))
+        for name, spec, reset_raw in doc["registers"]:
+            self.module.add_register(name, _spec_load(spec), reset_raw)
+        for (name, child_idx) in doc["instances"]:
+            self.module.add_instance(name, children[child_idx])
+        self.nodes: list = doc["nodes"]
+        self._memo: dict[int, Expr] = {}
+
+    def _carrier(self, ref: list) -> Carrier:
+        kind = ref[0]
+        m = self.module
+        if kind == "in":
+            return m.inputs[ref[1]]
+        if kind == "reg":
+            return m.registers[ref[1]]
+        if kind == "wire":
+            return m.wires[ref[1]]
+        if kind == "iout":
+            return m.instances[ref[1]].output_carriers[ref[2]]
+        raise StoreError(f"unknown carrier reference {ref!r}")
+
+    def build(self, idx: int) -> Expr:
+        expr = self._memo.get(idx)
+        if expr is not None:
+            return expr
+        record = self.nodes[idx]
+        tag = record[0]
+        if tag == "c":
+            expr = Const(_spec_load(record[1:4]), record[4])
+        elif tag == "r":
+            expr = Read(self._carrier(record[1:]))
+        elif tag == "u":
+            expr = UnaryOp(record[1], self.build(record[2]))
+        elif tag == "b":
+            expr = BinOp(record[1], self.build(record[2]),
+                         self.build(record[3]))
+        elif tag == "m":
+            expr = Mux(self.build(record[1]), self.build(record[2]),
+                       self.build(record[3]))
+        elif tag == "s":
+            expr = Slice(self.build(record[1]), record[2], record[3],
+                         as_bit=bool(record[4]))
+        elif tag == "cat":
+            expr = Concat([self.build(p) for p in record[1]])
+        elif tag == "shc":
+            expr = ShiftConst(self.build(record[1]), record[2],
+                              left=bool(record[3]))
+        elif tag == "shd":
+            expr = ShiftDyn(self.build(record[1]), self.build(record[2]),
+                            left=bool(record[3]))
+        elif tag == "rz":
+            expr = Resize(self.build(record[1]), _spec_load(record[2:5]))
+        else:
+            raise StoreError(f"unknown RTL node tag {tag!r}")
+        self._memo[idx] = expr
+        return expr
+
+    def finish(self) -> RtlModule:
+        m = self.module
+        # Same order as serialization: wires, register nexts, outputs,
+        # instance connections.
+        for name, spec, node in self.doc["wires"]:
+            m.wires.append(WireCarrier(name, _spec_load(spec),
+                                       self.build(node)))
+        for reg, node in zip(m.registers, self.doc["next"]):
+            reg.next = self.build(node)
+        for name, node in self.doc["outputs"]:
+            m.add_output(name, self.build(node))
+        for inst_idx, port, node in self.doc["connections"]:
+            m.instances[inst_idx].connect(port, self.build(node))
+        return m
+
+
+def deserialize_rtl(doc: Any) -> RtlModule:
+    """Rebuild an RTL module tree from a ``repro-rtl/v1`` document."""
+    _expect_schema(doc, RTL_SCHEMA)
+    try:
+        module_docs = doc["modules"]
+        built: list[RtlModule] = []
+        for mdoc in module_docs:
+            if any(idx >= len(built) for _, idx in mdoc["instances"]):
+                raise StoreError("instance references a later module")
+            built.append(_RtlModuleReader(mdoc, built).finish())
+        root = built[doc["root"]]
+        root.validate()
+        return root
+    except StoreError:
+        raise
+    except Exception as exc:  # malformed document of any shape
+        raise _corrupt(RTL_SCHEMA, exc) from exc
+
+
+# ----------------------------------------------------------------------
+# gate-level netlists
+# ----------------------------------------------------------------------
+def serialize_circuit(circuit: Circuit) -> dict:
+    """Serialize a :class:`Circuit` to a ``repro-netlist/v1`` document."""
+    index = {net.uid: k for k, net in enumerate(circuit.nets)}
+
+    def net_idx(net: Net) -> int:
+        try:
+            return index[net.uid]
+        except KeyError:
+            raise StoreError(
+                f"net {net.name!r} is referenced but not owned by "
+                f"circuit {circuit.name!r}"
+            ) from None
+
+    def bus_doc(buses: dict[str, list[Net]]) -> list:
+        return [[name, [net_idx(n) for n in nets]]
+                for name, nets in buses.items()]
+
+    cells = []
+    for cell in circuit.cells:
+        pins = [net_idx(cell.pins[p])
+                for p in (*cell.ctype.inputs, *cell.ctype.outputs)]
+        cells.append([cell.name, cell.ctype.name, pins])
+    return {
+        "schema": NETLIST_SCHEMA,
+        "name": circuit.name,
+        "nets": [net.name for net in circuit.nets],
+        "cells": cells,
+        "const": [[value, net_idx(net)]
+                  for value, net in sorted(circuit.constant_nets().items())],
+        "inputs": bus_doc(circuit.input_buses),
+        "outputs": bus_doc(circuit.output_buses),
+        "blackboxes": [
+            [box.name, box.ip_name, bus_doc(box.input_buses),
+             bus_doc(box.output_buses)]
+            for box in circuit.blackboxes
+        ],
+    }
+
+
+def deserialize_circuit(doc: Any) -> Circuit:
+    """Rebuild a :class:`Circuit` from a ``repro-netlist/v1`` document."""
+    _expect_schema(doc, NETLIST_SCHEMA)
+    try:
+        circuit = Circuit(doc["name"])
+        nets = [Net(name) for name in doc["nets"]]
+        circuit.nets = nets
+
+        def bus_load(entries: list) -> dict[str, list[Net]]:
+            return {name: [nets[k] for k in idxs] for name, idxs in entries}
+
+        for name, type_name, pin_idxs in doc["cells"]:
+            ctype = LIBRARY.get(type_name)
+            if ctype is None:
+                raise StoreError(f"unknown cell type {type_name!r}")
+            pin_names = (*ctype.inputs, *ctype.outputs)
+            if len(pin_names) != len(pin_idxs):
+                raise StoreError(f"cell {name!r}: pin count mismatch")
+            pins = {p: nets[k] for p, k in zip(pin_names, pin_idxs)}
+            cell = Cell(name, ctype, pins)
+            for pin in ctype.outputs:
+                net = pins[pin]
+                if net.driver is not None:
+                    raise StoreError(
+                        f"net {net.name!r} has multiple drivers"
+                    )
+                net.driver = (cell, pin)
+            circuit.cells.append(cell)
+        circuit._const = {value: nets[k] for value, k in doc["const"]}
+        circuit.input_buses = bus_load(doc["inputs"])
+        circuit.output_buses = bus_load(doc["outputs"])
+        for name, ip_name, in_doc, out_doc in doc["blackboxes"]:
+            circuit.blackboxes.append(
+                BlackBox(name, ip_name, bus_load(in_doc), bus_load(out_doc))
+            )
+        if not circuit.blackboxes:
+            circuit.validate()
+        return circuit
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(NETLIST_SCHEMA, exc) from exc
+
+
+# ----------------------------------------------------------------------
+# flow reports (net/cell references stored positionally)
+# ----------------------------------------------------------------------
+def _net_index(circuit: Circuit) -> dict[int, int]:
+    return {net.uid: k for k, net in enumerate(circuit.nets)}
+
+
+def serialize_timing(timing: TimingReport, circuit: Circuit) -> dict:
+    """Serialize a :class:`TimingReport` computed on *circuit*."""
+    index = _net_index(circuit)
+    try:
+        arrival = sorted((index[uid], ns)
+                         for uid, ns in timing.arrival.items())
+    except KeyError:
+        raise StoreError(
+            "timing report references nets outside the circuit"
+        ) from None
+    return {
+        "schema": TIMING_SCHEMA,
+        "critical_path_ns": timing.critical_path_ns,
+        "fmax_mhz": timing.fmax_mhz,
+        "path": list(timing.path),
+        "arrival": [[k, ns] for k, ns in arrival],
+    }
+
+
+def deserialize_timing(doc: Any, circuit: Circuit) -> TimingReport:
+    """Rebuild a :class:`TimingReport`, rebinding arrivals to *circuit*."""
+    _expect_schema(doc, TIMING_SCHEMA)
+    try:
+        nets = circuit.nets
+        arrival = {nets[k].uid: ns for k, ns in doc["arrival"]}
+        return TimingReport(doc["critical_path_ns"], doc["fmax_mhz"],
+                            list(doc["path"]), arrival)
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(TIMING_SCHEMA, exc) from exc
+
+
+def serialize_placement(placement: Placement) -> dict:
+    """Serialize a :class:`Placement` of its own circuit."""
+    circuit = placement.circuit
+    net_index = _net_index(circuit)
+    cell_index = {cell.uid: k for k, cell in enumerate(circuit.cells)}
+    try:
+        positions = sorted(
+            (cell_index[uid], row, col)
+            for uid, (row, col) in placement.positions.items()
+        )
+        wirelength = sorted(
+            (net_index[uid], length)
+            for uid, length in placement.wirelength.items()
+        )
+    except KeyError:
+        raise StoreError(
+            "placement references cells or nets outside the circuit"
+        ) from None
+    return {
+        "schema": PLACEMENT_SCHEMA,
+        "grid_side": placement.grid_side,
+        "positions": [list(entry) for entry in positions],
+        "wirelength": [list(entry) for entry in wirelength],
+    }
+
+
+def deserialize_placement(doc: Any, circuit: Circuit) -> Placement:
+    """Rebuild a :class:`Placement`, rebinding uids to *circuit*."""
+    _expect_schema(doc, PLACEMENT_SCHEMA)
+    try:
+        placement = Placement(circuit)
+        placement.grid_side = doc["grid_side"]
+        cells = circuit.cells
+        nets = circuit.nets
+        placement.positions = {
+            cells[k].uid: (row, col) for k, row, col in doc["positions"]
+        }
+        placement.wirelength = {
+            nets[k].uid: length for k, length in doc["wirelength"]
+        }
+        return placement
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(PLACEMENT_SCHEMA, exc) from exc
+
+
+def serialize_diagnostics(diagnostics: list[Diagnostic]) -> dict:
+    """Serialize analyzer/lint findings."""
+    return {
+        "schema": DIAGS_SCHEMA,
+        "diagnostics": [d.as_dict() for d in diagnostics],
+    }
+
+
+def deserialize_diagnostics(doc: Any) -> list[Diagnostic]:
+    """Rebuild :class:`Diagnostic` records (severity re-derives by code)."""
+    _expect_schema(doc, DIAGS_SCHEMA)
+    try:
+        return [
+            Diagnostic(d["code"], d["message"], d["where"],
+                       d["file"], d["line"])
+            for d in doc["diagnostics"]
+        ]
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(DIAGS_SCHEMA, exc) from exc

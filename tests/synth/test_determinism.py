@@ -84,3 +84,53 @@ def test_synthesis_independent_of_string_hash_seed(tmp_path):
     script.write_text(PROBE)
     outputs = {_probe(str(script), seed) for seed in ("1", "2", "27")}
     assert len(outputs) == 1, "generated names differ across hash seeds"
+
+
+# The design library extends the determinism contract to cache keys and
+# stored artifacts: a fingerprint computed in one process must match one
+# computed in another, or every warm rebuild silently goes cold.
+STORE_PROBE = """
+from repro.hdl import Clock, Module, Input, Output, NS, Signal
+from repro.netlist import map_module
+from repro.store import (
+    digest_doc, fingerprint_design, serialize_circuit, serialize_rtl,
+    stage_key,
+)
+from repro.synth import synthesize
+from repro.types import Bit, Unsigned
+from repro.types.spec import bit, unsigned
+
+
+class Probe(Module):
+    x = Input(unsigned(8))
+    q = Output(unsigned(8))
+
+    def __init__(self, name, clk, rst):
+        super().__init__(name)
+        self.cthread(self.run, clock=clk, reset=rst)
+
+    def run(self):
+        self.q.write(Unsigned(8, 0))
+        yield
+        while True:
+            self.q.write((self.x.read() + Unsigned(8, 3)).resized(8))
+            yield
+
+
+dut = Probe("probe", Clock("clk", 10 * NS),
+            Signal("rst", bit(), Bit(1)))
+fp = fingerprint_design(dut)
+print("design:", fp)
+print("key:", stage_key("synthesize", fp))
+rtl = synthesize(dut, observe_children=False)
+print("rtl:", digest_doc(serialize_rtl(rtl)))
+print("netlist:", digest_doc(serialize_circuit(map_module(rtl))))
+"""
+
+
+def test_fingerprints_and_artifacts_independent_of_hash_seed(tmp_path):
+    script = tmp_path / "store_probe.py"
+    script.write_text(STORE_PROBE)
+    outputs = {_probe(str(script), seed) for seed in ("1", "2", "27")}
+    assert len(outputs) == 1, \
+        "cache keys or serialized artifacts differ across hash seeds"
