@@ -1,0 +1,91 @@
+"""X — static fault-list reduction: collapsing + quiescence pruning.
+
+Not a paper experiment: it quantifies the netlist structural analysis
+(``repro.analyze.netlist``) as a campaign accelerator.  A classical
+stuck-at campaign — sa0/sa1 on a contiguous slice of the ExpoCU
+netlist's fault sites, all injected at cycle 1 — is run once plainly
+and once with ``collapse=True``, which (a) merges structurally
+equivalent faults so only class representatives are simulated and
+(b) synthesizes records for faults one instrumented golden pass proves
+masked.  Both reductions are classification-preserving, so the whole
+serialized report (outcome tallies *and* per-fault classifications)
+must be byte-identical to the uncollapsed oracle, and the collapsed
+run must be at least 1.5x faster on the compiled backend.
+
+The slice keeps the benchmark minutes-scale while staying honest:
+sites are taken in deterministic name order, not cherry-picked by
+their equivalence classes.
+"""
+
+import functools
+import time
+
+from conftest import record_report
+
+from repro.eval import format_table
+from repro.fault.campaign import Fault, run_campaign
+from repro.fault.scenarios import (
+    expocu_config,
+    expocu_injector,
+    expocu_stimulus,
+)
+
+SEED = 1
+SIDE = 2
+SITES = 200          # contiguous slice of net targets (2 faults per site)
+INJECT_CYCLE = 1     # classical single-cycle stuck-at universe
+DRAIN_BUDGET = 600   # well above the golden drain; bounds hang replays
+
+
+def test_collapsed_campaign_speedup_and_byte_identity():
+    factory = functools.partial(
+        expocu_injector, "netlist", "none", SIDE, "compiled"
+    )
+    stimulus = expocu_stimulus(SEED, frames=1, side=SIDE)
+    config = expocu_config("none", drain_budget=DRAIN_BUDGET)
+    targets = factory().net_targets()[:SITES]
+    faults = [Fault(kind, target, 0, INJECT_CYCLE)
+              for target in targets for kind in ("sa0", "sa1")]
+
+    start = time.perf_counter()
+    full = run_campaign(factory(), stimulus, faults, config,
+                        design=f"ExpoCU[{SIDE},{SIDE}]", seed=SEED)
+    t_full = time.perf_counter() - start
+
+    start = time.perf_counter()
+    collapsed = run_campaign(factory(), stimulus, faults, config,
+                             design=f"ExpoCU[{SIDE},{SIDE}]", seed=SEED,
+                             collapse=True)
+    t_collapsed = time.perf_counter() - start
+
+    # The contract everything hangs on: collapsing must not change a
+    # single byte of the report — same tallies, same per-fault records.
+    assert collapsed.to_json() == full.to_json()
+    assert full.golden_selfcheck == "masked"
+
+    speedup = t_full / t_collapsed
+    stats = collapsed.collapse
+    assert stats is not None
+    assert stats["simulated"] < stats["unique"]
+    assert speedup >= 1.5, (
+        f"collapsed campaign only {speedup:.2f}x over uncollapsed "
+        f"({t_collapsed:.2f}s vs {t_full:.2f}s; "
+        f"simulated {stats['simulated']}/{stats['unique']})"
+    )
+
+    rows = [
+        {"configuration": "uncollapsed", "faults": len(faults),
+         "simulated": len(faults),
+         "campaign_s": f"{t_full:.2f}", "speedup": "1.00x"},
+        {"configuration": "collapse=True", "faults": len(faults),
+         "simulated": stats["simulated"],
+         "campaign_s": f"{t_collapsed:.2f}",
+         "speedup": f"{speedup:.2f}x"},
+    ]
+    table = format_table(rows)
+    table += (
+        f"\nequivalence-merged: {stats['equivalence_merged']}, "
+        f"quiescence-pruned: {stats['quiescence_pruned']} "
+        f"(of {stats['unique']} unique faults)"
+    )
+    record_report("X_fault_collapse", table)

@@ -16,6 +16,12 @@ Passes
 * shared-object hazards (:mod:`repro.analyze.shared_check`, ``OSS3xx``);
 * design lints (:mod:`repro.analyze.design_lints`, ``RTL4xx`` warnings).
 
+A separate gate-level family lives in :mod:`repro.analyze.netlist`
+(``OSS5xx``): structural fault collapsing, SCOAP testability scoring and
+observability lints over mapped :class:`~repro.netlist.circuit.Circuit`
+netlists — the static half of the fault-campaign engine and the
+``repro analyze`` command.
+
 Emit the results with :mod:`repro.analyze.emit` (text, JSON, SARIF) or
 gate a flow on them via :class:`AnalysisError` — that is what
 ``repro lint`` and the pre-synthesis gate in :mod:`repro.eval.flows` do.
@@ -36,26 +42,42 @@ from repro.analyze.diagnostics import (
     Suppressions,
 )
 from repro.analyze.emit import render_json, render_sarif, render_text
+from repro.analyze.netlist import (
+    CollapseAnalysis,
+    NetlistAnalysis,
+    TestabilityReport,
+    analyze_circuit,
+    collapse_faults,
+    netlist_lints,
+    scoap_analysis,
+)
 from repro.analyze.shared_check import check_shared_objects
 from repro.analyze.subset import check_design_subset
 from repro.hdl.module import Module
 
 __all__ = [
     "AnalysisError",
+    "CollapseAnalysis",
     "Diagnostic",
     "DiagnosticCollector",
+    "NetlistAnalysis",
     "RULES",
     "Rule",
     "Suppressions",
+    "TestabilityReport",
+    "analyze_circuit",
     "analyze_design",
     "check_design_subset",
     "check_shared_objects",
     "check_unused",
     "check_widths",
+    "collapse_faults",
     "diagnostics_from_lint_report",
+    "netlist_lints",
     "render_json",
     "render_sarif",
     "render_text",
+    "scoap_analysis",
 ]
 
 

@@ -13,6 +13,8 @@ OSS3xx    shared-object hazards (races, deadlocks, arbitration
           bypass)
 RTL4xx    structural findings on the design or generated RTL
           (warnings: truncation, dead code, unused elements)
+OSS5xx    netlist testability findings (unobservable logic,
+          untestable stuck-at faults, redundant logic)
 ========  ====================================================
 
 Per-line suppressions use the comment syntax ``# repro: ignore`` (all
@@ -91,6 +93,10 @@ _rule("RTL402", WARNING, "unreachable statement or FSM state")
 _rule("RTL403", WARNING, "unused port")
 _rule("RTL404", WARNING, "unread register")
 _rule("RTL405", WARNING, "unused signal")
+# ---- OSS5xx: netlist testability findings ----
+_rule("OSS501", WARNING, "logic unobservable at any primary output")
+_rule("OSS502", WARNING, "untestable stuck-at fault")
+_rule("OSS503", WARNING, "redundant-logic candidate")
 
 
 class Diagnostic:

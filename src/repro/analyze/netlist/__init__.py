@@ -1,0 +1,41 @@
+"""Static structural analysis of gate-level netlists.
+
+The netlist-side counterpart of the source-level Analyzer (paper
+Fig. 6): everything here is computed from the circuit graph alone, with
+no simulation, so its results hold for any stimulus.
+
+* :mod:`~repro.analyze.netlist.scoap` — SCOAP controllability/
+  observability scores per net;
+* :mod:`~repro.analyze.netlist.collapse` — stuck-at fault equivalence
+  classes (fed to the campaign engine's ``collapse=True`` mode) and
+  dominance analysis;
+* :mod:`~repro.analyze.netlist.lints` — ``OSS5xx`` diagnostics for
+  unobservable logic, untestable faults and redundant-logic candidates;
+* :mod:`~repro.analyze.netlist.report` — :func:`analyze_circuit`, the
+  one-call entry point combining all three.
+"""
+
+from repro.analyze.netlist.collapse import (
+    CollapseAnalysis,
+    FaultEquivalence,
+    collapse_faults,
+)
+from repro.analyze.netlist.lints import netlist_lints
+from repro.analyze.netlist.report import NetlistAnalysis, analyze_circuit
+from repro.analyze.netlist.scoap import (
+    INF,
+    TestabilityReport,
+    scoap_analysis,
+)
+
+__all__ = [
+    "CollapseAnalysis",
+    "FaultEquivalence",
+    "INF",
+    "NetlistAnalysis",
+    "TestabilityReport",
+    "analyze_circuit",
+    "collapse_faults",
+    "netlist_lints",
+    "scoap_analysis",
+]

@@ -1,0 +1,155 @@
+"""Structural stuck-at fault collapsing.
+
+Two classical reductions over the gate graph (McCluskey's equivalence
+and dominance analysis), computed purely structurally so they hold for
+*any* stimulus:
+
+* **Equivalence** — a stuck-at fault on a gate input that forces the
+  gate's output is indistinguishable from the corresponding stuck-at
+  fault on the output, provided the input wire feeds nothing else and
+  is not itself observed.  ``a``-sa0 on an AND2 forces ``y`` to 0
+  exactly as ``y``-sa0 does; a campaign only needs to simulate one of
+  them.  Classes are built with a union-find over ``(net uid, kind)``
+  pairs; the campaign engine simulates one representative per class and
+  copies its record to the other members
+  (:func:`repro.fault.campaign.run_campaign` with ``collapse=True``).
+  Because the members behave identically cycle-for-cycle, the expanded
+  report is byte-identical to the uncollapsed oracle.
+
+* **Dominance** — a test for ``a``-sa1 on an AND2 necessarily detects
+  ``y``-sa1, so ``y``-sa1 can be dropped from a *test-generation* fault
+  list.  Dominance does NOT preserve per-fault campaign records (the
+  dominated fault is detected by a superset of tests, not the same
+  tests), so it is reported for analysis only and never feeds record
+  expansion.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.circuit import Circuit
+
+#: Equivalence rules per cell type: ``input pin -> (v_in, v_out)`` such
+#: that sa-``v_in`` on the input forces the output exactly like
+#: sa-``v_out`` on the output.  XOR2/XNOR2/MUX2 have no forcing input
+#: value and DFF crosses a cycle boundary, so they collapse nothing.
+_GATE_RULES: dict[str, list[tuple[str, int, int]]] = {
+    "BUF": [("a", 0, 0), ("a", 1, 1)],
+    "INV": [("a", 0, 1), ("a", 1, 0)],
+    "AND2": [("i0", 0, 0), ("i1", 0, 0)],
+    "OR2": [("i0", 1, 1), ("i1", 1, 1)],
+    "NAND2": [("i0", 0, 1), ("i1", 0, 1)],
+    "NOR2": [("i0", 1, 0), ("i1", 1, 0)],
+}
+
+#: Dominance rules: ``cell type -> output kinds dominated by an input
+#: fault`` (detected by every test for some input fault, hence
+#: droppable from a test-generation list).  For INV/BUF the output
+#: faults are outright equivalent to input faults, so both kinds drop.
+_DOMINATED_OUTPUT_KINDS: dict[str, tuple[str, ...]] = {
+    "AND2": ("sa1",),
+    "OR2": ("sa0",),
+    "NAND2": ("sa0",),
+    "NOR2": ("sa1",),
+    "INV": ("sa0", "sa1"),
+    "BUF": ("sa0", "sa1"),
+}
+
+
+class FaultEquivalence:
+    """Union-find over ``(net uid, kind)`` stuck-at fault sites."""
+
+    def __init__(self) -> None:
+        self._parent: dict[tuple[int, str], tuple[int, str]] = {}
+
+    def find(self, site: tuple[int, str]) -> tuple[int, str]:
+        """Class root of *site* (path-compressed)."""
+        root = site
+        while root in self._parent:
+            root = self._parent[root]
+        while site != root:
+            parent = self._parent[site]
+            self._parent[site] = root
+            site = parent
+        return root
+
+    def union(self, a: tuple[int, str], b: tuple[int, str]) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def classes(self) -> dict[tuple[int, str], list[tuple[int, str]]]:
+        """Root → all member sites (roots included), members sorted."""
+        grouped: dict[tuple[int, str], list[tuple[int, str]]] = {}
+        for site in self._parent:
+            grouped.setdefault(self.find(site), []).append(site)
+        for root, members in grouped.items():
+            members.append(root)
+            members.sort()
+        return grouped
+
+    def __len__(self) -> int:
+        """Number of non-representative (merged-away) sites."""
+        return len(self._parent)
+
+
+class CollapseAnalysis:
+    """Result of :func:`collapse_faults` for one circuit."""
+
+    __slots__ = ("design", "equivalence", "dominance_dropped")
+
+    def __init__(self, design: str, equivalence: FaultEquivalence,
+                 dominance_dropped: list[tuple[int, str]]) -> None:
+        self.design = design
+        self.equivalence = equivalence
+        #: Output-fault sites droppable from a test-generation list
+        #: by dominance (analysis only — never fed to record expansion).
+        self.dominance_dropped = dominance_dropped
+
+    def __repr__(self) -> str:
+        return (f"CollapseAnalysis({self.design!r}, "
+                f"merged={len(self.equivalence)}, "
+                f"dominated={len(self.dominance_dropped)})")
+
+
+def collapse_faults(circuit: Circuit) -> CollapseAnalysis:
+    """Compute stuck-at equivalence classes and dominated faults.
+
+    An input fault merges into the driving gate's output fault only
+    when the input wire is a pure point-to-point connection:
+
+    * exactly one cell load (the gate itself) — a second load would
+      see the clamp under the input fault but not the output fault;
+    * not part of any primary-output bus or black-box input — an
+      observed wire is directly visible when clamped;
+    * not a shared constant net — those are unfaultable by contract
+      (see ``FaultableGateSimulator._slot_of``).
+    """
+    fanout = circuit.fanout_map()
+    observed: set[int] = set()
+    for nets in circuit.output_buses.values():
+        observed.update(net.uid for net in nets)
+    for box in circuit.blackboxes:
+        for nets in box.input_buses.values():
+            observed.update(net.uid for net in nets)
+    unfaultable = {net.uid for net in circuit.constant_nets().values()}
+
+    equivalence = FaultEquivalence()
+    dominated: list[tuple[int, str]] = []
+    for cell in circuit.cells:
+        rules = _GATE_RULES.get(cell.ctype.name)
+        out = cell.pins[cell.ctype.outputs[0]]
+        if rules is not None:
+            for pin, v_in, v_out in rules:
+                net = cell.pins[pin]
+                if net.uid in observed or net.uid in unfaultable:
+                    continue
+                if len(fanout.get(net.uid, ())) != 1:
+                    continue
+                equivalence.union((net.uid, f"sa{v_in}"),
+                                  (out.uid, f"sa{v_out}"))
+        kinds = _DOMINATED_OUTPUT_KINDS.get(cell.ctype.name)
+        if kinds is not None and all(
+            net.uid not in unfaultable for net in cell.input_nets()
+        ):
+            dominated.extend((out.uid, kind) for kind in kinds)
+    return CollapseAnalysis(circuit.name, equivalence, dominated)

@@ -1,0 +1,72 @@
+"""Top-level netlist analysis: one call, one combined result."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.analyze.diagnostics import Diagnostic, DiagnosticCollector
+from repro.analyze.netlist.collapse import CollapseAnalysis, collapse_faults
+from repro.analyze.netlist.lints import netlist_lints
+from repro.analyze.netlist.scoap import (
+    INF,
+    TestabilityReport,
+    scoap_analysis,
+)
+from repro.netlist.circuit import Circuit
+
+
+class NetlistAnalysis:
+    """Combined structural analysis of one gate-level circuit."""
+
+    __slots__ = ("design", "testability", "collapse", "diagnostics")
+
+    def __init__(self, design: str, testability: TestabilityReport,
+                 collapse: CollapseAnalysis,
+                 diagnostics: list[Diagnostic]) -> None:
+        self.design = design
+        self.testability = testability
+        self.collapse = collapse
+        self.diagnostics = diagnostics
+
+    def summary(self) -> dict[str, Any]:
+        """Headline numbers for the CLI and the JSON report."""
+        finite = [score for score in self.testability.co.values()
+                  if score != INF]
+        by_code: dict[str, int] = {}
+        for diag in self.diagnostics:
+            by_code[diag.code] = by_code.get(diag.code, 0) + 1
+        return {
+            "design": self.design,
+            "nets": len(self.testability.co),
+            "equivalent_fault_sites_merged": len(self.collapse.equivalence),
+            "equivalence_classes": len(self.collapse.equivalence.classes()),
+            "dominance_droppable": len(self.collapse.dominance_dropped),
+            "max_finite_observability": max(finite) if finite else 0.0,
+            "diagnostics": by_code,
+        }
+
+    def __repr__(self) -> str:
+        return (f"NetlistAnalysis({self.design!r}, "
+                f"diagnostics={len(self.diagnostics)})")
+
+
+def analyze_circuit(circuit: Circuit,
+                    collector: DiagnosticCollector | None = None
+                    ) -> NetlistAnalysis:
+    """Run SCOAP, fault collapsing and the OSS5xx lints on *circuit*.
+
+    When *collector* is given, findings accumulate there (the
+    ``repro lint`` path, merging with source-level diagnostics);
+    otherwise a private collector is used.  Either way the returned
+    analysis carries the deduplicated findings of this circuit only.
+    """
+    own = DiagnosticCollector()
+    testability = scoap_analysis(circuit)
+    collapse = collapse_faults(circuit)
+    netlist_lints(circuit, testability, own)
+    diagnostics = own.diagnostics()
+    if collector is not None:
+        for diag in diagnostics:
+            collector.emit(diag.code, diag.message, where=diag.where,
+                           file=diag.file, line=diag.line)
+    return NetlistAnalysis(circuit.name, testability, collapse, diagnostics)

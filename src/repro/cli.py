@@ -13,6 +13,9 @@ without writing a script:
 ``effort``    print the E8 effort-metric table.
 ``lint``      run the standalone OSSS analyzer (fail-slow diagnostics;
               text, JSON or SARIF output).
+``analyze``   run the netlist structural analysis (SCOAP testability,
+              fault collapsing, OSS5xx observability lints) on the
+              optimized gates, memoized through the design library.
 ``inject``    run a seeded fault-injection campaign on the ExpoCU
               (RTL or netlist flow, optional TMR/parity hardening).
 ``profile``   profile a bundled workload (flows, synthesis or a fault
@@ -206,6 +209,54 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval import run_netlist_analysis
+    from repro.store import ArtifactStore, serialize_testability
+
+    design = (_load_design(args.design) if args.design
+              else _default_design())
+    store = None
+    if not args.no_cache:
+        store = ArtifactStore(args.cache_dir)
+        if args.cold:
+            store.clear()
+    circuit, analysis = run_netlist_analysis(design, store=store)
+    if args.format == "json":
+        doc = serialize_testability(analysis, circuit)
+        rendered = json.dumps(doc, indent=2) + "\n"
+    else:
+        summary = analysis.summary()
+        lines = [
+            f"netlist analysis: {summary['design']}",
+            f"  nets: {summary['nets']}, "
+            f"equivalent fault sites merged: "
+            f"{summary['equivalent_fault_sites_merged']} "
+            f"(in {summary['equivalence_classes']} classes), "
+            f"dominance-droppable: {summary['dominance_droppable']}",
+            f"  worst finite observability: "
+            f"{summary['max_finite_observability']}",
+        ]
+        for diagnostic in analysis.diagnostics:
+            lines.append(diagnostic.render())
+        rendered = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"{args.format} report written to {args.output}")
+    else:
+        print(rendered, end="")
+    if store is not None:
+        counts = {event: sum(counter.values())
+                  for event, counter in store.counters.items()}
+        print(f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
+              f"{counts['store']} store(s)", file=sys.stderr)
+    if args.strict and analysis.diagnostics:
+        return 1
+    return 0
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     import os
 
@@ -220,6 +271,7 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         hardening=args.hardening,
         jobs=args.jobs,
         backend=args.backend,
+        collapse=args.collapse,
         tracer=tracer,
     )
     output = args.output
@@ -240,6 +292,12 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         print(f"\ngolden run: selfcheck={result.golden_selfcheck}, "
               f"done={result.golden_done} "
               f"(drained {result.golden_drain_cycles} cycles)")
+        if result.collapse is not None:
+            stats = result.collapse
+            print(f"collapse: simulated {stats['simulated']} of "
+                  f"{stats['unique']} unique faults "
+                  f"(equivalence-merged {stats['equivalence_merged']}, "
+                  f"quiescence-pruned {stats['quiescence_pruned']})")
         if output:
             print(f"campaign report written to {output}")
     _write_profile(tracer, args.profile)
@@ -410,6 +468,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the RTL4xx design lints")
     lint.set_defaults(func=_cmd_lint)
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="netlist structural analysis (testability, collapsing, lints)",
+    )
+    analyze.add_argument(
+        "--design", metavar="PKG.MOD:FACTORY",
+        help="design factory to analyze (default: the ExpoCU top)",
+    )
+    analyze.add_argument("--format", choices=("text", "json"),
+                         default="text",
+                         help="text summary or the repro-testability/v1 "
+                         "JSON report")
+    analyze.add_argument("--output", help="write the report here")
+    analyze.add_argument("--strict", action="store_true",
+                         help="exit non-zero when any OSS5xx lint fires")
+    analyze.add_argument("--cache-dir", default=".repro-cache",
+                         help="design-library directory (shared with "
+                         "'repro build')")
+    analyze.add_argument("--cold", action="store_true",
+                         help="clear the cache first")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="run without the design library")
+    analyze.set_defaults(func=_cmd_analyze)
+
     inject = sub.add_parser(
         "inject", help="fault-injection campaign on the ExpoCU"
     )
@@ -430,6 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="event",
                         help="gate evaluator: interpreted event-driven or "
                         "code-generated straight-line (netlist flow)")
+    inject.add_argument("--collapse", action="store_true",
+                        help="statically collapse the fault list "
+                        "(equivalence + quiescence pruning; netlist flow, "
+                        "report stays byte-identical)")
     inject.add_argument("--format", choices=("text", "json"),
                         default="text", help="stdout format")
     inject.add_argument("--output", help="write the JSON report here "

@@ -11,7 +11,13 @@ from repro.eval.equivalence import (
     check_all_stages,
     lockstep,
 )
-from repro.eval.flows import FlowResult, run_osss_flow, run_rtl, run_vhdl_flow
+from repro.eval.flows import (
+    FlowResult,
+    run_netlist_analysis,
+    run_osss_flow,
+    run_rtl,
+    run_vhdl_flow,
+)
 from repro.eval.metrics import RateSample, measure_stage, simulation_rates, speedup_table
 from repro.eval.report import flow_comparison, format_table, module_inventory
 from repro.eval.resilience import hardening_comparison
@@ -36,6 +42,7 @@ __all__ = [
     "measure_source",
     "measure_stage",
     "module_inventory",
+    "run_netlist_analysis",
     "run_osss_flow",
     "run_rtl",
     "run_vhdl_flow",

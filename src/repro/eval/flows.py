@@ -27,6 +27,8 @@ from typing import Any
 from repro.analyze import (
     AnalysisError,
     Diagnostic,
+    NetlistAnalysis,
+    analyze_circuit,
     analyze_design,
     diagnostics_from_lint_report,
 )
@@ -48,6 +50,7 @@ from repro.store import (
     deserialize_diagnostics,
     deserialize_placement,
     deserialize_rtl,
+    deserialize_testability,
     deserialize_timing,
     digest_doc,
     fingerprint_circuit,
@@ -57,6 +60,7 @@ from repro.store import (
     serialize_diagnostics,
     serialize_placement,
     serialize_rtl,
+    serialize_testability,
     serialize_timing,
 )
 from repro.synth.modulegen import synthesize
@@ -211,6 +215,52 @@ def run_osss_flow(module: Module, name: str = "osss",
         flow_span.annotate(cells=result.cells,
                            area_ge=round(result.area, 1))
     return result
+
+
+def run_netlist_analysis(module: Module, name: str = "osss",
+                         tracer: Tracer | None = None,
+                         store: ArtifactStore | None = None,
+                         ) -> tuple[Circuit, NetlistAnalysis]:
+    """OSSS source → optimized gates → structural testability analysis.
+
+    The backbone of ``repro analyze``: the synthesize → techmap → opt
+    prefix runs through the *same* memoized stages (same stage names,
+    same keys) as :func:`run_osss_flow`, so a prior ``repro build``
+    leaves them warm, and a new ``testability`` stage caches the
+    SCOAP/collapse/lint analysis keyed on the optimized netlist's
+    digest.  STA and placement are skipped — structural analysis does
+    not need them.
+    """
+    runner = StageRunner(store, tracer or NULL_TRACER)
+    tracer = runner.tracer
+    with tracer.span(f"analyze:{name}") as span:
+        design_fp = fingerprint_design(module) if store is not None else ""
+        synth_outcome = runner.run(
+            "synthesize", (design_fp,),
+            compute=lambda: synthesize(module, observe_children=False),
+            dump=serialize_rtl, load=deserialize_rtl,
+        )
+        techmap_outcome = runner.run(
+            "techmap", (synth_outcome.digest,),
+            compute=lambda: map_module(synth_outcome.value()),
+            dump=serialize_circuit, load=deserialize_circuit,
+            lazy=True,
+        )
+        opt_outcome = runner.run(
+            "opt", (techmap_outcome.digest,),
+            compute=lambda: _optimized(techmap_outcome.value()),
+            dump=serialize_circuit, load=deserialize_circuit,
+        )
+        circuit = opt_outcome.value()
+        analysis = runner.run(
+            "testability", (opt_outcome.digest,),
+            compute=lambda: analyze_circuit(circuit),
+            dump=lambda a: serialize_testability(a, circuit),
+            load=lambda doc: deserialize_testability(doc, circuit),
+        ).value()
+        span.annotate(nets=len(circuit.nets),
+                      diagnostics=len(analysis.diagnostics))
+    return circuit, analysis
 
 
 def _uses_blackboxes(rtl: RtlModule) -> bool:

@@ -22,6 +22,7 @@ def hardening_comparison(
     side: int = 8,
     jobs: int = 1,
     backend: str = "event",
+    collapse: bool = False,
 ) -> list[dict[str, Any]]:
     """One row per hardening mode, same faults everywhere.
 
@@ -33,12 +34,15 @@ def hardening_comparison(
     *jobs* and *backend* scale each campaign exactly like
     :func:`repro.fault.scenarios.expocu_campaign`: worker-process
     sharding of the fault list and the compiled gate evaluator.
+    *collapse* enables static fault collapsing + quiescence pruning in
+    each campaign — rows are unchanged (collapsing is
+    classification-preserving), only faster to compute.
     """
     rows = []
     for mode in modes:
         result = expocu_campaign(flow="netlist", faults=faults, seed=seed,
                                  hardening=mode, side=side, jobs=jobs,
-                                 backend=backend)
+                                 backend=backend, collapse=collapse)
         row = result.summary_rows()[0]
         row["sdc+hang"] = row["sdc"] + row["hang"]
         rows.append(row)

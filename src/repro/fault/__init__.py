@@ -11,6 +11,9 @@ DAVOS-style campaign layer on top of the two fault-free simulators:
 * :mod:`repro.fault.campaign` — deterministic seeded fault lists, golden
   run capture with per-cycle checkpoints, per-fault replay and outcome
   classification (*masked / sdc / detected / hang*), JSON reports.
+* :mod:`repro.fault.profile` — golden-trace quiescence profiling: one
+  instrumented golden pass proves stuck-at faults masked so the
+  campaign can synthesize their records (``collapse=True``).
 * :mod:`repro.fault.harden` — netlist hardening primitives: flop-level
   TMR with majority voters and parity-protected register groups.
 * :mod:`repro.fault.scenarios` — the bundled ExpoCU campaign behind the
@@ -26,8 +29,10 @@ from repro.fault.campaign import (
     Fault,
     FaultRecord,
     OUTCOMES,
+    collapse_fault,
     generate_fault_list,
     run_campaign,
+    stuck_at_universe,
 )
 from repro.fault.harden import (
     add_parity_guards,
@@ -40,6 +45,7 @@ from repro.fault.inject import (
     GateFaultInjector,
     RtlFaultInjector,
 )
+from repro.fault.profile import QuiescenceProfile, quiescence_profile
 from repro.fault.scenarios import (
     expocu_campaign,
     expocu_injector,
@@ -54,14 +60,18 @@ __all__ = [
     "FaultableGateSimulator",
     "GateFaultInjector",
     "OUTCOMES",
+    "QuiescenceProfile",
     "RtlFaultInjector",
     "add_parity_guards",
+    "collapse_fault",
     "expocu_campaign",
     "expocu_injector",
     "expocu_stimulus",
     "generate_fault_list",
     "harden_circuit",
     "majority_voter",
+    "quiescence_profile",
     "run_campaign",
+    "stuck_at_universe",
     "tmr_harden",
 ]

@@ -127,6 +127,11 @@ class CampaignResult:
     golden_done: bool
     golden_drain_cycles: int
     records: list[FaultRecord]
+    #: Static-analysis extras from ``run_campaign(collapse=True)``.
+    #: Deliberately NOT part of :meth:`as_dict`: the serialized report
+    #: must stay byte-identical to the uncollapsed oracle's.
+    collapse: dict[str, int] | None = None
+    net_scores: dict[str, float] | None = None
 
     @property
     def outcomes(self) -> dict[str, int]:
@@ -158,6 +163,28 @@ class CampaignResult:
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2) + "\n"
 
+    def sdc_ranking(self, limit: int | None = None) -> list[tuple[str, float]]:
+        """SDC-prone nets ranked by SCOAP observability, best first.
+
+        Targets whose stuck-at/flip faults classified as silent data
+        corruption, ordered by ascending observability score (a low CO
+        means the net's value reaches the outputs easily, so its
+        corruption is the most likely to slip through undetected).
+        Needs the ``net_scores`` attached by ``collapse=True`` runs;
+        returns ``[]`` otherwise.
+        """
+        if self.net_scores is None:
+            return []
+        prone: dict[str, float] = {}
+        for record in self.records:
+            if record.outcome != "sdc":
+                continue
+            score = self.net_scores.get(record.fault.target)
+            if score is not None:
+                prone[record.fault.target] = score
+        ranked = sorted(prone.items(), key=lambda item: (item[1], item[0]))
+        return ranked[:limit] if limit is not None else ranked
+
     def summary_rows(self) -> list[dict[str, Any]]:
         """One table row (for ``repro.eval.format_table``)."""
         counts = self.outcomes
@@ -174,13 +201,35 @@ class CampaignResult:
                 f"{self.hardening}, {body})")
 
 
+def collapse_fault(fault: Fault,
+                   cmap: Mapping[tuple[str, str], tuple[str, str]]) -> Fault:
+    """The class representative of *fault* under an equivalence map.
+
+    Equivalence is structural, so canonicalization preserves the
+    injection cycle and bit; faults outside any class map to themselves.
+    """
+    rep = cmap.get((fault.target, fault.kind))
+    if rep is None:
+        return fault
+    return Fault(rep[1], rep[0], fault.bit, fault.cycle)
+
+
 def generate_fault_list(injector, n: int, cycles: int, seed: int,
-                        kinds: Sequence[str] | None = None) -> list[Fault]:
+                        kinds: Sequence[str] | None = None,
+                        collapse: bool = False) -> list[Fault]:
     """Seeded, deterministic fault list: target × cycle × bit.
 
     Targets are drawn from the injector's deterministic enumerations;
     injection cycles are uniform over ``[1, cycles)`` so every fault has
     at least one post-reset cycle before it and one stimulus cycle after.
+
+    With ``collapse=True`` every stuck-at fault is replaced by its
+    structural equivalence-class representative
+    (:meth:`fault_collapse_map`), shrinking the list a campaign has to
+    simulate while covering the same fault classes.  Note the sampled
+    *sites* change under collapsing; to keep a report byte-identical to
+    the uncollapsed oracle, leave the list alone and pass
+    ``collapse=True`` to :func:`run_campaign` instead.
     """
     if kinds is None:
         kinds = RTL_KINDS if injector.flow == "rtl" else GATE_KINDS
@@ -201,7 +250,23 @@ def generate_fault_list(injector, n: int, cycles: int, seed: int,
             target, bit = nets[rng.randrange(len(nets))], 0
         faults.append(Fault(kind, target, bit,
                             rng.randrange(1, max(cycles, 2))))
+    if collapse:
+        cmap = injector.fault_collapse_map()
+        if cmap:
+            faults = [collapse_fault(fault, cmap) for fault in faults]
     return faults
+
+
+def stuck_at_universe(injector, cycle: int = 1) -> list[Fault]:
+    """The classical full stuck-at fault list: sa0/sa1 on every net.
+
+    One injection cycle for the whole list (stuck-at faults are
+    permanent; *cycle* chooses how much of the stimulus they overlap).
+    This is the universe fault collapsing is measured against.
+    """
+    return [Fault(kind, target, 0, cycle)
+            for target in injector.net_targets()
+            for kind in ("sa0", "sa1")]
 
 
 def _observed_names(outputs: Mapping[str, int],
@@ -409,6 +474,7 @@ def run_campaign(
     seed: int = 0,
     jobs: int = 1,
     injector_factory: Callable[[], Any] | None = None,
+    collapse: bool = False,
     tracer: Tracer | None = None,
 ) -> CampaignResult:
     """Golden run + per-fault replay + classification (see module doc).
@@ -418,6 +484,17 @@ def run_campaign(
     callable) rebuilds the injector in each worker, and *injector* may
     then be ``None``.  The merged report is byte-identical to the
     ``jobs=1`` run.
+
+    With ``collapse=True`` (gate flow) the static netlist analysis cuts
+    the simulated set in two ways before any replay happens: each fault
+    is canonicalized to its structural equivalence-class representative
+    (:mod:`repro.analyze.netlist`), and stuck-at faults proven masked by
+    one instrumented golden pass (:mod:`repro.fault.profile`) have their
+    records synthesized outright.  Both reductions are
+    classification-preserving, so the result — including the serialized
+    report — is byte-identical to the uncollapsed run; the extra
+    ``collapse`` stats and per-net ``net_scores`` ride on the result
+    object only.  At RTL level ``collapse=True`` is a no-op.
 
     With a :class:`~repro.obs.profiler.Tracer`, the campaign records a
     ``campaign`` root span with a ``golden`` child, one span per unique
@@ -451,13 +528,58 @@ def run_campaign(
             index_of[fault] = len(unique)
             unique.append(fault)
 
-    jobs = max(1, min(int(jobs), max(1, len(unique))))
+    # Static pre-campaign reduction (collapse=True): canonicalize each
+    # fault to its equivalence-class representative and prove stuck-at
+    # faults masked from one instrumented golden pass; only what
+    # survives is simulated.
+    canonical = unique
+    masked_flags = [False] * len(unique)
+    collapse_stats: dict[str, int] | None = None
+    net_scores: dict[str, float] | None = None
+    if collapse:
+        if injector is None:
+            injector = injector_factory()
+        cmap = injector.fault_collapse_map()
+        canonical = [collapse_fault(fault, cmap) for fault in unique]
+        from repro.fault.profile import quiescence_profile
+
+        with tracer.span("quiescence-profile") as profile_span:
+            profile = quiescence_profile(injector, stimulus, config)
+        profile_span.annotate(targets=len(profile.quiet),
+                              sample_points=profile.sample_points)
+        masked_flags = [profile.masks(fault) for fault in canonical]
+        if getattr(injector, "flow", None) == "netlist":
+            from repro.analyze.netlist import scoap_analysis
+
+            testability = scoap_analysis(injector.sim.circuit)
+            net_scores = {
+                name: testability.co[net.uid]
+                for name, net in injector.addressable_nets().items()
+            }
+    sim_faults: list[Fault] = []
+    sim_index: dict[Fault, int] = {}
+    for fault, masked in zip(canonical, masked_flags):
+        if masked or fault in sim_index:
+            continue
+        sim_index[fault] = len(sim_faults)
+        sim_faults.append(fault)
+    if collapse:
+        collapse_stats = {
+            "faults": len(faults),
+            "unique": len(unique),
+            "equivalence_merged": len(unique) - len(set(canonical)),
+            "quiescence_pruned": sum(masked_flags),
+            "simulated": len(sim_faults),
+        }
+
+    jobs = max(1, min(int(jobs), max(1, len(sim_faults))))
     campaign_ctx = tracer.span("campaign", hardening=hardening, seed=seed,
                                faults=len(faults), unique_faults=len(unique),
+                               simulated=len(sim_faults),
                                jobs=jobs, cycles=len(stimulus))
     with campaign_ctx as campaign_span:
         if jobs > 1:
-            shards = [unique[k::jobs] for k in range(jobs)]
+            shards = [sim_faults[k::jobs] for k in range(jobs)]
             payloads = [(injector_factory, stimulus, shard, config)
                         for shard in shards]
             with tracer.span("shards") as shard_span:
@@ -477,45 +599,66 @@ def run_campaign(
                         f"({result['meta']} != {meta}); the injector factory "
                         "is not deterministic across processes"
                     )
-            unique_records: list[FaultRecord | None] = [None] * len(unique)
+            sim_records: list[FaultRecord | None] = [None] * len(sim_faults)
             for k, result in enumerate(shard_results):
                 for j, record in enumerate(result["records"]):
-                    unique_records[k + j * jobs] = record
+                    sim_records[k + j * jobs] = record
             if shard_span.dur:
                 shard_span.annotate(
-                    faults_per_s=round(len(unique) / shard_span.dur, 2)
+                    faults_per_s=round(len(sim_faults) / shard_span.dur, 2)
                 )
         else:
             if injector is None:
                 injector = injector_factory()
-            snap_cycles = {fault.cycle for fault in unique} | {0}
+            snap_cycles = {fault.cycle for fault in sim_faults} | {0}
             with tracer.span("golden") as golden_span:
                 golden = _golden_run(injector, stimulus, config, snap_cycles)
             golden_span.annotate(selfcheck=golden.selfcheck,
                                  done=golden.done,
                                  drain_cycles=golden.drain_cycles)
-            unique_records = []
+            sim_records = []
             with tracer.span("replay") as replay_span:
-                for fault in unique:
+                for fault in sim_faults:
                     label = (f"{fault.kind}:{fault.target}"
                              f"[{fault.bit}]@{fault.cycle}")
                     with tracer.span(label) as fault_span:
                         record = _classify(injector, fault, stimulus,
                                            golden, config)
                     fault_span.annotate(outcome=record.outcome)
-                    unique_records.append(record)
+                    sim_records.append(record)
             replay_span.annotate(
-                faults=len(unique),
-                outcomes=_outcome_tally(unique_records),
+                faults=len(sim_faults),
+                outcomes=_outcome_tally(sim_records),
             )
             if replay_span.dur:
                 replay_span.annotate(
-                    faults_per_s=round(len(unique) / replay_span.dur, 2)
+                    faults_per_s=round(len(sim_faults) / replay_span.dur, 2)
                 )
             meta = _golden_meta(injector, golden)
             stats = _sim_stats(injector)
             if stats is not None:
                 campaign_span.annotate(sim_stats=stats)
+        if collapse:
+            # Expand representative records back over the full list: a
+            # synthesized masked record for pruned faults, the shared
+            # record object where the fault was its own representative,
+            # and a rewrap carrying the original fault otherwise.
+            unique_records: list[FaultRecord] = []
+            for fault, rep, masked in zip(unique, canonical, masked_flags):
+                if masked:
+                    unique_records.append(FaultRecord(fault, "masked"))
+                    continue
+                record = sim_records[sim_index[rep]]
+                if rep == fault:
+                    unique_records.append(record)
+                else:
+                    unique_records.append(FaultRecord(
+                        fault, record.outcome,
+                        record.first_divergence, record.detail,
+                    ))
+            campaign_span.annotate(collapse=collapse_stats)
+        else:
+            unique_records = sim_records
         campaign_span.annotate(design=design or meta["design"],
                                flow=meta["flow"])
 
@@ -531,4 +674,6 @@ def run_campaign(
         golden_done=meta["done"],
         golden_drain_cycles=meta["drain_cycles"],
         records=[unique_records[index_of[fault]] for fault in faults],
+        collapse=collapse_stats,
+        net_scores=net_scores,
     )

@@ -86,6 +86,10 @@ class RtlFaultInjector:
     def net_targets(self) -> list[str]:
         return []
 
+    def fault_collapse_map(self) -> dict[tuple[str, str], tuple[str, str]]:
+        """No structural collapsing at RTL level (no gate graph)."""
+        return {}
+
     def inject(self, fault) -> None:
         if fault.kind != "seu":
             raise FaultInjectionError(
@@ -308,6 +312,54 @@ class GateFaultInjector:
 
     def net_targets(self) -> list[str]:
         return list(self._comb_nets)
+
+    def addressable_nets(self) -> dict[str, Net]:
+        """Target name → the net :meth:`inject` would resolve it to.
+
+        Mirrors the lookup precedence of :meth:`inject` for stuck-at and
+        flip faults — combinational names shadow state names — so the
+        quiescence profiler and the fault-collapsing canonicalizer
+        reason about exactly the nets a campaign would clamp.
+        """
+        nets = dict(self._state_nets)
+        nets.update(self._comb_nets)
+        return nets
+
+    def fault_collapse_map(self) -> dict[tuple[str, str], tuple[str, str]]:
+        """``(target, kind)`` → equivalent representative ``(target, kind)``.
+
+        Built from the structural equivalence classes of
+        :func:`repro.analyze.netlist.collapse_faults`: members of one
+        class force identical circuit behavior, so the campaign engine
+        simulates the representative and copies its record to the
+        others.  Representatives are the lexicographic minimum of each
+        class so the choice is deterministic across processes.  Class
+        members whose net is not addressable by name (shadowed by a
+        duplicate) are left out — they must be simulated directly.
+        Computed once per injector and cached.
+        """
+        cached = getattr(self, "_collapse_map", None)
+        if cached is not None:
+            return cached
+        from repro.analyze.netlist import collapse_faults
+
+        name_of: dict[int, str] = {
+            net.uid: name for name, net in self.addressable_nets().items()
+        }
+        mapping: dict[tuple[str, str], tuple[str, str]] = {}
+        equivalence = collapse_faults(self.sim.circuit).equivalence
+        for members in equivalence.classes().values():
+            named = sorted(
+                (name_of[uid], kind)
+                for uid, kind in members if uid in name_of
+            )
+            if len(named) < 2:
+                continue
+            rep = named[0]
+            for member in named[1:]:
+                mapping[member] = rep
+        self._collapse_map = mapping
+        return mapping
 
     def inject(self, fault) -> None:
         if fault.kind == "seu":

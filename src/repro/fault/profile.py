@@ -1,0 +1,154 @@
+"""Golden-trace quiescence profiling for stuck-at fault pruning.
+
+The observation DAVOS's ``SBFI_Profiler`` exploits: clamping a net to a
+value it already holds changes nothing.  If the golden run's settled
+value of net *n* equals *v* at every point the campaign could observe a
+difference — from the fault's injection cycle through the end of the
+post-stimulus drain — then ``sa``-*v* on *n* at that cycle is provably
+``masked`` and its record can be synthesized without simulating it.
+
+One instrumented golden run samples every net at the two per-cycle
+points that matter:
+
+* **A points** — mid-cycle, after the cycle's inputs are driven and the
+  combinational logic has settled but before the flop commit.  This is
+  where :meth:`~repro.netlist.sim.GateSimulator.step` peeks the outputs
+  and samples the flop D pins, so any clamp/golden mismatch here can
+  become a divergence.
+* **B points** — after the flop commit has settled.  These only
+  matter for flop-output (state) nets, whose clamp rewrites committed
+  state the moment the fault's checkpoint is restored; sampling them
+  for every net is conservative.
+
+Combinational values are a pure function of (flop state, inputs), so a
+clamp that agrees with golden at an A point cannot perturb that cycle,
+and a state clamp that agrees at the enclosing B points cannot perturb
+the committed state.  The first *safe* injection cycle for sa-*v* on a
+net is therefore ``max(last_bad_B + 2, last_bad_A + 1)`` where
+``last_bad_X`` is the last sample index at which the golden value
+differed from *v* (the post-reset base state counts as B index -1:
+restoring the cycle-0 checkpoint re-materializes it).
+
+Only permanent stuck-at faults on the gate flow are prunable; ``seu``
+and ``flip`` are one-shot perturbations whose effect is not captured by
+value agreement, so :meth:`QuiescenceProfile.masks` never claims them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.fault.campaign import CampaignConfig, Fault
+
+
+class QuiescenceProfile:
+    """Per-target first-safe-cycle tables for sa0/sa1 pruning."""
+
+    __slots__ = ("quiet", "sample_points")
+
+    def __init__(self, quiet: dict[str, tuple[int, int]],
+                 sample_points: int) -> None:
+        #: target name → ``(first safe sa0 cycle, first safe sa1 cycle)``.
+        self.quiet = quiet
+        #: How many A/B samples backed the tables (for reporting).
+        self.sample_points = sample_points
+
+    def masks(self, fault: Fault) -> bool:
+        """True when *fault* is provably masked under this stimulus."""
+        if fault.kind not in ("sa0", "sa1"):
+            return False
+        bounds = self.quiet.get(fault.target)
+        if bounds is None:
+            return False
+        return fault.cycle >= bounds[0 if fault.kind == "sa0" else 1]
+
+    def __repr__(self) -> str:
+        return (f"QuiescenceProfile(targets={len(self.quiet)}, "
+                f"sample_points={self.sample_points})")
+
+
+def _settle_driven(sim, entry: Mapping[str, int]) -> None:
+    """Drive *entry* and settle to the A-point fixpoint without stepping.
+
+    Idempotent with the step that follows: the step's own drive finds
+    the inputs already set and changes nothing.
+    """
+    dirty = sim.drive(**dict(entry))
+    if sim._compiled is not None:
+        sim._settle_all()
+    elif dirty:
+        sim._propagate(dirty)
+
+
+def quiescence_profile(injector, stimulus: Sequence[Mapping[str, int]],
+                       config: CampaignConfig) -> QuiescenceProfile:
+    """Run one instrumented golden pass and build the pruning tables.
+
+    *stimulus* must already be normalized the way
+    :func:`~repro.fault.campaign.run_campaign` replays it (reset bit
+    merged into every entry).  The injector is snapshotted on entry and
+    restored on exit, so the campaign's real golden run afterwards sees
+    a pristine simulator.
+
+    Only meaningful for the gate flow; any other injector yields an
+    empty profile that prunes nothing.
+    """
+    if getattr(injector, "flow", None) != "netlist":
+        return QuiescenceProfile({}, 0)
+    sim = injector.sim
+    base = injector.snapshot()
+    try:
+        for _ in range(config.reset_cycles):
+            injector.step({config.reset_name: 1})
+
+        n_slots = len(sim._values)
+        last_a0 = [-1] * n_slots  # last A index where the value was 0
+        last_a1 = [-1] * n_slots
+        last_b0 = [-2] * n_slots  # last B index (base state is B = -1)
+        last_b1 = [-2] * n_slots
+        samples = 0
+
+        def sample(last0: list[int], last1: list[int], t: int) -> None:
+            sim._ensure_settled()
+            for slot, value in enumerate(sim._values):
+                if value:
+                    last1[slot] = t
+                else:
+                    last0[slot] = t
+
+        sample(last_b0, last_b1, -1)
+        samples += 1
+        t = 0
+        for entry in stimulus:
+            _settle_driven(sim, entry)
+            sample(last_a0, last_a1, t)
+            injector.step(entry)
+            sample(last_b0, last_b1, t)
+            samples += 2
+            t += 1
+        if config.done_signal is not None:
+            idle = {config.reset_name: 0, **dict(config.idle_input)}
+            for _ in range(config.drain_budget + 1):
+                _settle_driven(sim, idle)
+                sample(last_a0, last_a1, t)
+                outputs = injector.step(idle)
+                sample(last_b0, last_b1, t)
+                samples += 2
+                t += 1
+                if outputs.get(config.done_signal) == config.done_value:
+                    break
+
+        quiet: dict[str, tuple[int, int]] = {}
+        slot_of = sim._slot
+        for name, net in injector.addressable_nets().items():
+            slot = slot_of.get(net.uid)
+            if slot is None:
+                continue
+            # sa0 is unsafe while the golden value is still sometimes 1.
+            quiet[name] = (
+                max(last_b1[slot] + 2, last_a1[slot] + 1),
+                max(last_b0[slot] + 2, last_a0[slot] + 1),
+            )
+        return QuiescenceProfile(quiet, samples)
+    finally:
+        injector.restore(base)

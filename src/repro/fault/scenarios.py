@@ -132,6 +132,7 @@ def expocu_campaign(
     stimulus: list[Mapping[str, int]] | None = None,
     jobs: int = 1,
     backend: str = "event",
+    collapse: bool = False,
     tracer=None,
 ) -> CampaignResult:
     """Run the bundled ExpoCU campaign; fully deterministic per seed.
@@ -139,9 +140,13 @@ def expocu_campaign(
     ``jobs > 1`` shards the fault list across worker processes, each of
     which rebuilds the injector from this factory — the report stays
     byte-identical to the sequential run.  ``backend="compiled"`` swaps
-    the netlist flow onto the code-generated gate evaluator.  *tracer*
-    (a :class:`repro.obs.Tracer`) profiles injector construction and
-    the campaign (``repro inject --profile``).
+    the netlist flow onto the code-generated gate evaluator.
+    ``collapse=True`` (netlist flow) statically reduces the simulated
+    set via fault equivalence and quiescence pruning — the report stays
+    byte-identical, with collapse stats and per-net observability
+    scores attached to the result.  *tracer* (a
+    :class:`repro.obs.Tracer`) profiles injector construction and the
+    campaign (``repro inject --profile``).
     """
     from repro.obs.profiler import NULL_TRACER
 
@@ -157,5 +162,6 @@ def expocu_campaign(
     return run_campaign(
         injector, stimulus, fault_list, expocu_config(hardening),
         design=f"ExpoCU[{side},{side}]", hardening=hardening, seed=seed,
-        jobs=jobs, injector_factory=factory, tracer=tracer,
+        jobs=jobs, injector_factory=factory, collapse=collapse,
+        tracer=tracer,
     )

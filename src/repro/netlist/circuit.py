@@ -208,6 +208,32 @@ class Circuit:
             net.uid for nets in self.input_buses.values() for net in nets
         }
 
+    def fanin_cone(self, seeds: Iterable[Net]) -> tuple[set[int], set[int]]:
+        """Transitive fan-in of *seeds*: ``(net_uids, cell_uids)``.
+
+        Walks drivers backward from the seed nets, crossing combinational
+        cells and flip-flops alike (a flop's D cone is part of its Q's
+        fan-in), so the result is the set of nets and cells that can
+        structurally influence the seeds over any number of cycles.
+        Both the dead-logic pass in :mod:`repro.netlist.opt` and the
+        observability analysis in :mod:`repro.analyze.netlist` are
+        defined in terms of this cone.
+        """
+        net_uids: set[int] = set()
+        cell_uids: set[int] = set()
+        worklist = list(seeds)
+        while worklist:
+            net = worklist.pop()
+            if net.uid in net_uids:
+                continue
+            net_uids.add(net.uid)
+            if net.driver is not None:
+                cell, _ = net.driver
+                if cell.uid not in cell_uids:
+                    cell_uids.add(cell.uid)
+                    worklist.extend(cell.input_nets())
+        return net_uids, cell_uids
+
     def validate(self) -> None:
         """Every non-input net consumed by a cell must be driven."""
         if self.blackboxes:

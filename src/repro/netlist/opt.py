@@ -179,24 +179,13 @@ def _cse_pass(circuit: Circuit, aliases: _Aliases) -> bool:
 
 def _dead_removal(circuit: Circuit) -> bool:
     """Remove cells whose outputs reach no output/flop/black box."""
-    live_nets: set[int] = set()
-    worklist: list[Net] = []
+    seeds: list[Net] = []
     for nets in circuit.output_buses.values():
-        worklist.extend(nets)
+        seeds.extend(nets)
     for box in circuit.blackboxes:
         for nets in box.input_buses.values():
-            worklist.extend(nets)
-    live_cells: set[int] = set()
-    while worklist:
-        net = worklist.pop()
-        if net.uid in live_nets:
-            continue
-        live_nets.add(net.uid)
-        if net.driver is not None:
-            cell, _ = net.driver
-            if cell.uid not in live_cells:
-                live_cells.add(cell.uid)
-                worklist.extend(cell.input_nets())
+            seeds.extend(nets)
+    _, live_cells = circuit.fanin_cone(seeds)
     before = len(circuit.cells)
     removed = [c for c in circuit.cells if c.uid not in live_cells]
     for cell in removed:

@@ -25,21 +25,25 @@ from repro.store.fingerprint import (
 )
 from repro.store.memo import StageOutcome, StageRunner
 from repro.store.serialize import (
+    TESTABILITY_SCHEMA,
     deserialize_circuit,
     deserialize_diagnostics,
     deserialize_placement,
     deserialize_rtl,
+    deserialize_testability,
     deserialize_timing,
     serialize_circuit,
     serialize_diagnostics,
     serialize_placement,
     serialize_rtl,
+    serialize_testability,
     serialize_timing,
 )
 
 __all__ = [
     "ArtifactStore",
     "STORE_SCHEMA",
+    "TESTABILITY_SCHEMA",
     "StageOutcome",
     "StageRunner",
     "StoreError",
@@ -49,6 +53,7 @@ __all__ = [
     "deserialize_diagnostics",
     "deserialize_placement",
     "deserialize_rtl",
+    "deserialize_testability",
     "deserialize_timing",
     "fingerprint_circuit",
     "fingerprint_design",
@@ -57,6 +62,7 @@ __all__ = [
     "serialize_diagnostics",
     "serialize_placement",
     "serialize_rtl",
+    "serialize_testability",
     "serialize_timing",
     "stage_key",
     "stage_version",

@@ -53,6 +53,8 @@ _STAGE_SOURCES: dict[str, tuple[str, ...]] = {
     "sta": ("netlist/sta.py", "netlist/cells.py"),
     "pnr": ("netlist/pnr.py", "netlist/circuit.py"),
     "sta_routed": ("netlist/sta.py", "netlist/pnr.py", "netlist/cells.py"),
+    "testability": ("analyze/netlist", "netlist/circuit.py",
+                    "netlist/cells.py"),
 }
 
 #: Folded into every stage version: the serializers define the artifact

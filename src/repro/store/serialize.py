@@ -62,6 +62,7 @@ NETLIST_SCHEMA = "repro-netlist/v1"
 TIMING_SCHEMA = "repro-timing/v1"
 PLACEMENT_SCHEMA = "repro-placement/v1"
 DIAGS_SCHEMA = "repro-diags/v1"
+TESTABILITY_SCHEMA = "repro-testability/v1"
 
 
 def _expect_schema(doc: Any, schema: str) -> None:
@@ -488,6 +489,96 @@ def deserialize_placement(doc: Any, circuit: Circuit) -> Placement:
         raise
     except Exception as exc:
         raise _corrupt(PLACEMENT_SCHEMA, exc) from exc
+
+
+def serialize_testability(analysis: "NetlistAnalysis",
+                          circuit: Circuit) -> dict:
+    """Serialize a netlist analysis computed on *circuit*.
+
+    Net references are positions in ``circuit.nets``; unreachable SCOAP
+    scores (:data:`repro.analyze.netlist.INF`) become ``null``, and nets
+    whose three scores are all unreachable are omitted (the loader
+    restores them), which keeps the document canonical and small.
+    """
+    index = _net_index(circuit)
+    testability = analysis.testability
+
+    def score(value: float) -> float | None:
+        return None if value == float("inf") else value
+
+    try:
+        scores = sorted(
+            (index[uid], score(testability.cc0[uid]),
+             score(testability.cc1[uid]), score(testability.co[uid]))
+            for uid in testability.co
+            if (testability.cc0[uid], testability.cc1[uid],
+                testability.co[uid]) != (float("inf"),) * 3
+        )
+        classes = sorted(
+            sorted([index[uid], kind] for uid, kind in members)
+            for members in analysis.collapse.equivalence.classes().values()
+        )
+        dominance = sorted(
+            [index[uid], kind]
+            for uid, kind in analysis.collapse.dominance_dropped
+        )
+    except KeyError:
+        raise StoreError(
+            "testability analysis references nets outside the circuit"
+        ) from None
+    return {
+        "schema": TESTABILITY_SCHEMA,
+        "design": analysis.design,
+        "scores": [list(entry) for entry in scores],
+        "equivalence": classes,
+        "dominance": dominance,
+        "diagnostics": [d.as_dict() for d in analysis.diagnostics],
+    }
+
+
+def deserialize_testability(doc: Any, circuit: Circuit) -> "NetlistAnalysis":
+    """Rebuild a :class:`NetlistAnalysis`, rebinding nets to *circuit*."""
+    from repro.analyze.netlist import (
+        CollapseAnalysis,
+        FaultEquivalence,
+        NetlistAnalysis,
+        TestabilityReport,
+    )
+
+    _expect_schema(doc, TESTABILITY_SCHEMA)
+    inf = float("inf")
+    try:
+        nets = circuit.nets
+        cc0 = {net.uid: inf for net in nets}
+        cc1 = {net.uid: inf for net in nets}
+        co = {net.uid: inf for net in nets}
+        for k, s0, s1, so in doc["scores"]:
+            uid = nets[k].uid
+            cc0[uid] = inf if s0 is None else s0
+            cc1[uid] = inf if s1 is None else s1
+            co[uid] = inf if so is None else so
+        equivalence = FaultEquivalence()
+        for members in doc["equivalence"]:
+            (first, first_kind), *rest = members
+            for k, kind in rest:
+                equivalence.union((nets[k].uid, kind),
+                                  (nets[first].uid, first_kind))
+        dominance = [(nets[k].uid, kind) for k, kind in doc["dominance"]]
+        diagnostics = [
+            Diagnostic(d["code"], d["message"], d["where"],
+                       d["file"], d["line"])
+            for d in doc["diagnostics"]
+        ]
+        return NetlistAnalysis(
+            doc["design"],
+            TestabilityReport(doc["design"], cc0, cc1, co),
+            CollapseAnalysis(doc["design"], equivalence, dominance),
+            diagnostics,
+        )
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(TESTABILITY_SCHEMA, exc) from exc
 
 
 def serialize_diagnostics(diagnostics: list[Diagnostic]) -> dict:

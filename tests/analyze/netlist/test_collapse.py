@@ -1,0 +1,143 @@
+"""Structural fault collapsing: equivalence classes, guards, dominance."""
+
+from repro.analyze.netlist import FaultEquivalence, collapse_faults
+from repro.netlist import Circuit
+
+
+def _sites(circuit, *names):
+    by_name = {net.name: net.uid for net in circuit.nets}
+    return [by_name[name] for name in names]
+
+
+class TestFaultEquivalence:
+    def test_union_find_basics(self):
+        eq = FaultEquivalence()
+        eq.union((1, "sa0"), (2, "sa0"))
+        eq.union((2, "sa0"), (3, "sa1"))
+        assert eq.find((1, "sa0")) == eq.find((3, "sa1"))
+        assert len(eq) == 2          # two merged-away sites
+        (members,) = eq.classes().values()
+        assert members == [(1, "sa0"), (2, "sa0"), (3, "sa1")]
+
+    def test_disjoint_sites_stay_apart(self):
+        eq = FaultEquivalence()
+        eq.union((1, "sa0"), (2, "sa0"))
+        eq.union((5, "sa1"), (6, "sa1"))
+        assert eq.find((1, "sa0")) != eq.find((5, "sa1"))
+        assert len(eq.classes()) == 2
+
+    def test_deep_chain_path_compression(self):
+        eq = FaultEquivalence()
+        for k in range(50):
+            eq.union((k, "sa0"), (k + 1, "sa0"))
+        root = eq.find((0, "sa0"))
+        assert all(eq.find((k, "sa0")) == root for k in range(51))
+        (members,) = eq.classes().values()
+        assert len(members) == 51
+
+
+class TestGateEquivalence:
+    def test_and_inputs_merge_into_output_sa0(self):
+        circuit = Circuit("and2")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=b, y=y)
+        circuit.mark_output("y", [y])
+        classes = collapse_faults(circuit).equivalence.classes()
+        (members,) = classes.values()
+        assert sorted(members) == sorted(
+            [(a.uid, "sa0"), (b.uid, "sa0"), (y.uid, "sa0")]
+        )
+
+    def test_inverter_chain_is_transitive(self):
+        # a -INV- b -INV- c: sa0(a) ~ sa1(b) ~ sa0(c).
+        circuit = Circuit("chain")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        b = circuit.new_net("b")
+        c = circuit.new_net("c")
+        circuit.add_cell("g0", "INV", a=a, y=b)
+        circuit.add_cell("g1", "INV", a=b, y=c)
+        circuit.mark_output("y", [c])
+        eq = collapse_faults(circuit).equivalence
+        assert eq.find((a.uid, "sa0")) == eq.find((c.uid, "sa0"))
+        assert eq.find((a.uid, "sa0")) == eq.find((b.uid, "sa1"))
+        assert eq.find((a.uid, "sa1")) == eq.find((c.uid, "sa1"))
+        assert eq.find((a.uid, "sa0")) != eq.find((a.uid, "sa1"))
+
+    def test_multi_fanout_input_is_not_merged(self):
+        circuit = Circuit("fanout")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        y0 = circuit.new_net("y0")
+        y1 = circuit.new_net("y1")
+        circuit.add_cell("g0", "AND2", i0=a, i1=b, y=y0)
+        circuit.add_cell("g1", "OR2", i0=a, i1=b, y=y1)
+        circuit.mark_output("y", [y0, y1])
+        # a and b each feed two gates: clamping the wire differs from
+        # clamping either single gate output, so nothing may merge.
+        assert len(collapse_faults(circuit).equivalence) == 0
+
+    def test_observed_input_wire_is_not_merged(self):
+        circuit = Circuit("observed")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        mid = circuit.new_net("mid")
+        y = circuit.new_net("y")
+        circuit.add_cell("g0", "OR2", i0=a, i1=b, y=mid)
+        circuit.add_cell("g1", "INV", a=mid, y=y)
+        circuit.mark_output("y", [y, mid])   # mid is directly visible
+        eq = collapse_faults(circuit).equivalence
+        # g1's input (mid) is observed, so INV merges nothing; only the
+        # OR2 inputs collapse into mid.
+        assert eq.find((mid.uid, "sa0")) != eq.find((y.uid, "sa1"))
+        assert eq.find((a.uid, "sa1")) == eq.find((mid.uid, "sa1"))
+
+    def test_constant_input_is_not_merged(self):
+        circuit = Circuit("const")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=circuit.const_net(1), y=y)
+        circuit.mark_output("y", [y])
+        eq = collapse_faults(circuit).equivalence
+        one = circuit.const_net(1).uid
+        members = [site for sites in eq.classes().values()
+                   for site in sites]
+        assert all(site[0] != one for site in members)
+        # The non-constant input still collapses into the output.
+        assert eq.find((a.uid, "sa0")) == eq.find((y.uid, "sa0"))
+
+    def test_xor_and_dff_collapse_nothing(self):
+        circuit = Circuit("xor")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        n = circuit.new_net("n")
+        q = circuit.new_net("q")
+        circuit.add_cell("g", "XOR2", i0=a, i1=b, y=n)
+        circuit.add_cell("ff", "DFF", d=n, q=q)
+        circuit.mark_output("y", [q])
+        assert len(collapse_faults(circuit).equivalence) == 0
+
+
+class TestDominance:
+    def test_and_output_sa1_is_dominated(self):
+        circuit = Circuit("and2")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=b, y=y)
+        circuit.mark_output("y", [y])
+        analysis = collapse_faults(circuit)
+        assert (y.uid, "sa1") in analysis.dominance_dropped
+        assert (y.uid, "sa0") not in analysis.dominance_dropped
+
+    def test_constant_fed_gate_dominates_nothing(self):
+        circuit = Circuit("const")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=circuit.const_net(1), y=y)
+        circuit.mark_output("y", [y])
+        assert collapse_faults(circuit).dominance_dropped == []

@@ -1,0 +1,133 @@
+"""OSS5xx observability lints and the combined ``analyze_circuit``.
+
+The seeded circuit triggers every code once, and its rendered reports
+are pinned as golden files next to the source-level analyzer goldens —
+the OSS5xx family flows through the same text/JSON/SARIF emitters that
+back ``repro lint``.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analyze import (
+    DiagnosticCollector,
+    analyze_circuit,
+    netlist_lints,
+    render_json,
+    render_sarif,
+    render_text,
+    scoap_analysis,
+)
+from repro.netlist import Circuit
+
+GOLDEN = Path(__file__).parents[1] / "golden"
+
+
+def seeded_circuit() -> Circuit:
+    """One deterministic netlist exhibiting every OSS5xx finding.
+
+    * ``dead`` drives a net nothing consumes               → OSS501
+    * ``masker`` ANDs ``mid`` with constant 0, so ``gated``
+      can never be 1 (and ``live`` never 0)                → OSS502
+    * ...which also makes ``mid`` unobservable, so neither
+      stuck-at fault on ``redundant``'s output is testable → OSS503
+    """
+    circuit = Circuit("seeded")
+    a, b = circuit.new_bus("x", 2)
+    circuit.mark_input("x", [a, b])
+    dead = circuit.new_net("deadnet")
+    mid = circuit.new_net("mid")
+    gated = circuit.new_net("gated")
+    live = circuit.new_net("live")
+    circuit.add_cell("dead", "OR2", i0=a, i1=b, y=dead)
+    circuit.add_cell("redundant", "XOR2", i0=a, i1=b, y=mid)
+    circuit.add_cell("masker", "AND2", i0=mid, i1=circuit.const_net(0),
+                     y=gated)
+    circuit.add_cell("keep", "NAND2", i0=a, i1=gated, y=live)
+    circuit.mark_output("y", [live])
+    circuit.validate()
+    return circuit
+
+
+def _codes(diagnostics):
+    return sorted(d.code for d in diagnostics)
+
+
+class TestLints:
+    def test_seeded_circuit_fires_every_code(self):
+        circuit = seeded_circuit()
+        collector = DiagnosticCollector()
+        netlist_lints(circuit, scoap_analysis(circuit), collector)
+        codes = _codes(collector.diagnostics())
+        assert "OSS501" in codes   # the dead OR2
+        assert "OSS502" in codes   # gated/mid can never reach 1
+        assert "OSS503" in codes   # the XOR2 behind the constant AND
+
+    def test_clean_circuit_is_quiet(self):
+        circuit = Circuit("clean")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=b, y=y)
+        circuit.mark_output("y", [y])
+        collector = DiagnosticCollector()
+        netlist_lints(circuit, scoap_analysis(circuit), collector)
+        assert collector.diagnostics() == []
+
+    def test_all_findings_are_warnings(self):
+        circuit = seeded_circuit()
+        collector = DiagnosticCollector()
+        netlist_lints(circuit, scoap_analysis(circuit), collector)
+        assert all(d.severity == "warning"
+                   for d in collector.diagnostics())
+
+
+class TestAnalyzeCircuit:
+    def test_summary_shape(self):
+        summary = analyze_circuit(seeded_circuit()).summary()
+        assert summary["design"] == "seeded"
+        assert summary["nets"] > 0
+        assert summary["equivalence_classes"] >= 1
+        assert summary["dominance_droppable"] >= 1
+        assert set(summary["diagnostics"]) == {"OSS501", "OSS502",
+                                               "OSS503"}
+
+    def test_findings_merge_into_caller_collector(self):
+        collector = DiagnosticCollector()
+        collector.emit("OSS101", "pre-existing", where="elsewhere")
+        analysis = analyze_circuit(seeded_circuit(), collector)
+        merged = _codes(collector.diagnostics())
+        assert "OSS101" in merged
+        assert _codes(analysis.diagnostics) == \
+            [c for c in merged if c != "OSS101"]
+
+    def test_deterministic_across_runs(self):
+        first = analyze_circuit(seeded_circuit())
+        second = analyze_circuit(seeded_circuit())
+        assert [d.render() for d in first.diagnostics] == \
+            [d.render() for d in second.diagnostics]
+        assert first.summary() == second.summary()
+
+
+class TestGolden:
+    """OSS5xx reports are byte-stable through the shared emitters."""
+
+    def test_text_render(self):
+        diagnostics = analyze_circuit(seeded_circuit()).diagnostics
+        out = render_text(diagnostics)
+        assert "OSS501" in out
+        assert out.endswith(f"0 error(s), {len(diagnostics)} warning(s)")
+
+    def test_json_matches_golden(self):
+        rendered = render_json(analyze_circuit(seeded_circuit()).diagnostics)
+        assert rendered == (GOLDEN / "netlist_seeded.json").read_text()
+
+    def test_sarif_matches_golden(self):
+        rendered = render_sarif(
+            analyze_circuit(seeded_circuit()).diagnostics
+        )
+        assert rendered == (GOLDEN / "netlist_seeded.sarif").read_text()
+        document = json.loads(rendered)
+        rules = [r["id"]
+                 for r in document["runs"][0]["tool"]["driver"]["rules"]]
+        assert rules == ["OSS501", "OSS502", "OSS503"]

@@ -1,0 +1,146 @@
+"""SCOAP controllability/observability on hand-built netlists.
+
+Every expected score is computed by hand from Goldstein's formulas, so a
+regression here points at the exact rule that broke.
+"""
+
+from repro.analyze.netlist import INF, scoap_analysis
+from repro.netlist import Circuit
+
+
+def _and_circuit():
+    circuit = Circuit("and2")
+    a, b = circuit.new_bus("x", 2)
+    circuit.mark_input("x", [a, b])
+    y = circuit.new_net("y")
+    circuit.add_cell("g", "AND2", i0=a, i1=b, y=y)
+    circuit.mark_output("y", [y])
+    circuit.validate()
+    return circuit, a, b, y
+
+
+class TestControllability:
+    def test_primary_inputs_cost_one(self):
+        circuit, a, b, _ = _and_circuit()
+        report = scoap_analysis(circuit)
+        assert report.cc0[a.uid] == report.cc1[a.uid] == 1
+        assert report.cc0[b.uid] == report.cc1[b.uid] == 1
+
+    def test_and_gate(self):
+        circuit, _, _, y = _and_circuit()
+        report = scoap_analysis(circuit)
+        assert report.cc0[y.uid] == 2      # min(1, 1) + 1
+        assert report.cc1[y.uid] == 3      # 1 + 1 + 1
+
+    def test_inverter_swaps_scores(self):
+        circuit = Circuit("inv")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        n = circuit.new_net("n")
+        y = circuit.new_net("y")
+        circuit.add_cell("g0", "AND2", i0=a, i1=a, y=n)
+        circuit.add_cell("g1", "INV", a=n, y=y)
+        circuit.mark_output("y", [y])
+        report = scoap_analysis(circuit)
+        assert report.cc0[y.uid] == report.cc1[n.uid] + 1
+        assert report.cc1[y.uid] == report.cc0[n.uid] + 1
+
+    def test_tie_cells_are_one_sided(self):
+        circuit = Circuit("tie")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        zero = circuit.const_net(0)
+        y = circuit.new_net("y")
+        circuit.add_cell("g", "AND2", i0=a, i1=zero, y=y)
+        circuit.mark_output("y", [y])
+        report = scoap_analysis(circuit)
+        assert report.cc0[zero.uid] == 1
+        assert report.cc1[zero.uid] == INF
+        # The AND output inherits the impossibility of its 1-side.
+        assert report.cc1[y.uid] == INF
+        assert report.cc0[y.uid] == 2
+
+    def test_flop_adds_one_traversal(self):
+        circuit = Circuit("dff")
+        (a,) = circuit.new_bus("x", 1)
+        circuit.mark_input("x", [a])
+        q = circuit.new_net("q")
+        circuit.add_cell("ff", "DFF", d=a, q=q)
+        circuit.mark_output("y", [q])
+        report = scoap_analysis(circuit)
+        assert report.cc0[q.uid] == 2
+        assert report.cc1[q.uid] == 2
+        assert report.co[a.uid] == 1       # CO(q)=0 at the output, +1
+
+    def test_sequential_loop_reaches_fixpoint(self):
+        # q feeds itself back through a MUX: controllable only via the
+        # loaded leg, so the loop needs a second relaxation sweep.
+        circuit = Circuit("loop")
+        load, data = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [load, data])
+        q = circuit.new_net("q")
+        d = circuit.new_net("d")
+        circuit.add_cell("mux", "MUX2", d0=q, d1=data, s=load, y=d)
+        circuit.add_cell("ff", "DFF", d=d, q=q)
+        circuit.mark_output("y", [q])
+        report = scoap_analysis(circuit)
+        # CC(d) = CC1(load) + CC(data) + 1 = 3; CC(q) = CC(d) + 1.
+        assert report.cc0[q.uid] == 4
+        assert report.cc1[q.uid] == 4
+
+    def test_uncontrollable_loop_stays_inf_and_terminates(self):
+        # A free-running inverter ring has no controllable state.
+        circuit = Circuit("ring")
+        q = circuit.new_net("q")
+        d = circuit.new_net("d")
+        circuit.add_cell("inv", "INV", a=q, y=d)
+        circuit.add_cell("ff", "DFF", d=d, q=q)
+        circuit.mark_output("y", [q])
+        report = scoap_analysis(circuit)
+        assert report.cc0[q.uid] == INF
+        assert report.cc1[q.uid] == INF
+
+
+class TestObservability:
+    def test_outputs_cost_zero(self):
+        circuit, _, _, y = _and_circuit()
+        report = scoap_analysis(circuit)
+        assert report.co[y.uid] == 0
+
+    def test_side_input_charges_non_controlling_value(self):
+        circuit, a, b, _ = _and_circuit()
+        report = scoap_analysis(circuit)
+        # Propagating through AND2 needs the other input at 1.
+        assert report.co[a.uid] == report.cc1[b.uid] + 1
+        assert report.co[b.uid] == report.cc1[a.uid] + 1
+
+    def test_unobservable_behind_constant_and(self):
+        circuit = Circuit("deadend")
+        a, b = circuit.new_bus("x", 2)
+        circuit.mark_input("x", [a, b])
+        n = circuit.new_net("n")
+        z = circuit.new_net("z")
+        circuit.add_cell("g0", "XOR2", i0=a, i1=b, y=n)
+        circuit.add_cell("g1", "AND2", i0=n, i1=circuit.const_net(0), y=z)
+        circuit.mark_output("y", [z])
+        report = scoap_analysis(circuit)
+        # n only reaches the output through an AND whose side input can
+        # never be 1, so a change on n can never propagate.
+        assert report.co[n.uid] == INF
+
+    def test_stale_nets_keep_inf(self):
+        circuit, _, _, _ = _and_circuit()
+        stale = circuit.new_net("stale")
+        report = scoap_analysis(circuit)
+        assert report.cc0[stale.uid] == INF
+        assert report.co[stale.uid] == INF
+
+
+class TestScores:
+    def test_sa_score_combines_control_and_observe(self):
+        circuit, a, b, y = _and_circuit()
+        report = scoap_analysis(circuit)
+        # T(sa0) = CC1 + CO, T(sa1) = CC0 + CO.
+        assert report.sa_score(y.uid, 0) == report.cc1[y.uid]
+        assert report.sa_score(y.uid, 1) == report.cc0[y.uid]
+        assert report.sa_score(a.uid, 0) == 1 + report.co[a.uid]

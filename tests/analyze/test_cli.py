@@ -1,4 +1,4 @@
-"""The ``repro lint`` command: exit codes, formats, output files."""
+"""The ``repro lint``/``repro analyze`` commands: exits, formats, files."""
 
 import json
 
@@ -59,3 +59,41 @@ class TestFormats:
         document = json.loads(target.read_text())
         assert document["runs"][0]["results"]
         assert str(target) in capsys.readouterr().out
+
+
+PROBE = "tests.store.test_fingerprint:make_probe"
+
+
+class TestAnalyzeCommand:
+    def test_text_summary(self, capsys):
+        assert main(["analyze", "--design", PROBE, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "netlist analysis:" in out
+        assert "equivalent fault sites merged:" in out
+
+    def test_json_is_the_testability_schema(self, capsys):
+        main(["analyze", "--design", PROBE, "--no-cache",
+              "--format", "json"])
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-testability/v1"
+        assert document["scores"]
+        assert {"equivalence", "dominance", "diagnostics"} \
+            <= set(document)
+
+    def test_output_file_and_cache_counters(self, tmp_path, capsys):
+        target = tmp_path / "report.json"
+        cache = tmp_path / "cache"
+        assert main(["analyze", "--design", PROBE, "--cache-dir",
+                     str(cache), "--format", "json", "--output",
+                     str(target)]) == 0
+        captured = capsys.readouterr()
+        assert str(target) in captured.out
+        assert "0 hit(s), 4 miss(es)" in captured.err
+        cold = target.read_text()
+
+        assert main(["analyze", "--design", PROBE, "--cache-dir",
+                     str(cache), "--format", "json", "--output",
+                     str(target)]) == 0
+        assert "4 hit(s), 0 miss(es)" in capsys.readouterr().err
+        assert target.read_text() == cold
+

@@ -13,9 +13,13 @@ class TestRuleRegistry:
             assert rule.severity in ("error", "warning")
             assert rule.title
 
-    def test_rtl4xx_are_warnings_oss_are_errors(self):
+    def test_severity_follows_code_family(self):
         for code, rule in RULES.items():
-            expected = "warning" if code.startswith("RTL4") else "error"
+            # RTL4xx structural findings and OSS5xx netlist testability
+            # findings are warnings; every source-level OSS code is an
+            # error (a synthesis blocker).
+            warning = code.startswith("RTL4") or code.startswith("OSS5")
+            expected = "warning" if warning else "error"
             assert rule.severity == expected, code
 
 

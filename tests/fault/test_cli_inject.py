@@ -98,6 +98,19 @@ class TestParallelJobs:
 
 
 @pytest.mark.slow
+class TestCollapse:
+    def test_collapse_report_byte_identical(self, tmp_path, capsys):
+        paths = [tmp_path / "plain.json", tmp_path / "collapsed.json"]
+        for path, extra in zip(paths, ([], ["--collapse"])):
+            code = main(["inject", "--flow", "netlist", "--faults", "8",
+                         "--seed", "1", "--backend", "compiled",
+                         "--output", str(path)] + extra)
+            assert code == 0
+        assert paths[0].read_text() == paths[1].read_text()
+        assert "collapse: simulated" in capsys.readouterr().out
+
+
+@pytest.mark.slow
 class TestDeterminism:
     def test_same_seed_same_report(self, tmp_path, capsys):
         paths = [tmp_path / "a.json", tmp_path / "b.json"]

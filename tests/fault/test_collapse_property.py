@@ -1,0 +1,115 @@
+"""Collapse correctness property: the report is byte-identical.
+
+For seeded random circuits, the same fault list runs three ways — the
+plain uncollapsed oracle, ``collapse=True`` sequentially, and
+``collapse=True`` sharded over two worker processes — and all three
+serialized reports must agree byte-for-byte.  This is the end-to-end
+guarantee that equivalence canonicalization and quiescence pruning are
+classification-preserving on arbitrary structure, not just the ExpoCU.
+"""
+
+import functools
+import random
+
+import pytest
+
+from repro.fault import (
+    CampaignConfig,
+    Fault,
+    GateFaultInjector,
+    FaultableGateSimulator,
+    generate_fault_list,
+    run_campaign,
+    stuck_at_universe,
+)
+from tests.netlist.test_sim_oracle import random_circuit
+
+CYCLES = 20
+
+
+def _collapse_circuit(seed: int):
+    """A random netlist plus the unused reset input campaigns drive."""
+    circuit = random_circuit(seed, n_inputs=4, n_cells=40, n_flops=6,
+                             n_outputs=8)
+    reset = circuit.new_net("reset")
+    circuit.mark_input("reset", [reset])
+    circuit.validate()
+    return circuit
+
+
+def _make_injector(seed: int):
+    """Module-level (hence picklable) factory for worker processes."""
+    return GateFaultInjector(
+        FaultableGateSimulator(_collapse_circuit(seed), backend="compiled")
+    )
+
+
+def _stimulus(seed: int) -> list[dict]:
+    rng = random.Random(seed + 1)
+    return [{"x": rng.randrange(16)} for _ in range(CYCLES)]
+
+
+def _config() -> CampaignConfig:
+    return CampaignConfig(reset_name="reset", reset_cycles=1,
+                          observed=None, done_signal=None)
+
+
+def _fault_list(injector, seed: int) -> list[Fault]:
+    # The classical single-cycle universe (where collapsing bites) plus
+    # seeded multi-cycle faults of every kind, including the seu/flip
+    # kinds collapsing must pass through untouched.
+    return (stuck_at_universe(injector, cycle=1)
+            + generate_fault_list(injector, 40, CYCLES, seed))
+
+
+@pytest.mark.parametrize("seed", (0, 3, 11))
+def test_collapsed_report_is_byte_identical(seed):
+    factory = functools.partial(_make_injector, seed)
+    stimulus = _stimulus(seed)
+    config = _config()
+    faults = _fault_list(factory(), seed)
+
+    full = run_campaign(factory(), stimulus, faults, config, seed=seed)
+    collapsed = run_campaign(factory(), stimulus, faults, config,
+                             seed=seed, collapse=True)
+    sharded = run_campaign(None, stimulus, faults, config, seed=seed,
+                           collapse=True, jobs=2,
+                           injector_factory=factory)
+
+    assert full.golden_selfcheck == "masked"
+    assert collapsed.to_json() == full.to_json()
+    assert sharded.to_json() == full.to_json()
+
+    stats = collapsed.collapse
+    assert stats is not None and full.collapse is None
+    assert stats["simulated"] < stats["unique"] <= stats["faults"]
+    assert stats["equivalence_merged"] > 0
+    assert stats["simulated"] == (stats["unique"]
+                                  - stats["equivalence_merged"]
+                                  - stats["quiescence_pruned"])
+
+
+def test_net_scores_rank_sdc_targets():
+    seed = 3
+    factory = functools.partial(_make_injector, seed)
+    result = run_campaign(factory(), _stimulus(seed),
+                          _fault_list(factory(), seed), _config(),
+                          seed=seed, collapse=True)
+    assert result.net_scores, "gate-flow collapse runs attach net scores"
+    ranking = result.sdc_ranking()
+    sdc_targets = {r.fault.target for r in result.records
+                   if r.outcome == "sdc"}
+    assert {name for name, _ in ranking} <= sdc_targets
+    scores = [score for _, score in ranking]
+    assert scores == sorted(scores)
+
+
+def test_uncollapsed_run_attaches_no_extras():
+    seed = 0
+    factory = functools.partial(_make_injector, seed)
+    result = run_campaign(factory(), _stimulus(seed),
+                          _fault_list(factory(), seed)[:10], _config(),
+                          seed=seed)
+    assert result.collapse is None
+    assert result.net_scores is None
+    assert result.sdc_ranking() == []
