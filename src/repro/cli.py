@@ -17,7 +17,9 @@ without writing a script:
               fault collapsing, OSS5xx observability lints) on the
               optimized gates, memoized through the design library.
 ``inject``    run a seeded fault-injection campaign on the ExpoCU
-              (RTL or netlist flow, optional TMR/parity hardening).
+              (RTL or netlist flow, optional TMR/parity hardening);
+              supervised workers, per-fault deadlines and a crash-safe
+              journal (``--resume``) keep long campaigns restartable.
 ``profile``   profile a bundled workload (flows, synthesis or a fault
               campaign) and emit a ``repro-trace/v1`` span report.
 ``build``     run the ExpoCU flows through the design library
@@ -29,9 +31,12 @@ without writing a script:
 write the same span report for their own run.
 
 Uncaught flow errors (:class:`~repro.synth.SynthesisError`,
-:class:`~repro.netlist.NetlistError`, :class:`~repro.store.StoreError`)
-print as one-line ``repro: error: ...`` diagnostics with exit code 2
-instead of tracebacks.
+:class:`~repro.netlist.NetlistError`, :class:`~repro.store.StoreError`,
+:class:`~repro.fault.CampaignError`) print as one-line
+``repro: error: ...`` diagnostics with exit code 2 instead of
+tracebacks.  ``repro inject`` additionally exits 1 when the golden
+self-check fails and 3 when any fault was quarantined by its
+``--fault-timeout`` deadline (the report under-covers the fault list).
 """
 
 from __future__ import annotations
@@ -263,6 +268,17 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     from repro.fault import expocu_campaign
     from repro.obs import NULL_TRACER, Tracer
 
+    tag = f"fault_{args.flow}_{args.hardening}_seed{args.seed}"
+    if args.backend != "event":
+        tag += f"_{args.backend}"
+    journal = args.journal
+    if journal is None and args.resume:
+        # --resume without an explicit journal: the campaign's default
+        # journal next to the design library, keyed by the same tag as
+        # the default report.
+        from repro.store import ArtifactStore
+
+        journal = str(ArtifactStore(args.cache_dir).journal_path(tag))
     tracer = Tracer("inject") if args.profile else NULL_TRACER
     result = expocu_campaign(
         flow=args.flow,
@@ -273,12 +289,13 @@ def _cmd_inject(args: argparse.Namespace) -> int:
         backend=args.backend,
         collapse=args.collapse,
         tracer=tracer,
+        fault_timeout=args.fault_timeout,
+        max_retries=args.max_retries,
+        journal=journal,
+        resume=args.resume,
     )
     output = args.output
     if output is None and os.path.isdir("benchmarks/results"):
-        tag = f"fault_{args.flow}_{args.hardening}_seed{args.seed}"
-        if args.backend != "event":
-            tag += f"_{args.backend}"
         output = os.path.join("benchmarks", "results", f"{tag}.json")
     if output:
         with open(output, "w", encoding="utf-8") as handle:
@@ -298,12 +315,29 @@ def _cmd_inject(args: argparse.Namespace) -> int:
                   f"{stats['unique']} unique faults "
                   f"(equivalence-merged {stats['equivalence_merged']}, "
                   f"quiescence-pruned {stats['quiescence_pruned']})")
+        exec_stats = result.exec_stats or {}
+        eventful = {key: exec_stats[key]
+                    for key in ("journal_hits", "respawns", "crashes",
+                                "crash_requeues", "timeouts",
+                                "timeout_retries", "quarantined",
+                                "hung_kills", "fallback")
+                    if exec_stats.get(key)}
+        if eventful:
+            detail = ", ".join(f"{key}={value}"
+                               for key, value in eventful.items())
+            print(f"resilience: {detail}")
+        if result.errors:
+            print(f"quarantined: {len(result.errors)} fault(s) exceeded "
+                  "the --fault-timeout deadline and were excluded from "
+                  "the record stream")
         if output:
             print(f"campaign report written to {output}")
     _write_profile(tracer, args.profile)
     if result.golden_selfcheck != "masked":
         print("error: golden replay diverged from the golden run")
         return 1
+    if result.errors:
+        return 3
     return 0
 
 
@@ -516,6 +550,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="statically collapse the fault list "
                         "(equivalence + quiescence pruning; netlist flow, "
                         "report stays byte-identical)")
+    inject.add_argument("--fault-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per fault replay; a "
+                        "fault overrunning it is retried, then "
+                        "quarantined (exit code 3)")
+    inject.add_argument("--max-retries", type=int, default=1,
+                        help="retries for a timed-out fault before "
+                        "quarantine (default: 1)")
+    inject.add_argument("--journal", metavar="PATH",
+                        help="crash-safe campaign journal (JSONL); every "
+                        "classified fault is durably appended")
+    inject.add_argument("--resume", action="store_true",
+                        help="resume from the journal: already-simulated "
+                        "faults are restored, the report is byte-identical "
+                        "to an uninterrupted run (default journal lives "
+                        "under --cache-dir)")
+    inject.add_argument("--cache-dir", default=".repro-cache",
+                        help="design-library root the default --resume "
+                        "journal lives next to")
     inject.add_argument("--format", choices=("text", "json"),
                         default="text", help="stdout format")
     inject.add_argument("--output", help="write the JSON report here "
@@ -598,6 +651,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.fault import CampaignError
     from repro.netlist import NetlistError
     from repro.store import StoreError
     from repro.synth import SynthesisError
@@ -606,7 +660,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (SynthesisError, NetlistError, StoreError) as exc:
+    except (SynthesisError, NetlistError, StoreError, CampaignError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

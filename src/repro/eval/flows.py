@@ -32,6 +32,7 @@ from repro.analyze import (
     analyze_design,
     diagnostics_from_lint_report,
 )
+from repro.exec.deadline import time_limit
 from repro.hdl.module import Module
 from repro.netlist.area import AreaReport, total_area
 from repro.netlist.circuit import Circuit
@@ -164,7 +165,8 @@ def _optimized(circuit: Circuit) -> Circuit:
 def run_osss_flow(module: Module, name: str = "osss",
                   analyze_first: bool = True,
                   tracer: Tracer | None = None,
-                  store: ArtifactStore | None = None) -> FlowResult:
+                  store: ArtifactStore | None = None,
+                  deadline_s: float | None = None) -> FlowResult:
     """OSSS source → analyzer/synthesizer → behavioral FSMs → gates.
 
     The analyzer gate (paper Fig. 6) runs before synthesis: when it finds
@@ -178,10 +180,17 @@ def run_osss_flow(module: Module, name: str = "osss",
     With a *store*, stages are memoized through the design library: the
     live module hierarchy is fingerprinted, and any stage whose inputs
     (and implementing code) are unchanged replays its cached artifact.
+
+    *deadline_s* bounds the whole flow in wall-clock seconds
+    (:func:`repro.exec.time_limit`): a design that sends a stage into
+    pathological runtime raises
+    :class:`~repro.exec.DeadlineExceeded` instead of stalling batch
+    evaluations and future flow-service callers.
     """
     runner = StageRunner(store, tracer or NULL_TRACER)
     tracer = runner.tracer
-    with tracer.span(f"flow:{name}") as flow_span:
+    with time_limit(deadline_s, label=f"flow:{name}"), \
+            tracer.span(f"flow:{name}") as flow_span:
         design_fp = fingerprint_design(module) if store is not None else ""
         diagnostics: list[Diagnostic] = []
         if analyze_first:
@@ -220,6 +229,7 @@ def run_osss_flow(module: Module, name: str = "osss",
 def run_netlist_analysis(module: Module, name: str = "osss",
                          tracer: Tracer | None = None,
                          store: ArtifactStore | None = None,
+                         deadline_s: float | None = None,
                          ) -> tuple[Circuit, NetlistAnalysis]:
     """OSSS source → optimized gates → structural testability analysis.
 
@@ -233,7 +243,8 @@ def run_netlist_analysis(module: Module, name: str = "osss",
     """
     runner = StageRunner(store, tracer or NULL_TRACER)
     tracer = runner.tracer
-    with tracer.span(f"analyze:{name}") as span:
+    with time_limit(deadline_s, label=f"analyze:{name}"), \
+            tracer.span(f"analyze:{name}") as span:
         design_fp = fingerprint_design(module) if store is not None else ""
         synth_outcome = runner.run(
             "synthesize", (design_fp,),
@@ -276,11 +287,13 @@ def _uses_blackboxes(rtl: RtlModule) -> bool:
 def run_rtl(rtl: RtlModule, name: str = "rtl",
             ip_library: dict[str, Circuit] | None = None,
             tracer: Tracer | None = None,
-            store: ArtifactStore | None = None) -> FlowResult:
+            store: ArtifactStore | None = None,
+            deadline_s: float | None = None) -> FlowResult:
     """RTL (hand-written or pre-synthesized) → gates, linking IP."""
     runner = StageRunner(store, tracer or NULL_TRACER)
     tracer = runner.tracer
-    with tracer.span(f"flow:{name}") as flow_span:
+    with time_limit(deadline_s, label=f"flow:{name}"), \
+            tracer.span(f"flow:{name}") as flow_span:
         rtl_fp = fingerprint_rtl(rtl) if store is not None else ""
         diagnostics = runner.run(
             "lint", (rtl_fp, name),
@@ -340,6 +353,8 @@ def _linked(techmap_outcome, ip_library: dict[str, Circuit]) -> Circuit:
 
 def run_vhdl_flow(rtl: RtlModule, name: str = "vhdl",
                   tracer: Tracer | None = None,
-                  store: ArtifactStore | None = None) -> FlowResult:
+                  store: ArtifactStore | None = None,
+                  deadline_s: float | None = None) -> FlowResult:
     """Alias of :func:`run_rtl` with the default IP library."""
-    return run_rtl(rtl, name, tracer=tracer, store=store)
+    return run_rtl(rtl, name, tracer=tracer, store=store,
+                   deadline_s=deadline_s)

@@ -23,6 +23,8 @@ def hardening_comparison(
     jobs: int = 1,
     backend: str = "event",
     collapse: bool = False,
+    fault_timeout: float | None = None,
+    max_retries: int = 1,
 ) -> list[dict[str, Any]]:
     """One row per hardening mode, same faults everywhere.
 
@@ -37,12 +39,17 @@ def hardening_comparison(
     *collapse* enables static fault collapsing + quiescence pruning in
     each campaign — rows are unchanged (collapsing is
     classification-preserving), only faster to compute.
+    *fault_timeout*/*max_retries* bound each replay in wall-clock
+    seconds (retry, then quarantine) so one pathological variant cannot
+    stall the whole comparison.
     """
     rows = []
     for mode in modes:
         result = expocu_campaign(flow="netlist", faults=faults, seed=seed,
                                  hardening=mode, side=side, jobs=jobs,
-                                 backend=backend, collapse=collapse)
+                                 backend=backend, collapse=collapse,
+                                 fault_timeout=fault_timeout,
+                                 max_retries=max_retries)
         row = result.summary_rows()[0]
         row["sdc+hang"] = row["sdc"] + row["hang"]
         rows.append(row)

@@ -1,0 +1,73 @@
+"""Wall-clock deadlines for single tasks (``SIGALRM``-based).
+
+The campaign engine budgets faults in *cycles* (``drain_budget``); this
+module adds the orthogonal *wall-clock* budget: a fault whose replay
+spins — a pathological hardening interaction, a simulator bug, an
+adversarial netlist — is interrupted after a fixed number of seconds
+instead of stalling the whole campaign.
+
+Enforcement uses the POSIX interval timer (``signal.setitimer``), which
+interrupts pure-Python work reliably because the signal handler runs
+between bytecodes.  That mechanism only exists in a process's main
+thread; :func:`time_limit` degrades to a no-op anywhere it cannot
+enforce (non-POSIX platform, non-main thread), which is exactly the
+graceful-degradation contract of the exec subsystem: supervised worker
+processes run tasks on *their* main thread, so the common case is
+enforced, and exotic embeddings lose the deadline, never correctness.
+
+:class:`DeadlineExceeded` deliberately subclasses :class:`RuntimeError`
+(not ``Exception``-escaping ``BaseException``): callers that legitimately
+swallow task exceptions must explicitly re-raise it — the campaign's
+classifier does (see ``fault/campaign.py``), so a timeout is never
+misfiled as a *detected* fault.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class DeadlineExceeded(RuntimeError):
+    """A task overran its wall-clock deadline (see :func:`time_limit`)."""
+
+
+def can_enforce() -> bool:
+    """True when :func:`time_limit` can actually interrupt work here."""
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def time_limit(seconds: float | None, label: str = "") -> Iterator[None]:
+    """Run the body under a wall-clock deadline of *seconds*.
+
+    ``None`` (or a non-positive value) disables the deadline; when the
+    platform cannot enforce (see :func:`can_enforce`) the body runs
+    unbounded rather than failing.  On expiry the body is interrupted
+    with :class:`DeadlineExceeded` naming *label*.
+
+    The previous ``SIGALRM`` disposition and any outer itimer are
+    restored on exit, so nesting inside a larger alarm-based budget
+    truncates, never corrupts, the outer timer.
+    """
+    if seconds is None or seconds <= 0 or not can_enforce():
+        yield
+        return
+
+    def _expired(signum, frame):  # pragma: no cover - trivially thin
+        raise DeadlineExceeded(
+            f"{label or 'task'} exceeded its {seconds}s deadline"
+        )
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    previous_timer, _ = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)

@@ -1,0 +1,161 @@
+"""Crash-safe campaign journal (``repro-journal/v1``).
+
+A campaign journal is an append-only JSONL file recording, in order:
+
+1. a **header** line binding the journal to one exact campaign — the
+   fingerprint digests the design, seed, stimulus, config, fault list
+   and collapse mode, so a stale journal can never poison a different
+   run;
+2. a **meta** line with the golden-run metadata (written once, before
+   any record, so even a journal truncated after one fault can rebuild
+   the report header);
+3. one **record** line per simulated unique fault, in whatever order
+   results arrived.
+
+Appends are flushed and ``fsync``'d one line at a time: after a crash —
+including ``SIGKILL``, which gives no chance to clean up — the journal
+is a valid prefix of the uninterrupted journal, possibly plus one torn
+tail line.  :meth:`CampaignJournal.open` tolerates exactly that: it
+loads the longest valid prefix and truncates the file back to it before
+appending, so a resumed campaign continues from the last durable fault
+and reproduces the byte-identical report an uninterrupted run would
+have produced.
+
+The journal is deliberately *not* content-addressed: it is mutable
+in-progress state, not an artifact.  It lives next to the CAS (see
+``ArtifactStore.journal_path``) so ``repro cache gc`` never collects it
+and ``--resume`` can find it by campaign tag.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.store.common import canonical_json
+
+JOURNAL_SCHEMA = "repro-journal/v1"
+
+
+class JournalError(RuntimeError):
+    """The journal on disk cannot serve this campaign."""
+
+
+def fault_key(doc: Mapping[str, Any]) -> str:
+    """Stable identity of a fault dict, independent of dict key order."""
+    return (f"{doc['kind']}|{doc['target']}|{doc['bit']}"
+            f"@{doc['cycle']}")
+
+
+class CampaignJournal:
+    """Append-only journal for one fingerprinted campaign.
+
+    ``open(resume=True)`` loads any durable prefix left by a previous
+    run of the *same* campaign; ``resume=False`` always starts fresh
+    (truncating whatever was there).  A journal written by a different
+    campaign (fingerprint mismatch) or an unreadable header is treated
+    as stale and replaced rather than trusted.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.meta: dict[str, Any] | None = None
+        self._fd: int | None = None
+
+    # -- lifecycle ----------------------------------------------------
+
+    def open(self, resume: bool = False) -> "CampaignJournal":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        valid_bytes = self._load_prefix() if resume else 0
+        if not resume:
+            self.entries.clear()
+            self.meta = None
+        self._fd = os.open(self.path,
+                           os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        os.ftruncate(self._fd, valid_bytes)
+        if valid_bytes == 0:
+            self._append({"schema": JOURNAL_SCHEMA,
+                          "campaign": self.fingerprint})
+        return self
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- appends ------------------------------------------------------
+
+    def set_meta(self, meta: Mapping[str, Any]) -> None:
+        """Record golden-run metadata (idempotent once written)."""
+        if self.meta is not None:
+            if dict(meta) != self.meta:
+                raise JournalError(
+                    "golden-run metadata changed between journal sessions "
+                    "— the campaign is not deterministic"
+                )
+            return
+        self.meta = dict(meta)
+        self._append({"meta": self.meta})
+
+    def append_record(self, doc: Mapping[str, Any]) -> None:
+        """Durably append one simulated-fault record."""
+        key = fault_key(doc["fault"])
+        if key in self.entries:
+            return
+        self.entries[key] = dict(doc)
+        self._append({"record": doc})
+
+    def _append(self, line_doc: Mapping[str, Any]) -> None:
+        if self._fd is None:
+            raise JournalError("journal is not open")
+        payload = canonical_json(line_doc).encode() + b"\n"
+        os.write(self._fd, payload)
+        os.fsync(self._fd)
+
+    # -- recovery -----------------------------------------------------
+
+    def _load_prefix(self) -> int:
+        """Load the longest valid prefix; return its byte length.
+
+        Returns 0 (start fresh) when the file is missing, its header is
+        unreadable, or it belongs to a different campaign fingerprint.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return 0
+        self.entries.clear()
+        self.meta = None
+        good = 0
+        first = True
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn tail: the final write never completed
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                break  # torn tail — keep the prefix before it
+            if first:
+                if (doc.get("schema") != JOURNAL_SCHEMA
+                        or doc.get("campaign") != self.fingerprint):
+                    return 0  # stale or foreign journal: start fresh
+                first = False
+            elif "meta" in doc:
+                self.meta = doc["meta"]
+            elif "record" in doc:
+                rec = doc["record"]
+                self.entries[fault_key(rec["fault"])] = rec
+            else:
+                break  # unknown line kind — do not trust what follows
+            good += len(line)
+        return good

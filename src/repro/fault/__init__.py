@@ -25,6 +25,7 @@ themselves (:mod:`repro.osss.shared`, ``watchdog_rounds``).
 
 from repro.fault.campaign import (
     CampaignConfig,
+    CampaignError,
     CampaignResult,
     Fault,
     FaultRecord,
@@ -54,6 +55,7 @@ from repro.fault.scenarios import (
 
 __all__ = [
     "CampaignConfig",
+    "CampaignError",
     "CampaignResult",
     "Fault",
     "FaultRecord",

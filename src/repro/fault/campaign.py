@@ -30,6 +30,7 @@ consistency check).
 
 from __future__ import annotations
 
+import functools
 import json
 import multiprocessing
 import random
@@ -37,7 +38,20 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.exec.deadline import DeadlineExceeded, time_limit
+from repro.exec.journal import CampaignJournal, fault_key
+from repro.exec.pool import (
+    MetaMismatchError,
+    PoolError,
+    SupervisedPool,
+    TaskPickleError,
+)
 from repro.obs.profiler import NULL_TRACER, Tracer
+from repro.store.common import digest_doc
+from repro.store.serialize import (
+    deserialize_fault_record,
+    serialize_fault_record,
+)
 
 #: The closed outcome taxonomy, in report order.
 OUTCOMES = ("masked", "sdc", "detected", "hang")
@@ -45,6 +59,17 @@ OUTCOMES = ("masked", "sdc", "detected", "hang")
 #: Fault kinds per flow (SEU everywhere; net faults are gate-level).
 RTL_KINDS = ("seu",)
 GATE_KINDS = ("seu", "sa0", "sa1", "flip")
+
+
+class CampaignError(RuntimeError):
+    """The campaign could not run to completion as configured.
+
+    Raised for execution-infrastructure failures — an injector factory
+    that does not pickle under the active start method, worker golden
+    runs that disagree, or a journal that belongs to a different
+    campaign.  Classification outcomes (including quarantined faults)
+    are never errors; they are reported in the result.
+    """
 
 
 @dataclass(frozen=True)
@@ -132,6 +157,13 @@ class CampaignResult:
     #: must stay byte-identical to the uncollapsed oracle's.
     collapse: dict[str, int] | None = None
     net_scores: dict[str, float] | None = None
+    #: Faults quarantined by the execution layer (wall-clock deadline
+    #: exhausted after retries).  Serialized as an ``"errors"`` section
+    #: only when non-empty, so clean runs stay byte-identical.
+    errors: list[dict[str, Any]] = field(default_factory=list)
+    #: Resilience counters (respawns, requeues, timeouts, journal hits)
+    #: from the execution layer; NOT part of :meth:`as_dict`.
+    exec_stats: dict[str, int] | None = None
 
     @property
     def outcomes(self) -> dict[str, int]:
@@ -141,7 +173,7 @@ class CampaignResult:
         return counts
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "schema": "repro-fault-campaign/v1",
             "design": self.design,
             "flow": self.flow,
@@ -159,6 +191,9 @@ class CampaignResult:
             "outcomes": self.outcomes,
             "faults": [record.as_dict() for record in self.records],
         }
+        if self.errors:
+            doc["errors"] = self.errors
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), indent=2) + "\n"
@@ -384,6 +419,11 @@ def _classify(injector, fault: Fault,
             )
             hang = not done
             detected = detected or drain_detected
+    except DeadlineExceeded:
+        # A wall-clock deadline is an execution-infrastructure event,
+        # not a simulator detection — let the supervisor retry or
+        # quarantine instead of misfiling the fault as "detected".
+        raise
     except Exception as exc:  # simulator flagged the fault itself
         detected = True
         detail = f"{type(exc).__name__}: {exc}"
@@ -456,11 +496,76 @@ def _run_shard(payload: tuple) -> dict[str, Any]:
 
 
 def _mp_context():
-    """Fork where available (cheap, inherits sys.path), else spawn."""
+    """Fork where available (cheap, inherits sys.path), else spawn.
+
+    Retained alongside :func:`_run_shard` as the pre-supervision
+    execution engine: ``benchmarks/bench_resilience_overhead.py`` uses
+    the pair as the baseline the supervised pool is measured against.
+    """
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context("spawn")
+
+
+class _CampaignSession:
+    """Per-worker campaign state for the supervised pool.
+
+    Built once per worker process (injector + checkpointed golden run),
+    then classifies one fault per ``run`` call.  ``meta`` is the
+    cross-worker consistency contract: every worker must reproduce the
+    identical golden run or the campaign refuses to merge shards.
+    Module-level so ``functools.partial`` over it pickles under every
+    multiprocessing start method.
+    """
+
+    def __init__(self, injector_factory, stimulus, snap_cycles, config):
+        self.injector = injector_factory()
+        self.stimulus = stimulus
+        self.config = config
+        self.golden = _golden_run(self.injector, stimulus,
+                                  config, set(snap_cycles))
+        self.meta = _golden_meta(self.injector, self.golden)
+
+    def run(self, fault: Fault) -> FaultRecord:
+        return _classify(self.injector, fault, self.stimulus, self.golden,
+                         self.config)
+
+    def stats(self) -> dict[str, Any] | None:
+        return _sim_stats(self.injector)
+
+
+def _campaign_fingerprint(design: str, hardening: str, seed: int,
+                          stimulus: Sequence[Mapping[str, int]],
+                          config: CampaignConfig, faults: Sequence[Fault],
+                          collapse: bool) -> str:
+    """Digest of everything that determines a campaign's report.
+
+    Binds a journal to one exact campaign: any change to the stimulus,
+    fault list, configuration or collapse mode yields a different
+    fingerprint, so stale journals are discarded instead of replayed
+    into the wrong report.  Mappings are serialized as sorted item
+    lists to stay independent of dict insertion order.
+    """
+    return digest_doc({
+        "design": design,
+        "hardening": hardening,
+        "seed": seed,
+        "stimulus": [sorted(entry.items()) for entry in stimulus],
+        "config": {
+            "reset_name": config.reset_name,
+            "reset_cycles": config.reset_cycles,
+            "observed": (None if config.observed is None
+                         else list(config.observed)),
+            "detect_signals": list(config.detect_signals),
+            "done_signal": config.done_signal,
+            "done_value": config.done_value,
+            "drain_budget": config.drain_budget,
+            "idle_input": sorted(config.idle_input.items()),
+        },
+        "faults": [fault.as_dict() for fault in faults],
+        "collapse": bool(collapse),
+    })
 
 
 def run_campaign(
@@ -476,14 +581,36 @@ def run_campaign(
     injector_factory: Callable[[], Any] | None = None,
     collapse: bool = False,
     tracer: Tracer | None = None,
+    fault_timeout: float | None = None,
+    max_retries: int = 1,
+    journal: str | None = None,
+    resume: bool = False,
+    start_method: str | None = None,
 ) -> CampaignResult:
     """Golden run + per-fault replay + classification (see module doc).
 
-    With ``jobs > 1`` the deduplicated fault list is sharded across that
-    many worker processes; *injector_factory* (a picklable zero-argument
-    callable) rebuilds the injector in each worker, and *injector* may
-    then be ``None``.  The merged report is byte-identical to the
-    ``jobs=1`` run.
+    With ``jobs > 1`` the deduplicated fault list runs on a
+    :class:`~repro.exec.pool.SupervisedPool` of worker processes;
+    *injector_factory* (a picklable zero-argument callable) rebuilds
+    the injector in each worker, and *injector* may then be ``None``.
+    The merged report is byte-identical to the ``jobs=1`` run, and it
+    stays byte-identical when workers crash mid-campaign: the dead
+    worker's in-flight fault is re-queued onto a respawned worker.
+    When workers cannot be spawned at all the campaign degrades to
+    in-process sequential execution with a one-line warning.
+
+    *fault_timeout* puts a wall-clock deadline (seconds) on each fault
+    replay, complementing the cycle budget: a fault that overruns is
+    retried up to *max_retries* times (on a fresh worker when
+    parallel), then quarantined into the result's ``errors`` section —
+    never misclassified, never able to stall the campaign.
+
+    *journal* names a crash-safe append-only checkpoint file
+    (``repro-journal/v1``); with ``resume=True`` faults already
+    recorded by a previous (possibly killed) run of the *same*
+    campaign are restored instead of re-simulated, and the final
+    report is byte-identical to an uninterrupted run.  The journal is
+    fingerprint-bound: any change to the campaign starts fresh.
 
     With ``collapse=True`` (gate flow) the static netlist analysis cuts
     the simulated set in two ways before any replay happens: each fault
@@ -498,9 +625,11 @@ def run_campaign(
 
     With a :class:`~repro.obs.profiler.Tracer`, the campaign records a
     ``campaign`` root span with a ``golden`` child, one span per unique
-    fault replay (sequential) or one rollup span per worker shard
-    (``jobs > 1``), plus faults/sec throughput, per-outcome tallies and
-    the simulator's work counters as span metadata.
+    fault replay (sequential) or one rollup span per worker
+    (``jobs > 1``), plus faults/sec throughput, per-outcome tallies,
+    the simulator's work counters and the resilience counters
+    (respawns, re-queues, timeouts, journal hits — also on the
+    result's ``exec_stats``) as span metadata.
     """
     tracer = tracer or NULL_TRACER
     config = config or CampaignConfig()
@@ -518,6 +647,11 @@ def run_campaign(
             "run_campaign(jobs>1) needs a picklable injector_factory so "
             "worker processes can rebuild the injector"
         )
+    if resume and journal is None:
+        raise ValueError(
+            "run_campaign(resume=True) needs a journal path to resume from"
+        )
+    max_retries = max(0, int(max_retries))
 
     # Identical faults replay identically (determinism guarantee), so
     # simulate each unique fault once and share its record.
@@ -572,95 +706,218 @@ def run_campaign(
             "simulated": len(sim_faults),
         }
 
-    jobs = max(1, min(int(jobs), max(1, len(sim_faults))))
-    campaign_ctx = tracer.span("campaign", hardening=hardening, seed=seed,
-                               faults=len(faults), unique_faults=len(unique),
-                               simulated=len(sim_faults),
-                               jobs=jobs, cycles=len(stimulus))
-    with campaign_ctx as campaign_span:
-        if jobs > 1:
-            shards = [sim_faults[k::jobs] for k in range(jobs)]
-            payloads = [(injector_factory, stimulus, shard, config)
-                        for shard in shards]
-            with tracer.span("shards") as shard_span:
-                with _mp_context().Pool(jobs) as pool:
-                    shard_results = pool.map(_run_shard, payloads)
-                for k, result in enumerate(shard_results):
-                    profile = result["profile"]
-                    tracer.record(f"shard[{k}]", profile["seconds"],
-                                  **{key: value
-                                     for key, value in profile.items()
-                                     if key != "seconds"})
-            meta = shard_results[0]["meta"]
-            for result in shard_results[1:]:
-                if result["meta"] != meta:
-                    raise RuntimeError(
-                        "parallel campaign shards disagree on the golden run "
-                        f"({result['meta']} != {meta}); the injector factory "
-                        "is not deterministic across processes"
+    # Checkpoint/resume: restore already-journaled records, simulate
+    # only what remains.  The journal stays open for the whole run so
+    # every fresh record is durable the moment it is classified.
+    sim_records: list[FaultRecord | None] = [None] * len(sim_faults)
+    sim_failures: dict[int, dict[str, str]] = {}
+    journal_hits = 0
+    jrnl: CampaignJournal | None = None
+    journal_meta: dict[str, Any] | None = None
+    try:
+        if journal is not None:
+            fingerprint = _campaign_fingerprint(design, hardening, seed,
+                                                stimulus, config, faults,
+                                                collapse)
+            jrnl = CampaignJournal(journal, fingerprint).open(resume=resume)
+            journal_meta = jrnl.meta
+            for k, fault in enumerate(sim_faults):
+                doc = jrnl.entries.get(fault_key(fault.as_dict()))
+                if doc is not None:
+                    sim_records[k] = deserialize_fault_record(doc)
+                    journal_hits += 1
+        pending = [k for k, record in enumerate(sim_records)
+                   if record is None]
+
+        jobs = max(1, min(int(jobs), max(1, len(pending))))
+        exec_stats: dict[str, int] = {
+            "jobs": jobs,
+            "simulated": len(pending),
+            "journal_hits": journal_hits,
+            "timeouts": 0,
+            "timeout_retries": 0,
+            "quarantined": 0,
+        }
+        meta = journal_meta
+
+        def check_meta(fresh_meta: Mapping[str, Any]) -> None:
+            if journal_meta is not None and dict(fresh_meta) != journal_meta:
+                raise CampaignError(
+                    "the journal's golden-run metadata does not match this "
+                    "campaign's golden run; refusing to resume into a "
+                    "different report"
+                )
+            if jrnl is not None:
+                jrnl.set_meta(fresh_meta)
+
+        campaign_ctx = tracer.span("campaign", hardening=hardening,
+                                   seed=seed, faults=len(faults),
+                                   unique_faults=len(unique),
+                                   simulated=len(sim_faults),
+                                   jobs=jobs, cycles=len(stimulus))
+        with campaign_ctx as campaign_span:
+            if pending and jobs > 1:
+                snap_cycles = tuple(sorted(
+                    {sim_faults[k].cycle for k in pending} | {0}
+                ))
+                session_factory = functools.partial(
+                    _CampaignSession, injector_factory, stimulus,
+                    snap_cycles, config,
+                )
+                pool = SupervisedPool(
+                    session_factory, jobs,
+                    task_timeout=fault_timeout,
+                    max_retries=max_retries,
+                    start_method=start_method,
+                    tracer=tracer,
+                )
+
+                def on_result(i: int, record: FaultRecord) -> None:
+                    sim_records[pending[i]] = record
+                    if jrnl is not None:
+                        jrnl.append_record(serialize_fault_record(record))
+
+                with tracer.span("shards") as shard_span:
+                    try:
+                        outcome = pool.run(
+                            [sim_faults[k] for k in pending],
+                            on_result=on_result, on_meta=check_meta,
+                        )
+                    except TaskPickleError as exc:
+                        raise CampaignError(
+                            "run_campaign(jobs>1) needs an injector_factory "
+                            "that pickles under the active start method: "
+                            f"{exc}"
+                        ) from exc
+                    except MetaMismatchError as exc:
+                        raise CampaignError(
+                            "parallel campaign shards disagree on the "
+                            "golden run; the injector factory is not "
+                            "deterministic across processes"
+                        ) from exc
+                    except PoolError as exc:
+                        raise CampaignError(str(exc)) from exc
+                if shard_span.dur:
+                    shard_span.annotate(
+                        faults_per_s=round(len(pending) / shard_span.dur, 2)
                     )
-            sim_records: list[FaultRecord | None] = [None] * len(sim_faults)
-            for k, result in enumerate(shard_results):
-                for j, record in enumerate(result["records"]):
-                    sim_records[k + j * jobs] = record
-            if shard_span.dur:
-                shard_span.annotate(
-                    faults_per_s=round(len(sim_faults) / shard_span.dur, 2)
-                )
-        else:
-            if injector is None:
-                injector = injector_factory()
-            snap_cycles = {fault.cycle for fault in sim_faults} | {0}
-            with tracer.span("golden") as golden_span:
-                golden = _golden_run(injector, stimulus, config, snap_cycles)
-            golden_span.annotate(selfcheck=golden.selfcheck,
-                                 done=golden.done,
-                                 drain_cycles=golden.drain_cycles)
-            sim_records = []
-            with tracer.span("replay") as replay_span:
-                for fault in sim_faults:
-                    label = (f"{fault.kind}:{fault.target}"
-                             f"[{fault.bit}]@{fault.cycle}")
-                    with tracer.span(label) as fault_span:
-                        record = _classify(injector, fault, stimulus,
-                                           golden, config)
-                    fault_span.annotate(outcome=record.outcome)
-                    sim_records.append(record)
-            replay_span.annotate(
-                faults=len(sim_faults),
-                outcomes=_outcome_tally(sim_records),
-            )
-            if replay_span.dur:
+                meta = outcome.meta if outcome.meta is not None else meta
+                exec_stats.update(pool.stats)
+                exec_stats["simulated"] = len(pending)
+                exec_stats["journal_hits"] = journal_hits
+                for i, failure in outcome.failures.items():
+                    sim_failures[pending[i]] = failure
+            elif pending or meta is None:
+                # Sequential replay — also the path a full resume with a
+                # meta-less journal takes, just to rebuild the golden
+                # facts the report header needs.
+                if injector is None:
+                    injector = injector_factory()
+                snap_cycles = {sim_faults[k].cycle for k in pending} | {0}
+                with tracer.span("golden") as golden_span:
+                    golden = _golden_run(injector, stimulus, config,
+                                         snap_cycles)
+                golden_span.annotate(selfcheck=golden.selfcheck,
+                                     done=golden.done,
+                                     drain_cycles=golden.drain_cycles)
+                fresh_meta = _golden_meta(injector, golden)
+                check_meta(fresh_meta)
+                meta = fresh_meta
+                replayed: list[FaultRecord] = []
+                with tracer.span("replay") as replay_span:
+                    for k in pending:
+                        fault = sim_faults[k]
+                        label = (f"{fault.kind}:{fault.target}"
+                                 f"[{fault.bit}]@{fault.cycle}")
+                        record: FaultRecord | None = None
+                        detail = ""
+                        with tracer.span(label) as fault_span:
+                            for attempt in range(max_retries + 1):
+                                try:
+                                    with time_limit(fault_timeout,
+                                                    label=label):
+                                        record = _classify(
+                                            injector, fault, stimulus,
+                                            golden, config,
+                                        )
+                                    break
+                                except DeadlineExceeded as exc:
+                                    exec_stats["timeouts"] += 1
+                                    detail = str(exc)
+                                    if attempt < max_retries:
+                                        exec_stats["timeout_retries"] += 1
+                        if record is None:
+                            fault_span.annotate(outcome="timed_out")
+                            exec_stats["quarantined"] += 1
+                            sim_failures[k] = {"error": "timed_out",
+                                               "detail": detail}
+                        else:
+                            fault_span.annotate(outcome=record.outcome)
+                            replayed.append(record)
+                            sim_records[k] = record
+                            if jrnl is not None:
+                                jrnl.append_record(
+                                    serialize_fault_record(record)
+                                )
                 replay_span.annotate(
-                    faults_per_s=round(len(sim_faults) / replay_span.dur, 2)
+                    faults=len(pending),
+                    outcomes=_outcome_tally(replayed),
                 )
-            meta = _golden_meta(injector, golden)
-            stats = _sim_stats(injector)
-            if stats is not None:
-                campaign_span.annotate(sim_stats=stats)
-        if collapse:
-            # Expand representative records back over the full list: a
-            # synthesized masked record for pruned faults, the shared
-            # record object where the fault was its own representative,
-            # and a rewrap carrying the original fault otherwise.
-            unique_records: list[FaultRecord] = []
-            for fault, rep, masked in zip(unique, canonical, masked_flags):
-                if masked:
-                    unique_records.append(FaultRecord(fault, "masked"))
-                    continue
-                record = sim_records[sim_index[rep]]
-                if rep == fault:
-                    unique_records.append(record)
-                else:
-                    unique_records.append(FaultRecord(
-                        fault, record.outcome,
-                        record.first_divergence, record.detail,
-                    ))
-            campaign_span.annotate(collapse=collapse_stats)
-        else:
-            unique_records = sim_records
-        campaign_span.annotate(design=design or meta["design"],
-                               flow=meta["flow"])
+                if replay_span.dur:
+                    replay_span.annotate(
+                        faults_per_s=round(len(pending) / replay_span.dur, 2)
+                    )
+                stats = _sim_stats(injector)
+                if stats is not None:
+                    campaign_span.annotate(sim_stats=stats)
+            # else: full resume — every record and the golden metadata
+            # came from the journal; nothing to simulate.
+            if collapse:
+                # Expand representative records back over the full list:
+                # a synthesized masked record for pruned faults, the
+                # shared record object where the fault was its own
+                # representative, and a rewrap carrying the original
+                # fault otherwise.  Quarantined representatives stay
+                # ``None`` and surface in the errors section below.
+                unique_records: list[FaultRecord | None] = []
+                for fault, rep, masked in zip(unique, canonical,
+                                              masked_flags):
+                    if masked:
+                        unique_records.append(FaultRecord(fault, "masked"))
+                        continue
+                    record = sim_records[sim_index[rep]]
+                    if record is None or rep == fault:
+                        unique_records.append(record)
+                    else:
+                        unique_records.append(FaultRecord(
+                            fault, record.outcome,
+                            record.first_divergence, record.detail,
+                        ))
+                campaign_span.annotate(collapse=collapse_stats)
+            else:
+                unique_records = sim_records
+            campaign_span.annotate(design=design or meta["design"],
+                                   flow=meta["flow"],
+                                   resilience=dict(exec_stats))
+
+        records: list[FaultRecord] = []
+        errors: list[dict[str, Any]] = []
+        for fault in faults:
+            u = index_of[fault]
+            record = unique_records[u]
+            if record is None:
+                failure = sim_failures.get(
+                    sim_index[canonical[u]],
+                    {"error": "timed_out", "detail": ""},
+                )
+                errors.append({"fault": fault.as_dict(),
+                               "error": failure["error"],
+                               "detail": failure["detail"]})
+            else:
+                records.append(record)
+    finally:
+        if jrnl is not None:
+            jrnl.close()
 
     return CampaignResult(
         design=design or meta["design"],
@@ -673,7 +930,9 @@ def run_campaign(
         golden_selfcheck=meta["selfcheck"],
         golden_done=meta["done"],
         golden_drain_cycles=meta["drain_cycles"],
-        records=[unique_records[index_of[fault]] for fault in faults],
+        records=records,
         collapse=collapse_stats,
         net_scores=net_scores,
+        errors=errors,
+        exec_stats=exec_stats,
     )

@@ -134,17 +134,26 @@ def expocu_campaign(
     backend: str = "event",
     collapse: bool = False,
     tracer=None,
+    fault_timeout: float | None = None,
+    max_retries: int = 1,
+    journal: str | None = None,
+    resume: bool = False,
 ) -> CampaignResult:
     """Run the bundled ExpoCU campaign; fully deterministic per seed.
 
-    ``jobs > 1`` shards the fault list across worker processes, each of
-    which rebuilds the injector from this factory — the report stays
-    byte-identical to the sequential run.  ``backend="compiled"`` swaps
-    the netlist flow onto the code-generated gate evaluator.
-    ``collapse=True`` (netlist flow) statically reduces the simulated
-    set via fault equivalence and quiescence pruning — the report stays
-    byte-identical, with collapse stats and per-net observability
-    scores attached to the result.  *tracer* (a
+    ``jobs > 1`` shards the fault list across supervised worker
+    processes, each of which rebuilds the injector from this factory —
+    the report stays byte-identical to the sequential run, including
+    when workers crash and their faults are re-queued.
+    ``backend="compiled"`` swaps the netlist flow onto the
+    code-generated gate evaluator.  ``collapse=True`` (netlist flow)
+    statically reduces the simulated set via fault equivalence and
+    quiescence pruning — the report stays byte-identical, with
+    collapse stats and per-net observability scores attached to the
+    result.  *fault_timeout*/*max_retries* bound each replay in
+    wall-clock seconds with retry-then-quarantine semantics, and
+    *journal*/*resume* checkpoint the campaign for crash-safe resume
+    (see :func:`repro.fault.campaign.run_campaign`).  *tracer* (a
     :class:`repro.obs.Tracer`) profiles injector construction and the
     campaign (``repro inject --profile``).
     """
@@ -163,5 +172,6 @@ def expocu_campaign(
         injector, stimulus, fault_list, expocu_config(hardening),
         design=f"ExpoCU[{side},{side}]", hardening=hardening, seed=seed,
         jobs=jobs, injector_factory=factory, collapse=collapse,
-        tracer=tracer,
+        tracer=tracer, fault_timeout=fault_timeout,
+        max_retries=max_retries, journal=journal, resume=resume,
     )

@@ -62,6 +62,15 @@ class Span:
         self.meta.update(meta)
         return self
 
+    def count(self, name: str, n: int = 1) -> "Span":
+        """Increment an integer counter in the span's metadata.
+
+        For event tallies accumulated while the span is open (retries,
+        respawns, cache hits) — ``annotate`` overwrites, this adds.
+        """
+        self.meta[name] = self.meta.get(name, 0) + n
+        return self
+
     def child_seconds(self) -> float:
         """Total duration of the direct children (coverage checks)."""
         return sum(c.dur or 0.0 for c in self.children)

@@ -28,12 +28,14 @@ from repro.store.serialize import (
     TESTABILITY_SCHEMA,
     deserialize_circuit,
     deserialize_diagnostics,
+    deserialize_fault_record,
     deserialize_placement,
     deserialize_rtl,
     deserialize_testability,
     deserialize_timing,
     serialize_circuit,
     serialize_diagnostics,
+    serialize_fault_record,
     serialize_placement,
     serialize_rtl,
     serialize_testability,
@@ -51,6 +53,7 @@ __all__ = [
     "digest_doc",
     "deserialize_circuit",
     "deserialize_diagnostics",
+    "deserialize_fault_record",
     "deserialize_placement",
     "deserialize_rtl",
     "deserialize_testability",
@@ -60,6 +63,7 @@ __all__ = [
     "fingerprint_rtl",
     "serialize_circuit",
     "serialize_diagnostics",
+    "serialize_fault_record",
     "serialize_placement",
     "serialize_rtl",
     "serialize_testability",

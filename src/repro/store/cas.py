@@ -86,6 +86,7 @@ class ArtifactStore:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.stages_dir = self.root / "stages"
+        self.journals_dir = self.root / "journals"
         self._lock_path = self.root / ".lock"
         self._marker = self.root / "store.json"
         self.counters: dict[str, Counter] = {
@@ -131,6 +132,17 @@ class ArtifactStore:
 
     def _object_path(self, digest: str) -> Path:
         return self.objects_dir / digest[:2] / f"{digest}.json"
+
+    def journal_path(self, name: str) -> Path:
+        """Where a campaign journal named *name* lives.
+
+        Journals are append-only in-progress state, not artifacts: they
+        sit beside the CAS (never inside ``objects/``/``stages/``) so
+        :meth:`gc`, :meth:`verify` and :meth:`clear` leave them alone
+        while ``--resume`` can find them by campaign tag.
+        """
+        self.journals_dir.mkdir(parents=True, exist_ok=True)
+        return self.journals_dir / f"{name}.jsonl"
 
     def _pointer_path(self, stage: str, key: str) -> Path:
         return self.stages_dir / stage / f"{key}.json"

@@ -581,6 +581,47 @@ def deserialize_testability(doc: Any, circuit: Circuit) -> "NetlistAnalysis":
         raise _corrupt(TESTABILITY_SCHEMA, exc) from exc
 
 
+def serialize_fault_record(record: Any) -> dict:
+    """Serialize one campaign :class:`~repro.fault.campaign.FaultRecord`.
+
+    Journal line format for checkpoint/resume: the fault identity keys
+    ride under ``"fault"`` and the classification beside it, mirroring
+    ``FaultRecord.as_dict`` (``detail`` present only when non-empty so a
+    round-trip is exact).
+    """
+    doc: dict[str, Any] = {
+        "fault": record.fault.as_dict(),
+        "outcome": record.outcome,
+        "first_divergence": record.first_divergence,
+    }
+    if record.detail:
+        doc["detail"] = record.detail
+    return doc
+
+
+def deserialize_fault_record(doc: Any) -> Any:
+    """Rebuild a :class:`~repro.fault.campaign.FaultRecord` from a journal."""
+    # Imported lazily: fault.campaign imports this module at top level.
+    from repro.fault.campaign import Fault, FaultRecord
+
+    try:
+        fault_doc = doc["fault"]
+        fault = Fault(fault_doc["kind"], fault_doc["target"],
+                      int(fault_doc["bit"]), int(fault_doc["cycle"]))
+        divergence = doc["first_divergence"]
+        return FaultRecord(
+            fault, doc["outcome"],
+            None if divergence is None else int(divergence),
+            doc.get("detail", ""),
+        )
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise StoreError(
+            f"corrupt fault record in journal: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def serialize_diagnostics(diagnostics: list[Diagnostic]) -> dict:
     """Serialize analyzer/lint findings."""
     return {

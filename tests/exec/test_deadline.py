@@ -1,0 +1,66 @@
+"""Wall-clock deadlines: enforcement, restoration, graceful no-op."""
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.exec import DeadlineExceeded, can_enforce, time_limit
+
+
+class TestTimeLimit:
+    def test_fast_body_unaffected(self):
+        with time_limit(5.0):
+            value = sum(range(100))
+        assert value == 4950
+
+    def test_slow_body_interrupted(self):
+        with pytest.raises(DeadlineExceeded, match="spin"):
+            with time_limit(0.05, label="spin"):
+                while True:
+                    pass
+
+    def test_none_and_nonpositive_disable(self):
+        for seconds in (None, 0, -1.0):
+            with time_limit(seconds):
+                pass
+
+    def test_deadline_is_a_runtime_error(self):
+        # Callers that swallow Exception must explicitly re-raise it —
+        # the campaign classifier does — so it must not hide deeper.
+        assert issubclass(DeadlineExceeded, RuntimeError)
+
+    def test_previous_alarm_state_restored(self):
+        previous = signal.signal(signal.SIGALRM, signal.SIG_IGN)
+        try:
+            with time_limit(10.0):
+                pass
+            assert signal.getsignal(signal.SIGALRM) is signal.SIG_IGN
+            assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
+        finally:
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_nested_limits_inner_wins(self):
+        with pytest.raises(DeadlineExceeded, match="inner"):
+            with time_limit(30.0, label="outer"):
+                with time_limit(0.05, label="inner"):
+                    while True:
+                        pass
+
+    def test_noop_off_main_thread(self):
+        outcome = {}
+
+        def body():
+            outcome["enforceable"] = can_enforce()
+            try:
+                with time_limit(0.01, label="thread"):
+                    time.sleep(0.05)
+                outcome["raised"] = False
+            except DeadlineExceeded:  # pragma: no cover - must not happen
+                outcome["raised"] = True
+
+        worker = threading.Thread(target=body)
+        worker.start()
+        worker.join()
+        assert outcome == {"enforceable": False, "raised": False}

@@ -1,0 +1,104 @@
+"""Campaign journal: durability, torn tails, fingerprint binding."""
+
+import json
+
+import pytest
+
+from repro.exec import JOURNAL_SCHEMA, CampaignJournal, JournalError, fault_key
+
+
+def _record(k: int) -> dict:
+    return {"fault": {"kind": "seu", "target": f"r{k}", "bit": 0,
+                      "cycle": k},
+            "outcome": "masked", "first_divergence": None}
+
+
+META = {"flow": "rtl", "selfcheck": "masked"}
+
+
+class TestAppend:
+    def test_records_and_meta_round_trip(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.set_meta(META)
+            for k in range(3):
+                journal.append_record(_record(k))
+        resumed = CampaignJournal(path, "fp1").open(resume=True)
+        assert resumed.meta == META
+        assert len(resumed.entries) == 3
+        key = fault_key(_record(1)["fault"])
+        assert resumed.entries[key]["fault"]["target"] == "r1"
+        resumed.close()
+
+    def test_header_line_is_first(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"schema": JOURNAL_SCHEMA, "campaign": "fp1"}
+
+    def test_duplicate_appends_are_dropped(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+            journal.append_record(_record(0))
+        assert len(path.read_text().splitlines()) == 2  # header + 1
+
+    def test_meta_change_is_rejected(self, tmp_path):
+        with CampaignJournal(tmp_path / "c.jsonl", "fp1").open() as journal:
+            journal.set_meta(META)
+            journal.set_meta(dict(META))  # identical: idempotent
+            with pytest.raises(JournalError, match="not deterministic"):
+                journal.set_meta({"flow": "netlist"})
+
+
+class TestRecovery:
+    def test_open_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+        with CampaignJournal(path, "fp1").open(resume=False) as journal:
+            assert journal.entries == {}
+        assert len(path.read_text().splitlines()) == 1  # fresh header
+
+    def test_torn_tail_is_dropped_and_overwritten(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+            journal.append_record(_record(1))
+        # Simulate a crash mid-append: a half-written trailing line.
+        with open(path, "ab") as handle:
+            handle.write(b'{"record": {"fault": {"kind"')
+        resumed = CampaignJournal(path, "fp1").open(resume=True)
+        assert len(resumed.entries) == 2
+        resumed.append_record(_record(2))
+        resumed.close()
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4  # header + 3 records, torn tail gone
+        assert lines[-1]["record"]["fault"]["target"] == "r2"
+
+    def test_valid_json_tail_without_newline_is_torn(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+        raw = path.read_bytes()
+        path.write_bytes(raw + json.dumps({"record": _record(1)}).encode())
+        resumed = CampaignJournal(path, "fp1").open(resume=True)
+        assert len(resumed.entries) == 1  # unterminated write not trusted
+        resumed.close()
+
+    def test_foreign_fingerprint_starts_fresh(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        with CampaignJournal(path, "fp1").open() as journal:
+            journal.append_record(_record(0))
+        resumed = CampaignJournal(path, "other").open(resume=True)
+        assert resumed.entries == {}
+        resumed.close()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["campaign"] == "other"
+
+    def test_missing_file_resumes_empty(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "missing.jsonl", "fp1")
+        journal.open(resume=True)
+        assert journal.entries == {} and journal.meta is None
+        journal.close()

@@ -110,6 +110,43 @@ class TestCollapse:
         assert "collapse: simulated" in capsys.readouterr().out
 
 
+class TestResilienceCli:
+    def test_quarantined_faults_exit_code_3(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.chdir(tmp_path)
+        # A 100µs deadline no Python-level replay can meet: every fault
+        # quarantines, which must surface as the distinct exit code.
+        code = main(["inject", "--flow", "rtl", "--faults", "2",
+                     "--seed", "1", "--fault-timeout", "0.0001",
+                     "--max-retries", "0"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "quarantined:" in out
+        assert "resilience:" in out
+
+    @pytest.mark.slow
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        first, resumed = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["inject", "--flow", "rtl", "--faults", "4",
+                     "--seed", "1", "--journal", str(journal),
+                     "--output", str(first)]) == 0
+        assert main(["inject", "--flow", "rtl", "--faults", "4",
+                     "--seed", "1", "--journal", str(journal), "--resume",
+                     "--output", str(resumed)]) == 0
+        assert first.read_text() == resumed.read_text()
+        assert "journal_hits=" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_resume_derives_journal_from_cache_dir(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        report = tmp_path / "report.json"
+        assert main(["inject", "--flow", "rtl", "--faults", "2",
+                     "--seed", "1", "--resume", "--cache-dir", str(cache),
+                     "--output", str(report)]) == 0
+        assert (cache / "journals" / "fault_rtl_none_seed1.jsonl").exists()
+
+
 @pytest.mark.slow
 class TestDeterminism:
     def test_same_seed_same_report(self, tmp_path, capsys):
