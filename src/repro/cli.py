@@ -542,10 +542,12 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--jobs", type=int, default=1,
                         help="worker processes sharding the fault list "
                         "(the report stays byte-identical to --jobs 1)")
-    inject.add_argument("--backend", choices=("event", "compiled"),
+    inject.add_argument("--backend",
+                        choices=("event", "compiled", "bitparallel"),
                         default="event",
-                        help="gate evaluator: interpreted event-driven or "
-                        "code-generated straight-line (netlist flow)")
+                        help="gate evaluator: interpreted event-driven, "
+                        "code-generated straight-line, or lane-packed "
+                        "bit-parallel (netlist flow)")
     inject.add_argument("--collapse", action="store_true",
                         help="statically collapse the fault list "
                         "(equivalence + quiescence pruning; netlist flow, "
@@ -591,7 +593,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign target: campaign seed")
     profile.add_argument("--jobs", type=int, default=1,
                          help="campaign target: worker processes")
-    profile.add_argument("--backend", choices=("event", "compiled"),
+    profile.add_argument("--backend",
+                         choices=("event", "compiled", "bitparallel"),
                          default="event",
                          help="campaign target: gate evaluator backend")
     profile.add_argument("--format", choices=("text", "json"),

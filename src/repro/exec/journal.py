@@ -3,9 +3,10 @@
 A campaign journal is an append-only JSONL file recording, in order:
 
 1. a **header** line binding the journal to one exact campaign — the
-   fingerprint digests the design, seed, stimulus, config, fault list
-   and collapse mode, so a stale journal can never poison a different
-   run;
+   fingerprint digests the design, seed, stimulus, config and fault
+   list, so a stale journal can never poison a different run (collapse
+   mode is deliberately excluded: collapse is classification-preserving,
+   so plain and collapsed runs of the same campaign share one journal);
 2. a **meta** line with the golden-run metadata (written once, before
    any record, so even a journal truncated after one fault can rebuild
    the report header);

@@ -172,6 +172,23 @@ class CampaignResult:
             counts[record.outcome] += 1
         return counts
 
+    def outcome_rates(self) -> dict[str, float]:
+        """Outcome shares over the faults actually simulated.
+
+        The denominator is ``len(self.records)`` — the faults that were
+        classified — *not* the full fault-list length: quarantined
+        faults (the ``errors`` section) were never classified, so
+        counting them in the denominator would understate every rate.
+        Totals always reconcile: ``len(records) + len(errors)`` equals
+        the injected fault-list length.  All zeros when nothing was
+        simulated.
+        """
+        total = len(self.records)
+        if not total:
+            return {outcome: 0.0 for outcome in OUTCOMES}
+        counts = self.outcomes
+        return {outcome: counts[outcome] / total for outcome in OUTCOMES}
+
     def as_dict(self) -> dict[str, Any]:
         doc = {
             "schema": "repro-fault-campaign/v1",
@@ -283,8 +300,11 @@ def generate_fault_list(injector, n: int, cycles: int, seed: int,
             bit = rng.randrange(width)
         else:
             target, bit = nets[rng.randrange(len(nets))], 0
-        faults.append(Fault(kind, target, bit,
-                            rng.randrange(1, max(cycles, 2))))
+        # A one-cycle stimulus leaves no post-reset cycle to draw from:
+        # inject at cycle 0 instead of sampling cycle 1, which
+        # run_campaign would reject as outside the stimulus.
+        cycle = rng.randrange(1, cycles) if cycles > 1 else 0
+        faults.append(Fault(kind, target, bit, cycle))
     if collapse:
         cmap = injector.fault_collapse_map()
         if cmap:
@@ -440,6 +460,155 @@ def _classify(injector, fault: Fault,
     return FaultRecord(fault, outcome, first_divergence, detail)
 
 
+def _classify_batch(injector, faults: Sequence[Fault],
+                    stimulus: Sequence[Mapping[str, int]],
+                    golden: _GoldenRun,
+                    config: CampaignConfig) -> list[FaultRecord]:
+    """Classify up to ``lane_capacity`` stuck-at faults in one replay.
+
+    Bit-parallel (PPSFP) counterpart of :func:`_classify`: the replay
+    restores the earliest checkpoint of the batch, widens the simulator
+    to one lane per fault, and activates each lane's stuck-at clamp at
+    that fault's own injection cycle — a lane before its cycle tracks
+    the golden run exactly (the golden self-check guarantees replay
+    determinism), so it accumulates no spurious divergence.  Divergence,
+    detect-signal rises and done-signal quiescence are reduced to lane
+    bitmasks per cycle, mirroring the scalar classifier's sampling
+    points (outputs observed pre-commit; drain detection sampled on the
+    cycle quiescence is reached) so each lane's record is byte-identical
+    to its scalar classification.  Faults must be pre-validated with
+    ``injector.resolve_stuck`` — a lane fault can then never raise, so
+    the scalar classifier's exception-means-detected path has no batch
+    counterpart.
+    """
+    n = len(faults)
+    base = min(fault.cycle for fault in faults)
+    by_cycle: dict[int, list[tuple[int, Fault]]] = {}
+    for lane, fault in enumerate(faults):
+        by_cycle.setdefault(fault.cycle, []).append((lane, fault))
+    all_lanes = (1 << n) - 1
+    first_divergence: list[int | None] = [None] * n
+    diff_seen = 0
+    detected = 0
+    hang = 0
+    injector.restore(golden.snapshots[base])
+    try:
+        injector.begin_lanes(n)
+        for cycle in range(base, len(stimulus)):
+            for lane, fault in by_cycle.get(cycle, ()):
+                injector.force_lane(fault, lane)
+            injector.step_lanes(stimulus[cycle])
+            reference = golden.trace[cycle]
+            diff = injector.lanes_output_diff(reference, golden.observed)
+            fresh = diff & ~diff_seen
+            while fresh:
+                lane = (fresh & -fresh).bit_length() - 1
+                first_divergence[lane] = cycle
+                fresh &= fresh - 1
+            diff_seen |= diff
+            if config.detect_signals:
+                detected |= injector.lanes_detect_rise(
+                    reference, config.detect_signals
+                )
+            injector.commit_lanes()
+        # No done-signal means the scalar drain declares quiescence
+        # immediately (no drain steps, no hang) — mirror that here.
+        if golden.done and config.done_signal is not None:
+            idle = {config.reset_name: 0, **dict(config.idle_input)}
+            detect_trace = golden.detect_trace
+            active = all_lanes
+            cycles = 0
+            # Brent-style periodicity shortcut for hang lanes: the
+            # drain input is constant, so once the full wide state
+            # repeats with unchanged active/detected masks (and the
+            # detect reference clamped to its final entry), no active
+            # lane can ever quiesce or newly detect — the classification
+            # is already exactly what exhausting the budget would
+            # produce.  One stored snapshot, refreshed at power-of-two
+            # cycle counts, detects any period within the budget.
+            snapshot: list[int] | None = None
+            snap_active = snap_detected = 0
+            next_snap = 1
+            while cycles < config.drain_budget + 1:
+                injector.step_lanes(idle)
+                if config.detect_signals:
+                    k = min(cycles, len(detect_trace) - 1)
+                    reference = detect_trace[k] if k >= 0 else {}
+                    detected |= injector.lanes_detect_rise(
+                        reference, config.detect_signals
+                    ) & active
+                done = injector.lanes_done(config.done_signal,
+                                           config.done_value)
+                injector.commit_lanes()
+                cycles += 1
+                active &= ~done
+                if not active:
+                    break
+                if cycles >= len(detect_trace) - 1:
+                    if (snapshot is not None and active == snap_active
+                            and detected == snap_detected
+                            and injector.lane_state_matches(snapshot)):
+                        break
+                    if cycles >= next_snap:
+                        snapshot = injector.lane_state_snapshot()
+                        snap_active, snap_detected = active, detected
+                        next_snap *= 2
+            hang = active
+    finally:
+        injector.end_lanes()
+        injector.clear_faults()
+    records = []
+    for lane, fault in enumerate(faults):
+        bit = 1 << lane
+        if hang & bit:
+            outcome = "hang"
+        elif detected & bit:
+            outcome = "detected"
+        elif first_divergence[lane] is not None:
+            outcome = "sdc"
+        else:
+            outcome = "masked"
+        records.append(FaultRecord(fault, outcome, first_divergence[lane]))
+    return records
+
+
+def _lane_batches(injector, sim_faults: Sequence[Fault],
+                  pending: Sequence[int]) -> tuple[list[list[int]],
+                                                   list[int]]:
+    """Split *pending* fault indices into lane batches and a scalar rest.
+
+    Only permanent stuck-at faults pack into lanes; transients (seu,
+    flip) are one-shot events whose healing is inherently scalar, and
+    faults whose target does not resolve must go through the scalar
+    classifier to reproduce its exception-means-detected record.
+    Batchable faults are sorted target-major (then bit, kind, cycle)
+    before chunking at the injector's lane capacity: faults on the same
+    or structurally nearby nets tend to classify alike, so in
+    particular the hang-prone ones cluster into the same batch — one
+    batch pays the full drain budget instead of every batch carrying a
+    straggler lane.
+    """
+    batchable: list[int] = []
+    rest: list[int] = []
+    for k in pending:
+        fault = sim_faults[k]
+        if fault.kind in ("sa0", "sa1"):
+            try:
+                injector.resolve_stuck(fault)
+            except Exception:
+                rest.append(k)
+            else:
+                batchable.append(k)
+        else:
+            rest.append(k)
+    batchable.sort(key=lambda k: (sim_faults[k].target, sim_faults[k].bit,
+                                  sim_faults[k].kind, sim_faults[k].cycle))
+    capacity = injector.lane_capacity
+    batches = [batchable[i:i + capacity]
+               for i in range(0, len(batchable), capacity)]
+    return batches, rest
+
+
 def _golden_meta(injector, golden: _GoldenRun) -> dict[str, Any]:
     """The injector-independent golden facts every shard must agree on."""
     return {
@@ -527,8 +696,20 @@ class _CampaignSession:
                                   config, set(snap_cycles))
         self.meta = _golden_meta(self.injector, self.golden)
 
-    def run(self, fault: Fault) -> FaultRecord:
-        return _classify(self.injector, fault, self.stimulus, self.golden,
+    def run(self, task: Fault | tuple) -> FaultRecord | list[FaultRecord]:
+        if isinstance(task, tuple):  # lane batch → one record per fault
+            try:
+                return _classify_batch(self.injector, list(task),
+                                       self.stimulus, self.golden,
+                                       self.config)
+            except Exception:
+                # A lane-parallel surprise must never cost the batch its
+                # classification: fall back to the scalar oracle.
+                self.injector.clear_faults()
+                return [_classify(self.injector, fault, self.stimulus,
+                                  self.golden, self.config)
+                        for fault in task]
+        return _classify(self.injector, task, self.stimulus, self.golden,
                          self.config)
 
     def stats(self) -> dict[str, Any] | None:
@@ -537,15 +718,19 @@ class _CampaignSession:
 
 def _campaign_fingerprint(design: str, hardening: str, seed: int,
                           stimulus: Sequence[Mapping[str, int]],
-                          config: CampaignConfig, faults: Sequence[Fault],
-                          collapse: bool) -> str:
+                          config: CampaignConfig,
+                          faults: Sequence[Fault]) -> str:
     """Digest of everything that determines a campaign's report.
 
     Binds a journal to one exact campaign: any change to the stimulus,
-    fault list, configuration or collapse mode yields a different
-    fingerprint, so stale journals are discarded instead of replayed
-    into the wrong report.  Mappings are serialized as sorted item
-    lists to stay independent of dict insertion order.
+    fault list or configuration yields a different fingerprint, so
+    stale journals are discarded instead of replayed into the wrong
+    report.  Collapse mode is deliberately *not* part of the digest:
+    collapse is classification-preserving, so a record journaled by a
+    plain run is byte-for-byte the record a collapsed run would emit
+    (and vice versa) — one journal serves both modes of the same
+    campaign.  Mappings are serialized as sorted item lists to stay
+    independent of dict insertion order.
     """
     return digest_doc({
         "design": design,
@@ -564,7 +749,6 @@ def _campaign_fingerprint(design: str, hardening: str, seed: int,
             "idle_input": sorted(config.idle_input.items()),
         },
         "faults": [fault.as_dict() for fault in faults],
-        "collapse": bool(collapse),
     })
 
 
@@ -717,14 +901,39 @@ def run_campaign(
     try:
         if journal is not None:
             fingerprint = _campaign_fingerprint(design, hardening, seed,
-                                                stimulus, config, faults,
-                                                collapse)
+                                                stimulus, config, faults)
             jrnl = CampaignJournal(journal, fingerprint).open(resume=resume)
             journal_meta = jrnl.meta
+            canonical_entries: dict[str, dict[str, Any]] = {}
+            if collapse and jrnl.entries:
+                # A journal written by a plain run keys its records by
+                # the original fault ids; index every entry under its
+                # equivalence-class representative too, so a collapsed
+                # resume can reuse a member's record for the class it
+                # now simulates.  Classification is class-invariant —
+                # the property collapse's byte-identity rests on — so
+                # any member's record stands in for the representative.
+                for doc in jrnl.entries.values():
+                    entry_fault = Fault(
+                        doc["fault"]["kind"], doc["fault"]["target"],
+                        int(doc["fault"]["bit"]), int(doc["fault"]["cycle"]),
+                    )
+                    rep_key = fault_key(
+                        collapse_fault(entry_fault, cmap).as_dict()
+                    )
+                    canonical_entries.setdefault(rep_key, doc)
             for k, fault in enumerate(sim_faults):
-                doc = jrnl.entries.get(fault_key(fault.as_dict()))
+                key = fault_key(fault.as_dict())
+                doc = jrnl.entries.get(key)
+                if doc is None:
+                    doc = canonical_entries.get(key)
                 if doc is not None:
-                    sim_records[k] = deserialize_fault_record(doc)
+                    record = deserialize_fault_record(doc)
+                    if record.fault != fault:
+                        record = FaultRecord(fault, record.outcome,
+                                             record.first_divergence,
+                                             record.detail)
+                    sim_records[k] = record
                     journal_hits += 1
         pending = [k for k, record in enumerate(sim_records)
                    if record is None]
@@ -737,7 +946,26 @@ def run_campaign(
             "timeouts": 0,
             "timeout_retries": 0,
             "quarantined": 0,
+            "lane_batches": 0,
         }
+
+        # Bit-parallel lane packing (PPSFP): after collapse has
+        # canonicalized the list, pack permanent stuck-at faults into
+        # lanes so one replay classifies up to ``lane_capacity`` of
+        # them.  Per-fault wall-clock deadlines keep their scalar
+        # quarantine semantics, so batching steps aside when a
+        # *fault_timeout* is set; with ``jobs > 1`` the parent needs an
+        # *injector* (not just the factory) to plan the batches —
+        # without one every fault stays scalar.
+        if pending and jobs == 1 and injector is None:
+            injector = injector_factory()
+        lane_cap = getattr(injector, "lane_capacity", 0)
+        batches: list[list[int]] = []
+        scalar_pending = list(pending)
+        if pending and lane_cap > 1 and fault_timeout is None:
+            batches, scalar_pending = _lane_batches(injector,
+                                                    sim_faults, pending)
+            exec_stats["lane_batches"] = len(batches)
         meta = journal_meta
 
         def check_meta(fresh_meta: Mapping[str, Any]) -> None:
@@ -772,15 +1000,33 @@ def run_campaign(
                     tracer=tracer,
                 )
 
-                def on_result(i: int, record: FaultRecord) -> None:
-                    sim_records[pending[i]] = record
-                    if jrnl is not None:
-                        jrnl.append_record(serialize_fault_record(record))
+                # A task is one scalar fault or one lane batch (a tuple
+                # of faults classified in a single bit-parallel replay);
+                # task_map resolves each task back to its sim indices.
+                task_map: list[list[int]] = [list(batch)
+                                             for batch in batches]
+                tasks: list[Any] = [
+                    tuple(sim_faults[k] for k in batch)
+                    for batch in batches
+                ]
+                for k in scalar_pending:
+                    task_map.append([k])
+                    tasks.append(sim_faults[k])
+
+                def on_result(i: int, result: Any) -> None:
+                    records = (result if isinstance(result, list)
+                               else [result])
+                    for k, record in zip(task_map[i], records):
+                        sim_records[k] = record
+                        if jrnl is not None:
+                            jrnl.append_record(
+                                serialize_fault_record(record)
+                            )
 
                 with tracer.span("shards") as shard_span:
                     try:
                         outcome = pool.run(
-                            [sim_faults[k] for k in pending],
+                            tasks,
                             on_result=on_result, on_meta=check_meta,
                         )
                     except TaskPickleError as exc:
@@ -806,7 +1052,8 @@ def run_campaign(
                 exec_stats["simulated"] = len(pending)
                 exec_stats["journal_hits"] = journal_hits
                 for i, failure in outcome.failures.items():
-                    sim_failures[pending[i]] = failure
+                    for k in task_map[i]:
+                        sim_failures[k] = failure
             elif pending or meta is None:
                 # Sequential replay — also the path a full resume with a
                 # meta-less journal takes, just to rebuild the golden
@@ -825,7 +1072,35 @@ def run_campaign(
                 meta = fresh_meta
                 replayed: list[FaultRecord] = []
                 with tracer.span("replay") as replay_span:
-                    for k in pending:
+                    for batch in batches:
+                        batch_faults = [sim_faults[k] for k in batch]
+                        label = (f"lanes[{len(batch)}]"
+                                 f"@{min(f.cycle for f in batch_faults)}")
+                        with tracer.span(label) as batch_span:
+                            try:
+                                batch_records = _classify_batch(
+                                    injector, batch_faults, stimulus,
+                                    golden, config,
+                                )
+                            except Exception:
+                                injector.clear_faults()
+                                batch_records = [
+                                    _classify(injector, fault, stimulus,
+                                              golden, config)
+                                    for fault in batch_faults
+                                ]
+                            batch_span.annotate(
+                                faults=len(batch),
+                                outcomes=_outcome_tally(batch_records),
+                            )
+                        for k, record in zip(batch, batch_records):
+                            replayed.append(record)
+                            sim_records[k] = record
+                            if jrnl is not None:
+                                jrnl.append_record(
+                                    serialize_fault_record(record)
+                                )
+                    for k in scalar_pending:
                         fault = sim_faults[k]
                         label = (f"{fault.kind}:{fault.target}"
                                  f"[{fault.bit}]@{fault.cycle}")
@@ -893,7 +1168,23 @@ def run_campaign(
                             fault, record.outcome,
                             record.first_divergence, record.detail,
                         ))
-                campaign_span.annotate(collapse=collapse_stats)
+                if jrnl is not None:
+                    # Journal the expanded records too — not just the
+                    # representatives — so a later resume of the same
+                    # campaign (collapsed or plain) finds every fault
+                    # under its own key.  append_record dedups by key,
+                    # so representatives are not re-written.
+                    for record in unique_records:
+                        if record is not None:
+                            jrnl.append_record(
+                                serialize_fault_record(record)
+                            )
+                campaign_span.annotate(
+                    collapse=collapse_stats,
+                    expanded_records=sum(
+                        1 for record in unique_records if record is not None
+                    ),
+                )
             else:
                 unique_records = sim_records
             campaign_span.annotate(design=design or meta["design"],

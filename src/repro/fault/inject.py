@@ -125,20 +125,61 @@ class FaultableGateSimulator(GateSimulator):
 
     Forced nets are clamped at the three points where the base simulator
     writes net values — input drive, combinational evaluation and flop
-    commit — under *both* evaluation backends: the event engine clamps
+    commit — under *every* evaluation backend: the event engine clamps
     in ``_eval``/``drive``/the commit loop, the compiled engine runs its
     generated ``settle_forced`` variant and re-applies the clamps after
-    the generated commit.  The fault-free hot path is untouched because
-    clamping only happens in this subclass, and only while a force is
-    active.  Forced slots are keyed by value-list slot (see
-    :class:`~repro.netlist.sim.GateSimulator`).
+    the generated commit, and the bitparallel engine does the same with
+    per-slot ``(keep, value)`` lane masks so each lane can hold its own
+    stuck-at fault (:meth:`force_net_lane`).  The fault-free hot path is
+    untouched because clamping only happens in this subclass, and only
+    while a force is active.  Forced slots are keyed by value-list slot
+    (see :class:`~repro.netlist.sim.GateSimulator`).
+
+    Transient flips (:meth:`flip_net`) on combinational or input nets
+    are *one-cycle* glitches: the inverted value is clamped through
+    exactly one following step — so the flops sample it once — and
+    healed before the next cycle.  The clamp makes the semantics
+    backend-uniform; previously the event engine let a glitch persist
+    until the driver's cone next changed while a compiled settle healed
+    it before anything sampled it, so the same transient fault could
+    classify differently (or on the final stimulus cycle be dropped
+    outright / act stuck through the drain) depending on the backend.
+    Flop-output flips are state upsets and persist until the next
+    commit overwrites them, identically under every backend.
     """
+
+    #: Lane steps with an unchanged force set before the wide engine
+    #: recompiles the settle with the clamps baked in as literals
+    #: (:meth:`~repro.netlist.sim._CompiledEngine.specialize_forced`).
+    #: High enough that the stimulus phase, where lanes activate every
+    #: few cycles, almost never compiles; low enough that a long drain
+    #: amortizes the one-time compile within a few dozen steps.
+    SPEC_AFTER = 32
 
     def __init__(self, circuit: Circuit, backend: str = "event") -> None:
         # Before super().__init__: the base constructor settles the
-        # circuit through our clamped _eval, which reads _forced.
+        # circuit through our clamped _eval, which reads these.
         self._forced: dict[int, int] = {}
+        #: bitparallel: slot -> (keep, value) lane masks; the settled
+        #: expression becomes ``expr & keep | value``.
+        self._force_masks: dict[int, tuple[int, int]] = {}
+        #: One-cycle transient clamps: slot -> glitch value, healed
+        #: after the next committed step.
+        self._transient: dict[int, int] = {}
+        #: Wide-settle specialization state: once the same force set has
+        #: been lane-stepped SPEC_AFTER times in a row, the engine
+        #: recompiles the settle with the clamps baked in as literals.
+        self._forces_version = 0
+        self._spec_version = -1
+        self._spec_streak = 0
+        self._spec_settle = None
         super().__init__(circuit, backend=backend)
+        self._flop_q_set = frozenset(self._flop_q)
+        self._in_bit: dict[int, tuple[str, int]] = {
+            net_slot: (name, k)
+            for name, slots in self._in_slots.items()
+            for k, net_slot in enumerate(slots)
+        }
 
     def _slot_of(self, net: Net) -> int:
         net_slot = self._slot.get(net.uid)
@@ -157,46 +198,133 @@ class FaultableGateSimulator(GateSimulator):
         return net_slot
 
     # -- forcing -------------------------------------------------------
+    def _any_fault(self) -> bool:
+        return bool(self._forced or self._force_masks or self._transient)
+
+    def _scalar_forces(self) -> dict[int, int]:
+        """The slot clamps for the scalar generated ``settle_forced``."""
+        if self._transient:
+            return {**self._transient, **self._forced}
+        return self._forced
+
+    def _lane_forces(self) -> dict[int, tuple[int, int]]:
+        """The ``(keep, value)`` clamps for the wide ``settle_forced``."""
+        if self._transient:
+            forces = {net_slot: (0, glitch)
+                      for net_slot, glitch in self._transient.items()}
+            forces.update(self._force_masks)
+            return forces
+        return self._force_masks
+
     def force_net(self, net: Net, value: int) -> None:
         """Stuck-at: hold *net* at *value* until :meth:`release_all`."""
         net_slot = self._slot_of(net)
         self._ensure_settled()
         value &= 1
         self._forced[net_slot] = value
+        self._forces_version += 1
+        if self.backend == "bitparallel":
+            self._force_masks[net_slot] = (0, value and self._lane_mask)
         if self._values[net_slot] != value:
             self._values[net_slot] = value
-            self._propagate([net_slot])
+            if self._compiled is not None:
+                self._stale = True
+            else:
+                self._propagate([net_slot])
+
+    def force_net_lane(self, net: Net, value: int, lane: int) -> None:
+        """Stuck-at in one lane of a lane-parallel (bitparallel) run.
+
+        The lane's bit of *net* is clamped to *value* through drive,
+        settle and commit while the other lanes evaluate freely; the
+        clamp also applies immediately so a forced flop output diverges
+        in its injection cycle exactly like a scalar :meth:`force_net`.
+        """
+        net_slot = self._slot_of(net)
+        if not 0 <= lane < self._lanes:
+            raise FaultInjectionError(
+                f"lane {lane} outside the {self._lanes} active lane(s)"
+            )
+        bit = 1 << lane
+        value_bit = bit if value & 1 else 0
+        keep, val = self._force_masks.get(net_slot,
+                                          (self._lane_mask, 0))
+        self._force_masks[net_slot] = (keep & ~bit, val & ~bit | value_bit)
+        self._forces_version += 1
+        self._values[net_slot] = self._values[net_slot] & ~bit | value_bit
+        self._stale = True
 
     def flip_net(self, net: Net) -> None:
         """Transient upset: invert the current value of *net* once.
 
-        The glitch persists until the driving cell is next re-evaluated:
-        for flop outputs (a state SEU) that is the next clock commit
-        under either backend; for combinational nets the event backend
-        heals the glitch when the driver's cone next changes, while the
-        compiled backend's full re-settle heals it at the next step.
+        Flop outputs (a state SEU) stay inverted until the next clock
+        commit overwrites them.  Combinational and input nets glitch for
+        exactly one cycle: the inverted value is clamped through the
+        next step — surviving that step's input drive and settle, so the
+        flops sample it once — and healed before the following cycle.
+        Identical under every backend (see the class docstring).
         """
         net_slot = self._slot_of(net)
         self._ensure_settled()
-        self._values[net_slot] ^= 1
-        self._propagate([net_slot])
+        glitch = self._values[net_slot] ^ 1
+        if net_slot not in self._flop_q_set:
+            self._transient[net_slot] = glitch
+            self._forces_version += 1
+        self._values[net_slot] = glitch
+        if self._compiled is not None:
+            self._stale = True
+        else:
+            self._propagate([net_slot])
 
     def release_all(self) -> None:
-        """Remove every stuck-at force and re-settle the circuit."""
-        if not self._forced:
+        """Remove every force and pending glitch; re-settle the circuit."""
+        if not self._any_fault():
             return
+        self._restore_glitched_inputs()
         self._forced.clear()
+        self._force_masks.clear()
+        self._transient.clear()
+        self._forces_version += 1
         # Recompute from scratch: forced values may have latched into
         # arbitrary downstream state, so settle every cell once.  Flop
         # contents corrupted while the force was active stay corrupted —
         # removing a physical fault does not repair the state it caused.
         self._settle_all()
 
+    def _restore_glitched_inputs(self) -> None:
+        """Put glitched primary-input slots back to their driven bits.
+
+        A settle only recomputes cell outputs, so a transient on an
+        input net must be healed from the stored bus values.
+        """
+        values = self._values
+        for net_slot in self._transient:
+            in_bit = self._in_bit.get(net_slot)
+            if in_bit is not None:
+                name, k = in_bit
+                values[net_slot] = \
+                    (self._inputs[name] >> k) & 1 and self._lane_mask
+
+    def _heal_transients(self) -> None:
+        """End-of-step healing: one-cycle glitches expire here."""
+        self._restore_glitched_inputs()
+        self._transient.clear()
+        self._forces_version += 1
+        if self._compiled is not None:
+            self._stale = True
+        else:
+            self._settle_all()
+
     # -- clamped write points -----------------------------------------
     def _settle_all(self) -> None:
-        if self._compiled is not None and self._forced:
+        if self._compiled is not None and self._any_fault():
             self._n_settles += 1
-            self._compiled.settle_forced(self._values, self._forced)
+            if self.backend == "bitparallel":
+                self._compiled.settle_forced(self._values,
+                                             self._lane_forces())
+            else:
+                self._compiled.settle_forced(self._values,
+                                             self._scalar_forces())
             self._stale = False
             return
         super()._settle_all()
@@ -204,6 +332,8 @@ class FaultableGateSimulator(GateSimulator):
     def _eval(self, cell) -> bool:
         out = self._cell_out[cell.uid]
         forced = self._forced.get(out)
+        if forced is None:
+            forced = self._transient.get(out)
         if forced is not None:
             if self._values[out] == forced:
                 return False
@@ -213,15 +343,27 @@ class FaultableGateSimulator(GateSimulator):
 
     def drive(self, **buses: int) -> list[int]:
         dirty = super().drive(**buses)
-        if self._forced:
+        values = self._values
+        if self._transient:  # forces win over glitches, so clamp first
+            for net_slot, glitch in self._transient.items():
+                if values[net_slot] != glitch:
+                    values[net_slot] = glitch
+                    dirty.append(net_slot)
+        if self.backend == "bitparallel":
+            for net_slot, (keep, val) in self._force_masks.items():
+                clamped = values[net_slot] & keep | val
+                if values[net_slot] != clamped:
+                    values[net_slot] = clamped
+                    dirty.append(net_slot)
+        elif self._forced:
             for net_slot, value in self._forced.items():
-                if self._values[net_slot] != value:
-                    self._values[net_slot] = value
+                if values[net_slot] != value:
+                    values[net_slot] = value
                     dirty.append(net_slot)
         return dirty
 
     def _step_event(self, buses) -> dict[str, int]:
-        if not self._forced:
+        if not self._any_fault():
             return super()._step_event(buses)
         dirty = self.drive(**buses)
         if dirty:
@@ -239,29 +381,156 @@ class FaultableGateSimulator(GateSimulator):
         if changed:
             self._propagate(changed)
         self.cycle += 1
+        if self._transient:
+            self._heal_transients()
         return outputs
 
     def _step_compiled(self, buses) -> dict[str, int]:
-        if not self._forced:
+        if not self._any_fault():
             return super()._step_compiled(buses)
         self.drive(**buses)  # re-applies input clamps
         engine = self._compiled
         values = self._values
-        forced = self._forced
-        engine.settle_forced(values, forced)
+        if self.backend == "bitparallel":
+            engine.settle_forced(values, self._lane_forces())
+        else:
+            engine.settle_forced(values, self._scalar_forces())
         self._n_settles += 1
         outputs = engine.peek(values)
         engine.commit(values)
         self._n_fast_commits += 1
-        for net_slot, value in forced.items():  # clamp committed flops
-            values[net_slot] = value
+        if self.backend == "bitparallel":  # clamp committed flops
+            for net_slot, (keep, val) in self._force_masks.items():
+                values[net_slot] = values[net_slot] & keep | val
+        else:
+            for net_slot, value in self._forced.items():
+                values[net_slot] = value
         self._stale = True
         self.cycle += 1
+        if self._transient:
+            self._heal_transients()
         return outputs
 
     def restore_state(self, snap: tuple) -> None:
         self._forced.clear()
+        self._force_masks.clear()
+        self._transient.clear()
+        self._forces_version += 1
         super().restore_state(snap)
+
+    # -- lane-parallel stepping (bitparallel backend) ------------------
+    def begin_lanes(self, n: int) -> None:
+        if self._any_fault():
+            raise NetlistError(
+                "begin_lanes() needs a fault-free scalar state; release "
+                "forces before widening"
+            )
+        super().begin_lanes(n)
+
+    def step_lanes(self, entry: Mapping[str, int]) -> None:
+        """Lane step, phase 1: drive the stimulus and settle all lanes.
+
+        Leaves the simulator in the *pre-commit* observation state the
+        scalar step samples its outputs from; read the lane reducers
+        (:meth:`lanes_output_diff` & co.), then :meth:`commit_lanes`.
+        ``step_hooks`` are not called — lane-packed values would corrupt
+        a VCD trace.
+        """
+        if self._lanes == 1:
+            raise NetlistError("step_lanes() needs begin_lanes() first")
+        self.drive(**dict(entry))
+        forces = self._lane_forces()
+        if forces:
+            if self._spec_version != self._forces_version:
+                self._spec_version = self._forces_version
+                self._spec_streak = 0
+                self._spec_settle = None
+            if self._spec_settle is not None:
+                self._spec_settle(self._values)
+            else:
+                self._compiled.settle_forced(self._values, forces)
+                self._spec_streak += 1
+                if self._spec_streak >= self.SPEC_AFTER:
+                    self._spec_settle = (
+                        self._compiled.specialize_forced(forces)
+                    )
+        else:
+            self._compiled.settle(self._values)
+        self._n_settles += 1
+
+    def commit_lanes(self) -> None:
+        """Lane step, phase 2: flop commit plus post-commit clamps."""
+        if self._lanes == 1:
+            raise NetlistError("commit_lanes() needs begin_lanes() first")
+        values = self._values
+        self._compiled.commit(values)
+        self._n_fast_commits += 1
+        for net_slot, (keep, val) in self._force_masks.items():
+            values[net_slot] = values[net_slot] & keep | val
+        self._stale = True
+        self.cycle += 1
+        self._n_steps += 1
+
+    # -- lane reducers (read between step_lanes and commit_lanes) ------
+    def lanes_output_diff(self, reference: Mapping[str, int],
+                          names) -> int:
+        """Bitmask of lanes whose named outputs differ from *reference*."""
+        values = self._values
+        mask = self._lane_mask
+        acc = 0
+        for name in names:
+            ref = reference.get(name) or 0
+            for k, net_slot in enumerate(self._out_slots.get(name, ())):
+                if (ref >> k) & 1:
+                    acc |= mask ^ values[net_slot]
+                else:
+                    acc |= values[net_slot]
+        return acc
+
+    def lanes_detect_rise(self, reference: Mapping[str, int],
+                          signals) -> int:
+        """Bitmask of lanes where a detect signal rose above *reference*.
+
+        Mirrors the scalar classifier's ``sample and not reference``: a
+        signal whose golden reference is already truthy cannot rise.
+        """
+        values = self._values
+        acc = 0
+        for sig in signals:
+            if reference.get(sig):
+                continue
+            for net_slot in self._out_slots.get(sig, ()):
+                acc |= values[net_slot]
+        return acc
+
+    def lanes_done(self, done_signal: str, done_value: int) -> int:
+        """Bitmask of lanes whose done-signal equals *done_value*."""
+        slots = self._out_slots.get(done_signal)
+        if slots is None or done_value >> len(slots):
+            return 0
+        values = self._values
+        mask = self._lane_mask
+        eq = mask
+        for k, net_slot in enumerate(slots):
+            if (done_value >> k) & 1:
+                eq &= values[net_slot]
+            else:
+                eq &= mask ^ values[net_slot]
+        return eq
+
+    def lane_state_snapshot(self) -> list[int]:
+        """Copy of the wide slot state, for steady-state cycle detection.
+
+        After :meth:`commit_lanes` the slot values (with the constant
+        forcing masks) fully determine every future lane value under a
+        fixed input, so two equal snapshots imply identical evolution
+        forever — the basis of the batch drain's periodicity shortcut.
+        """
+        return list(self._values)
+
+    def lane_state_matches(self, snapshot: list[int]) -> bool:
+        """Exact equality against a :meth:`lane_state_snapshot` copy."""
+        return self._values == snapshot
 
 
 class GateFaultInjector:
@@ -385,3 +654,61 @@ class GateFaultInjector:
 
     def clear_faults(self) -> None:
         self.sim.release_all()
+
+    # -- lane-parallel (PPSFP) surface --------------------------------
+    @property
+    def lane_capacity(self) -> int:
+        """Stuck-at faults one lane-parallel pass can carry (0 = none)."""
+        if self.sim.backend == "bitparallel":
+            return self.sim.LANE_CAPACITY
+        return 0
+
+    def resolve_stuck(self, fault) -> Net:
+        """The net a stuck-at *fault* clamps, validated like inject().
+
+        Raises exactly where :meth:`inject` would — unknown targets,
+        constant nets — so the campaign scheduler can divert unpackable
+        faults to the scalar path up front.
+        """
+        if fault.kind not in ("sa0", "sa1"):
+            raise FaultInjectionError(
+                f"only stuck-at faults pack into lanes, got {fault.kind!r}"
+            )
+        net = self._comb_nets.get(fault.target) \
+            or self._state_nets.get(fault.target)
+        if net is None:
+            raise FaultInjectionError(f"no net named {fault.target!r}")
+        self.sim._slot_of(net)  # rejects constant nets
+        return net
+
+    def begin_lanes(self, n: int) -> None:
+        self.sim.begin_lanes(n)
+
+    def end_lanes(self) -> None:
+        self.sim.end_lanes()
+
+    def force_lane(self, fault, lane: int) -> None:
+        """Apply one stuck-at fault to one lane."""
+        net = self.resolve_stuck(fault)
+        self.sim.force_net_lane(net, 1 if fault.kind == "sa1" else 0, lane)
+
+    def step_lanes(self, entry: Mapping[str, int]) -> None:
+        self.sim.step_lanes(entry)
+
+    def commit_lanes(self) -> None:
+        self.sim.commit_lanes()
+
+    def lanes_output_diff(self, reference, names) -> int:
+        return self.sim.lanes_output_diff(reference, names)
+
+    def lanes_detect_rise(self, reference, signals) -> int:
+        return self.sim.lanes_detect_rise(reference, signals)
+
+    def lanes_done(self, done_signal, done_value) -> int:
+        return self.sim.lanes_done(done_signal, done_value)
+
+    def lane_state_snapshot(self) -> list[int]:
+        return self.sim.lane_state_snapshot()
+
+    def lane_state_matches(self, snapshot) -> bool:
+        return self.sim.lane_state_matches(snapshot)

@@ -77,8 +77,10 @@ def expocu_injector(flow: str, hardening: str = "none", side: int = 8,
     """Build the ExpoCU and wrap it in the flow's fault injector.
 
     *backend* selects the gate-level evaluation engine
-    (:class:`~repro.netlist.sim.GateSimulator`): ``"event"`` or the
-    code-generated ``"compiled"`` fast path.
+    (:class:`~repro.netlist.sim.GateSimulator`): ``"event"``, the
+    code-generated ``"compiled"`` fast path, or ``"bitparallel"`` —
+    the lane-packed evaluator that lets the campaign classify up to 64
+    stuck-at faults per replay.
     """
     if flow == "rtl" and backend != "event":
         raise ValueError(
@@ -146,7 +148,10 @@ def expocu_campaign(
     the report stays byte-identical to the sequential run, including
     when workers crash and their faults are re-queued.
     ``backend="compiled"`` swaps the netlist flow onto the
-    code-generated gate evaluator.  ``collapse=True`` (netlist flow)
+    code-generated gate evaluator; ``backend="bitparallel"`` adds lane
+    packing on top, classifying up to 64 stuck-at faults per replay
+    (transients fall back to scalar lanes) with, again, a
+    byte-identical report.  ``collapse=True`` (netlist flow)
     statically reduces the simulated set via fault equivalence and
     quiescence pruning — the report stays byte-identical, with
     collapse stats and per-net observability scores attached to the

@@ -15,8 +15,18 @@ evaluation backends:
     once per cycle.  Combinational values are re-settled lazily after
     the flop commit, so the steady-state cost is a single generated
     call per cycle.
+``bitparallel``
+    The compiled evaluator regenerated with *lane-parallel* bitwise
+    expressions (PPSFP): every net slot holds up to
+    :attr:`GateSimulator.LANE_CAPACITY` independent one-bit simulations
+    packed into one Python int, so a single ``settle`` evaluates all
+    lanes at once.  With one lane active the generated code reduces
+    exactly to the scalar compiled semantics (the all-lanes mask ``M``
+    is 1), so the backend doubles as a drop-in compiled engine; the
+    fault campaign (:mod:`repro.fault.campaign`) widens it to pack up
+    to 64 stuck-at faults per settle.
 
-Both backends share one state representation (a dense ``list`` indexed
+All backends share one state representation (a dense ``list`` indexed
 by per-circuit net *slots*) and are asserted equivalent by a randomized
 oracle (``tests/netlist/test_sim_oracle.py``).  Used by the
 stage-equivalence harness (claim R6: the netlist is bit- and
@@ -33,7 +43,7 @@ from typing import Callable, Iterable, Mapping
 from repro.netlist.circuit import Cell, Circuit, NetlistError
 
 #: The simulation backends selectable via ``GateSimulator(..., backend=)``.
-BACKENDS = ("event", "compiled")
+BACKENDS = ("event", "compiled", "bitparallel")
 
 
 def _eval_cell(name: str, ins: list[int]) -> int:
@@ -83,6 +93,37 @@ def _cell_expr(name: str, ins: list[int]) -> str:
     raise NetlistError(f"cannot compile cell type {name}")
 
 
+def _cell_expr_wide(name: str, ins: list[int]) -> str:
+    """Lane-parallel variant of :func:`_cell_expr`.
+
+    ``M`` is a module-level global of the generated namespace holding
+    the all-lanes mask ``(1 << lanes) - 1``: it replaces the scalar
+    constant 1 so inversions flip every active lane, and MUX2 becomes
+    branch-free so each lane selects independently.  With ``M == 1``
+    every expression reduces exactly to its scalar counterpart.
+    """
+    if name == "INV":
+        return f"M ^ v[{ins[0]}]"
+    if name == "BUF":
+        return f"v[{ins[0]}]"
+    if name == "AND2":
+        return f"v[{ins[0]}] & v[{ins[1]}]"
+    if name == "OR2":
+        return f"v[{ins[0]}] | v[{ins[1]}]"
+    if name == "XOR2":
+        return f"v[{ins[0]}] ^ v[{ins[1]}]"
+    if name == "XNOR2":
+        return f"M ^ v[{ins[0]}] ^ v[{ins[1]}]"
+    if name == "NAND2":
+        return f"M ^ (v[{ins[0]}] & v[{ins[1]}])"
+    if name == "NOR2":
+        return f"M ^ (v[{ins[0]}] | v[{ins[1]}])"
+    if name == "MUX2":
+        d0, d1, s = ins
+        return f"(v[{d1}] & v[{s}]) | (v[{d0}] & (M ^ v[{s}]))"
+    raise NetlistError(f"cannot compile cell type {name}")
+
+
 class _CompiledEngine:
     """The code-generated evaluator functions for one circuit.
 
@@ -93,32 +134,110 @@ class _CompiledEngine:
                              assignment: every D is read before any Q
                              is written);
     ``peek(v)``              output buses as a fresh ``{name: value}``.
+
+    A *wide* (lane-parallel) engine additionally carries:
+
+    ``peek_lane(v, lane)``   one lane's output buses, extracted bit by
+                             bit from the packed slots;
+    ``set_mask(m)``          rebind the generated namespace's all-lanes
+                             mask ``M`` (1 = scalar mode).
+
+    Wide forcing masks are per-slot ``(keep, value)`` pairs: the settled
+    expression becomes ``expr & keep | value``, so individual lanes are
+    clamped while the others evaluate freely — scalar forcing is the
+    degenerate pair ``(0, value)``.
     """
 
-    __slots__ = ("settle", "settle_forced", "commit", "peek", "source")
+    __slots__ = ("settle", "settle_forced", "commit", "peek", "source",
+                 "peek_lane", "namespace", "spec_lines", "spec_index")
 
     def __init__(self, settle: Callable, settle_forced: Callable,
-                 commit: Callable, peek: Callable, source: str) -> None:
+                 commit: Callable, peek: Callable, source: str,
+                 peek_lane: Callable | None = None,
+                 namespace: dict | None = None,
+                 spec_lines: list[str] | None = None,
+                 spec_index: dict[int, tuple[int, str]] | None = None,
+                 ) -> None:
         self.settle = settle
         self.settle_forced = settle_forced
         self.commit = commit
         self.peek = peek
         self.source = source
+        self.peek_lane = peek_lane
+        self.namespace = namespace
+        self.spec_lines = spec_lines
+        self.spec_index = spec_index
+
+    def set_mask(self, mask: int) -> None:
+        """Set the all-lanes mask ``M`` of a wide engine."""
+        if self.namespace is None:
+            raise NetlistError("set_mask() needs a lane-parallel engine")
+        self.namespace["M"] = mask
+
+    def specialize_forced(self, forces: dict[int, tuple[int, int]]
+                          ) -> Callable:
+        """Compile a settle with *forces* baked in as literal clamps.
+
+        ``settle_forced`` pays a per-line membership test against the
+        forcing dict on every call; for a force set that stays fixed
+        over many steps (a lane batch draining toward quiescence, or
+        the stimulus tail after the last lane activates) that test is
+        pure overhead.  This regenerates the settle with the handful of
+        clamped lines rewritten as ``(expr) & keep | value`` literals —
+        as fast as the plain settle.  Forced slots that are not cell
+        outputs (flop state, primary inputs) need no settle-line clamp:
+        the settle never writes them, so their forced value persists.
+        The function is compiled into the engine's own namespace, so
+        the all-lanes mask ``M`` stays live.
+        """
+        if self.spec_lines is None or self.spec_index is None:
+            raise NetlistError(
+                "specialize_forced() needs a lane-parallel engine"
+            )
+        lines = list(self.spec_lines)
+        for out, (keep, val) in forces.items():
+            entry = self.spec_index.get(out)
+            if entry is None:
+                continue
+            idx, expr = entry
+            lines[idx] = f"    v[{out}] = ({expr}) & {keep} | {val}"
+        source = "def settle_spec(v):\n" + "\n".join(lines or ["    pass"])
+        exec(compile(source, "<bitparallel:specialized>", "exec"),
+             self.namespace)
+        return self.namespace.pop("settle_spec")
 
 
 def compile_engine(circuit: Circuit, order: list[Cell],
-                   flops: list[Cell], slot: dict[int, int]) -> _CompiledEngine:
-    """Generate and compile the straight-line evaluator for *circuit*."""
+                   flops: list[Cell], slot: dict[int, int],
+                   wide: bool = False) -> _CompiledEngine:
+    """Generate and compile the straight-line evaluator for *circuit*.
+
+    With ``wide=True`` the lane-parallel variant is generated: cell
+    expressions come from :func:`_cell_expr_wide` over the namespace
+    global ``M`` (initially 1, i.e. scalar mode), forcing clamps take
+    ``(keep, value)`` mask pairs instead of scalar values, and a
+    ``peek_lane`` extractor is added.  ``peek`` itself stays the scalar
+    extractor — it is only meaningful while ``M == 1``.
+    """
+    cell_expr = _cell_expr_wide if wide else _cell_expr
     settle_lines: list[str] = []
     forced_lines: list[str] = []
+    spec_index: dict[int, tuple[int, str]] = {}
     for cell in order:
         out = slot[cell.pins[cell.ctype.outputs[0]].uid]
         ins = [slot[n.uid] for n in cell.input_nets()]
-        expr = _cell_expr(cell.ctype.name, ins)
+        expr = cell_expr(cell.ctype.name, ins)
         settle_lines.append(f"    v[{out}] = {expr}")
-        forced_lines.append(
-            f"    v[{out}] = f[{out}] if {out} in f else ({expr})"
-        )
+        if wide:
+            spec_index[out] = (len(settle_lines) - 1, expr)
+            forced_lines.append(
+                f"    v[{out}] = ({expr}) if {out} not in f "
+                f"else (({expr}) & f[{out}][0] | f[{out}][1])"
+            )
+        else:
+            forced_lines.append(
+                f"    v[{out}] = f[{out}] if {out} in f else ({expr})"
+            )
     if flops:
         lhs = ", ".join(f"v[{slot[f.pins['q'].uid]}]" for f in flops)
         rhs = ", ".join(f"v[{slot[f.pins['d'].uid]}]" for f in flops)
@@ -126,13 +245,21 @@ def compile_engine(circuit: Circuit, order: list[Cell],
     else:
         commit_lines = ["    pass"]
     peek_items = []
+    lane_items = []
     for name, nets in circuit.output_buses.items():
         bits = [
             f"v[{slot[net.uid]}]" if k == 0 else f"v[{slot[net.uid]}] << {k}"
             for k, net in enumerate(nets)
         ]
         peek_items.append(f"{name!r}: {' | '.join(bits) or '0'}")
-    source = "\n".join([
+        lane_bits = [
+            f"(v[{slot[net.uid]}] >> lane & 1)" if k == 0
+            else f"(v[{slot[net.uid]}] >> lane & 1) << {k}"
+            for k, net in enumerate(nets)
+        ]
+        lane_items.append(f"{name!r}: {' | '.join(lane_bits) or '0'}")
+    lines = [
+        *(["M = 1", ""] if wide else []),
         "def settle(v):",
         *(settle_lines or ["    pass"]),
         "",
@@ -145,11 +272,25 @@ def compile_engine(circuit: Circuit, order: list[Cell],
         "def peek(v):",
         "    return {" + ", ".join(peek_items) + "}",
         "",
-    ])
+    ]
+    if wide:
+        lines += [
+            "def peek_lane(v, lane):",
+            "    return {" + ", ".join(lane_items) + "}",
+            "",
+        ]
+    source = "\n".join(lines)
+    tag = "bitparallel" if wide else "compiled"
     namespace: dict = {}
-    exec(compile(source, f"<compiled:{circuit.name}>", "exec"), namespace)
-    return _CompiledEngine(namespace["settle"], namespace["settle_forced"],
-                           namespace["commit"], namespace["peek"], source)
+    exec(compile(source, f"<{tag}:{circuit.name}>", "exec"), namespace)
+    return _CompiledEngine(
+        namespace["settle"], namespace["settle_forced"],
+        namespace["commit"], namespace["peek"], source,
+        peek_lane=namespace.get("peek_lane"),
+        namespace=namespace if wide else None,
+        spec_lines=settle_lines if wide else None,
+        spec_index=spec_index if wide else None,
+    )
 
 
 class GateSimulator:
@@ -161,14 +302,22 @@ class GateSimulator:
         A linked (no black boxes), validated circuit.
     backend:
         ``"event"`` for the interpreted event-driven engine (the
-        reference) or ``"compiled"`` for the code-generated straight-line
-        evaluator (the fast path; see the module docstring).
+        reference), ``"compiled"`` for the code-generated straight-line
+        evaluator (the fast path), or ``"bitparallel"`` for the
+        lane-parallel generated evaluator (scalar until
+        :meth:`begin_lanes` widens it; see the module docstring).
 
     Net values live in a flat list (``self._values``) indexed by a dense
-    per-circuit *slot*; ``self._slot`` maps net uid to slot.  Both
+    per-circuit *slot*; ``self._slot`` maps net uid to slot.  All
     backends share this store, so the fault-injection hooks
-    (:mod:`repro.fault.inject`) work identically under either.
+    (:mod:`repro.fault.inject`) work identically under each.
     """
+
+    #: Maximum simultaneous lanes of the ``bitparallel`` backend.  64
+    #: keeps every packed slot within one machine word of CPython's
+    #: big-int representation, the sweet spot for the bitwise ops the
+    #: generated code is made of.
+    LANE_CAPACITY = 64
 
     def __init__(self, circuit: Circuit, backend: str = "event") -> None:
         if backend not in BACKENDS:
@@ -240,9 +389,14 @@ class GateSimulator:
         self._flop_q = [slot[f.pins["q"].uid] for f in self._flops]
         self._inputs: dict[str, int] = {name: 0 for name in circuit.input_buses}
         self.cycle = 0
+        #: Active lane count / all-lanes mask (bitparallel backend; the
+        #: scalar backends stay at 1 so shared code paths cost nothing).
+        self._lanes = 1
+        self._lane_mask = 1
         self._compiled = (
-            compile_engine(circuit, self._order, self._flops, slot)
-            if backend == "compiled" else None
+            compile_engine(circuit, self._order, self._flops, slot,
+                           wide=backend == "bitparallel")
+            if backend in ("compiled", "bitparallel") else None
         )
         #: Compiled backend only: combinational values are stale after a
         #: flop commit and re-settled on demand (next step, peek, or
@@ -329,8 +483,9 @@ class GateSimulator:
                 )
             value &= (1 << len(slots)) - 1
             self._inputs[name] = value
+            mask = self._lane_mask  # broadcast 1-bits across all lanes
             for k, net_slot in enumerate(slots):
-                bit_value = (value >> k) & 1
+                bit_value = (value >> k) & 1 and mask
                 if values[net_slot] != bit_value:
                     values[net_slot] = bit_value
                     dirty.append(net_slot)
@@ -338,6 +493,11 @@ class GateSimulator:
 
     def peek_outputs(self) -> dict[str, int]:
         """Current output bus values."""
+        if self._lanes != 1:
+            raise NetlistError(
+                "outputs are lane-packed during lane-parallel simulation; "
+                "use peek_lane_outputs(lane)"
+            )
         self._ensure_settled()
         if self._compiled is not None:
             return self._compiled.peek(self._values)
@@ -354,12 +514,21 @@ class GateSimulator:
     # state checkpointing (used by the fault-campaign engine)
     # ------------------------------------------------------------------
     def snapshot_state(self) -> tuple:
-        """A deep, settled copy of the simulator state."""
+        """A deep, settled copy of the simulator state (scalar mode)."""
+        if self._lanes != 1:
+            raise NetlistError(
+                "cannot checkpoint lane-packed state; checkpoints are "
+                "taken from scalar (single-lane) simulation"
+            )
         self._ensure_settled()
         return (list(self._values), self.cycle, dict(self._inputs))
 
     def restore_state(self, snap: tuple) -> None:
-        """Rewind to a :meth:`snapshot_state` checkpoint."""
+        """Rewind to a :meth:`snapshot_state` checkpoint (scalar mode)."""
+        if self._lanes != 1:
+            self._lanes = 1
+            self._lane_mask = 1
+            self._compiled.set_mask(1)
         values, cycle, inputs = snap
         self._values = list(values)
         self.cycle = cycle
@@ -367,10 +536,71 @@ class GateSimulator:
         self._stale = False
 
     # ------------------------------------------------------------------
+    # lane-parallel simulation (bitparallel backend)
+    # ------------------------------------------------------------------
+    @property
+    def lanes(self) -> int:
+        """Active lane count (1 outside lane-parallel simulation)."""
+        return self._lanes
+
+    def begin_lanes(self, n: int) -> None:
+        """Widen to *n* independent lanes, each a copy of this state.
+
+        Every slot's scalar 0/1 value is broadcast across the lanes;
+        from here the lanes evolve independently under per-lane forcing
+        masks (:class:`repro.fault.inject.FaultableGateSimulator`).
+        Ends with :meth:`end_lanes` or :meth:`restore_state`.
+        """
+        if self.backend != "bitparallel":
+            raise NetlistError(
+                "lane-parallel simulation needs backend='bitparallel' "
+                f"(this simulator uses {self.backend!r})"
+            )
+        if self._lanes != 1:
+            raise NetlistError("already in lane-parallel mode")
+        if not 1 <= n <= self.LANE_CAPACITY:
+            raise NetlistError(
+                f"lane count {n} outside [1, {self.LANE_CAPACITY}]"
+            )
+        self._ensure_settled()
+        mask = (1 << n) - 1
+        self._lanes = n
+        self._lane_mask = mask
+        self._compiled.set_mask(mask)
+        self._values = [value and mask for value in self._values]
+
+    def end_lanes(self) -> None:
+        """Collapse back to scalar mode, keeping lane 0's state."""
+        if self._lanes == 1:
+            return
+        self._lanes = 1
+        self._lane_mask = 1
+        self._compiled.set_mask(1)
+        self._values = [value & 1 for value in self._values]
+
+    def peek_lane_outputs(self, lane: int) -> dict[str, int]:
+        """One lane's output bus values during lane-parallel simulation."""
+        if self.backend != "bitparallel":
+            raise NetlistError(
+                "peek_lane_outputs() needs backend='bitparallel'"
+            )
+        if not 0 <= lane < self._lanes:
+            raise NetlistError(
+                f"lane {lane} outside the {self._lanes} active lane(s)"
+            )
+        self._ensure_settled()
+        return self._compiled.peek_lane(self._values, lane)
+
+    # ------------------------------------------------------------------
     # stepping
     # ------------------------------------------------------------------
     def step(self, **buses: int) -> dict[str, int]:
         """Advance one clock cycle; returns the sampled outputs."""
+        if self._lanes != 1:
+            raise NetlistError(
+                "step() is scalar; lane-parallel simulation advances via "
+                "the fault subsystem's step_lanes()/commit_lanes()"
+            )
         if self._compiled is not None:
             outputs = self._step_compiled(buses)
         else:

@@ -1,15 +1,19 @@
 """Randomized equivalence oracle for the gate-simulator backends.
 
-Small random circuits are driven with random stimulus through three
+Small random circuits are driven with random stimulus through four
 engines that must agree bit-for-bit on every cycle:
 
 * the event-driven engine (``_propagate`` over changed cones),
 * a full re-evaluation reference (``_settle_all`` after every change),
-* the code-generated compiled backend.
+* the code-generated compiled backend,
+* the lane-packed bitparallel backend (scalar mode, ``M == 1``, where
+  every wide expression must reduce exactly to its scalar counterpart).
 
-This is the safety net under the compiled evaluator: any codegen bug —
+This is the safety net under the compiled evaluators: any codegen bug —
 a wrong expression, a missed commit, a stale lazy settle — shows up as
-a divergence on some seed.
+a divergence on some seed.  The lane property tests additionally pack
+random stuck-at fault subsets into lanes and check each lane against an
+independent scalar compiled simulator carrying that one fault.
 """
 
 import random
@@ -67,13 +71,14 @@ def _stimulus(seed: int, n_inputs: int, cycles: int) -> list[dict]:
     return [{"x": rng.randrange(1 << n_inputs)} for _ in range(cycles)]
 
 
-class TestThreeWayOracle:
+class TestFourWayOracle:
     @pytest.mark.parametrize("seed", range(12))
-    def test_event_settle_and_compiled_agree(self, seed):
+    def test_event_settle_compiled_and_bitparallel_agree(self, seed):
         n_inputs = 4
         circuit = random_circuit(seed, n_inputs=n_inputs)
         event = GateSimulator(circuit, backend="event")
         compiled = GateSimulator(circuit, backend="compiled")
+        bitparallel = GateSimulator(circuit, backend="bitparallel")
         # Reference: the event engine with every propagation widened to
         # a full settle — brute-force re-evaluation of all cells.
         settle = GateSimulator(circuit, backend="event")
@@ -83,17 +88,21 @@ class TestThreeWayOracle:
             out_event = event.step(**entry)
             out_settle = settle.step(**entry)
             out_compiled = compiled.step(**entry)
-            assert out_event == out_settle == out_compiled
+            out_wide = bitparallel.step(**entry)
+            assert out_event == out_settle == out_compiled == out_wide
             assert (event.peek_outputs() == settle.peek_outputs()
-                    == compiled.peek_outputs())
+                    == compiled.peek_outputs()
+                    == bitparallel.peek_outputs())
 
     @pytest.mark.parametrize("seed", (2, 7))
     def test_faultable_backends_agree_fault_free(self, seed):
         circuit = random_circuit(seed)
         event = FaultableGateSimulator(circuit, backend="event")
         compiled = FaultableGateSimulator(circuit, backend="compiled")
+        wide = FaultableGateSimulator(circuit, backend="bitparallel")
         for entry in _stimulus(seed, 4, cycles=20):
-            assert event.step(**entry) == compiled.step(**entry)
+            assert (event.step(**entry) == compiled.step(**entry)
+                    == wide.step(**entry))
 
     @pytest.mark.parametrize("seed", (1, 5, 9))
     def test_stuck_at_clamps_agree_across_backends(self, seed):
@@ -180,7 +189,7 @@ class TestConstantNetEncapsulation:
         consts.clear()
         assert circuit.constant_nets() == {0: zero, 1: one}
 
-    @pytest.mark.parametrize("backend", ("event", "compiled"))
+    @pytest.mark.parametrize("backend", ("event", "compiled", "bitparallel"))
     def test_fault_clamp_refuses_constant_nets(self, backend):
         circuit = random_circuit(1)
         zero = circuit.const_net(0)
@@ -190,3 +199,125 @@ class TestConstantNetEncapsulation:
         with pytest.raises(NetlistError, match="constant net"):
             sim.flip_net(zero)
         assert not sim._forced
+
+
+def _forceable_nets(circuit):
+    """Nets a stuck-at clamp may target (mirrors the clamp tests)."""
+    consts = {net.uid for net in circuit.constant_nets().values()}
+    return [
+        cell.pins["y"] for cell in circuit.comb_cells()
+        if not cell.ctype.name.startswith("TIE")
+    ] + [net for net in circuit.input_buses["x"] +
+         [f.pins["q"] for f in circuit.flops()]
+         if net.uid not in consts]
+
+
+class TestLanePacking:
+    """Seeded property: each lane ≡ a scalar compiled sim with its fault.
+
+    A wide simulator carries one random stuck-at fault per lane; an
+    independent scalar compiled simulator carries the same single fault.
+    Per cycle every lane's pre-commit outputs (``peek_lane_outputs``
+    between ``step_lanes`` and ``commit_lanes``) must equal the scalar
+    simulator's ``step`` outputs — the exact observation point the
+    campaign classifier reduces over.
+    """
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_lanes_match_scalar_compiled(self, seed):
+        rng = random.Random(seed + 17)
+        circuit = random_circuit(seed)
+        forceable = _forceable_nets(circuit)
+        n_lanes = rng.randrange(2, 9)
+        picks = [(rng.choice(forceable), rng.randrange(2))
+                 for _ in range(n_lanes)]
+        stim = _stimulus(seed, 4, cycles=16)
+
+        wide = FaultableGateSimulator(circuit, backend="bitparallel")
+        scalars = [FaultableGateSimulator(circuit, backend="compiled")
+                   for _ in picks]
+        for entry in stim[:4]:  # shared warm-up, fault-free
+            wide.step(**entry)
+            for sim in scalars:
+                sim.step(**entry)
+        wide.begin_lanes(n_lanes)
+        for lane, (net, value) in enumerate(picks):
+            wide.force_net_lane(net, value, lane)
+            scalars[lane].force_net(net, value)
+        for entry in stim[4:]:
+            wide.step_lanes(entry)
+            lane_outs = [wide.peek_lane_outputs(lane)
+                         for lane in range(n_lanes)]
+            wide.commit_lanes()
+            for lane, sim in enumerate(scalars):
+                assert lane_outs[lane] == sim.step(**entry), \
+                    f"lane {lane} diverged from its scalar twin"
+
+    @pytest.mark.parametrize("seed", (3, 8))
+    def test_staggered_forcing_mid_flight(self, seed):
+        """Lanes forced on different cycles, like a campaign batch."""
+        rng = random.Random(seed + 23)
+        circuit = random_circuit(seed)
+        forceable = _forceable_nets(circuit)
+        n_lanes = 5
+        picks = [(rng.choice(forceable), rng.randrange(2),
+                  rng.randrange(5, 10)) for _ in range(n_lanes)]
+        stim = _stimulus(seed, 4, cycles=14)
+
+        wide = FaultableGateSimulator(circuit, backend="bitparallel")
+        scalars = [FaultableGateSimulator(circuit, backend="compiled")
+                   for _ in picks]
+        for entry in stim[:5]:
+            wide.step(**entry)
+            for sim in scalars:
+                sim.step(**entry)
+        wide.begin_lanes(n_lanes)
+        for cycle, entry in enumerate(stim[5:], start=5):
+            for lane, (net, value, at) in enumerate(picks):
+                if at == cycle:
+                    wide.force_net_lane(net, value, lane)
+                    scalars[lane].force_net(net, value)
+            wide.step_lanes(entry)
+            lane_outs = [wide.peek_lane_outputs(lane)
+                         for lane in range(n_lanes)]
+            wide.commit_lanes()
+            for lane, sim in enumerate(scalars):
+                assert lane_outs[lane] == sim.step(**entry)
+
+    def test_end_lanes_keeps_lane_zero(self):
+        seed = 2
+        circuit = random_circuit(seed)
+        forceable = _forceable_nets(circuit)
+        stim = _stimulus(seed, 4, cycles=12)
+        wide = FaultableGateSimulator(circuit, backend="bitparallel")
+        scalar = FaultableGateSimulator(circuit, backend="compiled")
+        for entry in stim[:4]:
+            wide.step(**entry)
+            scalar.step(**entry)
+        wide.begin_lanes(4)
+        wide.force_net_lane(forceable[0], 1, 2)  # lane 2 only
+        for entry in stim[4:8]:
+            wide.step_lanes(entry)
+            wide.commit_lanes()
+            scalar.step(**entry)
+        wide.end_lanes()
+        wide.release_all()
+        scalar.release_all()
+        for entry in stim[8:]:  # lane 0 was fault-free == scalar twin
+            assert wide.step(**entry) == scalar.step(**entry)
+
+    def test_lane_mode_guards(self):
+        circuit = random_circuit(0)
+        compiled = FaultableGateSimulator(circuit, backend="compiled")
+        with pytest.raises(NetlistError, match="bitparallel"):
+            compiled.begin_lanes(2)
+        wide = FaultableGateSimulator(circuit, backend="bitparallel")
+        with pytest.raises(NetlistError, match="begin_lanes"):
+            wide.step_lanes({"x": 0})
+        wide.begin_lanes(3)
+        with pytest.raises(NetlistError, match="scalar"):
+            wide.step(x=0)
+        with pytest.raises(NetlistError, match="already"):
+            wide.begin_lanes(2)
+        wide.end_lanes()
+        wide.step(x=0)  # back to scalar mode
