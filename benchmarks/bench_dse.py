@@ -1,0 +1,62 @@
+"""X_dse — design-space exploration: warm re-exploration ≥ 5x cold.
+
+Not a paper experiment: it bounds the payoff of memoizing exploration
+through the design library.  The bundled ``tiny`` ExpoCU space (divider
+× hardening, 4 points) is explored factorially twice against one store
+— cold (every flow stage, hardening pass and fault campaign computed)
+then warm (every point replayed from its ``dse_point`` entry) — and the
+reports must be byte-identical, with the warm run missing nothing.
+"""
+
+import time
+
+from conftest import record_report
+
+from repro.dse import expocu_campaign_spec, expocu_space, explore
+from repro.eval import format_table
+from repro.store import ArtifactStore
+
+MIN_SPEEDUP = 5.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def test_warm_exploration_speedup(tmp_path):
+    space = expocu_space("tiny")
+    spec = expocu_campaign_spec(faults=16)
+    store = ArtifactStore(tmp_path / "library")
+
+    t_cold, cold = _timed(lambda: explore(space, spec, store=store))
+    warm_store = ArtifactStore(tmp_path / "library")
+    t_warm, warm = _timed(lambda: explore(space, spec, store=warm_store))
+
+    assert warm.to_json() == cold.to_json(), \
+        "warm exploration must replay the cold report byte-identically"
+    assert dict(warm_store.counters["miss"]) == {}, \
+        "warm exploration must not recompute any stage"
+    assert warm_store.counters["hit"]["dse_point"] == space.size()
+
+    speedup = t_cold / t_warm
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm re-exploration only {speedup:.1f}x faster than cold "
+        f"(cold {t_cold:.2f}s, warm {t_warm:.2f}s); floor is "
+        f"{MIN_SPEEDUP:.0f}x"
+    )
+
+    rows = [
+        {"configuration": "cold (flow + campaigns + store)",
+         "explore_s": f"{t_cold:.2f}", "speedup": "-"},
+        {"configuration": "warm (dse_point replay)",
+         "explore_s": f"{t_warm:.2f}",
+         "speedup": f"{speedup:.1f}x vs cold"},
+    ]
+    table = format_table(rows)
+    front = ", ".join(cold.pareto_ids)
+    record_report(
+        "X_dse",
+        f"{table}\n\npoints: {len(cold.points)}  pareto front: {front}",
+    )

@@ -20,6 +20,11 @@ without writing a script:
               (RTL or netlist flow, optional TMR/parity hardening);
               supervised workers, per-fault deadlines and a crash-safe
               journal (``--resume``) keep long campaigns restartable.
+``dse``       multi-objective design-space exploration over the bundled
+              ExpoCU spaces (factorial or evolutionary search, memoized
+              per point through the design library), emitting a
+              ``repro-dse/v1`` report with the exact Pareto front and
+              MCDM ranking.
 ``profile``   profile a bundled workload (flows, synthesis or a fault
               campaign) and emit a ``repro-trace/v1`` span report.
 ``build``     run the ExpoCU flows through the design library
@@ -341,6 +346,53 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse(args: argparse.Namespace) -> int:
+    from repro.dse import (
+        EvolutionaryConfig,
+        expocu_campaign_spec,
+        expocu_space,
+        explore,
+    )
+    from repro.obs import NULL_TRACER, Tracer
+    from repro.store import ArtifactStore
+
+    store = None
+    if not args.no_cache:
+        store = ArtifactStore(args.cache_dir)
+        if args.cold:
+            store.clear()
+    tracer = Tracer("dse") if args.profile else NULL_TRACER
+    space = expocu_space(args.space, side=args.side)
+    campaign = expocu_campaign_spec(side=args.side, faults=args.faults,
+                                    seed=args.campaign_seed,
+                                    backend=args.backend)
+    evolution = EvolutionaryConfig(population=args.population,
+                                   generations=args.generations,
+                                   seed=args.seed)
+    result = explore(space, campaign, strategy=args.strategy,
+                     fraction=args.fraction, evolution=evolution,
+                     store=store, tracer=tracer)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+    if args.format == "json":
+        print(result.to_json(), end="")
+    else:
+        print(result.summary(), end="")
+        if args.output:
+            print(f"dse report written to {args.output}")
+    if store is not None:
+        counts = {event: sum(counter.values())
+                  for event, counter in store.counters.items()}
+        print(f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
+              f"{counts['store']} store(s)", file=sys.stderr)
+    _write_profile(tracer, args.profile)
+    if result.doc["failures"] and not result.doc["points"]:
+        print("error: every design point failed", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.expocu import SyncRegister
     from repro.synth.codegen import resolve_class_text
@@ -579,6 +631,51 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a repro-trace/v1 span report here")
     inject.set_defaults(func=_cmd_inject)
 
+    dse = sub.add_parser(
+        "dse",
+        help="multi-objective design-space exploration on the ExpoCU",
+    )
+    dse.add_argument("--space", choices=("tiny", "full"), default="tiny",
+                     help="bundled ExpoCU space: tiny (4 points) or "
+                     "full (24 points)")
+    dse.add_argument("--side", type=int, default=4,
+                     help="frame side length of the explored ExpoCU "
+                     "specializations (default: 4)")
+    dse.add_argument("--strategy",
+                     choices=("factorial", "evolutionary"),
+                     default="factorial", help="search strategy")
+    dse.add_argument("--fraction", type=int, default=1,
+                     help="factorial: keep 1/N of the full design "
+                     "(index-sum fractional design)")
+    dse.add_argument("--population", type=int, default=8,
+                     help="evolutionary: population size")
+    dse.add_argument("--generations", type=int, default=6,
+                     help="evolutionary: number of generations")
+    dse.add_argument("--seed", type=int, default=1,
+                     help="evolutionary: search seed")
+    dse.add_argument("--faults", type=int, default=24,
+                     help="seeded faults injected per design point")
+    dse.add_argument("--campaign-seed", type=int, default=2004,
+                     help="campaign seed (stimulus and fault list)")
+    dse.add_argument("--backend",
+                     choices=("event", "compiled", "bitparallel"),
+                     default="bitparallel",
+                     help="gate evaluator backend (reports are "
+                     "byte-identical across backends)")
+    dse.add_argument("--cache-dir", default=".repro-cache",
+                     help="design-library directory (shared with "
+                     "'repro build')")
+    dse.add_argument("--cold", action="store_true",
+                     help="clear the cache first")
+    dse.add_argument("--no-cache", action="store_true",
+                     help="run without the design library")
+    dse.add_argument("--format", choices=("text", "json"),
+                     default="text", help="stdout format")
+    dse.add_argument("--output", help="write the repro-dse/v1 report here")
+    dse.add_argument("--profile", metavar="OUT.json",
+                     help="write a repro-trace/v1 span report here")
+    dse.set_defaults(func=_cmd_dse)
+
     profile = sub.add_parser(
         "profile", help="profile a bundled workload (repro-trace/v1)"
     )
@@ -654,6 +751,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    from repro.dse import DseError
     from repro.fault import CampaignError
     from repro.netlist import NetlistError
     from repro.store import StoreError
@@ -663,7 +761,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except (SynthesisError, NetlistError, StoreError, CampaignError) as exc:
+    except (SynthesisError, NetlistError, StoreError, CampaignError,
+            DseError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,161 @@
+"""Multi-objective decision support: Pareto fronts and MCDM ranking.
+
+The DSE engine reduces every evaluated design point to an *objective
+vector* (area, frequency, SDC rate, campaign cost).  Two decision aids
+are computed over the evaluated set, in the DAVOS ``MCDM.py`` mold:
+
+* the **exact Pareto front** — every point not dominated by another
+  evaluated point.  Domination uses the standard definition: *a*
+  dominates *b* iff *a* is at least as good in every objective and
+  strictly better in at least one.  Duplicate objective vectors do not
+  dominate each other, so equivalent trade-offs all stay on the front
+  (property-tested against a brute-force oracle in
+  ``tests/dse/test_pareto_property.py``);
+* a **weighted-sum MCDM ranking** — objectives are min-max normalized
+  over the evaluated set (sense-adjusted so 0 is best), scaled by the
+  objective weights and summed; lower scores rank first.  Ties break on
+  the evaluation index so the ranking is total and deterministic.
+
+Everything here is pure data-in/data-out over lists — no set iteration,
+no hashing of floats — so results are identical across processes and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+class DseError(ValueError):
+    """Raised for ill-formed spaces, objectives or search configurations."""
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of the objective space.
+
+    ``name`` keys into each point's objective mapping; ``sense`` is
+    ``"min"`` or ``"max"``; ``weight`` scales the objective's normalized
+    contribution in the MCDM score.
+    """
+
+    name: str
+    sense: str = "min"
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("min", "max"):
+            raise DseError(
+                f"objective {self.name!r} sense must be 'min' or 'max', "
+                f"got {self.sense!r}"
+            )
+        if not self.weight >= 0:
+            raise DseError(
+                f"objective {self.name!r} weight must be >= 0, "
+                f"got {self.weight!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "sense": self.sense,
+                "weight": self.weight}
+
+
+#: The engine's default objective vector: gate area and fault-campaign
+#: cost down, frequency up, silent data corruption down.
+DEFAULT_OBJECTIVES = (
+    Objective("area_ge", "min"),
+    Objective("fmax_mhz", "max"),
+    Objective("sdc_rate", "min"),
+    Objective("sim_cycles", "min"),
+)
+
+
+def _values(vector: Mapping[str, float],
+            objectives: Sequence[Objective]) -> list[float]:
+    """Extract the vector's values in objective order, sense-normalized
+    so that smaller is always better."""
+    values = []
+    for objective in objectives:
+        try:
+            value = vector[objective.name]
+        except KeyError:
+            raise DseError(
+                f"objective vector is missing {objective.name!r}: "
+                f"{sorted(vector)}"
+            ) from None
+        values.append(-value if objective.sense == "max" else value)
+    return values
+
+
+def dominates(a: Mapping[str, float], b: Mapping[str, float],
+              objectives: Sequence[Objective] = DEFAULT_OBJECTIVES) -> bool:
+    """True iff *a* Pareto-dominates *b* under *objectives*."""
+    va = _values(a, objectives)
+    vb = _values(b, objectives)
+    return all(x <= y for x, y in zip(va, vb)) and va != vb
+
+
+def pareto_front(vectors: Sequence[Mapping[str, float]],
+                 objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+                 ) -> list[int]:
+    """Indices of the non-dominated *vectors*, in input order.
+
+    Exact simple-cull non-domination: each candidate is compared against
+    the running front and the remaining candidates.  Sorting by the
+    sense-normalized tuple first lets each point be checked only against
+    points that could dominate it (a point never dominates one sorted
+    before it), so typical fronts cost far less than the worst-case
+    O(n²) while remaining exact for every input, duplicates included.
+    """
+    if not objectives:
+        raise DseError("pareto_front needs at least one objective")
+    normalized = [_values(v, objectives) for v in vectors]
+    order = sorted(range(len(normalized)), key=lambda i: normalized[i])
+    front: list[int] = []
+    kept: list[list[float]] = []
+    for i in order:
+        candidate = normalized[i]
+        dominated = any(
+            all(x <= y for x, y in zip(winner, candidate))
+            and winner != candidate
+            for winner in kept
+        )
+        if not dominated:
+            front.append(i)
+            kept.append(candidate)
+    front.sort()
+    return front
+
+
+def mcdm_ranking(vectors: Sequence[Mapping[str, float]],
+                 objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+                 ) -> list[tuple[int, float]]:
+    """Weighted-sum ranking ``[(index, score), ...]``, best first.
+
+    Each objective is min-max normalized over the evaluated set (after
+    sense adjustment, 0 is the best observed value, 1 the worst; a
+    constant objective contributes 0 for everyone), multiplied by its
+    weight and summed.  Scores are rounded to 9 decimals so reports are
+    byte-stable, and ties rank by input index.
+    """
+    if not vectors:
+        return []
+    if not objectives:
+        raise DseError("mcdm_ranking needs at least one objective")
+    columns = [[_values(v, objectives)[k] for v in vectors]
+               for k in range(len(objectives))]
+    spans = []
+    for column in columns:
+        lo, hi = min(column), max(column)
+        spans.append((lo, hi - lo))
+    scores = []
+    for i in range(len(vectors)):
+        score = 0.0
+        for k, objective in enumerate(objectives):
+            lo, span = spans[k]
+            if span > 0:
+                score += objective.weight * (columns[k][i] - lo) / span
+        scores.append((i, round(score, 9)))
+    scores.sort(key=lambda pair: (pair[1], pair[0]))
+    return scores

@@ -1,0 +1,160 @@
+"""The canonical ``repro-dse/v1`` exploration report.
+
+:func:`build_report` reduces a :class:`~repro.dse.search.SearchOutcome`
+to one JSON document: every evaluated point (sorted by canonical point
+id, so factorial and evolutionary runs over the same points produce the
+same sections), recorded failures, the exact Pareto front, and the
+weighted-sum MCDM ranking.  :func:`explore` is the one-call entry the
+CLI, benchmarks and tests share: space + campaign spec + strategy in,
+:class:`DseResult` out.
+
+Byte-stability: the document is built from lists and insertion-ordered
+dicts only, floats are rounded at the evaluator, and
+:meth:`DseResult.to_json` emits ``json.dumps(doc, indent=2)`` — so the
+same exploration yields the identical file across processes, hash seeds
+and (via the store) cold/warm runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from repro.eval.report import format_table
+from repro.obs.profiler import Tracer
+from repro.store import ArtifactStore, serialize_dse_report
+
+from repro.dse.evaluate import CampaignSpec, PointEvaluator
+from repro.dse.pareto import (
+    DEFAULT_OBJECTIVES,
+    DseError,
+    Objective,
+    mcdm_ranking,
+    pareto_front,
+)
+from repro.dse.search import (
+    EvolutionaryConfig,
+    SearchOutcome,
+    evolutionary_search,
+    factorial_search,
+)
+from repro.dse.space import DesignSpace
+
+
+class DseResult:
+    """One exploration's report document plus presentation helpers."""
+
+    def __init__(self, doc: dict[str, Any]) -> None:
+        self.doc = doc
+
+    @property
+    def points(self) -> list[dict[str, Any]]:
+        return self.doc["points"]
+
+    @property
+    def pareto_ids(self) -> list[str]:
+        return self.doc["pareto"]
+
+    def to_json(self) -> str:
+        return json.dumps(self.doc, indent=2) + "\n"
+
+    def summary(self) -> str:
+        """Aligned text table: objectives per point, front starred."""
+        doc = self.doc
+        objectives = [o["name"] for o in doc["objectives"]]
+        front = set(doc["pareto"])
+        scores = {entry["id"]: entry["score"] for entry in doc["ranking"]}
+        rows = []
+        for point in doc["points"]:
+            row: dict[str, Any] = {"point": point["id"]}
+            for name in objectives:
+                row[name] = point["objectives"][name]
+            row["mcdm"] = scores[point["id"]]
+            row["front"] = "*" if point["id"] in front else ""
+            rows.append(row)
+        lines = [
+            f"space {doc['space']['name']}: "
+            f"{len(doc['points'])} evaluated, "
+            f"{len(doc['failures'])} failed, "
+            f"{len(doc['pareto'])} on the Pareto front "
+            f"({doc['strategy']['name']} strategy)",
+            "",
+            format_table(rows,
+                         ["point", *objectives, "mcdm", "front"]),
+        ]
+        if doc["failures"]:
+            lines.append("")
+            lines.append(format_table(
+                [{"point": f["id"], "error": f["error"]}
+                 for f in doc["failures"]],
+                ["point", "error"],
+            ))
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return (f"DseResult({self.doc['space']['name']!r}, "
+                f"{len(self.doc['points'])} points, "
+                f"front={len(self.doc['pareto'])})")
+
+
+def build_report(space: DesignSpace, outcome: SearchOutcome,
+                 objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+                 ) -> DseResult:
+    """Reduce one search outcome to the canonical report document."""
+    evaluated = sorted((r for r in outcome.results if r.ok),
+                       key=lambda r: r.point_id)
+    failed = sorted((r for r in outcome.results if not r.ok),
+                    key=lambda r: r.point_id)
+    vectors = [r.objectives for r in evaluated]
+    front = pareto_front(vectors, objectives)
+    ranking = mcdm_ranking(vectors, objectives)
+    doc = {
+        "schema": "repro-dse/v1",
+        "space": space.as_dict(),
+        "strategy": {"name": outcome.strategy, **outcome.meta},
+        "objectives": [o.as_dict() for o in objectives],
+        "points": [
+            {
+                "id": r.point_id,
+                "assignment": dict(r.assignment),
+                "metrics": r.doc["metrics"],
+                "campaign": r.doc["campaign"],
+                "objectives": r.doc["objectives"],
+            }
+            for r in evaluated
+        ],
+        "failures": [
+            {
+                "id": r.point_id,
+                "assignment": dict(r.assignment),
+                "error": f"{type(r.error).__name__}: {r.error}",
+            }
+            for r in failed
+        ],
+        "pareto": [evaluated[i].point_id for i in front],
+        "ranking": [
+            {"id": evaluated[i].point_id, "score": score}
+            for i, score in ranking
+        ],
+    }
+    return DseResult(serialize_dse_report(doc))
+
+
+def explore(space: DesignSpace, campaign: CampaignSpec,
+            strategy: str = "factorial",
+            objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
+            fraction: int = 1,
+            evolution: EvolutionaryConfig | None = None,
+            store: ArtifactStore | None = None,
+            tracer: Tracer | None = None) -> DseResult:
+    """Run one exploration end to end and return its report."""
+    evaluator = PointEvaluator(space, campaign, objectives,
+                               store=store, tracer=tracer)
+    if strategy == "factorial":
+        outcome = factorial_search(evaluator, fraction)
+    elif strategy == "evolutionary":
+        outcome = evolutionary_search(evaluator, evolution)
+    else:
+        raise DseError(f"unknown search strategy {strategy!r} "
+                       f"(expected 'factorial' or 'evolutionary')")
+    return build_report(space, outcome, objectives)

@@ -1,0 +1,198 @@
+"""Search strategies over a design space: factorial and evolutionary.
+
+Both strategies drive one :class:`~repro.dse.evaluate.PointEvaluator`
+and return a :class:`SearchOutcome` — the evaluated points in first-visit
+order plus strategy metadata for the report.  Because the evaluator
+memoizes per point id (in process) and per stage (in the store), the two
+strategies compose: an evolutionary run after a factorial enumeration
+re-evaluates nothing.
+
+The evolutionary loop is the DAVOS ``Evolutionary_DSE.py`` shape reduced
+to its deterministic core: generational, with Pareto-rank tournament
+selection, uniform crossover and per-gene mutation over axis-index
+genomes, and elitism carrying the current front.  All randomness flows
+from one seeded ``random.Random``; populations are lists (never sets),
+so a fixed seed reproduces the identical search in any process.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dse.evaluate import PointEvaluator, PointResult
+from repro.dse.pareto import DseError, mcdm_ranking, pareto_front
+from repro.dse.space import fractional_factorial
+
+
+class SearchOutcome:
+    """What one strategy explored: points in first-visit order + metadata."""
+
+    def __init__(self, strategy: str, results: list[PointResult],
+                 meta: dict[str, Any]) -> None:
+        self.strategy = strategy
+        self.results = results
+        self.meta = meta
+
+    def __repr__(self) -> str:
+        ok = sum(1 for r in self.results if r.ok)
+        return (f"SearchOutcome({self.strategy!r}, {ok} ok / "
+                f"{len(self.results)} points)")
+
+
+def factorial_search(evaluator: PointEvaluator,
+                     fraction: int = 1) -> SearchOutcome:
+    """Enumerate the (possibly fractional) factorial design."""
+    assignments = fractional_factorial(evaluator.space, fraction)
+    results = [evaluator.evaluate(assignment) for assignment in assignments]
+    return SearchOutcome("factorial", results,
+                         {"fraction": fraction, "points": len(results)})
+
+
+@dataclass
+class EvolutionaryConfig:
+    """Knobs of the evolutionary loop (defaults suit small spaces)."""
+
+    population: int = 8
+    generations: int = 6
+    seed: int = 1
+    tournament: int = 2
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.25
+    elitism: int = 2
+
+    def __post_init__(self) -> None:
+        if self.population < 2:
+            raise DseError("evolutionary search needs a population >= 2")
+        if self.generations < 1:
+            raise DseError("evolutionary search needs >= 1 generation")
+        if self.tournament < 1:
+            raise DseError("tournament size must be >= 1")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "population": self.population,
+            "generations": self.generations,
+            "seed": self.seed,
+            "tournament": self.tournament,
+            "crossover_rate": self.crossover_rate,
+            "mutation_rate": self.mutation_rate,
+            "elitism": self.elitism,
+        }
+
+
+def _fitness(evaluator: PointEvaluator,
+             results: list[PointResult]) -> dict[str, tuple]:
+    """Per-point fitness keys, lower is better: (pareto rank, MCDM score).
+
+    Rank is the non-dominated sorting level over the *ok* points seen so
+    far; failed points rank behind everything.  The point id breaks the
+    final tie so comparisons are total.
+    """
+    ok = [r for r in results if r.ok]
+    fitness: dict[str, tuple] = {
+        r.point_id: (len(ok) + 1, 0.0, r.point_id)
+        for r in results if not r.ok
+    }
+    vectors = [r.objectives for r in ok]
+    scores = dict(mcdm_ranking(vectors, evaluator.objectives))
+    remaining = list(range(len(ok)))
+    rank = 0
+    while remaining:
+        front = pareto_front([vectors[i] for i in remaining],
+                             evaluator.objectives)
+        level = [remaining[k] for k in front]
+        for i in level:
+            fitness[ok[i].point_id] = (rank, scores[i], ok[i].point_id)
+        remaining = [i for i in remaining if i not in set(level)]
+        rank += 1
+    return fitness
+
+
+def evolutionary_search(evaluator: PointEvaluator,
+                        config: EvolutionaryConfig | None = None,
+                        ) -> SearchOutcome:
+    """Seeded generational search over axis-index genomes.
+
+    Every generation is recorded as a ``generation[g]`` tracer span
+    annotated with how many points were newly evaluated and the size of
+    the running Pareto front; per-generation summaries also ride in the
+    outcome's metadata for the report.
+    """
+    space = evaluator.space
+    config = config or EvolutionaryConfig()
+    if not space.axes or space.size() == 0:
+        return SearchOutcome("evolutionary", [],
+                             {**config.as_dict(), "history": []})
+    rng = random.Random(config.seed)
+    sizes = [len(axis.values) for axis in space.axes]
+
+    def random_genome() -> tuple[int, ...]:
+        return tuple(rng.randrange(size) for size in sizes)
+
+    def mutate(genome: tuple[int, ...]) -> tuple[int, ...]:
+        out = list(genome)
+        for k, size in enumerate(sizes):
+            if size > 1 and rng.random() < config.mutation_rate:
+                shift = rng.randrange(1, size)
+                out[k] = (out[k] + shift) % size
+        return tuple(out)
+
+    def crossover(a: tuple[int, ...],
+                  b: tuple[int, ...]) -> tuple[int, ...]:
+        if rng.random() >= config.crossover_rate:
+            return a
+        return tuple(x if rng.random() < 0.5 else y for x, y in zip(a, b))
+
+    seen_order: list[PointResult] = []
+    seen_ids: set[str] = set()
+
+    def evaluate_all(genomes: list[tuple[int, ...]]) -> int:
+        new = 0
+        for genome in genomes:
+            result = evaluator.evaluate(space.assignment(genome))
+            if result.point_id not in seen_ids:
+                seen_ids.add(result.point_id)
+                seen_order.append(result)
+                new += 1
+        return new
+
+    population = [random_genome() for _ in range(config.population)]
+    history: list[dict[str, Any]] = []
+    for generation in range(config.generations):
+        with evaluator.tracer.span(f"generation[{generation}]") as span:
+            new = evaluate_all(population)
+            fitness = _fitness(evaluator, seen_order)
+            ok = [r for r in seen_order if r.ok]
+            front = pareto_front([r.objectives for r in ok],
+                                 evaluator.objectives)
+            span.annotate(evaluated=len(population), new=new,
+                          front=len(front))
+            history.append({
+                "generation": generation,
+                "evaluated": len(seen_order),
+                "new": new,
+                "front": len(front),
+            })
+            if generation == config.generations - 1:
+                break
+
+            def select() -> tuple[int, ...]:
+                picks = [population[rng.randrange(len(population))]
+                         for _ in range(config.tournament)]
+                return min(
+                    picks,
+                    key=lambda g: fitness[
+                        space.point_id(space.assignment(g))],
+                )
+
+            elites = [space.indices(ok[i].assignment)
+                      for i in front[:config.elitism]]
+            offspring = list(elites)
+            while len(offspring) < config.population:
+                child = mutate(crossover(select(), select()))
+                offspring.append(child)
+            population = offspring
+    return SearchOutcome("evolutionary", seen_order,
+                         {**config.as_dict(), "history": history})

@@ -1,0 +1,189 @@
+"""Declarative design spaces: named axes over template specializations.
+
+A :class:`DesignSpace` is the OSSS selling point made enumerable: the
+*factory* re-specializes the same source per parameter assignment
+(template axes), while special-role axes select post-synthesis
+treatments the evaluator applies — today the ``hardening`` pass
+(``none`` / ``tmr`` / ``parity`` / ``tmr+parity``).  Scheduler choice
+rides as an ordinary template axis (``ExpoCU``'s ``SCHEDULER``
+parameter), exactly the paper's "designer can use a standard scheduler
+or implement an own one" knob.
+
+Assignments are plain ``{axis: value}`` dicts; their canonical identity
+(:meth:`DesignSpace.point_id`) and every enumeration here iterate axes
+in declaration order and values in listed order — never sets — so a
+space enumerates identically in every process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.dse.pareto import DseError
+
+#: Axis roles the evaluator understands.
+AXIS_ROLES = ("param", "hardening")
+
+
+class Axis:
+    """One named dimension: a value list plus its role.
+
+    ``role="param"`` values feed the space's factory as keyword
+    arguments; ``role="hardening"`` values name the netlist hardening
+    pass applied before the fault campaign.
+    """
+
+    def __init__(self, name: str, values: Sequence[Any],
+                 role: str = "param") -> None:
+        if role not in AXIS_ROLES:
+            raise DseError(f"axis {name!r}: unknown role {role!r} "
+                           f"(expected one of {AXIS_ROLES})")
+        values = list(values)
+        if len(set(map(repr, values))) != len(values):
+            raise DseError(f"axis {name!r} has duplicate values: {values}")
+        self.name = name
+        self.values = values
+        self.role = role
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "values": list(self.values),
+                "role": self.role}
+
+    def __repr__(self) -> str:
+        return f"Axis({self.name!r}, {self.values!r}, role={self.role!r})"
+
+
+class DesignSpace:
+    """A factory plus the axes the search strategies explore.
+
+    Parameters
+    ----------
+    name:
+        Space label carried into reports.
+    factory:
+        ``factory(**params)`` returns a fresh top-level module for one
+        assignment's ``param``-role values.
+    axes:
+        The dimensions, in declaration order.  At most one axis may
+        have the ``hardening`` role.
+    """
+
+    def __init__(self, name: str, factory: Callable[..., Any],
+                 axes: Sequence[Axis]) -> None:
+        names = [axis.name for axis in axes]
+        if len(set(names)) != len(names):
+            raise DseError(f"duplicate axis names in {names}")
+        hardening = [axis for axis in axes if axis.role == "hardening"]
+        if len(hardening) > 1:
+            raise DseError("a design space takes at most one hardening axis")
+        self.name = name
+        self.factory = factory
+        self.axes = list(axes)
+
+    def size(self) -> int:
+        """Number of points in the full factorial enumeration."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def validate(self, assignment: Mapping[str, Any]) -> dict[str, Any]:
+        """Check one assignment; returns it re-keyed in axis order."""
+        extra = set(assignment) - {axis.name for axis in self.axes}
+        if extra:
+            raise DseError(f"assignment has unknown axes {sorted(extra)}")
+        ordered: dict[str, Any] = {}
+        for axis in self.axes:
+            if axis.name not in assignment:
+                raise DseError(f"assignment is missing axis {axis.name!r}")
+            value = assignment[axis.name]
+            if value not in axis.values:
+                raise DseError(
+                    f"axis {axis.name!r} has no value {value!r} "
+                    f"(choices: {axis.values})"
+                )
+            ordered[axis.name] = value
+        return ordered
+
+    def params(self, assignment: Mapping[str, Any]) -> dict[str, Any]:
+        """The factory keyword arguments of one assignment."""
+        return {axis.name: assignment[axis.name]
+                for axis in self.axes if axis.role == "param"}
+
+    def hardening(self, assignment: Mapping[str, Any]) -> str:
+        """The assignment's hardening pass (``"none"`` without the axis)."""
+        for axis in self.axes:
+            if axis.role == "hardening":
+                return assignment[axis.name]
+        return "none"
+
+    def point_id(self, assignment: Mapping[str, Any]) -> str:
+        """Canonical point identity: ``axis=value`` in axis order."""
+        return ",".join(f"{axis.name}={assignment[axis.name]}"
+                        for axis in self.axes)
+
+    def indices(self, assignment: Mapping[str, Any]) -> tuple[int, ...]:
+        """The assignment as a genome: one value index per axis."""
+        return tuple(axis.values.index(assignment[axis.name])
+                     for axis in self.axes)
+
+    def assignment(self, indices: Sequence[int]) -> dict[str, Any]:
+        """Decode a genome back into an assignment."""
+        if len(indices) != len(self.axes):
+            raise DseError(
+                f"genome length {len(indices)} != {len(self.axes)} axes"
+            )
+        return {axis.name: axis.values[k]
+                for axis, k in zip(self.axes, indices)}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"name": self.name,
+                "axes": [axis.as_dict() for axis in self.axes]}
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(len(axis.values)) for axis in self.axes)
+        return f"DesignSpace({self.name!r}, {dims}={self.size()} points)"
+
+
+def full_factorial(space: DesignSpace) -> list[dict[str, Any]]:
+    """Every assignment of the space, in axis-major declaration order.
+
+    An axis with an empty value list makes the space empty — the
+    enumeration is ``[]``, not an error, so sweeps and searches degrade
+    to a zero-point report.
+    """
+    points: list[dict[str, Any]] = [{}]
+    for axis in space.axes:
+        points = [dict(point, **{axis.name: value})
+                  for point in points for value in axis.values]
+    return points
+
+
+def fractional_factorial(space: DesignSpace,
+                         fraction: int) -> list[dict[str, Any]]:
+    """A deterministic 1/*fraction* subset of the full factorial.
+
+    Classical generalized fractional design: keep the assignments whose
+    level indices sum to 0 modulo *fraction*.  Every axis level still
+    appears (for ``fraction`` at most the largest axis), interactions
+    are confounded in the usual way, and the subset is a pure function
+    of the space — no RNG.
+    """
+    if fraction < 1:
+        raise DseError(f"fraction must be >= 1, got {fraction}")
+    if fraction == 1:
+        return full_factorial(space)
+    return [
+        assignment for assignment in full_factorial(space)
+        if sum(space.indices(assignment)) % fraction == 0
+    ]
+
+
+def neighbors(space: DesignSpace,
+              assignment: Mapping[str, Any]) -> Iterable[dict[str, Any]]:
+    """All assignments differing from *assignment* in exactly one axis."""
+    base = space.validate(assignment)
+    for axis in space.axes:
+        for value in axis.values:
+            if value != base[axis.name]:
+                yield dict(base, **{axis.name: value})

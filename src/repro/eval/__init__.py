@@ -13,6 +13,7 @@ from repro.eval.equivalence import (
 )
 from repro.eval.flows import (
     FlowResult,
+    netlist_prefix,
     run_netlist_analysis,
     run_osss_flow,
     run_rtl,
@@ -21,7 +22,7 @@ from repro.eval.flows import (
 from repro.eval.metrics import RateSample, measure_stage, simulation_rates, speedup_table
 from repro.eval.report import flow_comparison, format_table, module_inventory
 from repro.eval.resilience import hardening_comparison
-from repro.eval.sweep import SweepPoint, grid, monotonic, sweep
+from repro.eval.sweep import PointRunner, SweepPoint, grid, monotonic, sweep
 
 __all__ = [
     "EffortMetrics",
@@ -42,11 +43,13 @@ __all__ = [
     "measure_source",
     "measure_stage",
     "module_inventory",
+    "netlist_prefix",
     "run_netlist_analysis",
     "run_osss_flow",
     "run_rtl",
     "run_vhdl_flow",
     "simulation_rates",
+    "PointRunner",
     "SweepPoint",
     "grid",
     "monotonic",

@@ -226,6 +226,41 @@ def run_osss_flow(module: Module, name: str = "osss",
     return result
 
 
+def netlist_prefix(module: Module, runner: StageRunner,
+                   lazy_opt: bool = False):
+    """The memoized synthesize → techmap → opt prefix, reentrant.
+
+    Shared by :func:`run_netlist_analysis` and the design-space
+    exploration evaluator (:mod:`repro.dse.evaluate`): the three stages
+    run under the *same* names and keys as :func:`run_osss_flow`, so a
+    prior ``repro build`` leaves them warm and any number of callers
+    may re-enter them against one store.  Returns the ``(synthesize,
+    techmap, opt)`` :class:`~repro.store.StageOutcome` triple; with
+    ``lazy_opt`` a warm ``opt`` entry yields only its digest, and the
+    optimized netlist never leaves disk unless ``.value()`` is called.
+    """
+    design_fp = (fingerprint_design(module)
+                 if runner.store is not None else "")
+    synth_outcome = runner.run(
+        "synthesize", (design_fp,),
+        compute=lambda: synthesize(module, observe_children=False),
+        dump=serialize_rtl, load=deserialize_rtl,
+    )
+    techmap_outcome = runner.run(
+        "techmap", (synth_outcome.digest,),
+        compute=lambda: map_module(synth_outcome.value()),
+        dump=serialize_circuit, load=deserialize_circuit,
+        lazy=True,
+    )
+    opt_outcome = runner.run(
+        "opt", (techmap_outcome.digest,),
+        compute=lambda: _optimized(techmap_outcome.value()),
+        dump=serialize_circuit, load=deserialize_circuit,
+        lazy=lazy_opt,
+    )
+    return synth_outcome, techmap_outcome, opt_outcome
+
+
 def run_netlist_analysis(module: Module, name: str = "osss",
                          tracer: Tracer | None = None,
                          store: ArtifactStore | None = None,
@@ -245,23 +280,7 @@ def run_netlist_analysis(module: Module, name: str = "osss",
     tracer = runner.tracer
     with time_limit(deadline_s, label=f"analyze:{name}"), \
             tracer.span(f"analyze:{name}") as span:
-        design_fp = fingerprint_design(module) if store is not None else ""
-        synth_outcome = runner.run(
-            "synthesize", (design_fp,),
-            compute=lambda: synthesize(module, observe_children=False),
-            dump=serialize_rtl, load=deserialize_rtl,
-        )
-        techmap_outcome = runner.run(
-            "techmap", (synth_outcome.digest,),
-            compute=lambda: map_module(synth_outcome.value()),
-            dump=serialize_circuit, load=deserialize_circuit,
-            lazy=True,
-        )
-        opt_outcome = runner.run(
-            "opt", (techmap_outcome.digest,),
-            compute=lambda: _optimized(techmap_outcome.value()),
-            dump=serialize_circuit, load=deserialize_circuit,
-        )
+        _, _, opt_outcome = netlist_prefix(module, runner)
         circuit = opt_outcome.value()
         analysis = runner.run(
             "testability", (opt_outcome.digest,),

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from repro.hdl import Input, Module, Output
 from repro.hdl.signal import Signal
-from repro.osss import SharedObject, template
+from repro.osss import Fcfs, RoundRobin, SharedObject, StaticPriority, template
 from repro.types import Bit, Unsigned
 from repro.types.spec import bit, unsigned
 
@@ -36,7 +36,18 @@ from repro.expocu.syncreg import CamSync
 from repro.expocu.threshold import ThresholdUnit
 
 
-@template("FRAME_W", "FRAME_H", TARGET=128, I2C_DIVIDER=4, COUNT_BITS=12)
+#: Scheduler policies the ``SCHEDULER`` template parameter accepts —
+#: the paper's "standard scheduler or an own one" knob, selectable per
+#: specialization so design-space exploration can sweep arbitration.
+SCHEDULERS = {
+    "round_robin": RoundRobin,
+    "static_priority": StaticPriority,
+    "fcfs": Fcfs,
+}
+
+
+@template("FRAME_W", "FRAME_H", TARGET=128, I2C_DIVIDER=4, COUNT_BITS=12,
+          SCHEDULER="round_robin")
 class ExpoCU(Module):
     """The complete exposure control unit.
 
@@ -50,6 +61,9 @@ class ExpoCU(Module):
         System-clock cycles per quarter SCL period.
     COUNT_BITS:
         Histogram counter width.
+    SCHEDULER:
+        Arbitration policy of the shared multiplier (:data:`SCHEDULERS`
+        key); each policy synthesizes different arbitration hardware.
     """
 
     # Camera-side video interface.
@@ -80,7 +94,14 @@ class ExpoCU(Module):
         self.thresh = ThresholdUnit[count_bits, frame_pixels](
             "thresh", clk, rst
         )
-        shared_mul = SharedObject(f"{name}_mul", SharedMultiplier())
+        if self.SCHEDULER not in SCHEDULERS:
+            raise ValueError(
+                f"unknown SCHEDULER {self.SCHEDULER!r} "
+                f"(choices: {sorted(SCHEDULERS)})"
+            )
+        scheduler = SCHEDULERS[self.SCHEDULER]()
+        shared_mul = SharedObject(f"{name}_mul", SharedMultiplier(),
+                                  scheduler=scheduler)
         self.params = ExpoParamsUnit[self.TARGET](
             "params", clk, rst, shared=shared_mul
         )

@@ -189,6 +189,30 @@ class CampaignResult:
         counts = self.outcomes
         return {outcome: counts[outcome] / total for outcome in OUTCOMES}
 
+    def objectives(self, drain_budget: int | None = None) -> dict[str, Any]:
+        """Robustness/cost objectives for design-space exploration.
+
+        ``sdc_rate`` / ``detected_rate`` are the outcome shares;
+        ``sim_cycles`` is a deterministic campaign-cost proxy counted in
+        simulated cycles, not wall time, so it is identical across
+        backends and job counts: the golden run (stimulus plus its drain)
+        plus, per classified fault, the re-simulated tail from the
+        injection cycle and the drain phase (a hang consumes the full
+        *drain_budget*; anything else drains like the golden run).
+        """
+        rates = self.outcome_rates()
+        drain = self.golden_drain_cycles
+        hang_drain = drain if drain_budget is None else drain_budget
+        sim_cycles = self.cycles + drain
+        for record in self.records:
+            sim_cycles += self.cycles - record.fault.cycle
+            sim_cycles += hang_drain if record.outcome == "hang" else drain
+        return {
+            "sdc_rate": round(rates["sdc"], 9),
+            "detected_rate": round(rates["detected"], 9),
+            "sim_cycles": sim_cycles,
+        }
+
     def as_dict(self) -> dict[str, Any]:
         doc = {
             "schema": "repro-fault-campaign/v1",

@@ -25,9 +25,13 @@ from repro.store.fingerprint import (
 )
 from repro.store.memo import StageOutcome, StageRunner
 from repro.store.serialize import (
+    DSE_POINT_SCHEMA,
+    DSE_SCHEMA,
     TESTABILITY_SCHEMA,
     deserialize_circuit,
     deserialize_diagnostics,
+    deserialize_dse_point,
+    deserialize_dse_report,
     deserialize_fault_record,
     deserialize_placement,
     deserialize_rtl,
@@ -35,6 +39,8 @@ from repro.store.serialize import (
     deserialize_timing,
     serialize_circuit,
     serialize_diagnostics,
+    serialize_dse_point,
+    serialize_dse_report,
     serialize_fault_record,
     serialize_placement,
     serialize_rtl,
@@ -44,6 +50,8 @@ from repro.store.serialize import (
 
 __all__ = [
     "ArtifactStore",
+    "DSE_POINT_SCHEMA",
+    "DSE_SCHEMA",
     "STORE_SCHEMA",
     "TESTABILITY_SCHEMA",
     "StageOutcome",
@@ -53,6 +61,8 @@ __all__ = [
     "digest_doc",
     "deserialize_circuit",
     "deserialize_diagnostics",
+    "deserialize_dse_point",
+    "deserialize_dse_report",
     "deserialize_fault_record",
     "deserialize_placement",
     "deserialize_rtl",
@@ -63,6 +73,8 @@ __all__ = [
     "fingerprint_rtl",
     "serialize_circuit",
     "serialize_diagnostics",
+    "serialize_dse_point",
+    "serialize_dse_report",
     "serialize_fault_record",
     "serialize_placement",
     "serialize_rtl",

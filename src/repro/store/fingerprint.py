@@ -55,6 +55,11 @@ _STAGE_SOURCES: dict[str, tuple[str, ...]] = {
     "sta_routed": ("netlist/sta.py", "netlist/pnr.py", "netlist/cells.py"),
     "testability": ("analyze/netlist", "netlist/circuit.py",
                     "netlist/cells.py"),
+    "harden": ("fault/harden.py", "netlist/circuit.py",
+               "netlist/cells.py"),
+    "dse_point": ("fault", "dse/evaluate.py", "netlist/sim.py",
+                  "netlist/circuit.py", "netlist/cells.py",
+                  "netlist/sta.py", "netlist/area.py", "rtl/simulate.py"),
 }
 
 #: Folded into every stage version: the serializers define the artifact

@@ -63,6 +63,8 @@ TIMING_SCHEMA = "repro-timing/v1"
 PLACEMENT_SCHEMA = "repro-placement/v1"
 DIAGS_SCHEMA = "repro-diags/v1"
 TESTABILITY_SCHEMA = "repro-testability/v1"
+DSE_POINT_SCHEMA = "repro-dse-point/v1"
+DSE_SCHEMA = "repro-dse/v1"
 
 
 def _expect_schema(doc: Any, schema: str) -> None:
@@ -620,6 +622,90 @@ def deserialize_fault_record(doc: Any) -> Any:
         raise StoreError(
             f"corrupt fault record in journal: {type(exc).__name__}: {exc}"
         ) from exc
+
+
+def serialize_dse_point(metrics: dict, campaign: dict,
+                        objectives: dict) -> dict:
+    """Serialize one evaluated DSE point (cached under the ``dse_point``
+    stage key).
+
+    The document deliberately carries **no point identity** — two
+    assignments that specialize to identical hardware share one cache
+    entry; the assignment/``point_id`` labels attach at report level.
+    All three sections are flat ``{name: number}``-style dicts built in
+    insertion order by :mod:`repro.dse.evaluate`.
+    """
+    return {
+        "schema": DSE_POINT_SCHEMA,
+        "metrics": dict(metrics),
+        "campaign": dict(campaign),
+        "objectives": dict(objectives),
+    }
+
+
+def deserialize_dse_point(doc: Any) -> dict:
+    """Validate and rebuild a cached DSE point document."""
+    _expect_schema(doc, DSE_POINT_SCHEMA)
+    try:
+        out = {
+            "schema": DSE_POINT_SCHEMA,
+            "metrics": dict(doc["metrics"]),
+            "campaign": dict(doc["campaign"]),
+            "objectives": dict(doc["objectives"]),
+        }
+        for name, value in out["objectives"].items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise StoreError(
+                    f"objective {name!r} is not a number: {value!r}")
+        return out
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(DSE_POINT_SCHEMA, exc) from exc
+
+
+def serialize_dse_report(doc: dict) -> dict:
+    """Stamp-and-validate a ``repro-dse/v1`` exploration report.
+
+    The document is assembled by :mod:`repro.dse.report`; this checks the
+    invariants other tools rely on (schema tag, point list sorted by
+    ``id``, Pareto/ranking ids all evaluated) so a malformed report never
+    enters the store or leaves the CLI.
+    """
+    out = dict(doc)
+    out["schema"] = DSE_SCHEMA
+    _check_dse_report(out)
+    return out
+
+
+def deserialize_dse_report(doc: Any) -> dict:
+    """Validate a stored ``repro-dse/v1`` report document."""
+    _expect_schema(doc, DSE_SCHEMA)
+    _check_dse_report(doc)
+    return {key: doc[key] for key in doc}
+
+
+def _check_dse_report(doc: dict) -> None:
+    try:
+        for key in ("space", "strategy", "objectives", "points",
+                    "failures", "pareto", "ranking"):
+            if key not in doc:
+                raise StoreError(f"report is missing {key!r}")
+        ids = [point["id"] for point in doc["points"]]
+        if ids != sorted(ids):
+            raise StoreError("report points are not sorted by id")
+        known = set(ids)
+        for pid in doc["pareto"]:
+            if pid not in known:
+                raise StoreError(f"pareto id {pid!r} was never evaluated")
+        for entry in doc["ranking"]:
+            if entry["id"] not in known:
+                raise StoreError(
+                    f"ranking id {entry['id']!r} was never evaluated")
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise _corrupt(DSE_SCHEMA, exc) from exc
 
 
 def serialize_diagnostics(diagnostics: list[Diagnostic]) -> dict:

@@ -1,0 +1,59 @@
+"""Shared fixtures: a cheap HistogramUnit design space.
+
+The engine tests explore the histogram block instead of the full ExpoCU
+— a point costs ~0.2s cold, so factorial + evolutionary + warm-store
+assertions all fit in tier-1 time.  The full ExpoCU acceptance space
+lives in ``test_expocu_acceptance.py`` (marked slow).
+"""
+
+import random
+
+import pytest
+
+from repro.dse import Axis, CampaignSpec, DesignSpace
+from repro.expocu.histogram import HistogramUnit
+from repro.fault.campaign import CampaignConfig
+from repro.hdl import NS, Clock, Signal
+from repro.types import Bit
+from repro.types.spec import bit
+
+HIST_IDLE = dict(pix=0, pix_valid=0, frame_start=0)
+
+
+def hist_factory(count_bits=8):
+    return HistogramUnit[count_bits]("h", Clock("clk", 10 * NS),
+                                     Signal("rst", bit(), Bit(1)))
+
+
+def hist_space(count_bits=(6, 8), hardening=("none", "parity")):
+    axes = [Axis("count_bits", list(count_bits))]
+    if hardening:
+        axes.append(Axis("hardening", list(hardening), role="hardening"))
+    return DesignSpace("hist", hist_factory, axes)
+
+
+def hist_spec(n_faults=12, seed=3, cycles=40):
+    rng = random.Random(7)
+    stimulus = [
+        dict(pix=rng.randint(0, 255), pix_valid=1,
+             frame_start=1 if cycle == 0 else 0)
+        for cycle in range(cycles)
+    ]
+    return CampaignSpec(
+        stimulus=stimulus,
+        config=CampaignConfig(reset_name="reset",
+                              detect_signals=("parity_err",),
+                              idle_input=dict(HIST_IDLE)),
+        n_faults=n_faults,
+        seed=seed,
+    )
+
+
+@pytest.fixture
+def space():
+    return hist_space()
+
+
+@pytest.fixture
+def spec():
+    return hist_spec()

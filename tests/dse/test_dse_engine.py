@@ -1,0 +1,180 @@
+"""End-to-end engine tests on the cheap HistogramUnit space."""
+
+import json
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    DesignSpace,
+    DseError,
+    EvolutionaryConfig,
+    Objective,
+    PointEvaluator,
+    dominates,
+    evolutionary_search,
+    explore,
+    factorial_search,
+)
+from repro.store import StoreError, serialize_dse_report
+from repro.synth import SynthesisError
+
+from tests.dse.conftest import hist_factory
+
+
+def oracle_front_ids(doc):
+    """Brute-force front over a report's points, by id."""
+    objectives = [Objective(o["name"], o["sense"], o["weight"])
+                  for o in doc["objectives"]]
+    points = doc["points"]
+    return [
+        a["id"] for a in points
+        if not any(dominates(b["objectives"], a["objectives"], objectives)
+                   for b in points if b is not a)
+    ]
+
+
+class TestFactorialExplore:
+    def test_report_shape_and_front(self, space, spec):
+        result = explore(space, spec)
+        doc = result.doc
+        assert doc["schema"] == "repro-dse/v1"
+        assert doc["space"]["name"] == "hist"
+        assert doc["strategy"] == {"name": "factorial", "fraction": 1,
+                                   "points": 4}
+        assert len(doc["points"]) == 4
+        ids = [p["id"] for p in doc["points"]]
+        assert ids == sorted(ids)
+        assert doc["failures"] == []
+        # The reported front matches the brute-force oracle exactly.
+        assert doc["pareto"] == oracle_front_ids(doc)
+        # Ranking is total, best first, scores non-decreasing.
+        scores = [entry["score"] for entry in doc["ranking"]]
+        assert sorted(entry["id"] for entry in doc["ranking"]) == ids
+        assert scores == sorted(scores)
+        # Every point carries the full objective vector.
+        for point in doc["points"]:
+            for name in ("area_ge", "fmax_mhz", "sdc_rate", "sim_cycles"):
+                assert name in point["objectives"]
+
+    def test_hardening_axis_changes_hardware(self, space, spec):
+        doc = explore(space, spec).doc
+        by_id = {p["id"]: p for p in doc["points"]}
+        plain = by_id["count_bits=8,hardening=none"]
+        parity = by_id["count_bits=8,hardening=parity"]
+        assert parity["metrics"]["area_ge"] > plain["metrics"]["area_ge"]
+        # The parity point's campaign saw the detector, the plain did not.
+        assert parity["campaign"]["detect_signals"] == ["parity_err"]
+        assert plain["campaign"]["detect_signals"] == []
+
+    def test_summary_text(self, space, spec):
+        result = explore(space, spec)
+        text = result.summary()
+        assert "4 evaluated" in text
+        for point in result.points:
+            assert point["id"] in text
+
+    def test_json_roundtrip(self, space, spec):
+        result = explore(space, spec)
+        assert json.loads(result.to_json()) == result.doc
+
+    def test_unknown_strategy_rejected(self, space, spec):
+        with pytest.raises(DseError):
+            explore(space, spec, strategy="annealing")
+
+
+class TestFailureRecording:
+    def test_failing_point_recorded_not_fatal(self, spec):
+        def factory(count_bits=8):
+            if count_bits == 7:
+                raise SynthesisError("unsupported histogram width")
+            return hist_factory(count_bits)
+
+        space = DesignSpace("hist", factory, [Axis("count_bits", [7, 8])])
+        doc = explore(space, spec).doc
+        assert [p["id"] for p in doc["points"]] == ["count_bits=8"]
+        assert len(doc["failures"]) == 1
+        failure = doc["failures"][0]
+        assert failure["id"] == "count_bits=7"
+        assert failure["error"].startswith("SynthesisError:")
+        assert doc["pareto"] == ["count_bits=8"]
+
+
+class TestEvolutionaryExplore:
+    def test_finds_the_factorial_front(self, space, spec):
+        factorial = explore(space, spec)
+        evolved = explore(
+            space, spec, strategy="evolutionary",
+            evolution=EvolutionaryConfig(population=4, generations=4,
+                                         seed=9),
+        )
+        assert set(factorial.pareto_ids) <= set(evolved.pareto_ids)
+        history = evolved.doc["strategy"]["history"]
+        assert len(history) == 4
+        assert history[-1]["evaluated"] >= history[0]["evaluated"]
+
+    def test_fixed_seed_reproduces_the_search(self, space, spec):
+        config = EvolutionaryConfig(population=4, generations=3, seed=5)
+        first = explore(space, spec, strategy="evolutionary",
+                        evolution=config)
+        again = explore(space, spec, strategy="evolutionary",
+                        evolution=config)
+        assert first.to_json() == again.to_json()
+
+    def test_empty_space_degrades_to_empty_outcome(self, spec):
+        space = DesignSpace("empty", hist_factory, [Axis("count_bits", [])])
+        evaluator = PointEvaluator(space, spec)
+        outcome = evolutionary_search(evaluator)
+        assert outcome.results == []
+        assert outcome.meta["history"] == []
+
+    def test_config_validation(self):
+        with pytest.raises(DseError):
+            EvolutionaryConfig(population=1)
+        with pytest.raises(DseError):
+            EvolutionaryConfig(generations=0)
+        with pytest.raises(DseError):
+            EvolutionaryConfig(tournament=0)
+
+
+class TestFractionalSearch:
+    def test_fraction_skips_points(self, space, spec):
+        evaluator = PointEvaluator(space, spec)
+        outcome = factorial_search(evaluator, fraction=2)
+        assert outcome.meta["fraction"] == 2
+        assert 0 < len(outcome.results) < space.size()
+
+
+class TestReportValidation:
+    def _doc(self):
+        return {
+            "space": {"name": "s", "axes": []},
+            "strategy": {"name": "factorial"},
+            "objectives": [],
+            "points": [{"id": "a"}, {"id": "b"}],
+            "failures": [],
+            "pareto": ["a"],
+            "ranking": [{"id": "b", "score": 0.0}],
+        }
+
+    def test_valid_doc_is_stamped(self):
+        doc = serialize_dse_report(self._doc())
+        assert doc["schema"] == "repro-dse/v1"
+
+    def test_unsorted_points_rejected(self):
+        doc = self._doc()
+        doc["points"] = doc["points"][::-1]
+        with pytest.raises(StoreError):
+            serialize_dse_report(doc)
+
+    def test_unknown_pareto_id_rejected(self):
+        doc = self._doc()
+        doc["pareto"] = ["zz"]
+        with pytest.raises(StoreError):
+            serialize_dse_report(doc)
+
+    def test_missing_section_rejected(self):
+        doc = self._doc()
+        del doc["ranking"]
+        with pytest.raises(StoreError):
+            serialize_dse_report(doc)

@@ -1,0 +1,98 @@
+"""The PR's acceptance criterion, end to end on the real ExpoCU.
+
+On the bundled 24-point ``full`` space (2 dividers × 2 counter widths ×
+2 schedulers × 3 hardening modes, ``side=4`` geometry):
+
+* the factorial ``repro-dse/v1`` report's Pareto front matches the
+  brute-force O(n²) oracle exactly;
+* the evolutionary strategy with a fixed seed finds every
+  factorial-front point;
+* a warm re-run replays byte-identically from the store with zero
+  misses.
+
+One cold factorial populates a module-scoped store; everything else
+rides its cache.
+"""
+
+import pytest
+
+from repro.dse import (
+    EvolutionaryConfig,
+    Objective,
+    dominates,
+    expocu_campaign_spec,
+    expocu_space,
+    explore,
+)
+from repro.store import ArtifactStore
+
+pytestmark = pytest.mark.slow
+
+N_FAULTS = 12
+EVOLUTION = EvolutionaryConfig(population=12, generations=10, seed=1)
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("dse-library"))
+
+
+@pytest.fixture(scope="module")
+def cold_report(store_dir):
+    space = expocu_space("full")
+    spec = expocu_campaign_spec(faults=N_FAULTS)
+    return explore(space, spec, store=ArtifactStore(store_dir))
+
+
+class TestExpoCuAcceptance:
+    def test_space_has_at_least_24_points(self):
+        assert expocu_space("full").size() >= 24
+
+    def test_factorial_front_matches_bruteforce_oracle(self, cold_report):
+        doc = cold_report.doc
+        assert doc["schema"] == "repro-dse/v1"
+        assert len(doc["points"]) == 24
+        assert doc["failures"] == []
+        objectives = [Objective(o["name"], o["sense"], o["weight"])
+                      for o in doc["objectives"]]
+        oracle = [
+            a["id"] for a in doc["points"]
+            if not any(
+                dominates(b["objectives"], a["objectives"], objectives)
+                for b in doc["points"] if b is not a
+            )
+        ]
+        assert doc["pareto"] == oracle
+
+    def test_axes_shape_the_hardware(self, cold_report):
+        by_id = {p["id"]: p for p in cold_report.points}
+        base = "i2c_divider=2,count_bits=8,scheduler={},hardening={}"
+        plain = by_id[base.format("round_robin", "none")]
+        tmr = by_id[base.format("round_robin", "tmr")]
+        fcfs = by_id[base.format("fcfs", "none")]
+        # TMR triplicates every flop (plus voters): strictly bigger.
+        assert tmr["metrics"]["flops"] == 3 * plain["metrics"]["flops"]
+        assert tmr["metrics"]["area_ge"] > 1.5 * plain["metrics"]["area_ge"]
+        # FCFS arbitration needs age counters: different hardware.
+        assert fcfs["metrics"]["area_ge"] != plain["metrics"]["area_ge"]
+
+    def test_evolutionary_finds_every_factorial_front_point(
+            self, cold_report, store_dir):
+        store = ArtifactStore(store_dir)
+        evolved = explore(
+            expocu_space("full"), expocu_campaign_spec(faults=N_FAULTS),
+            strategy="evolutionary", evolution=EVOLUTION, store=store,
+        )
+        assert set(cold_report.pareto_ids) <= set(evolved.pareto_ids)
+        # The search only replayed cached points: nothing re-simulated.
+        assert dict(store.counters["miss"]) == {}
+
+    def test_warm_rerun_is_byte_identical(self, cold_report, store_dir):
+        store = ArtifactStore(store_dir)
+        warm = explore(
+            expocu_space("full"), expocu_campaign_spec(faults=N_FAULTS),
+            store=store,
+        )
+        assert warm.to_json() == cold_report.to_json()
+        assert dict(store.counters["miss"]) == {}
+        assert store.counters["hit"]["dse_point"] == 24

@@ -1,0 +1,175 @@
+"""Property tests: the Pareto front against a brute-force O(n²) oracle.
+
+The engine's front (sorted simple-cull) must match, point for point,
+the definitionally-obvious oracle that compares every pair — over
+seeded random vector sets with duplicates forced in, and over the
+degenerate shapes (single objective, single point, all-duplicates,
+empty input).
+"""
+
+import random
+
+import pytest
+
+from repro.dse import (
+    DseError,
+    Objective,
+    dominates,
+    mcdm_ranking,
+    pareto_front,
+)
+
+
+def oracle_front(vectors, objectives):
+    """Brute force: index i survives iff no j dominates it."""
+    return [
+        i for i, a in enumerate(vectors)
+        if not any(dominates(b, a, objectives)
+                   for j, b in enumerate(vectors) if j != i)
+    ]
+
+
+def random_vectors(rng, n, objectives, grid=4):
+    """Vectors drawn from a small value grid so duplicates are common."""
+    return [
+        {o.name: float(rng.randrange(grid)) for o in objectives}
+        for _ in range(n)
+    ]
+
+
+class TestParetoProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        dims = rng.randint(1, 4)
+        objectives = [
+            Objective(f"o{k}", rng.choice(("min", "max")))
+            for k in range(dims)
+        ]
+        vectors = random_vectors(rng, rng.randint(1, 60), objectives,
+                                 grid=rng.choice((2, 4, 9)))
+        assert pareto_front(vectors, objectives) == \
+            oracle_front(vectors, objectives)
+
+    @pytest.mark.parametrize("seed", (0, 7, 23))
+    def test_front_members_are_mutually_nondominating(self, seed):
+        rng = random.Random(seed)
+        objectives = [Objective("a"), Objective("b", "max"), Objective("c")]
+        vectors = random_vectors(rng, 40, objectives)
+        front = pareto_front(vectors, objectives)
+        for i in front:
+            for j in front:
+                assert not dominates(vectors[i], vectors[j], objectives)
+
+    def test_duplicates_all_stay_on_front(self):
+        objectives = [Objective("x"), Objective("y")]
+        vectors = [{"x": 1.0, "y": 2.0}] * 5
+        assert pareto_front(vectors, objectives) == [0, 1, 2, 3, 4]
+
+    def test_duplicate_of_a_front_point_survives_too(self):
+        objectives = [Objective("x"), Objective("y")]
+        vectors = [
+            {"x": 0.0, "y": 5.0},
+            {"x": 5.0, "y": 0.0},
+            {"x": 0.0, "y": 5.0},   # duplicate of index 0
+            {"x": 9.0, "y": 9.0},   # dominated
+        ]
+        assert pareto_front(vectors, objectives) == [0, 1, 2]
+
+    def test_single_objective_keeps_only_minima(self):
+        objectives = [Objective("cost")]
+        vectors = [{"cost": v} for v in (3.0, 1.0, 2.0, 1.0)]
+        assert pareto_front(vectors, objectives) == [1, 3]
+
+    def test_single_objective_max_sense(self):
+        objectives = [Objective("gain", "max")]
+        vectors = [{"gain": v} for v in (3.0, 9.0, 9.0, 2.0)]
+        assert pareto_front(vectors, objectives) == [1, 2]
+
+    def test_single_point(self):
+        assert pareto_front([{"x": 4.0}], [Objective("x")]) == [0]
+
+    def test_empty_input(self):
+        assert pareto_front([], [Objective("x")]) == []
+
+    def test_no_objectives_rejected(self):
+        with pytest.raises(DseError):
+            pareto_front([{"x": 1.0}], [])
+
+    def test_missing_objective_value_rejected(self):
+        with pytest.raises(DseError):
+            pareto_front([{"x": 1.0}], [Objective("y")])
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        objectives = [Objective("a"), Objective("b")]
+        assert dominates({"a": 0.0, "b": 0.0}, {"a": 1.0, "b": 1.0},
+                         objectives)
+
+    def test_equal_vectors_do_not_dominate(self):
+        objectives = [Objective("a"), Objective("b")]
+        v = {"a": 1.0, "b": 2.0}
+        assert not dominates(v, dict(v), objectives)
+
+    def test_trade_off_does_not_dominate(self):
+        objectives = [Objective("a"), Objective("b")]
+        assert not dominates({"a": 0.0, "b": 2.0}, {"a": 2.0, "b": 0.0},
+                             objectives)
+
+    def test_max_sense_flips_direction(self):
+        objectives = [Objective("fmax", "max")]
+        assert dominates({"fmax": 100.0}, {"fmax": 50.0}, objectives)
+        assert not dominates({"fmax": 50.0}, {"fmax": 100.0}, objectives)
+
+
+class TestMcdmRanking:
+    def test_orders_by_weighted_distance(self):
+        objectives = [Objective("a"), Objective("b")]
+        vectors = [
+            {"a": 0.0, "b": 0.0},   # best in both
+            {"a": 1.0, "b": 1.0},   # worst in both
+            {"a": 0.0, "b": 1.0},
+        ]
+        ranking = mcdm_ranking(vectors, objectives)
+        assert [i for i, _ in ranking] == [0, 2, 1]
+        assert ranking[0][1] == 0.0
+        assert ranking[-1][1] == 2.0
+
+    def test_weights_scale_contributions(self):
+        objectives = [Objective("a", weight=3.0), Objective("b", weight=1.0)]
+        vectors = [{"a": 1.0, "b": 0.0}, {"a": 0.0, "b": 1.0}]
+        ranking = dict(mcdm_ranking(vectors, objectives))
+        assert ranking[0] == 3.0
+        assert ranking[1] == 1.0
+
+    def test_constant_objective_contributes_nothing(self):
+        objectives = [Objective("a"), Objective("b")]
+        vectors = [{"a": 5.0, "b": 0.0}, {"a": 5.0, "b": 1.0}]
+        ranking = mcdm_ranking(vectors, objectives)
+        assert ranking == [(0, 0.0), (1, 1.0)]
+
+    def test_ties_break_by_index(self):
+        objectives = [Objective("a")]
+        vectors = [{"a": 1.0}, {"a": 1.0}]
+        assert mcdm_ranking(vectors, objectives) == [(0, 0.0), (1, 0.0)]
+
+    def test_empty(self):
+        assert mcdm_ranking([], [Objective("a")]) == []
+
+    def test_ranking_is_total(self):
+        rng = random.Random(5)
+        objectives = [Objective("a"), Objective("b", "max")]
+        vectors = random_vectors(rng, 30, objectives)
+        ranking = mcdm_ranking(vectors, objectives)
+        assert sorted(i for i, _ in ranking) == list(range(30))
+
+
+class TestObjective:
+    def test_bad_sense_rejected(self):
+        with pytest.raises(DseError):
+            Objective("x", "upward")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DseError):
+            Objective("x", weight=-1.0)

@@ -1,0 +1,130 @@
+"""The declarative space model: axes, enumeration, genomes."""
+
+import pytest
+
+from repro.dse import (
+    Axis,
+    DesignSpace,
+    DseError,
+    fractional_factorial,
+    full_factorial,
+    neighbors,
+)
+
+
+def _space(**kwargs):
+    axes = kwargs.pop("axes", [
+        Axis("width", [8, 16, 32]),
+        Axis("hardening", ["none", "tmr"], role="hardening"),
+    ])
+    return DesignSpace("s", lambda **params: params, axes, **kwargs)
+
+
+class TestAxis:
+    def test_unknown_role_rejected(self):
+        with pytest.raises(DseError):
+            Axis("x", [1, 2], role="objective")
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(DseError):
+            Axis("x", [1, 2, 1])
+
+    def test_as_dict(self):
+        assert Axis("x", [1, 2]).as_dict() == \
+            {"name": "x", "values": [1, 2], "role": "param"}
+
+
+class TestDesignSpace:
+    def test_size(self):
+        assert _space().size() == 6
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(DseError):
+            _space(axes=[Axis("x", [1]), Axis("x", [2])])
+
+    def test_two_hardening_axes_rejected(self):
+        with pytest.raises(DseError):
+            _space(axes=[Axis("a", ["none"], role="hardening"),
+                         Axis("b", ["tmr"], role="hardening")])
+
+    def test_validate_reorders_and_checks(self):
+        space = _space()
+        ordered = space.validate({"hardening": "tmr", "width": 16})
+        assert list(ordered) == ["width", "hardening"]
+        with pytest.raises(DseError):
+            space.validate({"width": 16})            # missing axis
+        with pytest.raises(DseError):
+            space.validate({"width": 16, "hardening": "tmr", "x": 1})
+        with pytest.raises(DseError):
+            space.validate({"width": 12, "hardening": "tmr"})
+
+    def test_params_excludes_hardening(self):
+        space = _space()
+        point = {"width": 8, "hardening": "tmr"}
+        assert space.params(point) == {"width": 8}
+        assert space.hardening(point) == "tmr"
+
+    def test_hardening_defaults_to_none_without_axis(self):
+        space = _space(axes=[Axis("width", [8, 16])])
+        assert space.hardening({"width": 8}) == "none"
+
+    def test_point_id_is_axis_ordered(self):
+        space = _space()
+        assert space.point_id({"hardening": "tmr", "width": 8}) == \
+            "width=8,hardening=tmr"
+
+    def test_genome_roundtrip(self):
+        space = _space()
+        point = {"width": 32, "hardening": "none"}
+        genome = space.indices(point)
+        assert genome == (2, 0)
+        assert space.assignment(genome) == point
+        with pytest.raises(DseError):
+            space.assignment((0,))
+
+
+class TestEnumerations:
+    def test_full_factorial_order_and_count(self):
+        points = full_factorial(_space())
+        assert len(points) == 6
+        assert points[0] == {"width": 8, "hardening": "none"}
+        assert points[1] == {"width": 8, "hardening": "tmr"}
+        assert points[-1] == {"width": 32, "hardening": "tmr"}
+
+    def test_empty_axis_empties_the_space(self):
+        space = _space(axes=[Axis("width", []), Axis("mode", ["a"])])
+        assert space.size() == 0
+        assert full_factorial(space) == []
+
+    def test_no_axes_is_the_single_empty_point(self):
+        space = _space(axes=[])
+        assert full_factorial(space) == [{}]
+
+    def test_single_point_space(self):
+        space = _space(axes=[Axis("width", [8])])
+        assert full_factorial(space) == [{"width": 8}]
+
+    def test_fractional_is_the_index_sum_subset(self):
+        space = _space()
+        half = fractional_factorial(space, 2)
+        assert half == [
+            point for point in full_factorial(space)
+            if sum(space.indices(point)) % 2 == 0
+        ]
+        assert 0 < len(half) < space.size()
+
+    def test_fraction_one_is_full(self):
+        space = _space()
+        assert fractional_factorial(space, 1) == full_factorial(space)
+
+    def test_fraction_below_one_rejected(self):
+        with pytest.raises(DseError):
+            fractional_factorial(_space(), 0)
+
+    def test_neighbors_differ_in_exactly_one_axis(self):
+        space = _space()
+        base = {"width": 16, "hardening": "none"}
+        got = list(neighbors(space, base))
+        assert len(got) == 3
+        for other in got:
+            assert sum(1 for k in base if base[k] != other[k]) == 1

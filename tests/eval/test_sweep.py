@@ -1,10 +1,19 @@
 """Tests for the parameter-sweep harness."""
 
-from repro.eval.sweep import grid, monotonic, sweep
+import pytest
+
+from repro.eval.sweep import PointRunner, grid, monotonic, sweep
 from repro.expocu import HistogramUnit
 from repro.hdl import Clock, NS, Signal
+from repro.synth import SynthesisError
 from repro.types import Bit
 from repro.types.spec import bit
+
+
+def hist_factory(count_bits):
+    return HistogramUnit[count_bits](
+        "h", Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
+    )
 
 
 class TestGrid:
@@ -18,6 +27,9 @@ class TestGrid:
 
     def test_empty(self):
         assert grid() == [{}]
+
+    def test_empty_axis_list_empties_the_grid(self):
+        assert grid(a=[], b=["x", "y"]) == []
 
 
 class TestMonotonic:
@@ -33,15 +45,72 @@ class TestMonotonic:
 
 class TestSweep:
     def test_sweep_runs_flow_per_point(self):
-        def factory(count_bits):
-            return HistogramUnit[count_bits](
-                "h", Clock("clk", 10 * NS), Signal("rst", bit(), Bit(1))
-            )
-
-        points = sweep(factory, grid(count_bits=[8, 12]))
+        points = sweep(hist_factory, grid(count_bits=[8, 12]))
         assert len(points) == 2
         assert points[0].params == {"count_bits": 8}
         assert points[1].result.area > points[0].result.area
         row = points[0].row()
         assert {"count_bits", "area_ge", "cells", "flops",
                 "fmax_mhz"} <= set(row)
+        assert all(point.ok for point in points)
+
+    def test_empty_point_list_is_an_empty_sweep(self):
+        assert sweep(hist_factory, grid(count_bits=[])) == []
+
+    def test_single_point_space(self):
+        points = sweep(hist_factory, grid(count_bits=[8]))
+        assert len(points) == 1
+        assert points[0].ok
+        assert points[0].params == {"count_bits": 8}
+
+    def test_mid_sweep_failure_recorded_and_sweep_continues(self):
+        def flaky_factory(count_bits):
+            if count_bits == 10:
+                raise SynthesisError("10-bit histograms unsupported")
+            return hist_factory(count_bits)
+
+        points = sweep(flaky_factory, grid(count_bits=[8, 10, 12]))
+        # All three points are present, in order; only the middle failed.
+        assert [p.params["count_bits"] for p in points] == [8, 10, 12]
+        assert [p.ok for p in points] == [True, False, True]
+        failed = points[1]
+        assert failed.result is None
+        assert isinstance(failed.error, SynthesisError)
+        row = failed.row()
+        assert row["count_bits"] == 10
+        assert row["error"].startswith("SynthesisError:")
+        # The surviving points still carry full flow results.
+        assert points[2].result.area > points[0].result.area
+
+    def test_on_error_raise_restores_fail_fast(self):
+        def bad_factory(count_bits):
+            raise SynthesisError("always broken")
+
+        with pytest.raises(SynthesisError):
+            sweep(bad_factory, grid(count_bits=[8]), on_error="raise")
+
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(hist_factory, [], on_error="ignore")
+
+
+class TestPointRunner:
+    def test_reentrant_over_points(self):
+        runner = PointRunner(hist_factory)
+        first = runner.run({"count_bits": 8})
+        second = runner.run({"count_bits": 12})
+        assert first.ok and second.ok
+        assert second.result.area > first.result.area
+
+    def test_records_flow_errors(self):
+        def bad_factory(count_bits):
+            raise SynthesisError("nope")
+
+        point = PointRunner(bad_factory).run({"count_bits": 8})
+        assert not point.ok
+        assert isinstance(point.error, SynthesisError)
+
+    def test_store_requires_default_flow(self):
+        with pytest.raises(ValueError):
+            PointRunner(hist_factory, flow=lambda module: None,
+                        store=object())
