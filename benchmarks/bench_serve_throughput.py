@@ -1,0 +1,142 @@
+"""X — serve: warm job throughput must be at least 5x the cold rate.
+
+Not a paper experiment: it bounds the payoff of putting the CAS store
+behind a long-lived server.  A ``repro serve`` instance on a Unix
+socket handles forced build jobs (dedup disabled — this measures raw
+throughput, not coalescing) from four concurrent clients, twice over:
+first against a cache-less scheduler, where every job synthesizes from
+scratch, then against a pre-warmed store, where every job replays its
+stages from disk.  Jobs/sec is clients-done wall time over job count;
+the warm rate must beat the cold rate by the same 5x floor the store
+itself guarantees.
+
+The benchmark also asserts the subsystem's central correctness
+property: every response body — cold, warm, any client — is byte
+identical.
+"""
+
+import threading
+import time
+from pathlib import Path
+
+from conftest import record_report
+
+from repro.eval import format_table
+from repro.serve import Scheduler, ServeClient, build_server
+from repro.store import ArtifactStore
+
+MIN_SPEEDUP = 5.0
+CLIENTS = 4
+COLD_JOBS_PER_CLIENT = 1
+WARM_JOBS_PER_CLIENT = 3
+PARAMS = {"flow": "osss"}
+
+
+class _Served:
+    """A serve stack on a Unix socket, torn down deterministically."""
+
+    def __init__(self, root, store):
+        self.scheduler = Scheduler(store, workers=2)
+        self.scheduler.start()
+        self.socket_path = str(root / "bench.sock")
+        self.server = build_server(self.scheduler,
+                                   socket_path=self.socket_path)
+        self.thread = threading.Thread(target=self.server.serve_forever,
+                                       kwargs={"poll_interval": 0.05},
+                                       daemon=True)
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.scheduler.stop()
+
+
+def _store_files(store):
+    """Every artifact/pointer path under the store root, as a set."""
+    root = Path(store.root)
+    return {str(p.relative_to(root)) for p in root.rglob("*") if p.is_file()}
+
+
+def _drive(socket_path, jobs_per_client):
+    """All clients hammer the server; returns (wall_s, response set)."""
+    texts = []
+    errors = []
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client_loop():
+        try:
+            client = ServeClient(socket_path=socket_path)
+            barrier.wait()
+            for _ in range(jobs_per_client):
+                texts.append(client.run("build", PARAMS, force=True,
+                                        timeout_s=600.0))
+        except BaseException as exc:  # pragma: no cover - fail loud
+            errors.append(exc)
+
+    threads = [threading.Thread(target=client_loop)
+               for _ in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    assert not errors, errors
+    assert len(texts) == CLIENTS * jobs_per_client
+    assert len(set(texts)) == 1, \
+        "every client must receive byte-identical results"
+    return wall, texts[0]
+
+
+def test_warm_serve_throughput(tmp_path):
+    # Cold: no store, so each of the 4 concurrent jobs synthesizes.
+    cold_stack = _Served(tmp_path, store=None)
+    try:
+        cold_wall, cold_text = _drive(cold_stack.socket_path,
+                                      COLD_JOBS_PER_CLIENT)
+    finally:
+        cold_stack.close()
+    cold_jobs = CLIENTS * COLD_JOBS_PER_CLIENT
+    cold_rate = cold_jobs / cold_wall
+
+    # Warm: pre-warmed store, so every job replays from disk.
+    store = ArtifactStore(tmp_path / "cache")
+    warm_stack = _Served(tmp_path, store=store)
+    try:
+        warmup_client = ServeClient(socket_path=warm_stack.socket_path)
+        warm_text = warmup_client.run("build", PARAMS, timeout_s=600.0)
+        warmed = _store_files(store)
+        warm_wall, warm_text_2 = _drive(warm_stack.socket_path,
+                                        WARM_JOBS_PER_CLIENT)
+    finally:
+        warm_stack.close()
+    warm_jobs = CLIENTS * WARM_JOBS_PER_CLIENT
+    warm_rate = warm_jobs / warm_wall
+
+    # Cache on or off, served or warmed up: one and the same document.
+    assert cold_text == warm_text == warm_text_2
+    # The warm phase really was warm: the workers replayed existing
+    # artifacts instead of storing new ones.  (Counters live in the
+    # worker processes, so the on-disk store is the shared evidence.)
+    assert warmed, "the warmup run must populate the store"
+    assert _store_files(store) == warmed
+
+    speedup = warm_rate / cold_rate
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm serving only {speedup:.1f}x the cold job rate "
+        f"(cold {cold_rate:.2f} jobs/s, warm {warm_rate:.2f} jobs/s); "
+        f"floor is {MIN_SPEEDUP:.0f}x"
+    )
+
+    rows = [
+        {"configuration": "cold (no store)", "clients": CLIENTS,
+         "jobs": cold_jobs, "wall_s": f"{cold_wall:.2f}",
+         "jobs_per_s": f"{cold_rate:.2f}", "speedup": "-"},
+        {"configuration": "warm (replay)", "clients": CLIENTS,
+         "jobs": warm_jobs, "wall_s": f"{warm_wall:.2f}",
+         "jobs_per_s": f"{warm_rate:.2f}",
+         "speedup": f"{speedup:.1f}x vs cold"},
+    ]
+    record_report("X_serve_throughput", format_table(rows))

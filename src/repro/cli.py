@@ -31,6 +31,13 @@ without writing a script:
               (content-addressed cache): warm rebuilds skip unchanged
               stages.
 ``cache``     design-library maintenance: ``stats``, ``gc``, ``verify``.
+``serve``     long-lived job server (JSON over HTTP on a TCP port or
+              Unix socket): clients submit build/analyze/inject/dse
+              jobs, identical concurrent submissions coalesce onto one
+              computation, and results are byte-identical to the
+              one-shot commands above.
+``submit``    thin client for ``serve``: submit a job, stream/await
+              its result.
 
 ``synth``/``flows``/``inject`` also accept ``--profile <out.json>`` to
 write the same span report for their own run.
@@ -52,13 +59,9 @@ import sys
 
 
 def _default_design():
-    from repro.expocu import ExpoCU
-    from repro.hdl import Clock, NS, Signal
-    from repro.types import Bit
-    from repro.types.spec import bit
+    from repro.serve.jobs import default_design
 
-    return ExpoCU[16, 16]("expocu", Clock("clk", 15 * NS),
-                          Signal("rst", bit(), Bit(1)))
+    return default_design()
 
 
 def _load_design(spec: str):
@@ -233,6 +236,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if args.cold:
             store.clear()
     circuit, analysis = run_netlist_analysis(design, store=store)
+    counter_totals = store.counter_totals() if store is not None else None
     if args.format == "json":
         doc = serialize_testability(analysis, circuit)
         rendered = json.dumps(doc, indent=2) + "\n"
@@ -257,11 +261,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"{args.format} report written to {args.output}")
     else:
         print(rendered, end="")
-    if store is not None:
-        counts = {event: sum(counter.values())
-                  for event, counter in store.counters.items()}
-        print(f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
-              f"{counts['store']} store(s)", file=sys.stderr)
+    if counter_totals is not None:
+        print(f"cache: {counter_totals['hit']} hit(s), "
+              f"{counter_totals['miss']} miss(es), "
+              f"{counter_totals['store']} store(s)", file=sys.stderr)
     if args.strict and analysis.diagnostics:
         return 1
     return 0
@@ -347,13 +350,9 @@ def _cmd_inject(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    from repro.dse import (
-        EvolutionaryConfig,
-        expocu_campaign_spec,
-        expocu_space,
-        explore,
-    )
+    from repro.dse import DseResult
     from repro.obs import NULL_TRACER, Tracer
+    from repro.serve.jobs import make_spec, run_job
     from repro.store import ArtifactStore
 
     store = None
@@ -362,16 +361,18 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         if args.cold:
             store.clear()
     tracer = Tracer("dse") if args.profile else NULL_TRACER
-    space = expocu_space(args.space, side=args.side)
-    campaign = expocu_campaign_spec(side=args.side, faults=args.faults,
-                                    seed=args.campaign_seed,
-                                    backend=args.backend)
-    evolution = EvolutionaryConfig(population=args.population,
-                                   generations=args.generations,
-                                   seed=args.seed)
-    result = explore(space, campaign, strategy=args.strategy,
-                     fraction=args.fraction, evolution=evolution,
-                     store=store, tracer=tracer)
+    # Same execution path as 'repro serve' dse jobs (byte-diffable).
+    payload = run_job(
+        make_spec("dse", {
+            "space": args.space, "side": args.side,
+            "strategy": args.strategy, "fraction": args.fraction,
+            "population": args.population,
+            "generations": args.generations, "seed": args.seed,
+            "faults": args.faults, "campaign_seed": args.campaign_seed,
+            "backend": args.backend,
+        }),
+        store=store, tracer=tracer)
+    result = DseResult(payload)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(result.to_json())
@@ -382,8 +383,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         if args.output:
             print(f"dse report written to {args.output}")
     if store is not None:
-        counts = {event: sum(counter.values())
-                  for event, counter in store.counters.items()}
+        counts = store.counter_totals()
         print(f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
               f"{counts['store']} store(s)", file=sys.stderr)
     _write_profile(tracer, args.profile)
@@ -444,8 +444,8 @@ def _cmd_effort(args: argparse.Namespace) -> int:
 def _cmd_build(args: argparse.Namespace) -> int:
     import json
 
-    from repro.eval import run_osss_flow, run_vhdl_flow
     from repro.obs import NULL_TRACER, Tracer
+    from repro.serve.jobs import make_spec, run_job
     from repro.store import ArtifactStore
 
     store = None
@@ -454,33 +454,76 @@ def _cmd_build(args: argparse.Namespace) -> int:
         if args.cold:
             store.clear()
     tracer = Tracer("build") if args.profile else NULL_TRACER
-    results = []
-    if args.flow in ("osss", "both"):
-        results.append(run_osss_flow(_default_design(), "osss",
-                                     tracer=tracer, store=store))
-    if args.flow in ("vhdl", "both"):
-        from repro.baseline import expocu_rtl
-
-        results.append(run_vhdl_flow(expocu_rtl(), "vhdl",
-                                     tracer=tracer, store=store))
-    summaries = [result.summary() for result in results]
+    # The same execution path 'repro serve' uses for build jobs — the
+    # serve tests diff server results against this command's output.
+    payload = run_job(make_spec("build", {"flow": args.flow}),
+                      store=store, tracer=tracer)
     if args.json:
         # Summaries only: this output is byte-comparable across cold,
         # warm and cache-disabled runs (counters go to stderr).
-        print(json.dumps({"flows": summaries}, indent=2))
+        print(json.dumps(payload, indent=2))
     else:
         from repro.eval import format_table
 
-        print(format_table(summaries))
+        print(format_table(payload["flows"]))
     if store is not None:
-        counts = {event: sum(counter.values())
-                  for event, counter in store.counters.items()}
+        counts = store.counter_totals()
         line = (f"cache: {counts['hit']} hit(s), {counts['miss']} miss(es), "
                 f"{counts['store']} store(s)")
         if counts["corrupt"]:
             line += f", {counts['corrupt']} corrupt entr(ies) recomputed"
         print(line, file=sys.stderr)
     _write_profile(tracer, args.profile)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import run_server
+
+    return run_server(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        grace_s=args.grace,
+        verbose=args.verbose,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    if not args.socket and not args.port:
+        print("repro: error: submit needs --socket PATH or --port N",
+              file=sys.stderr)
+        return 2
+    try:
+        params = json.loads(args.params)
+    except ValueError as exc:
+        print(f"repro: error: --params is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port)
+    try:
+        job = client.submit(args.kind, params, force=args.force)
+        if args.no_wait:
+            print(json.dumps({"job": job}, indent=2))
+            return 0
+        text = client.result_text(job["id"], timeout_s=args.timeout)
+    except ServeError as exc:
+        print(f"repro: error: server refused: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    # The rendered result already ends in a newline and is
+    # byte-identical to the matching one-shot command's JSON output.
+    print(text, end="")
     return 0
 
 
@@ -727,6 +770,62 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a repro-trace/v1 span report here")
     build.set_defaults(func=_cmd_build)
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived job server over the design library",
+    )
+    serve_target = serve.add_mutually_exclusive_group(required=True)
+    serve_target.add_argument("--socket", metavar="PATH",
+                              help="listen on a Unix domain socket")
+    serve_target.add_argument("--port", type=int, default=0,
+                              help="listen on TCP (with --host)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default: 127.0.0.1)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="design-library root shared by all jobs")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="run jobs without the design library")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="supervised worker processes (>= 2; fewer "
+                       "runs jobs on an in-process thread)")
+    serve.add_argument("--job-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock deadline per job")
+    serve.add_argument("--grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="shutdown grace period for in-flight jobs "
+                       "(default: 10)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log requests to stderr")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running 'repro serve'"
+    )
+    submit.add_argument("kind",
+                        choices=("build", "analyze", "inject", "dse"),
+                        help="job kind")
+    submit.add_argument("--socket", metavar="PATH",
+                        help="server's Unix domain socket")
+    submit.add_argument("--port", type=int, default=0,
+                        help="server's TCP port (with --host)")
+    submit.add_argument("--host", default="127.0.0.1",
+                        help="server's TCP host (default: 127.0.0.1)")
+    submit.add_argument("--params", default="{}", metavar="JSON",
+                        help="job parameters as a JSON object "
+                        "(defaults mirror the one-shot command)")
+    submit.add_argument("--force", action="store_true",
+                        help="bypass request coalescing: always run a "
+                        "fresh job even if an identical one is active")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="print the job document and return instead "
+                        "of waiting for the result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="how long to wait for the result "
+                        "(default: 600)")
+    submit.set_defaults(func=_cmd_submit)
+
     cache = sub.add_parser(
         "cache", help="design-library maintenance (stats / gc / verify)"
     )
@@ -754,6 +853,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.dse import DseError
     from repro.fault import CampaignError
     from repro.netlist import NetlistError
+    from repro.serve.jobs import JobError
     from repro.store import StoreError
     from repro.synth import SynthesisError
 
@@ -762,7 +862,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except (SynthesisError, NetlistError, StoreError, CampaignError,
-            DseError) as exc:
+            DseError, JobError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
 

@@ -141,11 +141,12 @@ class PointEvaluator:
     def __init__(self, space: DesignSpace, campaign: CampaignSpec,
                  objectives: Sequence[Objective] = DEFAULT_OBJECTIVES,
                  store: ArtifactStore | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 guard=None) -> None:
         self.space = space
         self.campaign = campaign
         self.objectives = tuple(objectives)
-        self.runner = StageRunner(store, tracer or NULL_TRACER)
+        self.runner = StageRunner(store, tracer or NULL_TRACER, guard=guard)
         self.tracer = self.runner.tracer
         self._spec_fp = campaign.fingerprint()
         self._seen: dict[str, PointResult] = {}

@@ -146,10 +146,15 @@ def explore(space: DesignSpace, campaign: CampaignSpec,
             fraction: int = 1,
             evolution: EvolutionaryConfig | None = None,
             store: ArtifactStore | None = None,
-            tracer: Tracer | None = None) -> DseResult:
-    """Run one exploration end to end and return its report."""
+            tracer: Tracer | None = None,
+            guard=None) -> DseResult:
+    """Run one exploration end to end and return its report.
+
+    *guard* is the per-stage cancellation hook threaded through every
+    point's :class:`~repro.store.StageRunner` (see ``repro serve``).
+    """
     evaluator = PointEvaluator(space, campaign, objectives,
-                               store=store, tracer=tracer)
+                               store=store, tracer=tracer, guard=guard)
     if strategy == "factorial":
         outcome = factorial_search(evaluator, fraction)
     elif strategy == "evolutionary":

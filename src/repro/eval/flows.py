@@ -166,7 +166,8 @@ def run_osss_flow(module: Module, name: str = "osss",
                   analyze_first: bool = True,
                   tracer: Tracer | None = None,
                   store: ArtifactStore | None = None,
-                  deadline_s: float | None = None) -> FlowResult:
+                  deadline_s: float | None = None,
+                  guard=None) -> FlowResult:
     """OSSS source → analyzer/synthesizer → behavioral FSMs → gates.
 
     The analyzer gate (paper Fig. 6) runs before synthesis: when it finds
@@ -185,9 +186,14 @@ def run_osss_flow(module: Module, name: str = "osss",
     (:func:`repro.exec.time_limit`): a design that sends a stage into
     pathological runtime raises
     :class:`~repro.exec.DeadlineExceeded` instead of stalling batch
-    evaluations and future flow-service callers.
+    evaluations and flow-service callers.
+
+    *guard* is a per-stage cancellation hook (see
+    :class:`~repro.store.StageRunner`): called with each stage name
+    before the stage runs, it may raise to abort the flow at the next
+    stage boundary — how ``repro serve`` cancels in-flight jobs.
     """
-    runner = StageRunner(store, tracer or NULL_TRACER)
+    runner = StageRunner(store, tracer or NULL_TRACER, guard=guard)
     tracer = runner.tracer
     with time_limit(deadline_s, label=f"flow:{name}"), \
             tracer.span(f"flow:{name}") as flow_span:
@@ -265,7 +271,7 @@ def run_netlist_analysis(module: Module, name: str = "osss",
                          tracer: Tracer | None = None,
                          store: ArtifactStore | None = None,
                          deadline_s: float | None = None,
-                         ) -> tuple[Circuit, NetlistAnalysis]:
+                         guard=None) -> tuple[Circuit, NetlistAnalysis]:
     """OSSS source → optimized gates → structural testability analysis.
 
     The backbone of ``repro analyze``: the synthesize → techmap → opt
@@ -276,7 +282,7 @@ def run_netlist_analysis(module: Module, name: str = "osss",
     digest.  STA and placement are skipped — structural analysis does
     not need them.
     """
-    runner = StageRunner(store, tracer or NULL_TRACER)
+    runner = StageRunner(store, tracer or NULL_TRACER, guard=guard)
     tracer = runner.tracer
     with time_limit(deadline_s, label=f"analyze:{name}"), \
             tracer.span(f"analyze:{name}") as span:
@@ -307,9 +313,10 @@ def run_rtl(rtl: RtlModule, name: str = "rtl",
             ip_library: dict[str, Circuit] | None = None,
             tracer: Tracer | None = None,
             store: ArtifactStore | None = None,
-            deadline_s: float | None = None) -> FlowResult:
+            deadline_s: float | None = None,
+            guard=None) -> FlowResult:
     """RTL (hand-written or pre-synthesized) → gates, linking IP."""
-    runner = StageRunner(store, tracer or NULL_TRACER)
+    runner = StageRunner(store, tracer or NULL_TRACER, guard=guard)
     tracer = runner.tracer
     with time_limit(deadline_s, label=f"flow:{name}"), \
             tracer.span(f"flow:{name}") as flow_span:
@@ -373,7 +380,8 @@ def _linked(techmap_outcome, ip_library: dict[str, Circuit]) -> Circuit:
 def run_vhdl_flow(rtl: RtlModule, name: str = "vhdl",
                   tracer: Tracer | None = None,
                   store: ArtifactStore | None = None,
-                  deadline_s: float | None = None) -> FlowResult:
+                  deadline_s: float | None = None,
+                  guard=None) -> FlowResult:
     """Alias of :func:`run_rtl` with the default IP library."""
     return run_rtl(rtl, name, tracer=tracer, store=store,
-                   deadline_s=deadline_s)
+                   deadline_s=deadline_s, guard=guard)

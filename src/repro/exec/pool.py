@@ -38,6 +38,19 @@ Chaos hook: setting ``REPRO_CHAOS_KILL`` to a probability makes every
 worker ``os._exit(42)`` with that probability on each task receipt —
 the supervision path is then exercised for real by the test suite and
 the CI resilience-smoke job.
+
+Two driving modes share the same supervision machinery:
+
+* :meth:`SupervisedPool.run` — the original batch mode: a fixed task
+  list in, results out, used by fault campaigns;
+* the **stream mode** (:meth:`start_stream` / :meth:`submit_stream` /
+  :meth:`pump` / :meth:`cancel_stream` / :meth:`stop_stream`) — tasks
+  arrive one at a time over the pool's lifetime and completions are
+  delivered through callbacks, which is what a long-lived job server
+  (``repro serve``) needs.  Stream tasks may additionally emit
+  progress **events**: a session exposing ``bind_emitter(emit)`` gets
+  a callable that ships any JSON-able payload back to the parent's
+  ``on_event`` callback while the task is still running.
 """
 
 from __future__ import annotations
@@ -91,6 +104,7 @@ def _fresh_stats(jobs: int) -> dict[str, int]:
         "init_errors": 0,
         "fallback": 0,
         "inline_tasks": 0,
+        "cancel_kills": 0,
     }
 
 
@@ -120,6 +134,14 @@ def _worker_main(worker_id: int, session_factory: Callable[[], Any],
     except BaseException as exc:
         send(("init_error", worker_id, f"{type(exc).__name__}: {exc}"))
         return
+    # Stream-mode progress feed: a session exposing ``bind_emitter``
+    # gets a callable shipping JSON-able payloads to the parent's
+    # ``on_event`` callback, tagged with the task index in flight.
+    current_idx: list[Any] = [None]
+    bind = getattr(session, "bind_emitter", None)
+    if callable(bind):
+        bind(lambda payload: send(("event", worker_id, current_idx[0],
+                                   payload)))
     send(("ready", worker_id, getattr(session, "meta", None),
           time.perf_counter() - t0))
     tasks = 0
@@ -132,6 +154,7 @@ def _worker_main(worker_id: int, session_factory: Callable[[], Any],
         if item is None:
             break
         idx, payload = item
+        current_idx[0] = idx
         if chaos_p and rng.random() < chaos_p:
             os._exit(_CHAOS_EXIT)  # simulated hard crash: no cleanup at all
         start = time.perf_counter()
@@ -239,6 +262,8 @@ class SupervisedPool:
         self._meta: Any = None
         self._meta_seen = False
         self._ctx = None
+        self._stream: dict[str, Any] | None = None
+        self._on_event: Callable[[int, Any], None] | None = None
 
     # ------------------------------------------------------------------
     # public API
@@ -275,6 +300,173 @@ class SupervisedPool:
             raise
         self._shutdown(force=False)
         return PoolOutcome(results, failures, self._meta, self.stats)
+
+    # ------------------------------------------------------------------
+    # stream mode (long-lived servers)
+    # ------------------------------------------------------------------
+    def start_stream(self, *,
+                     on_result: Callable[[int, Any], None],
+                     on_failure: Callable[[int, Mapping[str, str]], None],
+                     on_event: Callable[[int, Any], None] | None = None,
+                     on_meta: Callable[[Any], None] | None = None) -> bool:
+        """Spawn workers for open-ended task submission.
+
+        Returns ``False`` when process workers are unavailable
+        (``jobs <= 1``, no start method, unpicklable factory, spawn
+        failure) — the caller then runs tasks itself.  On ``True``,
+        feed tasks via :meth:`submit_stream`, drive delivery with
+        :meth:`pump`, and finish with :meth:`stop_stream`.  Exactly one
+        of *on_result* / *on_failure* fires per submitted index (unless
+        the index is cancelled first); *on_event* relays worker-side
+        progress payloads as ``(idx, payload)`` while tasks run.
+        """
+        self.stats = _fresh_stats(self.jobs)
+        self._meta = None
+        self._meta_seen = False
+        self._respawns = 0
+        if self.jobs <= 1:
+            return False
+        try:
+            self._ctx = self._context()
+        except ValueError:
+            return False
+        if self._ctx.get_start_method() != "fork":
+            try:
+                pickle.dumps(self.session_factory)
+            except Exception:
+                return False
+        self._on_event = on_event
+        self._stream = {
+            "tasks": {},        # idx -> payload (pruned once resolved)
+            "pending": deque(),
+            "results": {},      # idx -> None tombstone after delivery
+            "failures": {},
+            "retries": {},
+            "reported": set(),
+            "on_result": on_result,
+            "on_failure": on_failure,
+            "on_meta": on_meta,
+        }
+        for _ in range(self.jobs):
+            self._spawn()
+        if not self._workers:
+            self._stream = None
+            self._on_event = None
+            return False
+        return True
+
+    def submit_stream(self, idx: int, task: Any) -> None:
+        """Queue one task under a caller-chosen unique index."""
+        stream = self._stream
+        if stream is None:
+            raise PoolError("submit_stream outside an active stream")
+        stream["tasks"][idx] = task
+        stream["pending"].append(idx)
+
+    def pump(self, block: bool = False) -> int:
+        """Dispatch, collect and deliver; returns unresolved task count.
+
+        Call in a loop (``block=True`` waits one poll interval for
+        worker traffic).  All callbacks fire on the pumping thread.
+        """
+        stream = self._stream
+        if stream is None:
+            return 0
+        results, failures = stream["results"], stream["failures"]
+        pending, retries = stream["pending"], stream["retries"]
+        unresolved = any(idx not in results and idx not in failures
+                         for idx in pending)
+        if unresolved and not self._workers:
+            if self._spawn(respawn=True) is None:
+                self._degrade_stream()
+        self._dispatch(stream["tasks"], pending, results, failures)
+        msg = self._poll(block=block)
+        while msg is not None:
+            self._handle(msg, results, failures, pending, retries,
+                         self._deliver_result, stream["on_meta"])
+            msg = self._poll(block=False)
+        self._reap(pending, results, failures, retries,
+                   self._deliver_result, stream["on_meta"])
+        self._deliver_failures()
+        return len(stream["tasks"])
+
+    def cancel_stream(self, idx: int) -> bool:
+        """Abandon one task: drop it if queued, kill its worker if not.
+
+        Returns ``False`` when the index is unknown or already
+        resolved.  A killed worker is replaced outside the respawn
+        budget — cancellation is an orderly operation, not a crash.
+        """
+        stream = self._stream
+        if stream is None:
+            return False
+        if idx not in stream["tasks"]:
+            return False
+        if idx in stream["results"] or idx in stream["failures"]:
+            return False
+        stream["failures"][idx] = {"error": "cancelled",
+                                   "detail": "cancelled by caller"}
+        stream["reported"].add(idx)
+        stream["tasks"].pop(idx, None)
+        for worker in list(self._workers.values()):
+            if worker.inflight != idx:
+                continue
+            worker.process.kill()
+            worker.process.join()
+            self._record_worker(worker)
+            self._close_conns(worker)
+            del self._workers[worker.id]
+            self.stats["cancel_kills"] += 1
+            self._spawn()
+            break
+        return True
+
+    def stop_stream(self) -> None:
+        """Tear the stream's workers down (graceful, then forceful)."""
+        if self._stream is None:
+            return
+        try:
+            self._shutdown(force=False)
+        finally:
+            self._stream = None
+            self._on_event = None
+
+    def _deliver_result(self, idx: int, value: Any) -> None:
+        stream = self._stream
+        if idx in stream["reported"]:
+            return
+        stream["reported"].add(idx)
+        stream["tasks"].pop(idx, None)
+        stream["on_result"](idx, value)
+        # Keep a tombstone so duplicate/late messages stay resolved,
+        # but drop the payload — the stream may live for days.
+        stream["results"][idx] = None
+
+    def _deliver_failures(self) -> None:
+        stream = self._stream
+        for idx, info in list(stream["failures"].items()):
+            if idx in stream["reported"]:
+                continue
+            stream["reported"].add(idx)
+            stream["tasks"].pop(idx, None)
+            stream["on_failure"](idx, info)
+
+    def _degrade_stream(self) -> None:
+        """Workers are gone for good: fail whatever is still queued."""
+        stream = self._stream
+        self.stats["fallback"] = 1
+        sys.stderr.write(
+            "repro: supervised pool stream degraded: respawn budget "
+            "spent; failing queued tasks back to the caller\n"
+        )
+        for idx in stream["pending"]:
+            if idx in stream["results"] or idx in stream["failures"]:
+                continue
+            stream["failures"][idx] = {
+                "error": "degraded",
+                "detail": "worker pool exhausted its respawn budget",
+            }
+        stream["pending"].clear()
 
     # ------------------------------------------------------------------
     # supervised execution
@@ -435,7 +627,20 @@ class SupervisedPool:
                                 retries)
             if worker is not None:
                 self._retire(worker)
+        elif kind == "event":
+            if self._on_event is not None and msg[2] is not None:
+                self._on_event(msg[2], msg[3])
         elif kind == "task_error":
+            if self._stream is not None:
+                # A long-lived server must outlive one bad job: record
+                # the failure against the task and keep the worker.
+                idx = msg[2]
+                if worker is not None and worker.inflight == idx:
+                    worker.inflight = None
+                if idx not in results and idx not in failures:
+                    failures[idx] = {"error": "task_error",
+                                     "detail": str(msg[3])}
+                return
             raise PoolError(f"worker task {msg[2]} failed: {msg[3]}")
         elif kind == "init_error":
             # The factory raised in the child.  Don't respawn a doomed

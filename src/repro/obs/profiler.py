@@ -31,11 +31,20 @@ dicts, fault tallies, throughput numbers) alongside the timings.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Callable, Iterator
 
 #: The versioned identifier every exported trace document carries.
 TRACE_SCHEMA = "repro-trace/v1"
+
+#: Guards concurrent metadata mutation on shared spans.  One coarse
+#: module-level lock: annotations are rare and tiny compared to the
+#: work they describe, and a per-span lock would cost a slot on every
+#: span ever opened.  Needed because campaign/serve code paths tick
+#: counters on one span from several threads (``Span.count`` is a
+#: read-modify-write that would otherwise lose increments).
+_META_LOCK = threading.Lock()
 
 
 class Span:
@@ -58,8 +67,13 @@ class Span:
         return self.dur is not None
 
     def annotate(self, **meta: Any) -> "Span":
-        """Attach metadata (counters, tallies...) to the span."""
-        self.meta.update(meta)
+        """Attach metadata (counters, tallies...) to the span.
+
+        Thread-safe: concurrent annotators interleave without losing
+        keys (last writer wins per key, as with any dict update).
+        """
+        with _META_LOCK:
+            self.meta.update(meta)
         return self
 
     def count(self, name: str, n: int = 1) -> "Span":
@@ -67,9 +81,17 @@ class Span:
 
         For event tallies accumulated while the span is open (retries,
         respawns, cache hits) — ``annotate`` overwrites, this adds.
+        Thread-safe: increments from concurrent workers never lose
+        ticks to the read-modify-write race.
         """
-        self.meta[name] = self.meta.get(name, 0) + n
+        with _META_LOCK:
+            self.meta[name] = self.meta.get(name, 0) + n
         return self
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent copy of the metadata (safe under annotators)."""
+        with _META_LOCK:
+            return dict(self.meta)
 
     def child_seconds(self) -> float:
         """Total duration of the direct children (coverage checks)."""
@@ -117,13 +139,21 @@ class Tracer:
         Monotonic clock returning seconds as ``float``; defaults to
         :func:`time.perf_counter`.  Injectable so golden tests can pin
         byte-stable output.
+    on_close:
+        Optional callback fired with each :class:`Span` as it closes.
+        This is the live progress feed: ``repro serve`` attaches one
+        per job tracer and streams every finished stage span to the
+        job's event log while the flow is still running.  Exceptions
+        from the callback propagate (a broken feed should be loud).
     """
 
     def __init__(self, name: str = "trace",
-                 clock: Callable[[], float] | None = None) -> None:
+                 clock: Callable[[], float] | None = None,
+                 on_close: Callable[[Span], None] | None = None) -> None:
         self.name = name
         self._clock = clock or time.perf_counter
         self._epoch = self._clock()
+        self.on_close = on_close
         self.roots: list[Span] = []
         self._stack: list[Span] = []
         self.meta: dict[str, Any] = {}
@@ -156,6 +186,10 @@ class Tracer:
                 break
             if top.dur is None:
                 top.dur = self._now() - top.t0
+                if self.on_close is not None:
+                    self.on_close(top)
+        if self.on_close is not None:
+            self.on_close(span)
 
     def record(self, name: str, dur_s: float, **meta: Any) -> Span:
         """Attach a pre-measured span (e.g. a worker shard's wall time).

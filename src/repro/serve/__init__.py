@@ -1,0 +1,50 @@
+"""Flow-as-a-service: the ``repro serve`` job server and its client.
+
+The package splits along the protocol boundary:
+
+:mod:`repro.serve.jobs`
+    The job model — validated :class:`JobSpec`\\ s, the
+    :func:`run_job` execution path shared with the one-shot CLI, and
+    the byte-exact :func:`render_result` convention.
+:mod:`repro.serve.scheduler`
+    Queue, fingerprint-based request coalescing, and the two
+    executors (supervised worker processes / in-process threads).
+:mod:`repro.serve.server`
+    The JSON-over-HTTP daemon (TCP or Unix socket) with graceful
+    drain on SIGTERM/SIGINT.
+:mod:`repro.serve.client`
+    :class:`ServeClient`, the thin client behind ``repro submit``.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import (
+    JOB_KINDS,
+    JobCancelled,
+    JobError,
+    JobSpec,
+    default_design,
+    make_spec,
+    render_result,
+    run_job,
+)
+from repro.serve.scheduler import Job, JobSession, Scheduler, SchedulerClosed
+from repro.serve.server import build_server, run_server
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JobError",
+    "JobSession",
+    "JobSpec",
+    "Scheduler",
+    "SchedulerClosed",
+    "ServeClient",
+    "ServeError",
+    "build_server",
+    "default_design",
+    "make_spec",
+    "render_result",
+    "run_job",
+    "run_server",
+]

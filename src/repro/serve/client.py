@@ -1,0 +1,163 @@
+"""Thin client for the serve protocol (used by ``repro submit``).
+
+:class:`ServeClient` speaks the JSON-over-HTTP protocol of
+:mod:`repro.serve.server` over TCP or a Unix domain socket, one
+connection per request (matching the server's HTTP/1.0 discipline).
+Besides the 1:1 endpoint wrappers it offers
+:meth:`ServeClient.run` — submit, wait, and return the rendered result
+text, which is byte-identical to the one-shot CLI output for the same
+job.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Mapping
+
+
+class ServeError(RuntimeError):
+    """A request failed; carries the HTTP status and the server's say."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``http.client`` over an ``AF_UNIX`` socket."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One server endpoint (TCP host/port or Unix socket path)."""
+
+    def __init__(self, socket_path: str | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 30.0) -> None:
+        if not socket_path and not port:
+            raise ValueError("need a socket path or a TCP port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connection(self, timeout: float) -> http.client.HTTPConnection:
+        if self.socket_path:
+            return _UnixHTTPConnection(self.socket_path, timeout)
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=timeout)
+
+    def _request(self, method: str, path: str,
+                 body: dict[str, Any] | None = None,
+                 timeout: float | None = None) -> tuple[int, bytes]:
+        payload = None
+        headers = {}
+        if body is not None:
+            payload = json.dumps(body).encode()
+            headers["Content-Type"] = "application/json"
+        conn = self._connection(timeout or self.timeout)
+        try:
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _decode(status: int, raw: bytes) -> dict[str, Any]:
+        try:
+            doc = json.loads(raw)
+        except ValueError:
+            doc = {"error": raw.decode(errors="replace")}
+        if status >= 400:
+            raise ServeError(status, doc.get("error", f"HTTP {status}"))
+        return doc
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        status, raw = self._request("GET", "/healthz")
+        return self._decode(status, raw)
+
+    def stats(self) -> dict[str, Any]:
+        status, raw = self._request("GET", "/stats")
+        return self._decode(status, raw)
+
+    def submit(self, kind: str, params: Mapping[str, Any] | None = None,
+               force: bool = False) -> dict[str, Any]:
+        """Submit a job; returns its status document (with ``deduped``)."""
+        status, raw = self._request("POST", "/jobs", body={
+            "kind": kind, "params": dict(params or {}), "force": force,
+        })
+        return self._decode(status, raw)["job"]
+
+    def jobs(self) -> list[dict[str, Any]]:
+        status, raw = self._request("GET", "/jobs")
+        return self._decode(status, raw)["jobs"]
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        status, raw = self._request("GET", f"/jobs/{job_id}")
+        return self._decode(status, raw)["job"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        status, raw = self._request("POST", f"/jobs/{job_id}/cancel")
+        return self._decode(status, raw)
+
+    def events(self, job_id: str, since: int = 0,
+               wait_s: float = 0.0) -> dict[str, Any]:
+        status, raw = self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}&wait={wait_s}",
+            timeout=self.timeout + wait_s)
+        return self._decode(status, raw)
+
+    def shutdown(self) -> dict[str, Any]:
+        status, raw = self._request("POST", "/shutdown")
+        return self._decode(status, raw)
+
+    # ------------------------------------------------------------------
+    # composite operations
+    # ------------------------------------------------------------------
+    def result_text(self, job_id: str, timeout_s: float = 600.0,
+                    poll_wait_s: float = 10.0) -> str:
+        """Block until the job finishes; return the rendered result.
+
+        Raises :class:`ServeError` on failure/cancellation (status 500
+        / 409) or :class:`TimeoutError` when *timeout_s* elapses first.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"job {job_id} still running after {timeout_s:.0f}s")
+            wait = max(0.0, min(poll_wait_s, remaining))
+            status, raw = self._request(
+                "GET", f"/jobs/{job_id}/result?wait={wait}",
+                timeout=self.timeout + wait)
+            if status == 200:
+                return raw.decode()
+            if status == 202:
+                continue
+            self._decode(status, raw)  # raises ServeError with detail
+
+    def run(self, kind: str, params: Mapping[str, Any] | None = None,
+            force: bool = False, timeout_s: float = 600.0) -> str:
+        """Submit and wait: the one-call path ``repro submit`` uses."""
+        job = self.submit(kind, params, force=force)
+        return self.result_text(job["id"], timeout_s=timeout_s)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from collections import Counter
 from pathlib import Path
@@ -52,20 +53,55 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
 
-class _Lock:
-    """Advisory flock on the store's ``.lock`` file (no-op without fcntl)."""
+#: How long a store operation waits for the advisory lock by default.
+DEFAULT_LOCK_TIMEOUT_S = 30.0
 
-    def __init__(self, path: Path, exclusive: bool) -> None:
+_LOCK_RETRY_S = 0.01
+
+
+class _Lock:
+    """Advisory flock on the store's ``.lock`` file (no-op without fcntl).
+
+    Acquisition is bounded: instead of blocking indefinitely behind a
+    wedged holder (a client that died with the exclusive lock, an NFS
+    hiccup), the lock is retried non-blocking until *timeout_s* runs
+    out, then a :class:`StoreError` names the lock file so the caller —
+    in particular the long-lived ``repro serve`` daemon — fails one
+    request instead of hanging every worker forever.
+    """
+
+    def __init__(self, path: Path, exclusive: bool,
+                 timeout_s: float | None = DEFAULT_LOCK_TIMEOUT_S) -> None:
         self.path = path
         self.exclusive = exclusive
+        self.timeout_s = timeout_s
         self._fd: int | None = None
 
     def __enter__(self) -> "_Lock":
-        if fcntl is not None:
-            self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
-            fcntl.flock(self._fd,
-                        fcntl.LOCK_EX if self.exclusive else fcntl.LOCK_SH)
-        return self
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return self
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        flags = fcntl.LOCK_EX if self.exclusive else fcntl.LOCK_SH
+        if self.timeout_s is None:
+            fcntl.flock(fd, flags)
+            self._fd = fd
+            return self
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            try:
+                fcntl.flock(fd, flags | fcntl.LOCK_NB)
+                self._fd = fd
+                return self
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    kind = "exclusive" if self.exclusive else "shared"
+                    raise StoreError(
+                        f"timed out after {self.timeout_s:.1f}s waiting "
+                        f"for the {kind} store lock at {self.path}; "
+                        "another process may be holding it wedged"
+                    ) from None
+                time.sleep(_LOCK_RETRY_S)
 
     def __exit__(self, *exc: Any) -> None:
         if self._fd is not None:
@@ -80,19 +116,33 @@ class ArtifactStore:
     Creating the instance initialises the directory layout and schema
     marker if absent; opening a root written by an unknown schema
     raises :class:`StoreError`.
+
+    *lock_timeout_s* bounds every wait on the advisory ``.lock``: a
+    holder wedged past it surfaces as a :class:`StoreError` instead of
+    blocking the caller forever (``None`` restores unbounded waits).
+
+    One instance may be shared by many threads: object/pointer I/O is
+    already safe (atomic writes, advisory locks) and the in-memory
+    ``counters`` increment under an internal lock, so concurrent flow
+    stages — the ``repro serve`` scheduler runs many jobs against one
+    store — never lose hits or misses to racing read-modify-writes.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path,
+                 lock_timeout_s: float | None = DEFAULT_LOCK_TIMEOUT_S,
+                 ) -> None:
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.stages_dir = self.root / "stages"
         self.journals_dir = self.root / "journals"
+        self.lock_timeout_s = lock_timeout_s
         self._lock_path = self.root / ".lock"
         self._marker = self.root / "store.json"
         self.counters: dict[str, Counter] = {
             "hit": Counter(), "miss": Counter(),
             "store": Counter(), "corrupt": Counter(),
         }
+        self._counter_lock = threading.Lock()
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.stages_dir.mkdir(parents=True, exist_ok=True)
         if self._marker.exists():
@@ -148,7 +198,17 @@ class ArtifactStore:
         return self.stages_dir / stage / f"{key}.json"
 
     def _count(self, event: str, stage: str) -> None:
-        self.counters[event][stage] += 1
+        with self._counter_lock:
+            self.counters[event][stage] += 1
+
+    def counter_totals(self) -> dict[str, int]:
+        """Per-event totals over all stages, read atomically."""
+        with self._counter_lock:
+            return {event: sum(counter.values())
+                    for event, counter in self.counters.items()}
+
+    def _flock(self, exclusive: bool) -> _Lock:
+        return _Lock(self._lock_path, exclusive, self.lock_timeout_s)
 
     # ------------------------------------------------------------------
     # objects
@@ -159,7 +219,7 @@ class ArtifactStore:
         digest = digest_bytes(data)
         path = self._object_path(digest)
         if not path.exists():
-            with _Lock(self._lock_path, exclusive=False):
+            with self._flock(exclusive=False):
                 self._atomic_write(path, data)
         return digest
 
@@ -223,7 +283,7 @@ class ArtifactStore:
         pointer = canonical_json(
             {"schema": STORE_SCHEMA, "stage": stage, "object": digest}
         ).encode("utf-8")
-        with _Lock(self._lock_path, exclusive=False):
+        with self._flock(exclusive=False):
             self._atomic_write(self._pointer_path(stage, key), pointer)
 
     def store(self, stage: str, key: str, doc: Any) -> str:
@@ -282,7 +342,7 @@ class ArtifactStore:
         """
         removed_pointers = 0
         removed_objects = 0
-        with _Lock(self._lock_path, exclusive=True):
+        with self._flock(exclusive=True):
             now = time.time()
             live: set[str] = set()
             for stage, path in self._iter_pointers():
@@ -337,7 +397,7 @@ class ArtifactStore:
 
     def clear(self) -> None:
         """Remove every object and pointer (the ``--cold`` path)."""
-        with _Lock(self._lock_path, exclusive=True):
+        with self._flock(exclusive=True):
             for _stage, path in self._iter_pointers():
                 self._discard(path)
             for path in self._iter_objects():

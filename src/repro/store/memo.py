@@ -66,12 +66,20 @@ class StageRunner:
         every stage then computes inline (identical spans, ``cache="off"``).
     tracer:
         An :mod:`repro.obs` tracer; stage spans open on it.
+    guard:
+        Optional callable invoked with the stage name before any stage
+        work (fingerprinting, probe or compute).  Cancellation hook for
+        long-lived callers — ``repro serve`` passes a guard that raises
+        when the job owning this runner has been cancelled, so a flow
+        stops at the next stage boundary instead of running to the end.
     """
 
     def __init__(self, store: ArtifactStore | None,
-                 tracer=NULL_TRACER) -> None:
+                 tracer=NULL_TRACER,
+                 guard: Callable[[str], None] | None = None) -> None:
         self.store = store
         self.tracer = tracer
+        self.guard = guard
 
     def run(
         self,
@@ -108,6 +116,8 @@ class StageRunner:
         serialize-and-store of the result, so profiler traces explain
         cold-run caching overhead stage by stage.
         """
+        if self.guard is not None:
+            self.guard(stage)
         if self.store is None:
             with self.tracer.span(stage) as span:
                 value = compute()

@@ -95,13 +95,13 @@ class TestVersionAndErrors:
 
     def test_synthesis_error_becomes_exit_code_2(self, monkeypatch, capsys,
                                                  tmp_path):
-        import repro.cli
+        import repro.serve.jobs
         from repro.synth import SynthesisError
 
         def explode():
             raise SynthesisError("shared object without guarded methods")
 
-        monkeypatch.setattr(repro.cli, "_default_design", explode)
+        monkeypatch.setattr(repro.serve.jobs, "default_design", explode)
         rc = main(["build", "--flow", "osss",
                    "--cache-dir", str(tmp_path / "c")])
         assert rc == 2

@@ -1,0 +1,162 @@
+"""Concurrent use of the store layer: counters, locks, shared spans.
+
+``repro serve`` runs memoized stages from several threads against one
+:class:`ArtifactStore`, so the hit/miss/store counters are
+read-modify-write races unless guarded (satellite: they now are), and
+a wedged lock holder must surface as a clear :class:`StoreError`
+instead of blocking a server thread forever.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.profiler import Span
+from repro.store import ArtifactStore, StageRunner, StoreError
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+THREADS = 8
+ROUNDS = 25
+KEYS = 4
+
+
+class TestConcurrentCounters:
+    def test_warm_hits_counted_exactly_under_contention(self, tmp_path):
+        """T threads x R rounds x K warm keys -> exactly T*R*K hits."""
+        store = ArtifactStore(tmp_path / "cache")
+        runner = StageRunner(store)
+        for k in range(KEYS):
+            runner.run("opt", (f"k{k}",), compute=lambda k=k: {"v": k},
+                       dump=lambda v: v, load=lambda d: d)
+        assert store.counter_totals()["miss"] == KEYS
+
+        barrier = threading.Barrier(THREADS)
+        errors = []
+
+        def hammer():
+            try:
+                barrier.wait()
+                for _ in range(ROUNDS):
+                    for k in range(KEYS):
+                        outcome = runner.run(
+                            "opt", (f"k{k}",),
+                            compute=lambda k=k: {"v": k},
+                            dump=lambda v: v, load=lambda d: d)
+                        assert outcome.hit
+            except BaseException as exc:  # pragma: no cover - fail loud
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        totals = store.counter_totals()
+        # The exact totals are the regression: unguarded += on the
+        # Counter loses increments under this contention.
+        assert totals["hit"] == THREADS * ROUNDS * KEYS
+        assert totals["miss"] == KEYS
+        assert totals["store"] == KEYS
+        assert store.counters["hit"]["opt"] == THREADS * ROUNDS * KEYS
+
+    def test_counter_totals_snapshot_is_consistent(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache")
+        store._count("hit", "opt")
+        store._count("miss", "opt")
+        totals = store.counter_totals()
+        assert totals == {"hit": 1, "miss": 1, "store": 0, "corrupt": 0}
+
+
+class TestConcurrentSpans:
+    def test_span_count_never_loses_ticks(self):
+        span = Span("shared", 0.0)
+        barrier = threading.Barrier(THREADS)
+        per_thread = 500
+
+        def tick():
+            barrier.wait()
+            for _ in range(per_thread):
+                span.count("events")
+
+        threads = [threading.Thread(target=tick) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert span.meta["events"] == THREADS * per_thread
+
+    def test_annotate_concurrent_with_snapshot(self):
+        span = Span("shared", 0.0)
+        stop = threading.Event()
+
+        def annotate():
+            n = 0
+            while not stop.is_set():
+                span.annotate(**{f"key{n % 7}": n})
+                n += 1
+
+        thread = threading.Thread(target=annotate)
+        thread.start()
+        try:
+            for _ in range(200):
+                snapshot = span.snapshot()  # must not raise mid-mutation
+                assert isinstance(snapshot, dict)
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_tracer_on_close_fires_per_span(self):
+        closed = []
+        tracer = Tracer("t", on_close=closed.append)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in closed] == ["inner", "outer"]
+
+
+@pytest.mark.skipif(fcntl is None, reason="flock is POSIX-only")
+class TestLockTimeout:
+    def test_held_lock_times_out_with_clear_error(self, tmp_path):
+        """A wedged lock holder -> StoreError, not an indefinite block."""
+        import os
+
+        store = ArtifactStore(tmp_path / "cache", lock_timeout_s=0.2)
+        # flock is per open-file-description: a second fd on the lock
+        # file conflicts even within one process.
+        fd = os.open(store._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            with pytest.raises(StoreError) as excinfo:
+                store.store("opt", "k1", {"v": 1})
+            message = str(excinfo.value)
+            assert "timed out" in message
+            assert str(store._lock_path) in message
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        # Lock released: the same operation now succeeds.
+        assert store.store("opt", "k1", {"v": 1})
+
+    def test_shared_readers_do_not_block_each_other(self, tmp_path):
+        import os
+
+        store = ArtifactStore(tmp_path / "cache", lock_timeout_s=0.5)
+        store.store("opt", "k1", {"v": 1})
+        fd = os.open(store._lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_SH)  # a concurrent reader
+        try:
+            assert store.load("opt", "k1") == {"v": 1}
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def test_disabled_timeout_falls_back_to_blocking(self, tmp_path):
+        store = ArtifactStore(tmp_path / "cache", lock_timeout_s=None)
+        assert store.store("opt", "k1", {"v": 1})
